@@ -1,0 +1,138 @@
+// Command cuttlesim runs a design on the simulation pipeline of choice and
+// reports what happened: final register values, rule firing statistics, an
+// optional Gcov-style annotated listing, or a VCD waveform.
+//
+// Usage:
+//
+//	cuttlesim [-engine cuttlesim|interp|rtl] [-level N] [-backend closure|bytecode]
+//	          [-cycles N] [-cover] [-vcd file] [-regs] <design>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cover"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/vcd"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "cuttlesim", "engine: cuttlesim, interp, or rtl")
+		level   = flag.Int("level", int(cuttlesim.LStatic), "cuttlesim optimization level 0..6")
+		backend = flag.String("backend", "closure", "cuttlesim backend: closure or bytecode")
+		cycles  = flag.Uint64("cycles", 1000, "cycles to simulate")
+		covFlag = flag.Bool("cover", false, "print a Gcov-style annotated listing")
+		profile = flag.Bool("profile", false, "print per-rule attempt/commit statistics")
+		vcdPath = flag.String("vcd", "", "write a VCD waveform to this file")
+		regs    = flag.Bool("regs", true, "print final register values")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: cuttlesim [flags] <design>\ncatalogued designs: %v\n", bench.Names())
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *engine, cuttlesim.Level(*level), *backend, *cycles, *covFlag, *profile, *vcdPath, *regs); err != nil {
+		fmt.Fprintln(os.Stderr, "cuttlesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ref, engine string, level cuttlesim.Level, backendName string, cycles uint64,
+	coverage, profile bool, vcdPath string, printRegs bool) error {
+	inst, err := bench.Load(ref)
+	if err != nil {
+		return err
+	}
+	d := inst.Design
+
+	var eng sim.Engine
+	var cs *cuttlesim.Simulator
+	switch engine {
+	case "cuttlesim":
+		backend := cuttlesim.Closure
+		if backendName == "bytecode" {
+			backend = cuttlesim.Bytecode
+		}
+		cs, err = cuttlesim.New(d, cuttlesim.Options{Level: level, Backend: backend, Coverage: coverage, Profile: profile})
+		if err != nil {
+			return err
+		}
+		for _, w := range cs.Warnings() {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		eng = cs
+	case "interp":
+		eng, err = interp.New(d)
+		if err != nil {
+			return err
+		}
+	case "rtl":
+		ckt, err := circuit.Compile(d, circuit.StyleKoika)
+		if err != nil {
+			return err
+		}
+		eng, err = rtlsim.New(ckt, rtlsim.Options{})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+	if coverage && cs == nil {
+		return fmt.Errorf("-cover requires the cuttlesim engine")
+	}
+
+	if vcdPath != "" {
+		f, err := os.Create(vcdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := vcd.Trace(f, eng, inst.Bench, cycles)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated %d cycles into %s\n", n, vcdPath)
+	} else {
+		n := sim.Run(eng, inst.Bench, cycles)
+		fmt.Printf("simulated %d cycles of %s on %s\n", n, d.Name, engine)
+	}
+
+	fmt.Println("\nrule status (last cycle):")
+	for _, name := range d.Schedule {
+		status := "failed"
+		if eng.RuleFired(name) {
+			status = "fired"
+		}
+		fmt.Printf("  %-28s %s\n", name, status)
+	}
+
+	if printRegs {
+		fmt.Println("\nregisters:")
+		for _, r := range d.Registers {
+			fmt.Printf("  %-28s %s\n", r.Name, r.Type.Format(eng.Reg(r.Name)))
+		}
+	}
+
+	if profile && cs != nil {
+		fmt.Println("\nrule profile:")
+		fmt.Printf("  %-28s %12s %12s %12s\n", "rule", "attempts", "commits", "aborts")
+		for _, st := range cs.RuleStats() {
+			fmt.Printf("  %-28s %12d %12d %12d\n", st.Rule, st.Attempts, st.Commits, st.Aborts())
+		}
+	}
+
+	if coverage {
+		fmt.Println("\ncoverage:")
+		fmt.Print(cover.Annotate(d, cs.Coverage()))
+	}
+	return nil
+}

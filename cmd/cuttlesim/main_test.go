@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cuttlego/internal/cuttlesim"
+)
+
+func TestRunEngines(t *testing.T) {
+	for _, engine := range []string{"cuttlesim", "interp", "rtl"} {
+		if err := run("collatz", engine, cuttlesim.LStatic, "closure", 50, false, false, "", true); err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+	if err := run("collatz", "cuttlesim", cuttlesim.LNaive, "bytecode", 50, false, false, "", false); err != nil {
+		t.Errorf("bytecode backend: %v", err)
+	}
+}
+
+func TestRunInstrumented(t *testing.T) {
+	if err := run("collatz", "cuttlesim", cuttlesim.LStatic, "closure", 50, true, true, "", false); err != nil {
+		t.Errorf("coverage+profile: %v", err)
+	}
+	vcdPath := filepath.Join(t.TempDir(), "out.vcd")
+	if err := run("collatz", "cuttlesim", cuttlesim.LStatic, "closure", 20, false, false, vcdPath, false); err != nil {
+		t.Errorf("vcd: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("collatz", "warp-drive", cuttlesim.LStatic, "closure", 1, false, false, "", false); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Errorf("err = %v", err)
+	}
+	if err := run("collatz", "interp", cuttlesim.LStatic, "closure", 1, true, false, "", false); err == nil ||
+		!strings.Contains(err.Error(), "requires the cuttlesim engine") {
+		t.Errorf("err = %v", err)
+	}
+}

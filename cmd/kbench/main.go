@@ -1,0 +1,79 @@
+// Command kbench regenerates the paper's evaluation artifacts: Table 1,
+// Figures 1–3, and the optimization-ladder ablation.
+//
+// Usage:
+//
+//	kbench [-table1] [-fig1] [-fig2] [-fig3] [-ablation] [-all]
+//	       [-cycles N] [-halt-budget N] [-full]
+//
+// With no selection flags, -all is assumed. -full uses paper-scale budgets
+// (minutes); the default budgets finish in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlego/internal/bench"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "regenerate Table 1")
+		fig1     = flag.Bool("fig1", false, "regenerate Figure 1")
+		fig2     = flag.Bool("fig2", false, "regenerate Figure 2")
+		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
+		ablation = flag.Bool("ablation", false, "run the optimization-ladder ablations")
+		verify   = flag.Bool("verify", false, "run the cross-pipeline conformance matrix")
+		full     = flag.Bool("full", false, "use paper-scale budgets")
+		cycles   = flag.Uint64("cycles", 0, "override the timed window (cycles)")
+		haltB    = flag.Uint64("halt-budget", 0, "override the Table 1 run-to-completion budget")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Cycles: 200_000, HaltBudget: 5_000_000}
+	if *full {
+		opts = bench.Full()
+	}
+	if *cycles != 0 {
+		opts.Cycles = *cycles
+	}
+	if *haltB != 0 {
+		opts.HaltBudget = *haltB
+	}
+
+	type job struct {
+		sel bool
+		run func() error
+	}
+	jobs := []job{
+		{*table1, func() error { return bench.Table1(os.Stdout, opts) }},
+		{*fig1, func() error { return bench.Fig1(os.Stdout, opts) }},
+		{*fig2, func() error { return bench.Fig2(os.Stdout, opts) }},
+		{*fig3, func() error { return bench.Fig3(os.Stdout, opts) }},
+		{*ablation, func() error {
+			if err := bench.Ablation(os.Stdout, opts); err != nil {
+				return err
+			}
+			fmt.Println()
+			return bench.AblationStress(os.Stdout, opts)
+		}},
+		{*verify, func() error { return bench.Conformance(os.Stdout, 1000) }},
+	}
+	any := false
+	for _, j := range jobs {
+		if j.sel {
+			any = true
+		}
+	}
+	for _, j := range jobs {
+		if !any || j.sel {
+			if err := j.run(); err != nil {
+				fmt.Fprintln(os.Stderr, "kbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}

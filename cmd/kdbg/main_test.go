@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/debug"
+)
+
+func newDebugger(t *testing.T) *debug.Debugger {
+	t.Helper()
+	inst, err := bench.Load("collatz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := debug.New(inst.Design, inst.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dbg
+}
+
+func runScript(t *testing.T, dbg *debug.Debugger, lines ...string) error {
+	t.Helper()
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		arg := func(i int, def string) string {
+			if len(fields) > i {
+				return fields[i]
+			}
+			return def
+		}
+		num := func(i int, def uint64) uint64 { return def }
+		rest := func() []string { return fields[1:] }
+		if err := dispatch(dbg, fields[0], arg, num, rest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestDispatchSession(t *testing.T) {
+	dbg := newDebugger(t)
+	err := runScript(t, dbg,
+		"step",
+		"print x",
+		"print",
+		"rules",
+		"break rule divide",
+		"continue",
+		"clear",
+		"watch done",
+		"trace",
+		"reverse",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbg.CycleCount() == 0 {
+		t.Error("session did not advance")
+	}
+}
+
+func TestDispatchWhen(t *testing.T) {
+	dbg := newDebugger(t)
+	if err := runScript(t, dbg, "when x.rd0() <u 32'd5", "continue"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dbg.Engine().Reg("x").Val; got >= 5 {
+		t.Errorf("stopped with x = %d", got)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	dbg := newDebugger(t)
+	if err := runScript(t, dbg, "frobnicate"); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := runScript(t, dbg, "break sideways"); err == nil {
+		t.Error("malformed break should error")
+	}
+	if err := runScript(t, dbg, "when x.wr0(32'd1) == 0'x0"); err == nil {
+		t.Error("effectful condition should error")
+	}
+	if err := runScript(t, dbg, "quit"); err != errQuit {
+		t.Errorf("quit returned %v", err)
+	}
+}

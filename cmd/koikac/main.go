@@ -1,0 +1,111 @@
+// Command koikac is the compiler front door: it loads a design (a
+// catalogued name or a .koika source file) and emits one of the toolchain's
+// artifacts — pretty-printed source, the readable C++ simulation model,
+// Verilog in either scheduling style, static-analysis facts, or netlist
+// statistics.
+//
+// Usage:
+//
+//	koikac -emit listing|model|verilog|analysis|stats [-style koika|bluespec] <design>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlego/internal/analysis"
+	"cuttlego/internal/bench"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cppgen"
+	"cuttlego/internal/gomodel"
+	"cuttlego/internal/verilog"
+)
+
+func main() {
+	emit := flag.String("emit", "listing", "artifact: listing, model, gomodel, verilog, analysis, stats")
+	styleName := flag.String("style", "koika", "verilog scheduling style: koika or bluespec")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: koikac [-emit kind] [-style s] <design>\ncatalogued designs: %v\n", bench.Names())
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *emit, *styleName); err != nil {
+		fmt.Fprintln(os.Stderr, "koikac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ref, emit, styleName string) error {
+	inst, err := bench.Load(ref)
+	if err != nil {
+		return err
+	}
+	d := inst.Design
+	style := circuit.StyleKoika
+	if styleName == "bluespec" {
+		style = circuit.StyleBluespec
+	} else if styleName != "koika" {
+		return fmt.Errorf("unknown style %q", styleName)
+	}
+
+	switch emit {
+	case "listing":
+		fmt.Print(d.Print().Text())
+	case "model":
+		text, err := cppgen.Emit(d)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	case "gomodel":
+		text, err := gomodel.Emit(d)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	case "verilog":
+		ckt, err := circuit.Compile(d, style)
+		if err != nil {
+			return err
+		}
+		fmt.Print(verilog.Emit(ckt))
+	case "analysis":
+		res, err := analysis.Analyze(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("design %s: %d registers, %d rules\n\n", d.Name, len(d.Registers), len(d.Rules))
+		fmt.Printf("%-28s %-10s %-5s %s\n", "register", "class", "safe", "goldberg")
+		for i, r := range d.Registers {
+			info := res.Regs[i]
+			fmt.Printf("%-28s %-10s %-5v %v\n", r.Name, info.Class, info.Safe, info.Goldberg)
+		}
+		fmt.Println()
+		fmt.Printf("%-28s %-8s %-8s %s\n", "rule", "mayFail", "mustFail", "footprint")
+		for i, r := range d.Rules {
+			info := res.Rules[i]
+			fmt.Printf("%-28s %-8v %-8v %d regs\n", r.Name, info.MayFail, info.MustFail, len(info.Footprint))
+		}
+	case "stats":
+		ckt, err := circuit.Compile(d, style)
+		if err != nil {
+			return err
+		}
+		s := ckt.Stats()
+		fmt.Printf("design %s (%s style): %d nets (%d muxes, %d binops, %d consts, %d extcalls), %d registers\n",
+			d.Name, style, s.Nets, s.Muxes, s.Binops, s.Consts, s.ExtCalls, s.Registers)
+		fmt.Printf("koika source: %d lines; generated model: %s lines; generated verilog: %d lines\n",
+			d.Print().SLOC(), must(cppgen.LineCount(d)), verilog.LineCount(ckt))
+	default:
+		return fmt.Errorf("unknown -emit %q", emit)
+	}
+	return nil
+}
+
+func must(n int, err error) string {
+	if err != nil {
+		return "?"
+	}
+	return fmt.Sprintf("%d", n)
+}

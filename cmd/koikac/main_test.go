@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunArtifacts(t *testing.T) {
+	for _, emit := range []string{"listing", "model", "gomodel", "verilog", "analysis", "stats"} {
+		if err := run("collatz", emit, "koika"); err != nil {
+			t.Errorf("emit %s: %v", emit, err)
+		}
+	}
+	if err := run("rv32i", "verilog", "bluespec"); err != nil {
+		t.Errorf("bluespec style: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		ref, emit, style string
+		want             string
+	}{
+		{"collatz", "nope", "koika", "unknown -emit"},
+		{"collatz", "listing", "fancy", "unknown style"},
+		{"ghost-design", "listing", "koika", "neither a catalogued design"},
+		{"rv32i", "gomodel", "koika", "external functions"},
+	}
+	for _, c := range cases {
+		err := run(c.ref, c.emit, c.style)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%s, %s, %s) error = %v, want substring %q", c.ref, c.emit, c.style, err, c.want)
+		}
+	}
+}

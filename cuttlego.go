@@ -1,0 +1,104 @@
+// Package cuttlego is a Go reproduction of "Effective simulation and
+// debugging for a high-level hardware language using software compilers"
+// (ASPLOS 2021): a complete toolchain for a Kôika-style rule-based hardware
+// description language with two fully separate pipelines —
+//
+//   - a simulation pipeline (Cuttlesim): a compiler that turns designs into
+//     fast sequential models built on lightweight transactions, driven by
+//     static analysis, with software-debugger ergonomics (stepping,
+//     breakpoints on FAIL, watchpoints, reverse execution) and Gcov-style
+//     coverage;
+//   - a synthesis pipeline: a compiler to combinational netlists (in both
+//     Kôika's dynamic and Bluespec's static scheduling styles), a
+//     cycle-based netlist simulator standing in for Verilator, and a
+//     Verilog emitter.
+//
+// Both pipelines are cycle-accurate with respect to each other and to a
+// reference interpreter of the language's one-rule-at-a-time semantics.
+//
+// This package is the facade: it re-exports the types and constructors a
+// downstream user needs. The implementation lives in the internal packages
+// (ast, analysis, interp, cuttlesim, circuit, rtlsim, verilog, cppgen,
+// debug, cover, vcd, lang, and the design substrates stdlib, rvcore, dsp,
+// stm, cache, riscv, workload, bench).
+package cuttlego
+
+import (
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/debug"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/lang"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/verilog"
+)
+
+// Core language types.
+type (
+	// Design is a complete rule-based design: registers, rules, schedule.
+	Design = ast.Design
+	// Node is an action/expression node built with the ast combinators.
+	Node = ast.Node
+	// Type is a value type: Bits(n), enums, packed structs.
+	Type = ast.Type
+	// Bits is a fixed-width bit-vector value.
+	Bits = bits.Bits
+	// Engine is any cycle-accurate simulator of a design.
+	Engine = sim.Engine
+	// Testbench drives an engine from outside between cycles.
+	Testbench = sim.Testbench
+	// SimOptions configures the Cuttlesim compiler.
+	SimOptions = cuttlesim.Options
+	// Simulator is a compiled Cuttlesim model.
+	Simulator = cuttlesim.Simulator
+	// Circuit is a compiled combinational netlist.
+	Circuit = circuit.Circuit
+	// Debugger wraps a design with interactive debugging.
+	Debugger = debug.Debugger
+)
+
+// NewDesign starts an empty design; populate it with the combinators in
+// internal/ast (or parse text with Parse).
+func NewDesign(name string) *Design { return ast.NewDesign(name) }
+
+// Parse elaborates textual source (the lang dialect) into a checked design.
+func Parse(src string) (*Design, error) { return lang.Parse(src) }
+
+// NewSimulator compiles a checked design with Cuttlesim. DefaultSimOptions
+// gives the fully optimized configuration.
+func NewSimulator(d *Design, opts SimOptions) (*Simulator, error) {
+	return cuttlesim.New(d, opts)
+}
+
+// DefaultSimOptions is the full paper configuration (all optimizations,
+// closure backend).
+func DefaultSimOptions() SimOptions { return cuttlesim.DefaultOptions() }
+
+// NewInterp builds the reference interpreter (the executable semantics).
+func NewInterp(d *Design) (Engine, error) { return interp.New(d) }
+
+// CompileCircuit lowers a design to a netlist in Kôika's dynamic
+// scheduling style (the hardware pipeline).
+func CompileCircuit(d *Design) (*Circuit, error) {
+	return circuit.Compile(d, circuit.StyleKoika)
+}
+
+// NewRTLSim simulates a netlist cycle by cycle (the Verilator substitute).
+func NewRTLSim(ckt *Circuit) (Engine, error) {
+	return rtlsim.New(ckt, rtlsim.Options{})
+}
+
+// EmitVerilog renders a compiled circuit as Verilog.
+func EmitVerilog(ckt *Circuit) string { return verilog.Emit(ckt) }
+
+// NewDebugger wraps a design (and optional testbench) in the interactive
+// debugger.
+func NewDebugger(d *Design, tb Testbench) (*Debugger, error) {
+	return debug.New(d, tb)
+}
+
+// Run drives an engine under a testbench for at most n cycles.
+func Run(e Engine, tb Testbench, n uint64) uint64 { return sim.Run(e, tb, n) }

@@ -1,0 +1,85 @@
+package cuttlego_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego"
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// The facade supports the full quickstart flow: build, simulate on both
+// pipelines, emit Verilog, and debug.
+func TestFacadeQuickstart(t *testing.T) {
+	d := cuttlego.NewDesign("counter")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := cuttlego.NewSimulator(d, cuttlego.DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuttlego.Run(s, nil, 10)
+	if got := s.Reg("x"); got != bits.New(8, 10) {
+		t.Errorf("x = %v", got)
+	}
+
+	ref, err := cuttlego.NewInterp(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuttlego.Run(ref, nil, 10)
+	if ref.Reg("x") != s.Reg("x") {
+		t.Error("pipelines disagree")
+	}
+
+	ckt, err := cuttlego.CompileCircuit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtl, err := cuttlego.NewRTLSim(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuttlego.Run(rtl, nil, 10)
+	if rtl.Reg("x") != s.Reg("x") {
+		t.Error("netlist pipeline disagrees")
+	}
+	if v := cuttlego.EmitVerilog(ckt); !strings.Contains(v, "module counter") {
+		t.Error("verilog emission broken")
+	}
+
+	dbg, err := cuttlego.NewDebugger(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg.Step()
+	if !strings.Contains(dbg.Print("x"), "8'x1") {
+		t.Errorf("debugger print = %q", dbg.Print("x"))
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	d, err := cuttlego.Parse(`
+design fromtext
+register x : bits<8> init 8'd7
+rule double:
+    x.wr0(x.rd0() + x.rd0())
+schedule: double
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cuttlego.NewSimulator(d, cuttlego.DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuttlego.Run(s, nil, 2)
+	if got := s.Reg("x"); got != bits.New(8, 28) {
+		t.Errorf("x = %v", got)
+	}
+}

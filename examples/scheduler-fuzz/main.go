@@ -1,0 +1,58 @@
+// scheduler-fuzz is Case Study 2: functional verification with scheduler
+// randomization. A good rule-based design uses its scheduler for
+// performance, never for correctness, so the rv32i core must compute the
+// same architectural result under every rule order — only cycle counts may
+// change.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/rvcore"
+	"cuttlego/internal/workload"
+)
+
+func main() {
+	prog := workload.Primes(60)
+	want := workload.PrimesExpected(60)
+	fmt.Printf("primes(60) ground truth: %d\n\n", want)
+	fmt.Printf("%-36s %10s %10s %8s\n", "schedule", "tohost", "cycles", "IPC")
+
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		mem := riscv.NewMemory()
+		mem.LoadWords(0, prog)
+		d, core := rvcore.Build(rvcore.RV32I(), mem)
+		orig := append([]string(nil), d.Schedule...)
+		perm := r.Perm(len(orig))
+		for i, j := range perm {
+			d.Schedule[i] = orig[j]
+		}
+		if err := d.Check(); err != nil {
+			log.Fatal(err)
+		}
+		s, err := cuttlesim.New(d, cuttlesim.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rvcore.RunProgram(s, rvcore.NewBench(core), 10_000_000)
+		if err != nil {
+			log.Fatalf("schedule %v: %v", d.Schedule, err)
+		}
+		status := "ok"
+		if res[0].ToHost != want {
+			status = "WRONG RESULT"
+		}
+		fmt.Printf("%-36v %10d %10d %8.3f  %s\n",
+			d.Schedule, res[0].ToHost, res[0].Cycles, res[0].IPC, status)
+		if res[0].ToHost != want {
+			log.Fatal("the design depends on its scheduler for functional correctness")
+		}
+	}
+	fmt.Println("\nall schedules agree on the architectural result; the design is")
+	fmt.Println("correct independently of rule ordering (cycle counts differ, as expected).")
+}

@@ -1,0 +1,3 @@
+module cuttlego
+
+go 1.22

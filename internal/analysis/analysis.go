@@ -1,0 +1,470 @@
+// Package analysis implements the abstract-interpretation pass of the
+// paper's §3.3. For every rule it computes a conservative approximation of
+// the rule log at each read, write, and abort (a tribool per register per
+// port), whether each operation might cause a failure, and the rule's
+// footprint; for the whole design it combines the rule logs into a cycle
+// log approximation and classifies each register as a plain register, a
+// wire, or an EHR, and as safe (can never be a source of conflicts) or not.
+//
+// The Cuttlesim compiler (package cuttlesim) consumes this to minimize
+// read-write sets, elide tracking for safe registers, restrict commits and
+// rollbacks to footprints, and exit failing rules without rollback.
+package analysis
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+)
+
+// Tri is a three-valued truth: an event definitely did not happen, may have
+// happened, or definitely happened on every path.
+type Tri uint8
+
+// Tri values, ordered so Join is max on {No, Maybe} and meet-aware on Yes.
+const (
+	No Tri = iota
+	Maybe
+	Yes
+)
+
+func (t Tri) String() string { return [...]string{"no", "maybe", "yes"}[t] }
+
+// Possible reports whether the event can happen at all.
+func (t Tri) Possible() bool { return t != No }
+
+// Join combines the two branches of a conditional: an event is Yes only if
+// both branches perform it, No only if neither may.
+func (t Tri) Join(o Tri) Tri {
+	if t == o {
+		return t
+	}
+	return Maybe
+}
+
+// Then sequences: the event happened if it happened before or happens now.
+func (t Tri) Then(o Tri) Tri {
+	if t == Yes || o == Yes {
+		return Yes
+	}
+	if t == Maybe || o == Maybe {
+		return Maybe
+	}
+	return No
+}
+
+// Demote caps a tribool at Maybe (used when the enclosing rule itself may
+// not commit).
+func (t Tri) Demote() Tri {
+	if t == Yes {
+		return Maybe
+	}
+	return t
+}
+
+// Events approximates one register's entry in a log: one tribool per
+// tracked operation.
+type Events struct {
+	Rd0, Rd1, Wr0, Wr1 Tri
+}
+
+// Join merges branch outcomes pointwise.
+func (e Events) Join(o Events) Events {
+	return Events{e.Rd0.Join(o.Rd0), e.Rd1.Join(o.Rd1), e.Wr0.Join(o.Wr0), e.Wr1.Join(o.Wr1)}
+}
+
+// Then sequences event sets pointwise.
+func (e Events) Then(o Events) Events {
+	return Events{e.Rd0.Then(o.Rd0), e.Rd1.Then(o.Rd1), e.Wr0.Then(o.Wr0), e.Wr1.Then(o.Wr1)}
+}
+
+// Demote caps every tribool at Maybe.
+func (e Events) Demote() Events {
+	return Events{e.Rd0.Demote(), e.Rd1.Demote(), e.Wr0.Demote(), e.Wr1.Demote()}
+}
+
+// AnyWrite reports whether a write at either port may occur.
+func (e Events) AnyWrite() bool { return e.Wr0.Possible() || e.Wr1.Possible() }
+
+// Modifies reports whether the entry changes anything a rollback would have
+// to undo: data (writes) or checked read-write-set bits (rd1).
+func (e Events) Modifies() bool { return e.Rd1.Possible() || e.AnyWrite() }
+
+// RegClass classifies how a design uses a register's ports (§3.3,
+// "Minimize read-write sets").
+type RegClass int
+
+// Register classes.
+const (
+	// ClassUnused: no rule touches the register (testbench-only I/O).
+	ClassUnused RegClass = iota
+	// ClassPlain: read and written only at port 0.
+	ClassPlain
+	// ClassWire: written at port 0 and read at port 1.
+	ClassWire
+	// ClassEHR: any richer use of the ports.
+	ClassEHR
+)
+
+func (c RegClass) String() string {
+	return [...]string{"unused", "register", "wire", "ehr"}[c]
+}
+
+// OpInfo annotates one read, write, or fail node.
+type OpInfo struct {
+	// Rule is the rule index the node belongs to.
+	Rule int
+	// Reg is the register index a read/write touches; -1 for fail nodes.
+	Reg int
+	// Prior is the approximation of the (non-accumulated) rule log entry
+	// for this node's register just before the node runs.
+	Prior Events
+	// MayFail reports whether the operation's semantic checks might fail,
+	// considering both the cycle-log approximation and Prior.
+	MayFail bool
+	// CleanBefore reports whether no modification (rd1 or write, on any
+	// register) can precede this node within its rule: a failure here needs
+	// no rollback.
+	CleanBefore bool
+}
+
+// RuleInfo summarizes one rule.
+type RuleInfo struct {
+	// Log approximates the rule's final log (assuming it commits).
+	Log []Events
+	// MayFail reports whether the rule can abort (explicitly or through a
+	// conflicting operation).
+	MayFail bool
+	// MustFail reports whether the rule aborts on every path.
+	MustFail bool
+	// Footprint lists registers whose log entries a commit or rollback must
+	// copy: those that may be read at port 1 or written.
+	Footprint []int
+	// WriteSet lists registers that may be written.
+	WriteSet []int
+}
+
+// RegInfo summarizes one register.
+type RegInfo struct {
+	Class RegClass
+	// Safe: no operation on this register can ever fail, so Cuttlesim may
+	// drop its read-write sets entirely.
+	Safe bool
+	// Goldberg: some rule reads the register after writing it in a way
+	// that makes the merged-data representation observe the wrong value
+	// (rd0 after any write, or rd1 after wr1, within one rule). Such
+	// registers keep split data fields at optimization levels ≥ 4.
+	Goldberg bool
+	// Use is the union of the committed-log approximations of all rules.
+	Use Events
+}
+
+// Result is the full analysis output.
+type Result struct {
+	Design *ast.Design
+	Rules  []RuleInfo
+	Regs   []RegInfo
+	// CycleBefore[i] approximates the cycle log before the i-th scheduled
+	// rule runs; CycleEnd approximates it at the end of the cycle.
+	CycleBefore [][]Events
+	CycleEnd    []Events
+	// Ops annotates read/write/fail nodes by node ID (nil for other nodes).
+	Ops []*OpInfo
+}
+
+// Analyze runs the pass over a checked design.
+func Analyze(d *ast.Design) (*Result, error) {
+	if !d.Checked() {
+		return nil, fmt.Errorf("analysis: design %q is not checked", d.Name)
+	}
+	nregs := len(d.Registers)
+	res := &Result{
+		Design: d,
+		Rules:  make([]RuleInfo, len(d.Rules)),
+		Regs:   make([]RegInfo, nregs),
+		Ops:    make([]*OpInfo, d.NodeCount),
+	}
+
+	// Pass 1: per-rule abstract logs, ignoring the surrounding cycle (the
+	// cycle-dependent MayFail bits are filled in pass 2).
+	for ri := range d.Rules {
+		a := &abstract{d: d, res: res, rule: ri, log: make([]Events, nregs)}
+		st := a.walk(d.Rules[ri].Body, pathState{})
+		info := &res.Rules[ri]
+		info.Log = a.log
+		info.MustFail = st.mustFail
+		info.MayFail = st.mayFail.Possible()
+		for r := 0; r < nregs; r++ {
+			e := a.log[r]
+			if e.Modifies() {
+				info.Footprint = append(info.Footprint, r)
+			}
+			if e.AnyWrite() {
+				info.WriteSet = append(info.WriteSet, r)
+			}
+		}
+	}
+
+	// Pass 2: accumulate the cycle log across the schedule and decide which
+	// operations may fail against it.
+	sched := d.ScheduledRules()
+	res.CycleBefore = make([][]Events, len(sched))
+	cycle := make([]Events, nregs)
+	for si, ri := range sched {
+		before := make([]Events, nregs)
+		copy(before, cycle)
+		res.CycleBefore[si] = before
+
+		info := &res.Rules[ri]
+		// Decide per-op failure against this cycle prefix. A rule that can
+		// fail contributes only Maybe events; one that must fail
+		// contributes nothing.
+		mayFail := annotateFailures(d, res, ri, before)
+		if mayFail {
+			info.MayFail = true
+		}
+		contrib := info.Log
+		if info.MustFail {
+			continue
+		}
+		for r := 0; r < nregs; r++ {
+			e := contrib[r]
+			if info.MayFail {
+				e = e.Demote()
+			}
+			cycle[r] = cycle[r].Then(e)
+		}
+	}
+	res.CycleEnd = cycle
+
+	// Pass 3: classify registers.
+	for r := 0; r < nregs; r++ {
+		use := Events{}
+		for ri := range d.Rules {
+			use = use.Then(res.Rules[ri].Log[r].Demote())
+		}
+		ri := &res.Regs[r]
+		ri.Use = use
+		switch {
+		case use == Events{}:
+			ri.Class = ClassUnused
+		case !use.Rd1.Possible() && !use.Wr1.Possible():
+			ri.Class = ClassPlain
+		case !use.Rd0.Possible() && !use.Wr1.Possible():
+			ri.Class = ClassWire
+		default:
+			ri.Class = ClassEHR
+		}
+		ri.Safe = true
+	}
+	for _, op := range res.Ops {
+		if op != nil && op.MayFail && op.Reg >= 0 {
+			res.Regs[op.Reg].Safe = false
+		}
+	}
+	return res, nil
+}
+
+// pathState threads control-flow facts through the abstract walk.
+type pathState struct {
+	mayFail  Tri  // an abort may already have happened on this path
+	mustFail bool // every path so far aborts
+	modified Tri  // some modification (rd1/write) may already have happened
+}
+
+func (p pathState) join(o pathState) pathState {
+	return pathState{
+		mayFail:  p.mayFail.Join(o.mayFail),
+		mustFail: p.mustFail && o.mustFail,
+		modified: p.modified.Join(o.modified),
+	}
+}
+
+type abstract struct {
+	d    *ast.Design
+	res  *Result
+	rule int
+	log  []Events
+}
+
+func (a *abstract) note(n *ast.Node, reg int, st pathState) *OpInfo {
+	var prior Events
+	if reg >= 0 {
+		prior = a.log[reg]
+	}
+	op := &OpInfo{
+		Rule:        a.rule,
+		Reg:         reg,
+		Prior:       prior,
+		CleanBefore: !st.modified.Possible(),
+	}
+	a.res.Ops[n.ID] = op
+	return op
+}
+
+// walk interprets n abstractly, updating the rule log and returning the
+// outgoing path state. Events recorded under conditionals are joined to
+// Maybe by the callers via branch copies of the log.
+func (a *abstract) walk(n *ast.Node, st pathState) pathState {
+	if n == nil {
+		return st
+	}
+	switch n.Kind {
+	case ast.KConst, ast.KVar:
+		return st
+
+	case ast.KLet:
+		st = a.walk(n.A, st)
+		return a.walk(n.B, st)
+
+	case ast.KAssign, ast.KUnop, ast.KField:
+		return a.walk(n.A, st)
+
+	case ast.KSeq:
+		for _, it := range n.Items {
+			st = a.walk(it, st)
+		}
+		return st
+
+	case ast.KBinop, ast.KSetField:
+		st = a.walk(n.A, st)
+		return a.walk(n.B, st)
+
+	case ast.KExtCall, ast.KPack:
+		for _, it := range n.Items {
+			st = a.walk(it, st)
+		}
+		return st
+
+	case ast.KIf:
+		st = a.walk(n.A, st)
+		thenLog := make([]Events, len(a.log))
+		copy(thenLog, a.log)
+		saved := a.log
+		a.log = thenLog
+		thenSt := a.walk(n.B, st)
+		thenLog = a.log
+		a.log = saved
+		elseSt := st
+		if n.C != nil {
+			elseSt = a.walk(n.C, st)
+		}
+		for r := range a.log {
+			a.log[r] = a.log[r].Join(thenLog[r])
+		}
+		return thenSt.join(elseSt)
+
+	case ast.KSwitch:
+		st = a.walk(n.A, st)
+		baseLog := make([]Events, len(a.log))
+		copy(baseLog, a.log)
+		out := pathState{mayFail: Yes, mustFail: true, modified: Yes} // identity for join
+		first := true
+		mergeArm := func(body *ast.Node) {
+			armLog := make([]Events, len(baseLog))
+			copy(armLog, baseLog)
+			saved := a.log
+			a.log = armLog
+			armSt := a.walk(body, st)
+			armLog = a.log
+			a.log = saved
+			if first {
+				copy(a.log, armLog)
+				out = armSt
+				first = false
+				return
+			}
+			for r := range a.log {
+				a.log[r] = a.log[r].Join(armLog[r])
+			}
+			out = out.join(armSt)
+		}
+		for i := 0; i+1 < len(n.Items); i += 2 {
+			mergeArm(n.Items[i+1])
+		}
+		mergeArm(n.C)
+		return out
+
+	case ast.KRead:
+		reg := a.d.RegIndex(n.Name)
+		a.note(n, reg, st)
+		e := &a.log[reg]
+		if n.Port == ast.P0 {
+			e.Rd0 = e.Rd0.Then(Yes)
+		} else {
+			e.Rd1 = e.Rd1.Then(Yes)
+			st.modified = st.modified.Then(Yes)
+		}
+		return st
+
+	case ast.KWrite:
+		st = a.walk(n.A, st)
+		reg := a.d.RegIndex(n.Name)
+		a.note(n, reg, st)
+		e := &a.log[reg]
+		if n.Port == ast.P0 {
+			e.Wr0 = e.Wr0.Then(Yes)
+		} else {
+			e.Wr1 = e.Wr1.Then(Yes)
+		}
+		st.modified = st.modified.Then(Yes)
+		return st
+
+	case ast.KFail:
+		a.note(n, -1, st)
+		st.mayFail = st.mayFail.Then(Yes)
+		st.mustFail = true
+		return st
+	}
+	panic(fmt.Sprintf("analysis: unknown node kind %v", n.Kind))
+}
+
+// annotateFailures walks one rule deciding, for each op, whether its checks
+// can fail against the given cycle-log prefix plus the op's Prior rule log.
+// It also flags Goldberg registers. Returns whether any op may fail.
+func annotateFailures(d *ast.Design, res *Result, rule int, cycle []Events) bool {
+	mayFail := res.Rules[rule].MustFail
+	var walk func(n *ast.Node)
+	walk = func(n *ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case ast.KRead, ast.KWrite:
+			op := res.Ops[n.ID]
+			reg := d.RegIndex(n.Name)
+			L := cycle[reg]
+			prior := op.Prior
+			switch {
+			case n.Kind == ast.KRead && n.Port == ast.P0:
+				op.MayFail = L.Wr0.Possible() || L.Wr1.Possible()
+				if prior.AnyWrite() {
+					res.Regs[reg].Goldberg = true
+				}
+			case n.Kind == ast.KRead && n.Port == ast.P1:
+				op.MayFail = L.Wr1.Possible()
+				if prior.Wr1.Possible() {
+					res.Regs[reg].Goldberg = true
+				}
+			case n.Kind == ast.KWrite && n.Port == ast.P0:
+				op.MayFail = L.Rd1.Possible() || L.Wr0.Possible() || L.Wr1.Possible() ||
+					prior.Rd1.Possible() || prior.Wr0.Possible() || prior.Wr1.Possible()
+			default: // write at port 1
+				op.MayFail = L.Wr1.Possible() || prior.Wr1.Possible()
+			}
+			if op.MayFail {
+				mayFail = true
+			}
+		case ast.KFail:
+			mayFail = true
+		}
+		walk(n.A)
+		walk(n.B)
+		walk(n.C)
+		for _, it := range n.Items {
+			walk(it)
+		}
+	}
+	walk(d.Rules[rule].Body)
+	return mayFail
+}

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"testing"
+
+	"cuttlego/internal/ast"
+)
+
+func analyze(t *testing.T, d *ast.Design) *Result {
+	t.Helper()
+	res, err := Analyze(d.MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRequiresCheckedDesign(t *testing.T) {
+	if _, err := Analyze(ast.NewDesign("d")); err == nil {
+		t.Fatal("Analyze accepted an unchecked design")
+	}
+}
+
+func TestTriLattice(t *testing.T) {
+	if No.Join(No) != No || Yes.Join(Yes) != Yes {
+		t.Error("join not idempotent on extremes")
+	}
+	if No.Join(Yes) != Maybe || Yes.Join(No) != Maybe || Maybe.Join(Yes) != Maybe {
+		t.Error("join of differing values must be Maybe")
+	}
+	if No.Then(Yes) != Yes || Maybe.Then(No) != Maybe || No.Then(No) != No {
+		t.Error("Then sequencing broken")
+	}
+	if Yes.Demote() != Maybe || No.Demote() != No {
+		t.Error("Demote broken")
+	}
+	if No.Possible() || !Maybe.Possible() || !Yes.Possible() {
+		t.Error("Possible broken")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("plain", ast.Bits(8), 0)
+	d.Reg("wire", ast.Bits(8), 0)
+	d.Reg("ehr", ast.Bits(8), 0)
+	d.Reg("unused", ast.Bits(8), 0)
+	d.Rule("producer",
+		ast.Wr0("plain", ast.Add(ast.Rd0("plain"), ast.C(8, 1))),
+		ast.Wr0("wire", ast.Rd0("plain")),
+	)
+	d.Rule("consumer",
+		ast.Wr1("ehr", ast.Rd1("wire")),
+	)
+	res := analyze(t, d)
+	if got := res.Regs[d.RegIndex("plain")].Class; got != ClassPlain {
+		t.Errorf("plain classified %v", got)
+	}
+	if got := res.Regs[d.RegIndex("wire")].Class; got != ClassWire {
+		t.Errorf("wire classified %v", got)
+	}
+	if got := res.Regs[d.RegIndex("ehr")].Class; got != ClassEHR {
+		t.Errorf("ehr classified %v", got)
+	}
+	if got := res.Regs[d.RegIndex("unused")].Class; got != ClassUnused {
+		t.Errorf("unused classified %v", got)
+	}
+}
+
+// A single rule reading and writing a register at port 0 can never conflict
+// with itself: the register is safe.
+func TestSafeRegister(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	res := analyze(t, d)
+	if !res.Regs[0].Safe {
+		t.Error("x should be safe")
+	}
+	if res.Rules[0].MayFail {
+		t.Error("inc can never fail")
+	}
+}
+
+// Two rules writing the same register: the second write may fail, so the
+// register is unsafe and the second rule may fail.
+func TestUnsafeOnWriteConflict(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("a", ast.Wr0("x", ast.C(8, 1)))
+	d.Rule("b", ast.Wr0("x", ast.C(8, 2)))
+	res := analyze(t, d)
+	if res.Regs[0].Safe {
+		t.Error("x should be unsafe")
+	}
+	if res.Rules[0].MayFail {
+		t.Error("first writer cannot fail")
+	}
+	if !res.Rules[1].MayFail {
+		t.Error("second writer may fail")
+	}
+}
+
+// A wire written before it is read (in schedule order) is safe; written
+// after a read at port 1, the write may fail.
+func TestWireSafety(t *testing.T) {
+	build := func(writerFirst bool) *ast.Design {
+		d := ast.NewDesign("d")
+		d.Reg("w", ast.Bits(8), 0)
+		d.Reg("sink", ast.Bits(8), 0)
+		d.AddRule("writer", ast.Wr0("w", ast.C(8, 7)))
+		d.AddRule("reader", ast.Wr0("sink", ast.Rd1("w")))
+		if writerFirst {
+			d.Schedule = []string{"writer", "reader"}
+		} else {
+			d.Schedule = []string{"reader", "writer"}
+		}
+		return d
+	}
+	res := analyze(t, build(true))
+	if !res.Regs[0].Safe {
+		t.Error("writer-then-reader wire should be safe")
+	}
+	res = analyze(t, build(false))
+	if res.Regs[0].Safe {
+		t.Error("reader-then-writer wire should be unsafe")
+	}
+	if !res.Rules[0].MayFail {
+		// rules[0] is "writer" (AddRule order), which now runs second.
+		t.Error("writer scheduled after reader may fail")
+	}
+}
+
+func TestConditionalEventsAreMaybe(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("c", ast.Bits(1), 0)
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("r", ast.When(ast.Rd0("c"), ast.Wr0("x", ast.C(8, 1))))
+	res := analyze(t, d)
+	if got := res.Rules[0].Log[d.RegIndex("x")].Wr0; got != Maybe {
+		t.Errorf("conditional wr0 = %v, want maybe", got)
+	}
+	if got := res.Rules[0].Log[d.RegIndex("c")].Rd0; got != Yes {
+		t.Errorf("unconditional rd0 = %v, want yes", got)
+	}
+}
+
+func TestBothBranchesYieldYes(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("c", ast.Bits(1), 0)
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("r", ast.If(ast.Rd0("c"),
+		ast.Wr0("x", ast.C(8, 1)),
+		ast.Wr0("x", ast.C(8, 2)),
+	))
+	res := analyze(t, d)
+	if got := res.Rules[0].Log[d.RegIndex("x")].Wr0; got != Yes {
+		t.Errorf("wr0 in both branches = %v, want yes", got)
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("a", ast.Bits(8), 0)
+	d.Reg("b", ast.Bits(8), 0)
+	d.Reg("c", ast.Bits(8), 0)
+	d.Rule("r",
+		ast.Wr0("b", ast.Rd0("a")),
+		ast.Wr0("c", ast.Rd1("b")),
+	)
+	res := analyze(t, d)
+	info := res.Rules[0]
+	// Footprint: b (rd1+wr0) and c (wr0); not a (rd0 only).
+	if len(info.Footprint) != 2 || info.Footprint[0] != 1 || info.Footprint[1] != 2 {
+		t.Errorf("footprint = %v", info.Footprint)
+	}
+	if len(info.WriteSet) != 2 {
+		t.Errorf("write set = %v", info.WriteSet)
+	}
+}
+
+func TestMustFail(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("dead", ast.Wr0("x", ast.C(8, 1)), ast.Fail())
+	d.Rule("alive", ast.Wr0("x", ast.C(8, 2)))
+	res := analyze(t, d)
+	if !res.Rules[0].MustFail {
+		t.Error("dead must fail")
+	}
+	// Because dead never commits, alive's write sees an empty cycle log.
+	if res.Rules[1].MayFail {
+		t.Error("alive cannot fail: dead never commits")
+	}
+	if res.Regs[0].Safe == false {
+		t.Error("x stays safe")
+	}
+}
+
+func TestGuardMayFailButNotMustFail(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("g", ast.Guard(ast.Eq(ast.Rd0("x"), ast.C(8, 0))), ast.Wr0("x", ast.C(8, 1)))
+	res := analyze(t, d)
+	if !res.Rules[0].MayFail || res.Rules[0].MustFail {
+		t.Errorf("guarded rule: mayFail=%v mustFail=%v", res.Rules[0].MayFail, res.Rules[0].MustFail)
+	}
+}
+
+func TestGoldbergDetection(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 0)
+	d.Reg("s0", ast.Bits(8), 0)
+	d.Reg("s1", ast.Bits(8), 0)
+	d.Rule("rl",
+		ast.Wr0("r", ast.C(8, 1)),
+		ast.Wr1("r", ast.C(8, 2)),
+		ast.Wr0("s0", ast.Rd0("r")),
+		ast.Wr0("s1", ast.Rd1("r")),
+	)
+	res := analyze(t, d)
+	if !res.Regs[d.RegIndex("r")].Goldberg {
+		t.Error("r should be flagged Goldberg")
+	}
+	if res.Regs[d.RegIndex("s0")].Goldberg {
+		t.Error("s0 should not be flagged")
+	}
+}
+
+func TestRd1AfterOwnWr0IsNotGoldberg(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 0)
+	d.Reg("s", ast.Bits(8), 0)
+	d.Rule("rl",
+		ast.Wr0("r", ast.C(8, 1)),
+		ast.Wr0("s", ast.Rd1("r")),
+	)
+	res := analyze(t, d)
+	if res.Regs[d.RegIndex("r")].Goldberg {
+		t.Error("rd1 after own wr0 is the normal forwarding pattern, not Goldberg")
+	}
+}
+
+func TestCleanBefore(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("g", ast.Bits(1), 0)
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("rl",
+		ast.Guard(ast.Rd0("g")), // fail here is clean: only rd0s before
+		ast.Wr0("x", ast.C(8, 1)),
+		ast.Guard(ast.Rd0("g")), // fail here is dirty: wr0 precedes
+	)
+	res := analyze(t, d)
+	var fails []*OpInfo
+	for _, op := range res.Ops {
+		if op != nil && op.Reg == -1 {
+			fails = append(fails, op)
+		}
+	}
+	if len(fails) != 2 {
+		t.Fatalf("found %d fail annotations", len(fails))
+	}
+	if !fails[0].CleanBefore {
+		t.Error("first guard failure should be clean")
+	}
+	if fails[1].CleanBefore {
+		t.Error("second guard failure should be dirty")
+	}
+}
+
+func TestCycleBeforeAccumulates(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("g", ast.Bits(1), 0)
+	d.Rule("always", ast.Wr0("x", ast.C(8, 1)))
+	d.Rule("maybe", ast.Guard(ast.Rd0("g")), ast.Wr1("x", ast.C(8, 2)))
+	d.Rule("last", ast.When(ast.Rd0("g"), ast.Skip()))
+	res := analyze(t, d)
+	if got := res.CycleBefore[0][0]; (got != Events{}) {
+		t.Errorf("cycle log before first rule = %+v, want empty", got)
+	}
+	if got := res.CycleBefore[1][0].Wr0; got != Yes {
+		t.Errorf("wr0 before second rule = %v, want yes", got)
+	}
+	if got := res.CycleBefore[2][0].Wr1; got != Maybe {
+		t.Errorf("wr1 before third rule = %v, want maybe (guarded rule)", got)
+	}
+	if got := res.CycleEnd[0].Wr0; got != Yes {
+		t.Errorf("end-of-cycle wr0 = %v", got)
+	}
+}
+
+func TestSwitchJoins(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("o", ast.Bits(2), 0)
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("y", ast.Bits(8), 0)
+	d.Rule("r", ast.Switch(ast.Rd0("o"),
+		ast.Wr0("x", ast.C(8, 0)), // default: writes x only
+		ast.Case{Match: ast.C(2, 1), Body: ast.Seq(ast.Wr0("x", ast.C(8, 1)), ast.Wr0("y", ast.C(8, 1)))},
+		ast.Case{Match: ast.C(2, 2), Body: ast.Wr0("x", ast.C(8, 2))},
+	))
+	res := analyze(t, d)
+	if got := res.Rules[0].Log[d.RegIndex("x")].Wr0; got != Yes {
+		t.Errorf("x written in all arms = %v, want yes", got)
+	}
+	if got := res.Rules[0].Log[d.RegIndex("y")].Wr0; got != Maybe {
+		t.Errorf("y written in one arm = %v, want maybe", got)
+	}
+}
+
+func TestUnscheduledRuleDoesNotPollute(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.AddRule("ghost", ast.Wr0("x", ast.C(8, 9)))
+	d.AddRule("real", ast.Wr0("x", ast.C(8, 1)))
+	d.Schedule = []string{"real"}
+	res := analyze(t, d)
+	if res.Rules[d.RuleIndex("real")].MayFail {
+		t.Error("real cannot fail; ghost is not scheduled")
+	}
+}

@@ -1,0 +1,305 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/bits"
+)
+
+func TestEnumType(t *testing.T) {
+	e := NewEnum("state", 0, "A", "B", "C")
+	if e.BitWidth() != 2 {
+		t.Errorf("width = %d", e.BitWidth())
+	}
+	if e.Value("C") != bits.New(2, 2) {
+		t.Errorf("Value(C) = %v", e.Value("C"))
+	}
+	if got := e.Format(bits.New(2, 1)); got != "state::B" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := e.Format(bits.New(2, 3)); !strings.Contains(got, "invalid") {
+		t.Errorf("Format of invalid = %q", got)
+	}
+	if w := NewEnum("one", 0, "only").BitWidth(); w != 1 {
+		t.Errorf("single-member enum width = %d", w)
+	}
+	if w := NewEnum("wide", 8, "a", "b").BitWidth(); w != 8 {
+		t.Errorf("explicit width = %d", w)
+	}
+}
+
+func TestEnumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("undersized enum width did not panic")
+		}
+	}()
+	NewEnum("bad", 1, "a", "b", "c")
+}
+
+func TestStructPacking(t *testing.T) {
+	st := NewStruct("mshr",
+		StructField{"tag", NewEnum("tag", 2, "Ready", "SendFillReq", "WaitFillResp")},
+		StructField{"addr", Bits(8)},
+		StructField{"valid", Bits(1)},
+	)
+	if st.BitWidth() != 11 {
+		t.Fatalf("width = %d", st.BitWidth())
+	}
+	// First field occupies the most significant bits.
+	if st.Offset("tag") != 9 || st.Offset("addr") != 1 || st.Offset("valid") != 0 {
+		t.Errorf("offsets = %d %d %d", st.Offset("tag"), st.Offset("addr"), st.Offset("valid"))
+	}
+	v := st.PackValues(bits.New(2, 2), bits.New(8, 0xab), bits.New(1, 1))
+	if v != bits.New(11, 2<<9|0xab<<1|1) {
+		t.Errorf("packed = %v", v)
+	}
+	f := st.Format(v)
+	if !strings.Contains(f, "tag: tag::WaitFillResp") || !strings.Contains(f, "addr: 8'xab") {
+		t.Errorf("Format = %q", f)
+	}
+}
+
+func twoStateMachine() *Design {
+	d := NewDesign("stm")
+	st := NewEnum("state", 1, "A", "B")
+	d.Reg("st", st, 0)
+	d.Reg("x", Bits(32), 0)
+	d.Rule("rlA",
+		Guard(Eq(Rd0("st"), E(st, "A"))),
+		Wr0("st", E(st, "B")),
+		Wr0("x", Add(Rd0("x"), C(32, 1))),
+	)
+	d.Rule("rlB",
+		Guard(Eq(Rd0("st"), E(st, "B"))),
+		Wr0("st", E(st, "A")),
+		Wr0("x", Mul(Rd0("x"), C(32, 3))),
+	)
+	return d
+}
+
+func TestCheckAssignsIDsAndWidths(t *testing.T) {
+	d := twoStateMachine()
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NodeCount == 0 {
+		t.Fatal("no node IDs assigned")
+	}
+	seen := make(map[int]bool)
+	var walk func(n *Node)
+	var total int
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		total++
+		if seen[n.ID] {
+			t.Fatalf("duplicate node ID %d", n.ID)
+		}
+		seen[n.ID] = true
+		walk(n.A)
+		walk(n.B)
+		walk(n.C)
+		for _, it := range n.Items {
+			walk(it)
+		}
+	}
+	for i := range d.Rules {
+		walk(d.Rules[i].Body)
+	}
+	if total != d.NodeCount {
+		t.Errorf("walked %d nodes, NodeCount = %d", total, d.NodeCount)
+	}
+	if d.Rules[0].Body.W != 0 {
+		t.Errorf("rule body width = %d", d.Rules[0].Body.W)
+	}
+}
+
+func TestCheckIdempotent(t *testing.T) {
+	d := twoStateMachine()
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	n := d.NodeCount
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NodeCount != n {
+		t.Error("second Check changed NodeCount")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Design
+		want  string
+	}{
+		{"unknown register", func() *Design {
+			d := NewDesign("d")
+			d.Rule("r", Wr0("nope", C(4, 0)))
+			return d
+		}, "unknown register"},
+		{"width mismatch write", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", Wr0("x", C(4, 0)))
+			return d
+		}, "writing 4 bits"},
+		{"unbound variable", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", Wr0("x", V("ghost")))
+			return d
+		}, "unbound variable"},
+		{"condition width", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", If(Rd0("x"), Skip()))
+			return d
+		}, "condition must be 1 bit"},
+		{"branch widths", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", Wr0("x", If(Eq(Rd0("x"), C(8, 0)), C(8, 1), C(4, 1))))
+			return d
+		}, "branch widths differ"},
+		{"non-unit rule", func() *Design {
+			d := NewDesign("d")
+			d.Rule("r", C(4, 2))
+			return d
+		}, "unit-valued"},
+		{"binop width", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", Wr0("x", Add(Rd0("x"), C(4, 1))))
+			return d
+		}, "operand widths differ"},
+		{"duplicate rule", func() *Design {
+			d := NewDesign("d")
+			d.Rule("r", Skip())
+			d.Rule("r", Skip())
+			return d
+		}, "duplicate rule"},
+		{"duplicate register", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(1), 0)
+			d.Reg("x", Bits(1), 0)
+			return d
+		}, "duplicate register"},
+		{"schedule unknown", func() *Design {
+			d := NewDesign("d")
+			d.Schedule = append(d.Schedule, "ghost")
+			return d
+		}, "schedule mentions unknown"},
+		{"assign width", func() *Design {
+			d := NewDesign("d")
+			d.Rule("r", Let("v", C(8, 0), Set("v", C(4, 0))))
+			return d
+		}, "assigning 4 bits"},
+		{"field on bits", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", Wr0("x", Field(Rd0("x"), "f")))
+			return d
+		}, "non-struct"},
+		{"switch non-const", func() *Design {
+			d := NewDesign("d")
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", Wr0("x", Switch(Rd0("x"), C(8, 0), Case{Match: Rd0("x"), Body: C(8, 1)})))
+			return d
+		}, "match must be a constant"},
+		{"extcall arity", func() *Design {
+			d := NewDesign("d")
+			d.ExtFun("f", []int{8}, Bits(8), func(a []bits.Bits) bits.Bits { return a[0] })
+			d.Reg("x", Bits(8), 0)
+			d.Rule("r", Wr0("x", ExtCall("f")))
+			return d
+		}, "takes 1 args"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.build().Check()
+			if err == nil {
+				t.Fatal("Check succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCheckRejectsSharedNodes(t *testing.T) {
+	d := NewDesign("d")
+	d.Reg("x", Bits(8), 0)
+	shared := Rd0("x")
+	d.Rule("r", Wr0("x", Add(shared, C(8, 0))), Wr1("x", Add(shared, C(8, 0))))
+	if err := d.Check(); err == nil || !strings.Contains(err.Error(), "used twice") {
+		t.Errorf("err = %v, want node-reuse error", err)
+	}
+}
+
+func TestStructFieldOps(t *testing.T) {
+	st := NewStruct("pair", StructField{"hi", Bits(4)}, StructField{"lo", Bits(4)})
+	d := NewDesign("d")
+	d.RegB("p", st, st.PackValues(bits.New(4, 0xa), bits.New(4, 0x5)))
+	d.Reg("out", Bits(4), 0)
+	d.Rule("r",
+		Let("v", Rd0("p"),
+			Wr0("out", Field(V("v"), "hi")),
+			Wr0("p", SetField(V("v"), "lo", C(4, 0xf))),
+		),
+	)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintListing(t *testing.T) {
+	d := twoStateMachine().MustCheck()
+	l := d.Print()
+	text := l.Text()
+	for _, want := range []string{"design stm", "register st", "rule rlA:", "st.wr0(state::B)", "schedule: rlA rlB", "fail"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q:\n%s", want, text)
+		}
+	}
+	if l.SLOC() == 0 || l.SLOC() > len(l.Lines) {
+		t.Errorf("SLOC = %d of %d lines", l.SLOC(), len(l.Lines))
+	}
+	if len(l.LineNodes) != len(l.Lines) {
+		t.Fatalf("LineNodes length mismatch")
+	}
+	anchored := 0
+	for _, ids := range l.LineNodes {
+		anchored += len(ids)
+	}
+	if anchored == 0 {
+		t.Error("no nodes anchored to lines")
+	}
+}
+
+func TestScheduledRules(t *testing.T) {
+	d := twoStateMachine().MustCheck()
+	got := d.ScheduledRules()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ScheduledRules = %v", got)
+	}
+}
+
+func TestSwitchCheck(t *testing.T) {
+	d := NewDesign("d")
+	op := NewEnum("op", 2, "Add", "Sub", "Nop")
+	d.Reg("o", op, 0)
+	d.Reg("x", Bits(8), 0)
+	d.Rule("r", Wr0("x", Switch(Rd0("o"), C(8, 0),
+		Case{Match: E(op, "Add"), Body: Add(Rd0("x"), C(8, 1))},
+		Case{Match: E(op, "Sub"), Body: Sub(Rd0("x"), C(8, 1))},
+	)))
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

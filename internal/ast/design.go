@@ -1,0 +1,142 @@
+package ast
+
+import (
+	"fmt"
+
+	"cuttlego/internal/bits"
+)
+
+// Register is one hardware state element. Every register has a type (its
+// packed width) and a reset value.
+type Register struct {
+	Name string
+	Type Type
+	Init bits.Bits
+}
+
+// Rule is a named atomic state transformer. Under the one-rule-at-a-time
+// semantics a rule either executes completely or aborts with no effect.
+type Rule struct {
+	Name string
+	Body *Node
+}
+
+// ExtFun declares an external combinational function. Implementations must
+// be pure within a cycle: the testbench may mutate backing state (e.g. a
+// memory image) only between cycles, so that every simulator pipeline
+// observes identical values regardless of evaluation order or count.
+type ExtFun struct {
+	Name      string
+	ArgWidths []int
+	Ret       Type
+	Fn        func(args []bits.Bits) bits.Bits
+}
+
+// Design is a complete Kôika design: state elements, rules, and a scheduler
+// (the order rules should appear to execute in within each cycle).
+type Design struct {
+	Name      string
+	Registers []Register
+	Rules     []Rule
+	Schedule  []string
+	ExtFuns   []ExtFun
+
+	// Populated by Check.
+	NodeCount int
+	regIdx    map[string]int
+	ruleIdx   map[string]int
+	extIdx    map[string]int
+	checked   bool
+}
+
+// NewDesign returns an empty design with the given name.
+func NewDesign(name string) *Design { return &Design{Name: name} }
+
+// Reg declares a register initialized to init and returns its name (handy
+// for fluent design construction).
+func (d *Design) Reg(name string, t Type, init uint64) string {
+	d.Registers = append(d.Registers, Register{Name: name, Type: t, Init: bits.New(t.BitWidth(), init)})
+	return name
+}
+
+// RegB declares a register with an explicit initial Bits value.
+func (d *Design) RegB(name string, t Type, init bits.Bits) string {
+	if init.Width != t.BitWidth() {
+		panic(fmt.Sprintf("ast: register %s init width %d != type width %d", name, init.Width, t.BitWidth()))
+	}
+	d.Registers = append(d.Registers, Register{Name: name, Type: t, Init: init})
+	return name
+}
+
+// Rule adds a rule and schedules it last. Multiple body actions are
+// sequenced.
+func (d *Design) Rule(name string, body ...*Node) {
+	d.AddRule(name, body...)
+	d.Schedule = append(d.Schedule, name)
+}
+
+// AddRule adds a rule without scheduling it (for designs that set an
+// explicit schedule separately).
+func (d *Design) AddRule(name string, body ...*Node) {
+	d.Rules = append(d.Rules, Rule{Name: name, Body: Seq(body...)})
+}
+
+// ExtFun declares an external combinational function.
+func (d *Design) ExtFun(name string, argWidths []int, ret Type, fn func([]bits.Bits) bits.Bits) {
+	d.ExtFuns = append(d.ExtFuns, ExtFun{Name: name, ArgWidths: argWidths, Ret: ret, Fn: fn})
+}
+
+// RegIndex returns the dense index of a register; the design must have been
+// checked.
+func (d *Design) RegIndex(name string) int {
+	i, ok := d.regIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("ast: design %s has no register %q", d.Name, name))
+	}
+	return i
+}
+
+// HasReg reports whether the design declares the named register.
+func (d *Design) HasReg(name string) bool {
+	_, ok := d.regIdx[name]
+	return ok
+}
+
+// RuleIndex returns the dense index of a rule.
+func (d *Design) RuleIndex(name string) int {
+	i, ok := d.ruleIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("ast: design %s has no rule %q", d.Name, name))
+	}
+	return i
+}
+
+// ExtIndex returns the dense index of an external function.
+func (d *Design) ExtIndex(name string) int {
+	i, ok := d.extIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("ast: design %s has no extfun %q", d.Name, name))
+	}
+	return i
+}
+
+// ScheduledRules resolves the schedule to rule indices.
+func (d *Design) ScheduledRules() []int {
+	out := make([]int, len(d.Schedule))
+	for i, name := range d.Schedule {
+		out[i] = d.RuleIndex(name)
+	}
+	return out
+}
+
+// Checked reports whether Check has succeeded on this design.
+func (d *Design) Checked() bool { return d.checked }
+
+// MustCheck checks the design and panics on error; designs shipped with
+// this module are constructed statically, so a check failure is a bug.
+func (d *Design) MustCheck() *Design {
+	if err := d.Check(); err != nil {
+		panic(fmt.Sprintf("ast: design %s: %v", d.Name, err))
+	}
+	return d
+}

@@ -1,0 +1,286 @@
+package ast
+
+import (
+	"fmt"
+
+	"cuttlego/internal/bits"
+)
+
+// Port selects which of a register's two read/write ports an operation
+// uses. Reads at port 0 observe beginning-of-cycle values; reads at port 1
+// observe a same-cycle write at port 0 if one happened; writes at port 1
+// only become visible next cycle.
+type Port int
+
+// The two ports of every register.
+const (
+	P0 Port = 0
+	P1 Port = 1
+)
+
+func (p Port) String() string { return fmt.Sprintf("%d", int(p)) }
+
+// Kind discriminates AST nodes. The action language is expression-oriented:
+// every node evaluates to a bit vector (possibly the 0-width unit value) or
+// aborts the enclosing rule.
+type Kind int
+
+// Node kinds.
+const (
+	KConst    Kind = iota // literal value (Val)
+	KVar                  // reference to a let-bound variable (Name)
+	KLet                  // bind Name to A in B
+	KAssign               // re-assign let-bound Name to A; unit value
+	KSeq                  // evaluate Items in order; value of the last
+	KIf                   // if A then B else C (C may be nil when B is unit)
+	KRead                 // read register Name at Port
+	KWrite                // write A to register Name at Port; unit value
+	KFail                 // abort the rule; never yields a value
+	KUnop                 // Op(A)
+	KBinop                // Op(A, B)
+	KExtCall              // external combinational function Name(Items...)
+	KField                // A.Name where A has struct type Ty
+	KSetField             // copy of A with field Name replaced by B
+	KPack                 // struct literal of type Ty from Items (decl order)
+	KSwitch               // match A against Items (pairs of const, body), C default
+)
+
+var kindNames = [...]string{
+	"const", "var", "let", "assign", "seq", "if", "read", "write", "fail",
+	"unop", "binop", "extcall", "field", "setfield", "pack", "switch",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Op enumerates primitive operators.
+type Op int
+
+// Unary and binary operators. Slice/extend operators carry their static
+// parameters in the node's Lo and Wid fields.
+const (
+	OpNot Op = iota
+	OpSignExtend
+	OpZeroExtend
+	OpSlice
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpEq
+	OpNeq
+	OpLtu
+	OpLts
+	OpGeu
+	OpGes
+	OpSll
+	OpSrl
+	OpSra
+	OpConcat
+)
+
+var opNames = [...]string{
+	"not", "sext", "zext", "slice", "+", "-", "*", "&", "|", "^",
+	"==", "!=", "<u", "<s", ">=u", ">=s", "<<", ">>", ">>>", "++",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Node is an AST node. A single concrete struct (rather than one type per
+// kind) keeps the five consumers of the tree — type checker, interpreter,
+// Cuttlesim compiler, circuit compiler, pretty-printer — simple switches.
+//
+// ID and W are assigned by Design.Check: ID is a dense per-design index
+// used by coverage counters and the debugger; W is the node's result width.
+type Node struct {
+	Kind Kind
+	ID   int
+	W    int
+
+	A, B, C *Node
+	Items   []*Node
+	Name    string
+	Port    Port
+	Op      Op
+	Lo, Wid int
+	Val     bits.Bits
+	Ty      Type // result type for enum consts, packs, field ops
+}
+
+// --- Builder API ---------------------------------------------------------
+
+// C returns a w-bit constant.
+func C(w int, v uint64) *Node { return &Node{Kind: KConst, Val: bits.New(w, v)} }
+
+// CB returns a constant from a Bits value.
+func CB(v bits.Bits) *Node { return &Node{Kind: KConst, Val: v} }
+
+// E returns an enum-member constant.
+func E(t *EnumType, member string) *Node {
+	return &Node{Kind: KConst, Val: t.Value(member), Ty: t}
+}
+
+// V references a let-bound variable.
+func V(name string) *Node { return &Node{Kind: KVar, Name: name} }
+
+// Let binds name to init within body. Multiple body actions are sequenced.
+func Let(name string, init *Node, body ...*Node) *Node {
+	return &Node{Kind: KLet, Name: name, A: init, B: Seq(body...)}
+}
+
+// Set re-assigns the let-bound variable name.
+func Set(name string, v *Node) *Node { return &Node{Kind: KAssign, Name: name, A: v} }
+
+// Seq sequences actions, yielding the last one's value. A single action is
+// returned unchanged; an empty sequence is the unit constant.
+func Seq(items ...*Node) *Node {
+	switch len(items) {
+	case 0:
+		return &Node{Kind: KConst, Val: bits.Zero(0)}
+	case 1:
+		return items[0]
+	}
+	return &Node{Kind: KSeq, Items: items}
+}
+
+// Skip is the unit action.
+func Skip() *Node { return &Node{Kind: KConst, Val: bits.Zero(0)} }
+
+// If evaluates cond, then one branch. With no else-branch the then-branch
+// must be unit-valued.
+func If(cond, then *Node, els ...*Node) *Node {
+	n := &Node{Kind: KIf, A: cond, B: then}
+	if len(els) > 0 {
+		n.C = Seq(els...)
+	}
+	return n
+}
+
+// When runs body when cond holds (if without else).
+func When(cond *Node, body ...*Node) *Node { return If(cond, Seq(body...)) }
+
+// Rd0 reads a register at port 0 (beginning-of-cycle value).
+func Rd0(reg string) *Node { return &Node{Kind: KRead, Name: reg, Port: P0} }
+
+// Rd1 reads a register at port 1 (sees a same-cycle port-0 write).
+func Rd1(reg string) *Node { return &Node{Kind: KRead, Name: reg, Port: P1} }
+
+// Wr0 writes a register at port 0.
+func Wr0(reg string, v *Node) *Node { return &Node{Kind: KWrite, Name: reg, Port: P0, A: v} }
+
+// Wr1 writes a register at port 1 (visible next cycle only).
+func Wr1(reg string, v *Node) *Node { return &Node{Kind: KWrite, Name: reg, Port: P1, A: v} }
+
+// Fail aborts the rule, yielding a unit-typed hole.
+func Fail() *Node { return &Node{Kind: KFail, Wid: 0} }
+
+// FailW aborts the rule at a position expecting a w-bit value.
+func FailW(w int) *Node { return &Node{Kind: KFail, Wid: w} }
+
+// Guard aborts the rule unless cond holds.
+func Guard(cond *Node) *Node { return If(cond, Skip(), Fail()) }
+
+// Unary operators.
+
+// Not returns the bitwise complement.
+func Not(a *Node) *Node { return &Node{Kind: KUnop, Op: OpNot, A: a} }
+
+// SignExtend widens a to w bits, replicating the sign bit.
+func SignExtend(w int, a *Node) *Node { return &Node{Kind: KUnop, Op: OpSignExtend, Wid: w, A: a} }
+
+// ZeroExtend widens a to w bits with zero fill.
+func ZeroExtend(w int, a *Node) *Node { return &Node{Kind: KUnop, Op: OpZeroExtend, Wid: w, A: a} }
+
+// Slice extracts bits [lo, lo+w) of a.
+func Slice(a *Node, lo, w int) *Node { return &Node{Kind: KUnop, Op: OpSlice, A: a, Lo: lo, Wid: w} }
+
+// Truncate keeps the low w bits of a.
+func Truncate(w int, a *Node) *Node { return Slice(a, 0, w) }
+
+// Binary operators.
+
+func binop(op Op, a, b *Node) *Node { return &Node{Kind: KBinop, Op: op, A: a, B: b} }
+
+// Add returns a + b (same widths, modular).
+func Add(a, b *Node) *Node { return binop(OpAdd, a, b) }
+
+// Sub returns a - b.
+func Sub(a, b *Node) *Node { return binop(OpSub, a, b) }
+
+// Mul returns the low bits of a * b.
+func Mul(a, b *Node) *Node { return binop(OpMul, a, b) }
+
+// And returns a & b.
+func And(a, b *Node) *Node { return binop(OpAnd, a, b) }
+
+// Or returns a | b.
+func Or(a, b *Node) *Node { return binop(OpOr, a, b) }
+
+// Xor returns a ^ b.
+func Xor(a, b *Node) *Node { return binop(OpXor, a, b) }
+
+// Eq returns the 1-bit comparison a == b.
+func Eq(a, b *Node) *Node { return binop(OpEq, a, b) }
+
+// Neq returns the 1-bit comparison a != b.
+func Neq(a, b *Node) *Node { return binop(OpNeq, a, b) }
+
+// Ltu returns the 1-bit unsigned comparison a < b.
+func Ltu(a, b *Node) *Node { return binop(OpLtu, a, b) }
+
+// Lts returns the 1-bit signed comparison a < b.
+func Lts(a, b *Node) *Node { return binop(OpLts, a, b) }
+
+// Geu returns the 1-bit unsigned comparison a >= b.
+func Geu(a, b *Node) *Node { return binop(OpGeu, a, b) }
+
+// Ges returns the 1-bit signed comparison a >= b.
+func Ges(a, b *Node) *Node { return binop(OpGes, a, b) }
+
+// Sll returns a shifted left by b.
+func Sll(a, b *Node) *Node { return binop(OpSll, a, b) }
+
+// Srl returns a shifted right logically by b.
+func Srl(a, b *Node) *Node { return binop(OpSrl, a, b) }
+
+// Sra returns a shifted right arithmetically by b.
+func Sra(a, b *Node) *Node { return binop(OpSra, a, b) }
+
+// Concat returns {a, b} with a in the high bits.
+func Concat(a, b *Node) *Node { return binop(OpConcat, a, b) }
+
+// ExtCall invokes an external combinational function declared on the design.
+func ExtCall(fn string, args ...*Node) *Node {
+	return &Node{Kind: KExtCall, Name: fn, Items: args}
+}
+
+// Field projects the named field out of a struct-typed value.
+func Field(a *Node, name string) *Node { return &Node{Kind: KField, Name: name, A: a} }
+
+// SetField returns a copy of struct a with the named field replaced by v.
+func SetField(a *Node, name string, v *Node) *Node {
+	return &Node{Kind: KSetField, Name: name, A: a, B: v}
+}
+
+// Pack builds a struct value of type t from field values in declaration
+// order.
+func Pack(t *StructType, fieldVals ...*Node) *Node {
+	return &Node{Kind: KPack, Ty: t, Items: fieldVals}
+}
+
+// Case is one arm of a Switch.
+type Case struct {
+	Match *Node // must typecheck to a constant
+	Body  *Node
+}
+
+// Switch compares scrutinee against each case constant in order; the first
+// match's body runs, or the default. All bodies share one width.
+func Switch(scrutinee *Node, def *Node, cases ...Case) *Node {
+	n := &Node{Kind: KSwitch, A: scrutinee, C: def}
+	for _, c := range cases {
+		n.Items = append(n.Items, c.Match, c.Body)
+	}
+	return n
+}

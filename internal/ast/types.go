@@ -1,0 +1,191 @@
+// Package ast defines the Kôika language core used throughout this module:
+// value types (bit vectors, enums, packed structs), the expression/action
+// language (reads and writes at ports 0 and 1, aborts, conditionals,
+// bindings), rules, schedulers, and whole designs.
+//
+// Designs are ordinarily built with the combinator API in this package (the
+// Go analogue of Kôika's Coq EDSL; Go code that generates designs plays the
+// role the paper's meta-programming column in Table 1 describes) or parsed
+// from text by package lang. A Design must be checked with Check before it
+// is handed to any interpreter or compiler.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"cuttlego/internal/bits"
+)
+
+// Type describes the shape of a value manipulated by a design. All Kôika
+// values are bit vectors underneath; enums and structs give those vectors
+// names, which the simulators and the debugger preserve (the paper's case
+// studies lean on exactly this: MSHR tags print as Ready/WaitFillResp, not
+// as raw bits).
+type Type interface {
+	// BitWidth returns the packed width of the type in bits.
+	BitWidth() int
+	// String renders the type for diagnostics and pretty-printed sources.
+	String() string
+	// Format renders a value of this type for the debugger.
+	Format(v bits.Bits) string
+}
+
+// BitsType is a plain w-bit vector.
+type BitsType struct{ W int }
+
+// Bits returns the BitsType of width w.
+func Bits(w int) BitsType { return BitsType{W: w} }
+
+// BitWidth implements Type.
+func (t BitsType) BitWidth() int { return t.W }
+
+func (t BitsType) String() string { return fmt.Sprintf("bits<%d>", t.W) }
+
+// Format implements Type.
+func (t BitsType) Format(v bits.Bits) string { return v.String() }
+
+// EnumType is a named enumeration packed into W bits. Member i has value i.
+type EnumType struct {
+	Name    string
+	W       int
+	Members []string
+}
+
+// NewEnum builds an enum type just wide enough for its members unless a
+// wider explicit width is given (w == 0 means "minimal width").
+func NewEnum(name string, w int, members ...string) *EnumType {
+	if len(members) == 0 {
+		panic("ast: enum with no members")
+	}
+	need := 0
+	for 1<<uint(need) < len(members) {
+		need++
+	}
+	if need == 0 {
+		need = 1
+	}
+	if w == 0 {
+		w = need
+	}
+	if w < need {
+		panic(fmt.Sprintf("ast: enum %s needs %d bits, given %d", name, need, w))
+	}
+	return &EnumType{Name: name, W: w, Members: members}
+}
+
+// BitWidth implements Type.
+func (t *EnumType) BitWidth() int { return t.W }
+
+func (t *EnumType) String() string { return "enum " + t.Name }
+
+// Format implements Type.
+func (t *EnumType) Format(v bits.Bits) string {
+	if int(v.Val) < len(t.Members) {
+		return t.Name + "::" + t.Members[int(v.Val)]
+	}
+	return fmt.Sprintf("%s::<invalid %d>", t.Name, v.Val)
+}
+
+// Value returns the packed value of the named member.
+func (t *EnumType) Value(member string) bits.Bits {
+	for i, m := range t.Members {
+		if m == member {
+			return bits.New(t.W, uint64(i))
+		}
+	}
+	panic(fmt.Sprintf("ast: enum %s has no member %q", t.Name, member))
+}
+
+// StructField is one field of a packed struct.
+type StructField struct {
+	Name string
+	Type Type
+}
+
+// F is shorthand for building a StructField.
+func F(name string, t Type) StructField { return StructField{Name: name, Type: t} }
+
+// StructType is a named struct packed into a bit vector. Following the
+// Bluespec convention, the first field occupies the most significant bits.
+type StructType struct {
+	Name   string
+	Fields []StructField
+	w      int
+	offset map[string]int // low bit of each field
+}
+
+// NewStruct builds a packed struct type.
+func NewStruct(name string, fields ...StructField) *StructType {
+	t := &StructType{Name: name, Fields: fields, offset: make(map[string]int, len(fields))}
+	for _, f := range fields {
+		t.w += f.Type.BitWidth()
+	}
+	lo := t.w
+	for _, f := range fields {
+		lo -= f.Type.BitWidth()
+		if _, dup := t.offset[f.Name]; dup {
+			panic(fmt.Sprintf("ast: struct %s has duplicate field %q", name, f.Name))
+		}
+		t.offset[f.Name] = lo
+	}
+	return t
+}
+
+// BitWidth implements Type.
+func (t *StructType) BitWidth() int { return t.w }
+
+func (t *StructType) String() string { return "struct " + t.Name }
+
+// Offset returns the low bit position of the named field.
+func (t *StructType) Offset(name string) int {
+	lo, ok := t.offset[name]
+	if !ok {
+		panic(fmt.Sprintf("ast: struct %s has no field %q", t.Name, name))
+	}
+	return lo
+}
+
+// Field returns the named field's descriptor.
+func (t *StructType) Field(name string) StructField {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic(fmt.Sprintf("ast: struct %s has no field %q", t.Name, name))
+}
+
+// Format implements Type, rendering each field by name (the struct-aware
+// printing the paper's debugging case study relies on).
+func (t *StructType) Format(v bits.Bits) string {
+	var sb strings.Builder
+	sb.WriteString(t.Name)
+	sb.WriteString("{")
+	for i, f := range t.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fv := v.Slice(t.Offset(f.Name), f.Type.BitWidth())
+		sb.WriteString(f.Name)
+		sb.WriteString(": ")
+		sb.WriteString(f.Type.Format(fv))
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// PackValues packs field values (given in declaration order) into a vector.
+func (t *StructType) PackValues(vals ...bits.Bits) bits.Bits {
+	if len(vals) != len(t.Fields) {
+		panic("ast: wrong number of struct field values")
+	}
+	out := bits.Zero(t.w)
+	for i, f := range t.Fields {
+		if vals[i].Width != f.Type.BitWidth() {
+			panic(fmt.Sprintf("ast: field %s.%s width mismatch", t.Name, f.Name))
+		}
+		out = out.SetSlice(t.Offset(f.Name), vals[i])
+	}
+	return out
+}

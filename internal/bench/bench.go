@@ -1,0 +1,331 @@
+// Package bench is the evaluation harness: it assembles the paper's
+// benchmark suite (Table 1) and regenerates every table and figure of the
+// evaluation section — Figure 1 (Cuttlesim vs the circuit-level simulator),
+// Figure 2 (dynamic Kôika-style vs static Bluespec-style RTL), Figure 3
+// (engine/backend sensitivity, standing in for the paper's GCC/Clang
+// sweep), and the §3.2–3.3 optimization-ladder ablation.
+//
+// Absolute numbers depend on the host; the claims under reproduction are
+// the shapes: who wins, by roughly what factor, and where the advantage
+// narrows.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/dsp"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/rvcore"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/stm"
+	"cuttlego/internal/workload"
+)
+
+// Instance is one freshly built benchmark design plus its testbench (nil
+// when the design is self-driving). Engines must not share instances: the
+// testbench and external functions carry per-instance state.
+type Instance struct {
+	Design *ast.Design
+	Bench  sim.Testbench
+}
+
+// Benchmark describes one Table 1 row.
+type Benchmark struct {
+	// Name matches the paper's benchmark names.
+	Name string
+	// Description is the Table 1 annotation.
+	Description string
+	// Meta: the design is produced by meta-programming (code generation).
+	Meta bool
+	// Comb: single combinational rule, no scheduling or conflicts.
+	Comb bool
+	// Workload describes what runs on the design.
+	Workload string
+	// New builds a fresh instance.
+	New func() Instance
+}
+
+// Suite returns the Table 1 benchmarks. The primes limit scales the
+// processor workloads (the paper runs to completion; we default to a
+// fixed simulation window instead, see Table1).
+func Suite() []Benchmark {
+	return []Benchmark{
+		{
+			Name:        "collatz",
+			Description: "Trivial state machine",
+			Workload:    "restarting Collatz trajectories",
+			New: func() Instance {
+				return Instance{Design: CollatzBench(27).MustCheck()}
+			},
+		},
+		{
+			Name:        "fir",
+			Description: "Finite impulse response filter",
+			Meta:        true,
+			Comb:        true,
+			Workload:    "self-driving LCG sample stream",
+			New: func() Instance {
+				return Instance{Design: FIRBench().MustCheck()}
+			},
+		},
+		{
+			Name:        "fft",
+			Description: "Part of a Fast Fourier Transform",
+			Meta:        true,
+			Comb:        true,
+			Workload:    "feedback-driven butterfly network",
+			New: func() Instance {
+				return Instance{Design: FFTBench(16).MustCheck()}
+			},
+		},
+		{
+			Name:        "rv32i",
+			Description: "Small RISCV core (branch predictor: pc + 4)",
+			Workload:    "primes",
+			New:         func() Instance { return coreInstance(rvcore.RV32I()) },
+		},
+		{
+			Name:        "rv32e",
+			Description: "Embedded variant of rv32i (predictor: pc + 4)",
+			Workload:    "primes",
+			New:         func() Instance { return coreInstance(rvcore.RV32E()) },
+		},
+		{
+			Name:        "rv32i-bp",
+			Description: "rv32i with a better branch predictor (btb + bht)",
+			Workload:    "primes",
+			New:         func() Instance { return coreInstance(rvcore.RV32IBP()) },
+		},
+		{
+			Name:        "rv32i-mc",
+			Description: "Dual-core variant of rv32i (predictor: pc + 4)",
+			Workload:    "primes",
+			New: func() Instance {
+				mem := riscv.NewMemory()
+				mem.LoadWords(0, workload.Primes(500))
+				d, cores := rvcore.BuildMC("rv32i-mc", mem)
+				d.MustCheck()
+				return Instance{Design: d, Bench: rvcore.NewBench(cores...)}
+			},
+		},
+	}
+}
+
+func coreInstance(cfg rvcore.Config) Instance {
+	mem := riscv.NewMemory()
+	mem.LoadWords(0, workload.Primes(500))
+	d, core := rvcore.Build(cfg, mem)
+	d.MustCheck()
+	return Instance{Design: d, Bench: rvcore.NewBench(core)}
+}
+
+// CollatzBench wraps the collatz design with a restart rule so timing runs
+// never idle: when a trajectory converges, the next seed is injected.
+func CollatzBench(seed uint64) *ast.Design {
+	d := stm.Collatz(seed)
+	d.Reg("seed", ast.Bits(32), seed+1)
+	d.Rule("restart",
+		ast.Guard(ast.Eq(ast.Rd0("done"), ast.C(1, 1))),
+		ast.Wr1("x", ast.Rd0("seed")),
+		ast.Wr0("seed", ast.Add(ast.Rd0("seed"), ast.C(32, 1))),
+		ast.Wr0("done", ast.C(1, 0)),
+	)
+	return d
+}
+
+// FIRBench is the FIR design plus a self-driving input rule (a 32-bit LCG),
+// so no per-cycle testbench traffic disturbs the measurement.
+func FIRBench() *ast.Design {
+	d := dsp.FIR([]uint32{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+	d.Rule("drive",
+		ast.Wr0("in", ast.Add(
+			ast.Mul(ast.Rd0("in"), ast.C(32, 1103515245)),
+			ast.C(32, 12345))),
+	)
+	return d
+}
+
+// FFTBench is the FFT design plus a feedback rule perturbing the inputs
+// from the previous outputs.
+func FFTBench(n int) *ast.Design {
+	d := dsp.FFT(n)
+	var items []*ast.Node
+	for i := 0; i < n; i++ {
+		// Port-1 reads observe the butterfly outputs written this cycle.
+		items = append(items,
+			ast.Wr0(fmt.Sprintf("xr_%d", i),
+				ast.Add(ast.Rd1(fmt.Sprintf("yr_%d", i)), ast.C(32, uint64(i*2+1)))),
+			ast.Wr0(fmt.Sprintf("xi_%d", i),
+				ast.Xor(ast.Rd1(fmt.Sprintf("yi_%d", i)), ast.C(32, uint64(i*17+3)))))
+	}
+	d.Rule("drive", items...)
+	return d
+}
+
+// StateStress builds the ablation stress design: a large register file
+// (nregs registers) touched only sparsely by a handful of rules. Designs
+// like this maximize the relative cost of the transaction machinery —
+// clearing, copying, and committing logs over hundreds of registers — so
+// they showcase what each §3.2–3.3 refinement buys. The paper's narrative
+// ("models spend inordinate amounts of time checking and copying read-write
+// sets, copying data between logs, and committing results") is about
+// exactly this regime.
+func StateStress(nregs, nrules int) *ast.Design {
+	d := ast.NewDesign(fmt.Sprintf("stress%d", nregs))
+	for i := 0; i < nregs; i++ {
+		d.Reg(fmt.Sprintf("r%d", i), ast.Bits(32), uint64(i))
+	}
+	for r := 0; r < nrules; r++ {
+		a := fmt.Sprintf("r%d", r*2%nregs)
+		b := fmt.Sprintf("r%d", (r*2+1)%nregs)
+		d.Rule(fmt.Sprintf("rule%d", r),
+			ast.Let("va", ast.Rd0(a),
+				ast.Wr0(a, ast.Add(ast.V("va"), ast.C(32, 1))),
+				ast.Wr0(b, ast.Xor(ast.Rd0(b), ast.V("va"))),
+			),
+		)
+	}
+	return d
+}
+
+// Engine identifies one simulation pipeline configuration.
+type Engine struct {
+	Name string
+	Make func(Instance) (sim.Engine, error)
+}
+
+// EngCuttlesim builds a Cuttlesim engine spec.
+func EngCuttlesim(level cuttlesim.Level, backend cuttlesim.Backend) Engine {
+	return Engine{
+		Name: fmt.Sprintf("cuttlesim(%v,%v)", level, backend),
+		Make: func(inst Instance) (sim.Engine, error) {
+			return cuttlesim.New(inst.Design, cuttlesim.Options{Level: level, Backend: backend})
+		},
+	}
+}
+
+// EngRTL builds a circuit-level engine spec (the Verilator substitute).
+func EngRTL(style circuit.Style, backend rtlsim.Backend) Engine {
+	return Engine{
+		Name: fmt.Sprintf("rtlsim(%v,%v)", style, backend),
+		Make: func(inst Instance) (sim.Engine, error) {
+			ckt, err := circuit.Compile(inst.Design, style)
+			if err != nil {
+				return nil, err
+			}
+			return rtlsim.New(ckt, rtlsim.Options{Backend: backend})
+		},
+	}
+}
+
+// EngInterp is the reference interpreter spec.
+func EngInterp() Engine {
+	return Engine{
+		Name: "interp",
+		Make: func(inst Instance) (sim.Engine, error) { return interp.New(inst.Design) },
+	}
+}
+
+// Measurement is one timing result.
+type Measurement struct {
+	Benchmark string
+	Engine    string
+	Cycles    uint64
+	Elapsed   time.Duration
+}
+
+// CPS returns simulated cycles per wall-clock second.
+func (m Measurement) CPS() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Cycles) / m.Elapsed.Seconds()
+}
+
+// Measure times one engine running one benchmark for the given number of
+// cycles (plus a 10% warmup that is not counted).
+func Measure(bm Benchmark, eng Engine, cycles uint64) (Measurement, error) {
+	inst := bm.New()
+	e, err := eng.Make(inst)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench %s / %s: %w", bm.Name, eng.Name, err)
+	}
+	tb := inst.Bench
+	if tb == nil {
+		tb = sim.NopBench{}
+	}
+	warm := cycles / 10
+	runCycles(e, tb, warm)
+	start := time.Now()
+	runCycles(e, tb, cycles)
+	return Measurement{Benchmark: bm.Name, Engine: eng.Name, Cycles: cycles, Elapsed: time.Since(start)}, nil
+}
+
+// runCycles drives the engine unconditionally for n cycles (benchmarks
+// never stop on testbench completion — a halted core keeps spinning).
+func runCycles(e sim.Engine, tb sim.Testbench, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		tb.BeforeCycle(e)
+		e.Cycle()
+		tb.AfterCycle(e)
+	}
+}
+
+// HaltCycles runs a fresh instance under Cuttlesim until its bench halts
+// (or budget runs out), returning the cycle count. Used for the Table 1
+// "Cycles" column on processor workloads.
+func HaltCycles(bm Benchmark, budget uint64) (uint64, bool) {
+	inst := bm.New()
+	e, err := cuttlesim.New(inst.Design, cuttlesim.DefaultOptions())
+	if err != nil {
+		return 0, false
+	}
+	if inst.Bench == nil {
+		return budget, false
+	}
+	n := sim.Run(e, inst.Bench, budget)
+	return n, n < budget
+}
+
+// Verify runs every benchmark briefly on two engines and compares final
+// architectural state; the harness refuses to time engines that disagree.
+func Verify(bm Benchmark, a, b Engine, cycles uint64) error {
+	ia, ib := bm.New(), bm.New()
+	ea, err := a.Make(ia)
+	if err != nil {
+		return err
+	}
+	eb, err := b.Make(ib)
+	if err != nil {
+		return err
+	}
+	tba, tbb := ia.Bench, ib.Bench
+	if tba == nil {
+		tba = sim.NopBench{}
+	}
+	if tbb == nil {
+		tbb = sim.NopBench{}
+	}
+	for i := uint64(0); i < cycles; i++ {
+		tba.BeforeCycle(ea)
+		ea.Cycle()
+		tba.AfterCycle(ea)
+		tbb.BeforeCycle(eb)
+		eb.Cycle()
+		tbb.AfterCycle(eb)
+	}
+	sa, sb := sim.StateOf(ea), sim.StateOf(eb)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return fmt.Errorf("bench %s: %s and %s disagree on register %s (%v vs %v)",
+				bm.Name, a.Name, b.Name, ia.Design.Registers[i].Name, sa[i], sb[i])
+		}
+	}
+	return nil
+}

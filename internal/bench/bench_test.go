@@ -1,0 +1,196 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bench"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+)
+
+func TestSuiteBuildsAndRuns(t *testing.T) {
+	for _, bm := range bench.Suite() {
+		t.Run(bm.Name, func(t *testing.T) {
+			m, err := bench.Measure(bm, bench.EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure), 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.CPS() <= 0 {
+				t.Error("no throughput measured")
+			}
+		})
+	}
+}
+
+func TestEnginesAgreeOnEveryBenchmark(t *testing.T) {
+	cuttle := bench.EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure)
+	rtl := bench.EngRTL(circuit.StyleKoika, rtlsim.Switch)
+	interp := bench.EngInterp()
+	for _, bm := range bench.Suite() {
+		t.Run(bm.Name, func(t *testing.T) {
+			if err := bench.Verify(bm, cuttle, rtl, 300); err != nil {
+				t.Error(err)
+			}
+			if err := bench.Verify(bm, cuttle, interp, 300); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestProcessorWorkloadsHalt(t *testing.T) {
+	for _, bm := range bench.Suite() {
+		if bm.Workload != "primes" {
+			continue
+		}
+		if n, halted := bench.HaltCycles(bm, 60_000_000); !halted {
+			t.Errorf("%s did not finish primes within budget", bm.Name)
+		} else if n == 0 {
+			t.Errorf("%s halted immediately", bm.Name)
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reports time real work")
+	}
+	opts := bench.Options{Cycles: 1500, HaltBudget: 30_000}
+	var sb strings.Builder
+	if err := bench.Table1(&sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"collatz", "fir", "fft", "rv32i", "rv32e", "rv32i-bp", "rv32i-mc", "koika-sloc"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := bench.Fig1(&sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Error("Fig1 malformed")
+	}
+	sb.Reset()
+	if err := bench.Fig2(&sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rtl-bsc") {
+		t.Error("Fig2 malformed")
+	}
+	sb.Reset()
+	if err := bench.Fig3(&sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := bench.Ablation(&sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "naive") || !strings.Contains(sb.String(), "static") {
+		t.Error("Ablation malformed")
+	}
+}
+
+// The headline claim: on control-heavy designs, the Cuttlesim pipeline is
+// faster than the circuit-level pipeline; the ladder's top level beats its
+// bottom.
+func TestPaperShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	bm := bench.Suite()[3] // rv32i
+	cycles := uint64(60_000)
+	mc, err := bench.Measure(bm, bench.EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure), cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := bench.Measure(bm, bench.EngRTL(circuit.StyleKoika, rtlsim.Closure), cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.CPS() <= mr.CPS() {
+		t.Errorf("Cuttlesim (%.0f cyc/s) should beat circuit-level simulation (%.0f cyc/s) on rv32i",
+			mc.CPS(), mr.CPS())
+	}
+	// The ladder's top beats its bottom. The gap is tens of percent, so
+	// take the best of three runs per level to ride out scheduler noise on
+	// shared machines.
+	best := func(eng bench.Engine) float64 {
+		var out float64
+		for i := 0; i < 3; i++ {
+			m, err := bench.Measure(bm, eng, cycles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.CPS() > out {
+				out = m.CPS()
+			}
+		}
+		return out
+	}
+	static := best(bench.EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure))
+	naive := best(bench.EngCuttlesim(cuttlesim.LNaive, cuttlesim.Closure))
+	if static <= naive {
+		t.Errorf("LStatic (%.0f cyc/s) should beat LNaive (%.0f cyc/s)", static, naive)
+	}
+}
+
+func TestStateStressConformance(t *testing.T) {
+	build := func() *ast.Design { return bench.StateStress(64, 4) }
+	ref, err := interp.New(build().MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]sim.Engine{"interp": ref}
+	for _, level := range cuttlesim.Levels() {
+		engines[level.String()] = cuttlesim.MustNew(build().MustCheck(), cuttlesim.Options{Level: level})
+	}
+	d := ref.Design()
+	for cycle := 0; cycle < 100; cycle++ {
+		for _, e := range engines {
+			e.Cycle()
+		}
+		want := sim.StateOf(ref)
+		for name, e := range engines {
+			got := sim.StateOf(e)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cycle %d: %s reg %s diverged", cycle, name, d.Registers[i].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestStressLadderPaysOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	bm := bench.Benchmark{Name: "stress", New: func() bench.Instance {
+		return bench.Instance{Design: bench.StateStress(512, 4).MustCheck()}
+	}}
+	best := func(level cuttlesim.Level) float64 {
+		var out float64
+		for i := 0; i < 3; i++ {
+			m, err := bench.Measure(bm, bench.EngCuttlesim(level, cuttlesim.Closure), 20_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.CPS() > out {
+				out = m.CPS()
+			}
+		}
+		return out
+	}
+	naive := best(cuttlesim.LNaive)
+	static := best(cuttlesim.LStatic)
+	if static < 4*naive {
+		t.Errorf("on the state-stress design LStatic (%.0f cyc/s) should be several times LNaive (%.0f cyc/s)", static, naive)
+	}
+}

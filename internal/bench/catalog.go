@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"cuttlego/internal/cache"
+	"cuttlego/internal/lang"
+)
+
+// Extras returns demonstration designs that are not Table 1 rows but are
+// useful from the command-line tools (the MSI coherence system in both its
+// healthy and deliberately broken forms).
+func Extras() []Benchmark {
+	return []Benchmark{
+		{
+			Name:        "msi",
+			Description: "2-core MSI cache coherence (child caches + parent engine)",
+			Workload:    "deterministic per-core load/store generators",
+			New: func() Instance {
+				sys := cache.Build(cache.Config{})
+				sys.Design.MustCheck()
+				return Instance{Design: sys.Design}
+			},
+		},
+		{
+			Name:        "msi-buggy",
+			Description: "MSI system with the Case Study 1 dropped-ack deadlock",
+			Workload:    "deterministic per-core load/store generators",
+			New: func() Instance {
+				sys := cache.Build(cache.Config{BugDroppedAck: true})
+				sys.Design.MustCheck()
+				return Instance{Design: sys.Design}
+			},
+		},
+	}
+}
+
+// Lookup finds a named design among the Table 1 suite and the extras.
+func Lookup(name string) (Benchmark, bool) {
+	for _, bm := range append(Suite(), Extras()...) {
+		if bm.Name == name {
+			return bm, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names lists every catalogued design.
+func Names() []string {
+	var out []string
+	for _, bm := range append(Suite(), Extras()...) {
+		out = append(out, bm.Name)
+	}
+	return out
+}
+
+// Load resolves a design reference for the command-line tools: a catalogue
+// name, or a path to a .koika source file parsed by the textual frontend
+// (external functions must not be required, since no host bindings exist).
+func Load(ref string) (Instance, error) {
+	if bm, ok := Lookup(ref); ok {
+		return bm.New(), nil
+	}
+	src, err := os.ReadFile(ref)
+	if err != nil {
+		return Instance{}, fmt.Errorf("%q is neither a catalogued design (%v) nor a readable file: %w",
+			ref, Names(), err)
+	}
+	d, err := lang.Parse(string(src))
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Design: d}, nil
+}

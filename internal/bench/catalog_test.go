@@ -1,0 +1,86 @@
+package bench_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/sim"
+)
+
+func TestLookupAndNames(t *testing.T) {
+	names := bench.Names()
+	if len(names) < 9 {
+		t.Fatalf("catalogue too small: %v", names)
+	}
+	for _, n := range []string{"rv32i", "msi", "msi-buggy"} {
+		if _, ok := bench.Lookup(n); !ok {
+			t.Errorf("Lookup(%q) failed", n)
+		}
+	}
+	if _, ok := bench.Lookup("nope"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+}
+
+func TestLoadByName(t *testing.T) {
+	inst, err := bench.Load("collatz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Design.Name != "collatz" {
+		t.Errorf("loaded %q", inst.Design.Name)
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.koika")
+	src := `
+design tiny
+register x : bits<8> init 8'd1
+rule shift:
+    x.wr0(x.rd0() << 3'd1)
+schedule: shift
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bench.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cuttlesim.New(inst.Design, cuttlesim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(s, nil, 3)
+	if got := s.Reg("x").Val; got != 8 {
+		t.Errorf("x = %d", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := bench.Load("/does/not/exist.koika"); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+	path := filepath.Join(t.TempDir(), "bad.koika")
+	if err := os.WriteFile(path, []byte("not a design"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.Load(path); err == nil {
+		t.Error("Load of malformed file succeeded")
+	}
+}
+
+func TestExtrasRun(t *testing.T) {
+	for _, bm := range bench.Extras() {
+		inst := bm.New()
+		s, err := cuttlesim.New(inst.Design, cuttlesim.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(s, nil, 100)
+	}
+}

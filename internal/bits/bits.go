@@ -1,0 +1,256 @@
+// Package bits implements the fixed-width bit-vector values that Kôika
+// designs compute with. Widths 0 through 64 are represented in a single
+// machine word (the fast path used by every simulator in this module);
+// wider vectors are available through the Wide type.
+//
+// All operations are value-preserving modulo the result width: every
+// constructor and operator masks its result to the declared width, so a
+// Bits value is always canonical and two Bits are equal iff their widths
+// and payloads are equal.
+package bits
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// MaxWidth is the widest vector representable by Bits. Wider values use Wide.
+const MaxWidth = 64
+
+// Bits is a bit vector of up to 64 bits. The zero value is the empty
+// (0-width) vector. Val is always masked to Width bits.
+type Bits struct {
+	Width int
+	Val   uint64
+}
+
+// Mask returns the mask covering the low w bits. It panics if w is out of
+// range; widths are static properties of a design, so an invalid width is a
+// programming error, not an input error.
+func Mask(w int) uint64 {
+	if w < 0 || w > MaxWidth {
+		panic("bits: width out of range: " + strconv.Itoa(w))
+	}
+	if w == MaxWidth {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// New returns a w-bit vector holding v masked to w bits.
+func New(w int, v uint64) Bits {
+	return Bits{Width: w, Val: v & Mask(w)}
+}
+
+// Zero returns the all-zeros vector of width w.
+func Zero(w int) Bits { return Bits{Width: w} }
+
+// Ones returns the all-ones vector of width w.
+func Ones(w int) Bits { return Bits{Width: w, Val: Mask(w)} }
+
+// FromBool returns a 1-bit vector: 1 if b, else 0.
+func FromBool(b bool) Bits {
+	if b {
+		return Bits{Width: 1, Val: 1}
+	}
+	return Bits{Width: 1}
+}
+
+// Bool reports whether the vector is nonzero.
+func (b Bits) Bool() bool { return b.Val != 0 }
+
+// IsZero reports whether every bit is zero.
+func (b Bits) IsZero() bool { return b.Val == 0 }
+
+// Bit returns bit i (0 = least significant) as 0 or 1.
+func (b Bits) Bit(i int) uint64 {
+	if i < 0 || i >= b.Width {
+		panic("bits: bit index out of range")
+	}
+	return (b.Val >> uint(i)) & 1
+}
+
+// Signed returns the vector interpreted as a two's-complement integer.
+func (b Bits) Signed() int64 {
+	if b.Width == 0 {
+		return 0
+	}
+	shift := uint(64 - b.Width)
+	return int64(b.Val<<shift) >> shift
+}
+
+// Uint returns the payload as an unsigned integer.
+func (b Bits) Uint() uint64 { return b.Val }
+
+// String renders the vector Verilog-style, e.g. 8'x2a.
+func (b Bits) String() string {
+	return fmt.Sprintf("%d'x%x", b.Width, b.Val)
+}
+
+func (b Bits) check(o Bits, op string) {
+	if b.Width != o.Width {
+		panic(fmt.Sprintf("bits: width mismatch in %s: %d vs %d", op, b.Width, o.Width))
+	}
+}
+
+// Add returns b + o modulo 2^Width. Operand widths must match.
+func (b Bits) Add(o Bits) Bits {
+	b.check(o, "add")
+	return New(b.Width, b.Val+o.Val)
+}
+
+// Sub returns b - o modulo 2^Width.
+func (b Bits) Sub(o Bits) Bits {
+	b.check(o, "sub")
+	return New(b.Width, b.Val-o.Val)
+}
+
+// Mul returns the low Width bits of b * o.
+func (b Bits) Mul(o Bits) Bits {
+	b.check(o, "mul")
+	return New(b.Width, b.Val*o.Val)
+}
+
+// And returns the bitwise AND of b and o.
+func (b Bits) And(o Bits) Bits {
+	b.check(o, "and")
+	return Bits{Width: b.Width, Val: b.Val & o.Val}
+}
+
+// Or returns the bitwise OR of b and o.
+func (b Bits) Or(o Bits) Bits {
+	b.check(o, "or")
+	return Bits{Width: b.Width, Val: b.Val | o.Val}
+}
+
+// Xor returns the bitwise XOR of b and o.
+func (b Bits) Xor(o Bits) Bits {
+	b.check(o, "xor")
+	return Bits{Width: b.Width, Val: b.Val ^ o.Val}
+}
+
+// Not returns the bitwise complement of b.
+func (b Bits) Not() Bits {
+	return Bits{Width: b.Width, Val: ^b.Val & Mask(b.Width)}
+}
+
+// Eq returns a 1-bit vector: 1 if b == o.
+func (b Bits) Eq(o Bits) Bits {
+	b.check(o, "eq")
+	return FromBool(b.Val == o.Val)
+}
+
+// Neq returns a 1-bit vector: 1 if b != o.
+func (b Bits) Neq(o Bits) Bits {
+	b.check(o, "neq")
+	return FromBool(b.Val != o.Val)
+}
+
+// Ltu returns a 1-bit vector: 1 if b < o, comparing unsigned.
+func (b Bits) Ltu(o Bits) Bits {
+	b.check(o, "ltu")
+	return FromBool(b.Val < o.Val)
+}
+
+// Geu returns a 1-bit vector: 1 if b >= o, comparing unsigned.
+func (b Bits) Geu(o Bits) Bits {
+	b.check(o, "geu")
+	return FromBool(b.Val >= o.Val)
+}
+
+// Lts returns a 1-bit vector: 1 if b < o, comparing two's-complement.
+func (b Bits) Lts(o Bits) Bits {
+	b.check(o, "lts")
+	return FromBool(b.Signed() < o.Signed())
+}
+
+// Ges returns a 1-bit vector: 1 if b >= o, comparing two's-complement.
+func (b Bits) Ges(o Bits) Bits {
+	b.check(o, "ges")
+	return FromBool(b.Signed() >= o.Signed())
+}
+
+// Sll returns b shifted left by the value of o (any width). Shifts of
+// Width or more produce zero.
+func (b Bits) Sll(o Bits) Bits {
+	sh := o.Val
+	if sh >= uint64(b.Width) {
+		return Zero(b.Width)
+	}
+	return New(b.Width, b.Val<<uint(sh))
+}
+
+// Srl returns b shifted right logically by the value of o.
+func (b Bits) Srl(o Bits) Bits {
+	sh := o.Val
+	if sh >= uint64(b.Width) {
+		return Zero(b.Width)
+	}
+	return Bits{Width: b.Width, Val: b.Val >> uint(sh)}
+}
+
+// Sra returns b shifted right arithmetically by the value of o.
+func (b Bits) Sra(o Bits) Bits {
+	sh := o.Val
+	if sh >= uint64(b.Width) {
+		sh = uint64(b.Width)
+		if b.Width == 0 {
+			return b
+		}
+	}
+	return New(b.Width, uint64(b.Signed()>>uint(sh)))
+}
+
+// Concat returns the concatenation with b occupying the high bits and o the
+// low bits (Verilog {b, o}).
+func (b Bits) Concat(o Bits) Bits {
+	w := b.Width + o.Width
+	if w > MaxWidth {
+		panic("bits: concat result exceeds 64 bits; use Wide")
+	}
+	return Bits{Width: w, Val: b.Val<<uint(o.Width) | o.Val}
+}
+
+// Slice returns bits [lo, lo+w) of b.
+func (b Bits) Slice(lo, w int) Bits {
+	if lo < 0 || w < 0 || lo+w > b.Width {
+		panic(fmt.Sprintf("bits: slice [%d +%d) out of %d-bit vector", lo, w, b.Width))
+	}
+	return Bits{Width: w, Val: (b.Val >> uint(lo)) & Mask(w)}
+}
+
+// ZeroExtend returns b widened to w bits with zero fill. w must be >= Width.
+func (b Bits) ZeroExtend(w int) Bits {
+	if w < b.Width {
+		panic("bits: zero-extend to narrower width")
+	}
+	return Bits{Width: w, Val: b.Val}
+}
+
+// SignExtend returns b widened to w bits replicating the sign bit.
+func (b Bits) SignExtend(w int) Bits {
+	if w < b.Width {
+		panic("bits: sign-extend to narrower width")
+	}
+	if b.Width == 0 {
+		return Zero(w)
+	}
+	return New(w, uint64(b.Signed()))
+}
+
+// Truncate returns the low w bits of b. w must be <= Width.
+func (b Bits) Truncate(w int) Bits {
+	if w > b.Width {
+		panic("bits: truncate to wider width")
+	}
+	return Bits{Width: w, Val: b.Val & Mask(w)}
+}
+
+// SetSlice returns b with bits [lo, lo+v.Width) replaced by v.
+func (b Bits) SetSlice(lo int, v Bits) Bits {
+	if lo < 0 || lo+v.Width > b.Width {
+		panic("bits: set-slice out of range")
+	}
+	m := Mask(v.Width) << uint(lo)
+	return Bits{Width: b.Width, Val: b.Val&^m | v.Val<<uint(lo)}
+}

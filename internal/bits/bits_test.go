@@ -1,0 +1,253 @@
+package bits
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		w    int
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{8, 0xff},
+		{32, 0xffffffff},
+		{63, 0x7fffffffffffffff},
+		{64, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.w); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestMaskPanics(t *testing.T) {
+	for _, w := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) did not panic", w)
+				}
+			}()
+			Mask(w)
+		}()
+	}
+}
+
+func TestNewMasks(t *testing.T) {
+	b := New(8, 0x1ff)
+	if b.Val != 0xff || b.Width != 8 {
+		t.Errorf("New(8, 0x1ff) = %v", b)
+	}
+	if z := Zero(12); z.Val != 0 || z.Width != 12 {
+		t.Errorf("Zero(12) = %v", z)
+	}
+	if o := Ones(5); o.Val != 0x1f {
+		t.Errorf("Ones(5) = %v", o)
+	}
+}
+
+func TestBool(t *testing.T) {
+	if !FromBool(true).Bool() || FromBool(false).Bool() {
+		t.Error("FromBool/Bool round trip broken")
+	}
+	if FromBool(true) != New(1, 1) || FromBool(false) != New(1, 0) {
+		t.Error("FromBool canonical values wrong")
+	}
+}
+
+func TestSigned(t *testing.T) {
+	cases := []struct {
+		b    Bits
+		want int64
+	}{
+		{New(8, 0x7f), 127},
+		{New(8, 0x80), -128},
+		{New(8, 0xff), -1},
+		{New(1, 1), -1},
+		{New(1, 0), 0},
+		{New(32, 0xffffffff), -1},
+		{New(64, ^uint64(0)), -1},
+		{Zero(0), 0},
+	}
+	for _, c := range cases {
+		if got := c.b.Signed(); got != c.want {
+			t.Errorf("%v.Signed() = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestArith(t *testing.T) {
+	a, b := New(8, 200), New(8, 100)
+	if got := a.Add(b); got != New(8, 44) {
+		t.Errorf("200+100 mod 256 = %v", got)
+	}
+	if got := b.Sub(a); got != New(8, 156) {
+		t.Errorf("100-200 mod 256 = %v", got)
+	}
+	if got := a.Mul(b); got != New(8, (200*100)&0xff) {
+		t.Errorf("200*100 mod 256 = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a, b := New(8, 0x80), New(8, 0x01) // -128 vs 1 signed; 128 vs 1 unsigned
+	if !a.Ltu(b).IsZero() {
+		t.Error("128 <u 1 should be false")
+	}
+	if a.Lts(b).IsZero() {
+		t.Error("-128 <s 1 should be true")
+	}
+	if a.Geu(b).IsZero() {
+		t.Error("128 >=u 1 should be true")
+	}
+	if !a.Ges(b).IsZero() {
+		t.Error("-128 >=s 1 should be false")
+	}
+	if a.Eq(a).IsZero() || !a.Neq(a).IsZero() {
+		t.Error("eq/neq reflexivity broken")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := New(8, 0x81)
+	if got := v.Sll(New(3, 1)); got != New(8, 0x02) {
+		t.Errorf("0x81 << 1 = %v", got)
+	}
+	if got := v.Srl(New(3, 1)); got != New(8, 0x40) {
+		t.Errorf("0x81 >> 1 = %v", got)
+	}
+	if got := v.Sra(New(3, 1)); got != New(8, 0xc0) {
+		t.Errorf("0x81 >>> 1 = %v", got)
+	}
+	if got := v.Sll(New(8, 200)); !got.IsZero() {
+		t.Errorf("oversized shift left = %v", got)
+	}
+	if got := v.Sra(New(8, 200)); got != New(8, 0xff) {
+		t.Errorf("oversized arithmetic shift of negative = %v", got)
+	}
+	if got := New(8, 0x7f).Sra(New(8, 200)); !got.IsZero() {
+		t.Errorf("oversized arithmetic shift of positive = %v", got)
+	}
+}
+
+func TestConcatSlice(t *testing.T) {
+	hi, lo := New(4, 0xa), New(8, 0x5c)
+	c := hi.Concat(lo)
+	if c != New(12, 0xa5c) {
+		t.Errorf("concat = %v", c)
+	}
+	if got := c.Slice(8, 4); got != hi {
+		t.Errorf("slice hi = %v", got)
+	}
+	if got := c.Slice(0, 8); got != lo {
+		t.Errorf("slice lo = %v", got)
+	}
+	if got := c.Slice(4, 4); got != New(4, 0x5) {
+		t.Errorf("slice mid = %v", got)
+	}
+}
+
+func TestExtendTruncate(t *testing.T) {
+	v := New(8, 0x80)
+	if got := v.ZeroExtend(16); got != New(16, 0x80) {
+		t.Errorf("zext = %v", got)
+	}
+	if got := v.SignExtend(16); got != New(16, 0xff80) {
+		t.Errorf("sext = %v", got)
+	}
+	if got := New(16, 0xff80).Truncate(8); got != v {
+		t.Errorf("trunc = %v", got)
+	}
+	if got := Zero(0).SignExtend(4); got != Zero(4) {
+		t.Errorf("sext of empty = %v", got)
+	}
+}
+
+func TestSetSlice(t *testing.T) {
+	v := Zero(12)
+	v = v.SetSlice(4, New(4, 0xf))
+	if v != New(12, 0x0f0) {
+		t.Errorf("set-slice = %v", v)
+	}
+	v = v.SetSlice(4, New(4, 0x3))
+	if v != New(12, 0x030) {
+		t.Errorf("set-slice overwrite = %v", v)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := New(8, 0x2a).String(); got != "8'x2a" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: Add/Sub/logical ops agree with math/big modulo 2^w.
+func TestQuickAgainstBig(t *testing.T) {
+	f := func(av, bv uint64, wRaw uint8) bool {
+		w := int(wRaw)%64 + 1
+		a, b := New(w, av), New(w, bv)
+		mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+		ab := new(big.Int).SetUint64(a.Val)
+		bb := new(big.Int).SetUint64(b.Val)
+		sum := new(big.Int).Mod(new(big.Int).Add(ab, bb), mod)
+		if a.Add(b).Val != sum.Uint64() {
+			return false
+		}
+		diff := new(big.Int).Mod(new(big.Int).Sub(ab, bb), mod)
+		if a.Sub(b).Val != diff.Uint64() {
+			return false
+		}
+		prod := new(big.Int).Mod(new(big.Int).Mul(ab, bb), mod)
+		if a.Mul(b).Val != prod.Uint64() {
+			return false
+		}
+		return a.And(b).Val == ab.Uint64()&bb.Uint64()&Mask(w) &&
+			a.Xor(b).Val == (ab.Uint64()^bb.Uint64())&Mask(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Not is an involution and a + ~a == all-ones.
+func TestQuickNot(t *testing.T) {
+	f := func(av uint64, wRaw uint8) bool {
+		w := int(wRaw)%64 + 1
+		a := New(w, av)
+		return a.Not().Not() == a && a.Add(a.Not()) == Ones(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concat then slice recovers both halves.
+func TestQuickConcatSlice(t *testing.T) {
+	f := func(av, bv uint64, wa, wb uint8) bool {
+		a := New(int(wa)%32+1, av)
+		b := New(int(wb)%32+1, bv)
+		c := a.Concat(b)
+		return c.Slice(b.Width, a.Width) == a && c.Slice(0, b.Width) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sign-extension preserves Signed().
+func TestQuickSignExtend(t *testing.T) {
+	f := func(av uint64, wRaw, extRaw uint8) bool {
+		w := int(wRaw)%32 + 1
+		ext := w + int(extRaw)%(64-w+1)
+		a := New(w, av)
+		return a.SignExtend(ext).Signed() == a.Signed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

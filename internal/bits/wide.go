@@ -1,0 +1,209 @@
+package bits
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Wide is a bit vector of arbitrary width, stored little-endian in 64-bit
+// limbs. It backs wide datapaths (e.g. concatenated FFT operands) that do
+// not fit the 64-bit fast path. Wide values are canonical: the top limb is
+// masked to the remaining width.
+type Wide struct {
+	width int
+	limbs []uint64
+}
+
+func wideLimbs(w int) int { return (w + 63) / 64 }
+
+// NewWide returns a w-bit vector initialized from limbs (little-endian).
+// Missing limbs are zero; excess bits are masked off.
+func NewWide(w int, limbs ...uint64) Wide {
+	if w < 0 {
+		panic("bits: negative width")
+	}
+	v := Wide{width: w, limbs: make([]uint64, wideLimbs(w))}
+	copy(v.limbs, limbs)
+	v.normalize()
+	return v
+}
+
+// WideFromBits widens a Bits value into a Wide of the same width.
+func WideFromBits(b Bits) Wide {
+	if b.Width == 0 {
+		return Wide{}
+	}
+	return NewWide(b.Width, b.Val)
+}
+
+// WideFromBig returns a w-bit vector holding x modulo 2^w. Negative x is
+// taken two's-complement.
+func WideFromBig(w int, x *big.Int) Wide {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	v := new(big.Int).Mod(x, m)
+	out := Wide{width: w, limbs: make([]uint64, wideLimbs(w))}
+	words := v.Bits()
+	for i, word := range words {
+		if i < len(out.limbs) {
+			out.limbs[i] = uint64(word)
+		}
+	}
+	out.normalize()
+	return out
+}
+
+func (v *Wide) normalize() {
+	if len(v.limbs) == 0 {
+		return
+	}
+	rem := v.width % 64
+	if rem != 0 {
+		v.limbs[len(v.limbs)-1] &= Mask(rem)
+	}
+}
+
+// Width returns the vector's declared width in bits.
+func (v Wide) Width() int { return v.width }
+
+// Big returns the unsigned integer value of v.
+func (v Wide) Big() *big.Int {
+	x := new(big.Int)
+	for i := len(v.limbs) - 1; i >= 0; i-- {
+		x.Lsh(x, 64)
+		x.Or(x, new(big.Int).SetUint64(v.limbs[i]))
+	}
+	return x
+}
+
+// Bits narrows v to a Bits value; v must be at most 64 bits wide.
+func (v Wide) Bits() Bits {
+	if v.width > MaxWidth {
+		panic("bits: Wide too wide for Bits")
+	}
+	if len(v.limbs) == 0 {
+		return Bits{}
+	}
+	return Bits{Width: v.width, Val: v.limbs[0]}
+}
+
+// Equal reports whether v and o have the same width and payload.
+func (v Wide) Equal(o Wide) bool {
+	if v.width != o.width {
+		return false
+	}
+	for i := range v.limbs {
+		if v.limbs[i] != o.limbs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bit returns bit i of v.
+func (v Wide) Bit(i int) uint64 {
+	if i < 0 || i >= v.width {
+		panic("bits: bit index out of range")
+	}
+	return (v.limbs[i/64] >> uint(i%64)) & 1
+}
+
+func (v Wide) checkWidth(o Wide, op string) {
+	if v.width != o.width {
+		panic(fmt.Sprintf("bits: width mismatch in wide %s: %d vs %d", op, v.width, o.width))
+	}
+}
+
+// Add returns v + o modulo 2^Width.
+func (v Wide) Add(o Wide) Wide {
+	v.checkWidth(o, "add")
+	out := Wide{width: v.width, limbs: make([]uint64, len(v.limbs))}
+	var carry uint64
+	for i := range v.limbs {
+		s := v.limbs[i] + o.limbs[i]
+		c1 := uint64(0)
+		if s < v.limbs[i] {
+			c1 = 1
+		}
+		s2 := s + carry
+		if s2 < s {
+			c1 = 1
+		}
+		out.limbs[i] = s2
+		carry = c1
+	}
+	out.normalize()
+	return out
+}
+
+// And returns the bitwise AND.
+func (v Wide) And(o Wide) Wide { return v.bitwise(o, "and", func(a, b uint64) uint64 { return a & b }) }
+
+// Or returns the bitwise OR.
+func (v Wide) Or(o Wide) Wide { return v.bitwise(o, "or", func(a, b uint64) uint64 { return a | b }) }
+
+// Xor returns the bitwise XOR.
+func (v Wide) Xor(o Wide) Wide { return v.bitwise(o, "xor", func(a, b uint64) uint64 { return a ^ b }) }
+
+func (v Wide) bitwise(o Wide, op string, f func(a, b uint64) uint64) Wide {
+	v.checkWidth(o, op)
+	out := Wide{width: v.width, limbs: make([]uint64, len(v.limbs))}
+	for i := range v.limbs {
+		out.limbs[i] = f(v.limbs[i], o.limbs[i])
+	}
+	out.normalize()
+	return out
+}
+
+// Not returns the bitwise complement.
+func (v Wide) Not() Wide {
+	out := Wide{width: v.width, limbs: make([]uint64, len(v.limbs))}
+	for i := range v.limbs {
+		out.limbs[i] = ^v.limbs[i]
+	}
+	out.normalize()
+	return out
+}
+
+// Concat returns {v, o} with v in the high bits.
+func (v Wide) Concat(o Wide) Wide {
+	out := Wide{width: v.width + o.width, limbs: make([]uint64, wideLimbs(v.width+o.width))}
+	copy(out.limbs, o.limbs)
+	for i := 0; i < v.width; i++ {
+		if v.Bit(i) != 0 {
+			j := o.width + i
+			out.limbs[j/64] |= 1 << uint(j%64)
+		}
+	}
+	return out
+}
+
+// Slice returns bits [lo, lo+w) of v.
+func (v Wide) Slice(lo, w int) Wide {
+	if lo < 0 || w < 0 || lo+w > v.width {
+		panic("bits: wide slice out of range")
+	}
+	out := Wide{width: w, limbs: make([]uint64, wideLimbs(w))}
+	for i := 0; i < w; i++ {
+		if v.Bit(lo+i) != 0 {
+			out.limbs[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return out
+}
+
+// String renders the vector as <width>'x<hex>.
+func (v Wide) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d'x", v.width)
+	started := false
+	for i := len(v.limbs) - 1; i >= 0; i-- {
+		if started {
+			fmt.Fprintf(&sb, "%016x", v.limbs[i])
+		} else if v.limbs[i] != 0 || i == 0 {
+			fmt.Fprintf(&sb, "%x", v.limbs[i])
+			started = true
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package bits
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestWideBasics(t *testing.T) {
+	v := NewWide(100, 0xdeadbeef, 0x1)
+	if v.Width() != 100 {
+		t.Fatalf("width = %d", v.Width())
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 64)
+	want.Or(want, big.NewInt(0xdeadbeef))
+	if v.Big().Cmp(want) != 0 {
+		t.Errorf("Big() = %v, want %v", v.Big(), want)
+	}
+}
+
+func TestWideMasksTopLimb(t *testing.T) {
+	v := NewWide(65, ^uint64(0), ^uint64(0))
+	if v.Bit(64) != 1 {
+		t.Error("bit 64 should be set")
+	}
+	two65 := new(big.Int).Lsh(big.NewInt(1), 65)
+	two65.Sub(two65, big.NewInt(1))
+	if v.Big().Cmp(two65) != 0 {
+		t.Errorf("65-bit all ones = %v", v.Big())
+	}
+}
+
+func TestWideBitsRoundTrip(t *testing.T) {
+	b := New(48, 0xabcdef123456)
+	if got := WideFromBits(b).Bits(); got != b {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestWideConcatSlice(t *testing.T) {
+	a := NewWide(70, 0x1234, 0x3f)
+	b := NewWide(33, 0x1ffffffff)
+	c := a.Concat(b)
+	if c.Width() != 103 {
+		t.Fatalf("concat width = %d", c.Width())
+	}
+	if !c.Slice(33, 70).Equal(a) || !c.Slice(0, 33).Equal(b) {
+		t.Error("concat/slice round trip broken")
+	}
+}
+
+func TestWideNotInvolution(t *testing.T) {
+	v := NewWide(129, 5, 7, 1)
+	if !v.Not().Not().Equal(v) {
+		t.Error("double negation broken")
+	}
+}
+
+func TestWideString(t *testing.T) {
+	if got := NewWide(72, 0xff, 0x1).String(); got != "72'x100000000000000ff" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewWide(8, 0x2a).String(); got != "8'x2a" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: wide Add agrees with math/big.
+func TestQuickWideAdd(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint64, wRaw uint8) bool {
+		w := int(wRaw)%128 + 1
+		a := NewWide(w, a0, a1)
+		b := NewWide(w, b0, b1)
+		mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+		want := new(big.Int).Mod(new(big.Int).Add(a.Big(), b.Big()), mod)
+		return a.Add(b).Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bitwise ops agree with math/big.
+func TestQuickWideBitwise(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint64, wRaw uint8) bool {
+		w := int(wRaw)%128 + 1
+		a := NewWide(w, a0, a1)
+		b := NewWide(w, b0, b1)
+		and := new(big.Int).And(a.Big(), b.Big())
+		or := new(big.Int).Or(a.Big(), b.Big())
+		xor := new(big.Int).Xor(a.Big(), b.Big())
+		return a.And(b).Big().Cmp(and) == 0 &&
+			a.Or(b).Big().Cmp(or) == 0 &&
+			a.Xor(b).Big().Cmp(xor) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WideFromBig round-trips through Big.
+func TestQuickWideFromBig(t *testing.T) {
+	f := func(a0, a1 uint64, wRaw uint8) bool {
+		w := int(wRaw)%128 + 1
+		x := NewWide(w, a0, a1).Big()
+		return WideFromBig(w, x).Big().Cmp(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

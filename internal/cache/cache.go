@@ -1,0 +1,143 @@
+// Package cache implements the Case Study 1 system: a two-core machine
+// with per-core L1 "child" caches and a "parent" protocol engine running
+// the MSI coherence protocol. MSHRs are structs whose tag is the
+// Ready/SendFillReq/WaitFillResp enum the paper's debugging walkthrough
+// prints, and the parent's ConfirmDowngrades state is where the injected
+// protocol bug deadlocks the system.
+//
+// Each child covers the whole (tiny) address space, which removes eviction
+// traffic while preserving every coherence transition the case study needs:
+// GetS/GetM requests, downgrades of the other core's copy, dirty
+// writebacks, and the parent's wait-for-acknowledgement state.
+//
+// Config.BugDroppedAck injects the deadlock: a child that is asked to drop
+// a clean Shared line performs the downgrade but never acknowledges it, so
+// the parent waits in ConfirmDowngrades forever — precisely the "rule fails
+// due to intermediate state unexpectedly indicating that downgrading has
+// not finished" scenario of §4.2.
+package cache
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/stdlib"
+)
+
+// AddrBits sets the address-space size (words).
+const AddrBits = 3
+
+// NumAddrs is the number of addressable words.
+const NumAddrs = 1 << AddrBits
+
+// Config selects protocol variants.
+type Config struct {
+	// BugDroppedAck, when true, makes children drop the acknowledgement
+	// for Shared-line invalidations.
+	BugDroppedAck bool
+}
+
+// System names the design artifacts tests and the debugger walkthrough use.
+type System struct {
+	Design   *ast.Design
+	MSI      *ast.EnumType
+	MSHRTag  *ast.EnumType
+	PState   *ast.EnumType
+	MSHR     [2]string // per-child MSHR register
+	OpsDone  [2]string // per-child completed-operation counters
+	PStateRg string    // parent state register
+}
+
+// Build elaborates the system.
+func Build(cfg Config) *System {
+	d := ast.NewDesign("msi")
+	gs := &stdlib.Gensym{}
+
+	msi := ast.NewEnum("msi", 2, "I", "S", "M")
+	mshrTag := ast.NewEnum("mshr_tag", 2, "Ready", "SendFillReq", "WaitFillResp")
+	pstate := ast.NewEnum("pstate", 1, "PReady", "ConfirmDowngrades")
+	reqType := ast.NewEnum("req_type", 1, "GetS", "GetM")
+	mshrTy := ast.NewStruct("mshr",
+		ast.F("tag", mshrTag),
+		ast.F("addr", ast.Bits(AddrBits)),
+		ast.F("iswrite", ast.Bits(1)),
+		ast.F("wdata", ast.Bits(32)),
+	)
+
+	sys := &System{Design: d, MSI: msi, MSHRTag: mshrTag, PState: pstate}
+
+	b := &builder{d: d, gs: gs, cfg: cfg, msi: msi, mshrTag: mshrTag,
+		pstate: pstate, reqType: reqType, mshrTy: mshrTy}
+	b.declare()
+	sys.MSHR = [2]string{"c0_mshr", "c1_mshr"}
+	sys.OpsDone = [2]string{"c0_ops_done", "c1_ops_done"}
+	sys.PStateRg = "p_state"
+
+	// Schedule: consumers of each channel run before its producers, so
+	// every queue sustains one message per cycle.
+	b.childFill(0)
+	b.childFill(1)
+	b.parentConfirm()
+	b.childHandleDown(0)
+	b.childHandleDown(1)
+	b.parentReq(0)
+	b.parentReq(1)
+	b.childSend(0)
+	b.childSend(1)
+	b.childStart(0)
+	b.childStart(1)
+	return sys
+}
+
+type builder struct {
+	d   *ast.Design
+	gs  *stdlib.Gensym
+	cfg Config
+
+	msi, mshrTag, pstate, reqType *ast.EnumType
+	mshrTy                        *ast.StructType
+
+	lineState [2]*stdlib.RegArray
+	lineData  [2]*stdlib.RegArray
+	dir       [2]*stdlib.RegArray
+	mem       *stdlib.RegArray
+
+	c2pReq, p2cGrant, p2cDown, c2pAck [2]*stdlib.FIFO1
+}
+
+func cp(i int, s string) string { return fmt.Sprintf("c%d_%s", i, s) }
+
+func (b *builder) declare() {
+	d := b.d
+	for i := 0; i < 2; i++ {
+		b.lineState[i] = stdlib.NewRegArray(d, b.gs, cp(i, "line_state"), NumAddrs, b.msi, 0)
+		b.lineData[i] = stdlib.NewRegArray(d, b.gs, cp(i, "line_data"), NumAddrs, ast.Bits(32), 0)
+		d.RegB(cp(i, "mshr"), b.mshrTy, b.mshrTy.PackValues(
+			b.mshrTag.Value("Ready"), bits.Zero(AddrBits), bits.Zero(1), bits.Zero(32)))
+		d.Reg(cp(i, "gen_cnt"), ast.Bits(16), 0)
+		d.Reg(cp(i, "ops_done"), ast.Bits(32), 0)
+		d.Reg(cp(i, "out_data"), ast.Bits(32), 0)
+
+		b.c2pReq[i] = stdlib.NewFIFO1(d, cp(i, "c2p_req"),
+			ast.F("addr", ast.Bits(AddrBits)), ast.F("rtype", b.reqType))
+		b.p2cGrant[i] = stdlib.NewFIFO1(d, cp(i, "p2c_grant"),
+			ast.F("addr", ast.Bits(AddrBits)), ast.F("data", ast.Bits(32)), ast.F("state", b.msi))
+		b.p2cDown[i] = stdlib.NewFIFO1(d, cp(i, "p2c_down"),
+			ast.F("addr", ast.Bits(AddrBits)), ast.F("to", b.msi))
+		b.c2pAck[i] = stdlib.NewFIFO1(d, cp(i, "c2p_ack"),
+			ast.F("addr", ast.Bits(AddrBits)), ast.F("data", ast.Bits(32)), ast.F("dirty", ast.Bits(1)))
+
+		b.dir[i] = stdlib.NewRegArray(d, b.gs, fmt.Sprintf("p_dir%d", i), NumAddrs, b.msi, 0)
+	}
+	b.mem = stdlib.NewRegArray(d, b.gs, "p_mem", NumAddrs, ast.Bits(32), 0)
+	d.Reg("p_state", b.pstate, 0)
+	d.Reg("p_req_addr", ast.Bits(AddrBits), 0)
+	d.RegB("p_req_type", b.reqType, b.reqType.Value("GetS"))
+	d.Reg("p_req_child", ast.Bits(1), 0)
+}
+
+// mshrReady builds "mshr.tag == <tag>" for child i.
+func (b *builder) mshrTagIs(i int, tag string) *ast.Node {
+	return ast.Eq(ast.Field(ast.Rd0(cp(i, "mshr")), "tag"), ast.E(b.mshrTag, tag))
+}

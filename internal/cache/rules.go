@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+)
+
+// childStart issues the next operation from child i's deterministic request
+// generator. Hits complete immediately; misses allocate the MSHR.
+func (b *builder) childStart(i int) {
+	mshr, cnt := cp(i, "mshr"), cp(i, "gen_cnt")
+
+	// addr = (cnt*3 + i) mod NumAddrs; every other operation is a store;
+	// wdata is derived from the counter so a checker can predict it.
+	addr := ast.Truncate(AddrBits,
+		ast.Add(ast.Mul(ast.Rd0(cnt), ast.C(16, 3)), ast.C(16, uint64(i))))
+
+	hitLoad := ast.Seq(
+		ast.Wr0(cp(i, "out_data"), b.lineData[i].Read0(ast.V("a"))),
+		b.complete(i),
+	)
+	hitStore := ast.Seq(
+		b.lineData[i].Write0(ast.V("a"), ast.V("wd")),
+		b.complete(i),
+	)
+	missLoad := b.allocMSHR(i, mshr)
+	missStore := b.allocMSHR(i, mshr)
+
+	b.d.Rule(cp(i, "start"),
+		ast.Guard(b.mshrTagIs(i, "Ready")),
+		ast.Let("cnt2", ast.Rd0(cnt),
+			ast.Let("a", addr,
+				ast.Let("w", ast.Slice(ast.V("cnt2"), 0, 1),
+					ast.Let("wd", ast.Concat(ast.C(16, uint64(i)), ast.V("cnt2")),
+						ast.Let("st", b.lineState[i].Read0(ast.V("a")),
+							ast.If(ast.Eq(ast.V("w"), ast.C(1, 0)),
+								// Load: any valid copy suffices.
+								ast.If(ast.Neq(ast.V("st"), ast.E(b.msi, "I")),
+									hitLoad,
+									missLoad),
+								// Store: needs Modified.
+								ast.If(ast.Eq(ast.V("st"), ast.E(b.msi, "M")),
+									hitStore,
+									missStore)),
+							ast.Wr0(cnt, ast.Add(ast.V("cnt2"), ast.C(16, 1))),
+						))))),
+	)
+}
+
+// allocMSHR latches the missing request into the MSHR.
+func (b *builder) allocMSHR(i int, mshr string) *ast.Node {
+	return ast.Wr0(mshr, ast.Pack(b.mshrTy,
+		ast.E(b.mshrTag, "SendFillReq"),
+		ast.V("a"),
+		ast.V("w"),
+		ast.V("wd")))
+}
+
+// complete counts a finished operation.
+func (b *builder) complete(i int) *ast.Node {
+	done := cp(i, "ops_done")
+	return ast.Wr0(done, ast.Add(ast.Rd0(done), ast.C(32, 1)))
+}
+
+// childSend forwards the MSHR's request to the parent.
+func (b *builder) childSend(i int) {
+	mshr := cp(i, "mshr")
+	b.d.Rule(cp(i, "send"),
+		ast.Guard(b.mshrTagIs(i, "SendFillReq")),
+		ast.Let("m", ast.Rd0(mshr),
+			b.c2pReq[i].Enq(
+				ast.Field(ast.V("m"), "addr"),
+				ast.If(ast.Eq(ast.Field(ast.V("m"), "iswrite"), ast.C(1, 1)),
+					ast.E(b.reqType, "GetM"),
+					ast.E(b.reqType, "GetS"))),
+			ast.Wr0(mshr, ast.SetField(ast.V("m"), "tag", ast.E(b.mshrTag, "WaitFillResp"))),
+		),
+	)
+}
+
+// childFill installs the parent's grant and completes the operation.
+func (b *builder) childFill(i int) {
+	mshr := cp(i, "mshr")
+	b.d.Rule(cp(i, "fill"),
+		ast.Guard(b.mshrTagIs(i, "WaitFillResp")),
+		b.p2cGrant[i].Deq(),
+		ast.Let("m", ast.Rd0(mshr),
+			ast.Let("ga", b.p2cGrant[i].First("addr"),
+				ast.Let("gs", b.p2cGrant[i].First("state"),
+					ast.Let("gd", b.p2cGrant[i].First("data"),
+						b.lineState[i].Write0(ast.V("ga"), ast.V("gs")),
+						ast.If(ast.Eq(ast.Field(ast.V("m"), "iswrite"), ast.C(1, 1)),
+							b.lineData[i].Write0(ast.V("ga"), ast.Field(ast.V("m"), "wdata")),
+							ast.Seq(
+								b.lineData[i].Write0(ast.V("ga"), ast.V("gd")),
+								ast.Wr0(cp(i, "out_data"), ast.V("gd")))),
+						b.complete(i),
+						ast.Wr0(mshr, ast.SetField(ast.V("m"), "tag", ast.E(b.mshrTag, "Ready"))),
+					)))),
+	)
+}
+
+// childHandleDown services a downgrade request from the parent. The dirty
+// (Modified) path writes the line back through the acknowledgement; the
+// clean path acknowledges without data — unless the injected bug drops
+// that acknowledgement entirely.
+func (b *builder) childHandleDown(i int) {
+	ackClean := b.c2pAck[i].Enq(ast.V("da"), ast.C(32, 0), ast.C(1, 0))
+	if b.cfg.BugDroppedAck {
+		// BUG: the downgrade happens but the parent is never told.
+		ackClean = ast.Skip()
+	}
+
+	b.d.Rule(cp(i, "handle_down"),
+		b.p2cDown[i].Deq(),
+		ast.Let("da", b.p2cDown[i].First("addr"),
+			ast.Let("dto", b.p2cDown[i].First("to"),
+				ast.Let("dst", b.lineState[i].Read0(ast.V("da")),
+					b.lineState[i].Write0(ast.V("da"), ast.V("dto")),
+					ast.If(ast.Eq(ast.V("dst"), ast.E(b.msi, "M")),
+						b.c2pAck[i].Enq(
+							ast.V("da"),
+							b.lineData[i].Read0(ast.V("da")),
+							ast.C(1, 1)),
+						ackClean),
+				))),
+	)
+}
+
+// parentReq pops child i's request. If the other child holds a conflicting
+// copy, a downgrade is requested and the parent enters ConfirmDowngrades;
+// otherwise the grant is immediate.
+func (b *builder) parentReq(i int) {
+	other := 1 - i
+
+	conflict := ast.If(ast.Eq(ast.V("rt"), ast.E(b.reqType, "GetM")),
+		ast.Neq(ast.V("ost"), ast.E(b.msi, "I")),
+		ast.Eq(ast.V("ost"), ast.E(b.msi, "M")))
+
+	requestDowngrade := ast.Seq(
+		b.p2cDown[other].Enq(
+			ast.V("ra"),
+			ast.If(ast.Eq(ast.V("rt"), ast.E(b.reqType, "GetM")),
+				ast.E(b.msi, "I"),
+				ast.E(b.msi, "S"))),
+		ast.Wr0("p_state", ast.E(b.pstate, "ConfirmDowngrades")),
+		ast.Wr0("p_req_addr", ast.V("ra")),
+		ast.Wr0("p_req_type", ast.V("rt")),
+		ast.Wr0("p_req_child", ast.C(1, uint64(i))),
+	)
+
+	b.d.Rule(fmt.Sprintf("p_req%d", i),
+		ast.Guard(ast.Eq(ast.Rd0("p_state"), ast.E(b.pstate, "PReady"))),
+		b.c2pReq[i].Deq(),
+		ast.Let("ra", b.c2pReq[i].First("addr"),
+			ast.Let("rt", b.c2pReq[i].First("rtype"),
+				ast.Let("ost", b.dir[other].Read0(ast.V("ra")),
+					ast.If(conflict,
+						requestDowngrade,
+						b.grantNow(i)),
+				))),
+	)
+}
+
+// grantNow grants child i's request immediately: the directory is updated
+// and the response carries the memory word.
+func (b *builder) grantNow(i int) *ast.Node {
+	grantState := func() *ast.Node {
+		return ast.If(ast.Eq(ast.V("rt"), ast.E(b.reqType, "GetM")),
+			ast.E(b.msi, "M"),
+			ast.E(b.msi, "S"))
+	}
+	return ast.Seq(
+		b.dir[i].Write0(ast.V("ra"), grantState()),
+		b.p2cGrant[i].Enq(
+			ast.V("ra"),
+			b.mem.Read0(ast.V("ra")),
+			grantState()),
+	)
+}
+
+// parentConfirm waits in ConfirmDowngrades for the other child's
+// acknowledgement, folds a dirty writeback into memory, then issues the
+// deferred grant. With the bug injected downstream, the Deq guard aborts
+// here every cycle — the FAIL the case-study debugger breaks on.
+func (b *builder) parentConfirm() {
+	perChild := func(child int) *ast.Node {
+		other := 1 - child
+		grantState := func() *ast.Node {
+			return ast.If(ast.Eq(ast.Rd0("p_req_type"), ast.E(b.reqType, "GetM")),
+				ast.E(b.msi, "M"),
+				ast.E(b.msi, "S"))
+		}
+		return ast.Seq(
+			b.c2pAck[other].Deq(),
+			ast.Let("aad", b.c2pAck[other].First("addr"),
+				ast.Let("adata", b.c2pAck[other].First("data"),
+					ast.Let("adirty", b.c2pAck[other].First("dirty"),
+						// Fold a dirty writeback into memory.
+						ast.When(ast.Eq(ast.V("adirty"), ast.C(1, 1)),
+							b.mem.Write0(ast.V("aad"), ast.V("adata"))),
+						// Record the other child's new state.
+						b.dir[other].Write0(ast.V("aad"),
+							ast.If(ast.Eq(ast.Rd0("p_req_type"), ast.E(b.reqType, "GetM")),
+								ast.E(b.msi, "I"),
+								ast.E(b.msi, "S"))),
+						// Grant the pending request; the port-1 memory read
+						// observes this cycle's writeback.
+						b.dir[child].Write0(ast.Rd0("p_req_addr"), grantState()),
+						b.p2cGrant[child].Enq(
+							ast.Rd0("p_req_addr"),
+							b.mem.Read1(ast.Rd0("p_req_addr")),
+							grantState()),
+						ast.Wr0("p_state", ast.E(b.pstate, "PReady")),
+					))))
+	}
+
+	b.d.Rule("p_confirm",
+		ast.Guard(ast.Eq(ast.Rd0("p_state"), ast.E(b.pstate, "ConfirmDowngrades"))),
+		ast.If(ast.Eq(ast.Rd0("p_req_child"), ast.C(1, 0)),
+			perChild(0),
+			perChild(1)),
+	)
+}

@@ -1,0 +1,280 @@
+// Package circuit is the hardware half of the two pipelines: it lowers a
+// Kôika design to a combinational netlist the way the paper's RTL compiler
+// does — one circuit per rule, all evaluated every cycle, with scheduling
+// logic reconciling their results a posteriori. Package rtlsim then plays
+// the role of Verilator by evaluating that netlist cycle by cycle, and
+// package verilog pretty-prints it.
+//
+// Two lowering styles are provided, matching the paper's Figure 2
+// comparison:
+//
+//   - StyleKoika: fully dynamic scheduling. Rule circuits track read-write
+//     sets as wires; a rule's will-fire signal is computed from its dynamic
+//     conflict checks against the accumulated cycle log, exactly mirroring
+//     Kôika's verified compiler.
+//   - StyleBluespec: static scheduling in the manner of the commercial
+//     Bluespec compiler. Conflicts between rules are resolved at compile
+//     time from a conflict matrix; the circuit carries CAN_FIRE/WILL_FIRE
+//     signals and no dynamic read-write tracking. This style is
+//     cycle-equivalent to the dynamic one only for designs whose rules are
+//     statically conflict-free (which the shipped processor and DSP designs
+//     are); it exists as the performance comparator.
+package circuit
+
+import (
+	"fmt"
+
+	"cuttlego/internal/analysis"
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// Style selects the lowering scheme.
+type Style int
+
+// Lowering styles.
+const (
+	StyleKoika Style = iota
+	StyleBluespec
+)
+
+func (s Style) String() string {
+	if s == StyleBluespec {
+		return "bluespec"
+	}
+	return "koika"
+}
+
+// NetKind discriminates netlist nodes.
+type NetKind uint8
+
+// Netlist node kinds.
+const (
+	NConst NetKind = iota
+	NRegOut
+	NUnop  // Op with Lo/Wid parameters; operand Args[0]
+	NBinop // Op; operands Args[0], Args[1]
+	NMux   // Args[0] ? Args[1] : Args[2]
+	NExt   // external function Ext applied to Args
+)
+
+// Net is one netlist node. Nets are hash-consed: structurally identical
+// nodes share an index, which is both a compiler optimization (CSE) and
+// what keeps the generated circuits comparable to real RTL output.
+type Net struct {
+	Kind    NetKind
+	W       int
+	Op      ast.Op
+	Lo, Wid int
+	Val     uint64
+	Reg     int
+	Ext     int
+	Args    []int
+}
+
+// Circuit is a compiled design: a topologically ordered netlist plus, for
+// every register, the net computing its next value, and for every scheduled
+// rule its will-fire net.
+type Circuit struct {
+	Design   *ast.Design
+	Style    Style
+	Nets     []Net
+	Next     []int // per register
+	WillFire []int // per schedule position
+}
+
+// builder constructs hash-consed nets with peephole simplification.
+type builder struct {
+	nets  []Net
+	memo  map[string]int
+	d     *ast.Design
+	an    *analysis.Result
+	style Style
+}
+
+func (b *builder) intern(n Net) int {
+	key := fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d|%d|%v", n.Kind, n.W, n.Op, n.Lo, n.Wid, n.Val, n.Reg, n.Ext, n.Args)
+	if i, ok := b.memo[key]; ok {
+		return i
+	}
+	i := len(b.nets)
+	b.nets = append(b.nets, n)
+	b.memo[key] = i
+	return i
+}
+
+func (b *builder) constant(w int, v uint64) int {
+	return b.intern(Net{Kind: NConst, W: w, Val: v & bits.Mask(w)})
+}
+
+func (b *builder) isConst(i int) (uint64, bool) {
+	if b.nets[i].Kind == NConst {
+		return b.nets[i].Val, true
+	}
+	return 0, false
+}
+
+func (b *builder) regOut(reg int) int {
+	w := b.d.Registers[reg].Type.BitWidth()
+	return b.intern(Net{Kind: NRegOut, W: w, Reg: reg})
+}
+
+// mux builds sel ? a : bn with simplification.
+func (b *builder) mux(sel, a, bn int) int {
+	if a == bn {
+		return a
+	}
+	if v, ok := b.isConst(sel); ok {
+		if v != 0 {
+			return a
+		}
+		return bn
+	}
+	w := b.nets[a].W
+	if av, aok := b.isConst(a); aok {
+		if bv, bok := b.isConst(bn); bok && w == 1 {
+			if av == 1 && bv == 0 {
+				return sel
+			}
+			if av == 0 && bv == 1 {
+				return b.not(sel)
+			}
+		}
+	}
+	return b.intern(Net{Kind: NMux, W: w, Args: []int{sel, a, bn}})
+}
+
+func (b *builder) binop(op ast.Op, w int, x, y int) int {
+	if xv, ok := b.isConst(x); ok {
+		if yv, ok2 := b.isConst(y); ok2 {
+			a := bits.Bits{Width: b.nets[x].W, Val: xv}
+			c := bits.Bits{Width: b.nets[y].W, Val: yv}
+			r := evalBinopBits(op, a, c)
+			return b.constant(r.Width, r.Val)
+		}
+	}
+	// Identity simplifications on 1-bit logic keep scheduler circuits lean.
+	switch op {
+	case ast.OpAnd:
+		if v, ok := b.isConst(x); ok {
+			if v == bits.Mask(w) {
+				return y
+			}
+			if v == 0 {
+				return b.constant(w, 0)
+			}
+		}
+		if v, ok := b.isConst(y); ok {
+			if v == bits.Mask(w) {
+				return x
+			}
+			if v == 0 {
+				return b.constant(w, 0)
+			}
+		}
+		if x == y {
+			return x
+		}
+	case ast.OpOr:
+		if v, ok := b.isConst(x); ok {
+			if v == 0 {
+				return y
+			}
+			if v == bits.Mask(w) {
+				return b.constant(w, bits.Mask(w))
+			}
+		}
+		if v, ok := b.isConst(y); ok {
+			if v == 0 {
+				return x
+			}
+			if v == bits.Mask(w) {
+				return b.constant(w, bits.Mask(w))
+			}
+		}
+		if x == y {
+			return x
+		}
+	}
+	return b.intern(Net{Kind: NBinop, W: w, Op: op, Args: []int{x, y}})
+}
+
+func (b *builder) and(x, y int) int { return b.binop(ast.OpAnd, 1, x, y) }
+func (b *builder) or(x, y int) int  { return b.binop(ast.OpOr, 1, x, y) }
+
+func (b *builder) not(x int) int {
+	if v, ok := b.isConst(x); ok {
+		return b.constant(b.nets[x].W, ^v)
+	}
+	return b.intern(Net{Kind: NUnop, W: b.nets[x].W, Op: ast.OpNot, Args: []int{x}})
+}
+
+func (b *builder) unop(op ast.Op, w, lo, wid, x int) int {
+	if v, ok := b.isConst(x); ok {
+		a := bits.Bits{Width: b.nets[x].W, Val: v}
+		var r bits.Bits
+		switch op {
+		case ast.OpNot:
+			r = a.Not()
+		case ast.OpSignExtend:
+			r = a.SignExtend(wid)
+		case ast.OpZeroExtend:
+			r = a.ZeroExtend(wid)
+		case ast.OpSlice:
+			r = a.Slice(lo, wid)
+		}
+		return b.constant(r.Width, r.Val)
+	}
+	if op == ast.OpZeroExtend {
+		// Zero-extension is free in our value representation, but the net
+		// must carry the result width for downstream operators.
+		if b.nets[x].W == w {
+			return x
+		}
+	}
+	if op == ast.OpSlice && lo == 0 && wid == b.nets[x].W {
+		return x
+	}
+	return b.intern(Net{Kind: NUnop, W: w, Op: op, Lo: lo, Wid: wid, Args: []int{x}})
+}
+
+// evalBinopBits mirrors interp.EvalBinop without importing it (avoiding a
+// dependency cycle through testkit is not a concern, but keeping circuit
+// self-contained is).
+func evalBinopBits(op ast.Op, a, c bits.Bits) bits.Bits {
+	switch op {
+	case ast.OpAdd:
+		return a.Add(c)
+	case ast.OpSub:
+		return a.Sub(c)
+	case ast.OpMul:
+		return a.Mul(c)
+	case ast.OpAnd:
+		return a.And(c)
+	case ast.OpOr:
+		return a.Or(c)
+	case ast.OpXor:
+		return a.Xor(c)
+	case ast.OpEq:
+		return a.Eq(c)
+	case ast.OpNeq:
+		return a.Neq(c)
+	case ast.OpLtu:
+		return a.Ltu(c)
+	case ast.OpLts:
+		return a.Lts(c)
+	case ast.OpGeu:
+		return a.Geu(c)
+	case ast.OpGes:
+		return a.Ges(c)
+	case ast.OpSll:
+		return a.Sll(c)
+	case ast.OpSrl:
+		return a.Srl(c)
+	case ast.OpSra:
+		return a.Sra(c)
+	case ast.OpConcat:
+		return a.Concat(c)
+	}
+	panic(fmt.Sprintf("circuit: unknown binop %v", op))
+}

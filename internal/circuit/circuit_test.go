@@ -1,0 +1,201 @@
+package circuit
+
+import (
+	"testing"
+
+	"cuttlego/internal/ast"
+)
+
+func newBuilder(t *testing.T) *builder {
+	t.Helper()
+	d := ast.NewDesign("t")
+	d.Reg("a", ast.Bits(8), 0)
+	d.Reg("b", ast.Bits(8), 0)
+	d.MustCheck()
+	return &builder{memo: make(map[string]int), d: d}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := newBuilder(t)
+	x := b.constant(8, 3)
+	y := b.constant(8, 4)
+	sum := b.binop(ast.OpAdd, 8, x, y)
+	if v, ok := b.isConst(sum); !ok || v != 7 {
+		t.Errorf("3+4 folded to %v (const=%v)", v, ok)
+	}
+	n := b.not(b.constant(1, 0))
+	if v, ok := b.isConst(n); !ok || v != 1 {
+		t.Errorf("~0 folded to %v", v)
+	}
+}
+
+func TestBooleanIdentities(t *testing.T) {
+	b := newBuilder(t)
+	q := b.regOut(0)
+	qb := b.unop(ast.OpSlice, 1, 0, 1, q)
+	one := b.constant(1, 1)
+	zero := b.constant(1, 0)
+	if got := b.and(qb, one); got != qb {
+		t.Error("x & 1 should simplify to x")
+	}
+	if got := b.and(qb, zero); got != zero {
+		t.Error("x & 0 should simplify to 0")
+	}
+	if got := b.or(qb, zero); got != qb {
+		t.Error("x | 0 should simplify to x")
+	}
+	if got := b.or(qb, one); got != one {
+		t.Error("x | 1 should simplify to 1")
+	}
+	if got := b.and(qb, qb); got != qb {
+		t.Error("x & x should simplify to x")
+	}
+}
+
+func TestMuxSimplifications(t *testing.T) {
+	b := newBuilder(t)
+	q := b.regOut(0)
+	p := b.regOut(1)
+	sel := b.unop(ast.OpSlice, 1, 0, 1, q)
+	if got := b.mux(sel, p, p); got != p {
+		t.Error("mux with equal branches should collapse")
+	}
+	if got := b.mux(b.constant(1, 1), p, q); got != p {
+		t.Error("mux with constant-true select should pick then")
+	}
+	if got := b.mux(b.constant(1, 0), p, q); got != q {
+		t.Error("mux with constant-false select should pick else")
+	}
+	if got := b.mux(sel, b.constant(1, 1), b.constant(1, 0)); got != sel {
+		t.Error("mux(s, 1, 0) should collapse to s")
+	}
+	nsel := b.mux(sel, b.constant(1, 0), b.constant(1, 1))
+	if b.nets[nsel].Kind != NUnop || b.nets[nsel].Op != ast.OpNot {
+		t.Error("mux(s, 0, 1) should collapse to !s")
+	}
+}
+
+func TestHashConsingSharesNets(t *testing.T) {
+	b := newBuilder(t)
+	q := b.regOut(0)
+	x := b.binop(ast.OpAdd, 8, q, b.constant(8, 1))
+	y := b.binop(ast.OpAdd, 8, b.regOut(0), b.constant(8, 1))
+	if x != y {
+		t.Error("structurally identical nets should share an index")
+	}
+}
+
+func TestZeroExtendIsFreeAtSameWidth(t *testing.T) {
+	b := newBuilder(t)
+	q := b.regOut(0)
+	if got := b.unop(ast.OpZeroExtend, 8, 0, 8, q); got != q {
+		t.Error("zext to the same width should be the identity")
+	}
+	if got := b.unop(ast.OpSlice, 8, 0, 8, q); got != q {
+		t.Error("full-width slice should be the identity")
+	}
+}
+
+func TestConflictMatrixSymmetries(t *testing.T) {
+	build := func(mk func(d *ast.Design)) *ast.Design {
+		d := ast.NewDesign("cm")
+		d.Reg("r", ast.Bits(4), 0)
+		d.Reg("s", ast.Bits(4), 0)
+		mk(d)
+		return d.MustCheck()
+	}
+	cases := []struct {
+		name string
+		mk   func(d *ast.Design)
+		free bool
+	}{
+		{"independent registers", func(d *ast.Design) {
+			d.Rule("a", ast.Wr0("r", ast.C(4, 1)))
+			d.Rule("b", ast.Wr0("s", ast.C(4, 2)))
+		}, true},
+		{"double write", func(d *ast.Design) {
+			d.Rule("a", ast.Wr0("r", ast.C(4, 1)))
+			d.Rule("b", ast.Wr0("r", ast.C(4, 2)))
+		}, false},
+		{"wire forwarding", func(d *ast.Design) {
+			d.Rule("a", ast.Wr0("r", ast.C(4, 1)))
+			d.Rule("b", ast.Wr0("s", ast.Rd1("r")))
+		}, true},
+		{"read1 then write0", func(d *ast.Design) {
+			d.Rule("a", ast.Wr0("s", ast.Rd1("r")))
+			d.Rule("b", ast.Wr0("r", ast.C(4, 1)))
+		}, false},
+		{"rd0 after wr0", func(d *ast.Design) {
+			d.Rule("a", ast.Wr0("r", ast.C(4, 1)))
+			d.Rule("b", ast.Wr0("s", ast.Rd0("r")))
+		}, false},
+		{"wr0 then wr1", func(d *ast.Design) {
+			d.Rule("a", ast.Wr0("r", ast.C(4, 1)))
+			d.Rule("b", ast.Wr1("r", ast.C(4, 2)))
+		}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			free, err := StaticallyConflictFree(build(c.mk))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if free != c.free {
+				t.Errorf("conflict-free = %v, want %v", free, c.free)
+			}
+		})
+	}
+}
+
+func TestBluespecNetlistHasNoTrackingForConflictFree(t *testing.T) {
+	d := ast.NewDesign("nf")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	d.MustCheck()
+	bsc, err := Compile(d, StyleBluespec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single unconditional rule has will-fire = constant true.
+	wf := bsc.Nets[bsc.WillFire[0]]
+	if wf.Kind != NConst || wf.Val != 1 {
+		t.Errorf("will-fire should fold to constant 1, got %+v", wf)
+	}
+}
+
+func TestKoikaWillFireReflectsGuards(t *testing.T) {
+	d := ast.NewDesign("g")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("guarded",
+		ast.Guard(ast.Ltu(ast.Rd0("x"), ast.C(8, 4))),
+		ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	d.MustCheck()
+	ckt, err := Compile(d, StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := ckt.Nets[ckt.WillFire[0]]
+	if wf.Kind == NConst {
+		t.Error("guarded rule's will-fire must be a real signal")
+	}
+}
+
+func TestStatsAndTouchedRegs(t *testing.T) {
+	d := ast.NewDesign("st")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("untouched", ast.Bits(8), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	d.MustCheck()
+	ckt, err := Compile(d, StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := ckt.SortedTouchedRegs()
+	if len(touched) != 1 || touched[0] != 0 {
+		t.Errorf("touched = %v", touched)
+	}
+	s := ckt.Stats()
+	if s.Registers != 2 || s.Nets == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,434 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"cuttlego/internal/analysis"
+	"cuttlego/internal/ast"
+)
+
+// logEntry holds the netlist signals of one register's entry in a log:
+// 1-bit event wires plus the data written at each port. rd0 is not tracked
+// — nothing consumes it in either scheduling scheme (the observation §3.3
+// makes for the software pipeline holds for the circuits as well).
+type logEntry struct {
+	rd1, wr0, wr1 int
+	data0, data1  int
+}
+
+// comp compiles one rule body to circuits.
+type comp struct {
+	b     *builder
+	style Style
+	cl    map[int]logEntry // cycle log before this rule (read-only)
+	rl    map[int]logEntry // this rule's log
+	vars  []varNet
+	abort int // 1-bit: rule fails
+}
+
+type varNet struct {
+	name string
+	net  int
+}
+
+func (c *comp) fresh(reg int) logEntry {
+	zero := c.b.constant(1, 0)
+	q := c.b.regOut(reg)
+	return logEntry{rd1: zero, wr0: zero, wr1: zero, data0: q, data1: q}
+}
+
+func (c *comp) ruleEntry(reg int) logEntry {
+	if e, ok := c.rl[reg]; ok {
+		return e
+	}
+	return c.fresh(reg)
+}
+
+func (c *comp) cycleEntry(reg int) logEntry {
+	if e, ok := c.cl[reg]; ok {
+		return e
+	}
+	return c.fresh(reg)
+}
+
+func cloneLog(l map[int]logEntry) map[int]logEntry {
+	out := make(map[int]logEntry, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// branch compiles two alternatives and muxes their logs, variables, and
+// abort signals on cond.
+func (c *comp) branch(cond int, thenF, elseF func() int) int {
+	baseRL := cloneLog(c.rl)
+	baseVars := append([]varNet(nil), c.vars...)
+	baseAbort := c.abort
+
+	tv := thenF()
+	tRL, tVars, tAbort := c.rl, c.vars, c.abort
+
+	c.rl, c.vars, c.abort = baseRL, baseVars, baseAbort
+	ev := elseF()
+
+	// Join rule logs over the union of touched registers.
+	joined := make(map[int]logEntry, len(tRL)+len(c.rl))
+	for reg := range tRL {
+		joined[reg] = logEntry{}
+	}
+	for reg := range c.rl {
+		joined[reg] = logEntry{}
+	}
+	for reg := range joined {
+		te, ok := tRL[reg]
+		if !ok {
+			te = c.fresh(reg)
+		}
+		ee, ok := c.rl[reg]
+		if !ok {
+			ee = c.fresh(reg)
+		}
+		joined[reg] = logEntry{
+			rd1:   c.b.mux(cond, te.rd1, ee.rd1),
+			wr0:   c.b.mux(cond, te.wr0, ee.wr0),
+			wr1:   c.b.mux(cond, te.wr1, ee.wr1),
+			data0: c.b.mux(cond, te.data0, ee.data0),
+			data1: c.b.mux(cond, te.data1, ee.data1),
+		}
+	}
+	c.rl = joined
+	for i := range c.vars {
+		c.vars[i].net = c.b.mux(cond, tVars[i].net, c.vars[i].net)
+	}
+	c.abort = c.b.mux(cond, tAbort, c.abort)
+	return c.b.mux(cond, tv, ev)
+}
+
+func (c *comp) lookupVar(name string) int {
+	for i := len(c.vars) - 1; i >= 0; i-- {
+		if c.vars[i].name == name {
+			return c.vars[i].net
+		}
+	}
+	panic("circuit: unbound variable " + name)
+}
+
+func (c *comp) setVar(name string, net int) {
+	for i := len(c.vars) - 1; i >= 0; i-- {
+		if c.vars[i].name == name {
+			c.vars[i].net = net
+			return
+		}
+	}
+	panic("circuit: unbound variable " + name)
+}
+
+// compile lowers a node, returning its value net.
+func (c *comp) compile(n *ast.Node, d *ast.Design) int {
+	b := c.b
+	switch n.Kind {
+	case ast.KConst:
+		return b.constant(n.W, n.Val.Val)
+
+	case ast.KVar:
+		return c.lookupVar(n.Name)
+
+	case ast.KLet:
+		init := c.compile(n.A, d)
+		c.vars = append(c.vars, varNet{name: n.Name, net: init})
+		v := c.compile(n.B, d)
+		c.vars = c.vars[:len(c.vars)-1]
+		return v
+
+	case ast.KAssign:
+		v := c.compile(n.A, d)
+		c.setVar(n.Name, v)
+		return b.constant(0, 0)
+
+	case ast.KSeq:
+		var v int
+		for _, it := range n.Items {
+			v = c.compile(it, d)
+		}
+		return v
+
+	case ast.KIf:
+		cond := c.compile(n.A, d)
+		return c.branch(cond,
+			func() int { return c.compile(n.B, d) },
+			func() int {
+				if n.C == nil {
+					return b.constant(0, 0)
+				}
+				return c.compile(n.C, d)
+			})
+
+	case ast.KRead:
+		reg := d.RegIndex(n.Name)
+		cl := c.cycleEntry(reg)
+		if n.Port == ast.P0 {
+			if c.style == StyleKoika {
+				c.abort = b.or(c.abort, b.or(cl.wr0, cl.wr1))
+			}
+			return b.regOut(reg)
+		}
+		rl := c.ruleEntry(reg)
+		if c.style == StyleKoika {
+			c.abort = b.or(c.abort, cl.wr1)
+			rl.rd1 = b.constant(1, 1)
+		}
+		v := b.mux(rl.wr0, rl.data0, b.mux(cl.wr0, cl.data0, b.regOut(reg)))
+		c.rl[reg] = rl
+		return v
+
+	case ast.KWrite:
+		v := c.compile(n.A, d)
+		reg := d.RegIndex(n.Name)
+		cl := c.cycleEntry(reg)
+		rl := c.ruleEntry(reg)
+		if n.Port == ast.P0 {
+			if c.style == StyleKoika {
+				chk := b.or(b.or(cl.rd1, rl.rd1), b.or(b.or(cl.wr0, rl.wr0), b.or(cl.wr1, rl.wr1)))
+				c.abort = b.or(c.abort, chk)
+			}
+			rl.wr0 = b.constant(1, 1)
+			rl.data0 = v
+		} else {
+			if c.style == StyleKoika {
+				c.abort = b.or(c.abort, b.or(cl.wr1, rl.wr1))
+			}
+			rl.wr1 = b.constant(1, 1)
+			rl.data1 = v
+		}
+		c.rl[reg] = rl
+		return b.constant(0, 0)
+
+	case ast.KFail:
+		c.abort = b.constant(1, 1)
+		return b.constant(n.W, 0)
+
+	case ast.KUnop:
+		a := c.compile(n.A, d)
+		return b.unop(n.Op, n.W, n.Lo, n.Wid, a)
+
+	case ast.KBinop:
+		x := c.compile(n.A, d)
+		y := c.compile(n.B, d)
+		return b.binop(n.Op, n.W, x, y)
+
+	case ast.KExtCall:
+		args := make([]int, len(n.Items))
+		for i, it := range n.Items {
+			args[i] = c.compile(it, d)
+		}
+		return b.intern(Net{Kind: NExt, W: n.W, Ext: d.ExtIndex(n.Name), Args: args})
+
+	case ast.KField:
+		a := c.compile(n.A, d)
+		return b.unop(ast.OpSlice, n.W, n.Lo, n.Wid, a)
+
+	case ast.KSetField:
+		a := c.compile(n.A, d)
+		v := c.compile(n.B, d)
+		// base[hi:lo+wid] ++ v ++ base[lo-1:0], expressed with masks.
+		hi := b.binop(ast.OpAnd, n.W, a, b.constant(n.W, ^(mask(n.Wid)<<uint(n.Lo))))
+		shifted := b.binop(ast.OpSll, n.W, b.unop(ast.OpZeroExtend, n.W, 0, n.W, v), b.constant(7, uint64(n.Lo)))
+		return b.binop(ast.OpOr, n.W, hi, shifted)
+
+	case ast.KPack:
+		st := n.Ty.(*ast.StructType)
+		out := b.constant(n.W, 0)
+		for i, it := range n.Items {
+			v := c.compile(it, d)
+			lo := st.Offset(st.Fields[i].Name)
+			sh := b.binop(ast.OpSll, n.W, b.unop(ast.OpZeroExtend, n.W, 0, n.W, v), b.constant(7, uint64(lo)))
+			out = b.binop(ast.OpOr, n.W, out, sh)
+		}
+		return out
+
+	case ast.KSwitch:
+		scrut := c.compile(n.A, d)
+		narms := len(n.Items) / 2
+		var arm func(i int) int
+		arm = func(i int) int {
+			if i == narms {
+				return c.compile(n.C, d)
+			}
+			match := b.constant(n.Items[2*i].W, n.Items[2*i].Val.Val)
+			cond := b.binop(ast.OpEq, 1, scrut, match)
+			return c.branch(cond,
+				func() int { return c.compile(n.Items[2*i+1], d) },
+				func() int { return arm(i + 1) })
+		}
+		return arm(0)
+	}
+	panic(fmt.Sprintf("circuit: cannot compile node kind %v", n.Kind))
+}
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(w) - 1
+}
+
+// Compile lowers a checked design to a combinational netlist in the given
+// style.
+func Compile(d *ast.Design, style Style) (*Circuit, error) {
+	if !d.Checked() {
+		return nil, fmt.Errorf("circuit: design %q is not checked", d.Name)
+	}
+	an, err := analysis.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{memo: make(map[string]int), d: d, an: an, style: style}
+	sched := d.ScheduledRules()
+
+	var conflicts [][]bool
+	if style == StyleBluespec {
+		conflicts = conflictMatrix(an, sched)
+	}
+
+	cycle := make(map[int]logEntry)
+	willFire := make([]int, len(sched))
+	for si, ri := range sched {
+		c := &comp{b: b, style: style, cl: cycle, rl: make(map[int]logEntry)}
+		c.abort = b.constant(1, 0)
+		c.compile(d.Rules[ri].Body, d)
+
+		wf := b.not(c.abort)
+		if style == StyleBluespec {
+			// WILL_FIRE = CAN_FIRE and no conflicting earlier rule fired.
+			for sj := 0; sj < si; sj++ {
+				if conflicts[sj][si] {
+					wf = b.and(wf, b.not(willFire[sj]))
+				}
+			}
+		}
+		willFire[si] = wf
+
+		// Merge the rule's log into the cycle log under the will-fire
+		// signal, exactly as the scheduler circuits do in hardware.
+		next := cloneLog(cycle)
+		for reg, rl := range c.rl {
+			cl := c.cycleEntry(reg)
+			commitWr0 := b.and(wf, rl.wr0)
+			commitWr1 := b.and(wf, rl.wr1)
+			e := logEntry{
+				rd1:   b.or(cl.rd1, b.and(wf, rl.rd1)),
+				wr0:   b.or(cl.wr0, commitWr0),
+				wr1:   b.or(cl.wr1, commitWr1),
+				data0: b.mux(commitWr0, rl.data0, cl.data0),
+				data1: b.mux(commitWr1, rl.data1, cl.data1),
+			}
+			next[reg] = e
+		}
+		cycle = next
+	}
+
+	ckt := &Circuit{Design: d, Style: style, Nets: b.nets, WillFire: willFire}
+	ckt.Next = make([]int, len(d.Registers))
+	for reg := range d.Registers {
+		q := b.regOut(reg)
+		e, touched := cycle[reg]
+		if !touched {
+			ckt.Next[reg] = q
+			continue
+		}
+		ckt.Next[reg] = b.mux(e.wr1, e.data1, b.mux(e.wr0, e.data0, q))
+	}
+	ckt.Nets = b.nets
+	return ckt, nil
+}
+
+// conflictMatrix computes the static pairwise conflict relation used by the
+// Bluespec-style scheduler: rule j (scheduled later) conflicts with rule i
+// when some register use of j could fail against i's committed log.
+func conflictMatrix(an *analysis.Result, sched []int) [][]bool {
+	n := len(sched)
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a := an.Rules[sched[i]].Log
+			c := an.Rules[sched[j]].Log
+			for reg := range a {
+				ia, ic := a[reg], c[reg]
+				if (ia.Wr0.Possible() || ia.Wr1.Possible()) && ic.Rd0.Possible() ||
+					ia.Wr1.Possible() && ic.Rd1.Possible() ||
+					ia.Rd1.Possible() && ic.Wr0.Possible() ||
+					ia.Wr0.Possible() && ic.Wr0.Possible() ||
+					ia.Wr1.Possible() && (ic.Wr0.Possible() || ic.Wr1.Possible()) {
+					m[i][j] = true
+					break
+				}
+			}
+		}
+	}
+	return m
+}
+
+// StaticallyConflictFree reports whether every pair of scheduled rules is
+// conflict-free, i.e. whether the Bluespec-style lowering is
+// cycle-equivalent to the dynamic one for this design.
+func StaticallyConflictFree(d *ast.Design) (bool, error) {
+	an, err := analysis.Analyze(d)
+	if err != nil {
+		return false, err
+	}
+	sched := d.ScheduledRules()
+	m := conflictMatrix(an, sched)
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Stats summarizes a netlist for reports (Table 1's artifact sizes).
+type Stats struct {
+	Nets      int
+	Muxes     int
+	Binops    int
+	Consts    int
+	ExtCalls  int
+	Registers int
+}
+
+// Stats computes netlist statistics.
+func (c *Circuit) Stats() Stats {
+	s := Stats{Nets: len(c.Nets), Registers: len(c.Design.Registers)}
+	for _, n := range c.Nets {
+		switch n.Kind {
+		case NMux:
+			s.Muxes++
+		case NBinop:
+			s.Binops++
+		case NConst:
+			s.Consts++
+		case NExt:
+			s.ExtCalls++
+		}
+	}
+	return s
+}
+
+// SortedTouchedRegs is a test helper: registers with non-trivial next nets.
+func (c *Circuit) SortedTouchedRegs() []int {
+	var out []int
+	for reg, n := range c.Next {
+		if c.Nets[n].Kind != NRegOut || c.Nets[n].Reg != reg {
+			out = append(out, reg)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

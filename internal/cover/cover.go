@@ -1,0 +1,105 @@
+// Package cover turns Cuttlesim's per-node execution counters into
+// Gcov-style annotated listings of the design source. Because the model
+// matches the source nearly line for line, these counts are architectural
+// information for free: Case Study 4 reads branch-misprediction rates and
+// scoreboard stalls straight out of an annotated listing, without adding a
+// single hardware counter.
+package cover
+
+import (
+	"fmt"
+	"strings"
+
+	"cuttlego/internal/ast"
+)
+
+// Annotate renders the design's pretty-printed source with per-line
+// execution counts, in the style of gcov: "count: line". Lines with no
+// anchored nodes show "-".
+func Annotate(d *ast.Design, counts []uint64) string {
+	listing := d.Print()
+	var sb strings.Builder
+	for i, line := range listing.Lines {
+		n, ok := lineCount(listing.LineNodes[i], counts)
+		if !ok {
+			fmt.Fprintf(&sb, "%12s: %s\n", "-", line)
+		} else {
+			fmt.Fprintf(&sb, "%12d: %s\n", n, line)
+		}
+	}
+	return sb.String()
+}
+
+// lineCount picks the count of the first node anchored on the line (the
+// line's entry point, matching gcov's line counts).
+func lineCount(ids []int, counts []uint64) (uint64, bool) {
+	if len(ids) == 0 {
+		return 0, false
+	}
+	id := ids[0]
+	if id < 0 || id >= len(counts) {
+		return 0, false
+	}
+	return counts[id], true
+}
+
+// RuleCounts summarizes per-rule attempt counts (the rule body's root node)
+// for quick profiling: how often each rule was tried.
+func RuleCounts(d *ast.Design, counts []uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(d.Rules))
+	for i := range d.Rules {
+		out[d.Rules[i].Name] = counts[d.Rules[i].Body.ID]
+	}
+	return out
+}
+
+// Find locates nodes matching a predicate, in evaluation order. Tests and
+// case studies use it to anchor assertions on specific operations ("the
+// write to pc inside the execute rule").
+func Find(d *ast.Design, match func(rule string, n *ast.Node) bool) []*ast.Node {
+	var out []*ast.Node
+	for i := range d.Rules {
+		rule := d.Rules[i].Name
+		var walk func(n *ast.Node)
+		walk = func(n *ast.Node) {
+			if n == nil {
+				return
+			}
+			if match(rule, n) {
+				out = append(out, n)
+			}
+			walk(n.A)
+			walk(n.B)
+			walk(n.C)
+			for _, it := range n.Items {
+				walk(it)
+			}
+		}
+		walk(d.Rules[i].Body)
+	}
+	return out
+}
+
+// WritesTo returns the write nodes targeting a register, optionally
+// restricted to one rule ("" for any).
+func WritesTo(d *ast.Design, reg, rule string) []*ast.Node {
+	return Find(d, func(r string, n *ast.Node) bool {
+		return n.Kind == ast.KWrite && n.Name == reg && (rule == "" || r == rule)
+	})
+}
+
+// FailSites returns the abort nodes, optionally restricted to one rule.
+func FailSites(d *ast.Design, rule string) []*ast.Node {
+	return Find(d, func(r string, n *ast.Node) bool {
+		return n.Kind == ast.KFail && (rule == "" || r == rule)
+	})
+}
+
+// Count sums the counters of the given nodes.
+func Count(counts []uint64, nodes []*ast.Node) uint64 {
+	var total uint64
+	for _, n := range nodes {
+		total += counts[n.ID]
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package cover_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/cover"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/rvcore"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/stm"
+	"cuttlego/internal/workload"
+)
+
+func TestAnnotateCollatz(t *testing.T) {
+	d := stm.Collatz(6).MustCheck()
+	s := cuttlesim.MustNew(d, cuttlesim.Options{Level: cuttlesim.LStatic, Coverage: true})
+	sim.Run(s, nil, 10)
+	text := cover.Annotate(d, s.Coverage())
+	if !strings.Contains(text, "rule divide:") {
+		t.Fatalf("listing missing rule header:\n%s", text)
+	}
+	// Declarations have no counts; executed lines have numbers.
+	if !strings.Contains(text, "           -: register x") {
+		t.Errorf("register line should be uncounted:\n%s", text)
+	}
+	if !strings.Contains(text, "          10: ") {
+		t.Errorf("some line should have run 10 times:\n%s", text)
+	}
+}
+
+func TestRuleCounts(t *testing.T) {
+	d := stm.Collatz(7).MustCheck()
+	s := cuttlesim.MustNew(d, cuttlesim.Options{Level: cuttlesim.LStatic, Coverage: true})
+	sim.Run(s, nil, 25)
+	rc := cover.RuleCounts(d, s.Coverage())
+	if rc["divide"] != 25 || rc["multiply"] != 25 {
+		t.Errorf("rule attempt counts = %v, want 25 each", rc)
+	}
+}
+
+func TestFindHelpers(t *testing.T) {
+	d := stm.Collatz(7).MustCheck()
+	if w := cover.WritesTo(d, "x", "divide"); len(w) != 1 {
+		t.Errorf("writes to x in divide = %d", len(w))
+	}
+	if w := cover.WritesTo(d, "x", ""); len(w) != 2 {
+		t.Errorf("writes to x anywhere = %d", len(w))
+	}
+	if f := cover.FailSites(d, "divide"); len(f) != 3 {
+		// done guard, parity guard, zero guard
+		t.Errorf("fail sites in divide = %d", len(f))
+	}
+}
+
+// TestCaseStudy4 reproduces the paper's branch-prediction exploration: run
+// the same branch-heavy program on the baseline (pc+4) and predicting (bp)
+// cores with coverage on, read the misprediction count off the redirect
+// write inside the execute rule — no hardware counters added — and observe
+// it drop dramatically.
+func TestCaseStudy4(t *testing.T) {
+	prog := workload.BranchHeavy(400)
+	mispredictions := func(cfg rvcore.Config) (uint64, uint64) {
+		mem := riscv.NewMemory()
+		mem.LoadWords(0, prog)
+		d, core := rvcore.Build(cfg, mem)
+		d.MustCheck()
+		s := cuttlesim.MustNew(d, cuttlesim.Options{Level: cuttlesim.LStatic, Coverage: true})
+		if _, err := rvcore.RunProgram(s, rvcore.NewBench(core), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		// The redirect is the write to pc inside the execute rule — the
+		// paper's `if (nextPc != decoded.ppc) { WRITE0(pc, nextPc); ... }`.
+		redirects := cover.WritesTo(d, core.PC, cfg.Prefix+"execute")
+		if len(redirects) != 1 {
+			t.Fatalf("expected 1 redirect site, found %d", len(redirects))
+		}
+		// Scoreboard stalls: the FAIL inside decode's hazard check.
+		stalls := cover.FailSites(d, cfg.Prefix+"decode")
+		return cover.Count(s.Coverage(), redirects), cover.Count(s.Coverage(), stalls)
+	}
+	baseMiss, baseStalls := mispredictions(rvcore.RV32I())
+	bpMiss, bpStalls := mispredictions(rvcore.RV32IBP())
+	if baseMiss == 0 {
+		t.Fatal("baseline should mispredict on a branch-heavy program")
+	}
+	if bpMiss*2 >= baseMiss {
+		t.Errorf("predictor should cut mispredictions at least in half: %d -> %d", baseMiss, bpMiss)
+	}
+	// The same run also exposes the decode-stall bottleneck (read-after-
+	// write hazards) without any extra instrumentation.
+	if baseStalls == 0 && bpStalls == 0 {
+		t.Error("expected scoreboard stalls to be visible in coverage")
+	}
+}
+
+func TestCountOverNodes(t *testing.T) {
+	d := stm.Collatz(8).MustCheck()
+	s := cuttlesim.MustNew(d, cuttlesim.Options{Level: cuttlesim.LStatic, Coverage: true})
+	sim.Run(s, nil, 3) // 8 -> 4 -> 2 -> 1
+	writes := cover.WritesTo(d, "x", "divide")
+	if got := cover.Count(s.Coverage(), writes); got != 3 {
+		t.Errorf("divide wrote x %d times, want 3", got)
+	}
+	var all []*ast.Node
+	if got := cover.Count(s.Coverage(), all); got != 0 {
+		t.Errorf("empty count = %d", got)
+	}
+}

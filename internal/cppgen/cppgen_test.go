@@ -1,0 +1,113 @@
+package cppgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/cppgen"
+	"cuttlego/internal/testkit"
+)
+
+func TestEmitModelStructure(t *testing.T) {
+	entry := testkit.Zoo()[1] // two-state machine
+	text, err := cppgen.Emit(entry.Build().MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"class stm : public cuttlesim::module",
+		"enum class state",
+		"DEF_RULE(rlA)",
+		"DEF_RULE(rlB)",
+		"COMMIT();",
+		"void cycle()",
+		"rule_rlA();",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("model missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFastMacrosForSafeRegisters(t *testing.T) {
+	d := ast.NewDesign("safe")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("shared", ast.Bits(8), 0)
+	d.Rule("a", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))), ast.Wr0("shared", ast.C(8, 1)))
+	d.Rule("b", ast.Wr0("shared", ast.C(8, 2)))
+	text, err := cppgen.Emit(d.MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "READ0_FAST(x)") || !strings.Contains(text, "WRITE0_FAST(x, ") {
+		t.Errorf("safe register should use _FAST macros:\n%s", text)
+	}
+	if !strings.Contains(text, "WRITE0(shared, ") {
+		t.Errorf("unsafe register must use checked macros:\n%s", text)
+	}
+}
+
+func TestCleanFailuresAnnotated(t *testing.T) {
+	d := ast.NewDesign("g")
+	d.Reg("c", ast.Bits(1), 0)
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("r",
+		ast.Guard(ast.Rd0("c")),
+		ast.Wr0("x", ast.C(8, 1)),
+		ast.Guard(ast.Rd0("c")))
+	text, err := cppgen.Emit(d.MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "FAIL_FAST();") {
+		t.Error("early guard should compile to FAIL_FAST")
+	}
+	if !strings.Contains(text, "FAIL();") {
+		t.Error("late guard should compile to FAIL")
+	}
+}
+
+func TestAllZooDesignsEmit(t *testing.T) {
+	for _, entry := range testkit.Zoo() {
+		lc, err := cppgen.LineCount(entry.Build().MustCheck())
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if lc < 10 {
+			t.Errorf("%s: implausible model size %d lines", entry.Name, lc)
+		}
+	}
+}
+
+func TestStructsRenderedByName(t *testing.T) {
+	entry := testkit.Zoo()[7] // structs-and-switch
+	text, err := cppgen.Emit(entry.Build().MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"struct req", "enum class op"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("model missing %q", want)
+		}
+	}
+}
+
+func TestSwitchStatementRendering(t *testing.T) {
+	op := ast.NewEnum("cmd", 2, "Go", "Stop")
+	d := ast.NewDesign("sw")
+	d.Reg("o", op, 0)
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("r", ast.Switch(ast.Rd0("o"), ast.Skip(),
+		ast.Case{Match: ast.E(op, "Go"), Body: ast.Wr0("x", ast.C(8, 1))},
+	))
+	text, err := cppgen.Emit(d.MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"switch (", "case cmd::Go:", "default:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("model missing %q:\n%s", want, text)
+		}
+	}
+}

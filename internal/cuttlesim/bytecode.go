@@ -1,0 +1,449 @@
+package cuttlesim
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// The bytecode backend flattens each rule into a compact instruction
+// stream interpreted by a small stack VM. It shares the transactional
+// machine with the closure backend, so both produce identical cycle-level
+// behaviour; only dispatch and code layout differ. The Figure 3
+// reproduction uses the two backends the way the paper uses GCC and Clang:
+// as two independent "compilers" of the same model.
+
+type opcode uint8
+
+const (
+	oPushC    opcode = iota // push imm
+	oLoad                   // push locals[a]
+	oStore                  // locals[a] = pop
+	oPop                    // drop top
+	oRd0                    // push read0(a); b!=0 marks a clean failure site
+	oRd1                    // push read1(a)
+	oWr0                    // write0(a, pop)
+	oWr1                    // write1(a, pop)
+	oFail                   // abort; b!=0 marks a clean failure site
+	oNot                    // top = ^top & imm
+	oSext                   // sign-extend top from width a, mask imm
+	oSlice                  // top = (top >> a) & imm
+	oBin                    // binary op a on (second, top); b = operand width; imm = result mask
+	oSetSlice               // v = pop; base = pop; push base&imm | v<<a
+	oJmp                    // pc = a
+	oJz                     // if pop == 0 { pc = a }
+	oExt                    // call extcall site a (pops that site's arity)
+	oCov                    // coverage counter a
+	oRet                    // rule completed successfully
+)
+
+type instr struct {
+	op  opcode
+	a   int32
+	b   int32
+	imm uint64
+}
+
+type extSite struct {
+	fn     func([]bits.Bits) bits.Bits
+	widths []int
+	buf    []bits.Bits
+}
+
+type ruleCode struct {
+	code  []instr
+	calls []*extSite
+}
+
+// assembler lowers rule bodies to bytecode.
+type assembler struct {
+	d    *ast.Design
+	s    *Simulator
+	opts Options
+
+	code  []instr
+	calls []*extSite
+
+	env      []compVar
+	slots    int
+	maxSlots int
+
+	depth    int
+	maxStack int
+}
+
+func (a *assembler) assemble(body *ast.Node) ruleCode {
+	a.code = nil
+	a.calls = nil
+	a.env = a.env[:0]
+	a.slots = 0
+	a.depth = 0
+	a.emitNode(body)
+	a.emit(instr{op: oPop}) // rule value (unit) is discarded
+	a.emit(instr{op: oRet})
+	return ruleCode{code: a.code, calls: a.calls}
+}
+
+func (a *assembler) emit(in instr) int {
+	a.code = append(a.code, in)
+	switch in.op {
+	case oPushC, oLoad, oRd0, oRd1:
+		a.push(1)
+	case oStore, oPop, oWr0, oWr1, oJz:
+		a.push(-1)
+	case oBin, oSetSlice:
+		a.push(-1)
+	case oExt:
+		site := a.calls[in.a]
+		a.push(1 - len(site.widths))
+	}
+	return len(a.code) - 1
+}
+
+func (a *assembler) push(d int) {
+	a.depth += d
+	if a.depth > a.maxStack {
+		a.maxStack = a.depth
+	}
+}
+
+func (a *assembler) bind(name string) int {
+	slot := a.slots
+	a.env = append(a.env, compVar{name: name, slot: slot})
+	a.slots++
+	if a.slots > a.maxSlots {
+		a.maxSlots = a.slots
+	}
+	return slot
+}
+
+func (a *assembler) unbind() {
+	a.env = a.env[:len(a.env)-1]
+	a.slots--
+}
+
+func (a *assembler) slotOf(name string) int {
+	for i := len(a.env) - 1; i >= 0; i-- {
+		if a.env[i].name == name {
+			return a.env[i].slot
+		}
+	}
+	panic("cuttlesim: unbound variable " + name)
+}
+
+func cleanFlag(clean bool) int32 {
+	if clean {
+		return 1
+	}
+	return 0
+}
+
+// emitNode compiles n, leaving its value on the stack.
+func (a *assembler) emitNode(n *ast.Node) {
+	if a.opts.Coverage {
+		a.emit(instr{op: oCov, a: int32(n.ID)})
+	}
+	switch n.Kind {
+	case ast.KConst:
+		a.emit(instr{op: oPushC, imm: n.Val.Val})
+
+	case ast.KVar:
+		a.emit(instr{op: oLoad, a: int32(a.slotOf(n.Name))})
+
+	case ast.KLet:
+		a.emitNode(n.A)
+		slot := a.bind(n.Name)
+		a.emit(instr{op: oStore, a: int32(slot)})
+		a.emitNode(n.B)
+		a.unbind()
+
+	case ast.KAssign:
+		a.emitNode(n.A)
+		a.emit(instr{op: oStore, a: int32(a.slotOf(n.Name))})
+		a.emit(instr{op: oPushC})
+
+	case ast.KSeq:
+		for i, it := range n.Items {
+			a.emitNode(it)
+			if i < len(n.Items)-1 {
+				a.emit(instr{op: oPop})
+			}
+		}
+
+	case ast.KIf:
+		a.emitNode(n.A)
+		jz := a.emit(instr{op: oJz})
+		a.emitNode(n.B)
+		jmp := a.emit(instr{op: oJmp})
+		a.code[jz].a = int32(len(a.code))
+		a.push(-1) // the two arms are alternatives, not sequenced
+		if n.C != nil {
+			a.emitNode(n.C)
+		} else {
+			a.emit(instr{op: oPushC})
+		}
+		a.code[jmp].a = int32(len(a.code))
+
+	case ast.KRead:
+		op := oRd0
+		if n.Port == ast.P1 {
+			op = oRd1
+		}
+		a.emit(instr{op: op, a: int32(a.d.RegIndex(n.Name)), b: cleanFlag(a.s.an.Ops[n.ID].CleanBefore)})
+
+	case ast.KWrite:
+		a.emitNode(n.A)
+		op := oWr0
+		if n.Port == ast.P1 {
+			op = oWr1
+		}
+		a.emit(instr{op: op, a: int32(a.d.RegIndex(n.Name)), b: cleanFlag(a.s.an.Ops[n.ID].CleanBefore)})
+		a.emit(instr{op: oPushC})
+
+	case ast.KFail:
+		a.emit(instr{op: oFail, b: cleanFlag(a.s.an.Ops[n.ID].CleanBefore)})
+		a.push(1) // unreachable value slot, keeps arms balanced
+
+	case ast.KUnop:
+		a.emitNode(n.A)
+		switch n.Op {
+		case ast.OpNot:
+			a.emit(instr{op: oNot, imm: bits.Mask(n.W)})
+		case ast.OpSignExtend:
+			a.emit(instr{op: oSext, a: int32(n.A.W), imm: bits.Mask(n.W)})
+		case ast.OpZeroExtend:
+			// value is already canonical
+		case ast.OpSlice:
+			a.emit(instr{op: oSlice, a: int32(n.Lo), imm: bits.Mask(n.Wid)})
+		}
+
+	case ast.KBinop:
+		a.emitNode(n.A)
+		a.emitNode(n.B)
+		switch n.Op {
+		case ast.OpConcat:
+			// Encode concat as a set-slice over a widened top.
+			a.emit(instr{op: oBin, a: int32(n.Op), b: int32(n.B.W), imm: bits.Mask(n.W)})
+		default:
+			a.emit(instr{op: oBin, a: int32(n.Op), b: int32(n.A.W), imm: bits.Mask(n.W)})
+		}
+
+	case ast.KExtCall:
+		for _, it := range n.Items {
+			a.emitNode(it)
+		}
+		f := a.d.ExtFuns[a.d.ExtIndex(n.Name)]
+		site := &extSite{fn: f.Fn, widths: f.ArgWidths, buf: make([]bits.Bits, len(f.ArgWidths))}
+		a.calls = append(a.calls, site)
+		a.emit(instr{op: oExt, a: int32(len(a.calls) - 1)})
+
+	case ast.KField:
+		a.emitNode(n.A)
+		a.emit(instr{op: oSlice, a: int32(n.Lo), imm: bits.Mask(n.Wid)})
+
+	case ast.KSetField:
+		a.emitNode(n.A)
+		a.emitNode(n.B)
+		a.emit(instr{op: oSetSlice, a: int32(n.Lo), imm: ^(bits.Mask(n.Wid) << uint(n.Lo))})
+
+	case ast.KPack:
+		st := n.Ty.(*ast.StructType)
+		a.emit(instr{op: oPushC})
+		for i, it := range n.Items {
+			lo := st.Offset(st.Fields[i].Name)
+			w := st.Fields[i].Type.BitWidth()
+			a.emitNode(it)
+			a.emit(instr{op: oSetSlice, a: int32(lo), imm: ^(bits.Mask(w) << uint(lo))})
+		}
+
+	case ast.KSwitch:
+		// Bind the scrutinee to a hidden slot, then chain comparisons.
+		a.emitNode(n.A)
+		slot := a.bind(fmt.Sprintf("$switch%d", n.ID))
+		a.emit(instr{op: oStore, a: int32(slot)})
+		var exits []int
+		narms := len(n.Items) / 2
+		for i := 0; i < narms; i++ {
+			match := n.Items[2*i]
+			a.emit(instr{op: oLoad, a: int32(slot)})
+			a.emit(instr{op: oPushC, imm: match.Val.Val})
+			a.emit(instr{op: oBin, a: int32(ast.OpEq), b: int32(match.W), imm: 1})
+			jz := a.emit(instr{op: oJz})
+			a.emitNode(n.Items[2*i+1])
+			exits = append(exits, a.emit(instr{op: oJmp}))
+			a.code[jz].a = int32(len(a.code))
+			a.push(-1) // arms are alternatives
+		}
+		a.emitNode(n.C)
+		for _, e := range exits {
+			a.code[e].a = int32(len(a.code))
+		}
+		a.unbind()
+
+	default:
+		panic(fmt.Sprintf("cuttlesim: cannot assemble node kind %v", n.Kind))
+	}
+}
+
+// exec interprets one rule's bytecode, returning whether the rule
+// committed.
+func (m *machine) exec(rc ruleCode) bool {
+	code := rc.code
+	st := m.stack
+	sp := 0
+	for pc := 0; ; pc++ {
+		in := &code[pc]
+		switch in.op {
+		case oPushC:
+			st[sp] = in.imm
+			sp++
+		case oLoad:
+			st[sp] = m.locals[in.a]
+			sp++
+		case oStore:
+			sp--
+			m.locals[in.a] = st[sp]
+		case oPop:
+			sp--
+		case oRd0:
+			v, ok := m.read0(int(in.a))
+			if !ok {
+				m.failClean = in.b != 0
+				return false
+			}
+			st[sp] = v
+			sp++
+		case oRd1:
+			v, ok := m.read1(int(in.a))
+			if !ok {
+				m.failClean = in.b != 0
+				return false
+			}
+			st[sp] = v
+			sp++
+		case oWr0:
+			sp--
+			if !m.write0(int(in.a), st[sp]) {
+				m.failClean = in.b != 0
+				return false
+			}
+		case oWr1:
+			sp--
+			if !m.write1(int(in.a), st[sp]) {
+				m.failClean = in.b != 0
+				return false
+			}
+		case oFail:
+			m.failClean = in.b != 0
+			return false
+		case oNot:
+			st[sp-1] = ^st[sp-1] & in.imm
+		case oSext:
+			if in.a == 0 {
+				st[sp-1] = 0
+			} else {
+				sh := uint(64 - in.a)
+				st[sp-1] = uint64(int64(st[sp-1]<<sh)>>sh) & in.imm
+			}
+		case oSlice:
+			st[sp-1] = (st[sp-1] >> uint(in.a)) & in.imm
+		case oBin:
+			sp--
+			bv := st[sp]
+			av := st[sp-1]
+			st[sp-1] = evalBin(ast.Op(in.a), av, bv, int(in.b), in.imm)
+		case oSetSlice:
+			sp--
+			v := st[sp]
+			st[sp-1] = st[sp-1]&in.imm | v<<uint(in.a)
+		case oJmp:
+			pc = int(in.a) - 1
+		case oJz:
+			sp--
+			if st[sp] == 0 {
+				pc = int(in.a) - 1
+			}
+		case oExt:
+			site := rc.calls[in.a]
+			n := len(site.widths)
+			sp -= n
+			for i := 0; i < n; i++ {
+				site.buf[i] = bits.Bits{Width: site.widths[i], Val: st[sp+i]}
+			}
+			st[sp] = site.fn(site.buf).Val
+			sp++
+		case oCov:
+			m.cov[in.a]++
+		case oRet:
+			return true
+		}
+	}
+}
+
+// evalBin applies a binary operator in the VM. w is the operand width for
+// signed comparisons and shifts (or the low-operand width for concat);
+// mask is the result mask.
+func evalBin(op ast.Op, av, bv uint64, w int, mask uint64) uint64 {
+	signed := func(v uint64) int64 {
+		if w == 0 {
+			return 0
+		}
+		sh := uint(64 - w)
+		return int64(v<<sh) >> sh
+	}
+	b2u := func(c bool) uint64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ast.OpAdd:
+		return (av + bv) & mask
+	case ast.OpSub:
+		return (av - bv) & mask
+	case ast.OpMul:
+		return (av * bv) & mask
+	case ast.OpAnd:
+		return av & bv
+	case ast.OpOr:
+		return av | bv
+	case ast.OpXor:
+		return av ^ bv
+	case ast.OpEq:
+		return b2u(av == bv)
+	case ast.OpNeq:
+		return b2u(av != bv)
+	case ast.OpLtu:
+		return b2u(av < bv)
+	case ast.OpGeu:
+		return b2u(av >= bv)
+	case ast.OpLts:
+		return b2u(signed(av) < signed(bv))
+	case ast.OpGes:
+		return b2u(signed(av) >= signed(bv))
+	case ast.OpSll:
+		if bv >= uint64(w) {
+			return 0
+		}
+		return av << bv & mask
+	case ast.OpSrl:
+		if bv >= uint64(w) {
+			return 0
+		}
+		return av >> bv
+	case ast.OpSra:
+		sh := bv
+		if sh >= uint64(w) {
+			if w == 0 {
+				return 0
+			}
+			sh = uint64(w)
+		}
+		return uint64(signed(av)>>sh) & mask
+	case ast.OpConcat:
+		return (av<<uint(w) | bv) & mask
+	}
+	panic(fmt.Sprintf("cuttlesim: unknown binop %v", op))
+}

@@ -1,0 +1,547 @@
+package cuttlesim
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// valFn is a compiled expression/action: it yields the node's value, or
+// ok=false when the enclosing rule aborts.
+type valFn func(m *machine) (uint64, bool)
+
+// compiler lowers rule bodies to closure trees. Let-bound variables become
+// slots in the machine's locals frame, resolved entirely at compile time.
+type compiler struct {
+	d    *ast.Design
+	s    *Simulator
+	opts Options
+
+	env      []compVar
+	slots    int
+	maxSlots int
+	pure     map[*ast.Node]bool
+}
+
+type compVar struct {
+	name string
+	slot int
+}
+
+func (c *compiler) bind(name string) int {
+	slot := c.slots
+	c.env = append(c.env, compVar{name: name, slot: slot})
+	c.slots++
+	if c.slots > c.maxSlots {
+		c.maxSlots = c.slots
+	}
+	return slot
+}
+
+func (c *compiler) unbind() {
+	c.env = c.env[:len(c.env)-1]
+	c.slots--
+}
+
+func (c *compiler) slotOf(name string) int {
+	for i := len(c.env) - 1; i >= 0; i-- {
+		if c.env[i].name == name {
+			return c.env[i].slot
+		}
+	}
+	panic("cuttlesim: unbound variable " + name)
+}
+
+// instrument layers optional coverage counting and debug hooks over a
+// compiled node. Op-level hook events are attached in the op cases
+// themselves (they need the value and outcome); this wrapper only counts.
+func (c *compiler) instrument(n *ast.Node, fn valFn) valFn {
+	if !c.opts.Coverage {
+		return fn
+	}
+	id := n.ID
+	return func(m *machine) (uint64, bool) {
+		m.cov[id]++
+		return fn(m)
+	}
+}
+
+func (c *compiler) compile(n *ast.Node) valFn {
+	if c.pureEligible() && c.memoCannotAbort(n) {
+		u := c.compileU(n)
+		return func(m *machine) (uint64, bool) { return u(m), true }
+	}
+	return c.instrument(n, c.compileBare(n))
+}
+
+// memoCannotAbort caches the subtree-cannot-abort fact per node.
+func (c *compiler) memoCannotAbort(n *ast.Node) bool {
+	if c.pure == nil {
+		c.pure = make(map[*ast.Node]bool)
+	}
+	if v, ok := c.pure[n]; ok {
+		return v
+	}
+	v := c.cannotAbort(n)
+	c.pure[n] = v
+	return v
+}
+
+func (c *compiler) compileBare(n *ast.Node) valFn {
+	switch n.Kind {
+	case ast.KConst:
+		v := n.Val.Val
+		return func(m *machine) (uint64, bool) { return v, true }
+
+	case ast.KVar:
+		slot := c.slotOf(n.Name)
+		return func(m *machine) (uint64, bool) { return m.locals[slot], true }
+
+	case ast.KLet:
+		if c.opts.Coverage || c.opts.Hook != nil {
+			// Instrumented builds keep one closure per node so every
+			// let line gets its own counter and events.
+			init := c.compile(n.A)
+			slot := c.bind(n.Name)
+			body := c.compile(n.B)
+			c.unbind()
+			return func(m *machine) (uint64, bool) {
+				v, ok := init(m)
+				if !ok {
+					return 0, false
+				}
+				m.locals[slot] = v
+				return body(m)
+			}
+		}
+		// Flatten let chains into one iterative frame fill (see the pure
+		// compiler for rationale).
+		var inits []valFn
+		var slots []int
+		cur := n
+		for cur.Kind == ast.KLet {
+			inits = append(inits, c.compile(cur.A))
+			slots = append(slots, c.bind(cur.Name))
+			cur = cur.B
+		}
+		body := c.compile(cur)
+		for range slots {
+			c.unbind()
+		}
+		return func(m *machine) (uint64, bool) {
+			for i, f := range inits {
+				v, ok := f(m)
+				if !ok {
+					return 0, false
+				}
+				m.locals[slots[i]] = v
+			}
+			return body(m)
+		}
+
+	case ast.KAssign:
+		val := c.compile(n.A)
+		slot := c.slotOf(n.Name)
+		return func(m *machine) (uint64, bool) {
+			v, ok := val(m)
+			if !ok {
+				return 0, false
+			}
+			m.locals[slot] = v
+			return 0, true
+		}
+
+	case ast.KSeq:
+		fns := make([]valFn, len(n.Items))
+		for i, it := range n.Items {
+			fns[i] = c.compile(it)
+		}
+		return func(m *machine) (uint64, bool) {
+			var v uint64
+			var ok bool
+			for _, f := range fns {
+				v, ok = f(m)
+				if !ok {
+					return 0, false
+				}
+			}
+			return v, true
+		}
+
+	case ast.KIf:
+		cond := c.compile(n.A)
+		then := c.compile(n.B)
+		if n.C == nil {
+			return func(m *machine) (uint64, bool) {
+				cv, ok := cond(m)
+				if !ok {
+					return 0, false
+				}
+				if cv != 0 {
+					return then(m)
+				}
+				return 0, true
+			}
+		}
+		els := c.compile(n.C)
+		return func(m *machine) (uint64, bool) {
+			cv, ok := cond(m)
+			if !ok {
+				return 0, false
+			}
+			if cv != 0 {
+				return then(m)
+			}
+			return els(m)
+		}
+
+	case ast.KRead:
+		return c.compileRead(n)
+
+	case ast.KWrite:
+		return c.compileWrite(n)
+
+	case ast.KFail:
+		clean := c.s.an.Ops[n.ID].CleanBefore
+		id := n.ID
+		if hook := c.opts.Hook; hook != nil {
+			return func(m *machine) (uint64, bool) {
+				hook.OnOp(id, -1, 0, false)
+				m.failClean = clean
+				return 0, false
+			}
+		}
+		return func(m *machine) (uint64, bool) {
+			m.failClean = clean
+			return 0, false
+		}
+
+	case ast.KUnop:
+		a := c.compile(n.A)
+		switch n.Op {
+		case ast.OpNot:
+			mask := bits.Mask(n.W)
+			return func(m *machine) (uint64, bool) {
+				v, ok := a(m)
+				return ^v & mask, ok
+			}
+		case ast.OpSignExtend:
+			aw := n.A.W
+			mask := bits.Mask(n.W)
+			if aw == 0 {
+				return func(m *machine) (uint64, bool) {
+					_, ok := a(m)
+					return 0, ok
+				}
+			}
+			sh := uint(64 - aw)
+			return func(m *machine) (uint64, bool) {
+				v, ok := a(m)
+				return uint64(int64(v<<sh)>>sh) & mask, ok
+			}
+		case ast.OpZeroExtend:
+			return a
+		case ast.OpSlice:
+			lo := uint(n.Lo)
+			mask := bits.Mask(n.Wid)
+			return func(m *machine) (uint64, bool) {
+				v, ok := a(m)
+				return (v >> lo) & mask, ok
+			}
+		}
+
+	case ast.KBinop:
+		return c.compileBinop(n)
+
+	case ast.KExtCall:
+		fns := make([]valFn, len(n.Items))
+		widths := make([]int, len(n.Items))
+		for i, it := range n.Items {
+			fns[i] = c.compile(it)
+			widths[i] = it.W
+		}
+		fn := c.d.ExtFuns[c.d.ExtIndex(n.Name)].Fn
+		args := make([]bits.Bits, len(fns)) // machine is single-threaded
+		return func(m *machine) (uint64, bool) {
+			for i, f := range fns {
+				v, ok := f(m)
+				if !ok {
+					return 0, false
+				}
+				args[i] = bits.Bits{Width: widths[i], Val: v}
+			}
+			return fn(args).Val, true
+		}
+
+	case ast.KField:
+		a := c.compile(n.A)
+		lo := uint(n.Lo)
+		mask := bits.Mask(n.Wid)
+		return func(m *machine) (uint64, bool) {
+			v, ok := a(m)
+			return (v >> lo) & mask, ok
+		}
+
+	case ast.KSetField:
+		a := c.compile(n.A)
+		b := c.compile(n.B)
+		lo := uint(n.Lo)
+		clr := ^(bits.Mask(n.Wid) << lo)
+		return func(m *machine) (uint64, bool) {
+			base, ok := a(m)
+			if !ok {
+				return 0, false
+			}
+			v, ok := b(m)
+			if !ok {
+				return 0, false
+			}
+			return base&clr | v<<lo, true
+		}
+
+	case ast.KPack:
+		st := n.Ty.(*ast.StructType)
+		fns := make([]valFn, len(n.Items))
+		los := make([]uint, len(n.Items))
+		for i, it := range n.Items {
+			fns[i] = c.compile(it)
+			los[i] = uint(st.Offset(st.Fields[i].Name))
+		}
+		return func(m *machine) (uint64, bool) {
+			var out uint64
+			for i, f := range fns {
+				v, ok := f(m)
+				if !ok {
+					return 0, false
+				}
+				out |= v << los[i]
+			}
+			return out, true
+		}
+
+	case ast.KSwitch:
+		scrut := c.compile(n.A)
+		narms := len(n.Items) / 2
+		matches := make([]uint64, narms)
+		bodies := make([]valFn, narms)
+		for i := 0; i < narms; i++ {
+			matches[i] = n.Items[2*i].Val.Val
+			bodies[i] = c.compile(n.Items[2*i+1])
+		}
+		def := c.compile(n.C)
+		return func(m *machine) (uint64, bool) {
+			sv, ok := scrut(m)
+			if !ok {
+				return 0, false
+			}
+			for i, mv := range matches {
+				if sv == mv {
+					return bodies[i](m)
+				}
+			}
+			return def(m)
+		}
+	}
+	panic(fmt.Sprintf("cuttlesim: cannot compile node kind %v", n.Kind))
+}
+
+// compileRead lowers rd0/rd1. At LStatic, reads of safe registers
+// specialize to direct loads with no checks and no recording — the
+// closure-level counterpart of the paper's generated C++.
+func (c *compiler) compileRead(n *ast.Node) valFn {
+	reg := c.d.RegIndex(n.Name)
+	op := c.s.an.Ops[n.ID]
+	clean := op.CleanBefore
+	port := n.Port
+	id := n.ID
+	hook := c.opts.Hook
+
+	var fn valFn
+	if c.opts.Level == LStatic && hook == nil && c.s.an.Regs[reg].Safe && !c.s.an.Regs[reg].Goldberg {
+		// Safe, non-Goldberg register: direct load.
+		if port == ast.P0 {
+			return func(m *machine) (uint64, bool) { return m.dL0[reg], true }
+		}
+		return func(m *machine) (uint64, bool) { return m.dA0[reg], true }
+	}
+	if port == ast.P0 {
+		fn = func(m *machine) (uint64, bool) {
+			v, ok := m.read0(reg)
+			if !ok {
+				m.failClean = clean
+			}
+			return v, ok
+		}
+	} else {
+		fn = func(m *machine) (uint64, bool) {
+			v, ok := m.read1(reg)
+			if !ok {
+				m.failClean = clean
+			}
+			return v, ok
+		}
+	}
+	if hook != nil {
+		inner := fn
+		fn = func(m *machine) (uint64, bool) {
+			v, ok := inner(m)
+			hook.OnOp(id, reg, v, ok)
+			return v, ok
+		}
+	}
+	return fn
+}
+
+// compileWrite lowers wr0/wr1, specializing safe registers at LStatic.
+func (c *compiler) compileWrite(n *ast.Node) valFn {
+	reg := c.d.RegIndex(n.Name)
+	val := c.compile(n.A)
+	op := c.s.an.Ops[n.ID]
+	clean := op.CleanBefore
+	port := n.Port
+	id := n.ID
+	hook := c.opts.Hook
+
+	if c.opts.Level == LStatic && hook == nil && c.s.an.Regs[reg].Safe && !c.s.an.Regs[reg].Goldberg {
+		// Safe, non-Goldberg register: direct store into the accumulated
+		// log's data cell; commit/rollback handles the rest.
+		return func(m *machine) (uint64, bool) {
+			v, ok := val(m)
+			if !ok {
+				return 0, false
+			}
+			m.dA0[reg] = v
+			return 0, true
+		}
+	}
+
+	write := m0write
+	if port == ast.P1 {
+		write = m1write
+	}
+	if hook != nil {
+		// The hook observes the write operation itself; an abort inside
+		// the value expression is reported by the failing operation's own
+		// event, not duplicated here.
+		return func(m *machine) (uint64, bool) {
+			v, ok := val(m)
+			if !ok {
+				return 0, false
+			}
+			ok = write(m, reg, v)
+			hook.OnOp(id, reg, v, ok)
+			if !ok {
+				m.failClean = clean
+				return 0, false
+			}
+			return 0, true
+		}
+	}
+	return func(m *machine) (uint64, bool) {
+		v, ok := val(m)
+		if !ok {
+			return 0, false
+		}
+		if !write(m, reg, v) {
+			m.failClean = clean
+			return 0, false
+		}
+		return 0, true
+	}
+}
+
+func m0write(m *machine, reg int, v uint64) bool { return m.write0(reg, v) }
+func m1write(m *machine, reg int, v uint64) bool { return m.write1(reg, v) }
+
+// compileBinop specializes every operator with its widths baked in.
+func (c *compiler) compileBinop(n *ast.Node) valFn {
+	a := c.compile(n.A)
+	b := c.compile(n.B)
+	w := n.W
+	aw := n.A.W
+	mask := bits.Mask(w)
+
+	bin := func(f func(av, bv uint64) uint64) valFn {
+		return func(m *machine) (uint64, bool) {
+			av, ok := a(m)
+			if !ok {
+				return 0, false
+			}
+			bv, ok := b(m)
+			if !ok {
+				return 0, false
+			}
+			return f(av, bv), true
+		}
+	}
+	boolOf := func(cond bool) uint64 {
+		if cond {
+			return 1
+		}
+		return 0
+	}
+	signed := func(v uint64) int64 {
+		if aw == 0 {
+			return 0
+		}
+		sh := uint(64 - aw)
+		return int64(v<<sh) >> sh
+	}
+
+	switch n.Op {
+	case ast.OpAdd:
+		return bin(func(av, bv uint64) uint64 { return (av + bv) & mask })
+	case ast.OpSub:
+		return bin(func(av, bv uint64) uint64 { return (av - bv) & mask })
+	case ast.OpMul:
+		return bin(func(av, bv uint64) uint64 { return (av * bv) & mask })
+	case ast.OpAnd:
+		return bin(func(av, bv uint64) uint64 { return av & bv })
+	case ast.OpOr:
+		return bin(func(av, bv uint64) uint64 { return av | bv })
+	case ast.OpXor:
+		return bin(func(av, bv uint64) uint64 { return av ^ bv })
+	case ast.OpEq:
+		return bin(func(av, bv uint64) uint64 { return boolOf(av == bv) })
+	case ast.OpNeq:
+		return bin(func(av, bv uint64) uint64 { return boolOf(av != bv) })
+	case ast.OpLtu:
+		return bin(func(av, bv uint64) uint64 { return boolOf(av < bv) })
+	case ast.OpGeu:
+		return bin(func(av, bv uint64) uint64 { return boolOf(av >= bv) })
+	case ast.OpLts:
+		return bin(func(av, bv uint64) uint64 { return boolOf(signed(av) < signed(bv)) })
+	case ast.OpGes:
+		return bin(func(av, bv uint64) uint64 { return boolOf(signed(av) >= signed(bv)) })
+	case ast.OpSll:
+		return bin(func(av, bv uint64) uint64 {
+			if bv >= uint64(aw) {
+				return 0
+			}
+			return av << bv & mask
+		})
+	case ast.OpSrl:
+		return bin(func(av, bv uint64) uint64 {
+			if bv >= uint64(aw) {
+				return 0
+			}
+			return av >> bv
+		})
+	case ast.OpSra:
+		return bin(func(av, bv uint64) uint64 {
+			sh := bv
+			if sh >= uint64(aw) {
+				sh = uint64(aw)
+				if aw == 0 {
+					return 0
+				}
+			}
+			return uint64(signed(av)>>sh) & mask
+		})
+	case ast.OpConcat:
+		bw := uint(n.B.W)
+		return bin(func(av, bv uint64) uint64 { return av<<bw | bv })
+	}
+	panic(fmt.Sprintf("cuttlesim: unknown binop %v", n.Op))
+}

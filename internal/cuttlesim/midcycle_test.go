@@ -1,0 +1,55 @@
+package cuttlesim_test
+
+import (
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/cuttlesim"
+)
+
+// §3.2 claims that eliminating the beginning-of-cycle state "even allows
+// mid-cycle snapshots", and Case Study 1 relies on "stopping halfway
+// through the execution of a cycle to print the intermediate state
+// produced by the execution of a few rules". This test observes the
+// architectural state from a hook after the first rule of a cycle commits:
+// at LStatic the committed-so-far value is visible immediately.
+type midCycleProbe struct {
+	sim      **cuttlesim.Simulator
+	rule     int
+	observed []uint64
+}
+
+func (p *midCycleProbe) OnRuleStart(int) {}
+func (p *midCycleProbe) OnRuleEnd(rule int, fired bool) {
+	if rule == p.rule && fired {
+		p.observed = append(p.observed, (*p.sim).Reg("x").Val)
+	}
+}
+func (p *midCycleProbe) OnOp(int, int, uint64, bool) {}
+
+func TestMidCycleObservation(t *testing.T) {
+	d := ast.NewDesign("mid")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("y", ast.Bits(8), 0)
+	d.Rule("first", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 5))))
+	d.Rule("second", ast.Wr0("y", ast.Rd1("x")))
+	d.MustCheck()
+
+	var s *cuttlesim.Simulator
+	probe := &midCycleProbe{sim: &s, rule: 0}
+	var err error
+	s, err = cuttlesim.New(d, cuttlesim.Options{Level: cuttlesim.LStatic, Hook: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cycle()
+	s.Cycle()
+	if len(probe.observed) != 2 {
+		t.Fatalf("probe fired %d times", len(probe.observed))
+	}
+	// Mid-cycle, right after "first" committed, the new value is already
+	// the architectural state — no separate beginning-of-cycle copy exists.
+	if probe.observed[0] != 5 || probe.observed[1] != 10 {
+		t.Errorf("mid-cycle observations = %v, want [5 10]", probe.observed)
+	}
+}

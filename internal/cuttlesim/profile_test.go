@@ -1,0 +1,67 @@
+package cuttlesim_test
+
+import (
+	"testing"
+
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/testkit"
+)
+
+func TestRuleProfile(t *testing.T) {
+	for _, backend := range []cuttlesim.Backend{cuttlesim.Closure, cuttlesim.Bytecode} {
+		t.Run(backend.String(), func(t *testing.T) {
+			entry := testkit.Zoo()[1] // two-state machine: rules alternate
+			s, err := cuttlesim.New(entry.Build().MustCheck(),
+				cuttlesim.Options{Level: cuttlesim.LStatic, Backend: backend, Profile: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.Run(s, nil, 100)
+			stats := s.RuleStats()
+			if len(stats) != 2 {
+				t.Fatalf("stats = %v", stats)
+			}
+			for _, st := range stats {
+				if st.Attempts != 100 {
+					t.Errorf("rule %s attempted %d times, want 100", st.Rule, st.Attempts)
+				}
+				if st.Commits != 50 {
+					t.Errorf("rule %s committed %d times, want 50 (alternating)", st.Rule, st.Commits)
+				}
+				if st.Aborts() != 50 {
+					t.Errorf("rule %s aborts = %d", st.Rule, st.Aborts())
+				}
+			}
+		})
+	}
+}
+
+func TestProfileOffByDefault(t *testing.T) {
+	entry := testkit.Zoo()[0]
+	s, err := cuttlesim.New(entry.Build().MustCheck(), cuttlesim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(s, nil, 5)
+	if s.RuleStats() != nil {
+		t.Error("profile should be nil when not requested")
+	}
+}
+
+func TestProfileDoesNotChangeBehaviour(t *testing.T) {
+	entry := testkit.Zoo()[6] // guarded pipeline
+	plain := cuttlesim.MustNew(entry.Build().MustCheck(), cuttlesim.DefaultOptions())
+	prof := cuttlesim.MustNew(entry.Build().MustCheck(),
+		cuttlesim.Options{Level: cuttlesim.LStatic, Profile: true})
+	for i := 0; i < 80; i++ {
+		plain.Cycle()
+		prof.Cycle()
+		a, b := sim.StateOf(plain), sim.StateOf(prof)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("cycle %d: profiling changed behaviour", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package cuttlesim
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// The pure compiler is part of the LStatic tier: the abstract
+// interpretation already knows which reads, writes, and rules can fail;
+// any subtree with no possible abort compiles to closures without the
+// ok-flag plumbing, the closure-level counterpart of the straight-line C++
+// the paper's generator emits for conflict-free code. This matters most on
+// combinational designs (fir, fft) where nothing can ever abort.
+
+// ufn evaluates a node that provably cannot abort.
+type ufn func(m *machine) uint64
+
+// cannotAbort reports whether every operation in the subtree always
+// succeeds. Only meaningful at LStatic with per-op failure facts.
+func (c *compiler) cannotAbort(n *ast.Node) bool {
+	if n == nil {
+		return true
+	}
+	switch n.Kind {
+	case ast.KFail:
+		return false
+	case ast.KRead, ast.KWrite:
+		if c.s.an.Ops[n.ID].MayFail {
+			return false
+		}
+	}
+	if !c.cannotAbort(n.A) || !c.cannotAbort(n.B) || !c.cannotAbort(n.C) {
+		return false
+	}
+	for _, it := range n.Items {
+		if !c.cannotAbort(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// pureEligible gates the fast path: it needs LStatic's facts and is
+// incompatible with per-node instrumentation.
+func (c *compiler) pureEligible() bool {
+	return c.opts.Level == LStatic && !c.opts.Coverage && c.opts.Hook == nil
+}
+
+// compileU compiles a subtree known to be abort-free.
+func (c *compiler) compileU(n *ast.Node) ufn {
+	switch n.Kind {
+	case ast.KConst:
+		v := n.Val.Val
+		return func(m *machine) uint64 { return v }
+
+	case ast.KVar:
+		slot := c.slotOf(n.Name)
+		return func(m *machine) uint64 { return m.locals[slot] }
+
+	case ast.KLet:
+		// Flatten chains of lets (ubiquitous in meta-programmed designs
+		// like the FFT butterfly network) into one iterative frame fill,
+		// keeping the evaluation stack shallow.
+		var inits []ufn
+		var slots []int
+		cur := n
+		for cur.Kind == ast.KLet {
+			inits = append(inits, c.compileU(cur.A))
+			slots = append(slots, c.bind(cur.Name))
+			cur = cur.B
+		}
+		body := c.compileU(cur)
+		for range slots {
+			c.unbind()
+		}
+		return func(m *machine) uint64 {
+			for i, f := range inits {
+				m.locals[slots[i]] = f(m)
+			}
+			return body(m)
+		}
+
+	case ast.KAssign:
+		val := c.compileU(n.A)
+		slot := c.slotOf(n.Name)
+		return func(m *machine) uint64 {
+			m.locals[slot] = val(m)
+			return 0
+		}
+
+	case ast.KSeq:
+		fns := make([]ufn, len(n.Items))
+		for i, it := range n.Items {
+			fns[i] = c.compileU(it)
+		}
+		last := len(fns) - 1
+		return func(m *machine) uint64 {
+			for _, f := range fns[:last] {
+				f(m)
+			}
+			return fns[last](m)
+		}
+
+	case ast.KIf:
+		cond := c.compileU(n.A)
+		then := c.compileU(n.B)
+		if n.C == nil {
+			return func(m *machine) uint64 {
+				if cond(m) != 0 {
+					then(m)
+				}
+				return 0
+			}
+		}
+		els := c.compileU(n.C)
+		return func(m *machine) uint64 {
+			if cond(m) != 0 {
+				return then(m)
+			}
+			return els(m)
+		}
+
+	case ast.KRead:
+		reg := c.d.RegIndex(n.Name)
+		ri := c.s.an.Regs[reg]
+		if ri.Safe && !ri.Goldberg {
+			if n.Port == ast.P0 {
+				return func(m *machine) uint64 { return m.dL0[reg] }
+			}
+			return func(m *machine) uint64 { return m.dA0[reg] }
+		}
+		// Tracked register whose checks provably pass: record and read.
+		if n.Port == ast.P0 {
+			return func(m *machine) uint64 {
+				v, _ := m.read0(reg)
+				return v
+			}
+		}
+		return func(m *machine) uint64 {
+			v, _ := m.read1(reg)
+			return v
+		}
+
+	case ast.KWrite:
+		reg := c.d.RegIndex(n.Name)
+		val := c.compileU(n.A)
+		ri := c.s.an.Regs[reg]
+		if ri.Safe && !ri.Goldberg {
+			return func(m *machine) uint64 {
+				m.dA0[reg] = val(m)
+				return 0
+			}
+		}
+		if n.Port == ast.P0 {
+			return func(m *machine) uint64 {
+				m.write0(reg, val(m))
+				return 0
+			}
+		}
+		return func(m *machine) uint64 {
+			m.write1(reg, val(m))
+			return 0
+		}
+
+	case ast.KUnop:
+		a := c.compileU(n.A)
+		switch n.Op {
+		case ast.OpNot:
+			mask := bits.Mask(n.W)
+			return func(m *machine) uint64 { return ^a(m) & mask }
+		case ast.OpSignExtend:
+			aw := n.A.W
+			mask := bits.Mask(n.W)
+			if aw == 0 {
+				return func(m *machine) uint64 { a(m); return 0 }
+			}
+			sh := uint(64 - aw)
+			return func(m *machine) uint64 { return uint64(int64(a(m)<<sh)>>sh) & mask }
+		case ast.OpZeroExtend:
+			return a
+		case ast.OpSlice:
+			lo := uint(n.Lo)
+			mask := bits.Mask(n.Wid)
+			return func(m *machine) uint64 { return a(m) >> lo & mask }
+		}
+
+	case ast.KBinop:
+		return c.compileBinopU(n)
+
+	case ast.KExtCall:
+		fns := make([]ufn, len(n.Items))
+		widths := make([]int, len(n.Items))
+		for i, it := range n.Items {
+			fns[i] = c.compileU(it)
+			widths[i] = it.W
+		}
+		fn := c.d.ExtFuns[c.d.ExtIndex(n.Name)].Fn
+		args := make([]bits.Bits, len(fns))
+		return func(m *machine) uint64 {
+			for i, f := range fns {
+				args[i] = bits.Bits{Width: widths[i], Val: f(m)}
+			}
+			return fn(args).Val
+		}
+
+	case ast.KField:
+		a := c.compileU(n.A)
+		lo := uint(n.Lo)
+		mask := bits.Mask(n.Wid)
+		return func(m *machine) uint64 { return a(m) >> lo & mask }
+
+	case ast.KSetField:
+		a := c.compileU(n.A)
+		b := c.compileU(n.B)
+		lo := uint(n.Lo)
+		clr := ^(bits.Mask(n.Wid) << lo)
+		return func(m *machine) uint64 {
+			base := a(m)
+			return base&clr | b(m)<<lo
+		}
+
+	case ast.KPack:
+		st := n.Ty.(*ast.StructType)
+		fns := make([]ufn, len(n.Items))
+		los := make([]uint, len(n.Items))
+		for i, it := range n.Items {
+			fns[i] = c.compileU(it)
+			los[i] = uint(st.Offset(st.Fields[i].Name))
+		}
+		return func(m *machine) uint64 {
+			var out uint64
+			for i, f := range fns {
+				out |= f(m) << los[i]
+			}
+			return out
+		}
+
+	case ast.KSwitch:
+		scrut := c.compileU(n.A)
+		narms := len(n.Items) / 2
+		matches := make([]uint64, narms)
+		bodies := make([]ufn, narms)
+		for i := 0; i < narms; i++ {
+			matches[i] = n.Items[2*i].Val.Val
+			bodies[i] = c.compileU(n.Items[2*i+1])
+		}
+		def := c.compileU(n.C)
+		return func(m *machine) uint64 {
+			sv := scrut(m)
+			for i, mv := range matches {
+				if sv == mv {
+					return bodies[i](m)
+				}
+			}
+			return def(m)
+		}
+	}
+	panic(fmt.Sprintf("cuttlesim: cannot pure-compile node kind %v", n.Kind))
+}
+
+// compileBinopU mirrors compileBinop without abort plumbing.
+func (c *compiler) compileBinopU(n *ast.Node) ufn {
+	a := c.compileU(n.A)
+	b := c.compileU(n.B)
+	aw := n.A.W
+	mask := bits.Mask(n.W)
+	signed := func(v uint64) int64 {
+		if aw == 0 {
+			return 0
+		}
+		sh := uint(64 - aw)
+		return int64(v<<sh) >> sh
+	}
+	b2u := func(cond bool) uint64 {
+		if cond {
+			return 1
+		}
+		return 0
+	}
+	switch n.Op {
+	case ast.OpAdd:
+		return func(m *machine) uint64 { return (a(m) + b(m)) & mask }
+	case ast.OpSub:
+		return func(m *machine) uint64 { return (a(m) - b(m)) & mask }
+	case ast.OpMul:
+		return func(m *machine) uint64 { return a(m) * b(m) & mask }
+	case ast.OpAnd:
+		return func(m *machine) uint64 { return a(m) & b(m) }
+	case ast.OpOr:
+		return func(m *machine) uint64 { return a(m) | b(m) }
+	case ast.OpXor:
+		return func(m *machine) uint64 { return a(m) ^ b(m) }
+	case ast.OpEq:
+		return func(m *machine) uint64 { return b2u(a(m) == b(m)) }
+	case ast.OpNeq:
+		return func(m *machine) uint64 { return b2u(a(m) != b(m)) }
+	case ast.OpLtu:
+		return func(m *machine) uint64 { return b2u(a(m) < b(m)) }
+	case ast.OpGeu:
+		return func(m *machine) uint64 { return b2u(a(m) >= b(m)) }
+	case ast.OpLts:
+		return func(m *machine) uint64 { return b2u(signed(a(m)) < signed(b(m))) }
+	case ast.OpGes:
+		return func(m *machine) uint64 { return b2u(signed(a(m)) >= signed(b(m))) }
+	case ast.OpSll:
+		return func(m *machine) uint64 {
+			av, bv := a(m), b(m) // operand order matters: reads record flags
+			if bv >= uint64(aw) {
+				return 0
+			}
+			return av << bv & mask
+		}
+	case ast.OpSrl:
+		return func(m *machine) uint64 {
+			av, bv := a(m), b(m)
+			if bv >= uint64(aw) {
+				return 0
+			}
+			return av >> bv
+		}
+	case ast.OpSra:
+		return func(m *machine) uint64 {
+			av, bv := a(m), b(m)
+			sh := bv
+			if sh >= uint64(aw) {
+				if aw == 0 {
+					return 0
+				}
+				sh = uint64(aw)
+			}
+			return uint64(signed(av)>>sh) & mask
+		}
+	case ast.OpConcat:
+		bw := uint(n.B.W)
+		return func(m *machine) uint64 { return a(m)<<bw | b(m) }
+	}
+	panic(fmt.Sprintf("cuttlesim: unknown binop %v", n.Op))
+}

@@ -1,0 +1,239 @@
+package cuttlesim
+
+import (
+	"fmt"
+
+	"cuttlego/internal/analysis"
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/sim"
+)
+
+// Simulator is a compiled Cuttlesim model of one design.
+type Simulator struct {
+	d    *ast.Design
+	an   *analysis.Result
+	opts Options
+	m    *machine
+
+	sched    []int
+	rules    []valFn // closure backend: one per schedule position
+	bytecode []ruleCode
+	warnings []string
+	profile  []RuleStat
+}
+
+var _ sim.Engine = (*Simulator)(nil)
+var _ sim.Snapshotter = (*Simulator)(nil)
+
+// New compiles a checked design into a simulator.
+func New(d *ast.Design, opts Options) (*Simulator, error) {
+	if !d.Checked() {
+		return nil, fmt.Errorf("cuttlesim: design %q is not checked", d.Name)
+	}
+	for _, r := range d.Registers {
+		if r.Type.BitWidth() > bits.MaxWidth {
+			return nil, fmt.Errorf("cuttlesim: register %q wider than %d bits", r.Name, bits.MaxWidth)
+		}
+	}
+	an, err := analysis.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Hook != nil && opts.Backend != Closure {
+		return nil, fmt.Errorf("cuttlesim: debug hooks require the closure backend")
+	}
+	s := &Simulator{d: d, an: an, opts: opts, sched: d.ScheduledRules()}
+	s.m = newMachine(d, an, opts)
+	if opts.Profile {
+		s.profile = make([]RuleStat, len(d.Rules))
+		for i := range d.Rules {
+			s.profile[i].Rule = d.Rules[i].Name
+		}
+	}
+	for r := range an.Regs {
+		if an.Regs[r].Goldberg {
+			s.warnings = append(s.warnings,
+				fmt.Sprintf("register %q is read after being written within a rule (Goldberg pattern); keeping exact split data fields for it", d.Registers[r].Name))
+		}
+	}
+
+	switch opts.Backend {
+	case Closure:
+		c := &compiler{d: d, s: s, opts: opts}
+		s.rules = make([]valFn, len(s.sched))
+		for i, ri := range s.sched {
+			c.env = c.env[:0]
+			c.slots = 0
+			s.rules[i] = c.compile(d.Rules[ri].Body)
+		}
+		s.m.locals = make([]uint64, c.maxSlots)
+	case Bytecode:
+		asm := &assembler{d: d, s: s, opts: opts}
+		s.bytecode = make([]ruleCode, len(s.sched))
+		for i, ri := range s.sched {
+			s.bytecode[i] = asm.assemble(d.Rules[ri].Body)
+		}
+		s.m.locals = make([]uint64, asm.maxSlots)
+		s.m.stack = make([]uint64, asm.maxStack+1)
+	default:
+		return nil, fmt.Errorf("cuttlesim: unknown backend %v", opts.Backend)
+	}
+	return s, nil
+}
+
+// MustNew is New for statically known-good designs.
+func MustNew(d *ast.Design, opts Options) *Simulator {
+	s, err := New(d, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Warnings reports compile-time diagnostics (e.g. Goldberg patterns).
+func (s *Simulator) Warnings() []string { return s.warnings }
+
+// Analysis exposes the static-analysis result the model was compiled with.
+func (s *Simulator) Analysis() *analysis.Result { return s.an }
+
+// Options returns the options the simulator was compiled with.
+func (s *Simulator) Options() Options { return s.opts }
+
+// Design implements sim.Engine.
+func (s *Simulator) Design() *ast.Design { return s.d }
+
+// CycleCount implements sim.Engine.
+func (s *Simulator) CycleCount() uint64 { return s.m.cycle }
+
+// Reg implements sim.Engine.
+func (s *Simulator) Reg(name string) bits.Bits {
+	i := s.d.RegIndex(name)
+	return bits.Bits{Width: s.d.Registers[i].Type.BitWidth(), Val: s.m.regValue(i)}
+}
+
+// SetReg implements sim.Engine.
+func (s *Simulator) SetReg(name string, v bits.Bits) {
+	i := s.d.RegIndex(name)
+	if v.Width != s.d.Registers[i].Type.BitWidth() {
+		panic(fmt.Sprintf("cuttlesim: SetReg %s width %d != %d", name, v.Width, s.d.Registers[i].Type.BitWidth()))
+	}
+	s.m.setRegValue(i, v.Val)
+}
+
+// RuleFired implements sim.Engine.
+func (s *Simulator) RuleFired(rule string) bool { return s.m.fired[s.d.RuleIndex(rule)] }
+
+// Cycle implements sim.Engine.
+func (s *Simulator) Cycle() {
+	m := s.m
+	hook := s.opts.Hook
+	m.beginCycle()
+	if s.opts.Backend == Closure {
+		for i, ri := range s.sched {
+			m.beginRule()
+			if hook != nil {
+				hook.OnRuleStart(ri)
+			}
+			m.failClean = false
+			_, ok := s.rules[i](m)
+			if ok {
+				m.commitRule(i)
+			} else {
+				m.failRule(i)
+			}
+			m.fired[ri] = ok
+			if s.profile != nil {
+				s.profile[ri].record(ok)
+			}
+			if hook != nil {
+				hook.OnRuleEnd(ri, ok)
+			}
+		}
+	} else {
+		for i, ri := range s.sched {
+			m.beginRule()
+			m.failClean = false
+			ok := m.exec(s.bytecode[i])
+			if ok {
+				m.commitRule(i)
+			} else {
+				m.failRule(i)
+			}
+			m.fired[ri] = ok
+			if s.profile != nil {
+				s.profile[ri].record(ok)
+			}
+		}
+	}
+	m.endCycle()
+	m.cycle++
+}
+
+// RuleStat is one rule's profile: how often it was attempted and how often
+// it committed. Attempts minus commits is the abort count — the number the
+// paper's performance-debugging case study chases.
+type RuleStat struct {
+	Rule     string
+	Attempts uint64
+	Commits  uint64
+}
+
+func (r *RuleStat) record(ok bool) {
+	r.Attempts++
+	if ok {
+		r.Commits++
+	}
+}
+
+// Aborts returns how many attempts failed.
+func (r RuleStat) Aborts() uint64 { return r.Attempts - r.Commits }
+
+// RuleStats returns per-rule profiles; the simulator must have been built
+// with Options.Profile.
+func (s *Simulator) RuleStats() []RuleStat {
+	if s.profile == nil {
+		return nil
+	}
+	out := make([]RuleStat, len(s.profile))
+	copy(out, s.profile)
+	return out
+}
+
+// Snapshot implements sim.Snapshotter.
+func (s *Simulator) Snapshot() sim.Snapshot {
+	regs := make([]bits.Bits, len(s.d.Registers))
+	for i, r := range s.d.Registers {
+		regs[i] = bits.Bits{Width: r.Type.BitWidth(), Val: s.m.regValue(i)}
+	}
+	return sim.Snapshot{Cycle: s.m.cycle, Regs: regs}
+}
+
+// Restore implements sim.Snapshotter.
+func (s *Simulator) Restore(snap sim.Snapshot) {
+	for i := range snap.Regs {
+		s.m.setRegValue(i, snap.Regs[i].Val)
+	}
+	s.m.cycle = snap.Cycle
+	for i := range s.m.fired {
+		s.m.fired[i] = false
+	}
+}
+
+// Coverage returns a copy of the per-node execution counters; the simulator
+// must have been built with Options.Coverage.
+func (s *Simulator) Coverage() []uint64 {
+	if s.m.cov == nil {
+		return nil
+	}
+	out := make([]uint64, len(s.m.cov))
+	copy(out, s.m.cov)
+	return out
+}
+
+// ResetCoverage zeroes the execution counters.
+func (s *Simulator) ResetCoverage() {
+	for i := range s.m.cov {
+		s.m.cov[i] = 0
+	}
+}

@@ -1,0 +1,123 @@
+package cuttlesim_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cuttlego/internal/analysis"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/testkit"
+)
+
+// failWatch records operations that fail at runtime so the test can check
+// them against the static analysis's verdicts.
+type failWatch struct {
+	failedOps map[int]bool
+}
+
+func (w *failWatch) OnRuleStart(int)     {}
+func (w *failWatch) OnRuleEnd(int, bool) {}
+func (w *failWatch) OnOp(id, reg int, v uint64, ok bool) {
+	if !ok && reg >= 0 {
+		w.failedOps[id] = true
+	}
+}
+
+// Property: the abstract interpretation is sound — an operation it marks
+// MayFail=false never fails during execution, on arbitrary random designs.
+// (The hook disables the pure fast path, so every operation is observed.)
+func TestQuickAnalysisSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		d := testkit.Random(seed % 50000).MustCheck()
+		an, err := analysis.Analyze(d)
+		if err != nil {
+			return false
+		}
+		w := &failWatch{failedOps: map[int]bool{}}
+		s, err := cuttlesim.New(d, cuttlesim.Options{Level: cuttlesim.LStatic, Hook: w})
+		if err != nil {
+			return false
+		}
+		sim.Run(s, nil, 40)
+		for id := range w.failedOps {
+			op := an.Ops[id]
+			if op == nil {
+				t.Logf("seed %d: failing op %d has no annotation", seed, id)
+				return false
+			}
+			if !op.MayFail {
+				t.Logf("seed %d: op %d failed at runtime but analysis says it cannot", seed, id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot/restore is exact on random designs at every level.
+func TestQuickSnapshotRestore(t *testing.T) {
+	f := func(seed int64, levelRaw uint8) bool {
+		level := cuttlesim.Levels()[int(levelRaw)%7]
+		d := testkit.Random(seed % 50000).MustCheck()
+		s, err := cuttlesim.New(d, cuttlesim.Options{Level: level})
+		if err != nil {
+			return false
+		}
+		sim.Run(s, nil, 10)
+		snap := s.Snapshot()
+		before := sim.StateOf(s)
+		sim.Run(s, nil, 10)
+		s.Restore(snap)
+		after := sim.StateOf(s)
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		// Replay determinism.
+		sim.Run(s, nil, 10)
+		run1 := sim.StateOf(s)
+		s.Restore(snap)
+		sim.Run(s, nil, 10)
+		run2 := sim.StateOf(s)
+		for i := range run1 {
+			if run1[i] != run2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: safe registers (per the analysis) never host a failing
+// operation; spot-checked by construction across random designs.
+func TestQuickSafeRegistersNeverFail(t *testing.T) {
+	for seed := int64(200); seed < 240; seed++ {
+		d := testkit.Random(seed).MustCheck()
+		an, err := analysis.Analyze(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &failWatch{failedOps: map[int]bool{}}
+		s, err := cuttlesim.New(d, cuttlesim.Options{Level: cuttlesim.LStatic, Hook: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(s, nil, 30)
+		for id := range w.failedOps {
+			op := an.Ops[id]
+			if op.Reg >= 0 && an.Regs[op.Reg].Safe {
+				t.Fatalf("seed %d: operation on safe register %s failed (%s)",
+					seed, d.Registers[op.Reg].Name, fmt.Sprint(id))
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package debug
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/lang"
+	"cuttlego/internal/sim"
+)
+
+// BreakWhenSource installs a conditional breakpoint written in the textual
+// dialect, e.g.
+//
+//	dbg.BreakWhenSource("p_state.rd0() == pstate::ConfirmDowngrades")
+//
+// The expression must be 1-bit and effect-free (reads only). It is
+// compiled once into a tiny single-rule probe design sharing the debugged
+// design's registers and types; evaluating the condition copies the live
+// state into the probe and runs it for one cycle — slow enough only to
+// matter while debugging, which is exactly when it runs.
+func (d *Debugger) BreakWhenSource(src string) error {
+	probe, err := compileProbe(d.d, src)
+	if err != nil {
+		return err
+	}
+	d.BreakWhen(src, probe)
+	return nil
+}
+
+// compileProbe turns a textual predicate into a reusable evaluator.
+func compileProbe(design *ast.Design, src string) (func(sim.Engine) bool, error) {
+	expr, err := lang.ParseExpr(design, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkEffectFree(expr); err != nil {
+		return nil, err
+	}
+	tmp := ast.NewDesign("$probe")
+	for _, r := range design.Registers {
+		tmp.RegB(r.Name, r.Type, r.Init)
+	}
+	tmp.Reg("$cond", ast.Bits(1), 0)
+	tmp.Rule("$probe", ast.Wr0("$cond", expr))
+	if err := tmp.Check(); err != nil {
+		return nil, fmt.Errorf("condition %q: %w", src, err)
+	}
+	eval, err := interp.New(tmp)
+	if err != nil {
+		return nil, err
+	}
+	regs := design.Registers
+	return func(e sim.Engine) bool {
+		for _, r := range regs {
+			eval.SetReg(r.Name, e.Reg(r.Name))
+		}
+		eval.Cycle()
+		return eval.Reg("$cond").Bool()
+	}, nil
+}
+
+// checkEffectFree rejects writes and aborts inside a breakpoint condition.
+func checkEffectFree(n *ast.Node) error {
+	if n == nil {
+		return nil
+	}
+	switch n.Kind {
+	case ast.KWrite:
+		return fmt.Errorf("breakpoint conditions must not write registers (%s)", n.Name)
+	case ast.KFail:
+		return fmt.Errorf("breakpoint conditions must not abort")
+	case ast.KExtCall:
+		return fmt.Errorf("breakpoint conditions must not call external functions")
+	}
+	for _, c := range []*ast.Node{n.A, n.B, n.C} {
+		if err := checkEffectFree(c); err != nil {
+			return err
+		}
+	}
+	for _, it := range n.Items {
+		if err := checkEffectFree(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package debug_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/bits"
+	"cuttlego/internal/cache"
+	"cuttlego/internal/debug"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/stm"
+)
+
+func collatzDebugger(t *testing.T) *debug.Debugger {
+	t.Helper()
+	d, err := debug.New(stm.Collatz(27).MustCheck(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStepAndPrint(t *testing.T) {
+	d := collatzDebugger(t)
+	d.Step()
+	if d.CycleCount() != 1 {
+		t.Fatalf("cycle = %d", d.CycleCount())
+	}
+	out := d.Print("x")
+	if !strings.HasPrefix(out, "x = 32'x") {
+		t.Errorf("Print = %q", out)
+	}
+	all := d.PrintAll()
+	for _, want := range []string{"x = ", "steps = ", "done = "} {
+		if !strings.Contains(all, want) {
+			t.Errorf("PrintAll missing %q", want)
+		}
+	}
+}
+
+func TestBreakOnRule(t *testing.T) {
+	d := collatzDebugger(t)
+	d.BreakOnRule("divide")
+	if !d.Continue(100) {
+		t.Fatal("never hit the rule breakpoint")
+	}
+	if !strings.Contains(d.StopReason(), "break rule divide") {
+		t.Errorf("reason = %q", d.StopReason())
+	}
+}
+
+func TestBreakOnFail(t *testing.T) {
+	// 27 is odd, so "divide" fails in cycle 1.
+	d := collatzDebugger(t)
+	d.BreakOnFail("divide")
+	if !d.Continue(10) {
+		t.Fatal("never hit the FAIL breakpoint")
+	}
+	ev, desc, ok := d.LastFailure()
+	if !ok {
+		t.Fatal("no failure in trace")
+	}
+	if ev.Kind != debug.EvFail && ev.OK {
+		t.Errorf("unexpected failure event %+v", ev)
+	}
+	if !strings.Contains(desc, "divide") {
+		t.Errorf("failure description %q", desc)
+	}
+}
+
+func TestWatchpoint(t *testing.T) {
+	d := collatzDebugger(t)
+	d.Watch("done")
+	if !d.Continue(1000) {
+		t.Fatal("watchpoint on done never fired")
+	}
+	if !strings.Contains(d.StopReason(), "watchpoint done") {
+		t.Errorf("reason = %q", d.StopReason())
+	}
+	if !d.Engine().Reg("done").Bool() {
+		t.Error("done should be set when the watchpoint fires")
+	}
+}
+
+func TestBreakOnWrite(t *testing.T) {
+	d := collatzDebugger(t)
+	d.BreakOnWrite("steps")
+	if !d.Continue(10) {
+		t.Fatal("write breakpoint never fired")
+	}
+	if !strings.Contains(d.StopReason(), "break write steps") {
+		t.Errorf("reason = %q", d.StopReason())
+	}
+}
+
+func TestReverseStep(t *testing.T) {
+	d := collatzDebugger(t)
+	for i := 0; i < 150; i++ {
+		d.Step()
+	}
+	xAt150 := d.Engine().Reg("x")
+	if err := d.ReverseStep(30); err != nil {
+		t.Fatal(err)
+	}
+	if d.CycleCount() != 120 {
+		t.Fatalf("cycle after rewind = %d", d.CycleCount())
+	}
+	xAt120 := d.Engine().Reg("x")
+	// Forward again must be deterministic.
+	for i := 0; i < 30; i++ {
+		d.Step()
+	}
+	if got := d.Engine().Reg("x"); got != xAt150 {
+		t.Errorf("replay diverged: %v vs %v", got, xAt150)
+	}
+	if err := d.ReverseStep(30); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Engine().Reg("x"); got != xAt120 {
+		t.Errorf("second rewind diverged: %v vs %v", got, xAt120)
+	}
+}
+
+func TestReverseStepErrors(t *testing.T) {
+	d := collatzDebugger(t)
+	d.Step()
+	if err := d.ReverseStep(99); err == nil {
+		t.Error("rewinding past cycle 0 should error")
+	}
+}
+
+func TestRuleStatus(t *testing.T) {
+	d := collatzDebugger(t)
+	d.Step() // 27 is odd: divide fails, multiply fires
+	status := d.RuleStatus()
+	if !strings.Contains(status, "divide") || !strings.Contains(status, "FAILED") {
+		t.Errorf("status = %q", status)
+	}
+	if !strings.Contains(status, "multiply") || !strings.Contains(status, "fired") {
+		t.Errorf("status = %q", status)
+	}
+}
+
+func TestSetRegWhatIf(t *testing.T) {
+	d := collatzDebugger(t)
+	d.SetReg("x", bits.New(32, 1))
+	d.Step() // multiply sees 1 and latches done
+	if !d.Engine().Reg("done").Bool() {
+		t.Error("poked value should converge immediately")
+	}
+}
+
+// TestCaseStudy1Walkthrough replays the paper's §4.2 debugging session on
+// the buggy MSI system: run to the deadlock, observe the MSHR stuck in
+// WaitFillResp and the parent in ConfirmDowngrades with struct-aware
+// printing, break on the failing confirm rule, and confirm the failure is
+// an explicit abort (the acknowledgement never arrived).
+func TestCaseStudy1Walkthrough(t *testing.T) {
+	sys := cache.Build(cache.Config{BugDroppedAck: true})
+	if err := sys.Design.Check(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := debug.New(sys.Design, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run "in gdb until reaching the deadlock state".
+	for i := 0; i < 2000; i++ {
+		d.Step()
+	}
+
+	// Print out the relevant status registers by name.
+	parent := d.Print(sys.PStateRg)
+	if !strings.Contains(parent, "ConfirmDowngrades") {
+		t.Fatalf("parent state = %s", parent)
+	}
+	stuckChild := int(d.Engine().Reg("p_req_child").Val)
+	mshr := d.Print(sys.MSHR[stuckChild])
+	if !strings.Contains(mshr, "WaitFillResp") {
+		t.Fatalf("MSHR of stuck child = %s", mshr)
+	}
+	// Fields are accessible by name, not bit slicing.
+	if !strings.Contains(mshr, "tag: mshr_tag::WaitFillResp") || !strings.Contains(mshr, "addr: ") {
+		t.Errorf("MSHR formatting lacks named fields: %s", mshr)
+	}
+
+	// Set a breakpoint on FAIL() in the rule that should make progress.
+	d.BreakOnFail("p_confirm")
+	if !d.Continue(10) {
+		t.Fatal("p_confirm is not failing — no deadlock?")
+	}
+	ev, desc, ok := d.LastFailure()
+	if !ok {
+		t.Fatal("no failure recorded")
+	}
+	// The failure is an explicit abort (empty acknowledgement queue), not
+	// a read-write conflict: the paper's second alternative.
+	if ev.Kind != debug.EvFail {
+		t.Errorf("failure kind = %v, want explicit abort", ev.Kind)
+	}
+	if !strings.Contains(desc, "explicit abort") {
+		t.Errorf("desc = %q", desc)
+	}
+
+	// Interactive root-causing: the other child has already downgraded its
+	// line (state I), yet the ack never arrived — the downgrade handler
+	// dropped it.
+	otherChild := 1 - stuckChild
+	ackValid := d.Engine().Reg(strings.ReplaceAll("cX_c2p_ack_valid", "X", itoa(otherChild)))
+	if ackValid.Bool() {
+		t.Error("ack queue should be empty — that is the bug")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	return "1"
+}
+
+func TestHookedDesignMatchesPlain(t *testing.T) {
+	// Debug instrumentation must not change behaviour.
+	plainD := stm.Collatz(97).MustCheck()
+	dbg, err := debug.New(stm.Collatz(97).MustCheck(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := debug.New(plainD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		dbg.Step()
+		plain.Step()
+		for _, r := range []string{"x", "steps", "done"} {
+			if dbg.Engine().Reg(r) != plain.Engine().Reg(r) {
+				t.Fatalf("cycle %d: %s diverged", i, r)
+			}
+		}
+	}
+}
+
+func TestTraceWindow(t *testing.T) {
+	d := collatzDebugger(t)
+	for i := 0; i < 50; i++ {
+		d.Step()
+	}
+	tr := d.Trace()
+	if len(tr) == 0 || len(tr) > 64 {
+		t.Errorf("trace window size %d", len(tr))
+	}
+}
+
+func TestBreakWhenCondition(t *testing.T) {
+	d := collatzDebugger(t)
+	d.BreakWhen("x below 5", func(e sim.Engine) bool {
+		return e.Reg("x").Val < 5
+	})
+	if !d.Continue(500) {
+		t.Fatal("condition never hit")
+	}
+	if !strings.Contains(d.StopReason(), `condition "x below 5"`) {
+		t.Errorf("reason = %q", d.StopReason())
+	}
+	if got := d.Engine().Reg("x").Val; got >= 5 {
+		t.Errorf("stopped with x = %d", got)
+	}
+	// Conditions survive reverse execution.
+	if err := d.ReverseStep(3); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Continue(500) {
+		t.Fatal("condition lost after rewind")
+	}
+}
+
+func TestBreakWhenSource(t *testing.T) {
+	d := collatzDebugger(t)
+	if err := d.BreakWhenSource("x.rd0() <u 32'd5"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Continue(500) {
+		t.Fatal("textual condition never hit")
+	}
+	if got := d.Engine().Reg("x").Val; got >= 5 {
+		t.Errorf("stopped with x = %d", got)
+	}
+}
+
+func TestBreakWhenSourceWithEnums(t *testing.T) {
+	sys := cache.Build(cache.Config{BugDroppedAck: true})
+	if err := sys.Design.Check(); err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := debug.New(sys.Design, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The case-study breakpoint, written exactly as a user would type it.
+	if err := dbg.BreakWhenSource("p_state.rd0() == pstate::ConfirmDowngrades"); err != nil {
+		t.Fatal(err)
+	}
+	if !dbg.Continue(3000) {
+		t.Fatal("parent never entered ConfirmDowngrades")
+	}
+	if !strings.Contains(dbg.Print(sys.PStateRg), "ConfirmDowngrades") {
+		t.Error("stopped in the wrong state")
+	}
+}
+
+func TestBreakWhenSourceRejectsEffects(t *testing.T) {
+	d := collatzDebugger(t)
+	for _, src := range []string{
+		"x.wr0(32'd1) == 0'x0", // writes
+		"nosuch.rd0()",         // unknown register (caught by the probe check)
+		"x.rd0()",              // not 1-bit
+	} {
+		if err := d.BreakWhenSource(src); err == nil {
+			t.Errorf("BreakWhenSource(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package dsp holds the combinational benchmarks of Table 1: a finite
+// impulse response filter and the butterfly network of a fast Fourier
+// transform. Both are meta-programmed — Go code elaborates the design for a
+// given size — and both are single-rule designs with no scheduling or
+// conflicts, the regime where the paper expects Cuttlesim's advantage over
+// circuit-level simulation to be narrowest.
+package dsp
+
+import (
+	"fmt"
+	"math"
+
+	"cuttlego/internal/ast"
+)
+
+// FIR builds an n-tap filter with the given coefficients. Each cycle the
+// single rule shifts the 32-bit delay line and writes the weighted sum
+// (modulo 2^32, matching FIRRef) of the current input and the delayed
+// samples to "out". The testbench drives "in".
+func FIR(coeffs []uint32) *ast.Design {
+	n := len(coeffs)
+	if n == 0 {
+		panic("dsp: FIR needs at least one coefficient")
+	}
+	d := ast.NewDesign(fmt.Sprintf("fir%d", n))
+	d.Reg("in", ast.Bits(32), 0)
+	d.Reg("out", ast.Bits(32), 0)
+	for i := 0; i < n-1; i++ {
+		d.Reg(tap(i), ast.Bits(32), 0)
+	}
+
+	// acc = c0*in + sum_i c_{i+1} * tap_i, all at beginning-of-cycle.
+	acc := ast.Mul(ast.C(32, uint64(coeffs[0])), ast.Rd0("in"))
+	for i := 0; i < n-1; i++ {
+		acc = ast.Add(acc, ast.Mul(ast.C(32, uint64(coeffs[i+1])), ast.Rd0(tap(i))))
+	}
+
+	body := []*ast.Node{ast.Wr0("out", acc)}
+	// Shift the delay line: tap_i <- tap_{i-1}, tap_0 <- in.
+	for i := n - 2; i >= 1; i-- {
+		body = append(body, ast.Wr0(tap(i), ast.Rd0(tap(i-1))))
+	}
+	if n >= 2 {
+		body = append(body, ast.Wr0(tap(0), ast.Rd0("in")))
+	}
+	d.Rule("fir", body...)
+	return d
+}
+
+func tap(i int) string { return fmt.Sprintf("tap_%d", i) }
+
+// FIRRef is the golden model: it consumes the input stream and returns the
+// outputs the design must produce cycle by cycle (output i uses inputs
+// 0..i, with zeros before the stream starts).
+func FIRRef(coeffs []uint32, inputs []uint32) []uint32 {
+	out := make([]uint32, len(inputs))
+	for i := range inputs {
+		var acc uint32
+		for j, c := range coeffs {
+			if i-j >= 0 {
+				acc += c * inputs[i-j]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// FFT builds an n-point (n a power of two) radix-2 decimation-in-time
+// butterfly network, fully unrolled into one combinational rule: inputs are
+// the registers xr_i/xi_i (driven in bit-reversed order, as usual for DIT),
+// outputs yr_i/yi_i. Arithmetic is 32-bit fixed point with twiddle factors
+// scaled by 2^TwiddleShift, exactly mirrored by FFTRef.
+func FFT(n int) *ast.Design {
+	if n < 2 || n&(n-1) != 0 {
+		panic("dsp: FFT size must be a power of two >= 2")
+	}
+	d := ast.NewDesign(fmt.Sprintf("fft%d", n))
+	for i := 0; i < n; i++ {
+		d.Reg(fmt.Sprintf("xr_%d", i), ast.Bits(32), 0)
+		d.Reg(fmt.Sprintf("xi_%d", i), ast.Bits(32), 0)
+		d.Reg(fmt.Sprintf("yr_%d", i), ast.Bits(32), 0)
+		d.Reg(fmt.Sprintf("yi_%d", i), ast.Bits(32), 0)
+	}
+
+	// Values flow through let-bound variables so each stage output can feed
+	// two butterflies without sharing AST nodes.
+	cur := make([]string, 2*n) // variable names: re then im interleaved
+	var lets []letBinding
+	for i := 0; i < n; i++ {
+		cur[2*i] = fmt.Sprintf("s0r%d", i)
+		cur[2*i+1] = fmt.Sprintf("s0i%d", i)
+		lets = append(lets,
+			letBinding{cur[2*i], ast.Rd0(fmt.Sprintf("xr_%d", i))},
+			letBinding{cur[2*i+1], ast.Rd0(fmt.Sprintf("xi_%d", i))})
+	}
+
+	stages := 0
+	for 1<<uint(stages) < n {
+		stages++
+	}
+	for s := 1; s <= stages; s++ {
+		m := 1 << uint(s)
+		next := make([]string, 2*n)
+		for k := 0; k < n; k += m {
+			for j := 0; j < m/2; j++ {
+				wr, wi := Twiddle(j, m)
+				a, b := k+j, k+j+m/2
+				ar, ai := cur[2*a], cur[2*a+1]
+				br, bi := cur[2*b], cur[2*b+1]
+				// t = w * x[b] (fixed point), then x[a]±t.
+				tr := fmt.Sprintf("s%dt%dr", s, b)
+				ti := fmt.Sprintf("s%dt%di", s, b)
+				lets = append(lets,
+					letBinding{tr, fixMulSub(wr, br, wi, bi)},
+					letBinding{ti, fixMulAdd(wr, bi, wi, br)})
+				or1, oi1 := fmt.Sprintf("s%dr%d", s, a), fmt.Sprintf("s%di%d", s, a)
+				or2, oi2 := fmt.Sprintf("s%dr%d", s, b), fmt.Sprintf("s%di%d", s, b)
+				lets = append(lets,
+					letBinding{or1, ast.Add(ast.V(ar), ast.V(tr))},
+					letBinding{oi1, ast.Add(ast.V(ai), ast.V(ti))},
+					letBinding{or2, ast.Sub(ast.V(ar), ast.V(tr))},
+					letBinding{oi2, ast.Sub(ast.V(ai), ast.V(ti))})
+				next[2*a], next[2*a+1] = or1, oi1
+				next[2*b], next[2*b+1] = or2, oi2
+			}
+		}
+		cur = next
+	}
+
+	var writes []*ast.Node
+	for i := 0; i < n; i++ {
+		writes = append(writes,
+			ast.Wr0(fmt.Sprintf("yr_%d", i), ast.V(cur[2*i])),
+			ast.Wr0(fmt.Sprintf("yi_%d", i), ast.V(cur[2*i+1])))
+	}
+
+	body := ast.Seq(writes...)
+	for i := len(lets) - 1; i >= 0; i-- {
+		body = ast.Let(lets[i].name, lets[i].init, body)
+	}
+	d.Rule("butterflies", body)
+	return d
+}
+
+type letBinding struct {
+	name string
+	init *ast.Node
+}
+
+// TwiddleShift is the fixed-point scale of the twiddle factors.
+const TwiddleShift = 12
+
+// Twiddle returns the fixed-point twiddle factor e^(-2πij/m).
+func Twiddle(j, m int) (int32, int32) {
+	angle := -2 * math.Pi * float64(j) / float64(m)
+	scale := float64(int32(1) << TwiddleShift)
+	return int32(math.Round(math.Cos(angle) * scale)), int32(math.Round(math.Sin(angle) * scale))
+}
+
+// fixMulSub builds (wr*b1 - wi*b2) >> TwiddleShift over variables.
+func fixMulSub(wr int32, b1 string, wi int32, b2 string) *ast.Node {
+	return ast.Sra(
+		ast.Sub(
+			ast.Mul(ast.C(32, uint64(uint32(wr))), ast.V(b1)),
+			ast.Mul(ast.C(32, uint64(uint32(wi))), ast.V(b2))),
+		ast.C(5, TwiddleShift))
+}
+
+// fixMulAdd builds (wr*b1 + wi*b2) >> TwiddleShift over variables.
+func fixMulAdd(wr int32, b1 string, wi int32, b2 string) *ast.Node {
+	return ast.Sra(
+		ast.Add(
+			ast.Mul(ast.C(32, uint64(uint32(wr))), ast.V(b1)),
+			ast.Mul(ast.C(32, uint64(uint32(wi))), ast.V(b2))),
+		ast.C(5, TwiddleShift))
+}
+
+// FFTRef is the golden model, mirroring the design's fixed-point arithmetic
+// bit for bit. Inputs and outputs are interleaved (re, im) int32 pairs in
+// the same (bit-reversed input) order as the design's registers.
+func FFTRef(n int, in []int32) []int32 {
+	cur := make([]int32, 2*n)
+	copy(cur, in)
+	stages := 0
+	for 1<<uint(stages) < n {
+		stages++
+	}
+	for s := 1; s <= stages; s++ {
+		m := 1 << uint(s)
+		next := make([]int32, 2*n)
+		for k := 0; k < n; k += m {
+			for j := 0; j < m/2; j++ {
+				wr, wi := Twiddle(j, m)
+				a, b := k+j, k+j+m/2
+				br, bi := cur[2*b], cur[2*b+1]
+				tr := int32(uint32(wr*br-wi*bi)) >> TwiddleShift
+				ti := int32(uint32(wr*bi+wi*br)) >> TwiddleShift
+				next[2*a] = cur[2*a] + tr
+				next[2*a+1] = cur[2*a+1] + ti
+				next[2*b] = cur[2*a] - tr
+				next[2*b+1] = cur[2*a+1] - ti
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// BitReverse permutes natural-order samples into the bit-reversed order the
+// FFT design expects on its inputs.
+func BitReverse(n int, in []int32) []int32 {
+	bitsN := 0
+	for 1<<uint(bitsN) < n {
+		bitsN++
+	}
+	out := make([]int32, 2*n)
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < bitsN; b++ {
+			if i>>uint(b)&1 != 0 {
+				r |= 1 << uint(bitsN-1-b)
+			}
+		}
+		out[2*r] = in[2*i]
+		out[2*r+1] = in[2*i+1]
+	}
+	return out
+}

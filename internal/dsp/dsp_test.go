@@ -1,0 +1,213 @@
+package dsp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/dsp"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/stm"
+	"cuttlego/internal/workload"
+)
+
+func engineSet(t *testing.T, build func() *ast.Design) map[string]sim.Engine {
+	t.Helper()
+	out := map[string]sim.Engine{}
+	ref, err := interp.New(build().MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["interp"] = ref
+	out["cuttlesim"] = cuttlesim.MustNew(build().MustCheck(), cuttlesim.DefaultOptions())
+	for _, style := range []circuit.Style{circuit.StyleKoika, circuit.StyleBluespec} {
+		ckt, err := circuit.Compile(build().MustCheck(), style)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["rtlsim/"+style.String()] = rtlsim.MustNew(ckt, rtlsim.Options{})
+	}
+	return out
+}
+
+func TestFIRMatchesReference(t *testing.T) {
+	coeffs := []uint32{3, 1, 4, 1, 5, 9, 2, 6}
+	inputs := workload.FIRInput(64, 11)
+	want := dsp.FIRRef(coeffs, inputs)
+
+	d := dsp.FIR(coeffs).MustCheck()
+	s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	for i, in := range inputs {
+		s.SetReg("in", bits.New(32, uint64(in)))
+		s.Cycle()
+		if got := uint32(s.Reg("out").Val); got != want[i] {
+			t.Fatalf("output %d = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestFIRCrossEngine(t *testing.T) {
+	coeffs := []uint32{2, 7, 1, 8}
+	inputs := workload.FIRInput(40, 3)
+	engines := engineSet(t, func() *ast.Design { return dsp.FIR(coeffs) })
+	for i, in := range inputs {
+		var want uint32
+		first := true
+		for name, e := range engines {
+			e.SetReg("in", bits.New(32, uint64(in)))
+			e.Cycle()
+			got := uint32(e.Reg("out").Val)
+			if first {
+				want, first = got, false
+			} else if got != want {
+				t.Fatalf("cycle %d: %s out = %d, others %d", i, name, got, want)
+			}
+		}
+	}
+}
+
+func TestFFTMatchesReference(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			d := dsp.FFT(n).MustCheck()
+			s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+
+			natural := make([]int32, 2*n)
+			for i := 0; i < n; i++ {
+				natural[2*i] = int32(i*37 - 100)
+				natural[2*i+1] = int32(55 - i*13)
+			}
+			in := dsp.BitReverse(n, natural)
+			for i := 0; i < n; i++ {
+				s.SetReg(fmt.Sprintf("xr_%d", i), bits.New(32, uint64(uint32(in[2*i]))))
+				s.SetReg(fmt.Sprintf("xi_%d", i), bits.New(32, uint64(uint32(in[2*i+1]))))
+			}
+			s.Cycle()
+			want := dsp.FFTRef(n, in)
+			for i := 0; i < n; i++ {
+				gr := int32(uint32(s.Reg(fmt.Sprintf("yr_%d", i)).Val))
+				gi := int32(uint32(s.Reg(fmt.Sprintf("yi_%d", i)).Val))
+				if gr != want[2*i] || gi != want[2*i+1] {
+					t.Errorf("bin %d = (%d, %d), want (%d, %d)", i, gr, gi, want[2*i], want[2*i+1])
+				}
+			}
+		})
+	}
+}
+
+func TestFFTDCInput(t *testing.T) {
+	// A constant (DC) input concentrates all energy in bin 0.
+	n := 8
+	d := dsp.FFT(n).MustCheck()
+	s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	natural := make([]int32, 2*n)
+	for i := 0; i < n; i++ {
+		natural[2*i] = 1000
+	}
+	in := dsp.BitReverse(n, natural)
+	for i := 0; i < n; i++ {
+		s.SetReg(fmt.Sprintf("xr_%d", i), bits.New(32, uint64(uint32(in[2*i]))))
+		s.SetReg(fmt.Sprintf("xi_%d", i), bits.New(32, uint64(uint32(in[2*i+1]))))
+	}
+	s.Cycle()
+	if got := int32(uint32(s.Reg("yr_0").Val)); got != 8000 {
+		t.Errorf("DC bin = %d, want 8000", got)
+	}
+	for i := 1; i < n; i++ {
+		if got := int32(uint32(s.Reg(fmt.Sprintf("yr_%d", i)).Val)); got > 8 || got < -8 {
+			t.Errorf("bin %d re = %d, want ~0", i, got)
+		}
+	}
+}
+
+func TestFFTCrossEngine(t *testing.T) {
+	n := 8
+	engines := engineSet(t, func() *ast.Design { return dsp.FFT(n) })
+	natural := make([]int32, 2*n)
+	for i := 0; i < n; i++ {
+		natural[2*i] = int32(i * i)
+		natural[2*i+1] = int32(-i)
+	}
+	in := dsp.BitReverse(n, natural)
+	results := map[string][]uint64{}
+	for name, e := range engines {
+		for i := 0; i < n; i++ {
+			e.SetReg(fmt.Sprintf("xr_%d", i), bits.New(32, uint64(uint32(in[2*i]))))
+			e.SetReg(fmt.Sprintf("xi_%d", i), bits.New(32, uint64(uint32(in[2*i+1]))))
+		}
+		e.Cycle()
+		var vals []uint64
+		for i := 0; i < n; i++ {
+			vals = append(vals, e.Reg(fmt.Sprintf("yr_%d", i)).Val, e.Reg(fmt.Sprintf("yi_%d", i)).Val)
+		}
+		results[name] = vals
+	}
+	want := results["interp"]
+	for name, vals := range results {
+		for i := range vals {
+			if vals[i] != want[i] {
+				t.Fatalf("%s diverges from interp at output %d", name, i)
+			}
+		}
+	}
+}
+
+func TestCollatzSteps(t *testing.T) {
+	for _, init := range []uint64{6, 7, 27, 97} {
+		d := stm.Collatz(init).MustCheck()
+		s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+		for i := 0; i < 1000 && !s.Reg("done").Bool(); i++ {
+			s.Cycle()
+		}
+		if !s.Reg("done").Bool() {
+			t.Fatalf("collatz(%d) did not converge", init)
+		}
+		if got, want := s.Reg("steps").Val, stm.Steps(init); got != want {
+			t.Errorf("collatz(%d) steps = %d, want %d", init, got, want)
+		}
+	}
+}
+
+func TestCollatzTwoStepsPerCycle(t *testing.T) {
+	// Starting even and hitting an odd intermediate, both rules fire in one
+	// cycle through the port-1 chain.
+	d := stm.Collatz(6).MustCheck()
+	s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	s.Cycle()
+	if !s.RuleFired("divide") || !s.RuleFired("multiply") {
+		t.Error("both rules should fire in the first cycle (6 -> 3 -> 10)")
+	}
+	if got := s.Reg("x").Val; got != 10 {
+		t.Errorf("x = %d, want 10", got)
+	}
+	if got := s.Reg("steps").Val; got != 2 {
+		t.Errorf("steps = %d, want 2", got)
+	}
+}
+
+func TestCollatzCrossEngine(t *testing.T) {
+	engines := engineSet(t, func() *ast.Design { return stm.Collatz(27) })
+	for cycle := 0; cycle < 200; cycle++ {
+		var want []bits.Bits
+		first := true
+		for name, e := range engines {
+			e.Cycle()
+			got := sim.StateOf(e)
+			if first {
+				want, first = got, false
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cycle %d: %s reg %d = %v, others %v", cycle, name, i, got[i], want[i])
+				}
+			}
+			_ = name
+		}
+	}
+}

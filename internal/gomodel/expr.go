@@ -1,0 +1,292 @@
+package gomodel
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// The expression generator emits three-address style code: every composite
+// value is materialized into a fresh temporary at its evaluation point, so
+// the emitted Go preserves the action language's left-to-right effect
+// order exactly (reads record flags, writes update the accumulated log,
+// and any of them may abort the rule).
+
+// stmt emits a unit-valued action.
+func (g *gen) stmt(n *ast.Node) {
+	switch n.Kind {
+	case ast.KSeq:
+		for _, it := range n.Items {
+			g.stmt(it)
+		}
+	case ast.KLet:
+		v := g.expr(n.A)
+		goName := g.fresh("v_" + goIdent(n.Name))
+		g.line("var %s uint64 = %s", goName, v)
+		g.line("_ = %s", goName)
+		g.env = append(g.env, scopeVar{name: n.Name, goName: goName})
+		g.stmt(n.B)
+		g.env = g.env[:len(g.env)-1]
+	case ast.KAssign:
+		v := g.expr(n.A)
+		g.line("%s = %s", g.lookup(n.Name), v)
+	case ast.KIf:
+		cond := g.expr(n.A)
+		g.line("if %s != 0 {", cond)
+		g.indent++
+		g.stmt(n.B)
+		g.indent--
+		if n.C != nil {
+			g.line("} else {")
+			g.indent++
+			g.stmt(n.C)
+			g.indent--
+		}
+		g.line("}")
+	case ast.KWrite:
+		g.write(n)
+	case ast.KFail:
+		g.line("%s", g.abort(g.an.Ops[n.ID].CleanBefore))
+	case ast.KConst:
+		// unit constant: nothing to do
+	case ast.KSwitch:
+		scrut := g.expr(n.A)
+		g.line("switch %s {", scrut)
+		for i := 0; i+1 < len(n.Items); i += 2 {
+			g.line("case %#x:", n.Items[i].Val.Val)
+			g.indent++
+			g.stmt(n.Items[i+1])
+			g.indent--
+		}
+		g.line("default:")
+		g.indent++
+		g.stmt(n.C)
+		g.indent--
+		g.line("}")
+	default:
+		// A value in statement position: evaluate for effects.
+		v := g.expr(n)
+		g.line("_ = %s", v)
+	}
+}
+
+// write emits a register write with the static tier's checks.
+func (g *gen) write(n *ast.Node) {
+	v := g.expr(n.A)
+	reg := g.d.RegIndex(n.Name)
+	op := g.an.Ops[n.ID]
+	slot := g.slot[reg]
+	rn := "r" + goIdent(n.Name)
+	if slot >= 0 {
+		if op.MayFail {
+			if n.Port == ast.P0 {
+				g.line("if flagsA[%d]&(fRd1|fWr0|fWr1) != 0 {", slot)
+			} else {
+				g.line("if flagsA[%d]&fWr1 != 0 {", slot)
+			}
+			g.indent++
+			g.line("%s", g.abort(op.CleanBefore))
+			g.indent--
+			g.line("}")
+		}
+		if n.Port == ast.P0 {
+			g.line("flagsA[%d] |= fWr0", slot)
+		} else {
+			g.line("flagsA[%d] |= fWr1", slot)
+		}
+	}
+	g.line("acc[%s] = %s", rn, v)
+}
+
+// expr emits code computing n, returning a literal or temporary name.
+func (g *gen) expr(n *ast.Node) string {
+	switch n.Kind {
+	case ast.KConst:
+		return fmt.Sprintf("%#x", n.Val.Val)
+
+	case ast.KVar:
+		t := g.fresh("t")
+		g.line("var %s uint64 = %s", t, g.lookup(n.Name))
+		return t
+
+	case ast.KRead:
+		reg := g.d.RegIndex(n.Name)
+		op := g.an.Ops[n.ID]
+		slot := g.slot[reg]
+		rn := "r" + goIdent(n.Name)
+		t := g.fresh("t")
+		if n.Port == ast.P0 {
+			if slot >= 0 && op.MayFail {
+				g.line("if flagsL[%d]&(fWr0|fWr1) != 0 {", slot)
+				g.indent++
+				g.line("%s", g.abort(op.CleanBefore))
+				g.indent--
+				g.line("}")
+			}
+			g.line("var %s uint64 = state[%s]", t, rn)
+			return t
+		}
+		if slot >= 0 {
+			if op.MayFail {
+				g.line("if flagsL[%d]&fWr1 != 0 {", slot)
+				g.indent++
+				g.line("%s", g.abort(op.CleanBefore))
+				g.indent--
+				g.line("}")
+			}
+			g.line("flagsA[%d] |= fRd1", slot)
+		}
+		g.line("var %s uint64 = acc[%s]", t, rn)
+		return t
+
+	case ast.KLet:
+		v := g.expr(n.A)
+		goName := g.fresh("v_" + goIdent(n.Name))
+		g.line("var %s uint64 = %s", goName, v)
+		g.line("_ = %s", goName)
+		g.env = append(g.env, scopeVar{name: n.Name, goName: goName})
+		out := g.expr(n.B)
+		g.env = g.env[:len(g.env)-1]
+		return out
+
+	case ast.KAssign:
+		v := g.expr(n.A)
+		g.line("%s = %s", g.lookup(n.Name), v)
+		return "0x0"
+
+	case ast.KSeq:
+		for _, it := range n.Items[:len(n.Items)-1] {
+			g.stmt(it)
+		}
+		return g.expr(n.Items[len(n.Items)-1])
+
+	case ast.KIf:
+		cond := g.expr(n.A)
+		t := g.fresh("t")
+		g.line("var %s uint64", t)
+		g.line("if %s != 0 {", cond)
+		g.indent++
+		if n.C == nil {
+			g.stmt(n.B)
+		} else {
+			g.line("%s = %s", t, g.expr(n.B))
+		}
+		g.indent--
+		if n.C != nil {
+			g.line("} else {")
+			g.indent++
+			g.line("%s = %s", t, g.expr(n.C))
+			g.indent--
+		}
+		g.line("}")
+		return t
+
+	case ast.KWrite:
+		g.write(n)
+		return "0x0"
+
+	case ast.KFail:
+		g.line("%s", g.abort(g.an.Ops[n.ID].CleanBefore))
+		return "0x0"
+
+	case ast.KUnop:
+		a := g.expr(n.A)
+		t := g.fresh("t")
+		switch n.Op {
+		case ast.OpNot:
+			g.line("var %s uint64 = ^%s & %#x", t, a, bits.Mask(n.W))
+		case ast.OpSignExtend:
+			g.line("var %s uint64 = uint64(signed(%s, %d)) & %#x", t, a, n.A.W, bits.Mask(n.W))
+		case ast.OpZeroExtend:
+			g.line("var %s uint64 = %s", t, a)
+		case ast.OpSlice:
+			g.line("var %s uint64 = %s >> %d & %#x", t, a, n.Lo, bits.Mask(n.Wid))
+		}
+		return t
+
+	case ast.KBinop:
+		a := g.expr(n.A)
+		b := g.expr(n.B)
+		t := g.fresh("t")
+		mask := bits.Mask(n.W)
+		aw := n.A.W
+		switch n.Op {
+		case ast.OpAdd:
+			g.line("var %s uint64 = (%s + %s) & %#x", t, a, b, mask)
+		case ast.OpSub:
+			g.line("var %s uint64 = (%s - %s) & %#x", t, a, b, mask)
+		case ast.OpMul:
+			g.line("var %s uint64 = (%s * %s) & %#x", t, a, b, mask)
+		case ast.OpAnd:
+			g.line("var %s uint64 = %s & %s", t, a, b)
+		case ast.OpOr:
+			g.line("var %s uint64 = %s | %s", t, a, b)
+		case ast.OpXor:
+			g.line("var %s uint64 = %s ^ %s", t, a, b)
+		case ast.OpEq:
+			g.line("var %s uint64 = b2i(%s == %s)", t, a, b)
+		case ast.OpNeq:
+			g.line("var %s uint64 = b2i(%s != %s)", t, a, b)
+		case ast.OpLtu:
+			g.line("var %s uint64 = b2i(uint64(%s) < uint64(%s))", t, a, b)
+		case ast.OpGeu:
+			g.line("var %s uint64 = b2i(uint64(%s) >= uint64(%s))", t, a, b)
+		case ast.OpLts:
+			g.line("var %s uint64 = b2i(signed(%s, %d) < signed(%s, %d))", t, a, aw, b, aw)
+		case ast.OpGes:
+			g.line("var %s uint64 = b2i(signed(%s, %d) >= signed(%s, %d))", t, a, aw, b, aw)
+		case ast.OpSll:
+			g.line("var %s uint64 = sll(%s, %s, %d, %#x)", t, a, b, aw, mask)
+		case ast.OpSrl:
+			g.line("var %s uint64 = srl(%s, %s, %d)", t, a, b, aw)
+		case ast.OpSra:
+			g.line("var %s uint64 = sra(%s, %s, %d, %#x)", t, a, b, aw, mask)
+		case ast.OpConcat:
+			g.line("var %s uint64 = %s<<%d | %s", t, a, n.B.W, b)
+		}
+		return t
+
+	case ast.KField:
+		a := g.expr(n.A)
+		t := g.fresh("t")
+		g.line("var %s uint64 = %s >> %d & %#x // .%s", t, a, n.Lo, bits.Mask(n.Wid), n.Name)
+		return t
+
+	case ast.KSetField:
+		a := g.expr(n.A)
+		b := g.expr(n.B)
+		t := g.fresh("t")
+		g.line("var %s uint64 = %s&%#x | %s<<%d // with %s", t, a, ^(bits.Mask(n.Wid) << uint(n.Lo)), b, n.Lo, n.Name)
+		return t
+
+	case ast.KPack:
+		st := n.Ty.(*ast.StructType)
+		t := g.fresh("t")
+		g.line("var %s uint64 // %s{...}", t, st.Name)
+		for i, it := range n.Items {
+			v := g.expr(it)
+			g.line("%s |= %s << %d // .%s", t, v, st.Offset(st.Fields[i].Name), st.Fields[i].Name)
+		}
+		return t
+
+	case ast.KSwitch:
+		scrut := g.expr(n.A)
+		t := g.fresh("t")
+		g.line("var %s uint64", t)
+		g.line("switch %s {", scrut)
+		for i := 0; i+1 < len(n.Items); i += 2 {
+			g.line("case %#x:", n.Items[i].Val.Val)
+			g.indent++
+			g.line("%s = %s", t, g.expr(n.Items[i+1]))
+			g.indent--
+		}
+		g.line("default:")
+		g.indent++
+		g.line("%s = %s", t, g.expr(n.C))
+		g.indent--
+		g.line("}")
+		return t
+	}
+	panic(fmt.Sprintf("gomodel: cannot emit node kind %v", n.Kind))
+}

@@ -1,0 +1,165 @@
+package gomodel_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bench"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/gomodel"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/stm"
+	"cuttlego/internal/testkit"
+)
+
+// goTool locates the Go toolchain; emission tests that build generated
+// code are skipped when it is unavailable.
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	return path
+}
+
+// runGenerated emits the design, builds it with the Go compiler, runs it
+// for the given cycles, and returns the name=value map it printed.
+func runGenerated(t *testing.T, d *ast.Design, cycles int) map[string]uint64 {
+	t.Helper()
+	src, err := gomodel.Emit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "model.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goTool(t), "run", file, fmt.Sprintf("-cycles=%d", cycles))
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GO111MODULE=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated model failed: %v\noutput:\n%s\nsource:\n%s", err, out, src)
+	}
+	vals := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		name, hex, ok := strings.Cut(line, "=")
+		if !ok {
+			t.Fatalf("unexpected output line %q", line)
+		}
+		var v uint64
+		fmt.Sscanf(hex, "%x", &v)
+		vals[name] = v
+	}
+	return vals
+}
+
+// compareToEngine checks the generated program's final state against the
+// in-process Cuttlesim engine.
+func compareToEngine(t *testing.T, build func() *ast.Design, cycles int) {
+	t.Helper()
+	got := runGenerated(t, build().MustCheck(), cycles)
+	ref := cuttlesim.MustNew(build().MustCheck(), cuttlesim.DefaultOptions())
+	sim.Run(ref, nil, uint64(cycles))
+	for _, r := range ref.Design().Registers {
+		if got[r.Name] != ref.Reg(r.Name).Val {
+			t.Errorf("register %s: generated model has %#x, engine has %#x",
+				r.Name, got[r.Name], ref.Reg(r.Name).Val)
+		}
+	}
+}
+
+func TestGeneratedCollatz(t *testing.T) {
+	compareToEngine(t, func() *ast.Design { return stm.Collatz(27) }, 120)
+}
+
+func TestGeneratedStateStress(t *testing.T) {
+	compareToEngine(t, func() *ast.Design { return bench.StateStress(48, 4) }, 200)
+}
+
+func TestGeneratedZooDesigns(t *testing.T) {
+	for _, entry := range testkit.Zoo() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			d := entry.Build().MustCheck()
+			if _, err := gomodel.Emit(d); err != nil {
+				if strings.Contains(err.Error(), "external functions") ||
+					strings.Contains(err.Error(), "Goldberg") {
+					t.Skip(err)
+				}
+				t.Fatal(err)
+			}
+			compareToEngine(t, entry.Build, 64)
+		})
+	}
+}
+
+func TestGeneratedRandomDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds generated code")
+	}
+	tested := 0
+	for seed := int64(400); seed < 460 && tested < 8; seed++ {
+		d := testkit.Random(seed).MustCheck()
+		if _, err := gomodel.Emit(d); err != nil {
+			continue // Goldberg designs are rejected by contract
+		}
+		seed := seed
+		tested++
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			compareToEngine(t, func() *ast.Design { return testkit.Random(seed) }, 40)
+		})
+	}
+	if tested == 0 {
+		t.Fatal("no random design was emittable")
+	}
+}
+
+func TestEmitRejections(t *testing.T) {
+	// Unchecked design.
+	if _, err := gomodel.Emit(ast.NewDesign("d")); err == nil {
+		t.Error("accepted unchecked design")
+	}
+	// External functions and Goldberg registers, via the zoo entries that
+	// exercise each.
+	zoo := testkit.Zoo()
+	for _, entry := range zoo {
+		if entry.Name == "extcall" {
+			if _, err := gomodel.Emit(entry.Build().MustCheck()); err == nil ||
+				!strings.Contains(err.Error(), "external functions") {
+				t.Errorf("extcall design: err = %v", err)
+			}
+		}
+		if entry.Name == "goldberg" {
+			if _, err := gomodel.Emit(entry.Build().MustCheck()); err == nil ||
+				!strings.Contains(err.Error(), "Goldberg") {
+				t.Errorf("goldberg design: err = %v", err)
+			}
+		}
+	}
+}
+
+func TestEmittedSourceShape(t *testing.T) {
+	src, err := gomodel.Emit(stm.Collatz(6).MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package main",
+		"func rule_divide() bool",
+		"func rule_multiply() bool",
+		"func fail_divide() bool",
+		"func cycle()",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package interp
+
+import (
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/sim"
+)
+
+func mustNew(t *testing.T, d *ast.Design) *Simulator {
+	t.Helper()
+	s, err := New(d.MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRequiresCheckedDesign(t *testing.T) {
+	d := ast.NewDesign("d")
+	if _, err := New(d); err == nil {
+		t.Fatal("New accepted an unchecked design")
+	}
+}
+
+// The paper's two-state machine: rlA fires in state A, rlB in state B.
+func TestTwoStateMachine(t *testing.T) {
+	d := ast.NewDesign("stm")
+	st := ast.NewEnum("state", 1, "A", "B")
+	d.Reg("st", st, 0)
+	d.Reg("x", ast.Bits(32), 3)
+	d.Rule("rlA",
+		ast.Guard(ast.Eq(ast.Rd0("st"), ast.E(st, "A"))),
+		ast.Wr0("st", ast.E(st, "B")),
+		ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(32, 10))),
+	)
+	d.Rule("rlB",
+		ast.Guard(ast.Eq(ast.Rd0("st"), ast.E(st, "B"))),
+		ast.Wr0("st", ast.E(st, "A")),
+		ast.Wr0("x", ast.Mul(ast.Rd0("x"), ast.C(32, 2))),
+	)
+	s := mustNew(t, d)
+
+	s.Cycle()
+	if !s.RuleFired("rlA") || s.RuleFired("rlB") {
+		t.Error("cycle 1: rlA should fire alone")
+	}
+	if got := s.Reg("x"); got != bits.New(32, 13) {
+		t.Errorf("after rlA: x = %v", got)
+	}
+	s.Cycle()
+	if s.RuleFired("rlA") || !s.RuleFired("rlB") {
+		t.Error("cycle 2: rlB should fire alone")
+	}
+	if got := s.Reg("x"); got != bits.New(32, 26) {
+		t.Errorf("after rlB: x = %v", got)
+	}
+	if s.CycleCount() != 2 {
+		t.Errorf("cycle count = %d", s.CycleCount())
+	}
+}
+
+// The Goldbergian contraption from §3.2: wr0(1); wr1(2); rd0(); rd1() in
+// one rule succeeds, with rd0 seeing the initial value and rd1 seeing 1.
+func TestGoldbergRule(t *testing.T) {
+	d := ast.NewDesign("goldberg")
+	d.Reg("r", ast.Bits(8), 0)
+	d.Reg("saw0", ast.Bits(8), 0xff)
+	d.Reg("saw1", ast.Bits(8), 0xff)
+	d.Rule("rl",
+		ast.Wr0("r", ast.C(8, 1)),
+		ast.Wr1("r", ast.C(8, 2)),
+		ast.Wr0("saw0", ast.Rd0("r")),
+		ast.Wr0("saw1", ast.Rd1("r")),
+	)
+	s := mustNew(t, d)
+	s.Cycle()
+	if !s.RuleFired("rl") {
+		t.Fatal("Goldberg rule should succeed")
+	}
+	if got := s.Reg("saw0"); got != bits.New(8, 0) {
+		t.Errorf("rd0 observed %v, want initial 0", got)
+	}
+	if got := s.Reg("saw1"); got != bits.New(8, 1) {
+		t.Errorf("rd1 observed %v, want write0 value 1", got)
+	}
+	if got := s.Reg("r"); got != bits.New(8, 2) {
+		t.Errorf("end of cycle r = %v, want data1", got)
+	}
+}
+
+func TestRead0FailsAfterEarlierWrite(t *testing.T) {
+	for _, wr := range []func(string, *ast.Node) *ast.Node{ast.Wr0, ast.Wr1} {
+		d := ast.NewDesign("d")
+		d.Reg("r", ast.Bits(8), 5)
+		d.Reg("out", ast.Bits(8), 0)
+		d.Rule("writer", wr("r", ast.C(8, 9)))
+		d.Rule("reader", ast.Wr0("out", ast.Rd0("r")))
+		s := mustNew(t, d)
+		s.Cycle()
+		if s.RuleFired("reader") {
+			t.Error("rd0 after a same-cycle write should abort the reader")
+		}
+		if got := s.Reg("out"); got != bits.New(8, 0) {
+			t.Errorf("aborted rule leaked a write: out = %v", got)
+		}
+	}
+}
+
+func TestRead1SeesEarlierWrite0(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 5)
+	d.Reg("out", ast.Bits(8), 0)
+	d.Rule("writer", ast.Wr0("r", ast.C(8, 9)))
+	d.Rule("reader", ast.Wr0("out", ast.Rd1("r")))
+	s := mustNew(t, d)
+	s.Cycle()
+	if !s.RuleFired("reader") {
+		t.Fatal("reader should fire")
+	}
+	if got := s.Reg("out"); got != bits.New(8, 9) {
+		t.Errorf("rd1 = %v, want forwarded 9", got)
+	}
+}
+
+func TestRead1FallsBackToState(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 5)
+	d.Reg("out", ast.Bits(8), 0)
+	d.Rule("reader", ast.Wr0("out", ast.Rd1("r")))
+	s := mustNew(t, d)
+	s.Cycle()
+	if got := s.Reg("out"); got != bits.New(8, 5) {
+		t.Errorf("rd1 with no writes = %v, want 5", got)
+	}
+}
+
+func TestWrite0ConflictsWithEarlierRead1(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 5)
+	d.Reg("sink", ast.Bits(8), 0)
+	d.Rule("reader", ast.Wr0("sink", ast.Rd1("r")))
+	d.Rule("writer", ast.Wr0("r", ast.C(8, 9)))
+	s := mustNew(t, d)
+	s.Cycle()
+	if s.RuleFired("writer") {
+		t.Error("wr0 after a same-cycle rd1 should abort")
+	}
+	if got := s.Reg("r"); got != bits.New(8, 5) {
+		t.Errorf("r = %v, want unchanged", got)
+	}
+}
+
+func TestDoubleWriteConflicts(t *testing.T) {
+	cases := []struct {
+		name           string
+		first, second  func(string, *ast.Node) *ast.Node
+		secondMustFail bool
+	}{
+		{"wr0 then wr0", ast.Wr0, ast.Wr0, true},
+		{"wr0 then wr1", ast.Wr0, ast.Wr1, false}, // wr1 after wr0 is legal
+		{"wr1 then wr0", ast.Wr1, ast.Wr0, true},
+		{"wr1 then wr1", ast.Wr1, ast.Wr1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := ast.NewDesign("d")
+			d.Reg("r", ast.Bits(8), 0)
+			d.Rule("first", c.first("r", ast.C(8, 1)))
+			d.Rule("second", c.second("r", ast.C(8, 2)))
+			s := mustNew(t, d)
+			s.Cycle()
+			if !s.RuleFired("first") {
+				t.Fatal("first writer must fire")
+			}
+			if s.RuleFired("second") == c.secondMustFail {
+				t.Errorf("second fired = %v, want %v", s.RuleFired("second"), !c.secondMustFail)
+			}
+		})
+	}
+}
+
+func TestWrite1ThenWrite0WithinRuleFails(t *testing.T) {
+	// Within a single rule: wr1 followed by wr0 violates port ordering.
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 0)
+	d.Rule("rl", ast.Wr1("r", ast.C(8, 1)), ast.Wr0("r", ast.C(8, 2)))
+	s := mustNew(t, d)
+	s.Cycle()
+	if s.RuleFired("rl") {
+		t.Error("wr0 after wr1 in the same rule should abort")
+	}
+	if got := s.Reg("r"); got != bits.New(8, 0) {
+		t.Errorf("r = %v, want untouched", got)
+	}
+}
+
+func TestFailedRuleRollsBackEverything(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("a", ast.Bits(8), 0)
+	d.Reg("b", ast.Bits(8), 0)
+	d.Rule("rl",
+		ast.Wr0("a", ast.C(8, 1)),
+		ast.Wr0("b", ast.C(8, 2)),
+		ast.Fail(),
+	)
+	d.Rule("after", ast.Wr0("b", ast.C(8, 7)))
+	s := mustNew(t, d)
+	s.Cycle()
+	if s.RuleFired("rl") {
+		t.Error("rl should abort")
+	}
+	if !s.RuleFired("after") {
+		t.Error("after should fire: rl's writes were discarded")
+	}
+	if a, b := s.Reg("a"), s.Reg("b"); a != bits.New(8, 0) || b != bits.New(8, 7) {
+		t.Errorf("a=%v b=%v", a, b)
+	}
+}
+
+func TestData1WinsAtCommit(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 0)
+	d.Rule("w0", ast.Wr0("r", ast.C(8, 1)))
+	d.Rule("w1", ast.Wr1("r", ast.C(8, 2)))
+	s := mustNew(t, d)
+	s.Cycle()
+	if got := s.Reg("r"); got != bits.New(8, 2) {
+		t.Errorf("r = %v, want data1", got)
+	}
+}
+
+func TestAssignUnderIf(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("sel", ast.Bits(1), 1)
+	d.Reg("out", ast.Bits(8), 0)
+	d.Rule("rl",
+		ast.Let("v", ast.C(8, 10),
+			ast.When(ast.Eq(ast.Rd0("sel"), ast.C(1, 1)),
+				ast.Set("v", ast.C(8, 42))),
+			ast.Wr0("out", ast.V("v")),
+		),
+	)
+	s := mustNew(t, d)
+	s.Cycle()
+	if got := s.Reg("out"); got != bits.New(8, 42) {
+		t.Errorf("out = %v", got)
+	}
+	s.SetReg("sel", bits.New(1, 0))
+	s.Cycle()
+	if got := s.Reg("out"); got != bits.New(8, 10) {
+		t.Errorf("out = %v after sel=0", got)
+	}
+}
+
+func TestSwitchAndExtCall(t *testing.T) {
+	d := ast.NewDesign("d")
+	op := ast.NewEnum("op", 2, "Inc", "Dec", "Sq")
+	d.Reg("o", op, 0)
+	d.Reg("x", ast.Bits(8), 4)
+	d.ExtFun("square", []int{8}, ast.Bits(8), func(a []bits.Bits) bits.Bits {
+		return a[0].Mul(a[0])
+	})
+	d.Rule("rl", ast.Wr0("x", ast.Switch(ast.Rd0("o"), ast.Rd0("x"),
+		ast.Case{Match: ast.E(op, "Inc"), Body: ast.Add(ast.Rd0("x"), ast.C(8, 1))},
+		ast.Case{Match: ast.E(op, "Sq"), Body: ast.ExtCall("square", ast.Rd0("x"))},
+	)))
+	s := mustNew(t, d)
+	s.Cycle()
+	if got := s.Reg("x"); got != bits.New(8, 5) {
+		t.Errorf("Inc: x = %v", got)
+	}
+	s.SetReg("o", op.Value("Sq"))
+	s.Cycle()
+	if got := s.Reg("x"); got != bits.New(8, 25) {
+		t.Errorf("Sq: x = %v", got)
+	}
+	s.SetReg("o", op.Value("Dec")) // unhandled arm falls to default (no change)
+	s.Cycle()
+	if got := s.Reg("x"); got != bits.New(8, 25) {
+		t.Errorf("default: x = %v", got)
+	}
+}
+
+func TestStructOps(t *testing.T) {
+	st := ast.NewStruct("req", ast.F("addr", ast.Bits(8)), ast.F("data", ast.Bits(8)))
+	d := ast.NewDesign("d")
+	d.RegB("req", st, st.PackValues(bits.New(8, 0x10), bits.New(8, 0x22)))
+	d.Reg("addr", ast.Bits(8), 0)
+	d.Rule("rl",
+		ast.Let("r", ast.Rd0("req"),
+			ast.Wr0("addr", ast.Field(ast.V("r"), "addr")),
+			ast.Wr0("req", ast.SetField(ast.V("r"), "data", ast.C(8, 0x33))),
+		),
+	)
+	s := mustNew(t, d)
+	s.Cycle()
+	if got := s.Reg("addr"); got != bits.New(8, 0x10) {
+		t.Errorf("addr = %v", got)
+	}
+	want := st.PackValues(bits.New(8, 0x10), bits.New(8, 0x33))
+	if got := s.Reg("req"); got != want {
+		t.Errorf("req = %v, want %v", got, want)
+	}
+}
+
+func TestPackEvaluation(t *testing.T) {
+	st := ast.NewStruct("pair", ast.F("hi", ast.Bits(4)), ast.F("lo", ast.Bits(4)))
+	d := ast.NewDesign("d")
+	d.RegB("p", st, bits.Zero(8))
+	d.Rule("rl", ast.Wr0("p", ast.Pack(st, ast.C(4, 0xa), ast.C(4, 0x5))))
+	s := mustNew(t, d)
+	s.Cycle()
+	if got := s.Reg("p"); got != bits.New(8, 0xa5) {
+		t.Errorf("p = %v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(16), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(16, 1))))
+	s := mustNew(t, d)
+	sim.Run(s, nil, 5)
+	snap := s.Snapshot()
+	sim.Run(s, nil, 5)
+	if got := s.Reg("x"); got != bits.New(16, 10) {
+		t.Fatalf("x = %v", got)
+	}
+	s.Restore(snap)
+	if got := s.Reg("x"); got != bits.New(16, 5) || s.CycleCount() != 5 {
+		t.Errorf("restored x = %v cycle = %d", got, s.CycleCount())
+	}
+	sim.Run(s, nil, 5)
+	if got := s.Reg("x"); got != bits.New(16, 10) {
+		t.Errorf("replay diverged: x = %v", got)
+	}
+}
+
+func TestRunStopsEarly(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(16), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(16, 1))))
+	s := mustNew(t, d)
+	n := sim.Run(s, stopAt{3}, 100)
+	if n != 3 {
+		t.Errorf("ran %d cycles, want 3", n)
+	}
+}
+
+type stopAt struct{ n uint64 }
+
+func (s stopAt) BeforeCycle(sim.Engine) {}
+func (s stopAt) AfterCycle(e sim.Engine) bool {
+	return e.CycleCount() < s.n
+}

@@ -1,0 +1,129 @@
+package lang
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+)
+
+// Inline function definitions ("def") give the textual dialect the
+// abstraction facility the Go combinator API gets from ordinary functions:
+//
+//	def clamp(v : bits<8>, hi : bits<8>) : bits<8> {
+//	    mux(v <u hi, v, hi)
+//	}
+//
+// A def's body is a block whose last statement is its value. Calls are
+// expanded at the call site by re-parsing the recorded body tokens with the
+// parameters bound as let variables — every expansion produces fresh AST
+// nodes (the AST forbids sharing), so defs behave exactly like the
+// meta-programming helpers of package stdlib. Defs are combinational and
+// non-recursive; they may read and write registers, which is how shared
+// port idioms (dequeue-like helpers) are expressed in text.
+
+type defInfo struct {
+	name   string
+	params []string
+	types  []ast.Type
+	body   []token // the body's tokens, between the braces
+}
+
+// defDecl parses "def name(params) : type { body }" and records the body's
+// token span for later expansion.
+func (p *parser) defDecl() error {
+	p.next() // def
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.defs[name]; dup {
+		return fmt.Errorf("duplicate def %q", name)
+	}
+	info := defInfo{name: name}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	for !p.acceptPunct(")") {
+		pname, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		ty, err := p.typeRef()
+		if err != nil {
+			return err
+		}
+		info.params = append(info.params, pname)
+		info.types = append(info.types, ty)
+		if !p.acceptPunct(",") {
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	// Return type is parsed for documentation; widths are verified by the
+	// design checker after expansion.
+	if p.acceptPunct(":") {
+		if _, err := p.typeRef(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	start := p.pos
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch {
+		case t.kind == tEOF:
+			return fmt.Errorf("unterminated def %q", name)
+		case t.kind == tPunct && t.text == "{":
+			depth++
+		case t.kind == tPunct && t.text == "}":
+			depth--
+		}
+	}
+	info.body = append([]token(nil), p.toks[start:p.pos-1]...)
+	p.defs[name] = info
+	return nil
+}
+
+// expandDef inlines one call to a def: arguments become let bindings over a
+// fresh parse of the body tokens.
+func (p *parser) expandDef(info defInfo, args []*ast.Node) (*ast.Node, error) {
+	if len(args) != len(info.params) {
+		return nil, fmt.Errorf("def %s takes %d arguments, got %d", info.name, len(info.params), len(args))
+	}
+	if p.expanding[info.name] {
+		return nil, fmt.Errorf("def %s is recursive; defs describe combinational logic and cannot recurse", info.name)
+	}
+	p.expanding[info.name] = true
+	defer delete(p.expanding, info.name)
+
+	// Parse the body span with a sub-parser sharing every table (types,
+	// defs, expansion stack) but its own cursor.
+	sub := &parser{
+		toks:      append(append([]token(nil), info.body...), token{kind: tEOF}),
+		enums:     p.enums,
+		structs:   p.structs,
+		defs:      p.defs,
+		expanding: p.expanding,
+	}
+	body, err := sub.block()
+	if err != nil {
+		return nil, fmt.Errorf("in def %s: %w", info.name, err)
+	}
+	sub.skipNewlines()
+	if sub.peek().kind != tEOF {
+		return nil, fmt.Errorf("in def %s: unexpected %s after body", info.name, sub.peek())
+	}
+	out := body
+	for i := len(info.params) - 1; i >= 0; i-- {
+		out = ast.Let(info.params[i], args[i], out)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package lang_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cuttlego/internal/bits"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/lang"
+	"cuttlego/internal/sim"
+)
+
+// The shipped textual designs parse and behave as documented.
+func TestShippedDesigns(t *testing.T) {
+	root := filepath.Join("..", "..", "examples", "designs")
+
+	t.Run("gcd", func(t *testing.T) {
+		src, err := os.ReadFile(filepath.Join(root, "gcd.koika"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := lang.Parse(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := interp.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000 && !s.Reg("done").Bool(); i++ {
+			s.Cycle()
+		}
+		if !s.Reg("done").Bool() {
+			t.Fatal("gcd did not converge")
+		}
+		if got := s.Reg("a"); got != bits.New(16, 21) {
+			t.Errorf("gcd(1071, 462) = %v, want 21", got)
+		}
+	})
+
+	t.Run("blinker", func(t *testing.T) {
+		src, err := os.ReadFile(filepath.Join(root, "blinker.koika"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := lang.Parse(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := interp.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The led goes high once count reaches 8: after 8*256 prescaler
+		// ticks.
+		sim.Run(s, nil, 8*256)
+		if !s.Reg("led").Bool() {
+			t.Error("led should be high after 2048 cycles")
+		}
+		sim.Run(s, nil, 8*256)
+		if s.Reg("led").Bool() {
+			t.Error("led should be low again after a full period")
+		}
+	})
+}

@@ -1,0 +1,361 @@
+package lang
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+)
+
+// Binary operator precedence (higher binds tighter).
+var binPrec = map[string]int{
+	"++": 1,
+	"|":  2,
+	"^":  3,
+	"&":  4,
+	"==": 5, "!=": 5,
+	"<u": 6, "<s": 6, ">=u": 6, ">=s": 6,
+	"<<": 7, ">>": 7, ">>>": 7,
+	"+": 8, "-": 8,
+	"*": 9,
+}
+
+var binBuild = map[string]func(a, b *ast.Node) *ast.Node{
+	"++": ast.Concat, "|": ast.Or, "^": ast.Xor, "&": ast.And,
+	"==": ast.Eq, "!=": ast.Neq,
+	"<u": ast.Ltu, "<s": ast.Lts, ">=u": ast.Geu, ">=s": ast.Ges,
+	"<<": ast.Sll, ">>": ast.Srl, ">>>": ast.Sra,
+	"+": ast.Add, "-": ast.Sub, "*": ast.Mul,
+}
+
+// expr is a Pratt parser over binary operators.
+func (p *parser) expr(minPrec int) (*ast.Node, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.expr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binBuild[t.text](lhs, rhs)
+	}
+}
+
+func (p *parser) unary() (*ast.Node, error) {
+	if p.acceptPunct("!") {
+		a, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Not(a), nil
+	}
+	return p.postfix()
+}
+
+// postfix handles field access, port operations, and bit slicing.
+func (p *parser) postfix() (*ast.Node, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("."):
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			switch name {
+			case "rd0", "rd1", "wr0", "wr1":
+				reg, ok := registerName(e)
+				if !ok {
+					return nil, p.errf(p.peek(), "port operation %s on a non-register expression", name)
+				}
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				switch name {
+				case "rd0", "rd1":
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					if name == "rd0" {
+						e = ast.Rd0(reg)
+					} else {
+						e = ast.Rd1(reg)
+					}
+				default:
+					v, err := p.expr(0)
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					if name == "wr0" {
+						e = ast.Wr0(reg, v)
+					} else {
+						e = ast.Wr1(reg, v)
+					}
+				}
+			default:
+				e = ast.Field(e, name)
+			}
+		case p.acceptPunct("["):
+			lo, err := p.plainInt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("+:"); err != nil {
+				return nil, err
+			}
+			w, err := p.plainInt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = ast.Slice(e, lo, w)
+		default:
+			return e, nil
+		}
+	}
+}
+
+// registerName unwraps the placeholder variable node the primary parser
+// produces for bare identifiers; only those can take port operations.
+func registerName(e *ast.Node) (string, bool) {
+	if e.Kind == ast.KVar {
+		return e.Name, true
+	}
+	return "", false
+}
+
+func (p *parser) primary() (*ast.Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tSized:
+		p.next()
+		v, err := parseSized(t.text)
+		if err != nil {
+			return nil, p.errf(t, "%v", err)
+		}
+		return ast.CB(v), nil
+
+	case tNumber:
+		return nil, p.errf(t, "bare integer %s: use a sized literal like 8'd%s", t.text, t.text)
+
+	case tPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "{" {
+			// struct update: { e with f := e2 }
+			p.next()
+			base, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("with") {
+				return nil, p.errf(p.peek(), "expected 'with' in struct update")
+			}
+			field, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":="); err != nil {
+				return nil, err
+			}
+			v, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			return ast.SetField(base, field, v), nil
+		}
+
+	case tIdent:
+		switch t.text {
+		case "sext", "zext":
+			p.next()
+			if err := p.expectPunct("<"); err != nil {
+				return nil, err
+			}
+			w, err := p.plainInt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(">"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			a, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if t.text == "sext" {
+				return ast.SignExtend(w, a), nil
+			}
+			return ast.ZeroExtend(w, a), nil
+		case "mux":
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			c, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			a, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			b, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return ast.If(c, a, b), nil
+		case "fail":
+			p.next()
+			if p.acceptPunct("<") {
+				w, err := p.plainInt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(">"); err != nil {
+					return nil, err
+				}
+				return ast.FailW(w), nil
+			}
+			return ast.Fail(), nil
+		}
+
+		// Enum constant?
+		if e, ok := p.enums[t.text]; ok {
+			p.next()
+			if err := p.expectPunct("::"); err != nil {
+				return nil, err
+			}
+			m, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return ast.E(e, m), nil
+		}
+		// Struct literal?
+		if st, ok := p.structs[t.text]; ok && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "{" {
+			return p.structLiteral(st)
+		}
+		// Def expansion or external call?
+		p.next()
+		if p.peek().kind == tPunct && p.peek().text == "(" {
+			p.next()
+			var args []*ast.Node
+			for !p.acceptPunct(")") {
+				a, err := p.expr(0)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.acceptPunct(",") {
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			if info, ok := p.defs[t.text]; ok {
+				return p.expandDef(info, args)
+			}
+			return ast.ExtCall(t.text, args...), nil
+		}
+		// Variable or register reference (the checker distinguishes:
+		// registers appear only under port operations, which postfix
+		// rewrote already; what remains must be a let-bound variable).
+		return ast.V(t.text), nil
+	}
+	return nil, p.errf(t, "expected an expression, got %s", t)
+}
+
+// structLiteral parses Name{f: e, g: e} with fields in declaration order
+// or by name in any order.
+func (p *parser) structLiteral(st *ast.StructType) (*ast.Node, error) {
+	p.next() // name
+	p.next() // {
+	vals := map[string]*ast.Node{}
+	for {
+		p.skipNewlines()
+		if p.acceptPunct("}") {
+			break
+		}
+		fname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		v, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := vals[fname]; dup {
+			return nil, fmt.Errorf("duplicate field %q in %s literal", fname, st.Name)
+		}
+		vals[fname] = v
+		if !p.acceptPunct(",") {
+			p.skipNewlines()
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	ordered := make([]*ast.Node, len(st.Fields))
+	for i, f := range st.Fields {
+		v, ok := vals[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("struct %s literal missing field %q", st.Name, f.Name)
+		}
+		ordered[i] = v
+	}
+	if len(vals) != len(st.Fields) {
+		return nil, fmt.Errorf("struct %s literal has extra fields", st.Name)
+	}
+	return ast.Pack(st, ordered...), nil
+}

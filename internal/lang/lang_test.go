@@ -1,0 +1,381 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/bits"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/lang"
+	"cuttlego/internal/sim"
+)
+
+const counterSrc = `
+design counter
+register x : bits<16> init 16'd0
+
+rule inc:
+    x.wr0(x.rd0() + 16'd1)
+
+schedule: inc
+`
+
+func TestParseCounter(t *testing.T) {
+	d := lang.MustParse(counterSrc)
+	s, err := interp.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(s, nil, 5)
+	if got := s.Reg("x"); got != bits.New(16, 5) {
+		t.Errorf("x = %v", got)
+	}
+}
+
+const stmSrc = `
+design stm
+# The paper's two-state machine.
+enum state { A, B }
+register st : state init state::A
+register x  : bits<32> init 32'd3
+
+rule rlA:
+    guard st.rd0() == state::A
+    st.wr0(state::B)
+    x.wr0(x.rd0() + 32'd10)
+
+rule rlB:
+    guard st.rd0() == state::B
+    st.wr0(state::A)
+    x.wr0(x.rd0() * 32'd3)
+
+schedule: rlA rlB
+`
+
+func TestParseTwoStateMachine(t *testing.T) {
+	d := lang.MustParse(stmSrc)
+	s, err := interp.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cycle()
+	if got := s.Reg("x"); got != bits.New(32, 13) {
+		t.Errorf("after rlA: x = %v", got)
+	}
+	s.Cycle()
+	if got := s.Reg("x"); got != bits.New(32, 39) {
+		t.Errorf("after rlB: x = %v", got)
+	}
+}
+
+const fancySrc = `
+design fancy
+enum op : 2 { Nop, Inc, Dec }
+struct req { kind : op, val : bits<8> }
+register r    : req
+register acc  : bits<8> init 8'd100
+register flag : bits<1> init 1'b1
+
+external twist : (bits<8>) -> bits<8>
+
+rule work:
+    let q := r.rd0()
+    match q.kind {
+    case op::Inc:
+        acc.wr0(acc.rd0() + q.val)
+    case op::Dec:
+        acc.wr0(acc.rd0() - q.val)
+    default:
+        pass
+    }
+    if flag.rd0() == 1'b1 {
+        r.wr0({ q with kind := op::Nop })
+    } else {
+        r.wr0(req{kind: op::Inc, val: twist(q.val)})
+    }
+
+rule flip:
+    flag.wr0(!flag.rd0())
+
+schedule: work flip
+`
+
+func TestParseFancyFeatures(t *testing.T) {
+	d, err := lang.Parse(fancySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Bind(d, "twist", func(a []bits.Bits) bits.Bits {
+		return a[0].Add(bits.New(8, 1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+
+	// Load an Inc request, let the machine run.
+	st := d.Registers[d.RegIndex("r")].Type
+	_ = st
+	s.SetReg("r", bits.New(10, 1<<8|5)) // kind=Inc(1), val=5
+	s.Cycle()
+	if got := s.Reg("acc"); got != bits.New(8, 105) {
+		t.Errorf("acc = %v, want 105", got)
+	}
+	// flag was 1, so r.kind reset to Nop.
+	if got := s.Reg("r").Slice(8, 2); got != bits.New(2, 0) {
+		t.Errorf("r.kind = %v, want Nop", got)
+	}
+	// flag flipped to 0: next Inc request goes through the extcall path.
+	s.SetReg("r", bits.New(10, 2<<8|3)) // kind=Dec, val=3
+	s.Cycle()
+	if got := s.Reg("acc"); got != bits.New(8, 102) {
+		t.Errorf("acc = %v, want 102", got)
+	}
+	if got := s.Reg("r"); got != bits.New(10, 1<<8|4) { // req{Inc, twist(3)=4}
+		t.Errorf("r = %v", got)
+	}
+}
+
+func TestLetScoping(t *testing.T) {
+	src := `
+design lets
+register out : bits<8>
+register sel : bits<1> init 1'd1
+rule r:
+    let a := 8'd10
+    let b := a + 8'd1
+    if sel.rd0() == 1'd1 {
+        b := 8'd42
+    }
+    out.wr0(a + b)
+schedule: r
+`
+	d := lang.MustParse(src)
+	s, err := interp.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cycle()
+	if got := s.Reg("out"); got != bits.New(8, 52) {
+		t.Errorf("out = %v, want 52", got)
+	}
+	s.SetReg("sel", bits.New(1, 0))
+	s.Cycle()
+	if got := s.Reg("out"); got != bits.New(8, 21) {
+		t.Errorf("out = %v, want 21", got)
+	}
+}
+
+func TestSlicesAndShifts(t *testing.T) {
+	src := `
+design sl
+register x : bits<16> init 16'xabcd
+register y : bits<4>
+register z : bits<16>
+rule r:
+    y.wr0(x.rd0()[8 +: 4])
+    z.wr0(((x.rd0() >> 4'd8) ++ 8'x00)[4 +: 16])
+schedule: r
+`
+	d := lang.MustParse(src)
+	s, _ := interp.New(d)
+	s.Cycle()
+	if got := s.Reg("y"); got != bits.New(4, 0xb) {
+		t.Errorf("y = %v", got)
+	}
+	// x>>8 = 0x00ab; concat with 0x00 gives 24-bit 0x00ab00; bits [4,20) = 0x0ab0.
+	if got := s.Reg("z"); got != bits.New(16, 0x0ab0) {
+		t.Errorf("z = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"rule r:\n pass", "expected 'design"},
+		{"design d\nregister x : nosuch", "unknown type"},
+		{"design d\nregister x : bits<4>\nrule r:\n x.wr0(4'd1)\nschedule: ghost", "unknown rule"},
+		{"design d\nrule r:\n  99\nschedule: r", "bare integer"},
+		{"design d\nregister x : bits<4>\nrule r:\n  x.wr0(9'd0)\nschedule: r", "writing 9 bits"},
+		{"design d\nrule r:\n  (4'd1).rd0()\nschedule: r", "non-register"},
+		{"design d\nenum e { }", "no members"},
+		{"design d\nregister x : bits<4> init 4'd99", "does not fit"},
+		{"design d\nstruct s { a : bits<4> }\nregister r : s\nrule t:\n  r.wr0(s{b: 4'd0})\nschedule: t", "missing field"},
+	}
+	for _, c := range cases {
+		_, err := lang.Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestUnboundExternalPanicsWithClearMessage(t *testing.T) {
+	src := `
+design d
+register x : bits<8>
+external f : (bits<8>) -> bits<8>
+rule r:
+    x.wr0(f(x.rd0()))
+schedule: r
+`
+	d := lang.MustParse(src)
+	s, err := interp.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "never bound") {
+			t.Errorf("panic = %v", r)
+		}
+	}()
+	s.Cycle()
+}
+
+func TestBindUnknownExternal(t *testing.T) {
+	d := lang.MustParse(counterSrc)
+	if err := lang.Bind(d, "nope", nil); err == nil {
+		t.Error("Bind of unknown external should fail")
+	}
+}
+
+// The parsed design and a hand-built equivalent behave identically.
+func TestParsedMatchesHandBuilt(t *testing.T) {
+	parsed := lang.MustParse(stmSrc)
+	ps, _ := interp.New(parsed)
+	cs := cuttlesim.MustNew(parsed, cuttlesim.DefaultOptions())
+	for i := 0; i < 50; i++ {
+		ps.Cycle()
+		cs.Cycle()
+		if ps.Reg("x") != cs.Reg("x") || ps.Reg("st") != cs.Reg("st") {
+			t.Fatalf("cycle %d: engines diverge on parsed design", i)
+		}
+	}
+}
+
+const defSrc = `
+design defs
+register x   : bits<8> init 8'd200
+register out : bits<8>
+register cnt : bits<8>
+
+def clamp(v : bits<8>, hi : bits<8>) : bits<8> {
+    mux(v <u hi, v, hi)
+}
+
+def bump(v : bits<8>) : bits<8> {
+    let inc := clamp(v, 8'd100)
+    inc + 8'd1
+}
+
+rule r:
+    out.wr0(bump(x.rd0()))
+    cnt.wr0(clamp(cnt.rd0() + 8'd10, 8'd25))
+
+schedule: r
+`
+
+func TestDefExpansion(t *testing.T) {
+	d := lang.MustParse(defSrc)
+	s, err := interp.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cycle()
+	// bump(200) = clamp(200, 100) + 1 = 101.
+	if got := s.Reg("out"); got != bits.New(8, 101) {
+		t.Errorf("out = %v, want 101", got)
+	}
+	// clamp(0+10, 25) = 10.
+	if got := s.Reg("cnt"); got != bits.New(8, 10) {
+		t.Errorf("cnt = %v, want 10", got)
+	}
+	s.Cycle()
+	s.Cycle()
+	// cnt: 10 -> 20 -> clamp(30,25)=25.
+	if got := s.Reg("cnt"); got != bits.New(8, 25) {
+		t.Errorf("cnt = %v, want 25", got)
+	}
+}
+
+func TestDefWithPortOperations(t *testing.T) {
+	// Defs may encapsulate port idioms, like a guarded dequeue helper.
+	src := `
+design q
+register q_valid : bits<1> init 1'd1
+register q_data  : bits<8> init 8'd42
+register out     : bits<8>
+
+def deq() : bits<8> {
+    guard q_valid.rd0() == 1'd1
+    q_valid.wr0(1'd0)
+    q_data.rd0()
+}
+
+rule consume:
+    out.wr0(deq())
+
+schedule: consume
+`
+	d := lang.MustParse(src)
+	s, err := interp.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cycle()
+	if got := s.Reg("out"); got != bits.New(8, 42) {
+		t.Errorf("out = %v", got)
+	}
+	if s.Reg("q_valid").Bool() {
+		t.Error("deq should have cleared the valid bit")
+	}
+	s.Cycle()
+	if s.RuleFired("consume") {
+		t.Error("second dequeue should abort on the empty queue")
+	}
+}
+
+func TestDefErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"design d\ndef f(a : bits<4>) : bits<4> { a }\nregister x : bits<4>\nrule r:\n x.wr0(f(4'd1, 4'd2))\nschedule: r", "takes 1 arguments"},
+		{"design d\ndef f(a : bits<4>) : bits<4> { f(a) }\nregister x : bits<4>\nrule r:\n x.wr0(f(4'd1))\nschedule: r", "recursive"},
+		{"design d\ndef f(a : bits<4>) : bits<4> { a }\ndef f(a : bits<4>) : bits<4> { a }", "duplicate def"},
+		{"design d\ndef f(a : bits<4>) : bits<4> { b }\nregister x : bits<4>\nrule r:\n x.wr0(f(4'd1))\nschedule: r", "unbound variable"},
+	}
+	for _, c := range cases {
+		_, err := lang.Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse error = %v, want substring %q", err, c.want)
+		}
+	}
+}
+
+// Each def expansion produces fresh AST nodes, so multiple call sites of
+// the same def coexist (the AST forbids node sharing).
+func TestDefMultipleCallSites(t *testing.T) {
+	src := `
+design multi
+register a : bits<8> init 8'd1
+register b : bits<8> init 8'd2
+def dbl(v : bits<8>) : bits<8> { v + v }
+rule r:
+    a.wr0(dbl(a.rd0()))
+    b.wr0(dbl(dbl(b.rd0())))
+schedule: r
+`
+	d := lang.MustParse(src)
+	s, _ := interp.New(d)
+	s.Cycle()
+	if got := s.Reg("a"); got != bits.New(8, 2) {
+		t.Errorf("a = %v", got)
+	}
+	if got := s.Reg("b"); got != bits.New(8, 8) {
+		t.Errorf("b = %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+// Package lang is the textual frontend for the module's Kôika dialect: a
+// lexer, a recursive-descent/Pratt parser, and an elaborator producing
+// checked ast.Designs. The surface syntax mirrors the pretty-printer's
+// output: enum and struct declarations, typed registers with reset values,
+// external function signatures, rules over the port primitives, and an
+// explicit schedule.
+//
+//	design counter
+//	register x : bits<16> init 16'd0
+//	rule inc:
+//	    x.wr0(x.rd0() + 16'd1)
+//	schedule: inc
+//
+// External functions are declared with a signature only; the host binds Go
+// implementations with Bind before the design is used.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber  // plain integer
+	tSized   // width'base-digits literal
+	tPunct   // operators and delimiters
+	tNewline // statement separator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// multi-character punctuation, longest first.
+var punct = []string{
+	">>>", ">=u", ">=s", "::", ":=", "==", "!=", "<<", ">>", "++", "+:",
+	"<u", "<s", "->", "(", ")", "{", "}", "[", "]", "<", ">", ",", ":",
+	";", ".", "+", "-", "*", "&", "|", "^", "!", "=",
+}
+
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.line, e.col, e.msg)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	emit := func(kind tokKind, text string) {
+		toks = append(toks, token{kind: kind, text: text, line: line, col: col})
+	}
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+
+outer:
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if len(toks) > 0 && toks[len(toks)-1].kind != tNewline {
+				emit(tNewline, "\n")
+			}
+			advance(1)
+		case c == ' ' || c == '\t' || c == '\r':
+			advance(1)
+		case c == '#' || c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			emit(tIdent, src[i:j])
+			advance(j - i)
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			// width'base-digits?
+			if j < n && src[j] == '\'' {
+				k := j + 1
+				if k < n && (src[k] == 'x' || src[k] == 'd' || src[k] == 'b') {
+					k++
+					start := k
+					for k < n && isHexDigit(src[k]) {
+						k++
+					}
+					if k == start {
+						return nil, &lexError{line, col, "malformed sized literal"}
+					}
+					emit(tSized, src[i:k])
+					advance(k - i)
+					continue outer
+				}
+				return nil, &lexError{line, col, "malformed sized literal"}
+			}
+			emit(tNumber, src[i:j])
+			advance(j - i)
+		default:
+			for _, p := range punct {
+				if strings.HasPrefix(src[i:], p) {
+					emit(tPunct, p)
+					advance(len(p))
+					continue outer
+				}
+			}
+			return nil, &lexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	emit(tEOF, "")
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

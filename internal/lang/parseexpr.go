@@ -1,0 +1,46 @@
+package lang
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+)
+
+// ParseExpr parses a single expression in the context of a design's types
+// (its enums and structs are in scope; registers are read with the usual
+// rd0()/rd1() syntax). The result is an unchecked AST fragment — callers
+// embed it in a design and Check that (the debugger builds a one-rule probe
+// design around it).
+func ParseExpr(d *ast.Design, src string) (*ast.Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, enums: map[string]*ast.EnumType{}, structs: map[string]*ast.StructType{},
+		defs: map[string]defInfo{}, expanding: map[string]bool{}}
+	for _, r := range d.Registers {
+		collectTypes(p, r.Type)
+	}
+	p.skipNewlines()
+	e, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+func collectTypes(p *parser, t ast.Type) {
+	switch tt := t.(type) {
+	case *ast.EnumType:
+		p.enums[tt.Name] = tt
+	case *ast.StructType:
+		p.structs[tt.Name] = tt
+		for _, f := range tt.Fields {
+			collectTypes(p, f.Type)
+		}
+	}
+}

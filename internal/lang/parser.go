@@ -1,0 +1,454 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// Parse elaborates source text into a checked design. External functions
+// are left unbound; call Bind before simulating designs that declare any.
+func Parse(src string) (*ast.Design, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, enums: map[string]*ast.EnumType{}, structs: map[string]*ast.StructType{},
+		defs: map[string]defInfo{}, expanding: map[string]bool{}}
+	d, err := p.design()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Check(); err != nil {
+		return nil, fmt.Errorf("lang: %w", err)
+	}
+	return d, nil
+}
+
+// MustParse panics on parse errors (for statically known sources).
+func MustParse(src string) *ast.Design {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Bind attaches a Go implementation to a declared external function.
+func Bind(d *ast.Design, name string, fn func([]bits.Bits) bits.Bits) error {
+	for i := range d.ExtFuns {
+		if d.ExtFuns[i].Name == name {
+			d.ExtFuns[i].Fn = fn
+			return nil
+		}
+	}
+	return fmt.Errorf("lang: design %s declares no external function %q", d.Name, name)
+}
+
+type parser struct {
+	toks      []token
+	pos       int
+	enums     map[string]*ast.EnumType
+	structs   map[string]*ast.StructType
+	defs      map[string]defInfo
+	expanding map[string]bool
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tNewline || p.peek().kind == tPunct && p.peek().text == ";" {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return p.errf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return "", p.errf(t, "expected identifier, got %s", t)
+	}
+	return t.text, nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().kind == tPunct && p.peek().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(s string) bool {
+	if p.peek().kind == tIdent && p.peek().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// design parses the whole file.
+func (p *parser) design() (*ast.Design, error) {
+	p.skipNewlines()
+	if !p.acceptKeyword("design") {
+		return nil, p.errf(p.peek(), "expected 'design <name>'")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := ast.NewDesign(name)
+
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			return nil, p.errf(t, "expected a declaration, got %s", t)
+		}
+		switch t.text {
+		case "enum":
+			if err := p.enumDecl(); err != nil {
+				return nil, err
+			}
+		case "struct":
+			if err := p.structDecl(); err != nil {
+				return nil, err
+			}
+		case "register":
+			if err := p.registerDecl(d); err != nil {
+				return nil, err
+			}
+		case "external":
+			if err := p.externalDecl(d); err != nil {
+				return nil, err
+			}
+		case "rule":
+			if err := p.ruleDecl(d); err != nil {
+				return nil, err
+			}
+		case "def":
+			if err := p.defDecl(); err != nil {
+				return nil, err
+			}
+		case "schedule":
+			if err := p.scheduleDecl(d); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(t, "unknown declaration %q", t.text)
+		}
+	}
+	return d, nil
+}
+
+// enum Name { A, B, C }   or   enum Name : 4 { ... }
+func (p *parser) enumDecl() error {
+	p.next() // enum
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	width := 0
+	if p.acceptPunct(":") {
+		w, err := p.plainInt()
+		if err != nil {
+			return err
+		}
+		width = w
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var members []string
+	for {
+		p.skipNewlines()
+		if p.acceptPunct("}") {
+			break
+		}
+		m, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		members = append(members, m)
+		p.skipNewlines()
+		if !p.acceptPunct(",") {
+			p.skipNewlines()
+			if err := p.expectPunct("}"); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("enum %s has no members", name)
+	}
+	p.enums[name] = ast.NewEnum(name, width, members...)
+	return nil
+}
+
+// struct Name { field : type, ... }
+func (p *parser) structDecl() error {
+	p.next() // struct
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var fields []ast.StructField
+	for {
+		p.skipNewlines()
+		if p.acceptPunct("}") {
+			break
+		}
+		fname, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		ty, err := p.typeRef()
+		if err != nil {
+			return err
+		}
+		fields = append(fields, ast.F(fname, ty))
+		p.skipNewlines()
+		if !p.acceptPunct(",") {
+			p.skipNewlines()
+			if err := p.expectPunct("}"); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	p.structs[name] = ast.NewStruct(name, fields...)
+	return nil
+}
+
+// typeRef: bits<N> | enum-name | struct-name
+func (p *parser) typeRef() (ast.Type, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return nil, p.errf(t, "expected a type, got %s", t)
+	}
+	if t.text == "bits" {
+		if err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		w, err := p.plainInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		return ast.Bits(w), nil
+	}
+	if e, ok := p.enums[t.text]; ok {
+		return e, nil
+	}
+	if s, ok := p.structs[t.text]; ok {
+		return s, nil
+	}
+	return nil, p.errf(t, "unknown type %q", t.text)
+}
+
+// register name : type init VALUE
+func (p *parser) registerDecl(d *ast.Design) error {
+	p.next() // register
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	ty, err := p.typeRef()
+	if err != nil {
+		return err
+	}
+	init := bits.Zero(ty.BitWidth())
+	if p.acceptKeyword("init") {
+		v, err := p.constValue(ty)
+		if err != nil {
+			return err
+		}
+		init = v
+	}
+	d.RegB(name, ty, init)
+	return nil
+}
+
+// constValue: sized literal, plain int, or Enum::Member, coerced to ty.
+func (p *parser) constValue(ty ast.Type) (bits.Bits, error) {
+	t := p.peek()
+	switch t.kind {
+	case tSized:
+		p.next()
+		v, err := parseSized(t.text)
+		if err != nil {
+			return bits.Bits{}, p.errf(t, "%v", err)
+		}
+		if v.Width != ty.BitWidth() {
+			return bits.Bits{}, p.errf(t, "literal width %d does not match type %s", v.Width, ty)
+		}
+		return v, nil
+	case tNumber:
+		p.next()
+		n, err := strconv.ParseUint(t.text, 10, 64)
+		if err != nil {
+			return bits.Bits{}, p.errf(t, "%v", err)
+		}
+		return bits.New(ty.BitWidth(), n), nil
+	case tIdent:
+		if e, ok := p.enums[t.text]; ok {
+			p.next()
+			if err := p.expectPunct("::"); err != nil {
+				return bits.Bits{}, err
+			}
+			m, err := p.expectIdent()
+			if err != nil {
+				return bits.Bits{}, err
+			}
+			return e.Value(m), nil
+		}
+	}
+	return bits.Bits{}, p.errf(t, "expected a constant, got %s", t)
+}
+
+// external name : (type, ...) -> type
+func (p *parser) externalDecl(d *ast.Design) error {
+	p.next() // external
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var argWidths []int
+	for !p.acceptPunct(")") {
+		ty, err := p.typeRef()
+		if err != nil {
+			return err
+		}
+		argWidths = append(argWidths, ty.BitWidth())
+		if !p.acceptPunct(",") {
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return err
+	}
+	ret, err := p.typeRef()
+	if err != nil {
+		return err
+	}
+	d.ExtFun(name, argWidths, ret, func([]bits.Bits) bits.Bits {
+		panic(fmt.Sprintf("lang: external function %q was never bound", name))
+	})
+	return nil
+}
+
+// rule name: <block>
+func (p *parser) ruleDecl(d *ast.Design) error {
+	p.next() // rule
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	body, err := p.block("rule", "schedule", "register", "enum", "struct", "external")
+	if err != nil {
+		return err
+	}
+	d.AddRule(name, body)
+	return nil
+}
+
+// schedule: r1 r2 r3
+func (p *parser) scheduleDecl(d *ast.Design) error {
+	p.next() // schedule
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	for p.peek().kind == tIdent {
+		d.Schedule = append(d.Schedule, p.next().text)
+	}
+	return nil
+}
+
+func parseSized(text string) (bits.Bits, error) {
+	q := -1
+	for i := range text {
+		if text[i] == '\'' {
+			q = i
+			break
+		}
+	}
+	w, err := strconv.Atoi(text[:q])
+	if err != nil || w < 0 || w > 64 {
+		return bits.Bits{}, fmt.Errorf("bad literal width in %q", text)
+	}
+	base := 16
+	switch text[q+1] {
+	case 'd':
+		base = 10
+	case 'b':
+		base = 2
+	}
+	v, err := strconv.ParseUint(text[q+2:], base, 64)
+	if err != nil {
+		return bits.Bits{}, fmt.Errorf("bad literal %q: %v", text, err)
+	}
+	if w < 64 && v >= 1<<uint(w) {
+		return bits.Bits{}, fmt.Errorf("literal %q does not fit %d bits", text, w)
+	}
+	return bits.New(w, v), nil
+}
+
+func (p *parser) plainInt() (int, error) {
+	t := p.next()
+	if t.kind != tNumber {
+		return 0, p.errf(t, "expected an integer, got %s", t)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf(t, "%v", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,211 @@
+package lang
+
+import (
+	"cuttlego/internal/ast"
+)
+
+// block parses statements until '}' or (at rule top level) until one of the
+// stop keywords begins the next declaration. Let-bindings scope over the
+// remainder of their block.
+func (p *parser) block(stops ...string) (*ast.Node, error) {
+	var stmts []*ast.Node
+	var lets []letFrame
+	flush := func() *ast.Node {
+		body := ast.Seq(stmts...)
+		for i := len(lets) - 1; i >= 0; i-- {
+			body = ast.Let(lets[i].name, lets[i].init, body)
+			if len(lets[i].before) > 0 {
+				body = ast.Seq(append(append([]*ast.Node{}, lets[i].before...), body)...)
+			}
+		}
+		return body
+	}
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tEOF {
+			return flush(), nil
+		}
+		if t.kind == tPunct && t.text == "}" {
+			return flush(), nil
+		}
+		if t.kind == tIdent {
+			stop := false
+			for _, s := range stops {
+				if t.text == s {
+					stop = true
+					break
+				}
+			}
+			if stop {
+				return flush(), nil
+			}
+		}
+		if p.acceptKeyword("let") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":="); err != nil {
+				return nil, err
+			}
+			init, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			lets = append(lets, letFrame{name: name, init: init, before: stmts})
+			stmts = nil
+			continue
+		}
+		st, err := p.stmt(stops)
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+}
+
+// letFrame records a let plus the statements that preceded it in the block.
+type letFrame struct {
+	name   string
+	init   *ast.Node
+	before []*ast.Node
+}
+
+func (p *parser) stmt(stops []string) (*ast.Node, error) {
+	t := p.peek()
+	if t.kind == tIdent {
+		switch t.text {
+		case "fail":
+			p.next()
+			return ast.Fail(), nil
+		case "pass":
+			p.next()
+			return ast.Skip(), nil
+		case "guard":
+			p.next()
+			cond, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			return ast.Guard(cond), nil
+		case "if", "when":
+			return p.ifStmt(stops)
+		case "match":
+			return p.matchStmt(stops)
+		}
+		// Assignment: NAME := expr
+		if p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == ":=" {
+			p.next()
+			p.next()
+			v, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			return ast.Set(t.text, v), nil
+		}
+	}
+	// Expression statement (writes, calls, ...).
+	return p.expr(0)
+}
+
+func (p *parser) ifStmt(stops []string) (*ast.Node, error) {
+	p.next() // if / when
+	cond, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	p.skipNewlinesBeforeElse()
+	if p.acceptKeyword("else") {
+		if p.peek().kind == tIdent && (p.peek().text == "if" || p.peek().text == "when") {
+			els, err := p.ifStmt(stops)
+			if err != nil {
+				return nil, err
+			}
+			return ast.If(cond, then, els), nil
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return ast.If(cond, then, els), nil
+	}
+	return ast.If(cond, then), nil
+}
+
+// skipNewlinesBeforeElse allows "}\nelse {" without consuming newlines when
+// no else follows.
+func (p *parser) skipNewlinesBeforeElse() {
+	save := p.pos
+	p.skipNewlines()
+	if !(p.peek().kind == tIdent && p.peek().text == "else") {
+		p.pos = save
+	}
+}
+
+// match expr { case CONST: block ... default: block }
+func (p *parser) matchStmt(stops []string) (*ast.Node, error) {
+	p.next() // match
+	scrut, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var cases []ast.Case
+	var def *ast.Node
+	for {
+		p.skipNewlines()
+		if p.acceptPunct("}") {
+			break
+		}
+		if p.acceptKeyword("case") {
+			match, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.block("case", "default")
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, ast.Case{Match: match, Body: body})
+			continue
+		}
+		if p.acceptKeyword("default") {
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			b, err := p.block("case", "default")
+			if err != nil {
+				return nil, err
+			}
+			def = b
+			continue
+		}
+		return nil, p.errf(p.peek(), "expected 'case', 'default', or '}'")
+	}
+	if def == nil {
+		def = ast.Skip()
+	}
+	return ast.Switch(scrut, def, cases...), nil
+}

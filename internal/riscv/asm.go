@@ -1,0 +1,393 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into instruction words (two passes:
+// label collection, then encoding). Supported syntax:
+//
+//	label:                      ; labels
+//	add  rd, rs1, rs2           ; R-type ALU ops
+//	addi rd, rs1, imm           ; I-type ALU ops (and slli/srli/srai)
+//	lw   rd, imm(rs1)           ; loads (words only)
+//	sw   rs2, imm(rs1)          ; stores (words only)
+//	beq  rs1, rs2, label|imm    ; branches
+//	jal  rd, label|imm          ; jumps
+//	jalr rd, imm(rs1)
+//	lui/auipc rd, imm
+//	nop / mv / li / j / ret     ; common pseudo-instructions
+//	.word 0x...                 ; literal words
+//	# ... / ; ...               ; comments
+//
+// Registers are written x0..x31 or by ABI name (zero, ra, sp, a0…).
+func Assemble(src string) ([]uint32, error) {
+	lines := strings.Split(src, "\n")
+	labels := make(map[string]int32)
+	var stmts []stmt
+
+	pc := int32(0)
+	for lineno, raw := range lines {
+		text := stripComment(raw)
+		for {
+			text = strings.TrimSpace(text)
+			i := strings.IndexByte(text, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", lineno+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineno+1, label)
+			}
+			labels[label] = pc
+			text = text[i+1:]
+		}
+		if text == "" {
+			continue
+		}
+		stmts = append(stmts, stmt{text: text, line: lineno + 1, pc: pc})
+		pc += 4
+	}
+
+	out := make([]uint32, 0, len(stmts))
+	for _, st := range stmts {
+		word, err := encodeStmt(st, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", st.line, err)
+		}
+		out = append(out, word)
+	}
+	return out, nil
+}
+
+// MustAssemble panics on assembly errors; for statically known programs.
+func MustAssemble(src string) []uint32 {
+	words, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return words
+}
+
+type stmt struct {
+	text string
+	line int
+	pc   int32
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, "#;"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+var abiNames = func() map[string]uint32 {
+	m := map[string]uint32{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	}
+	for i := 0; i <= 7; i++ {
+		m[fmt.Sprintf("a%d", i)] = uint32(10 + i)
+	}
+	for i := 2; i <= 11; i++ {
+		m[fmt.Sprintf("s%d", i)] = uint32(16 + i)
+	}
+	for i := 3; i <= 6; i++ {
+		m[fmt.Sprintf("t%d", i)] = uint32(25 + i)
+	}
+	return m
+}()
+
+func parseReg(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return uint32(n), nil
+		}
+	}
+	if n, ok := abiNames[s]; ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string, labels map[string]int32, pcRel int32) (int32, error) {
+	s = strings.TrimSpace(s)
+	if target, ok := labels[s]; ok {
+		return target - pcRel, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "imm(rs)".
+func parseMem(s string) (int32, uint32, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	imm, err := strconv.ParseInt(immStr, 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset %q", immStr)
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	return int32(imm), reg, err
+}
+
+var rOps = map[string][2]uint32{ // funct7, funct3
+	"add": {0, F3AddSub}, "sub": {0x20, F3AddSub}, "sll": {0, F3Sll},
+	"slt": {0, F3Slt}, "sltu": {0, F3Sltu}, "xor": {0, F3Xor},
+	"srl": {0, F3SrlSra}, "sra": {0x20, F3SrlSra}, "or": {0, F3Or}, "and": {0, F3And},
+}
+
+var iOps = map[string]uint32{
+	"addi": F3AddSub, "slti": F3Slt, "sltiu": F3Sltu,
+	"xori": F3Xor, "ori": F3Or, "andi": F3And,
+}
+
+var branchOps = map[string]uint32{
+	"beq": F3Beq, "bne": F3Bne, "blt": F3Blt, "bge": F3Bge, "bltu": F3Bltu, "bgeu": F3Bgeu,
+}
+
+func encodeStmt(st stmt, labels map[string]int32) (uint32, error) {
+	fields := strings.Fields(st.text)
+	mnemonic := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(st.text[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		args = strings.Split(rest, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "nop":
+		return encI(0, 0, F3AddSub, 0, OpImm), nil
+	case "mv":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encI(0, rs, F3AddSub, rd, OpImm), nil
+	case "li":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[1], nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		if imm < -2048 || imm > 2047 {
+			return 0, fmt.Errorf("li immediate %d out of addi range (use lui+addi)", imm)
+		}
+		return encI(imm, 0, F3AddSub, rd, OpImm), nil
+	case "j":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[0], labels, st.pc)
+		if err != nil {
+			return 0, err
+		}
+		return encJ(imm, 0, OpJal), nil
+	case "ret":
+		return encI(0, 1, 0, 0, OpJalr), nil
+	case ".word":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseUint(args[0], 0, 32)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(v), nil
+	}
+
+	if f, ok := rOps[mnemonic]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err1 := parseReg(args[0])
+		rs1, err2 := parseReg(args[1])
+		rs2, err3 := parseReg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return 0, err
+		}
+		return encR(f[0], rs2, rs1, f[1], rd, OpReg), nil
+	}
+	if f3, ok := iOps[mnemonic]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err1 := parseReg(args[0])
+		rs1, err2 := parseReg(args[1])
+		imm, err3 := parseImm(args[2], nil, 0)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return 0, err
+		}
+		return encI(imm, rs1, f3, rd, OpImm), nil
+	}
+	if f3, ok := branchOps[mnemonic]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rs1, err1 := parseReg(args[0])
+		rs2, err2 := parseReg(args[1])
+		imm, err3 := parseImm(args[2], labels, st.pc)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return 0, err
+		}
+		return encB(imm, rs2, rs1, f3, OpBranch), nil
+	}
+
+	switch mnemonic {
+	case "slli", "srli", "srai":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err1 := parseReg(args[0])
+		rs1, err2 := parseReg(args[1])
+		sh, err3 := parseImm(args[2], nil, 0)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return 0, err
+		}
+		if sh < 0 || sh > 31 {
+			return 0, fmt.Errorf("shift amount %d out of range", sh)
+		}
+		f3 := uint32(F3Sll)
+		f7 := uint32(0)
+		if mnemonic != "slli" {
+			f3 = F3SrlSra
+		}
+		if mnemonic == "srai" {
+			f7 = 0x20
+		}
+		return encR(f7, uint32(sh), rs1, f3, rd, OpImm), nil
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[1], nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		op := uint32(OpLui)
+		if mnemonic == "auipc" {
+			op = OpAuipc
+		}
+		return encU(imm<<12, rd, op), nil
+	case "jal":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[1], labels, st.pc)
+		if err != nil {
+			return 0, err
+		}
+		return encJ(imm, rd, OpJal), nil
+	case "jalr":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, rs1, err := parseMem(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encI(imm, rs1, 0, rd, OpJalr), nil
+	case "lw":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, rs1, err := parseMem(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encI(imm, rs1, 0b010, rd, OpLoad), nil
+	case "sw":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, rs1, err := parseMem(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encS(imm, rs2, rs1, 0b010, OpStore), nil
+	}
+	return 0, fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package riscv provides the RV32I substrate the processor designs run on:
+// instruction encoding and decoding, a small two-pass assembler, a
+// disassembler, and a reference ISA simulator used as the golden model when
+// validating the pipelined cores. System instructions, interrupts, and
+// exceptions are out of scope, matching the paper's evaluation subset.
+package riscv
+
+import "fmt"
+
+// Opcode constants (the 7-bit major opcodes of RV32I).
+const (
+	OpLui    = 0b0110111
+	OpAuipc  = 0b0010111
+	OpJal    = 0b1101111
+	OpJalr   = 0b1100111
+	OpBranch = 0b1100011
+	OpLoad   = 0b0000011
+	OpStore  = 0b0100011
+	OpImm    = 0b0010011
+	OpReg    = 0b0110011
+)
+
+// Funct3 values for branches.
+const (
+	F3Beq  = 0b000
+	F3Bne  = 0b001
+	F3Blt  = 0b100
+	F3Bge  = 0b101
+	F3Bltu = 0b110
+	F3Bgeu = 0b111
+)
+
+// Funct3 values for ALU operations.
+const (
+	F3AddSub = 0b000
+	F3Sll    = 0b001
+	F3Slt    = 0b010
+	F3Sltu   = 0b011
+	F3Xor    = 0b100
+	F3SrlSra = 0b101
+	F3Or     = 0b110
+	F3And    = 0b111
+)
+
+// Instruction field accessors.
+
+// OpcodeOf extracts the major opcode.
+func OpcodeOf(inst uint32) uint32 { return inst & 0x7f }
+
+// Rd extracts the destination register.
+func Rd(inst uint32) uint32 { return inst >> 7 & 0x1f }
+
+// Rs1 extracts source register 1.
+func Rs1(inst uint32) uint32 { return inst >> 15 & 0x1f }
+
+// Rs2 extracts source register 2.
+func Rs2(inst uint32) uint32 { return inst >> 20 & 0x1f }
+
+// Funct3 extracts the minor opcode.
+func Funct3(inst uint32) uint32 { return inst >> 12 & 0x7 }
+
+// Funct7 extracts the 7-bit function field.
+func Funct7(inst uint32) uint32 { return inst >> 25 }
+
+// ImmI extracts the sign-extended I-type immediate.
+func ImmI(inst uint32) int32 { return int32(inst) >> 20 }
+
+// ImmS extracts the sign-extended S-type immediate.
+func ImmS(inst uint32) int32 {
+	return int32(inst)>>25<<5 | int32(inst>>7&0x1f)
+}
+
+// ImmB extracts the sign-extended B-type immediate.
+func ImmB(inst uint32) int32 {
+	imm := int32(inst)>>31<<12 |
+		int32(inst>>7&1)<<11 |
+		int32(inst>>25&0x3f)<<5 |
+		int32(inst>>8&0xf)<<1
+	return imm
+}
+
+// ImmU extracts the U-type immediate (already shifted).
+func ImmU(inst uint32) int32 { return int32(inst & 0xfffff000) }
+
+// ImmJ extracts the sign-extended J-type immediate.
+func ImmJ(inst uint32) int32 {
+	return int32(inst)>>31<<20 |
+		int32(inst>>12&0xff)<<12 |
+		int32(inst>>20&1)<<11 |
+		int32(inst>>21&0x3ff)<<1
+}
+
+// Encoders.
+
+func encR(f7, rs2, rs1, f3, rd, op uint32) uint32 {
+	return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+
+func encI(imm int32, rs1, f3, rd, op uint32) uint32 {
+	return uint32(imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+
+func encS(imm int32, rs2, rs1, f3, op uint32) uint32 {
+	u := uint32(imm)
+	return u>>5<<25 | rs2<<20 | rs1<<15 | f3<<12 | (u&0x1f)<<7 | op
+}
+
+func encB(imm int32, rs2, rs1, f3, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>12&1)<<31 | (u>>5&0x3f)<<25 | rs2<<20 | rs1<<15 |
+		f3<<12 | (u>>1&0xf)<<8 | (u>>11&1)<<7 | op
+}
+
+func encU(imm int32, rd, op uint32) uint32 {
+	return uint32(imm)&0xfffff000 | rd<<7 | op
+}
+
+func encJ(imm int32, rd, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>20&1)<<31 | (u>>1&0x3ff)<<21 | (u>>11&1)<<20 |
+		(u>>12&0xff)<<12 | rd<<7 | op
+}
+
+// Disassemble renders an instruction for debugger output.
+func Disassemble(inst uint32) string {
+	switch OpcodeOf(inst) {
+	case OpLui:
+		return fmt.Sprintf("lui x%d, 0x%x", Rd(inst), uint32(ImmU(inst))>>12)
+	case OpAuipc:
+		return fmt.Sprintf("auipc x%d, 0x%x", Rd(inst), uint32(ImmU(inst))>>12)
+	case OpJal:
+		return fmt.Sprintf("jal x%d, %d", Rd(inst), ImmJ(inst))
+	case OpJalr:
+		return fmt.Sprintf("jalr x%d, %d(x%d)", Rd(inst), ImmI(inst), Rs1(inst))
+	case OpBranch:
+		names := map[uint32]string{F3Beq: "beq", F3Bne: "bne", F3Blt: "blt", F3Bge: "bge", F3Bltu: "bltu", F3Bgeu: "bgeu"}
+		if n, ok := names[Funct3(inst)]; ok {
+			return fmt.Sprintf("%s x%d, x%d, %d", n, Rs1(inst), Rs2(inst), ImmB(inst))
+		}
+	case OpLoad:
+		if Funct3(inst) == 0b010 {
+			return fmt.Sprintf("lw x%d, %d(x%d)", Rd(inst), ImmI(inst), Rs1(inst))
+		}
+	case OpStore:
+		if Funct3(inst) == 0b010 {
+			return fmt.Sprintf("sw x%d, %d(x%d)", Rs2(inst), ImmS(inst), Rs1(inst))
+		}
+	case OpImm:
+		names := map[uint32]string{F3AddSub: "addi", F3Slt: "slti", F3Sltu: "sltiu", F3Xor: "xori", F3Or: "ori", F3And: "andi"}
+		f3 := Funct3(inst)
+		if inst == 0x00000013 {
+			return "nop"
+		}
+		if n, ok := names[f3]; ok {
+			return fmt.Sprintf("%s x%d, x%d, %d", n, Rd(inst), Rs1(inst), ImmI(inst))
+		}
+		switch f3 {
+		case F3Sll:
+			return fmt.Sprintf("slli x%d, x%d, %d", Rd(inst), Rs1(inst), Rs2(inst))
+		case F3SrlSra:
+			if Funct7(inst)&0x20 != 0 {
+				return fmt.Sprintf("srai x%d, x%d, %d", Rd(inst), Rs1(inst), Rs2(inst))
+			}
+			return fmt.Sprintf("srli x%d, x%d, %d", Rd(inst), Rs1(inst), Rs2(inst))
+		}
+	case OpReg:
+		f3, f7 := Funct3(inst), Funct7(inst)
+		name := ""
+		switch {
+		case f3 == F3AddSub && f7 == 0:
+			name = "add"
+		case f3 == F3AddSub && f7 == 0x20:
+			name = "sub"
+		case f3 == F3Sll:
+			name = "sll"
+		case f3 == F3Slt:
+			name = "slt"
+		case f3 == F3Sltu:
+			name = "sltu"
+		case f3 == F3Xor:
+			name = "xor"
+		case f3 == F3SrlSra && f7 == 0:
+			name = "srl"
+		case f3 == F3SrlSra && f7 == 0x20:
+			name = "sra"
+		case f3 == F3Or:
+			name = "or"
+		case f3 == F3And:
+			name = "and"
+		}
+		if name != "" {
+			return fmt.Sprintf("%s x%d, x%d, x%d", name, Rd(inst), Rs1(inst), Rs2(inst))
+		}
+	}
+	return fmt.Sprintf(".word 0x%08x", inst)
+}

@@ -1,0 +1,180 @@
+package riscv
+
+import "fmt"
+
+// TohostAddr is the magic address benchmarks store their result to; a write
+// there halts the machine (and the testbenches watching the cores).
+const TohostAddr uint32 = 0x4000_0000
+
+// Memory is a sparse word-addressable memory image shared by the reference
+// simulator and the pipelined cores' external functions. Reads of unwritten
+// words return zero.
+type Memory struct {
+	words map[uint32]uint32
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{words: make(map[uint32]uint32)} }
+
+// LoadWords copies a program or data image starting at base (byte address,
+// word aligned).
+func (m *Memory) LoadWords(base uint32, ws []uint32) {
+	for i, w := range ws {
+		m.words[base/4+uint32(i)] = w
+	}
+}
+
+// ReadWord returns the word containing the byte address addr.
+func (m *Memory) ReadWord(addr uint32) uint32 { return m.words[addr/4] }
+
+// WriteWord stores a word at the byte address addr.
+func (m *Memory) WriteWord(addr, v uint32) { m.words[addr/4] = v }
+
+// Clone returns a deep copy (for running several engines on one image).
+func (m *Memory) Clone() *Memory {
+	out := NewMemory()
+	for k, v := range m.words {
+		out.words[k] = v
+	}
+	return out
+}
+
+// Machine is the reference RV32I simulator: the golden model the pipelined
+// cores are validated against. It executes one instruction per Step.
+type Machine struct {
+	PC      uint32
+	Regs    [32]uint32
+	Mem     *Memory
+	Halted  bool
+	ToHost  uint32
+	Instret uint64
+}
+
+// NewMachine returns a machine at PC 0 over mem.
+func NewMachine(mem *Memory) *Machine { return &Machine{Mem: mem} }
+
+func (m *Machine) setReg(rd, v uint32) {
+	if rd != 0 {
+		m.Regs[rd] = v
+	}
+}
+
+// Step executes one instruction. It returns an error on encodings outside
+// the supported subset.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return nil
+	}
+	inst := m.Mem.ReadWord(m.PC)
+	next := m.PC + 4
+	rs1v := m.Regs[Rs1(inst)]
+	rs2v := m.Regs[Rs2(inst)]
+
+	switch OpcodeOf(inst) {
+	case OpLui:
+		m.setReg(Rd(inst), uint32(ImmU(inst)))
+	case OpAuipc:
+		m.setReg(Rd(inst), m.PC+uint32(ImmU(inst)))
+	case OpJal:
+		m.setReg(Rd(inst), m.PC+4)
+		target := m.PC + uint32(ImmJ(inst))
+		if target == m.PC {
+			m.Halted = true // spin loop: conventional halt
+		}
+		next = target
+	case OpJalr:
+		m.setReg(Rd(inst), m.PC+4)
+		next = (rs1v + uint32(ImmI(inst))) &^ 1
+	case OpBranch:
+		taken := false
+		switch Funct3(inst) {
+		case F3Beq:
+			taken = rs1v == rs2v
+		case F3Bne:
+			taken = rs1v != rs2v
+		case F3Blt:
+			taken = int32(rs1v) < int32(rs2v)
+		case F3Bge:
+			taken = int32(rs1v) >= int32(rs2v)
+		case F3Bltu:
+			taken = rs1v < rs2v
+		case F3Bgeu:
+			taken = rs1v >= rs2v
+		default:
+			return fmt.Errorf("riscv: bad branch funct3 %d at pc %#x", Funct3(inst), m.PC)
+		}
+		if taken {
+			next = m.PC + uint32(ImmB(inst))
+		}
+	case OpLoad:
+		if Funct3(inst) != 0b010 {
+			return fmt.Errorf("riscv: unsupported load width at pc %#x", m.PC)
+		}
+		m.setReg(Rd(inst), m.Mem.ReadWord(rs1v+uint32(ImmI(inst))))
+	case OpStore:
+		if Funct3(inst) != 0b010 {
+			return fmt.Errorf("riscv: unsupported store width at pc %#x", m.PC)
+		}
+		addr := rs1v + uint32(ImmS(inst))
+		m.Mem.WriteWord(addr, rs2v)
+		if addr == TohostAddr {
+			m.ToHost = rs2v
+			m.Halted = true
+		}
+	case OpImm:
+		m.setReg(Rd(inst), aluOp(Funct3(inst), Funct7(inst), true, rs1v, uint32(ImmI(inst))))
+	case OpReg:
+		m.setReg(Rd(inst), aluOp(Funct3(inst), Funct7(inst), false, rs1v, rs2v))
+	default:
+		return fmt.Errorf("riscv: unsupported opcode %#x at pc %#x", OpcodeOf(inst), m.PC)
+	}
+	m.PC = next
+	m.Instret++
+	return nil
+}
+
+// Run steps until halt or the instruction budget is exhausted, reporting
+// whether the machine halted.
+func (m *Machine) Run(maxInstrs uint64) (bool, error) {
+	for i := uint64(0); i < maxInstrs && !m.Halted; i++ {
+		if err := m.Step(); err != nil {
+			return false, err
+		}
+	}
+	return m.Halted, nil
+}
+
+// aluOp implements the shared ALU. For immediate forms the subtraction
+// encoding is invalid, so f7 is ignored except for shifts.
+func aluOp(f3, f7 uint32, isImm bool, a, b uint32) uint32 {
+	switch f3 {
+	case F3AddSub:
+		if !isImm && f7&0x20 != 0 {
+			return a - b
+		}
+		return a + b
+	case F3Sll:
+		return a << (b & 31)
+	case F3Slt:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case F3Sltu:
+		if a < b {
+			return 1
+		}
+		return 0
+	case F3Xor:
+		return a ^ b
+	case F3SrlSra:
+		if f7&0x20 != 0 {
+			return uint32(int32(a) >> (b & 31))
+		}
+		return a >> (b & 31)
+	case F3Or:
+		return a | b
+	default: // F3And
+		return a & b
+	}
+}

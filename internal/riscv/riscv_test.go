@@ -1,0 +1,203 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestImmediateRoundTrips(t *testing.T) {
+	// Property: encode/extract round-trips for each immediate format.
+	checkI := func(raw int16) bool {
+		imm := int32(raw) >> 4 // 12-bit signed
+		return ImmI(encI(imm, 3, 2, 1, OpImm)) == imm
+	}
+	checkS := func(raw int16) bool {
+		imm := int32(raw) >> 4
+		return ImmS(encS(imm, 3, 2, 2, OpStore)) == imm
+	}
+	checkB := func(raw int16) bool {
+		imm := (int32(raw) >> 3) &^ 1 // 13-bit signed, even
+		return ImmB(encB(imm, 3, 2, F3Beq, OpBranch)) == imm
+	}
+	checkJ := func(raw int32) bool {
+		imm := (raw >> 11) &^ 1 // 21-bit signed, even
+		return ImmJ(encJ(imm, 1, OpJal)) == imm
+	}
+	for name, f := range map[string]any{"I": checkI, "S": checkS, "B": checkB, "J": checkJ} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s-format: %v", name, err)
+		}
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	words, err := Assemble(`
+start:  addi x1, x0, 5
+        add  x2, x1, x1
+        beq  x2, x0, start
+        nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 4 {
+		t.Fatalf("got %d words", len(words))
+	}
+	if words[0] != encI(5, 0, F3AddSub, 1, OpImm) {
+		t.Errorf("addi encoded %08x", words[0])
+	}
+	if words[1] != encR(0, 1, 1, F3AddSub, 2, OpReg) {
+		t.Errorf("add encoded %08x", words[1])
+	}
+	if ImmB(words[2]) != -8 {
+		t.Errorf("branch offset = %d, want -8", ImmB(words[2]))
+	}
+	if words[3] != 0x00000013 {
+		t.Errorf("nop encoded %08x", words[3])
+	}
+}
+
+func TestAssembleMemAndJumps(t *testing.T) {
+	words, err := Assemble(`
+        lw   a0, 8(sp)
+        sw   a0, -4(s0)
+        jal  ra, target
+        jalr x0, 0(ra)
+target: lui  t0, 0x40000
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Rd(words[0]) != 10 || ImmI(words[0]) != 8 || Rs1(words[0]) != 2 {
+		t.Errorf("lw fields wrong: %s", Disassemble(words[0]))
+	}
+	if Rs2(words[1]) != 10 || ImmS(words[1]) != -4 || Rs1(words[1]) != 8 {
+		t.Errorf("sw fields wrong: %s", Disassemble(words[1]))
+	}
+	if ImmJ(words[2]) != 8 {
+		t.Errorf("jal offset = %d", ImmJ(words[2]))
+	}
+	if uint32(ImmU(words[4]))>>12 != 0x40000 {
+		t.Errorf("lui imm = %x", ImmU(words[4]))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus x1, x2",
+		"addi x1, x2",
+		"addi x99, x0, 1",
+		"beq x1, x2, missing_label",
+		"lw x1, nope",
+		"dup: nop\ndup: nop",
+		"li x1, 99999",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	srcs := []string{
+		"addi x1, x2, -7", "add x3, x4, x5", "sub x3, x4, x5",
+		"lw x1, 12(x2)", "sw x6, 0(x7)", "beq x1, x2, 16",
+		"jal x1, 2048", "lui x5, 0x12345", "srai x1, x2, 3",
+	}
+	for _, src := range srcs {
+		words := MustAssemble(src)
+		dis := Disassemble(words[0])
+		re, err := Assemble(dis)
+		if err != nil {
+			t.Errorf("disassembly %q of %q does not re-assemble: %v", dis, src, err)
+			continue
+		}
+		if re[0] != words[0] {
+			t.Errorf("%q -> %08x -> %q -> %08x", src, words[0], dis, re[0])
+		}
+	}
+}
+
+func TestMachineArithmetic(t *testing.T) {
+	mem := NewMemory()
+	mem.LoadWords(0, MustAssemble(`
+        li   x1, 100
+        li   x2, 7
+        sub  x3, x1, x2
+        slt  x4, x2, x1
+        sltu x5, x1, x2
+        sll  x6, x2, x4
+        sra  x7, x1, x2
+        xor  x8, x1, x2
+halt:   j halt
+`))
+	m := NewMachine(mem)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint32{1: 100, 2: 7, 3: 93, 4: 1, 5: 0, 6: 14, 7: 0, 8: 99}
+	for r, v := range want {
+		if m.Regs[r] != v {
+			t.Errorf("x%d = %d, want %d", r, m.Regs[r], v)
+		}
+	}
+	if !m.Halted {
+		t.Error("machine did not halt on spin loop")
+	}
+}
+
+func TestMachineMemoryAndTohost(t *testing.T) {
+	mem := NewMemory()
+	mem.LoadWords(0, MustAssemble(`
+        li   x1, 42
+        sw   x1, 128(x0)
+        lw   x2, 128(x0)
+        lui  x3, 0x40000
+        sw   x2, 0(x3)
+`))
+	m := NewMachine(mem)
+	halted, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted || m.ToHost != 42 {
+		t.Errorf("halted=%v tohost=%d", halted, m.ToHost)
+	}
+}
+
+func TestX0IsHardwiredZero(t *testing.T) {
+	mem := NewMemory()
+	mem.LoadWords(0, MustAssemble(`
+        addi x0, x0, 5
+        addi x1, x0, 1
+halt:   j halt
+`))
+	m := NewMachine(mem)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 0 || m.Regs[1] != 1 {
+		t.Errorf("x0=%d x1=%d", m.Regs[0], m.Regs[1])
+	}
+}
+
+func TestMachineRejectsUnsupported(t *testing.T) {
+	mem := NewMemory()
+	mem.LoadWords(0, []uint32{0x00000073}) // ecall
+	m := NewMachine(mem)
+	if err := m.Step(); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMemoryClone(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(4, 9)
+	c := m.Clone()
+	c.WriteWord(4, 10)
+	if m.ReadWord(4) != 9 || c.ReadWord(4) != 10 {
+		t.Error("clone is not independent")
+	}
+}

@@ -1,0 +1,117 @@
+package rvcore
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/sim"
+)
+
+// Built pairs a generated design with its core handle (a convenience for
+// code that constructs one engine per design instance).
+type Built struct {
+	Design *ast.Design
+	Core   *Core
+}
+
+// Bench is the testbench wrapping one or more cores: after every cycle it
+// drains each core's data-memory write port into that core's memory image
+// and watches for the tohost store that ends a benchmark. All memory
+// mutation happens between cycles, preserving the purity-within-a-cycle
+// contract of the cores' external functions.
+type Bench struct {
+	Cores  []*Core
+	ToHost []uint32
+	Halted []bool
+}
+
+var _ sim.Testbench = (*Bench)(nil)
+
+// NewBench wraps the given cores.
+func NewBench(cores ...*Core) *Bench {
+	return &Bench{
+		Cores:  cores,
+		ToHost: make([]uint32, len(cores)),
+		Halted: make([]bool, len(cores)),
+	}
+}
+
+// BeforeCycle implements sim.Testbench.
+func (b *Bench) BeforeCycle(sim.Engine) {}
+
+// AfterCycle implements sim.Testbench: apply pending stores, stop when all
+// cores have halted.
+func (b *Bench) AfterCycle(e sim.Engine) bool {
+	running := false
+	for i, c := range b.Cores {
+		if b.Halted[i] {
+			continue
+		}
+		if e.Reg(c.DmWen).Bool() {
+			addr := uint32(e.Reg(c.DmAddr).Val)
+			data := uint32(e.Reg(c.DmData).Val)
+			c.Mem.WriteWord(addr, data)
+			e.SetReg(c.DmWen, bits.New(1, 0))
+			if addr == riscv.TohostAddr {
+				b.ToHost[i] = data
+				b.Halted[i] = true
+				continue
+			}
+		}
+		running = true
+	}
+	return running
+}
+
+// Done reports whether every core has halted.
+func (b *Bench) Done() bool {
+	for _, h := range b.Halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// Result summarizes one core's run.
+type Result struct {
+	ToHost  uint32
+	Cycles  uint64
+	Instret uint64
+	IPC     float64
+}
+
+// RunProgram drives the engine under its bench for at most maxCycles,
+// returning per-core results. It errors if any core fails to halt.
+func RunProgram(e sim.Engine, b *Bench, maxCycles uint64) ([]Result, error) {
+	cycles := sim.Run(e, b, maxCycles)
+	if !b.Done() {
+		return nil, fmt.Errorf("rvcore: %s did not halt within %d cycles", e.Design().Name, maxCycles)
+	}
+	out := make([]Result, len(b.Cores))
+	for i, c := range b.Cores {
+		instret := e.Reg(c.Instret).Val
+		r := Result{ToHost: b.ToHost[i], Cycles: cycles, Instret: instret}
+		if cycles > 0 {
+			r.IPC = float64(instret) / float64(cycles)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// GoldenRun executes the program on the reference ISA simulator, returning
+// tohost and retired-instruction count. Used to validate core results.
+func GoldenRun(mem *riscv.Memory, maxInstrs uint64) (uint32, uint64, error) {
+	m := riscv.NewMachine(mem.Clone())
+	halted, err := m.Run(maxInstrs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !halted {
+		return 0, 0, fmt.Errorf("rvcore: golden model did not halt")
+	}
+	return m.ToHost, m.Instret, nil
+}

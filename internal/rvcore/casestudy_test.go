@@ -1,0 +1,90 @@
+package rvcore_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/rvcore"
+	"cuttlego/internal/workload"
+)
+
+// TestCaseStudy2SchedulerRandomization verifies the paper's §4.2 property:
+// a good rule-based design uses its scheduler for performance, not for
+// functional correctness. The rv32i core is run under many random rule
+// orders; the architectural result must be identical every time (cycle
+// counts may differ).
+func TestCaseStudy2SchedulerRandomization(t *testing.T) {
+	prog := workload.Primes(20)
+	want := workload.PrimesExpected(20)
+
+	runWithSchedule := func(perm []int) (uint32, uint64) {
+		d, core := rvcore.Build(rvcore.RV32I(), memWith(prog))
+		orig := append([]string(nil), d.Schedule...)
+		for i, j := range perm {
+			d.Schedule[i] = orig[j]
+		}
+		d.MustCheck()
+		eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+		res, err := rvcore.RunProgram(eng, rvcore.NewBench(core), 3_000_000)
+		if err != nil {
+			t.Fatalf("schedule %v: %v", perm, err)
+		}
+		return res[0].ToHost, res[0].Cycles
+	}
+
+	r := rand.New(rand.NewSource(42))
+	cycleCounts := map[uint64]bool{}
+	for trial := 0; trial < 12; trial++ {
+		perm := r.Perm(4)
+		tohost, cycles := runWithSchedule(perm)
+		if tohost != want {
+			t.Fatalf("schedule %v computed %d, want %d: the design depends on its scheduler for correctness",
+				perm, tohost, want)
+		}
+		cycleCounts[cycles] = true
+	}
+	// Different schedules should produce different performance — that is
+	// what the scheduler is for.
+	if len(cycleCounts) < 2 {
+		t.Error("every schedule took the same cycle count; randomization is suspect")
+	}
+}
+
+// A per-cycle random schedule (the full generality the paper says C++
+// models make trivial: a cycle() that calls rules in random order) —
+// approximated here by re-permuting between runs and interleaving two
+// permutations across a run via two design instances is not possible
+// because a design's schedule is fixed at compile time; instead we verify
+// the stronger end-to-end property above over a dozen schedules, including
+// adversarial ones (consumers after producers).
+func TestCaseStudy2WorstCaseSchedule(t *testing.T) {
+	prog := workload.Primes(20)
+	d, core := rvcore.Build(rvcore.RV32I(), memWith(prog))
+	// Fully reversed: fetch, decode, execute, writeback.
+	for i, j := 0, len(d.Schedule)-1; i < j; i, j = i+1, j-1 {
+		d.Schedule[i], d.Schedule[j] = d.Schedule[j], d.Schedule[i]
+	}
+	d.MustCheck()
+	eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	res, err := rvcore.RunProgram(eng, rvcore.NewBench(core), 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ToHost != workload.PrimesExpected(20) {
+		t.Fatalf("reversed schedule computed %d", res[0].ToHost)
+	}
+	// The reversed pipeline loses all same-cycle forwarding, so it must be
+	// slower than the intended schedule.
+	d2, core2 := rvcore.Build(rvcore.RV32I(), memWith(prog))
+	d2.MustCheck()
+	eng2 := cuttlesim.MustNew(d2, cuttlesim.DefaultOptions())
+	res2, err := rvcore.RunProgram(eng2, rvcore.NewBench(core2), 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Cycles <= res2[0].Cycles {
+		t.Errorf("reversed schedule (%d cycles) should be slower than the tuned one (%d)",
+			res[0].Cycles, res2[0].Cycles)
+	}
+}

@@ -1,0 +1,276 @@
+package rvcore
+
+import (
+	"cuttlego/internal/ast"
+	"cuttlego/internal/riscv"
+)
+
+// The pipeline schedule runs consumers before producers, so values flow
+// forward through port-1 reads within a single cycle:
+//
+//	writeback ; execute ; decode ; fetch
+//
+// Rules are added in that order by attach.
+
+// ruleWriteback retires the instruction at the end of the pipe: writes the
+// register file, releases the scoreboard claim, and counts retirement.
+func (b *coreBuilder) ruleWriteback() {
+	p := b.p
+	b.d.Rule(p("writeback"),
+		b.e2w.Deq(),
+		ast.Let("rd", b.e2w.First("rd"),
+			ast.When(ast.Eq(b.e2w.First("wen"), ast.C(1, 1)),
+				b.rf.Write0(ast.V("rd"), b.e2w.First("data"))),
+			ast.When(ast.Eq(b.e2w.First("claimed"), ast.C(1, 1)),
+				b.sb.Release(ast.V("rd"))),
+			ast.When(ast.Eq(b.e2w.First("retire"), ast.C(1, 1)),
+				ast.Wr0(p("instret"), ast.Add(ast.Rd0(p("instret")), ast.C(32, 1)))),
+		),
+	)
+}
+
+// ruleExecute resolves the instruction: ALU, memory access, and control
+// flow. Mispredictions redirect the pc at port 0 and flip the epoch; wrong-
+// path instructions are squashed but still flow to writeback so their
+// scoreboard claims are released.
+func (b *coreBuilder) ruleExecute() {
+	p := b.p
+
+	squash := b.e2w.Enq(
+		ast.Truncate(b.rw(), ast.Slice(ast.V("inst"), 7, 5)),
+		ast.C(32, 0),
+		ast.C(1, 0),      // wen
+		ast.V("claimed"), // release the decode-stage claim
+		ast.C(1, 0),      // does not retire
+	)
+
+	aluImm := aluResult("inst", "rv1", "imm", true)
+	aluReg := aluResult("inst", "rv1", "rv2", false)
+
+	execute := ast.Let("opc", opcodeOf("inst"),
+		ast.Let("addr", ast.Add(ast.V("rv1"), immCopy("imm")),
+			// Result value per class.
+			ast.Let("res", ast.Switch(ast.V("opc"), ast.C(32, 0),
+				ast.Case{Match: ast.C(7, riscv.OpImm), Body: aluImm},
+				ast.Case{Match: ast.C(7, riscv.OpReg), Body: aluReg},
+				ast.Case{Match: ast.C(7, riscv.OpLui), Body: immCopy("imm")},
+				ast.Case{Match: ast.C(7, riscv.OpAuipc), Body: ast.Add(ast.V("pc"), immCopy("imm"))},
+				ast.Case{Match: ast.C(7, riscv.OpJal), Body: ast.Add(ast.V("pc"), ast.C(32, 4))},
+				ast.Case{Match: ast.C(7, riscv.OpJalr), Body: ast.Add(ast.V("pc"), ast.C(32, 4))},
+				ast.Case{Match: ast.C(7, riscv.OpLoad), Body: ast.ExtCall(p("dmem_read"), ast.Let("$la", addrCopy(), ast.V("$la")))},
+			),
+				// Actual next pc per class.
+				ast.Let("nextPc", ast.Switch(ast.V("opc"), ast.Add(ast.V("pc"), ast.C(32, 4)),
+					ast.Case{Match: ast.C(7, riscv.OpBranch),
+						Body: ast.If(branchTaken("inst", "rv1", "rv2"),
+							ast.Add(ast.V("pc"), immCopy("imm")),
+							ast.Add(ast.V("pc"), ast.C(32, 4)))},
+					ast.Case{Match: ast.C(7, riscv.OpJal), Body: ast.Add(ast.V("pc"), immCopy("imm"))},
+					ast.Case{Match: ast.C(7, riscv.OpJalr),
+						Body: ast.And(addrCopy(), ast.Not(ast.C(32, 1)))},
+				),
+					// Stores drive the data-memory write port.
+					ast.When(ast.Eq(opIs2("opc", riscv.OpStore), ast.C(1, 1)),
+						ast.Wr0(p("dm_wen"), ast.C(1, 1)),
+						ast.Wr0(p("dm_waddr"), addrCopy()),
+						ast.Wr0(p("dm_wdata"), ast.V("rv2")),
+					),
+					// Redirect on misprediction (the Case Study 4 snippet).
+					ast.When(ast.Neq(ast.V("nextPc"), ast.V("ppc")),
+						ast.Wr0(p("pc"), ast.V("nextPc")),
+						ast.Wr0(p("epoch"), ast.Not(ast.Rd0(p("epoch")))),
+					),
+					b.predictorUpdate(),
+					b.e2w.Enq(
+						ast.Truncate(b.rw(), ast.Slice(ast.V("inst"), 7, 5)),
+						ast.V("res"),
+						ast.And(ast.V("claimed"), hasRdCopy()), // wen: claimed implies rd != x0 unless buggy
+						ast.V("claimed"),
+						ast.C(1, 1),
+					),
+				))))
+
+	b.d.Rule(p("execute"),
+		b.d2e.Deq(),
+		ast.Let("inst", b.d2e.First("inst"),
+			ast.Let("pc", b.d2e.First("pc"),
+				ast.Let("ppc", b.d2e.First("ppc"),
+					ast.Let("imm", b.d2e.First("imm"),
+						ast.Let("rv1", b.d2e.First("rv1"),
+							ast.Let("rv2", b.d2e.First("rv2"),
+								ast.Let("claimed", b.d2e.First("claimed"),
+									ast.If(ast.Neq(b.d2e.First("epoch"), ast.Rd0(p("epoch"))),
+										squash,
+										execute)))))))),
+	)
+}
+
+// immCopy, addrCopy, opIs2, hasRdCopy build fresh nodes for values that are
+// referenced from several arms (AST nodes must not be shared).
+func immCopy(v string) *ast.Node { return ast.V(v) }
+
+func addrCopy() *ast.Node { return ast.V("addr") }
+
+func opIs2(v string, opcode uint32) *ast.Node {
+	return ast.Eq(ast.V(v), ast.C(7, uint64(opcode)))
+}
+
+// hasRdCopy: wen gate. An instruction writes the register file only when it
+// was claimed and its destination is not x0. Decode's claim already encodes
+// the class check; here only the x0 guard remains (always applied — the
+// architectural x0 must stay zero regardless of the scoreboard bug).
+func hasRdCopy() *ast.Node {
+	return ast.Neq(ast.Slice(ast.V("inst"), 7, 5), ast.C(5, 0))
+}
+
+// predictorUpdate trains the BTB and BHT from the execute stage.
+func (b *coreBuilder) predictorUpdate() *ast.Node {
+	if b.cfg.Predictor != BTBBHT {
+		return ast.Skip()
+	}
+	idxW := b.btbValid.IndexWidth()
+	bhtW := b.bht.IndexWidth()
+	btbIdx := func() *ast.Node { return ast.Slice(ast.V("pc"), 2, idxW) }
+	bhtIdx := func() *ast.Node { return ast.Slice(ast.V("pc"), 2, bhtW) }
+
+	trainBTB := func(isJump uint64) *ast.Node {
+		return ast.Seq(
+			b.btbValid.Write0(btbIdx(), ast.C(1, 1)),
+			b.btbTag.Write0(btbIdx(), ast.V("pc")),
+			b.btbTarget.Write0(btbIdx(), ast.V("nextPc")),
+			b.btbJump.Write0(btbIdx(), ast.C(1, isJump)),
+		)
+	}
+
+	// 2-bit saturating counter update.
+	trainBHT := ast.Let("cnt", b.bht.Read0(bhtIdx()),
+		ast.If(ast.Eq(branchTaken("inst", "rv1", "rv2"), ast.C(1, 1)),
+			ast.When(ast.Neq(ast.V("cnt"), ast.C(2, 3)),
+				b.bht.Write0(bhtIdx(), ast.Add(ast.V("cnt"), ast.C(2, 1)))),
+			ast.When(ast.Neq(ast.V("cnt"), ast.C(2, 0)),
+				b.bht.Write0(bhtIdx(), ast.Sub(ast.V("cnt"), ast.C(2, 1)))),
+		))
+
+	return ast.Seq(
+		ast.When(opIs2Eq("opc", riscv.OpBranch),
+			ast.When(branchTaken("inst", "rv1", "rv2"), trainBTB(0)),
+			trainBHT,
+		),
+		ast.When(opIs2Eq("opc", riscv.OpJal),
+			trainBTB2(b, 1)),
+		ast.When(opIs2Eq("opc", riscv.OpJalr),
+			trainBTB2(b, 1)),
+	)
+}
+
+func opIs2Eq(v string, opcode uint32) *ast.Node {
+	return ast.Eq(ast.V(v), ast.C(7, uint64(opcode)))
+}
+
+// trainBTB2 is a second instantiation of the BTB training action (fresh
+// nodes for a different call site).
+func trainBTB2(b *coreBuilder, isJump uint64) *ast.Node {
+	idxW := b.btbValid.IndexWidth()
+	idx := func() *ast.Node { return ast.Slice(ast.V("pc"), 2, idxW) }
+	return ast.Seq(
+		b.btbValid.Write0(idx(), ast.C(1, 1)),
+		b.btbTag.Write0(idx(), ast.V("pc")),
+		b.btbTarget.Write0(idx(), ast.V("nextPc")),
+		b.btbJump.Write0(idx(), ast.C(1, isJump)),
+	)
+}
+
+// ruleDecode pops the fetch FIFO, drops wrong-path instructions, stalls on
+// scoreboard hazards (the Case Study 3 snippet), reads sources with
+// same-cycle writeback forwarding, claims the destination, and feeds the
+// execute FIFO.
+func (b *coreBuilder) ruleDecode() {
+	p := b.p
+
+	rs1Busy := ast.And(usesRs1("inst"), b.busyCheck(b.rs1Idx("inst"), 15))
+	rs2Busy := ast.And(usesRs2("inst"), b.busyCheck(b.rs2Idx("inst"), 20))
+
+	claim := ast.Let("doClaim", b.claimCond(),
+		ast.When(ast.Eq(ast.V("doClaim"), ast.C(1, 1)),
+			b.sb.Claim(b.rdIdx("inst"))),
+		b.d2e.Enq(
+			ast.V("pc"), ast.V("ppc"), ast.V("iepoch"), ast.V("inst"),
+			immediateOf("inst"),
+			b.rf.Read1(b.rs1Idx("inst")),
+			b.rf.Read1(b.rs2Idx("inst")),
+			ast.V("doClaim"),
+		),
+	)
+
+	b.d.Rule(p("decode"),
+		b.f2d.Deq(),
+		ast.Let("inst", b.f2d.First("inst"),
+			ast.Let("pc", b.f2d.First("pc"),
+				ast.Let("ppc", b.f2d.First("ppc"),
+					ast.Let("iepoch", b.f2d.First("epoch"),
+						ast.When(ast.Eq(ast.V("iepoch"), ast.Rd1(p("epoch"))),
+							// Stall on read-after-write hazards: the rule
+							// aborts, rolling the dequeue back, so the
+							// instruction retries next cycle.
+							ast.Let("score1", rs1Busy,
+								ast.Let("score2", rs2Busy,
+									ast.When(ast.Or(ast.V("score1"), ast.V("score2")),
+										ast.Fail()),
+									claim))))))),
+	)
+}
+
+// busyCheck consults the scoreboard for one source register; with the fix
+// in place, x0 never counts as busy.
+func (b *coreBuilder) busyCheck(idx *ast.Node, rsLo int) *ast.Node {
+	busy := b.sb.Busy1(idx)
+	if b.cfg.BugX0 {
+		return busy
+	}
+	return ast.And(ast.Neq(ast.Slice(ast.V("inst"), rsLo, 5), ast.C(5, 0)), busy)
+}
+
+// claimCond: the instruction claims a scoreboard slot if it has a
+// destination; with the fix, x0 is exempt (NOPs create no dependencies).
+func (b *coreBuilder) claimCond() *ast.Node {
+	cond := hasRd("inst")
+	if b.cfg.BugX0 {
+		return cond
+	}
+	return ast.And(cond, ast.Neq(ast.Slice(ast.V("inst"), 7, 5), ast.C(5, 0)))
+}
+
+// ruleFetch reads the (possibly redirected) pc through port 1, fetches the
+// instruction, predicts the next address, and pushes into the decode FIFO.
+// A full FIFO aborts the rule, leaving the pc unchanged.
+func (b *coreBuilder) ruleFetch() {
+	p := b.p
+	b.d.Rule(p("fetch"),
+		ast.Let("fpc", ast.Rd1(p("pc")),
+			ast.Let("finst", ast.ExtCall(p("imem"), ast.V("fpc")),
+				ast.Let("fppc", b.predict(),
+					b.f2d.Enq(ast.V("fpc"), ast.V("fppc"), ast.Rd1(p("epoch")), ast.V("finst")),
+					ast.Wr1(p("pc"), ast.V("fppc")),
+				))),
+	)
+}
+
+// predict computes the predicted next pc from variable fpc.
+func (b *coreBuilder) predict() *ast.Node {
+	fallthru := ast.Add(ast.V("fpc"), ast.C(32, 4))
+	if b.cfg.Predictor != BTBBHT {
+		return fallthru
+	}
+	idxW := b.btbValid.IndexWidth()
+	bhtW := b.bht.IndexWidth()
+	idx := func() *ast.Node { return ast.Slice(ast.V("fpc"), 2, idxW) }
+	hit := ast.And(
+		ast.Eq(b.btbValid.Read1(idx()), ast.C(1, 1)),
+		ast.Eq(b.btbTag.Read1(idx()), ast.V("fpc")))
+	take := ast.Or(
+		ast.Eq(b.btbJump.Read1(idx()), ast.C(1, 1)),
+		ast.Geu(b.bht.Read1(ast.Slice(ast.V("fpc"), 2, bhtW)), ast.C(2, 2)))
+	return ast.If(ast.And(hit, take),
+		b.btbTarget.Read1(idx()),
+		fallthru)
+}

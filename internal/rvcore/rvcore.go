@@ -1,0 +1,294 @@
+// Package rvcore generates the embedded RISC-V processor designs of the
+// paper's evaluation: a 4-stage pipelined core (fetch, decode, execute,
+// writeback) supporting the RV32I and RV32E ISA subsets (no system
+// instructions, interrupts, or exceptions), with either a trivial "pc + 4"
+// next-address predictor or a BTB + BHT branch predictor, and a dual-core
+// variant. Cores are elaborated into plain Kôika designs, so every
+// simulation pipeline in this module can run them.
+//
+// The port discipline follows the classic Kôika pipeline idiom — consumers
+// scheduled before producers, forwarding through port 1 — which makes the
+// designs statically conflict-free (verified by a test), so the
+// Bluespec-style static scheduler is cycle-equivalent to the dynamic one.
+//
+// Two deliberate architecture knobs reproduce the paper's case studies:
+// Config.BugX0 re-introduces the scoreboard bug of Case Study 3 (NOPs
+// create phantom dependencies on x0), and the two predictors are the
+// subject of Case Study 4's coverage comparison.
+package rvcore
+
+import (
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/stdlib"
+)
+
+// Predictor selects the next-address prediction scheme.
+type Predictor int
+
+// Predictors.
+const (
+	// PCPlus4 always predicts the next sequential address.
+	PCPlus4 Predictor = iota
+	// BTBBHT uses a branch target buffer plus a table of 2-bit counters.
+	BTBBHT
+)
+
+// Config describes one core.
+type Config struct {
+	// Name names the generated design (single-core builds only).
+	Name string
+	// Prefix namespaces the core's registers (multicore builds).
+	Prefix string
+	// NumRegs is 32 for RV32I, 16 for RV32E.
+	NumRegs int
+	// Predictor selects the next-address predictor.
+	Predictor Predictor
+	// BTBEntries and BHTEntries size the predictor (powers of two).
+	BTBEntries, BHTEntries int
+	// BugX0, when true, re-introduces the Case Study 3 bug: the
+	// scoreboard tracks dependencies on x0 like any other register, so
+	// back-to-back NOPs serialize.
+	BugX0 bool
+}
+
+// RV32I returns the baseline rv32i configuration.
+func RV32I() Config { return Config{Name: "rv32i", NumRegs: 32} }
+
+// RV32E returns the embedded-profile configuration (16 registers).
+func RV32E() Config { return Config{Name: "rv32e", NumRegs: 16} }
+
+// RV32IBP returns rv32i with the BTB+BHT predictor.
+func RV32IBP() Config {
+	return Config{Name: "rv32i-bp", NumRegs: 32, Predictor: BTBBHT, BTBEntries: 16, BHTEntries: 64}
+}
+
+// Core exposes the generated register names a testbench needs.
+type Core struct {
+	Cfg     Config
+	Mem     *riscv.Memory
+	DmWen   string
+	DmAddr  string
+	DmData  string
+	Instret string
+	PC      string
+	RF      *stdlib.RegArray
+}
+
+// Build generates a single-core design over the given memory image.
+func Build(cfg Config, mem *riscv.Memory) (*ast.Design, *Core) {
+	d := ast.NewDesign(cfg.Name)
+	core := attach(d, cfg, mem)
+	return d, core
+}
+
+// BuildMC generates the dual-core rv32i-mc design: two independent rv32i
+// cores with private memories running the same program image.
+func BuildMC(name string, mem *riscv.Memory) (*ast.Design, []*Core) {
+	d := ast.NewDesign(name)
+	cfg0 := Config{Prefix: "c0_", NumRegs: 32}
+	cfg1 := Config{Prefix: "c1_", NumRegs: 32}
+	c0 := attach(d, cfg0, mem.Clone())
+	c1 := attach(d, cfg1, mem.Clone())
+	return d, []*Core{c0, c1}
+}
+
+// attach elaborates one core's registers and rules onto d.
+func attach(d *ast.Design, cfg Config, mem *riscv.Memory) *Core {
+	if cfg.NumRegs != 32 && cfg.NumRegs != 16 {
+		panic("rvcore: NumRegs must be 16 or 32")
+	}
+	b := &coreBuilder{d: d, cfg: cfg, mem: mem, gs: &stdlib.Gensym{}}
+	b.declare()
+	b.ruleWriteback()
+	b.ruleExecute()
+	b.ruleDecode()
+	b.ruleFetch()
+	return &Core{
+		Cfg:     cfg,
+		Mem:     mem,
+		DmWen:   b.p("dm_wen"),
+		DmAddr:  b.p("dm_waddr"),
+		DmData:  b.p("dm_wdata"),
+		Instret: b.p("instret"),
+		PC:      b.p("pc"),
+		RF:      b.rf,
+	}
+}
+
+type coreBuilder struct {
+	d   *ast.Design
+	cfg Config
+	mem *riscv.Memory
+	gs  *stdlib.Gensym
+
+	f2d, d2e, e2w *stdlib.FIFO1
+	rf            *stdlib.RegArray
+	sb            *stdlib.Scoreboard
+
+	btbValid, btbTag, btbTarget, btbJump, bht *stdlib.RegArray
+}
+
+func (b *coreBuilder) p(name string) string { return b.cfg.Prefix + name }
+
+// rw is the register index width (5 for RV32I, 4 for RV32E).
+func (b *coreBuilder) rw() int { return b.rf.IndexWidth() }
+
+func (b *coreBuilder) declare() {
+	d, p := b.d, b.p
+	d.Reg(p("pc"), ast.Bits(32), 0)
+	d.Reg(p("epoch"), ast.Bits(1), 0)
+	d.Reg(p("instret"), ast.Bits(32), 0)
+	d.Reg(p("dm_wen"), ast.Bits(1), 0)
+	d.Reg(p("dm_waddr"), ast.Bits(32), 0)
+	d.Reg(p("dm_wdata"), ast.Bits(32), 0)
+
+	b.rf = stdlib.NewRegArray(d, b.gs, p("rf"), b.cfg.NumRegs, ast.Bits(32), 0)
+	b.sb = stdlib.NewScoreboard(d, b.gs, p("sb"), b.cfg.NumRegs)
+
+	b.f2d = stdlib.NewFIFO1(d, p("f2d"),
+		ast.F("pc", ast.Bits(32)),
+		ast.F("ppc", ast.Bits(32)),
+		ast.F("epoch", ast.Bits(1)),
+		ast.F("inst", ast.Bits(32)))
+	b.d2e = stdlib.NewFIFO1(d, p("d2e"),
+		ast.F("pc", ast.Bits(32)),
+		ast.F("ppc", ast.Bits(32)),
+		ast.F("epoch", ast.Bits(1)),
+		ast.F("inst", ast.Bits(32)),
+		ast.F("imm", ast.Bits(32)),
+		ast.F("rv1", ast.Bits(32)),
+		ast.F("rv2", ast.Bits(32)),
+		ast.F("claimed", ast.Bits(1)))
+	b.e2w = stdlib.NewFIFO1(d, p("e2w"),
+		ast.F("rd", ast.Bits(b.rw())),
+		ast.F("data", ast.Bits(32)),
+		ast.F("wen", ast.Bits(1)),
+		ast.F("claimed", ast.Bits(1)),
+		ast.F("retire", ast.Bits(1)))
+
+	if b.cfg.Predictor == BTBBHT {
+		b.btbValid = stdlib.NewRegArray(d, b.gs, p("btb_v"), b.cfg.BTBEntries, ast.Bits(1), 0)
+		b.btbTag = stdlib.NewRegArray(d, b.gs, p("btb_tag"), b.cfg.BTBEntries, ast.Bits(32), 0xffffffff)
+		b.btbTarget = stdlib.NewRegArray(d, b.gs, p("btb_tgt"), b.cfg.BTBEntries, ast.Bits(32), 0)
+		b.btbJump = stdlib.NewRegArray(d, b.gs, p("btb_j"), b.cfg.BTBEntries, ast.Bits(1), 0)
+		b.bht = stdlib.NewRegArray(d, b.gs, p("bht"), b.cfg.BHTEntries, ast.Bits(2), 1)
+	}
+
+	mem := b.mem
+	d.ExtFun(p("imem"), []int{32}, ast.Bits(32), func(a []bits.Bits) bits.Bits {
+		return bits.New(32, uint64(mem.ReadWord(uint32(a[0].Val))))
+	})
+	d.ExtFun(p("dmem_read"), []int{32}, ast.Bits(32), func(a []bits.Bits) bits.Bits {
+		return bits.New(32, uint64(mem.ReadWord(uint32(a[0].Val))))
+	})
+}
+
+// --- instruction-field helpers (fresh nodes per call) ----------------------
+
+func instField(v string, lo, w int) *ast.Node { return ast.Slice(ast.V(v), lo, w) }
+
+func opcodeOf(v string) *ast.Node { return instField(v, 0, 7) }
+func f3Of(v string) *ast.Node     { return instField(v, 12, 3) }
+
+func opIs(v string, opcode uint32) *ast.Node {
+	return ast.Eq(opcodeOf(v), ast.C(7, uint64(opcode)))
+}
+
+// rdIdx/rs1Idx/rs2Idx truncate architectural register numbers to the file's
+// index width (RV32E programs stay within x0..x15).
+func (b *coreBuilder) rdIdx(v string) *ast.Node  { return ast.Truncate(b.rw(), instField(v, 7, 5)) }
+func (b *coreBuilder) rs1Idx(v string) *ast.Node { return ast.Truncate(b.rw(), instField(v, 15, 5)) }
+func (b *coreBuilder) rs2Idx(v string) *ast.Node { return ast.Truncate(b.rw(), instField(v, 20, 5)) }
+
+// hasRd: the instruction class writes a destination register.
+func hasRd(v string) *ast.Node {
+	return ast.Or(opIs(v, riscv.OpImm),
+		ast.Or(opIs(v, riscv.OpReg),
+			ast.Or(opIs(v, riscv.OpLui),
+				ast.Or(opIs(v, riscv.OpAuipc),
+					ast.Or(opIs(v, riscv.OpJal),
+						ast.Or(opIs(v, riscv.OpJalr), opIs(v, riscv.OpLoad)))))))
+}
+
+// usesRs1 / usesRs2: source-operand classes.
+func usesRs1(v string) *ast.Node {
+	return ast.Or(opIs(v, riscv.OpImm),
+		ast.Or(opIs(v, riscv.OpReg),
+			ast.Or(opIs(v, riscv.OpJalr),
+				ast.Or(opIs(v, riscv.OpBranch),
+					ast.Or(opIs(v, riscv.OpLoad), opIs(v, riscv.OpStore))))))
+}
+
+func usesRs2(v string) *ast.Node {
+	return ast.Or(opIs(v, riscv.OpReg),
+		ast.Or(opIs(v, riscv.OpBranch), opIs(v, riscv.OpStore)))
+}
+
+// immediateOf computes the format-appropriate immediate of the instruction
+// bound to variable v (as in the hardware decoder, a mux over formats).
+func immediateOf(v string) *ast.Node {
+	immI := ast.SignExtend(32, instField(v, 20, 12))
+	immS := ast.SignExtend(32, ast.Concat(instField(v, 25, 7), instField(v, 7, 5)))
+	immB := ast.SignExtend(32,
+		ast.Concat(instField(v, 31, 1),
+			ast.Concat(instField(v, 7, 1),
+				ast.Concat(instField(v, 25, 6),
+					ast.Concat(instField(v, 8, 4), ast.C(1, 0))))))
+	immU := ast.Concat(instField(v, 12, 20), ast.C(12, 0))
+	immJ := ast.SignExtend(32,
+		ast.Concat(instField(v, 31, 1),
+			ast.Concat(instField(v, 12, 8),
+				ast.Concat(instField(v, 20, 1),
+					ast.Concat(instField(v, 21, 10), ast.C(1, 0))))))
+	return ast.Switch(opcodeOf(v), immI,
+		ast.Case{Match: ast.C(7, riscv.OpStore), Body: immS},
+		ast.Case{Match: ast.C(7, riscv.OpBranch), Body: immB},
+		ast.Case{Match: ast.C(7, riscv.OpLui), Body: ast.Let("$immU1", immU, ast.V("$immU1"))},
+		ast.Case{Match: ast.C(7, riscv.OpAuipc), Body: immUCopy(v)},
+		ast.Case{Match: ast.C(7, riscv.OpJal), Body: immJ},
+	)
+}
+
+// immUCopy rebuilds the U-immediate (nodes cannot be shared between arms).
+func immUCopy(v string) *ast.Node {
+	return ast.Concat(instField(v, 12, 20), ast.C(12, 0))
+}
+
+// aluResult computes the ALU output for OpImm/OpReg given operand variables
+// a and bv (b already selects imm vs rv2) plus the raw instruction variable.
+func aluResult(inst, a, bv string, isImm bool) *ast.Node {
+	shamt := ast.Truncate(5, ast.V(bv))
+	sub := ast.Sub(ast.V(a), ast.V(bv))
+	add := ast.Add(ast.V(a), ast.V(bv))
+	var addSub *ast.Node
+	if isImm {
+		addSub = add
+	} else {
+		addSub = ast.If(ast.Eq(instField(inst, 30, 1), ast.C(1, 1)), sub, add)
+	}
+	sra := ast.Sra(ast.V(a), ast.Let("$sh1", shamt, ast.V("$sh1")))
+	srl := ast.Srl(ast.V(a), ast.Truncate(5, ast.V(bv)))
+	return ast.Switch(f3Of(inst), ast.And(ast.V(a), ast.V(bv)), // F3And default
+		ast.Case{Match: ast.C(3, riscv.F3AddSub), Body: addSub},
+		ast.Case{Match: ast.C(3, riscv.F3Sll), Body: ast.Sll(ast.V(a), ast.Truncate(5, ast.V(bv)))},
+		ast.Case{Match: ast.C(3, riscv.F3Slt), Body: ast.ZeroExtend(32, ast.Lts(ast.V(a), ast.V(bv)))},
+		ast.Case{Match: ast.C(3, riscv.F3Sltu), Body: ast.ZeroExtend(32, ast.Ltu(ast.V(a), ast.V(bv)))},
+		ast.Case{Match: ast.C(3, riscv.F3Xor), Body: ast.Xor(ast.V(a), ast.V(bv))},
+		ast.Case{Match: ast.C(3, riscv.F3SrlSra), Body: ast.If(ast.Eq(instField(inst, 30, 1), ast.C(1, 1)), sra, srl)},
+		ast.Case{Match: ast.C(3, riscv.F3Or), Body: ast.Or(ast.V(a), ast.V(bv))},
+	)
+}
+
+// branchTaken evaluates the branch condition for variable-bound operands.
+func branchTaken(inst, a, bv string) *ast.Node {
+	return ast.Switch(f3Of(inst), ast.C(1, 0),
+		ast.Case{Match: ast.C(3, riscv.F3Beq), Body: ast.Eq(ast.V(a), ast.V(bv))},
+		ast.Case{Match: ast.C(3, riscv.F3Bne), Body: ast.Neq(ast.V(a), ast.V(bv))},
+		ast.Case{Match: ast.C(3, riscv.F3Blt), Body: ast.Lts(ast.V(a), ast.V(bv))},
+		ast.Case{Match: ast.C(3, riscv.F3Bge), Body: ast.Ges(ast.V(a), ast.V(bv))},
+		ast.Case{Match: ast.C(3, riscv.F3Bltu), Body: ast.Ltu(ast.V(a), ast.V(bv))},
+		ast.Case{Match: ast.C(3, riscv.F3Bgeu), Body: ast.Geu(ast.V(a), ast.V(bv))},
+	)
+}

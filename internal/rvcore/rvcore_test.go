@@ -1,0 +1,285 @@
+package rvcore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/rvcore"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/workload"
+)
+
+func memWith(prog []uint32) *riscv.Memory {
+	mem := riscv.NewMemory()
+	mem.LoadWords(0, prog)
+	return mem
+}
+
+func TestPrimesOnCuttlesim(t *testing.T) {
+	for _, cfg := range []rvcore.Config{rvcore.RV32I(), rvcore.RV32E(), rvcore.RV32IBP()} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			prog := workload.Primes(50)
+			d, core := rvcore.Build(cfg, memWith(prog))
+			d.MustCheck()
+			eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+			bench := rvcore.NewBench(core)
+			res, err := rvcore.RunProgram(eng, bench, 2_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0].ToHost != workload.PrimesExpected(50) {
+				t.Errorf("tohost = %d, want %d", res[0].ToHost, workload.PrimesExpected(50))
+			}
+			gold, goldInstret, err := rvcore.GoldenRun(memWith(prog), 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0].ToHost != gold {
+				t.Errorf("core result %d != golden %d", res[0].ToHost, gold)
+			}
+			// The pipeline retires every committed instruction exactly
+			// once; the bench halts at the tohost store's execute stage, so
+			// up to a pipeline's worth of instructions never reach
+			// writeback.
+			if res[0].Instret > goldInstret || goldInstret-res[0].Instret > 4 {
+				t.Errorf("instret = %d, golden = %d", res[0].Instret, goldInstret)
+			}
+			if res[0].IPC <= 0 || res[0].IPC > 1 {
+				t.Errorf("implausible IPC %f", res[0].IPC)
+			}
+		})
+	}
+}
+
+// All engines (interpreter, every Cuttlesim level, both netlist styles)
+// agree cycle-for-cycle on the core. Each engine gets a private design
+// instance and memory; they are run in lockstep and their architectural
+// state compared.
+func TestCoreCrossEngineEquivalence(t *testing.T) {
+	prog := workload.Primes(12)
+	type bundle struct {
+		name  string
+		eng   sim.Engine
+		bench *rvcore.Bench
+	}
+	var bundles []bundle
+	add := func(name string, mk func(dsn *rvcore.Built) sim.Engine) {
+		d, core := rvcore.Build(rvcore.RV32I(), memWith(prog))
+		d.MustCheck()
+		eng := mk(&rvcore.Built{Design: d, Core: core})
+		bundles = append(bundles, bundle{name, eng, rvcore.NewBench(core)})
+	}
+	add("interp", func(bd *rvcore.Built) sim.Engine {
+		e, err := interp.New(bd.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	})
+	for _, level := range cuttlesim.Levels() {
+		level := level
+		for _, backend := range []cuttlesim.Backend{cuttlesim.Closure, cuttlesim.Bytecode} {
+			backend := backend
+			add(fmt.Sprintf("cuttlesim/%v/%v", level, backend), func(bd *rvcore.Built) sim.Engine {
+				return cuttlesim.MustNew(bd.Design, cuttlesim.Options{Level: level, Backend: backend})
+			})
+		}
+	}
+	for _, style := range []circuit.Style{circuit.StyleKoika, circuit.StyleBluespec} {
+		style := style
+		add(fmt.Sprintf("rtlsim/%v", style), func(bd *rvcore.Built) sim.Engine {
+			ckt, err := circuit.Compile(bd.Design, style)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rtlsim.MustNew(ckt, rtlsim.Options{})
+		})
+	}
+
+	ref := bundles[0]
+	regs := ref.eng.Design().Registers
+	for cycle := 0; cycle < 3000; cycle++ {
+		for _, b := range bundles {
+			b.eng.Cycle()
+			b.bench.AfterCycle(b.eng)
+		}
+		want := sim.StateOf(ref.eng)
+		for _, b := range bundles[1:] {
+			got := sim.StateOf(b.eng)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cycle %d: %s reg %s = %v, interp has %v",
+						cycle, b.name, regs[i].Name, got[i], want[i])
+				}
+			}
+		}
+		if ref.bench.Done() {
+			break
+		}
+	}
+	if !ref.bench.Done() {
+		t.Fatal("reference did not finish within the comparison window")
+	}
+	if ref.bench.ToHost[0] != workload.PrimesExpected(12) {
+		t.Errorf("tohost = %d", ref.bench.ToHost[0])
+	}
+}
+
+func TestCoreIsStaticallyConflictFree(t *testing.T) {
+	for _, cfg := range []rvcore.Config{rvcore.RV32I(), rvcore.RV32E(), rvcore.RV32IBP()} {
+		d, _ := rvcore.Build(cfg, riscv.NewMemory())
+		d.MustCheck()
+		free, err := circuit.StaticallyConflictFree(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !free {
+			t.Errorf("%s has static rule conflicts; the bluespec-style netlist would diverge", cfg.Name)
+		}
+	}
+}
+
+func TestNopThroughput(t *testing.T) {
+	// Case study 3: with the scoreboard-x0 bug, 100 NOPs take about two
+	// cycles each; with the fix, about one.
+	run := func(bug bool) rvcore.Result {
+		cfg := rvcore.RV32I()
+		cfg.BugX0 = bug
+		prog := workload.Nops(100)
+		d, core := rvcore.Build(cfg, memWith(prog))
+		d.MustCheck()
+		eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+		res, err := rvcore.RunProgram(eng, rvcore.NewBench(core), 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	buggy := run(true)
+	fixed := run(false)
+	if buggy.Cycles < 195 {
+		t.Errorf("buggy core finished 100 NOPs in %d cycles; expected ~2 cycles/NOP", buggy.Cycles)
+	}
+	if fixed.Cycles >= buggy.Cycles {
+		t.Errorf("fix did not help: %d vs %d cycles", fixed.Cycles, buggy.Cycles)
+	}
+	if fixed.Cycles > 130 {
+		t.Errorf("fixed core took %d cycles for 100 NOPs; expected ~1 cycle/NOP", fixed.Cycles)
+	}
+}
+
+func TestBranchPredictorHelps(t *testing.T) {
+	prog := workload.BranchHeavy(300)
+	run := func(cfg rvcore.Config) rvcore.Result {
+		d, core := rvcore.Build(cfg, memWith(prog))
+		d.MustCheck()
+		eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+		res, err := rvcore.RunProgram(eng, rvcore.NewBench(core), 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	base := run(rvcore.RV32I())
+	bp := run(rvcore.RV32IBP())
+	if base.ToHost != bp.ToHost {
+		t.Fatalf("architectural divergence: %d vs %d", base.ToHost, bp.ToHost)
+	}
+	if bp.Cycles >= base.Cycles {
+		t.Errorf("branch predictor did not help: %d cycles (bp) vs %d (baseline)", bp.Cycles, base.Cycles)
+	}
+}
+
+func TestDualCore(t *testing.T) {
+	prog := workload.Primes(30)
+	d, cores := rvcore.BuildMC("rv32i-mc", memWith(prog))
+	d.MustCheck()
+	eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	bench := rvcore.NewBench(cores...)
+	res, err := rvcore.RunProgram(eng, bench, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.PrimesExpected(30)
+	for i, r := range res {
+		if r.ToHost != want {
+			t.Errorf("core %d tohost = %d, want %d", i, r.ToHost, want)
+		}
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	prog := riscv.MustAssemble(`
+        li   t0, 5
+        sw   t0, 256(x0)
+        lw   t1, 256(x0)
+        addi t1, t1, 1
+        sw   t1, 260(x0)
+        lw   t2, 260(x0)
+        lui  t5, 0x40000
+        sw   t2, 0(t5)
+halt:   j halt
+`)
+	d, core := rvcore.Build(rvcore.RV32I(), memWith(prog))
+	d.MustCheck()
+	eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	res, err := rvcore.RunProgram(eng, rvcore.NewBench(core), 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ToHost != 6 {
+		t.Errorf("tohost = %d, want 6", res[0].ToHost)
+	}
+}
+
+func TestGoldenAgreementOnRandomArithmetic(t *testing.T) {
+	// Cross-check the pipeline against the ISA golden model on several
+	// programs with branches, hazards, and memory traffic.
+	progs := map[string][]uint32{
+		"dependent": workload.DependentArith(25),
+		"branches":  workload.BranchHeavy(120),
+		"primes":    workload.Primes(25),
+	}
+	for name, prog := range progs {
+		t.Run(name, func(t *testing.T) {
+			gold, _, err := rvcore.GoldenRun(memWith(prog), 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, core := rvcore.Build(rvcore.RV32I(), memWith(prog))
+			d.MustCheck()
+			eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+			res, err := rvcore.RunProgram(eng, rvcore.NewBench(core), 3_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0].ToHost != gold {
+				t.Errorf("core = %d, golden = %d", res[0].ToHost, gold)
+			}
+		})
+	}
+}
+
+func TestMemSumOnAllCores(t *testing.T) {
+	prog := workload.MemSum(30)
+	want := workload.MemSumExpected(30)
+	for _, cfg := range []rvcore.Config{rvcore.RV32I(), rvcore.RV32E(), rvcore.RV32IBP()} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			d, core := rvcore.Build(cfg, memWith(prog))
+			d.MustCheck()
+			eng := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+			res, err := rvcore.RunProgram(eng, rvcore.NewBench(core), 100_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0].ToHost != want {
+				t.Errorf("tohost = %d, want %d", res[0].ToHost, want)
+			}
+		})
+	}
+}

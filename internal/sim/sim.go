@@ -1,0 +1,95 @@
+// Package sim defines the interface shared by every simulation pipeline in
+// this module — the reference interpreter (package interp), the Cuttlesim
+// compiler's engines (package cuttlesim), and the circuit-level simulator
+// (package rtlsim) — so that designs, testbenches, equivalence tests, and
+// benchmarks are written once and run against all of them.
+package sim
+
+import (
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// Engine is a cycle-accurate simulator of one checked design. Register
+// accessors address the publicly observable state: values as of the
+// beginning of the current (not yet executed) cycle. SetReg models the
+// testbench driving input registers between cycles.
+type Engine interface {
+	// Design returns the design being simulated.
+	Design() *ast.Design
+	// Cycle executes one clock cycle.
+	Cycle()
+	// Reg returns the named register's current (beginning-of-cycle) value.
+	Reg(name string) bits.Bits
+	// SetReg overwrites the named register's current value.
+	SetReg(name string, v bits.Bits)
+	// CycleCount returns how many cycles have executed.
+	CycleCount() uint64
+	// RuleFired reports whether the named rule committed during the most
+	// recently executed cycle.
+	RuleFired(rule string) bool
+}
+
+// Snapshotter is implemented by engines whose full architectural state can
+// be captured and restored; the debugger's reverse execution relies on it.
+type Snapshotter interface {
+	// Snapshot captures the architectural state and cycle count.
+	Snapshot() Snapshot
+	// Restore rewinds the engine to a previously captured snapshot.
+	Restore(Snapshot)
+}
+
+// Snapshot is an opaque captured engine state.
+type Snapshot struct {
+	Cycle uint64
+	Regs  []bits.Bits
+}
+
+// Testbench drives an engine from the outside: it may set input registers
+// before each cycle and observe output registers (applying memory writes,
+// collecting results) after each cycle. Testbenches must be deterministic
+// functions of the observed engine state and cycle number so that replays
+// (reverse debugging) and cross-engine comparisons agree.
+type Testbench interface {
+	// BeforeCycle runs before the engine executes a cycle.
+	BeforeCycle(e Engine)
+	// AfterCycle runs after; returning false stops Run early.
+	AfterCycle(e Engine) bool
+}
+
+// NopBench is a Testbench that does nothing.
+type NopBench struct{}
+
+// BeforeCycle implements Testbench.
+func (NopBench) BeforeCycle(Engine) {}
+
+// AfterCycle implements Testbench.
+func (NopBench) AfterCycle(Engine) bool { return true }
+
+// Run drives the engine for at most n cycles under the testbench, returning
+// the number of cycles actually executed.
+func Run(e Engine, tb Testbench, n uint64) uint64 {
+	if tb == nil {
+		tb = NopBench{}
+	}
+	var i uint64
+	for ; i < n; i++ {
+		tb.BeforeCycle(e)
+		e.Cycle()
+		if !tb.AfterCycle(e) {
+			return i + 1
+		}
+	}
+	return i
+}
+
+// StateOf captures every register of an engine, in declaration order. Used
+// by cross-engine equivalence tests.
+func StateOf(e Engine) []bits.Bits {
+	d := e.Design()
+	out := make([]bits.Bits, len(d.Registers))
+	for i, r := range d.Registers {
+		out[i] = e.Reg(r.Name)
+	}
+	return out
+}

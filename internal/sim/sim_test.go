@@ -1,0 +1,72 @@
+package sim_test
+
+import (
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/sim"
+)
+
+func counter(t *testing.T) sim.Engine {
+	t.Helper()
+	d := ast.NewDesign("c")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	e, err := interp.New(d.MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunWithNilBench(t *testing.T) {
+	e := counter(t)
+	if n := sim.Run(e, nil, 7); n != 7 {
+		t.Errorf("ran %d cycles", n)
+	}
+	if e.CycleCount() != 7 {
+		t.Errorf("cycle count = %d", e.CycleCount())
+	}
+}
+
+type countingBench struct {
+	before, after int
+	stopAfter     int
+}
+
+func (b *countingBench) BeforeCycle(sim.Engine) { b.before++ }
+func (b *countingBench) AfterCycle(sim.Engine) bool {
+	b.after++
+	return b.after < b.stopAfter
+}
+
+func TestRunHonorsBench(t *testing.T) {
+	e := counter(t)
+	b := &countingBench{stopAfter: 3}
+	if n := sim.Run(e, b, 100); n != 3 {
+		t.Errorf("ran %d cycles, want 3", n)
+	}
+	if b.before != 3 || b.after != 3 {
+		t.Errorf("bench calls: before=%d after=%d", b.before, b.after)
+	}
+}
+
+func TestStateOf(t *testing.T) {
+	e := counter(t)
+	sim.Run(e, nil, 5)
+	st := sim.StateOf(e)
+	if len(st) != 1 || st[0] != bits.New(8, 5) {
+		t.Errorf("StateOf = %v", st)
+	}
+}
+
+func TestNopBench(t *testing.T) {
+	var nb sim.NopBench
+	e := counter(t)
+	nb.BeforeCycle(e)
+	if !nb.AfterCycle(e) {
+		t.Error("NopBench must never stop the run")
+	}
+}

@@ -1,0 +1,244 @@
+// Package stdlib is the design-component library: FIFOs, register arrays,
+// and scoreboards expressed as Go functions that generate Kôika actions.
+// This is the module's analogue of the meta-programming the paper's Table 1
+// marks with "M" — components are elaborated into plain registers and rules
+// at design-construction time.
+//
+// Components fix a port discipline chosen so that designs built from them
+// are statically conflict-free (consumers scheduled before producers:
+// dequeue uses rd0/wr0, enqueue uses rd1/wr1), which keeps the
+// Bluespec-style static scheduler cycle-equivalent to the dynamic one.
+package stdlib
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+)
+
+// Gensym provides unique let-binding names for generated actions.
+type Gensym struct{ n int }
+
+// Next returns a fresh identifier with the given stem.
+func (g *Gensym) Next(stem string) string {
+	g.n++
+	return fmt.Sprintf("$%s%d", stem, g.n)
+}
+
+// FIFO1 is a one-element FIFO with pipelined enq/deq: the dequeuer (run
+// earlier in the schedule) frees the slot at port 0 and the enqueuer (run
+// later) observes that through port 1, so an element can be replaced in a
+// single cycle — the standard Kôika pipeline idiom.
+//
+// Data is spread over one register per field, which keeps every register
+// within the 64-bit fast path regardless of how much a stage carries.
+type FIFO1 struct {
+	name   string
+	valid  string
+	fields []string
+	regs   map[string]string
+}
+
+// NewFIFO1 declares a FIFO's registers on the design. Fields are
+// (name, type) pairs.
+func NewFIFO1(d *ast.Design, name string, fields ...ast.StructField) *FIFO1 {
+	f := &FIFO1{name: name, valid: name + "_valid", regs: make(map[string]string, len(fields))}
+	d.Reg(f.valid, ast.Bits(1), 0)
+	for _, fd := range fields {
+		reg := name + "_" + fd.Name
+		d.Reg(reg, fd.Type, 0)
+		f.fields = append(f.fields, fd.Name)
+		f.regs[fd.Name] = reg
+	}
+	return f
+}
+
+// CanDeq is a 1-bit expression: the FIFO holds an element.
+func (f *FIFO1) CanDeq() *ast.Node { return ast.Rd0(f.valid) }
+
+// First reads a field of the front element (valid only under CanDeq).
+func (f *FIFO1) First(field string) *ast.Node { return ast.Rd0(f.reg(field)) }
+
+// Deq aborts the rule if the FIFO is empty, else frees the slot. Read the
+// element with First before or after; data registers are left in place.
+func (f *FIFO1) Deq() *ast.Node {
+	return ast.Seq(
+		ast.Guard(ast.Rd0(f.valid)),
+		ast.Wr0(f.valid, ast.C(1, 0)),
+	)
+}
+
+// CanEnq is a 1-bit expression: the slot is (or becomes, after a same-cycle
+// dequeue) free.
+func (f *FIFO1) CanEnq() *ast.Node { return ast.Not(ast.Rd1(f.valid)) }
+
+// Enq aborts the rule if the slot is still occupied, else stores the given
+// field values (in declaration order) and marks the slot full.
+func (f *FIFO1) Enq(vals ...*ast.Node) *ast.Node {
+	if len(vals) != len(f.fields) {
+		panic(fmt.Sprintf("stdlib: FIFO %s has %d fields, got %d values", f.name, len(f.fields), len(vals)))
+	}
+	items := []*ast.Node{ast.Guard(ast.Not(ast.Rd1(f.valid)))}
+	for i, field := range f.fields {
+		items = append(items, ast.Wr0(f.reg(field), vals[i]))
+	}
+	items = append(items, ast.Wr1(f.valid, ast.C(1, 1)))
+	return ast.Seq(items...)
+}
+
+// Clear empties the FIFO at port 0 (used by flush logic scheduled before
+// the enqueuer).
+func (f *FIFO1) Clear() *ast.Node { return ast.Wr0(f.valid, ast.C(1, 0)) }
+
+func (f *FIFO1) reg(field string) string {
+	r, ok := f.regs[field]
+	if !ok {
+		panic(fmt.Sprintf("stdlib: FIFO %s has no field %q", f.name, field))
+	}
+	return r
+}
+
+// RegArray is an index-addressed bank of registers; dynamic indexing
+// elaborates to mux/if chains exactly as a register file synthesizes to
+// hardware.
+type RegArray struct {
+	name string
+	n    int
+	w    int
+	regs []string
+	gs   *Gensym
+}
+
+// NewRegArray declares n registers name_0 … name_{n-1} of the given type.
+func NewRegArray(d *ast.Design, gs *Gensym, name string, n int, t ast.Type, init uint64) *RegArray {
+	if n <= 0 {
+		panic("stdlib: empty register array")
+	}
+	a := &RegArray{name: name, n: n, w: t.BitWidth(), gs: gs}
+	for i := 0; i < n; i++ {
+		reg := fmt.Sprintf("%s_%d", name, i)
+		d.Reg(reg, t, init)
+		a.regs = append(a.regs, reg)
+	}
+	return a
+}
+
+// IndexWidth returns the width of the index the array expects.
+func (a *RegArray) IndexWidth() int {
+	w := 0
+	for 1<<uint(w) < a.n {
+		w++
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Len returns the number of entries.
+func (a *RegArray) Len() int { return a.n }
+
+// Reg returns the register name backing entry i (for direct static access).
+func (a *RegArray) Reg(i int) string { return a.regs[i] }
+
+// Read0 reads entry idx at port 0 through a balanced mux tree.
+func (a *RegArray) Read0(idx *ast.Node) *ast.Node { return a.read(idx, ast.Rd0) }
+
+// Read1 reads entry idx at port 1.
+func (a *RegArray) Read1(idx *ast.Node) *ast.Node { return a.read(idx, ast.Rd1) }
+
+// Dynamic indexing elaborates to balanced binary trees testing one index
+// bit per level — the shape real register files synthesize to, and log(n)
+// depth in every simulation pipeline. Out-of-range indices (possible only
+// for non-power-of-two sizes) read the last entry and write nothing,
+// matching the behaviour of the classic linear chain.
+func (a *RegArray) read(idx *ast.Node, rd func(string) *ast.Node) *ast.Node {
+	v := a.gs.Next(a.name + "_i")
+	var tree func(base, bit int) *ast.Node
+	tree = func(base, bit int) *ast.Node {
+		if bit < 0 {
+			if base >= a.n {
+				return rd(a.regs[a.n-1])
+			}
+			return rd(a.regs[base])
+		}
+		lo := tree(base, bit-1)
+		hi := tree(base+1<<uint(bit), bit-1)
+		return ast.If(ast.Eq(ast.Slice(ast.V(v), bit, 1), ast.C(1, 1)), hi, lo)
+	}
+	return ast.Let(v, idx, tree(0, a.IndexWidth()-1))
+}
+
+// Write0 writes val to entry idx at port 0 through a balanced tree.
+func (a *RegArray) Write0(idx, val *ast.Node) *ast.Node { return a.write(idx, val, ast.Wr0) }
+
+// Write1 writes val to entry idx at port 1.
+func (a *RegArray) Write1(idx, val *ast.Node) *ast.Node { return a.write(idx, val, ast.Wr1) }
+
+func (a *RegArray) write(idx, val *ast.Node, wr func(string, *ast.Node) *ast.Node) *ast.Node {
+	iv := a.gs.Next(a.name + "_i")
+	vv := a.gs.Next(a.name + "_v")
+	var tree func(base, bit int) *ast.Node
+	tree = func(base, bit int) *ast.Node {
+		if base >= a.n {
+			return ast.Skip() // out-of-range: write nothing
+		}
+		if bit < 0 {
+			return wr(a.regs[base], ast.V(vv))
+		}
+		return ast.If(ast.Eq(ast.Slice(ast.V(iv), bit, 1), ast.C(1, 1)),
+			tree(base+1<<uint(bit), bit-1),
+			tree(base, bit-1))
+	}
+	return ast.Let(iv, idx, ast.Let(vv, val, tree(0, a.IndexWidth()-1)))
+}
+
+// Scoreboard tracks outstanding register writes with small saturating
+// counters, the hazard-detection structure of the paper's processor case
+// studies. The releaser (writeback, scheduled first) uses ports rd0/wr0;
+// the claimer (decode, scheduled later) uses rd1/wr1 and therefore sees
+// same-cycle releases — exactly the forwarding the paper's §4.2 snippet
+// relies on.
+type Scoreboard struct {
+	arr *RegArray
+	gs  *Gensym
+	w   int
+}
+
+// NewScoreboard declares an n-entry scoreboard of 2-bit counters.
+func NewScoreboard(d *ast.Design, gs *Gensym, name string, n int) *Scoreboard {
+	return &Scoreboard{arr: NewRegArray(d, gs, name, n, ast.Bits(2), 0), gs: gs, w: 2}
+}
+
+// IndexWidth returns the index width the scoreboard expects.
+func (s *Scoreboard) IndexWidth() int { return s.arr.IndexWidth() }
+
+// Busy1 is a 1-bit expression: entry idx has outstanding writes, observed
+// at port 1 (after same-cycle releases).
+func (s *Scoreboard) Busy1(idx *ast.Node) *ast.Node {
+	return ast.Neq(s.arr.Read1(idx), ast.C(s.w, 0))
+}
+
+// Claim increments entry idx (ports rd1/wr1).
+func (s *Scoreboard) Claim(idx *ast.Node) *ast.Node {
+	iv := s.gs.Next("sb_i")
+	return ast.Let(iv, idx,
+		s.claimAt(ast.V(iv)))
+}
+
+func (s *Scoreboard) claimAt(idx *ast.Node) *ast.Node {
+	cv := s.gs.Next("sb_c")
+	iv2 := s.gs.Next("sb_j")
+	return ast.Let(iv2, idx,
+		ast.Let(cv, s.arr.Read1(ast.V(iv2)),
+			s.arr.Write1(ast.V(iv2), ast.Add(ast.V(cv), ast.C(s.w, 1)))))
+}
+
+// Release decrements entry idx (ports rd0/wr0).
+func (s *Scoreboard) Release(idx *ast.Node) *ast.Node {
+	iv := s.gs.Next("sb_i")
+	cv := s.gs.Next("sb_c")
+	return ast.Let(iv, idx,
+		ast.Let(cv, s.arr.Read0(ast.V(iv)),
+			s.arr.Write0(ast.V(iv), ast.Sub(ast.V(cv), ast.C(s.w, 1)))))
+}

@@ -1,0 +1,58 @@
+// Package stm holds the trivial state-machine benchmark of Table 1: a
+// Collatz stepper. Two rules, predicated on the parity of the state, update
+// it through the two read/write ports so that a full even-then-odd step can
+// retire in a single cycle — the structure of the paper's introductory
+// two-state machine, with real data flowing through it.
+package stm
+
+import "cuttlego/internal/ast"
+
+// Collatz builds the design: register x holds the current value; rule
+// "divide" halves an even x at port 0; rule "multiply" maps an odd value
+// (observed at port 1, after a same-cycle halving) to 3x+1 at port 1. The
+// "steps" register counts rule commits; "done" latches when x reaches 1.
+func Collatz(init uint64) *ast.Design {
+	d := ast.NewDesign("collatz")
+	d.Reg("x", ast.Bits(32), init)
+	d.Reg("steps", ast.Bits(32), 0)
+	d.Reg("done", ast.Bits(1), 0)
+
+	d.Rule("divide",
+		ast.Guard(ast.Eq(ast.Rd0("done"), ast.C(1, 0))),
+		ast.Let("v", ast.Rd0("x"),
+			ast.Guard(ast.Eq(ast.Slice(ast.V("v"), 0, 1), ast.C(1, 0))),
+			ast.Guard(ast.Neq(ast.V("v"), ast.C(32, 0))),
+			ast.Wr0("x", ast.Srl(ast.V("v"), ast.C(1, 1))),
+			ast.Wr0("steps", ast.Add(ast.Rd0("steps"), ast.C(32, 1))),
+		),
+	)
+	d.Rule("multiply",
+		ast.Guard(ast.Eq(ast.Rd0("done"), ast.C(1, 0))),
+		ast.Let("v", ast.Rd1("x"),
+			ast.Guard(ast.Eq(ast.Slice(ast.V("v"), 0, 1), ast.C(1, 1))),
+			ast.If(ast.Eq(ast.V("v"), ast.C(32, 1)),
+				ast.Wr0("done", ast.C(1, 1)),
+				ast.Seq(
+					ast.Wr1("x", ast.Add(ast.Mul(ast.V("v"), ast.C(32, 3)), ast.C(32, 1))),
+					ast.Wr1("steps", ast.Add(ast.Rd1("steps"), ast.C(32, 1))),
+				)),
+		),
+	)
+	return d
+}
+
+// Steps returns the number of Collatz rule applications needed to reach 1
+// from init (the golden model for the design's "steps" counter).
+func Steps(init uint64) uint64 {
+	v := uint32(init)
+	var n uint64
+	for v != 1 && v != 0 {
+		if v%2 == 0 {
+			v /= 2
+		} else {
+			v = 3*v + 1
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package stm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cuttlego/internal/interp"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/stm"
+)
+
+func TestStepsGoldenValues(t *testing.T) {
+	// Known Collatz trajectory lengths (counting each halving and each
+	// 3x+1 step).
+	cases := map[uint64]uint64{1: 0, 2: 1, 3: 7, 6: 8, 7: 16, 27: 111}
+	for init, want := range cases {
+		if got := stm.Steps(init); got != want {
+			t.Errorf("Steps(%d) = %d, want %d", init, got, want)
+		}
+	}
+}
+
+func TestStepsZeroDoesNotLoop(t *testing.T) {
+	if got := stm.Steps(0); got != 0 {
+		t.Errorf("Steps(0) = %d", got)
+	}
+}
+
+// Property: the design's steps counter matches the Go model for arbitrary
+// starting values.
+func TestQuickDesignMatchesModel(t *testing.T) {
+	f := func(raw uint16) bool {
+		init := uint64(raw)%2000 + 1
+		d := stm.Collatz(init).MustCheck()
+		s, err := interp.New(d)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2000 && !s.Reg("done").Bool(); i++ {
+			s.Cycle()
+		}
+		return s.Reg("done").Bool() && s.Reg("steps").Val == stm.Steps(init)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoneLatches(t *testing.T) {
+	d := stm.Collatz(4).MustCheck()
+	s, _ := interp.New(d)
+	sim.Run(s, nil, 50)
+	if !s.Reg("done").Bool() {
+		t.Fatal("should be done")
+	}
+	x := s.Reg("x")
+	sim.Run(s, nil, 50)
+	if s.Reg("x") != x {
+		t.Error("state must freeze after done latches")
+	}
+}

@@ -1,0 +1,382 @@
+// Package testkit provides the cross-engine conformance machinery: a zoo of
+// small designs that each pin down one corner of Kôika's semantics, a
+// seeded random-design generator, and a lockstep comparator. Every
+// simulation pipeline in the module is tested against the reference
+// interpreter through this package.
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/sim"
+)
+
+// ZooEntry is one named conformance design.
+type ZooEntry struct {
+	Name  string
+	Build func() *ast.Design
+}
+
+// Zoo returns the conformance designs. Builders return fresh designs on
+// every call (node IDs are assigned per design instance).
+func Zoo() []ZooEntry {
+	return []ZooEntry{
+		{"counter", func() *ast.Design {
+			d := ast.NewDesign("counter")
+			d.Reg("x", ast.Bits(16), 0)
+			d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(16, 1))))
+			return d
+		}},
+		{"two-state-machine", func() *ast.Design {
+			d := ast.NewDesign("stm")
+			st := ast.NewEnum("state", 1, "A", "B")
+			d.Reg("st", st, 0)
+			d.Reg("x", ast.Bits(32), 3)
+			d.Rule("rlA",
+				ast.Guard(ast.Eq(ast.Rd0("st"), ast.E(st, "A"))),
+				ast.Wr0("st", ast.E(st, "B")),
+				ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(32, 10))))
+			d.Rule("rlB",
+				ast.Guard(ast.Eq(ast.Rd0("st"), ast.E(st, "B"))),
+				ast.Wr0("st", ast.E(st, "A")),
+				ast.Wr0("x", ast.Mul(ast.Rd0("x"), ast.C(32, 3))))
+			return d
+		}},
+		{"goldberg", func() *ast.Design {
+			d := ast.NewDesign("goldberg")
+			d.Reg("r", ast.Bits(8), 0)
+			d.Reg("saw0", ast.Bits(8), 0xff)
+			d.Reg("saw1", ast.Bits(8), 0xff)
+			d.Rule("rl",
+				ast.Wr0("r", ast.Add(ast.Rd0("saw0"), ast.C(8, 1))),
+				ast.Wr1("r", ast.C(8, 2)),
+				ast.Wr0("saw0", ast.Rd0("r")),
+				ast.Wr0("saw1", ast.Rd1("r")))
+			return d
+		}},
+		{"wire-forwarding", func() *ast.Design {
+			d := ast.NewDesign("wire")
+			d.Reg("w", ast.Bits(8), 0)
+			d.Reg("src", ast.Bits(8), 1)
+			d.Reg("dst", ast.Bits(8), 0)
+			d.Rule("produce", ast.Wr0("w", ast.Add(ast.Rd0("src"), ast.Rd0("src"))))
+			d.Rule("consume", ast.Wr0("dst", ast.Rd1("w")))
+			d.Rule("bump", ast.Wr0("src", ast.Add(ast.Rd0("src"), ast.C(8, 1))))
+			return d
+		}},
+		{"write-conflict", func() *ast.Design {
+			d := ast.NewDesign("conflict")
+			d.Reg("r", ast.Bits(8), 0)
+			d.Reg("t", ast.Bits(8), 0)
+			d.Rule("a", ast.When(ast.Eq(ast.Slice(ast.Rd0("t"), 0, 1), ast.C(1, 0)),
+				ast.Wr0("r", ast.C(8, 1))))
+			d.Rule("b", ast.Wr0("r", ast.C(8, 2)))
+			d.Rule("tick", ast.Wr0("t", ast.Add(ast.Rd0("t"), ast.C(8, 1))))
+			return d
+		}},
+		{"wr1-precedence", func() *ast.Design {
+			d := ast.NewDesign("wr1prec")
+			d.Reg("r", ast.Bits(8), 0)
+			d.Rule("w0", ast.Wr0("r", ast.C(8, 1)))
+			d.Rule("w1", ast.Wr1("r", ast.Add(ast.Rd1("r"), ast.C(8, 10))))
+			return d
+		}},
+		{"guarded-pipeline", func() *ast.Design {
+			// A 2-stage pipeline over EHR-style valid bits.
+			d := ast.NewDesign("pipe2")
+			d.Reg("v0", ast.Bits(1), 0)
+			d.Reg("d0", ast.Bits(8), 0)
+			d.Reg("v1", ast.Bits(1), 0)
+			d.Reg("d1", ast.Bits(8), 0)
+			d.Reg("src", ast.Bits(8), 0)
+			d.Reg("out", ast.Bits(8), 0)
+			d.Rule("stage2",
+				ast.Guard(ast.Eq(ast.Rd0("v1"), ast.C(1, 1))),
+				ast.Wr0("out", ast.Rd0("d1")),
+				ast.Wr0("v1", ast.C(1, 0)))
+			d.Rule("stage1",
+				ast.Guard(ast.Eq(ast.Rd0("v0"), ast.C(1, 1))),
+				ast.Guard(ast.Eq(ast.Rd1("v1"), ast.C(1, 0))),
+				ast.Wr0("d1", ast.Add(ast.Rd0("d0"), ast.C(8, 100))),
+				ast.Wr1("v1", ast.C(1, 1)),
+				ast.Wr0("v0", ast.C(1, 0)))
+			d.Rule("feed",
+				ast.Guard(ast.Eq(ast.Rd1("v0"), ast.C(1, 0))),
+				ast.Wr0("d0", ast.Rd0("src")),
+				ast.Wr1("v0", ast.C(1, 1)),
+				ast.Wr0("src", ast.Add(ast.Rd0("src"), ast.C(8, 1))))
+			return d
+		}},
+		{"structs-and-switch", func() *ast.Design {
+			op := ast.NewEnum("op", 2, "Nop", "Inc", "Dec", "Neg")
+			req := ast.NewStruct("req", ast.F("op", op), ast.F("val", ast.Bits(8)))
+			d := ast.NewDesign("structs")
+			d.RegB("req", req, req.PackValues(op.Value("Inc"), bits.New(8, 5)))
+			d.Reg("acc", ast.Bits(8), 0)
+			d.Rule("step",
+				ast.Let("r", ast.Rd0("req"),
+					ast.Wr0("acc", ast.Switch(ast.Field(ast.V("r"), "op"), ast.Rd0("acc"),
+						ast.Case{Match: ast.E(op, "Inc"), Body: ast.Add(ast.Rd0("acc"), ast.Field(ast.V("r"), "val"))},
+						ast.Case{Match: ast.E(op, "Dec"), Body: ast.Sub(ast.Rd0("acc"), ast.Field(ast.V("r"), "val"))},
+						ast.Case{Match: ast.E(op, "Neg"), Body: ast.Not(ast.Rd0("acc"))},
+					)),
+					ast.Wr0("req", ast.SetField(ast.V("r"), "op", ast.E(op, "Nop"))),
+				),
+			)
+			d.Rule("reload",
+				ast.Let("r", ast.Rd1("req"),
+					ast.When(ast.Eq(ast.Field(ast.V("r"), "op"), ast.E(op, "Nop")),
+						ast.Wr1("req", ast.Pack(req, ast.E(op, "Inc"), ast.Add(ast.Field(ast.V("r"), "val"), ast.C(8, 1)))))))
+			return d
+		}},
+		{"extcall", func() *ast.Design {
+			d := ast.NewDesign("extcall")
+			d.Reg("x", ast.Bits(8), 1)
+			d.ExtFun("mix", []int{8, 8}, ast.Bits(8), func(a []bits.Bits) bits.Bits {
+				return a[0].Mul(a[1]).Add(bits.New(8, 7))
+			})
+			d.Rule("r", ast.Wr0("x", ast.ExtCall("mix", ast.Rd0("x"), ast.C(8, 3))))
+			return d
+		}},
+		{"locals-and-assign", func() *ast.Design {
+			d := ast.NewDesign("locals")
+			d.Reg("x", ast.Bits(8), 0)
+			d.Reg("y", ast.Bits(8), 0)
+			d.Rule("r",
+				ast.Let("a", ast.Rd0("x"),
+					ast.Let("b", ast.C(8, 1),
+						ast.When(ast.Ltu(ast.V("a"), ast.C(8, 10)),
+							ast.Set("b", ast.C(8, 2))),
+						ast.Wr0("x", ast.Add(ast.V("a"), ast.V("b"))),
+						ast.Wr0("y", ast.V("b")))))
+			return d
+		}},
+		{"mostly-failing", func() *ast.Design {
+			d := ast.NewDesign("failing")
+			d.Reg("x", ast.Bits(8), 0)
+			d.Reg("y", ast.Bits(8), 0)
+			d.Rule("never", ast.Fail())
+			d.Rule("dirtyfail", ast.Wr0("y", ast.C(8, 3)), ast.When(ast.Eq(ast.Rd0("x"), ast.Rd0("x")), ast.Fail()))
+			d.Rule("works", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+			return d
+		}},
+	}
+}
+
+// Compare runs every engine in lockstep for n cycles, failing the reporter
+// on the first divergence of register state or rule firings. The optional
+// drive callback mutates inputs before each cycle; it receives every engine
+// so inputs stay identical.
+func Compare(t TB, engines map[string]sim.Engine, n uint64, drive func(cycle uint64, set func(reg string, v bits.Bits))) {
+	if len(engines) < 2 {
+		t.Fatalf("testkit: need at least two engines")
+	}
+	var ref string
+	for name := range engines {
+		if ref == "" || name < ref {
+			if name == "interp" {
+				ref = name
+				break
+			}
+			ref = name
+		}
+	}
+	refEng := engines[ref]
+	d := refEng.Design()
+	for cycle := uint64(0); cycle < n; cycle++ {
+		if drive != nil {
+			drive(cycle, func(reg string, v bits.Bits) {
+				for _, e := range engines {
+					e.SetReg(reg, v)
+				}
+			})
+		}
+		for _, e := range engines {
+			e.Cycle()
+		}
+		want := sim.StateOf(refEng)
+		for name, e := range engines {
+			if name == ref {
+				continue
+			}
+			got := sim.StateOf(e)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("design %s cycle %d: engine %s reg %s = %v, %s has %v",
+						d.Name, cycle, name, d.Registers[i].Name, got[i], ref, want[i])
+				}
+			}
+			for _, r := range d.Rules {
+				if e.RuleFired(r.Name) != refEng.RuleFired(r.Name) {
+					t.Fatalf("design %s cycle %d: engine %s rule %s fired=%v, %s disagrees",
+						d.Name, cycle, name, r.Name, e.RuleFired(r.Name), ref)
+				}
+			}
+		}
+	}
+}
+
+// TB is the subset of testing.TB the comparator needs.
+type TB interface {
+	Fatalf(format string, args ...any)
+	Helper()
+}
+
+// Random generates a random well-typed design from a seed. Designs mix
+// plain registers, wires, and EHRs, conditional and failing rules, local
+// bindings, and arithmetic, so they exercise conflict detection, rollback,
+// and forwarding paths across engines.
+func Random(seed int64) *ast.Design {
+	r := rand.New(rand.NewSource(seed))
+	g := &gen{r: r, d: ast.NewDesign(fmt.Sprintf("rand%d", seed))}
+	nregs := 2 + r.Intn(5)
+	widths := []int{1, 4, 8, 16, 33}
+	for i := 0; i < nregs; i++ {
+		w := widths[r.Intn(len(widths))]
+		g.regs = append(g.regs, regInfo{name: fmt.Sprintf("r%d", i), w: w})
+		g.d.Reg(fmt.Sprintf("r%d", i), ast.Bits(w), r.Uint64())
+	}
+	nrules := 1 + r.Intn(4)
+	for i := 0; i < nrules; i++ {
+		g.vars = g.vars[:0]
+		g.d.Rule(fmt.Sprintf("rule%d", i), g.action(3))
+	}
+	return g.d
+}
+
+type regInfo struct {
+	name string
+	w    int
+}
+
+type gen struct {
+	r    *rand.Rand
+	d    *ast.Design
+	regs []regInfo
+	vars []regInfo
+	n    int
+}
+
+func (g *gen) fresh() string {
+	g.n++
+	return fmt.Sprintf("v%d", g.n)
+}
+
+func (g *gen) reg() regInfo { return g.regs[g.r.Intn(len(g.regs))] }
+
+// expr produces a random expression of width w with bounded depth.
+func (g *gen) expr(w, depth int) *ast.Node {
+	if depth <= 0 {
+		return g.leaf(w)
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return g.leaf(w)
+	case 1:
+		ops := []func(a, b *ast.Node) *ast.Node{ast.Add, ast.Sub, ast.And, ast.Or, ast.Xor, ast.Mul}
+		return ops[g.r.Intn(len(ops))](g.expr(w, depth-1), g.expr(w, depth-1))
+	case 2:
+		return ast.Not(g.expr(w, depth-1))
+	case 3:
+		// Comparison widened to w.
+		iw := []int{1, 4, 8}[g.r.Intn(3)]
+		cmps := []func(a, b *ast.Node) *ast.Node{ast.Eq, ast.Neq, ast.Ltu, ast.Lts, ast.Geu, ast.Ges}
+		c := cmps[g.r.Intn(len(cmps))](g.expr(iw, depth-1), g.expr(iw, depth-1))
+		return ast.ZeroExtend(w, c)
+	case 4:
+		// Slice of something wider.
+		src := w + 1 + g.r.Intn(8)
+		if src > 64 {
+			src = 64
+		}
+		lo := g.r.Intn(src - w + 1)
+		return ast.Slice(g.expr(src, depth-1), lo, w)
+	case 5:
+		if w > 1 {
+			return ast.SignExtend(w, g.expr(1+g.r.Intn(w), depth-1))
+		}
+		return g.leaf(w)
+	case 6:
+		return ast.If(g.expr(1, depth-1), g.expr(w, depth-1), g.expr(w, depth-1))
+	default:
+		sh := g.r.Intn(3) + 1
+		shifts := []func(a, b *ast.Node) *ast.Node{ast.Sll, ast.Srl, ast.Sra}
+		return shifts[g.r.Intn(3)](g.expr(w, depth-1), ast.C(3, uint64(sh)))
+	}
+}
+
+func (g *gen) leaf(w int) *ast.Node {
+	// Try a variable or register of the right width, else a constant.
+	choices := g.r.Intn(3)
+	if choices == 0 {
+		for _, off := range g.r.Perm(len(g.vars)) {
+			if g.vars[off].w == w {
+				return ast.V(g.vars[off].name)
+			}
+		}
+	}
+	if choices <= 1 {
+		for _, off := range g.r.Perm(len(g.regs)) {
+			if g.regs[off].w == w {
+				if g.r.Intn(3) == 0 {
+					return ast.Rd1(g.regs[off].name)
+				}
+				return ast.Rd0(g.regs[off].name)
+			}
+		}
+	}
+	return ast.C(w, g.r.Uint64())
+}
+
+// action produces a random unit-valued action.
+func (g *gen) action(depth int) *ast.Node {
+	nstmts := 1 + g.r.Intn(3)
+	items := make([]*ast.Node, 0, nstmts)
+	for i := 0; i < nstmts; i++ {
+		items = append(items, g.stmt(depth))
+	}
+	return ast.Seq(items...)
+}
+
+func (g *gen) stmt(depth int) *ast.Node {
+	if depth <= 0 {
+		return g.write()
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return g.write()
+	case 1:
+		name := g.fresh()
+		w := []int{1, 4, 8, 16}[g.r.Intn(4)]
+		g.vars = append(g.vars, regInfo{name: name, w: w})
+		body := g.action(depth - 1)
+		g.vars = g.vars[:len(g.vars)-1]
+		return ast.Let(name, g.expr(w, 2), body)
+	case 2:
+		return ast.When(g.expr(1, 2), g.action(depth-1))
+	case 3:
+		return ast.If(g.expr(1, 2), g.action(depth-1), g.action(depth-1))
+	case 4:
+		if g.r.Intn(4) == 0 {
+			return ast.When(g.expr(1, 2), ast.Fail())
+		}
+		return g.write()
+	default:
+		if len(g.vars) > 0 && g.r.Intn(2) == 0 {
+			v := g.vars[g.r.Intn(len(g.vars))]
+			return ast.Set(v.name, g.expr(v.w, 2))
+		}
+		return g.write()
+	}
+}
+
+func (g *gen) write() *ast.Node {
+	reg := g.reg()
+	if g.r.Intn(4) == 0 {
+		return ast.Wr1(reg.name, g.expr(reg.w, 2))
+	}
+	return ast.Wr0(reg.name, g.expr(reg.w, 2))
+}

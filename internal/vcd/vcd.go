@@ -1,0 +1,133 @@
+// Package vcd writes Value Change Dump waveforms of a simulated design —
+// the artifact traditional RTL debugging flows inspect with GTKWave. It
+// exists both for completeness of the toolchain and as the baseline the
+// paper's interactive debugging experience (package debug) improves on.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cuttlego/internal/bits"
+	"cuttlego/internal/sim"
+)
+
+// Writer dumps an engine's registers each cycle.
+type Writer struct {
+	w     io.Writer
+	e     sim.Engine
+	ids   []string
+	last  []bits.Bits
+	begun bool
+	err   error
+}
+
+// New prepares a VCD writer over the engine's registers.
+func New(w io.Writer, e sim.Engine) *Writer {
+	d := e.Design()
+	vw := &Writer{w: w, e: e, ids: make([]string, len(d.Registers)), last: make([]bits.Bits, len(d.Registers))}
+	for i := range d.Registers {
+		vw.ids[i] = shortID(i)
+	}
+	return vw
+}
+
+// shortID produces the compact identifier codes VCD uses.
+func shortID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var sb strings.Builder
+	for {
+		sb.WriteByte(alphabet[i%len(alphabet)])
+		i /= len(alphabet)
+		if i == 0 {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func (vw *Writer) printf(format string, args ...any) {
+	if vw.err == nil {
+		_, vw.err = fmt.Fprintf(vw.w, format, args...)
+	}
+}
+
+// header emits the declaration section.
+func (vw *Writer) header() {
+	d := vw.e.Design()
+	vw.printf("$timescale 1ns $end\n$scope module %s $end\n", sanitize(d.Name))
+	for i, r := range d.Registers {
+		vw.printf("$var wire %d %s %s $end\n", r.Type.BitWidth(), vw.ids[i], sanitize(r.Name))
+	}
+	vw.printf("$upscope $end\n$enddefinitions $end\n")
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// Sample records the current register values at the engine's cycle,
+// emitting only changes (and everything on the first call).
+func (vw *Writer) Sample() error {
+	d := vw.e.Design()
+	if !vw.begun {
+		vw.header()
+		vw.begun = true
+		vw.printf("#%d\n$dumpvars\n", vw.e.CycleCount())
+		for i, r := range d.Registers {
+			v := vw.e.Reg(r.Name)
+			vw.last[i] = v
+			vw.emit(i, v)
+		}
+		vw.printf("$end\n")
+		return vw.err
+	}
+	vw.printf("#%d\n", vw.e.CycleCount())
+	for i, r := range d.Registers {
+		v := vw.e.Reg(r.Name)
+		if v != vw.last[i] {
+			vw.last[i] = v
+			vw.emit(i, v)
+		}
+	}
+	return vw.err
+}
+
+func (vw *Writer) emit(i int, v bits.Bits) {
+	if v.Width == 1 {
+		vw.printf("%d%s\n", v.Val, vw.ids[i])
+		return
+	}
+	vw.printf("b%b %s\n", v.Val, vw.ids[i])
+}
+
+// Trace runs the engine under the testbench for n cycles, sampling after
+// each, and returns the number of cycles executed.
+func Trace(w io.Writer, e sim.Engine, tb sim.Testbench, n uint64) (uint64, error) {
+	vw := New(w, e)
+	if err := vw.Sample(); err != nil {
+		return 0, err
+	}
+	if tb == nil {
+		tb = sim.NopBench{}
+	}
+	var i uint64
+	for ; i < n; i++ {
+		tb.BeforeCycle(e)
+		e.Cycle()
+		cont := tb.AfterCycle(e)
+		if err := vw.Sample(); err != nil {
+			return i + 1, err
+		}
+		if !cont {
+			return i + 1, nil
+		}
+	}
+	return i, nil
+}

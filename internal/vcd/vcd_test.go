@@ -1,0 +1,48 @@
+package vcd_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/stm"
+	"cuttlego/internal/vcd"
+)
+
+func TestTraceStructure(t *testing.T) {
+	d := stm.Collatz(6).MustCheck()
+	s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	var sb strings.Builder
+	n, err := vcd.Trace(&sb, s, nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("traced %d cycles", n)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module collatz", "$var wire 32", "$var wire 1",
+		"$enddefinitions", "$dumpvars", "#0", "#1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+}
+
+func TestOnlyChangesDumped(t *testing.T) {
+	d := stm.Collatz(1).MustCheck() // converges immediately; x stays 1
+	s := cuttlesim.MustNew(d, cuttlesim.DefaultOptions())
+	var sb strings.Builder
+	if _, err := vcd.Trace(&sb, s, nil, 6); err != nil {
+		t.Fatal(err)
+	}
+	// After convergence nothing changes, so later timestamps carry no
+	// value lines.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "#") {
+		t.Errorf("expected trailing quiet timestamps, got %q", last)
+	}
+}

@@ -1,0 +1,68 @@
+package verilog_test
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/testkit"
+	"cuttlego/internal/verilog"
+)
+
+func TestEmitStructure(t *testing.T) {
+	entry := testkit.Zoo()[1] // two-state machine
+	ckt, err := circuit.Compile(entry.Build().MustCheck(), circuit.StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := verilog.Emit(ckt)
+	for _, want := range []string{
+		"module stm(input wire CLK);",
+		"reg st",
+		"reg [31:0] x",
+		"always @(posedge CLK) begin",
+		"will_fire_rlA",
+		"will_fire_rlB",
+		"endmodule",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("emitted Verilog missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEmitAllZooDesigns(t *testing.T) {
+	for _, entry := range testkit.Zoo() {
+		for _, style := range []circuit.Style{circuit.StyleKoika, circuit.StyleBluespec} {
+			ckt, err := circuit.Compile(entry.Build().MustCheck(), style)
+			if err != nil {
+				t.Fatalf("%s: %v", entry.Name, err)
+			}
+			text := verilog.Emit(ckt)
+			if !strings.Contains(text, "endmodule") {
+				t.Errorf("%s/%v: truncated output", entry.Name, style)
+			}
+			if lc := verilog.LineCount(ckt); lc < 5 {
+				t.Errorf("%s/%v: implausible line count %d", entry.Name, style, lc)
+			}
+		}
+	}
+}
+
+func TestBluespecStyleIsSmaller(t *testing.T) {
+	// The static scheduler should produce no more Verilog than the dynamic
+	// one on a conflict-free design.
+	entry := testkit.Zoo()[0]
+	k, err := circuit.Compile(entry.Build().MustCheck(), circuit.StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := circuit.Compile(entry.Build().MustCheck(), circuit.StyleBluespec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verilog.LineCount(b) > verilog.LineCount(k) {
+		t.Errorf("bluespec style emitted more lines (%d) than koika style (%d)",
+			verilog.LineCount(b), verilog.LineCount(k))
+	}
+}

@@ -1,0 +1,182 @@
+// Package workload holds the benchmark programs and stimulus generators
+// the evaluation runs: the primes benchmark the paper drives its cores
+// with, a NOP stream for the performance-debugging case study, a
+// data-dependent arithmetic kernel, and input generators for the DSP
+// designs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cuttlego/internal/riscv"
+)
+
+// Primes returns an RV32I program counting primes below limit by trial
+// division (RV32I has no multiply/divide, so the remainder is computed by
+// repeated subtraction — the paper's "simple integer arithmetic benchmark"
+// niche). The count is stored to the tohost address, halting the machine.
+func Primes(limit uint32) []uint32 {
+	if limit > 2047 {
+		panic("workload: primes limit beyond addi range")
+	}
+	src := fmt.Sprintf(`
+        li   t0, 2           # candidate
+        li   t1, 0           # prime count
+        li   t2, %d          # limit
+outer:  bge  t0, t2, done
+        li   t3, 2           # divisor
+check:  bge  t3, t0, prime   # divisors exhausted: prime
+        mv   t4, t0          # t4 = candidate
+rem:    blt  t4, t3, remdone # t4 = candidate mod t3
+        sub  t4, t4, t3
+        j    rem
+remdone:
+        beq  t4, zero, notprime
+        addi t3, t3, 1
+        j    check
+prime:  addi t1, t1, 1
+notprime:
+        addi t0, t0, 1
+        j    outer
+done:   lui  t5, 0x40000    # tohost
+        sw   t1, 0(t5)
+halt:   j    halt
+`, limit)
+	return riscv.MustAssemble(src)
+}
+
+// PrimesExpected returns the number of primes below limit (for validating
+// core results against the golden model and known ground truth).
+func PrimesExpected(limit uint32) uint32 {
+	count := uint32(0)
+	for c := uint32(2); c < limit; c++ {
+		prime := true
+		for d := uint32(2); d < c; d++ {
+			if c%d == 0 {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			count++
+		}
+	}
+	return count
+}
+
+// Nops returns the Case Study 3 program: n NOPs followed by a tohost store
+// of the marker value 1. With the scoreboard-x0 bug present, back-to-back
+// NOPs (ADDI x0, x0, 0) stall on phantom x0 dependencies.
+func Nops(n int) []uint32 {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += "        nop\n"
+	}
+	src += `
+        li   t1, 1
+        lui  t5, 0x40000
+        sw   t1, 0(t5)
+halt:   j    halt
+`
+	return riscv.MustAssemble(src)
+}
+
+// DependentArith returns a kernel of back-to-back data-dependent additions
+// — the missing-bypass bottleneck Case Study 4's coverage run surfaces.
+func DependentArith(iters int) []uint32 {
+	if iters < 1 {
+		iters = 1
+	}
+	src := fmt.Sprintf(`
+        li   t0, %d
+        li   t1, 0
+loop:   addi t1, t1, 1      # each addi depends on the previous one
+        addi t1, t1, 2
+        addi t1, t1, 3
+        addi t1, t1, 4
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        lui  t5, 0x40000
+        sw   t1, 0(t5)
+halt:   j    halt
+`, iters)
+	return riscv.MustAssemble(src)
+}
+
+// BranchHeavy returns a kernel dominated by data-dependent branches, the
+// workload that separates the pc+4 predictor from the BTB+BHT design.
+func BranchHeavy(iters int) []uint32 {
+	src := fmt.Sprintf(`
+        li   t0, %d          # loop counter
+        li   t1, 0           # accumulator
+        li   t2, 0           # lfsr-ish state
+loop:   andi t3, t2, 1
+        beq  t3, zero, even
+        addi t1, t1, 3
+        j    join
+even:   addi t1, t1, 1
+join:   srli t4, t2, 1
+        andi t5, t2, 1
+        beq  t5, zero, noxor
+        xori t4, t4, 0x74
+noxor:  mv   t2, t4
+        addi t2, t2, 7
+        andi t2, t2, 255
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        lui  t6, 0x40000
+        sw   t1, 0(t6)
+halt:   j    halt
+`, iters)
+	return riscv.MustAssemble(src)
+}
+
+// MemSum returns a memory-heavy kernel: it writes n words to an array, then
+// sums them back with loads, exercising the store/load paths and the
+// testbench's memory plumbing.
+func MemSum(n int) []uint32 {
+	src := fmt.Sprintf(`
+        li   t0, %d          # element count
+        lui  t1, 1           # array base (0x1000, above the code)
+        li   t2, 0           # index
+fill:   slli t3, t2, 2
+        add  t3, t3, t1
+        addi t4, t2, 3       # value = index + 3
+        sw   t4, 0(t3)
+        addi t2, t2, 1
+        blt  t2, t0, fill
+        li   t2, 0
+        li   t5, 0           # sum
+sum:    slli t3, t2, 2
+        add  t3, t3, t1
+        lw   t4, 0(t3)
+        add  t5, t5, t4
+        addi t2, t2, 1
+        blt  t2, t0, sum
+        lui  t6, 0x40000
+        sw   t5, 0(t6)
+halt:   j    halt
+`, n)
+	return riscv.MustAssemble(src)
+}
+
+// MemSumExpected returns the value MemSum stores to tohost.
+func MemSumExpected(n int) uint32 {
+	var sum uint32
+	for i := 0; i < n; i++ {
+		sum += uint32(i) + 3
+	}
+	return sum
+}
+
+// FIRInput produces a deterministic pseudo-random sample stream for the FIR
+// design's testbench.
+func FIRInput(n int, seed int64) []uint32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(r.Intn(1 << 16))
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"cuttlego/internal/riscv"
+)
+
+func runToHalt(t *testing.T, prog []uint32, budget uint64) *riscv.Machine {
+	t.Helper()
+	mem := riscv.NewMemory()
+	mem.LoadWords(0, prog)
+	m := riscv.NewMachine(mem)
+	halted, err := m.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("program did not halt within budget")
+	}
+	return m
+}
+
+func TestPrimesProgram(t *testing.T) {
+	for _, limit := range []uint32{10, 50, 100} {
+		m := runToHalt(t, Primes(limit), 5_000_000)
+		if want := PrimesExpected(limit); m.ToHost != want {
+			t.Errorf("primes(%d) = %d, want %d", limit, m.ToHost, want)
+		}
+	}
+}
+
+func TestPrimesExpectedGroundTruth(t *testing.T) {
+	if got := PrimesExpected(50); got != 15 {
+		t.Errorf("primes below 50 = %d, want 15", got)
+	}
+	if got := PrimesExpected(100); got != 25 {
+		t.Errorf("primes below 100 = %d, want 25", got)
+	}
+}
+
+func TestNopsProgram(t *testing.T) {
+	m := runToHalt(t, Nops(100), 10_000)
+	if m.ToHost != 1 {
+		t.Errorf("tohost = %d", m.ToHost)
+	}
+	if m.Instret < 100 {
+		t.Errorf("instret = %d, want >= 100", m.Instret)
+	}
+}
+
+func TestDependentArith(t *testing.T) {
+	m := runToHalt(t, DependentArith(10), 10_000)
+	if want := uint32(10 * (1 + 2 + 3 + 4)); m.ToHost != want {
+		t.Errorf("tohost = %d, want %d", m.ToHost, want)
+	}
+}
+
+func TestBranchHeavy(t *testing.T) {
+	m := runToHalt(t, BranchHeavy(100), 100_000)
+	if m.ToHost == 0 {
+		t.Error("accumulator should be nonzero")
+	}
+}
+
+func TestFIRInputDeterministic(t *testing.T) {
+	a := FIRInput(16, 7)
+	b := FIRInput(16, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("FIR input not deterministic")
+		}
+		if a[i] >= 1<<16 {
+			t.Fatal("sample out of range")
+		}
+	}
+}
+
+func TestMemSum(t *testing.T) {
+	m := runToHalt(t, MemSum(40), 100_000)
+	if want := MemSumExpected(40); m.ToHost != want {
+		t.Errorf("memsum = %d, want %d", m.ToHost, want)
+	}
+}
