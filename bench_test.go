@@ -48,6 +48,7 @@ func BenchmarkFig1(b *testing.B) {
 	engines := []bench.Engine{
 		bench.EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure),
 		bench.EngRTL(circuit.StyleKoika, rtlsim.Closure),
+		bench.EngRTLOpt(circuit.StyleKoika, rtlsim.Fused, true),
 	}
 	for _, bm := range bench.Suite() {
 		for _, eng := range engines {
@@ -81,6 +82,8 @@ func BenchmarkFig3(b *testing.B) {
 		bench.EngCuttlesim(cuttlesim.LStatic, cuttlesim.Bytecode),
 		bench.EngRTL(circuit.StyleKoika, rtlsim.Closure),
 		bench.EngRTL(circuit.StyleKoika, rtlsim.Switch),
+		bench.EngRTL(circuit.StyleKoika, rtlsim.Fused),
+		bench.EngRTLOpt(circuit.StyleKoika, rtlsim.Fused, true),
 	}
 	for _, name := range []string{"rv32i", "fir"} {
 		bm, ok := bench.Lookup(name)

@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	cuttlesim [-engine cuttlesim|interp|rtl] [-level N] [-backend closure|bytecode]
+//	cuttlesim [-engine cuttlesim|interp|rtl|rtl-opt] [-level N] [-backend closure|bytecode]
 //	          [-cycles N] [-cover] [-vcd file] [-regs] <design>
+//
+// The rtl-opt engine runs the netlist through the netopt pipeline and the
+// fused rtlsim backend — the strengthened circuit-level configuration.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"cuttlego/internal/cover"
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/interp"
+	"cuttlego/internal/netopt"
 	"cuttlego/internal/rtlsim"
 	"cuttlego/internal/sim"
 	"cuttlego/internal/vcd"
@@ -25,7 +29,7 @@ import (
 
 func main() {
 	var (
-		engine  = flag.String("engine", "cuttlesim", "engine: cuttlesim, interp, or rtl")
+		engine  = flag.String("engine", "cuttlesim", "engine: cuttlesim, interp, rtl, or rtl-opt")
 		level   = flag.Int("level", int(cuttlesim.LStatic), "cuttlesim optimization level 0..6")
 		backend = flag.String("backend", "closure", "cuttlesim backend: closure or bytecode")
 		cycles  = flag.Uint64("cycles", 1000, "cycles to simulate")
@@ -74,12 +78,17 @@ func run(ref, engine string, level cuttlesim.Level, backendName string, cycles u
 		if err != nil {
 			return err
 		}
-	case "rtl":
+	case "rtl", "rtl-opt":
 		ckt, err := circuit.Compile(d, circuit.StyleKoika)
 		if err != nil {
 			return err
 		}
-		eng, err = rtlsim.New(ckt, rtlsim.Options{})
+		opts := rtlsim.Options{}
+		if engine == "rtl-opt" {
+			ckt = netopt.MustOptimize(ckt)
+			opts.Backend = rtlsim.Fused
+		}
+		eng, err = rtlsim.New(ckt, opts)
 		if err != nil {
 			return err
 		}

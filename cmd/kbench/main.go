@@ -3,11 +3,19 @@
 //
 // Usage:
 //
-//	kbench [-table1] [-fig1] [-fig2] [-fig3] [-ablation] [-all]
+//	kbench [-table1] [-fig1] [-fig2] [-fig3] [-ablation] [-verify] [-all]
 //	       [-cycles N] [-halt-budget N] [-full]
+//	       [-parallel N] [-fuzz N] [-fuzz-base S] [-json PATH]
 //
 // With no selection flags, -all is assumed. -full uses paper-scale budgets
 // (minutes); the default budgets finish in seconds.
+//
+// -parallel N runs the independent instances of the conformance matrix and
+// the scheduler fuzzer on an N-worker pool (0 = one per CPU). Results are
+// byte-identical to a sequential run: parallelism changes only wall-clock
+// time, never output. -json PATH additionally writes machine-readable
+// timings (design, engine, ns/cycle, cycles/sec) for the BENCH_*.json
+// performance trajectory.
 package main
 
 import (
@@ -26,9 +34,13 @@ func main() {
 		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
 		ablation = flag.Bool("ablation", false, "run the optimization-ladder ablations")
 		verify   = flag.Bool("verify", false, "run the cross-pipeline conformance matrix")
+		fuzzN    = flag.Int("fuzz", 0, "cross-check N random designs across all engines")
+		fuzzBase = flag.Int64("fuzz-base", 1000, "first random-design seed for -fuzz")
 		full     = flag.Bool("full", false, "use paper-scale budgets")
 		cycles   = flag.Uint64("cycles", 0, "override the timed window (cycles)")
 		haltB    = flag.Uint64("halt-budget", 0, "override the Table 1 run-to-completion budget")
+		parallel = flag.Int("parallel", 1, "worker pool size for independent instances (0 = one per CPU)")
+		jsonPath = flag.String("json", "", "also write machine-readable timings to this file")
 	)
 	flag.Parse()
 
@@ -59,9 +71,11 @@ func main() {
 			fmt.Println()
 			return bench.AblationStress(os.Stdout, opts)
 		}},
-		{*verify, func() error { return bench.Conformance(os.Stdout, 1000) }},
+		{*verify, func() error { return bench.Conformance(os.Stdout, 1000, *parallel) }},
 	}
-	any := false
+	// -fuzz and -json are explicit-only jobs: they never run under the
+	// implicit -all, so the default invocation's output is unchanged.
+	any := *fuzzN > 0 || *jsonPath != ""
 	for _, j := range jobs {
 		if j.sel {
 			any = true
@@ -75,5 +89,28 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if *fuzzN > 0 {
+		if err := bench.Fuzz(os.Stdout, *fuzzBase, *fuzzN, 64, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "kbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kbench:", err)
+			os.Exit(1)
+		}
+		werr := bench.WriteJSON(f, opts, *parallel)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "kbench:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"cuttlego/internal/circuit"
 	"cuttlego/internal/cppgen"
 	"cuttlego/internal/gomodel"
+	"cuttlego/internal/netopt"
 	"cuttlego/internal/verilog"
 )
 
@@ -92,9 +93,16 @@ func run(ref, emit, styleName string) error {
 		if err != nil {
 			return err
 		}
-		s := ckt.Stats()
-		fmt.Printf("design %s (%s style): %d nets (%d muxes, %d binops, %d consts, %d extcalls), %d registers\n",
-			d.Name, style, s.Nets, s.Muxes, s.Binops, s.Consts, s.ExtCalls, s.Registers)
+		res := netopt.Optimize(ckt, netopt.All())
+		fmt.Printf("design %s (%s style), %d registers\n", d.Name, style, res.Before.Registers)
+		fmt.Printf("  netlist:   %v\n", res.Before)
+		fmt.Printf("  optimized: %v\n", res.After)
+		removed := res.Before.Nets - res.After.Nets
+		pct := 0.0
+		if res.Before.Nets > 0 {
+			pct = 100 * float64(removed) / float64(res.Before.Nets)
+		}
+		fmt.Printf("  netopt removed %d nets (%.1f%%)\n", removed, pct)
 		fmt.Printf("koika source: %d lines; generated model: %s lines; generated verilog: %d lines\n",
 			d.Print().SLOC(), must(cppgen.LineCount(d)), verilog.LineCount(ckt))
 	default:

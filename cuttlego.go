@@ -31,6 +31,7 @@ import (
 	"cuttlego/internal/debug"
 	"cuttlego/internal/interp"
 	"cuttlego/internal/lang"
+	"cuttlego/internal/netopt"
 	"cuttlego/internal/rtlsim"
 	"cuttlego/internal/sim"
 	"cuttlego/internal/verilog"
@@ -86,9 +87,21 @@ func CompileCircuit(d *Design) (*Circuit, error) {
 	return circuit.Compile(d, circuit.StyleKoika)
 }
 
+// OptimizeCircuit runs the netlist optimization pipeline — constant
+// folding/propagation, common-subexpression coalescing, and dead-net
+// elimination — returning a fresh, cycle-equivalent circuit. Apply it
+// before NewRTLSim for an honestly optimized circuit-level baseline.
+func OptimizeCircuit(ckt *Circuit) *Circuit { return netopt.MustOptimize(ckt) }
+
 // NewRTLSim simulates a netlist cycle by cycle (the Verilator substitute).
 func NewRTLSim(ckt *Circuit) (Engine, error) {
 	return rtlsim.New(ckt, rtlsim.Options{})
+}
+
+// NewFusedRTLSim is NewRTLSim on the fused superop backend, the fastest
+// netlist execution engine.
+func NewFusedRTLSim(ckt *Circuit) (Engine, error) {
+	return rtlsim.New(ckt, rtlsim.Options{Backend: rtlsim.Fused})
 }
 
 // EmitVerilog renders a compiled circuit as Verilog.

@@ -49,6 +49,14 @@ func TestFacadeQuickstart(t *testing.T) {
 	if rtl.Reg("x") != s.Reg("x") {
 		t.Error("netlist pipeline disagrees")
 	}
+	fused, err := cuttlego.NewFusedRTLSim(cuttlego.OptimizeCircuit(ckt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuttlego.Run(fused, nil, 10)
+	if fused.Reg("x") != s.Reg("x") {
+		t.Error("optimized netlist pipeline disagrees")
+	}
 	if v := cuttlego.EmitVerilog(ckt); !strings.Contains(v, "module counter") {
 		t.Error("verilog emission broken")
 	}

@@ -3,6 +3,10 @@
 // performance, never for correctness, so the rv32i core must compute the
 // same architectural result under every rule order — only cycle counts may
 // change.
+//
+// The trials are independent, so they fan out over bench.RunParallel's
+// worker pool (one worker per CPU); the report is printed in trial order
+// and is byte-identical to a sequential run.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"log"
 	"math/rand"
 
+	"cuttlego/internal/bench"
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/riscv"
 	"cuttlego/internal/rvcore"
@@ -22,35 +27,56 @@ func main() {
 	fmt.Printf("primes(60) ground truth: %d\n\n", want)
 	fmt.Printf("%-36s %10s %10s %8s\n", "schedule", "tohost", "cycles", "IPC")
 
+	// Draw the schedule permutations up front so trial i's schedule does
+	// not depend on how many workers run (the rand stream is shared).
+	const trials = 10
 	r := rand.New(rand.NewSource(1))
-	for trial := 0; trial < 10; trial++ {
+	var perms [][]int
+	probe, _ := rvcore.Build(rvcore.RV32I(), riscv.NewMemory())
+	for trial := 0; trial < trials; trial++ {
+		perms = append(perms, r.Perm(len(probe.Schedule)))
+	}
+
+	type outcome struct {
+		line string
+		err  error
+	}
+	results := bench.RunParallel(trials, 0, func(trial int) outcome {
 		mem := riscv.NewMemory()
 		mem.LoadWords(0, prog)
 		d, core := rvcore.Build(rvcore.RV32I(), mem)
 		orig := append([]string(nil), d.Schedule...)
-		perm := r.Perm(len(orig))
-		for i, j := range perm {
+		for i, j := range perms[trial] {
 			d.Schedule[i] = orig[j]
 		}
 		if err := d.Check(); err != nil {
-			log.Fatal(err)
+			return outcome{err: err}
 		}
 		s, err := cuttlesim.New(d, cuttlesim.DefaultOptions())
 		if err != nil {
-			log.Fatal(err)
+			return outcome{err: err}
 		}
 		res, err := rvcore.RunProgram(s, rvcore.NewBench(core), 10_000_000)
 		if err != nil {
-			log.Fatalf("schedule %v: %v", d.Schedule, err)
+			return outcome{err: fmt.Errorf("schedule %v: %w", d.Schedule, err)}
 		}
 		status := "ok"
 		if res[0].ToHost != want {
 			status = "WRONG RESULT"
 		}
-		fmt.Printf("%-36v %10d %10d %8.3f  %s\n",
+		line := fmt.Sprintf("%-36v %10d %10d %8.3f  %s",
 			d.Schedule, res[0].ToHost, res[0].Cycles, res[0].IPC, status)
 		if res[0].ToHost != want {
-			log.Fatal("the design depends on its scheduler for functional correctness")
+			return outcome{line: line, err: fmt.Errorf("the design depends on its scheduler for functional correctness")}
+		}
+		return outcome{line: line}
+	})
+	for _, res := range results {
+		if res.line != "" {
+			fmt.Println(res.line)
+		}
+		if res.err != nil {
+			log.Fatal(res.err)
 		}
 	}
 	fmt.Println("\nall schedules agree on the architectural result; the design is")

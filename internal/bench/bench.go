@@ -19,6 +19,7 @@ import (
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/dsp"
 	"cuttlego/internal/interp"
+	"cuttlego/internal/netopt"
 	"cuttlego/internal/riscv"
 	"cuttlego/internal/rtlsim"
 	"cuttlego/internal/rvcore"
@@ -212,12 +213,27 @@ func EngCuttlesim(level cuttlesim.Level, backend cuttlesim.Backend) Engine {
 
 // EngRTL builds a circuit-level engine spec (the Verilator substitute).
 func EngRTL(style circuit.Style, backend rtlsim.Backend) Engine {
+	return EngRTLOpt(style, backend, false)
+}
+
+// EngRTLOpt builds a circuit-level engine spec, optionally running the
+// netopt pipeline (dead-net elimination, constant sweep, CSE) on the
+// netlist first. The optimized fused configuration is the strengthened
+// Verilator stand-in the honest Figure 1 comparison runs against.
+func EngRTLOpt(style circuit.Style, backend rtlsim.Backend, optimize bool) Engine {
+	name := fmt.Sprintf("rtlsim(%v,%v)", style, backend)
+	if optimize {
+		name = fmt.Sprintf("rtlsim(%v,%v,opt)", style, backend)
+	}
 	return Engine{
-		Name: fmt.Sprintf("rtlsim(%v,%v)", style, backend),
+		Name: name,
 		Make: func(inst Instance) (sim.Engine, error) {
 			ckt, err := circuit.Compile(inst.Design, style)
 			if err != nil {
 				return nil, err
+			}
+			if optimize {
+				ckt = netopt.MustOptimize(ckt)
 			}
 			return rtlsim.New(ckt, rtlsim.Options{Backend: backend})
 		},

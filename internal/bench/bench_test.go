@@ -74,8 +74,10 @@ func TestReportsRender(t *testing.T) {
 	if err := bench.Fig1(&sb, opts); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "speedup") {
-		t.Error("Fig1 malformed")
+	for _, want := range []string{"rtl-koika", "rtl-opt", "vs naive", "vs opt"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
 	}
 	sb.Reset()
 	if err := bench.Fig2(&sb, opts); err != nil {

@@ -1,0 +1,87 @@
+// Machine-readable benchmark output, so successive PRs can track a
+// BENCH_*.json performance trajectory instead of eyeballing table text.
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/rtlsim"
+)
+
+// JSONResult is one (design, engine) timing in the stable export schema.
+type JSONResult struct {
+	Design       string  `json:"design"`
+	Engine       string  `json:"engine"`
+	Cycles       uint64  `json:"cycles"`
+	NsPerCycle   float64 `json:"ns_per_cycle"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// JSONReport is the top-level export document.
+type JSONReport struct {
+	Schema  string       `json:"schema"`
+	Window  uint64       `json:"window_cycles"`
+	Results []JSONResult `json:"results"`
+}
+
+// jsonEngines is the engine set the JSON trajectory tracks: the paper's
+// two headline pipelines plus the strengthened (netopt + fused) baseline
+// and the switch interpreter as the floor.
+func jsonEngines() []Engine {
+	return []Engine{
+		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure),
+		EngRTL(circuit.StyleKoika, rtlsim.Closure),
+		EngRTL(circuit.StyleKoika, rtlsim.Switch),
+		EngRTLOpt(circuit.StyleKoika, rtlsim.Fused, true),
+	}
+}
+
+// WriteJSON measures every Table 1 benchmark against the tracked engine
+// set and writes the report as indented JSON. Measurements fan out over
+// the worker pool — timing one (design, engine) pair is independent of the
+// others, and each job gets a fresh instance. Wall-clock numbers under
+// contention are noisier than sequential ones; the schema records them
+// per-instance either way, and the output ordering is deterministic.
+func WriteJSON(w io.Writer, opts Options, workers int) error {
+	type cell struct {
+		bm  Benchmark
+		eng Engine
+	}
+	var cells []cell
+	for _, bm := range Suite() {
+		for _, eng := range jsonEngines() {
+			cells = append(cells, cell{bm, eng})
+		}
+	}
+	type outcome struct {
+		m   Measurement
+		err error
+	}
+	results := RunParallel(len(cells), workers, func(i int) outcome {
+		m, err := Measure(cells[i].bm, cells[i].eng, opts.Cycles)
+		return outcome{m, err}
+	})
+	rep := JSONReport{Schema: "cuttlego-bench/v1", Window: opts.Cycles}
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		ns := 0.0
+		if r.m.Cycles > 0 {
+			ns = float64(r.m.Elapsed.Nanoseconds()) / float64(r.m.Cycles)
+		}
+		rep.Results = append(rep.Results, JSONResult{
+			Design:       r.m.Benchmark,
+			Engine:       r.m.Engine,
+			Cycles:       r.m.Cycles,
+			NsPerCycle:   ns,
+			CyclesPerSec: r.m.CPS(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

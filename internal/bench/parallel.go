@@ -1,0 +1,153 @@
+// The parallel batch runner: independent benchmark instances and
+// scheduler-fuzz seeds execute concurrently on a worker pool, with results
+// collected in index order so the report output is byte-identical to a
+// sequential run. Every instance is freshly built inside its job (designs
+// and testbenches carry per-instance state), so jobs share nothing.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/testkit"
+)
+
+// Workers normalizes a worker-count flag: n < 1 means one worker per
+// available CPU (runtime.GOMAXPROCS), anything else is taken as given.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunParallel executes jobs 0..n-1 on a pool of the given size and returns
+// the results in index order. Determinism contract: the result slice
+// depends only on the jobs, never on scheduling; with workers == 1 the
+// jobs run sequentially in order on the calling goroutine.
+func RunParallel[T any](n, workers int, job func(i int) T) []T {
+	out := make([]T, n)
+	workers = Workers(workers)
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// fuzzEngines builds the engine matrix one fuzz seed is checked across:
+// the reference interpreter plus every simulation pipeline configuration,
+// including all three rtlsim backends on both raw and netopt-optimized
+// netlists.
+func fuzzEngines() []Engine {
+	engines := []Engine{
+		EngCuttlesim(cuttlesim.LNaive, cuttlesim.Closure),
+		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure),
+		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Bytecode),
+	}
+	for _, backend := range []rtlsim.Backend{rtlsim.Switch, rtlsim.Closure, rtlsim.Fused} {
+		for _, opt := range []bool{false, true} {
+			engines = append(engines, EngRTLOpt(circuit.StyleKoika, backend, opt))
+		}
+	}
+	return engines
+}
+
+// FuzzOne runs one randomized design (testkit.Random seed) across the full
+// engine matrix for n cycles in lockstep, returning the first divergence
+// from the reference interpreter (or nil).
+func FuzzOne(seed int64, cycles uint64) error {
+	build := func() *ast.Design { return testkit.Random(seed).MustCheck() }
+	ref, err := interp.New(build())
+	if err != nil {
+		return err
+	}
+	type pair struct {
+		name string
+		eng  sim.Engine
+	}
+	var others []pair
+	for _, spec := range fuzzEngines() {
+		e, err := spec.Make(Instance{Design: build()})
+		if err != nil {
+			return fmt.Errorf("seed %d: %s: %w", seed, spec.Name, err)
+		}
+		others = append(others, pair{spec.Name, e})
+	}
+	d := ref.Design()
+	for c := uint64(0); c < cycles; c++ {
+		ref.Cycle()
+		want := sim.StateOf(ref)
+		for _, p := range others {
+			p.eng.Cycle()
+			got := sim.StateOf(p.eng)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("seed %d cycle %d: %s reg %s = %v, interp has %v",
+						seed, c, p.name, d.Registers[i].Name, got[i], want[i])
+				}
+			}
+			for _, r := range d.Rules {
+				if p.eng.RuleFired(r.Name) != ref.RuleFired(r.Name) {
+					return fmt.Errorf("seed %d cycle %d: %s rule %s fired=%v, interp disagrees",
+						seed, c, p.name, r.Name, p.eng.RuleFired(r.Name))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Fuzz cross-checks count random designs (seeds base..base+count-1)
+// against the full engine matrix, fanning the seeds out over the worker
+// pool. Output is deterministic regardless of worker count.
+func Fuzz(w io.Writer, base int64, count int, cycles uint64, workers int) error {
+	fmt.Fprintf(w, "Scheduler fuzz: %d random designs x %d engines, %d cycles each\n\n",
+		count, len(fuzzEngines())+1, cycles)
+	errs := RunParallel(count, workers, func(i int) error {
+		return FuzzOne(base+int64(i), cycles)
+	})
+	failed := 0
+	for i, err := range errs {
+		verdict := "OK"
+		if err != nil {
+			verdict = err.Error()
+			failed++
+		}
+		fmt.Fprintf(w, "seed %-6d %s\n", base+int64(i), verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("fuzz: %d of %d seeds diverged", failed, count)
+	}
+	fmt.Fprintf(w, "\nall %d seeds agree with the reference interpreter\n", count)
+	return nil
+}

@@ -1,0 +1,88 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cuttlego/internal/bench"
+)
+
+func TestRunParallelOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got := bench.RunParallel(37, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if got := bench.RunParallel(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Errorf("n=0 returned %d results", len(got))
+	}
+}
+
+// The acceptance criterion for -parallel: per-instance results are
+// byte-identical to a sequential run, for every report that fans out.
+func TestParallelReportsDeterministic(t *testing.T) {
+	var seq, par strings.Builder
+	if err := bench.Conformance(&seq, 40, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Conformance(&par, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("Conformance output differs between 1 and 8 workers:\n--- seq\n%s\n--- par\n%s", seq.String(), par.String())
+	}
+
+	seq.Reset()
+	par.Reset()
+	if err := bench.Fuzz(&seq, 2000, 6, 24, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Fuzz(&par, 2000, 6, 24, 6); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("Fuzz output differs between 1 and 6 workers:\n--- seq\n%s\n--- par\n%s", seq.String(), par.String())
+	}
+}
+
+func TestFuzzCatchesDivergence(t *testing.T) {
+	// A healthy engine matrix: every seed must agree (this is the
+	// randomized-design equivalence sweep the optimizer passes ride on).
+	if err := bench.FuzzOne(4242, 48); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("times real work")
+	}
+	var sb strings.Builder
+	if err := bench.WriteJSON(&sb, bench.Options{Cycles: 500}, 0); err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.JSONReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != "cuttlego-bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Engine] = true
+		if r.NsPerCycle <= 0 || r.CyclesPerSec <= 0 {
+			t.Errorf("%s/%s: non-positive timing %+v", r.Design, r.Engine, r)
+		}
+	}
+	if !seen["rtlsim(koika,fused,opt)"] {
+		t.Errorf("strengthened baseline missing from JSON engines: %v", seen)
+	}
+}

@@ -149,7 +149,7 @@ func (b *builder) binop(op ast.Op, w int, x, y int) int {
 		if yv, ok2 := b.isConst(y); ok2 {
 			a := bits.Bits{Width: b.nets[x].W, Val: xv}
 			c := bits.Bits{Width: b.nets[y].W, Val: yv}
-			r := evalBinopBits(op, a, c)
+			r := EvalBinop(op, a, c)
 			return b.constant(r.Width, r.Val)
 		}
 	}
@@ -238,10 +238,11 @@ func (b *builder) unop(op ast.Op, w, lo, wid, x int) int {
 	return b.intern(Net{Kind: NUnop, W: w, Op: op, Lo: lo, Wid: wid, Args: []int{x}})
 }
 
-// evalBinopBits mirrors interp.EvalBinop without importing it (avoiding a
-// dependency cycle through testkit is not a concern, but keeping circuit
-// self-contained is).
-func evalBinopBits(op ast.Op, a, c bits.Bits) bits.Bits {
+// EvalBinop evaluates a binary operator over bit-vector values. It mirrors
+// interp's evaluator without importing it (keeping circuit self-contained)
+// and is exported for the netlist optimizer, which folds constant operands
+// with exactly the semantics the builder uses.
+func EvalBinop(op ast.Op, a, c bits.Bits) bits.Bits {
 	switch op {
 	case ast.OpAdd:
 		return a.Add(c)

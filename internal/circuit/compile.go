@@ -393,12 +393,15 @@ func StaticallyConflictFree(d *ast.Design) (bool, error) {
 	return true, nil
 }
 
-// Stats summarizes a netlist for reports (Table 1's artifact sizes).
+// Stats summarizes a netlist for reports (Table 1's artifact sizes) and for
+// quantifying what the netopt passes remove per design.
 type Stats struct {
 	Nets      int
 	Muxes     int
+	Unops     int
 	Binops    int
 	Consts    int
+	RegOuts   int
 	ExtCalls  int
 	Registers int
 }
@@ -410,15 +413,25 @@ func (c *Circuit) Stats() Stats {
 		switch n.Kind {
 		case NMux:
 			s.Muxes++
+		case NUnop:
+			s.Unops++
 		case NBinop:
 			s.Binops++
 		case NConst:
 			s.Consts++
+		case NRegOut:
+			s.RegOuts++
 		case NExt:
 			s.ExtCalls++
 		}
 	}
 	return s
+}
+
+// String renders the per-kind net counts compactly for -stats output.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d nets (%d muxes, %d unops, %d binops, %d consts, %d regouts, %d extcalls)",
+		s.Nets, s.Muxes, s.Unops, s.Binops, s.Consts, s.RegOuts, s.ExtCalls)
 }
 
 // SortedTouchedRegs is a test helper: registers with non-trivial next nets.

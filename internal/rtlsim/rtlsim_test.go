@@ -8,11 +8,15 @@ import (
 	"cuttlego/internal/bits"
 	"cuttlego/internal/circuit"
 	"cuttlego/internal/interp"
+	"cuttlego/internal/netopt"
 	"cuttlego/internal/rtlsim"
 	"cuttlego/internal/sim"
 	"cuttlego/internal/testkit"
 )
 
+// engines builds the cross-engine comparison set: the reference
+// interpreter plus every rtlsim backend on both the raw and the
+// netopt-optimized netlist, for each requested lowering style.
 func engines(t testing.TB, build func() *ast.Design, styles []circuit.Style) map[string]sim.Engine {
 	t.Helper()
 	out := make(map[string]sim.Engine)
@@ -22,16 +26,23 @@ func engines(t testing.TB, build func() *ast.Design, styles []circuit.Style) map
 	}
 	out["interp"] = ref
 	for _, style := range styles {
-		for _, backend := range []rtlsim.Backend{rtlsim.Switch, rtlsim.Closure} {
-			ckt, err := circuit.Compile(build().MustCheck(), style)
-			if err != nil {
-				t.Fatal(err)
+		for _, backend := range []rtlsim.Backend{rtlsim.Switch, rtlsim.Closure, rtlsim.Fused} {
+			for _, opt := range []bool{false, true} {
+				ckt, err := circuit.Compile(build().MustCheck(), style)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tag := "raw"
+				if opt {
+					ckt = netopt.MustOptimize(ckt)
+					tag = "opt"
+				}
+				s, err := rtlsim.New(ckt, rtlsim.Options{Backend: backend})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[fmt.Sprintf("rtlsim/%v/%v/%s", style, backend, tag)] = s
 			}
-			s, err := rtlsim.New(ckt, rtlsim.Options{Backend: backend})
-			if err != nil {
-				t.Fatal(err)
-			}
-			out[fmt.Sprintf("rtlsim/%v/%v", style, backend)] = s
 		}
 	}
 	return out
@@ -89,23 +100,77 @@ func TestExtCallCircuit(t *testing.T) {
 }
 
 func TestWillFireSignals(t *testing.T) {
-	d := ast.NewDesign("wf")
-	d.Reg("r", ast.Bits(8), 0)
-	d.Rule("a", ast.Wr0("r", ast.C(8, 1)))
-	d.Rule("b", ast.Wr0("r", ast.C(8, 2))) // always conflicts with a
-	d.MustCheck()
-	ckt, err := circuit.Compile(d, circuit.StyleKoika)
-	if err != nil {
-		t.Fatal(err)
+	for _, backend := range []rtlsim.Backend{rtlsim.Switch, rtlsim.Closure, rtlsim.Fused} {
+		for _, opt := range []bool{false, true} {
+			d := ast.NewDesign("wf")
+			d.Reg("r", ast.Bits(8), 0)
+			d.Rule("a", ast.Wr0("r", ast.C(8, 1)))
+			d.Rule("b", ast.Wr0("r", ast.C(8, 2))) // always conflicts with a
+			d.MustCheck()
+			ckt, err := circuit.Compile(d, circuit.StyleKoika)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt {
+				ckt = netopt.MustOptimize(ckt)
+			}
+			s := rtlsim.MustNew(ckt, rtlsim.Options{Backend: backend})
+			s.Cycle()
+			if !s.RuleFired("a") || s.RuleFired("b") {
+				t.Errorf("%v/opt=%v fired: a=%v b=%v, want true/false", backend, opt, s.RuleFired("a"), s.RuleFired("b"))
+			}
+			if got := s.Reg("r"); got != bits.New(8, 1) {
+				t.Errorf("%v/opt=%v r = %v", backend, opt, got)
+			}
+		}
 	}
-	s := rtlsim.MustNew(ckt, rtlsim.Options{})
-	s.Cycle()
-	if !s.RuleFired("a") || s.RuleFired("b") {
-		t.Errorf("fired: a=%v b=%v, want true/false", s.RuleFired("a"), s.RuleFired("b"))
+}
+
+// TestZeroAllocCycle pins the hot path: after construction, simulating a
+// cycle must not allocate on any backend, including designs with external
+// calls (whose argument buffers are preallocated per net and reused).
+func TestZeroAllocCycle(t *testing.T) {
+	build := func() *ast.Design {
+		d := ast.NewDesign("hot")
+		d.Reg("x", ast.Bits(8), 2)
+		d.Reg("y", ast.Bits(16), 5)
+		d.ExtFun("twist", []int{8}, ast.Bits(8), func(a []bits.Bits) bits.Bits {
+			return a[0].Mul(a[0]).Add(bits.New(8, 1))
+		})
+		d.Rule("r", ast.Wr0("x", ast.ExtCall("twist", ast.Rd0("x"))))
+		d.Rule("s", ast.Wr0("y", ast.Add(ast.Rd0("y"), ast.ZeroExtend(16, ast.Rd0("x")))))
+		return d
 	}
-	if got := s.Reg("r"); got != bits.New(8, 1) {
-		t.Errorf("r = %v", got)
+	for _, backend := range []rtlsim.Backend{rtlsim.Switch, rtlsim.Closure, rtlsim.Fused} {
+		ckt, err := circuit.Compile(build().MustCheck(), circuit.StyleKoika)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rtlsim.MustNew(netopt.MustOptimize(ckt), rtlsim.Options{Backend: backend})
+		s.Cycle() // warm up
+		if avg := testing.AllocsPerRun(100, s.Cycle); avg != 0 {
+			t.Errorf("backend %v: %v allocs/cycle, want 0", backend, avg)
+		}
 	}
+}
+
+// TestFusedSuperops checks that the fused decoder actually fuses: a design
+// whose rule guard is an equality feeding a mux, and whose scheduler emits
+// and-not chains, must simulate correctly through the superop paths.
+func TestFusedSuperops(t *testing.T) {
+	build := func() *ast.Design {
+		d := ast.NewDesign("superops")
+		d.Reg("st", ast.Bits(4), 0)
+		d.Reg("acc", ast.Bits(32), 1)
+		d.Rule("step",
+			ast.Wr0("st", ast.Add(ast.Rd0("st"), ast.C(4, 1))),
+			ast.Wr0("acc", ast.If(ast.Eq(ast.Rd0("st"), ast.C(4, 7)),
+				ast.Mul(ast.Rd0("acc"), ast.C(32, 3)),
+				ast.Add(ast.Rd0("acc"), ast.C(32, 5)))))
+		d.Rule("spoil", ast.Wr0("st", ast.C(4, 9))) // conflicts with step
+		return d
+	}
+	testkit.Compare(t, engines(t, build, []circuit.Style{circuit.StyleKoika}), 64, nil)
 }
 
 func TestSnapshotRestore(t *testing.T) {

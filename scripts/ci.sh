@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, vet, build, the full test suite, and a short
+# benchmark smoke pass (100 iterations per Figure 1 cell — enough to catch
+# an engine that crashes or hangs under the bench harness, not a timing
+# gate). Run from anywhere; it cds to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== bench smoke (Fig1, 100x)"
+go test -run='^$' -bench=Fig1 -benchtime=100x .
+
+echo "CI OK"
