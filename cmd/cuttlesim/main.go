@@ -5,19 +5,24 @@
 // Usage:
 //
 //	cuttlesim [-engine cuttlesim|interp|rtl|rtl-opt] [-level N] [-backend closure|bytecode]
-//	          [-cycles N] [-cover] [-vcd file] [-regs] <design>
+//	          [-cycles N] [-timeout D] [-maxerrors N] [-cover] [-vcd file] [-regs] <design>
 //
 // The rtl-opt engine runs the netlist through the netopt pipeline and the
 // fused rtlsim backend — the strengthened circuit-level configuration.
+//
+// Exit codes: 0 on success, 1 when the input is at fault (including a run
+// stopped by -timeout), 2 on an internal toolchain error.
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"cuttlego/internal/bench"
 	"cuttlego/internal/circuit"
+	"cuttlego/internal/cli"
 	"cuttlego/internal/cover"
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/interp"
@@ -28,30 +33,31 @@ import (
 )
 
 func main() {
+	fs := cli.Flags("cuttlesim")
 	var (
-		engine  = flag.String("engine", "cuttlesim", "engine: cuttlesim, interp, rtl, or rtl-opt")
-		level   = flag.Int("level", int(cuttlesim.LStatic), "cuttlesim optimization level 0..6")
-		backend = flag.String("backend", "closure", "cuttlesim backend: closure or bytecode")
-		cycles  = flag.Uint64("cycles", 1000, "cycles to simulate")
-		covFlag = flag.Bool("cover", false, "print a Gcov-style annotated listing")
-		profile = flag.Bool("profile", false, "print per-rule attempt/commit statistics")
-		vcdPath = flag.String("vcd", "", "write a VCD waveform to this file")
-		regs    = flag.Bool("regs", true, "print final register values")
+		engine    = fs.String("engine", "cuttlesim", "engine: cuttlesim, interp, rtl, or rtl-opt")
+		level     = fs.Int("level", int(cuttlesim.LStatic), "cuttlesim optimization level 0..6")
+		backend   = fs.String("backend", "closure", "cuttlesim backend: closure or bytecode")
+		cycles    = fs.Uint64("cycles", 1000, "cycles to simulate")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")
+		maxErrors = fs.Int("maxerrors", 0, "cap on reported frontend errors (0 = default, -1 = unlimited)")
+		covFlag   = fs.Bool("cover", false, "print a Gcov-style annotated listing")
+		profile   = fs.Bool("profile", false, "print per-rule attempt/commit statistics")
+		vcdPath   = fs.String("vcd", "", "write a VCD waveform to this file")
+		regs      = fs.Bool("regs", true, "print final register values")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: cuttlesim [flags] <design>\ncatalogued designs: %v\n", bench.Names())
-		os.Exit(2)
+	cli.Parse(fs, os.Args[1:])
+	if fs.NArg() != 1 {
+		cli.Usage("usage: cuttlesim [flags] <design>\ncatalogued designs: %v\n", bench.Names())
 	}
-	if err := run(flag.Arg(0), *engine, cuttlesim.Level(*level), *backend, *cycles, *covFlag, *profile, *vcdPath, *regs); err != nil {
-		fmt.Fprintln(os.Stderr, "cuttlesim:", err)
-		os.Exit(1)
+	if err := run(fs.Arg(0), *engine, cuttlesim.Level(*level), *backend, *cycles, *timeout, *maxErrors, *covFlag, *profile, *vcdPath, *regs); err != nil {
+		cli.Fail("cuttlesim", err)
 	}
 }
 
 func run(ref, engine string, level cuttlesim.Level, backendName string, cycles uint64,
-	coverage, profile bool, vcdPath string, printRegs bool) error {
-	inst, err := bench.Load(ref)
+	timeout time.Duration, maxErrors int, coverage, profile bool, vcdPath string, printRegs bool) error {
+	inst, err := bench.LoadWith(ref, bench.LoadOpts{MaxErrors: maxErrors})
 	if err != nil {
 		return err
 	}
@@ -99,6 +105,12 @@ func run(ref, engine string, level cuttlesim.Level, backendName string, cycles u
 		return fmt.Errorf("-cover requires the cuttlesim engine")
 	}
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	if vcdPath != "" {
 		f, err := os.Create(vcdPath)
 		if err != nil {
@@ -111,7 +123,10 @@ func run(ref, engine string, level cuttlesim.Level, backendName string, cycles u
 		}
 		fmt.Printf("simulated %d cycles into %s\n", n, vcdPath)
 	} else {
-		n := sim.Run(eng, inst.Bench, cycles)
+		n, err := sim.RunContext(ctx, eng, inst.Bench, cycles)
+		if err != nil {
+			return fmt.Errorf("simulation stopped after %d of %d cycles: %w", n, cycles, err)
+		}
 		fmt.Printf("simulated %d cycles of %s on %s\n", n, d.Name, engine)
 	}
 

@@ -6,36 +6,54 @@ import (
 	"testing"
 
 	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/diag"
+	"time"
 )
 
 func TestRunEngines(t *testing.T) {
 	for _, engine := range []string{"cuttlesim", "interp", "rtl"} {
-		if err := run("collatz", engine, cuttlesim.LStatic, "closure", 50, false, false, "", true); err != nil {
+		if err := run("collatz", engine, cuttlesim.LStatic, "closure", 50, 0, 0, false, false, "", true); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
-	if err := run("collatz", "cuttlesim", cuttlesim.LNaive, "bytecode", 50, false, false, "", false); err != nil {
+	if err := run("collatz", "cuttlesim", cuttlesim.LNaive, "bytecode", 50, 0, 0, false, false, "", false); err != nil {
 		t.Errorf("bytecode backend: %v", err)
 	}
 }
 
 func TestRunInstrumented(t *testing.T) {
-	if err := run("collatz", "cuttlesim", cuttlesim.LStatic, "closure", 50, true, true, "", false); err != nil {
+	if err := run("collatz", "cuttlesim", cuttlesim.LStatic, "closure", 50, 0, 0, true, true, "", false); err != nil {
 		t.Errorf("coverage+profile: %v", err)
 	}
 	vcdPath := filepath.Join(t.TempDir(), "out.vcd")
-	if err := run("collatz", "cuttlesim", cuttlesim.LStatic, "closure", 20, false, false, vcdPath, false); err != nil {
+	if err := run("collatz", "cuttlesim", cuttlesim.LStatic, "closure", 20, 0, 0, false, false, vcdPath, false); err != nil {
 		t.Errorf("vcd: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("collatz", "warp-drive", cuttlesim.LStatic, "closure", 1, false, false, "", false); err == nil ||
+	if err := run("collatz", "warp-drive", cuttlesim.LStatic, "closure", 1, 0, 0, false, false, "", false); err == nil ||
 		!strings.Contains(err.Error(), "unknown engine") {
 		t.Errorf("err = %v", err)
 	}
-	if err := run("collatz", "interp", cuttlesim.LStatic, "closure", 1, true, false, "", false); err == nil ||
+	if err := run("collatz", "interp", cuttlesim.LStatic, "closure", 1, 0, 0, true, false, "", false); err == nil ||
 		!strings.Contains(err.Error(), "requires the cuttlesim engine") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestRunTimeout is the cycle-budget acceptance check: an effectively
+// unbounded simulation must terminate cleanly under -timeout, report how
+// far it got, and map to exit code 1 rather than hanging or crashing.
+func TestRunTimeout(t *testing.T) {
+	err := run("collatz", "cuttlesim", cuttlesim.LStatic, "closure", 1<<62, time.Millisecond, 0, false, false, "", false)
+	if err == nil {
+		t.Fatal("a 2^62-cycle run finished within 1ms")
+	}
+	if !strings.Contains(err.Error(), "simulation stopped after") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if code := diag.ExitCode(err); code != diag.ExitInput {
+		t.Fatalf("exit code %d, want %d: %v", code, diag.ExitInput, err)
 	}
 }

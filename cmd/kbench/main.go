@@ -5,7 +5,7 @@
 //
 //	kbench [-table1] [-fig1] [-fig2] [-fig3] [-ablation] [-verify] [-all]
 //	       [-cycles N] [-halt-budget N] [-full]
-//	       [-parallel N] [-fuzz N] [-fuzz-base S] [-json PATH]
+//	       [-parallel N] [-timeout D] [-fuzz N] [-fuzz-base S] [-json PATH]
 //
 // With no selection flags, -all is assumed. -full uses paper-scale budgets
 // (minutes); the default budgets finish in seconds.
@@ -15,34 +15,52 @@
 // byte-identical to a sequential run: parallelism changes only wall-clock
 // time, never output. -json PATH additionally writes machine-readable
 // timings (design, engine, ns/cycle, cycles/sec) for the BENCH_*.json
-// performance trajectory.
+// performance trajectory. -timeout D bounds the fuzz and JSON stages: a run
+// over budget stops dispatching work, reports what completed (the JSON file
+// stays valid, marked incomplete), and exits 1.
+//
+// Exit codes: 0 on success, 1 on input errors, divergences, or timeout,
+// 2 on an internal toolchain error.
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
 
 	"cuttlego/internal/bench"
+	"cuttlego/internal/cli"
 )
 
 func main() {
+	fs := cli.Flags("kbench")
 	var (
-		table1   = flag.Bool("table1", false, "regenerate Table 1")
-		fig1     = flag.Bool("fig1", false, "regenerate Figure 1")
-		fig2     = flag.Bool("fig2", false, "regenerate Figure 2")
-		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
-		ablation = flag.Bool("ablation", false, "run the optimization-ladder ablations")
-		verify   = flag.Bool("verify", false, "run the cross-pipeline conformance matrix")
-		fuzzN    = flag.Int("fuzz", 0, "cross-check N random designs across all engines")
-		fuzzBase = flag.Int64("fuzz-base", 1000, "first random-design seed for -fuzz")
-		full     = flag.Bool("full", false, "use paper-scale budgets")
-		cycles   = flag.Uint64("cycles", 0, "override the timed window (cycles)")
-		haltB    = flag.Uint64("halt-budget", 0, "override the Table 1 run-to-completion budget")
-		parallel = flag.Int("parallel", 1, "worker pool size for independent instances (0 = one per CPU)")
-		jsonPath = flag.String("json", "", "also write machine-readable timings to this file")
+		table1   = fs.Bool("table1", false, "regenerate Table 1")
+		fig1     = fs.Bool("fig1", false, "regenerate Figure 1")
+		fig2     = fs.Bool("fig2", false, "regenerate Figure 2")
+		fig3     = fs.Bool("fig3", false, "regenerate Figure 3")
+		ablation = fs.Bool("ablation", false, "run the optimization-ladder ablations")
+		verify   = fs.Bool("verify", false, "run the cross-pipeline conformance matrix")
+		fuzzN    = fs.Int("fuzz", 0, "cross-check N random designs across all engines")
+		fuzzBase = fs.Int64("fuzz-base", 1000, "first random-design seed for -fuzz")
+		full     = fs.Bool("full", false, "use paper-scale budgets")
+		cycles   = fs.Uint64("cycles", 0, "override the timed window (cycles)")
+		haltB    = fs.Uint64("halt-budget", 0, "override the Table 1 run-to-completion budget")
+		parallel = fs.Int("parallel", 1, "worker pool size for independent instances (0 = one per CPU)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the fuzz and JSON stages (0 = none)")
+		jsonPath = fs.String("json", "", "also write machine-readable timings to this file")
 	)
-	flag.Parse()
+	cli.Parse(fs, os.Args[1:])
+	if fs.NArg() != 0 {
+		cli.Usage("usage: kbench [flags]; run kbench -h for the flag list\n")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opts := bench.Options{Cycles: 200_000, HaltBudget: 5_000_000}
 	if *full {
@@ -84,32 +102,29 @@ func main() {
 	for _, j := range jobs {
 		if !any || j.sel {
 			if err := j.run(); err != nil {
-				fmt.Fprintln(os.Stderr, "kbench:", err)
-				os.Exit(1)
+				cli.Fail("kbench", err)
 			}
 			fmt.Println()
 		}
 	}
 	if *fuzzN > 0 {
-		if err := bench.Fuzz(os.Stdout, *fuzzBase, *fuzzN, 64, *parallel); err != nil {
-			fmt.Fprintln(os.Stderr, "kbench:", err)
-			os.Exit(1)
+		if err := bench.FuzzCtx(ctx, os.Stdout, *fuzzBase, *fuzzN, 64, *parallel); err != nil {
+			cli.Fail("kbench", err)
 		}
 		fmt.Println()
 	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kbench:", err)
-			os.Exit(1)
+			cli.Fail("kbench", err)
 		}
-		werr := bench.WriteJSON(f, opts, *parallel)
+		werr := bench.WriteJSONCtx(ctx, f, opts, *parallel)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintln(os.Stderr, "kbench:", werr)
-			os.Exit(1)
+			// The report file on disk is still valid JSON, marked incomplete.
+			cli.Fail("kbench", fmt.Errorf("%s is partial: %w", *jsonPath, werr))
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}

@@ -31,23 +31,24 @@ import (
 	"strings"
 
 	"cuttlego/internal/bench"
+	"cuttlego/internal/cli"
 	"cuttlego/internal/debug"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintf(os.Stderr, "usage: kdbg <design>\ncatalogued designs: %v\n", bench.Names())
-		os.Exit(2)
+	fs := cli.Flags("kdbg")
+	maxErrors := fs.Int("maxerrors", 0, "cap on reported frontend errors (0 = default, -1 = unlimited)")
+	cli.Parse(fs, os.Args[1:])
+	if fs.NArg() != 1 {
+		cli.Usage("usage: kdbg [-maxerrors N] <design>\ncatalogued designs: %v\n", bench.Names())
 	}
-	inst, err := bench.Load(os.Args[1])
+	inst, err := bench.LoadWith(fs.Arg(0), bench.LoadOpts{MaxErrors: *maxErrors})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kdbg:", err)
-		os.Exit(1)
+		cli.Fail("kdbg", err)
 	}
 	dbg, err := debug.New(inst.Design, inst.Bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kdbg:", err)
-		os.Exit(1)
+		cli.Fail("kdbg", err)
 	}
 	fmt.Printf("kdbg: debugging %s (%d registers, %d rules). Type 'help'.\n",
 		inst.Design.Name, len(inst.Design.Registers), len(inst.Design.Rules))

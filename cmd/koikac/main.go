@@ -6,17 +6,22 @@
 //
 // Usage:
 //
-//	koikac -emit listing|model|verilog|analysis|stats [-style koika|bluespec] <design>
+//	koikac -emit listing|model|verilog|analysis|stats [-style koika|bluespec]
+//	       [-maxerrors N] [-maxnets N] <design>
+//
+// Exit codes: 0 on success, 1 when the input is at fault (parse or type
+// errors, unknown designs, resource limits, bad flags), 2 when the
+// toolchain itself is (an internal error).
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
 	"cuttlego/internal/analysis"
 	"cuttlego/internal/bench"
 	"cuttlego/internal/circuit"
+	"cuttlego/internal/cli"
 	"cuttlego/internal/cppgen"
 	"cuttlego/internal/gomodel"
 	"cuttlego/internal/netopt"
@@ -24,21 +29,22 @@ import (
 )
 
 func main() {
-	emit := flag.String("emit", "listing", "artifact: listing, model, gomodel, verilog, analysis, stats")
-	styleName := flag.String("style", "koika", "verilog scheduling style: koika or bluespec")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: koikac [-emit kind] [-style s] <design>\ncatalogued designs: %v\n", bench.Names())
-		os.Exit(2)
+	fs := cli.Flags("koikac")
+	emit := fs.String("emit", "listing", "artifact: listing, model, gomodel, verilog, analysis, stats")
+	styleName := fs.String("style", "koika", "verilog scheduling style: koika or bluespec")
+	maxErrors := fs.Int("maxerrors", 0, "cap on reported frontend errors (0 = default, -1 = unlimited)")
+	maxNets := fs.Int("maxnets", circuit.DefaultMaxNets, "netlist budget for circuit compilation (0 = unlimited)")
+	cli.Parse(fs, os.Args[1:])
+	if fs.NArg() != 1 {
+		cli.Usage("usage: koikac [-emit kind] [-style s] [-maxerrors N] [-maxnets N] <design>\ncatalogued designs: %v\n", bench.Names())
 	}
-	if err := run(flag.Arg(0), *emit, *styleName); err != nil {
-		fmt.Fprintln(os.Stderr, "koikac:", err)
-		os.Exit(1)
+	if err := run(fs.Arg(0), *emit, *styleName, *maxErrors, *maxNets); err != nil {
+		cli.Fail("koikac", err)
 	}
 }
 
-func run(ref, emit, styleName string) error {
-	inst, err := bench.Load(ref)
+func run(ref, emit, styleName string, maxErrors, maxNets int) error {
+	inst, err := bench.LoadWith(ref, bench.LoadOpts{MaxErrors: maxErrors})
 	if err != nil {
 		return err
 	}
@@ -66,7 +72,7 @@ func run(ref, emit, styleName string) error {
 		}
 		fmt.Print(text)
 	case "verilog":
-		ckt, err := circuit.Compile(d, style)
+		ckt, err := circuit.CompileWithLimit(d, style, maxNets)
 		if err != nil {
 			return err
 		}
@@ -89,7 +95,7 @@ func run(ref, emit, styleName string) error {
 			fmt.Printf("%-28s %-8v %-8v %d regs\n", r.Name, info.MayFail, info.MustFail, len(info.Footprint))
 		}
 	case "stats":
-		ckt, err := circuit.Compile(d, style)
+		ckt, err := circuit.CompileWithLimit(d, style, maxNets)
 		if err != nil {
 			return err
 		}

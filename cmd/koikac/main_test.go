@@ -1,17 +1,20 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"cuttlego/internal/diag"
 )
 
 func TestRunArtifacts(t *testing.T) {
 	for _, emit := range []string{"listing", "model", "gomodel", "verilog", "analysis", "stats"} {
-		if err := run("collatz", emit, "koika"); err != nil {
+		if err := run("collatz", emit, "koika", 0, 0); err != nil {
 			t.Errorf("emit %s: %v", emit, err)
 		}
 	}
-	if err := run("rv32i", "verilog", "bluespec"); err != nil {
+	if err := run("rv32i", "verilog", "bluespec", 0, 0); err != nil {
 		t.Errorf("bluespec style: %v", err)
 	}
 }
@@ -27,9 +30,48 @@ func TestRunErrors(t *testing.T) {
 		{"rv32i", "gomodel", "koika", "external functions"},
 	}
 	for _, c := range cases {
-		err := run(c.ref, c.emit, c.style)
+		err := run(c.ref, c.emit, c.style, 0, 0)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("run(%s, %s, %s) error = %v, want substring %q", c.ref, c.emit, c.style, err, c.want)
 		}
+	}
+}
+
+// TestBadExamplesExitInput drives every malformed design under examples/bad
+// through the compiler and checks the exit-code contract: each must fail
+// with at least one position-carrying diagnostic and map to exit code 1
+// (bad input), never 2 (internal error).
+func TestBadExamplesExitInput(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "bad", "*.koika"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no examples/bad corpus: %v", err)
+	}
+	for _, f := range files {
+		err := run(f, "listing", "koika", 0, 0)
+		if err == nil {
+			t.Errorf("%s: compiled cleanly, want diagnostics", f)
+			continue
+		}
+		if code := diag.ExitCode(err); code != diag.ExitInput {
+			t.Errorf("%s: exit code %d, want %d (error: %v)", f, code, diag.ExitInput, err)
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("%s: diagnostic lacks a source position: %v", f, err)
+		}
+	}
+}
+
+// TestNetBudgetExitInput checks that a design tripping the netlist budget is
+// rejected as a user error (exit 1) with an actionable message.
+func TestNetBudgetExitInput(t *testing.T) {
+	err := run("rv32i", "stats", "koika", 0, 10)
+	if err == nil {
+		t.Fatal("rv32i fit in a 10-net budget")
+	}
+	if code := diag.ExitCode(err); code != diag.ExitInput {
+		t.Fatalf("exit code %d, want %d: %v", code, diag.ExitInput, err)
+	}
+	if !strings.Contains(err.Error(), "netlist budget") {
+		t.Fatalf("unexpected message: %v", err)
 	}
 }

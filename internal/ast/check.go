@@ -4,7 +4,14 @@ import (
 	"fmt"
 
 	"cuttlego/internal/bits"
+	"cuttlego/internal/diag"
 )
+
+// MaxCheckDepth bounds expression nesting during type checking. The textual
+// frontend caps nesting far lower; this guard protects the checker's own
+// recursion against pathological programmatically-built designs, for which
+// Go offers no recoverable stack-overflow handling.
+const MaxCheckDepth = 10000
 
 // Check validates the design and annotates it for the downstream pipelines:
 // names are resolved, every node receives a result width (Node.W) and a
@@ -12,44 +19,54 @@ import (
 // debugger), and the schedule is checked against the rule set. Check is
 // idempotent in effect but must only be called once per Design because node
 // IDs are assigned in place.
-func (d *Design) Check() error {
+//
+// Check accumulates: a failure in one rule does not hide failures in later
+// rules. The returned error is a *diag.List (or nil); each diagnostic
+// carries the source position of its node when the design came from text.
+func (d *Design) Check() (err error) {
+	defer diag.Guard("ast: check design", &err)
 	if d.checked {
 		return nil
 	}
+	diags := diag.NewList(0)
 	d.regIdx = make(map[string]int, len(d.Registers))
 	for i, r := range d.Registers {
 		if _, dup := d.regIdx[r.Name]; dup {
-			return fmt.Errorf("duplicate register %q", r.Name)
+			diags.Errorf(diag.Pos{}, "duplicate register %q", r.Name)
+			continue
 		}
 		if r.Init.Width != r.Type.BitWidth() {
-			return fmt.Errorf("register %q: init width %d != type width %d", r.Name, r.Init.Width, r.Type.BitWidth())
+			diags.Errorf(diag.Pos{}, "register %q: init width %d != type width %d", r.Name, r.Init.Width, r.Type.BitWidth())
 		}
 		d.regIdx[r.Name] = i
 	}
 	d.extIdx = make(map[string]int, len(d.ExtFuns))
 	for i, f := range d.ExtFuns {
 		if _, dup := d.extIdx[f.Name]; dup {
-			return fmt.Errorf("duplicate extfun %q", f.Name)
+			diags.Errorf(diag.Pos{}, "duplicate extfun %q", f.Name)
+			continue
 		}
 		if f.Fn == nil {
-			return fmt.Errorf("extfun %q has no implementation", f.Name)
+			diags.Errorf(diag.Pos{}, "extfun %q has no implementation", f.Name)
 		}
 		d.extIdx[f.Name] = i
 	}
 	d.ruleIdx = make(map[string]int, len(d.Rules))
 	for i, r := range d.Rules {
 		if _, dup := d.ruleIdx[r.Name]; dup {
-			return fmt.Errorf("duplicate rule %q", r.Name)
+			diags.Errorf(diag.Pos{}, "duplicate rule %q", r.Name)
+			continue
 		}
 		d.ruleIdx[r.Name] = i
 	}
 	inSched := make(map[string]bool, len(d.Schedule))
 	for _, name := range d.Schedule {
 		if _, ok := d.ruleIdx[name]; !ok {
-			return fmt.Errorf("schedule mentions unknown rule %q", name)
+			diags.Errorf(diag.Pos{}, "schedule mentions unknown rule %q", name)
+			continue
 		}
 		if inSched[name] {
-			return fmt.Errorf("rule %q scheduled twice", name)
+			diags.Errorf(diag.Pos{}, "rule %q scheduled twice", name)
 		}
 		inSched[name] = true
 	}
@@ -57,19 +74,33 @@ func (d *Design) Check() error {
 	for i := range d.Rules {
 		r := &d.Rules[i]
 		if r.Body == nil {
-			return fmt.Errorf("rule %q has no body", r.Name)
+			diags.Errorf(diag.Pos{}, "rule %q has no body", r.Name)
+			continue
 		}
-		_, _, err := ck.check(r.Body, nil)
-		if err != nil {
-			return fmt.Errorf("rule %q: %w", r.Name, err)
+		if _, _, err := ck.check(r.Body, nil); err != nil {
+			diags.AddError(inRule(r.Name, err))
+			continue
 		}
 		if r.Body.W != 0 {
-			return fmt.Errorf("rule %q: body yields %d-bit value; rules must be unit-valued", r.Name, r.Body.W)
+			diags.Errorf(r.Body.Pos, "rule %q: body yields %d-bit value; rules must be unit-valued", r.Name, r.Body.W)
 		}
+	}
+	if err := diags.Err(); err != nil {
+		return err
 	}
 	d.NodeCount = ck.nextID
 	d.checked = true
 	return nil
+}
+
+// inRule prefixes a checker error with its rule's name, preserving the
+// position when the error is a diagnostic.
+func inRule(rule string, err error) error {
+	if dg, ok := err.(*diag.Diagnostic); ok {
+		dg.Msg = fmt.Sprintf("rule %q: %s", rule, dg.Msg)
+		return dg
+	}
+	return fmt.Errorf("rule %q: %w", rule, err)
 }
 
 type binding struct {
@@ -81,6 +112,7 @@ type binding struct {
 type checker struct {
 	d      *Design
 	nextID int
+	depth  int
 	seen   map[*Node]bool
 }
 
@@ -100,15 +132,20 @@ func (c *checker) check(n *Node, env []binding) (int, Type, error) {
 	if n == nil {
 		return 0, nil, fmt.Errorf("nil node")
 	}
+	if c.depth >= MaxCheckDepth {
+		return 0, nil, diag.Errorf(n.Pos, "expression nesting deeper than %d levels; simplify the design", MaxCheckDepth)
+	}
+	c.depth++
+	defer func() { c.depth-- }()
 	if c.seen[n] {
-		return 0, nil, fmt.Errorf("node %v is used twice in the design; build a fresh node per use", n.Kind)
+		return 0, nil, diag.Errorf(n.Pos, "node %v is used twice in the design; build a fresh node per use", n.Kind)
 	}
 	c.seen[n] = true
 	n.ID = c.nextID
 	c.nextID++
 
 	fail := func(format string, args ...any) (int, Type, error) {
-		return 0, nil, fmt.Errorf("%v: %s", n.Kind, fmt.Sprintf(format, args...))
+		return 0, nil, diag.Errorf(n.Pos, "%v: %s", n.Kind, fmt.Sprintf(format, args...))
 	}
 	setW := func(w int, ty Type) (int, Type, error) {
 		n.W = w
@@ -303,7 +340,10 @@ func (c *checker) check(n *Node, env []binding) (int, Type, error) {
 		if !ok {
 			return fail("field access %q on non-struct value", n.Name)
 		}
-		f := st.Field(n.Name)
+		f, ok := st.FieldByName(n.Name)
+		if !ok {
+			return fail("struct %s has no field %q", st.Name, n.Name)
+		}
 		n.Ty = f.Type
 		n.Lo = st.Offset(n.Name)
 		n.Wid = f.Type.BitWidth()
@@ -319,7 +359,10 @@ func (c *checker) check(n *Node, env []binding) (int, Type, error) {
 		if !ok {
 			return fail("field update %q on non-struct value", n.Name)
 		}
-		f := st.Field(n.Name)
+		f, ok := st.FieldByName(n.Name)
+		if !ok {
+			return fail("struct %s has no field %q", st.Name, n.Name)
+		}
 		vw, _, err := c.check(n.B, env)
 		if err != nil {
 			return 0, nil, err

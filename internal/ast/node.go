@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cuttlego/internal/bits"
+	"cuttlego/internal/diag"
 )
 
 // Port selects which of a register's two read/write ports an operation
@@ -93,10 +94,13 @@ func (o Op) String() string { return opNames[o] }
 //
 // ID and W are assigned by Design.Check: ID is a dense per-design index
 // used by coverage counters and the debugger; W is the node's result width.
+// Pos is set by the textual frontend (and stays zero for programmatically
+// built designs); the checker uses it to locate type errors in the source.
 type Node struct {
 	Kind Kind
 	ID   int
 	W    int
+	Pos  diag.Pos
 
 	A, B, C *Node
 	Items   []*Node

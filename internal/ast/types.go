@@ -87,7 +87,9 @@ func (t *EnumType) Format(v bits.Bits) string {
 	return fmt.Sprintf("%s::<invalid %d>", t.Name, v.Val)
 }
 
-// Value returns the packed value of the named member.
+// Value returns the packed value of the named member. The member must
+// exist (HasMember); unknown members are an invariant violation, which the
+// textual frontend pre-checks so user typos surface as diagnostics.
 func (t *EnumType) Value(member string) bits.Bits {
 	for i, m := range t.Members {
 		if m == member {
@@ -95,6 +97,16 @@ func (t *EnumType) Value(member string) bits.Bits {
 		}
 	}
 	panic(fmt.Sprintf("ast: enum %s has no member %q", t.Name, member))
+}
+
+// HasMember reports whether the enum declares the named member.
+func (t *EnumType) HasMember(member string) bool {
+	for _, m := range t.Members {
+		if m == member {
+			return true
+		}
+	}
+	return false
 }
 
 // StructField is one field of a packed struct.
@@ -146,14 +158,25 @@ func (t *StructType) Offset(name string) int {
 	return lo
 }
 
-// Field returns the named field's descriptor.
+// Field returns the named field's descriptor. The field must exist
+// (FieldByName); the checker verifies field names before any consumer
+// calls Field, so a miss here is an invariant violation.
 func (t *StructType) Field(name string) StructField {
+	f, ok := t.FieldByName(name)
+	if !ok {
+		panic(fmt.Sprintf("ast: struct %s has no field %q", t.Name, name))
+	}
+	return f
+}
+
+// FieldByName returns the named field and whether the struct declares it.
+func (t *StructType) FieldByName(name string) (StructField, bool) {
 	for _, f := range t.Fields {
 		if f.Name == name {
-			return f
+			return f, true
 		}
 	}
-	panic(fmt.Sprintf("ast: struct %s has no field %q", t.Name, name))
+	return StructField{}, false
 }
 
 // Format implements Type, rendering each field by name (the struct-aware

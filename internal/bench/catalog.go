@@ -55,10 +55,22 @@ func Names() []string {
 	return out
 }
 
+// LoadOpts configures Load's textual frontend.
+type LoadOpts struct {
+	// MaxErrors caps parser diagnostics (0 = frontend default, <0 =
+	// unlimited); the CLIs expose it as -maxerrors.
+	MaxErrors int
+}
+
 // Load resolves a design reference for the command-line tools: a catalogue
 // name, or a path to a .koika source file parsed by the textual frontend
 // (external functions must not be required, since no host bindings exist).
 func Load(ref string) (Instance, error) {
+	return LoadWith(ref, LoadOpts{})
+}
+
+// LoadWith is Load with frontend options.
+func LoadWith(ref string, opts LoadOpts) (Instance, error) {
 	if bm, ok := Lookup(ref); ok {
 		return bm.New(), nil
 	}
@@ -67,7 +79,7 @@ func Load(ref string) (Instance, error) {
 		return Instance{}, fmt.Errorf("%q is neither a catalogued design (%v) nor a readable file: %w",
 			ref, Names(), err)
 	}
-	d, err := lang.Parse(string(src))
+	d, err := lang.ParseOpts(string(src), lang.Options{MaxErrors: opts.MaxErrors})
 	if err != nil {
 		return Instance{}, err
 	}

@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+// FuzzLockstep is the native-fuzzing face of the lockstep checker: the
+// fuzzer picks a generator seed and cycle count, and every engine in the
+// matrix must agree with the reference interpreter cycle-for-cycle. Any
+// divergence or panic across the interpreter, cuttlesim, and the rtlsim
+// backends is a bug. Cycle counts are capped to keep individual execs fast.
+func FuzzLockstep(f *testing.F) {
+	f.Add(int64(1), uint64(8))
+	f.Add(int64(42), uint64(16))
+	f.Add(int64(1234), uint64(3))
+	f.Fuzz(func(t *testing.T, seed int64, cycles uint64) {
+		if err := FuzzOne(seed, cycles%64+1); err != nil {
+			t.Fatalf("engines diverged: %v", err)
+		}
+	})
+}

@@ -3,6 +3,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
@@ -12,19 +13,25 @@ import (
 )
 
 // JSONResult is one (design, engine) timing in the stable export schema.
+// A run that failed or was cancelled keeps its slot with Error set and
+// zeroed timings, so consumers always see the full (design, engine) grid.
 type JSONResult struct {
 	Design       string  `json:"design"`
 	Engine       string  `json:"engine"`
 	Cycles       uint64  `json:"cycles"`
 	NsPerCycle   float64 `json:"ns_per_cycle"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // JSONReport is the top-level export document.
 type JSONReport struct {
-	Schema  string       `json:"schema"`
-	Window  uint64       `json:"window_cycles"`
-	Results []JSONResult `json:"results"`
+	Schema string `json:"schema"`
+	Window uint64 `json:"window_cycles"`
+	// Incomplete marks a report whose runs were cut short (timeout,
+	// interrupt) or failed; the per-result Error fields say which.
+	Incomplete bool         `json:"incomplete,omitempty"`
+	Results    []JSONResult `json:"results"`
 }
 
 // jsonEngines is the engine set the JSON trajectory tracks: the paper's
@@ -46,6 +53,16 @@ func jsonEngines() []Engine {
 // contention are noisier than sequential ones; the schema records them
 // per-instance either way, and the output ordering is deterministic.
 func WriteJSON(w io.Writer, opts Options, workers int) error {
+	return WriteJSONCtx(context.Background(), w, opts, workers)
+}
+
+// WriteJSONCtx is WriteJSON under a context. The report is always written
+// and always valid JSON: a failed run keeps its slot with its error, runs
+// never dispatched because ctx was cancelled are marked "not run", and the
+// report carries incomplete=true. The first failure (or the cancellation
+// cause) is returned after the report has been encoded, so callers can
+// exit nonzero without losing the partial results.
+func WriteJSONCtx(ctx context.Context, w io.Writer, opts Options, workers int) error {
 	type cell struct {
 		bm  Benchmark
 		eng Engine
@@ -60,28 +77,46 @@ func WriteJSON(w io.Writer, opts Options, workers int) error {
 		m   Measurement
 		err error
 	}
-	results := RunParallel(len(cells), workers, func(i int) outcome {
+	results, ran := RunParallelCtx(ctx, len(cells), workers, func(i int) outcome {
 		m, err := Measure(cells[i].bm, cells[i].eng, opts.Cycles)
 		return outcome{m, err}
 	})
+	ranSet := make([]bool, len(cells))
+	for _, i := range ran {
+		ranSet[i] = true
+	}
 	rep := JSONReport{Schema: "cuttlego-bench/v1", Window: opts.Cycles}
-	for _, r := range results {
-		if r.err != nil {
-			return r.err
+	var firstErr error
+	for i, r := range results {
+		jr := JSONResult{Design: cells[i].bm.Name, Engine: cells[i].eng.Name}
+		switch {
+		case !ranSet[i]:
+			jr.Error = "not run: cancelled"
+			rep.Incomplete = true
+		case r.err != nil:
+			jr.Error = r.err.Error()
+			rep.Incomplete = true
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		default:
+			ns := 0.0
+			if r.m.Cycles > 0 {
+				ns = float64(r.m.Elapsed.Nanoseconds()) / float64(r.m.Cycles)
+			}
+			jr.Cycles = r.m.Cycles
+			jr.NsPerCycle = ns
+			jr.CyclesPerSec = r.m.CPS()
 		}
-		ns := 0.0
-		if r.m.Cycles > 0 {
-			ns = float64(r.m.Elapsed.Nanoseconds()) / float64(r.m.Cycles)
-		}
-		rep.Results = append(rep.Results, JSONResult{
-			Design:       r.m.Benchmark,
-			Engine:       r.m.Engine,
-			Cycles:       r.m.Cycles,
-			NsPerCycle:   ns,
-			CyclesPerSec: r.m.CPS(),
-		})
+		rep.Results = append(rep.Results, jr)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
 }

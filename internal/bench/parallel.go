@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -34,34 +35,60 @@ func Workers(n int) int {
 // depends only on the jobs, never on scheduling; with workers == 1 the
 // jobs run sequentially in order on the calling goroutine.
 func RunParallel[T any](n, workers int, job func(i int) T) []T {
-	out := make([]T, n)
+	out, _ := RunParallelCtx(context.Background(), n, workers, job)
+	return out
+}
+
+// RunParallelCtx is RunParallel under a context: once ctx is cancelled no
+// further jobs are dispatched (in-flight jobs finish; jobs wanting earlier
+// cancellation must watch ctx themselves). It returns the results gathered
+// so far — slots of undispatched jobs hold T's zero value — plus the set of
+// job indices that actually ran, in ascending order.
+func RunParallelCtx[T any](ctx context.Context, n, workers int, job func(i int) T) (out []T, ran []int) {
+	out = make([]T, n)
+	done := make([]bool, n)
 	workers = Workers(workers)
 	if workers == 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = job(i)
-		}
-		return out
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = job(i)
+			if ctx.Err() != nil {
+				break
 			}
-		}()
+			out[i] = job(i)
+			done[i] = true
+		}
+	} else {
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i] = job(i)
+					done[i] = true
+				}
+			}()
+		}
+	dispatch:
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(next)
+		wg.Wait()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	for i, ok := range done {
+		if ok {
+			ran = append(ran, i)
+		}
 	}
-	close(next)
-	wg.Wait()
-	return out
+	return out, ran
 }
 
 // fuzzEngines builds the engine matrix one fuzz seed is checked across:
@@ -131,22 +158,32 @@ func FuzzOne(seed int64, cycles uint64) error {
 // against the full engine matrix, fanning the seeds out over the worker
 // pool. Output is deterministic regardless of worker count.
 func Fuzz(w io.Writer, base int64, count int, cycles uint64, workers int) error {
+	return FuzzCtx(context.Background(), w, base, count, cycles, workers)
+}
+
+// FuzzCtx is Fuzz under a context: cancellation stops dispatching further
+// seeds, the seeds already checked are reported, and the cancellation cause
+// is returned so the run still ends with a truthful verdict.
+func FuzzCtx(ctx context.Context, w io.Writer, base int64, count int, cycles uint64, workers int) error {
 	fmt.Fprintf(w, "Scheduler fuzz: %d random designs x %d engines, %d cycles each\n\n",
 		count, len(fuzzEngines())+1, cycles)
-	errs := RunParallel(count, workers, func(i int) error {
+	errs, ran := RunParallelCtx(ctx, count, workers, func(i int) error {
 		return FuzzOne(base+int64(i), cycles)
 	})
 	failed := 0
-	for i, err := range errs {
+	for _, i := range ran {
 		verdict := "OK"
-		if err != nil {
-			verdict = err.Error()
+		if errs[i] != nil {
+			verdict = errs[i].Error()
 			failed++
 		}
 		fmt.Fprintf(w, "seed %-6d %s\n", base+int64(i), verdict)
 	}
 	if failed > 0 {
-		return fmt.Errorf("fuzz: %d of %d seeds diverged", failed, count)
+		return fmt.Errorf("fuzz: %d of %d seeds diverged", failed, len(ran))
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("fuzz stopped after %d of %d seeds: %w", len(ran), count, err)
 	}
 	fmt.Fprintf(w, "\nall %d seeds agree with the reference interpreter\n", count)
 	return nil

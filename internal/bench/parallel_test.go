@@ -1,7 +1,9 @@
 package bench_test
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -84,5 +86,66 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !seen["rtlsim(koika,fused,opt)"] {
 		t.Errorf("strengthened baseline missing from JSON engines: %v", seen)
+	}
+}
+
+func TestRunParallelCtxCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		out, ran := bench.RunParallelCtx(ctx, 25, workers, func(i int) int { return i + 100 })
+		if len(out) != 25 {
+			t.Fatalf("workers=%d: out has %d slots, want the full 25", workers, len(out))
+		}
+		if len(ran) == 25 {
+			t.Fatalf("workers=%d: all jobs ran despite pre-cancelled context", workers)
+		}
+		ranSet := map[int]bool{}
+		for i, idx := range ran {
+			if i > 0 && ran[i-1] >= idx {
+				t.Fatalf("workers=%d: ran indices not ascending: %v", workers, ran)
+			}
+			ranSet[idx] = true
+		}
+		for i, v := range out {
+			if ranSet[i] && v != i+100 {
+				t.Errorf("workers=%d: ran job %d has wrong result %d", workers, i, v)
+			}
+			if !ranSet[i] && v != 0 {
+				t.Errorf("workers=%d: skipped job %d has non-zero result %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// The satellite acceptance check: a cancelled JSON export still writes a
+// well-formed document covering the full grid, with the skipped cells
+// marked, and reports the cancellation to the caller.
+func TestWriteJSONCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := bench.WriteJSONCtx(ctx, &sb, bench.Options{Cycles: 100}, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var rep bench.JSONReport
+	if uerr := json.Unmarshal([]byte(sb.String()), &rep); uerr != nil {
+		t.Fatalf("partial report is not valid JSON: %v\n%s", uerr, sb.String())
+	}
+	if !rep.Incomplete {
+		t.Error("report not marked incomplete")
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("cancelled report dropped the grid")
+	}
+	marked := 0
+	for _, r := range rep.Results {
+		if r.Error == "not run: cancelled" {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Errorf("no results marked as not run: %+v", rep.Results)
 	}
 }

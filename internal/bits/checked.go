@@ -1,0 +1,29 @@
+package bits
+
+import "fmt"
+
+// The operators in this package treat width agreement as an invariant, not
+// an input condition: widths are static properties of a checked design, so
+// every mismatch is a bug in the caller and panics (see check, Mask). The
+// Try variants below are for the one caller class that cannot statically
+// discharge the invariant — interpreters evaluating node trees whose widths
+// were stamped by a separate checker pass. They return errors the caller
+// can turn into tagged internal-error reports instead of bare panics.
+
+// TryConcat is Concat with the width invariant checked: it returns an error
+// instead of panicking when the result would exceed MaxWidth.
+func (b Bits) TryConcat(o Bits) (Bits, error) {
+	if b.Width+o.Width > MaxWidth {
+		return Bits{}, fmt.Errorf("concat of %d and %d bits exceeds %d", b.Width, o.Width, MaxWidth)
+	}
+	return b.Concat(o), nil
+}
+
+// TryExtract is Slice with the bounds invariant checked: it returns an
+// error instead of panicking when [lo, lo+w) falls outside the vector.
+func (b Bits) TryExtract(lo, w int) (Bits, error) {
+	if lo < 0 || w < 0 || lo+w > b.Width {
+		return Bits{}, fmt.Errorf("extract [%d +%d) out of %d-bit vector", lo, w, b.Width)
+	}
+	return b.Slice(lo, w), nil
+}

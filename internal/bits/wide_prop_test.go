@@ -1,0 +1,106 @@
+package bits
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// The Wide operations are property-tested against math/big: for random
+// operands, every op must agree with the corresponding big.Int computation
+// reduced modulo 2^width. big.Int is the independent oracle — it shares no
+// limb-handling code with Wide.
+
+func randWide(rng *rand.Rand, w int) Wide {
+	limbs := make([]uint64, wideLimbs(w))
+	for i := range limbs {
+		limbs[i] = rng.Uint64()
+	}
+	return NewWide(w, limbs...)
+}
+
+func modWidth(x *big.Int, w int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	return new(big.Int).Mod(x, m)
+}
+
+func TestWidePropertiesVsBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	widths := []int{1, 3, 63, 64, 65, 127, 128, 129, 200, 512}
+	binops := []struct {
+		name string
+		wide func(a, b Wide) Wide
+		big  func(a, b *big.Int) *big.Int
+	}{
+		{"add", Wide.Add, func(a, b *big.Int) *big.Int { return new(big.Int).Add(a, b) }},
+		{"and", Wide.And, func(a, b *big.Int) *big.Int { return new(big.Int).And(a, b) }},
+		{"or", Wide.Or, func(a, b *big.Int) *big.Int { return new(big.Int).Or(a, b) }},
+		{"xor", Wide.Xor, func(a, b *big.Int) *big.Int { return new(big.Int).Xor(a, b) }},
+	}
+	for _, w := range widths {
+		for trial := 0; trial < 50; trial++ {
+			a, b := randWide(rng, w), randWide(rng, w)
+			ab, bb := a.Big(), b.Big()
+			for _, op := range binops {
+				got := op.wide(a, b).Big()
+				want := modWidth(op.big(ab, bb), w)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("w=%d %s(%v, %v) = %v, big says %v", w, op.name, a, b, got, want)
+				}
+			}
+			// Not: ^a == 2^w - 1 - a.
+			notWant := modWidth(new(big.Int).Sub(new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(w)), big.NewInt(1)), ab), w)
+			if got := a.Not().Big(); got.Cmp(notWant) != 0 {
+				t.Fatalf("w=%d not(%v) = %v, big says %v", w, a, got, notWant)
+			}
+		}
+	}
+}
+
+func TestWideConcatSliceVsBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		wa, wb := 1+rng.Intn(200), 1+rng.Intn(200)
+		a, b := randWide(rng, wa), randWide(rng, wb)
+		// Concat puts a in the high bits: value = a*2^wb + b.
+		cat := a.Concat(b)
+		if cat.Width() != wa+wb {
+			t.Fatalf("concat width = %d, want %d", cat.Width(), wa+wb)
+		}
+		want := new(big.Int).Add(new(big.Int).Lsh(a.Big(), uint(wb)), b.Big())
+		if got := cat.Big(); got.Cmp(want) != 0 {
+			t.Fatalf("concat(%v, %v) = %v, big says %v", a, b, got, want)
+		}
+		// Slice [lo, lo+w) = (value >> lo) mod 2^w.
+		lo := rng.Intn(cat.Width())
+		w := 1 + rng.Intn(cat.Width()-lo)
+		sl := cat.Slice(lo, w)
+		wantSl := modWidth(new(big.Int).Rsh(want, uint(lo)), w)
+		if got := sl.Big(); got.Cmp(wantSl) != 0 {
+			t.Fatalf("slice(%v, %d, %d) = %v, big says %v", cat, lo, w, got, wantSl)
+		}
+		// Round-trips: big -> Wide -> big and slicing the whole vector.
+		if back := WideFromBig(cat.Width(), want); !back.Equal(cat) {
+			t.Fatalf("WideFromBig round-trip: %v != %v", back, cat)
+		}
+		if whole := cat.Slice(0, cat.Width()); !whole.Equal(cat) {
+			t.Fatalf("identity slice changed value: %v != %v", whole, cat)
+		}
+	}
+}
+
+func TestTryVariants(t *testing.T) {
+	a, b := New(40, 1), New(40, 2)
+	if _, err := a.TryConcat(b); err == nil {
+		t.Error("TryConcat over MaxWidth: want error")
+	}
+	if v, err := New(8, 0xab).TryConcat(New(8, 0xcd)); err != nil || v != New(16, 0xabcd) {
+		t.Errorf("TryConcat = %v, %v", v, err)
+	}
+	if _, err := a.TryExtract(33, 8); err == nil {
+		t.Error("TryExtract out of range: want error")
+	}
+	if v, err := New(16, 0xabcd).TryExtract(8, 8); err != nil || v != New(8, 0xab) {
+		t.Errorf("TryExtract = %v, %v", v, err)
+	}
+}

@@ -85,17 +85,21 @@ type Circuit struct {
 
 // builder constructs hash-consed nets with peephole simplification.
 type builder struct {
-	nets  []Net
-	memo  map[string]int
-	d     *ast.Design
-	an    *analysis.Result
-	style Style
+	nets    []Net
+	memo    map[string]int
+	d       *ast.Design
+	an      *analysis.Result
+	style   Style
+	maxNets int // 0 or negative: unlimited
 }
 
 func (b *builder) intern(n Net) int {
 	key := fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d|%d|%v", n.Kind, n.W, n.Op, n.Lo, n.Wid, n.Val, n.Reg, n.Ext, n.Args)
 	if i, ok := b.memo[key]; ok {
 		return i
+	}
+	if b.maxNets > 0 && len(b.nets) >= b.maxNets {
+		panic(netLimitError{limit: b.maxNets})
 	}
 	i := len(b.nets)
 	b.nets = append(b.nets, n)

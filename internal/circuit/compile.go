@@ -6,6 +6,7 @@ import (
 
 	"cuttlego/internal/analysis"
 	"cuttlego/internal/ast"
+	"cuttlego/internal/diag"
 )
 
 // logEntry holds the netlist signals of one register's entry in a log:
@@ -274,9 +275,39 @@ func mask(w int) uint64 {
 	return uint64(1)<<uint(w) - 1
 }
 
+// DefaultMaxNets is the net budget Compile applies: far above any realistic
+// design, low enough that a pathological one (deeply nested branches whose
+// logs multiply) fails with a clean diagnostic instead of exhausting memory.
+const DefaultMaxNets = 4_000_000
+
+// netLimitError is the sentinel the builder panics with when the net budget
+// is exhausted; CompileWithLimit recovers it into a user-facing diagnostic.
+// It is a panic rather than a threaded error because intern sits under every
+// constructor and the budget check is exceptional by design.
+type netLimitError struct{ limit int }
+
 // Compile lowers a checked design to a combinational netlist in the given
-// style.
+// style, under the default net budget.
 func Compile(d *ast.Design, style Style) (*Circuit, error) {
+	return CompileWithLimit(d, style, DefaultMaxNets)
+}
+
+// CompileWithLimit is Compile with an explicit net budget. maxNets <= 0
+// means unlimited. A design exceeding the budget returns an input error
+// (exit code 1), not an internal one: the limit exists to reject designs,
+// not to hide compiler bugs.
+func CompileWithLimit(d *ast.Design, style Style, maxNets int) (_ *Circuit, err error) {
+	defer diag.Guard("circuit: compile", &err)
+	defer func() {
+		if r := recover(); r != nil {
+			nl, ok := r.(netLimitError)
+			if !ok {
+				panic(r) // re-panic so Guard reports it as internal
+			}
+			err = diag.Errorf(diag.Pos{},
+				"design %q exceeds the netlist budget: more than %d nets (raise with -maxnets)", d.Name, nl.limit)
+		}
+	}()
 	if !d.Checked() {
 		return nil, fmt.Errorf("circuit: design %q is not checked", d.Name)
 	}
@@ -284,7 +315,7 @@ func Compile(d *ast.Design, style Style) (*Circuit, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &builder{memo: make(map[string]int), d: d, an: an, style: style}
+	b := &builder{memo: make(map[string]int), d: d, an: an, style: style, maxNets: maxNets}
 	sched := d.ScheduledRules()
 
 	var conflicts [][]bool

@@ -1,0 +1,49 @@
+// Package cli centralizes what the four command-line tools share: the
+// exit-code contract (0 success, 1 input error, 2 internal error), stderr
+// error reporting, and flag-set construction whose usage errors count as
+// input errors rather than Go's default os.Exit(2).
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlego/internal/diag"
+)
+
+// Fail prints err to stderr prefixed with the tool name and exits with the
+// toolchain contract code: 1 for anything the user can fix (bad input, bad
+// flags, a design over a resource limit), 2 for *diag.Internal toolchain
+// bugs.
+func Fail(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(diag.ExitCode(err))
+}
+
+// Flags returns a flag set for the tool that reports parse errors itself
+// (ContinueOnError); call Parse to handle the exit.
+func Flags(tool string) *flag.FlagSet {
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// Parse parses args, exiting 1 (input error) on a bad command line and 0 on
+// -h/-help, matching the contract instead of flag's default exit 2.
+func Parse(fs *flag.FlagSet, args []string) {
+	switch err := fs.Parse(args); err {
+	case nil:
+	case flag.ErrHelp:
+		os.Exit(diag.ExitOK)
+	default:
+		os.Exit(diag.ExitInput)
+	}
+}
+
+// Usage prints a usage line to stderr and exits 1: a wrong command line is
+// an input error.
+func Usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format, args...)
+	os.Exit(diag.ExitInput)
+}

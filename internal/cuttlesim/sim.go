@@ -6,6 +6,7 @@ import (
 	"cuttlego/internal/analysis"
 	"cuttlego/internal/ast"
 	"cuttlego/internal/bits"
+	"cuttlego/internal/diag"
 	"cuttlego/internal/sim"
 )
 
@@ -27,7 +28,8 @@ var _ sim.Engine = (*Simulator)(nil)
 var _ sim.Snapshotter = (*Simulator)(nil)
 
 // New compiles a checked design into a simulator.
-func New(d *ast.Design, opts Options) (*Simulator, error) {
+func New(d *ast.Design, opts Options) (_ *Simulator, err error) {
+	defer diag.Guard("cuttlesim: compile simulator", &err)
 	if !d.Checked() {
 		return nil, fmt.Errorf("cuttlesim: design %q is not checked", d.Name)
 	}

@@ -1,0 +1,269 @@
+// Package diag is the toolchain's error-reporting vocabulary: structured,
+// position-carrying diagnostics with severities and notes, a multi-error
+// accumulator with a configurable cap, and source-snippet rendering with a
+// caret under the offending column.
+//
+// The package also draws the line the rest of the module follows between
+// user-facing errors and internal invariants (in the style of Fe-Si's
+// trusted/untrusted split):
+//
+//   - Anything a user can provoke with input — malformed source, a type
+//     error, a design exceeding a resource limit — is reported as a
+//     Diagnostic (or a List of them) and maps to process exit code 1.
+//   - panic is reserved for broken internal invariants ("the checker said
+//     this cannot happen"). Every public Compile/Typecheck/Run entry point
+//     installs a Guard recover boundary that converts an escaped panic into
+//     an *Internal error, which maps to exit code 2 — so a toolchain bug
+//     surfaces as a clean error message, never a bare Go stack trace.
+package diag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities, most severe first.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevNote
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevWarning:
+		return "warning"
+	case SevNote:
+		return "note"
+	default:
+		return "error"
+	}
+}
+
+// Pos is a 1-based source position. The zero Pos means "no position" (the
+// diagnostic concerns the input as a whole, or arose from a programmatic
+// design with no source text).
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether p names an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("line %d:%d", p.Line, p.Col) }
+
+// Note is a secondary location or remark attached to a diagnostic.
+type Note struct {
+	Pos Pos
+	Msg string
+}
+
+// Diagnostic is one user-facing finding. It implements error so single
+// diagnostics flow through ordinary error returns.
+type Diagnostic struct {
+	Severity Severity
+	Pos      Pos
+	Msg      string
+	Notes    []Note
+}
+
+// Errorf builds an error-severity diagnostic at pos.
+func Errorf(pos Pos, format string, args ...any) *Diagnostic {
+	return &Diagnostic{Severity: SevError, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Warningf builds a warning-severity diagnostic at pos.
+func Warningf(pos Pos, format string, args ...any) *Diagnostic {
+	return &Diagnostic{Severity: SevWarning, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// WithNote returns d with an attached note.
+func (d *Diagnostic) WithNote(pos Pos, format string, args ...any) *Diagnostic {
+	d.Notes = append(d.Notes, Note{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	return d
+}
+
+// Error renders the diagnostic without source context:
+// "line 3:7: unknown type "nosuch"".
+func (d *Diagnostic) Error() string {
+	var b strings.Builder
+	d.write(&b, "")
+	return b.String()
+}
+
+func (d *Diagnostic) write(b *strings.Builder, src string) {
+	if d.Pos.IsValid() {
+		fmt.Fprintf(b, "%s: ", d.Pos)
+	}
+	if d.Severity != SevError {
+		fmt.Fprintf(b, "%s: ", d.Severity)
+	}
+	b.WriteString(d.Msg)
+	if src != "" && d.Pos.IsValid() {
+		writeSnippet(b, src, d.Pos)
+	}
+	for _, n := range d.Notes {
+		b.WriteString("\n")
+		if n.Pos.IsValid() {
+			fmt.Fprintf(b, "%s: ", n.Pos)
+		}
+		fmt.Fprintf(b, "note: %s", n.Msg)
+		if src != "" && n.Pos.IsValid() {
+			writeSnippet(b, src, n.Pos)
+		}
+	}
+}
+
+// writeSnippet appends the source line at pos with a caret under the
+// column. Tabs are flattened to single spaces so the caret stays aligned
+// with the lexer's one-column-per-byte accounting.
+func writeSnippet(b *strings.Builder, src string, pos Pos) {
+	line := sourceLine(src, pos.Line)
+	if line == "" && pos.Col > 1 {
+		return
+	}
+	line = strings.ReplaceAll(line, "\t", " ")
+	fmt.Fprintf(b, "\n    %s\n    ", line)
+	col := pos.Col
+	if col < 1 {
+		col = 1
+	}
+	if col > len(line)+1 {
+		col = len(line) + 1
+	}
+	b.WriteString(strings.Repeat(" ", col-1))
+	b.WriteString("^")
+}
+
+func sourceLine(src string, n int) string {
+	for i := 1; len(src) > 0; i++ {
+		j := strings.IndexByte(src, '\n')
+		line := src
+		if j >= 0 {
+			line = src[:j]
+			src = src[j+1:]
+		} else {
+			src = ""
+		}
+		if i == n {
+			return strings.TrimRight(line, "\r")
+		}
+	}
+	return ""
+}
+
+// DefaultMaxErrors is the error cap a List applies when none is given: the
+// point where further parser recovery produces cascades, not information.
+const DefaultMaxErrors = 20
+
+// List accumulates diagnostics. It implements error; a non-empty List is
+// returned as the error value from frontend entry points so callers see
+// every finding, not just the first. The zero List is ready to use.
+type List struct {
+	// Source, when set, enables snippet rendering in Error.
+	Source string
+	// Max caps the number of error-severity diagnostics recorded; further
+	// errors are counted but dropped. 0 means DefaultMaxErrors; negative
+	// means unlimited.
+	Max     int
+	Diags   []Diagnostic
+	dropped int
+}
+
+// NewList returns a List with the given error cap (see Max).
+func NewList(max int) *List { return &List{Max: max} }
+
+func (l *List) cap() int {
+	switch {
+	case l.Max == 0:
+		return DefaultMaxErrors
+	case l.Max < 0:
+		return 1 << 30
+	default:
+		return l.Max
+	}
+}
+
+// Add records a diagnostic, subject to the error cap.
+func (l *List) Add(d *Diagnostic) {
+	if d == nil {
+		return
+	}
+	if d.Severity == SevError && l.ErrorCount() >= l.cap() {
+		l.dropped++
+		return
+	}
+	l.Diags = append(l.Diags, *d)
+}
+
+// Errorf records an error-severity diagnostic at pos.
+func (l *List) Errorf(pos Pos, format string, args ...any) {
+	l.Add(Errorf(pos, format, args...))
+}
+
+// AddError coerces an arbitrary error into the list: Diagnostics and nested
+// Lists merge structurally, anything else becomes a position-less error.
+func (l *List) AddError(err error) {
+	switch e := err.(type) {
+	case nil:
+	case *Diagnostic:
+		l.Add(e)
+	case *List:
+		for i := range e.Diags {
+			l.Add(&e.Diags[i])
+		}
+		l.dropped += e.dropped
+	default:
+		l.Errorf(Pos{}, "%v", err)
+	}
+}
+
+// ErrorCount returns the number of recorded error-severity diagnostics.
+func (l *List) ErrorCount() int {
+	n := 0
+	for i := range l.Diags {
+		if l.Diags[i].Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any error-severity diagnostic was recorded
+// (or dropped at the cap).
+func (l *List) HasErrors() bool { return l.ErrorCount() > 0 || l.dropped > 0 }
+
+// Full reports whether the error cap has been reached; parsers use it to
+// stop recovering once further diagnostics would be cascade noise.
+func (l *List) Full() bool { return l.ErrorCount() >= l.cap() }
+
+// Err returns l if it holds any errors and nil otherwise, collapsing a
+// single bare diagnostic to itself for compact messages.
+func (l *List) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	return l
+}
+
+// Error renders every diagnostic, one per line, with source snippets when
+// Source is set, and a trailing count when the cap truncated the list.
+func (l *List) Error() string {
+	var b strings.Builder
+	for i := range l.Diags {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		l.Diags[i].write(&b, l.Source)
+	}
+	if l.dropped > 0 {
+		if len(l.Diags) > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "too many errors: %d more not shown (cap %d; raise with -maxerrors)", l.dropped, l.cap())
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticError(t *testing.T) {
+	d := Errorf(Pos{Line: 3, Col: 7}, "unknown type %q", "nosuch")
+	if got, want := d.Error(), `line 3:7: unknown type "nosuch"`; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	w := Warningf(Pos{}, "shadowed")
+	if got, want := w.Error(), "warning: shadowed"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestSnippetRendering(t *testing.T) {
+	src := "design d\nregister x : nosuch\n"
+	l := NewList(0)
+	l.Source = src
+	l.Errorf(Pos{Line: 2, Col: 14}, "unknown type %q", "nosuch")
+	got := l.Error()
+	want := "line 2:14: unknown type \"nosuch\"\n    register x : nosuch\n                 ^"
+	if got != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnippetCaretClamped(t *testing.T) {
+	l := &List{Source: "ab\n"}
+	l.Errorf(Pos{Line: 1, Col: 99}, "past the end")
+	if !strings.Contains(l.Error(), "^") {
+		t.Errorf("caret missing: %q", l.Error())
+	}
+	// A position on a line the source does not have renders without a snippet.
+	l2 := &List{Source: "ab\n"}
+	l2.Errorf(Pos{Line: 9, Col: 5}, "phantom line")
+	if strings.Contains(l2.Error(), "\n    ") {
+		t.Errorf("unexpected snippet: %q", l2.Error())
+	}
+}
+
+func TestListCapAndDropped(t *testing.T) {
+	l := NewList(3)
+	for i := 0; i < 10; i++ {
+		l.Errorf(Pos{Line: i + 1, Col: 1}, "e%d", i)
+	}
+	if len(l.Diags) != 3 {
+		t.Fatalf("recorded %d diags, want 3", len(l.Diags))
+	}
+	if !l.Full() || !l.HasErrors() {
+		t.Error("Full/HasErrors should be true")
+	}
+	if !strings.Contains(l.Error(), "7 more not shown") {
+		t.Errorf("missing truncation notice: %q", l.Error())
+	}
+}
+
+func TestListErrNilWhenClean(t *testing.T) {
+	l := NewList(0)
+	if l.Err() != nil {
+		t.Error("empty list should have nil Err")
+	}
+	l.Add(Warningf(Pos{}, "just a warning"))
+	if l.Err() != nil {
+		t.Error("warnings alone should not make Err non-nil")
+	}
+	l.Errorf(Pos{}, "boom")
+	if l.Err() == nil {
+		t.Error("Err should be non-nil after an error")
+	}
+}
+
+func TestAddErrorMerging(t *testing.T) {
+	inner := NewList(0)
+	inner.Errorf(Pos{Line: 1, Col: 1}, "a")
+	inner.Errorf(Pos{Line: 2, Col: 1}, "b")
+	outer := NewList(0)
+	outer.AddError(inner)
+	outer.AddError(Errorf(Pos{Line: 3, Col: 1}, "c"))
+	outer.AddError(errors.New("plain"))
+	if got := outer.ErrorCount(); got != 4 {
+		t.Errorf("ErrorCount = %d, want 4", got)
+	}
+}
+
+func TestGuardConvertsPanics(t *testing.T) {
+	f := func() (err error) {
+		defer Guard("pkg: op", &err)
+		panic("the invariant broke")
+	}
+	err := f()
+	var in *Internal
+	if !errors.As(err, &in) {
+		t.Fatalf("err = %v, want *Internal", err)
+	}
+	if in.Op != "pkg: op" || !strings.Contains(in.Error(), "the invariant broke") {
+		t.Errorf("unexpected Internal: %v", in)
+	}
+	if ExitCode(err) != ExitInternal {
+		t.Errorf("ExitCode = %d, want %d", ExitCode(err), ExitInternal)
+	}
+}
+
+func TestGuardPassesThroughNestedInternal(t *testing.T) {
+	inner := func() error {
+		var err error
+		func() {
+			defer Guard("inner", &err)
+			Invariantf("deep", "width %d impossible", 99)
+		}()
+		return err
+	}
+	err := inner()
+	var in *Internal
+	if !errors.As(err, &in) || in.Op != "deep" {
+		t.Fatalf("err = %v, want *Internal from op 'deep'", err)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	if ExitCode(nil) != ExitOK {
+		t.Error("nil should exit 0")
+	}
+	if ExitCode(Errorf(Pos{Line: 1, Col: 1}, "bad input")) != ExitInput {
+		t.Error("diagnostics should exit 1")
+	}
+	if ExitCode(fmt.Errorf("wrapped: %w", &Internal{Op: "x", Value: "y"})) != ExitInternal {
+		t.Error("wrapped Internal should exit 2")
+	}
+}

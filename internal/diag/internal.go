@@ -1,0 +1,76 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Internal is a toolchain bug surfaced as an error: a panic that escaped to
+// a public entry point's Guard boundary. It is never the right way to
+// report a problem with the user's input — those are Diagnostics.
+type Internal struct {
+	// Op names the entry point whose boundary caught the panic.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time, for bug reports.
+	Stack string
+}
+
+func (e *Internal) Error() string {
+	return fmt.Sprintf("%s: internal error: %v (this is a toolchain bug, not a problem with the design)", e.Op, e.Value)
+}
+
+// Guard converts a panic escaping the enclosing function into an *Internal
+// error. Use it as a deferred call at every public Compile/Typecheck/Run
+// entry point:
+//
+//	func Compile(d *ast.Design) (ckt *Circuit, err error) {
+//		defer diag.Guard("circuit: compile", &err)
+//		...
+//
+// A panic already carrying an *Internal (from a nested boundary) passes
+// through unwrapped. Guard does not intercept runtime stack exhaustion —
+// that cannot be recovered in Go — which is why the frontend additionally
+// bounds recursion depth.
+func Guard(op string, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if in, ok := r.(*Internal); ok {
+		*err = in
+		return
+	}
+	*err = &Internal{Op: op, Value: r, Stack: string(debug.Stack())}
+}
+
+// Exit codes of the command-line tools.
+const (
+	ExitOK       = 0 // success
+	ExitInput    = 1 // the input (design, flags, file) was at fault
+	ExitInternal = 2 // the toolchain was at fault
+)
+
+// ExitCode maps an error to the stable CLI exit-code contract: nil is 0,
+// an *Internal (toolchain bug) is 2, everything else — diagnostics, I/O
+// failures, usage errors, limit and cancellation errors — is 1.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	var in *Internal
+	if errors.As(err, &in) {
+		return ExitInternal
+	}
+	return ExitInput
+}
+
+// Invariantf panics with an *Internal describing a broken invariant. Core
+// packages use it (instead of bare panic) on states their checker is
+// supposed to have ruled out, so the nearest Guard boundary reports the
+// violation with its origin intact.
+func Invariantf(op, format string, args ...any) {
+	panic(&Internal{Op: op, Value: fmt.Sprintf(format, args...), Stack: string(debug.Stack())})
+}

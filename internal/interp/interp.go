@@ -16,6 +16,7 @@ import (
 
 	"cuttlego/internal/ast"
 	"cuttlego/internal/bits"
+	"cuttlego/internal/diag"
 	"cuttlego/internal/sim"
 )
 
@@ -44,7 +45,8 @@ var _ sim.Engine = (*Simulator)(nil)
 var _ sim.Snapshotter = (*Simulator)(nil)
 
 // New builds a reference simulator for a checked design.
-func New(d *ast.Design) (*Simulator, error) {
+func New(d *ast.Design) (_ *Simulator, err error) {
+	defer diag.Guard("interp: build simulator", &err)
 	if !d.Checked() {
 		return nil, fmt.Errorf("interp: design %q is not checked", d.Name)
 	}
@@ -238,7 +240,10 @@ func (s *Simulator) eval(n *ast.Node, e *env) *bits.Bits {
 		case ast.OpZeroExtend:
 			v = a.ZeroExtend(n.Wid)
 		case ast.OpSlice:
-			v = a.Slice(n.Lo, n.Wid)
+			var err error
+			if v, err = a.TryExtract(n.Lo, n.Wid); err != nil {
+				diag.Invariantf("interp: slice", "checker passed a bad slice: %v", err)
+			}
 		}
 		return &v
 
@@ -275,7 +280,10 @@ func (s *Simulator) eval(n *ast.Node, e *env) *bits.Bits {
 		if a == nil {
 			return nil
 		}
-		v := a.Slice(n.Lo, n.Wid)
+		v, err := a.TryExtract(n.Lo, n.Wid)
+		if err != nil {
+			diag.Invariantf("interp: field", "checker passed a bad field slice: %v", err)
+		}
 		return &v
 
 	case ast.KSetField:
@@ -407,7 +415,11 @@ func EvalBinop(op ast.Op, a, b bits.Bits) bits.Bits {
 	case ast.OpSra:
 		return a.Sra(b)
 	case ast.OpConcat:
-		return a.Concat(b)
+		v, err := a.TryConcat(b)
+		if err != nil {
+			diag.Invariantf("interp: concat", "checker passed a bad concat: %v", err)
+		}
+		return v
 	}
 	panic(fmt.Sprintf("interp: unknown binop %v", op))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cuttlego/internal/ast"
+	"cuttlego/internal/diag"
 )
 
 // Inline function definitions ("def") give the textual dialect the
@@ -31,13 +32,14 @@ type defInfo struct {
 // defDecl parses "def name(params) : type { body }" and records the body's
 // token span for later expansion.
 func (p *parser) defDecl() error {
-	p.next() // def
+	kw := p.next() // def
+	nt := p.peek()
 	name, err := p.expectIdent()
 	if err != nil {
 		return err
 	}
 	if _, dup := p.defs[name]; dup {
-		return fmt.Errorf("duplicate def %q", name)
+		return p.errf(nt, "duplicate def %q", name)
 	}
 	info := defInfo{name: name}
 	if err := p.expectPunct("("); err != nil {
@@ -80,7 +82,7 @@ func (p *parser) defDecl() error {
 		t := p.next()
 		switch {
 		case t.kind == tEOF:
-			return fmt.Errorf("unterminated def %q", name)
+			return p.errf(kw, "unterminated def %q", name)
 		case t.kind == tPunct && t.text == "{":
 			depth++
 		case t.kind == tPunct && t.text == "}":
@@ -93,21 +95,26 @@ func (p *parser) defDecl() error {
 }
 
 // expandDef inlines one call to a def: arguments become let bindings over a
-// fresh parse of the body tokens.
-func (p *parser) expandDef(info defInfo, args []*ast.Node) (*ast.Node, error) {
+// fresh parse of the body tokens. call is the call-site token; body
+// diagnostics keep their own positions (the recorded tokens point into the
+// original source) and gain a call-site note.
+func (p *parser) expandDef(call token, info defInfo, args []*ast.Node) (*ast.Node, error) {
 	if len(args) != len(info.params) {
-		return nil, fmt.Errorf("def %s takes %d arguments, got %d", info.name, len(info.params), len(args))
+		return nil, p.errf(call, "def %s takes %d arguments, got %d", info.name, len(info.params), len(args))
 	}
 	if p.expanding[info.name] {
-		return nil, fmt.Errorf("def %s is recursive; defs describe combinational logic and cannot recurse", info.name)
+		return nil, p.errf(call, "def %s is recursive; defs describe combinational logic and cannot recurse", info.name)
 	}
 	p.expanding[info.name] = true
 	defer delete(p.expanding, info.name)
 
 	// Parse the body span with a sub-parser sharing every table (types,
-	// defs, expansion stack) but its own cursor.
+	// defs, expansion stack) but its own cursor and diagnostic list, so a
+	// broken body does not mix its recovery state into the caller's.
 	sub := &parser{
 		toks:      append(append([]token(nil), info.body...), token{kind: tEOF}),
+		diags:     diag.NewList(p.diags.Max),
+		depth:     p.depth,
 		enums:     p.enums,
 		structs:   p.structs,
 		defs:      p.defs,
@@ -115,11 +122,21 @@ func (p *parser) expandDef(info defInfo, args []*ast.Node) (*ast.Node, error) {
 	}
 	body, err := sub.block()
 	if err != nil {
-		return nil, fmt.Errorf("in def %s: %w", info.name, err)
+		sub.report(err)
 	}
-	sub.skipNewlines()
-	if sub.peek().kind != tEOF {
-		return nil, fmt.Errorf("in def %s: unexpected %s after body", info.name, sub.peek())
+	if !sub.diags.HasErrors() {
+		sub.skipNewlines()
+		if sub.peek().kind != tEOF {
+			sub.report(fmt.Errorf("in def %s: unexpected %s after body", info.name, sub.peek()))
+		}
+	}
+	if sub.diags.HasErrors() {
+		for i := range sub.diags.Diags {
+			d := &sub.diags.Diags[i]
+			d.Notes = append(d.Notes, diag.Note{Pos: call.pos(),
+				Msg: fmt.Sprintf("in def %s, expanded from this call", info.name)})
+		}
+		return nil, sub.diags
 	}
 	out := body
 	for i := len(info.params) - 1; i >= 0; i-- {

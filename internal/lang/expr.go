@@ -1,9 +1,8 @@
 package lang
 
 import (
-	"fmt"
-
 	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
 )
 
 // Binary operator precedence (higher binds tighter).
@@ -29,6 +28,10 @@ var binBuild = map[string]func(a, b *ast.Node) *ast.Node{
 
 // expr is a Pratt parser over binary operators.
 func (p *parser) expr(minPrec int) (*ast.Node, error) {
+	if err := p.enter(p.peek()); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	lhs, err := p.unary()
 	if err != nil {
 		return nil, err
@@ -47,17 +50,22 @@ func (p *parser) expr(minPrec int) (*ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs = binBuild[t.text](lhs, rhs)
+		lhs = at(t, binBuild[t.text](lhs, rhs))
 	}
 }
 
 func (p *parser) unary() (*ast.Node, error) {
+	t := p.peek()
 	if p.acceptPunct("!") {
+		if err := p.enter(t); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		a, err := p.unary()
 		if err != nil {
 			return nil, err
 		}
-		return ast.Not(a), nil
+		return at(t, ast.Not(a)), nil
 	}
 	return p.postfix()
 }
@@ -69,6 +77,7 @@ func (p *parser) postfix() (*ast.Node, error) {
 		return nil, err
 	}
 	for {
+		t := p.peek()
 		switch {
 		case p.acceptPunct("."):
 			name, err := p.expectIdent()
@@ -79,7 +88,7 @@ func (p *parser) postfix() (*ast.Node, error) {
 			case "rd0", "rd1", "wr0", "wr1":
 				reg, ok := registerName(e)
 				if !ok {
-					return nil, p.errf(p.peek(), "port operation %s on a non-register expression", name)
+					return nil, p.errf(t, "port operation %s on a non-register expression", name)
 				}
 				if err := p.expectPunct("("); err != nil {
 					return nil, err
@@ -90,9 +99,9 @@ func (p *parser) postfix() (*ast.Node, error) {
 						return nil, err
 					}
 					if name == "rd0" {
-						e = ast.Rd0(reg)
+						e = at(t, ast.Rd0(reg))
 					} else {
-						e = ast.Rd1(reg)
+						e = at(t, ast.Rd1(reg))
 					}
 				default:
 					v, err := p.expr(0)
@@ -103,13 +112,13 @@ func (p *parser) postfix() (*ast.Node, error) {
 						return nil, err
 					}
 					if name == "wr0" {
-						e = ast.Wr0(reg, v)
+						e = at(t, ast.Wr0(reg, v))
 					} else {
-						e = ast.Wr1(reg, v)
+						e = at(t, ast.Wr1(reg, v))
 					}
 				}
 			default:
-				e = ast.Field(e, name)
+				e = at(t, ast.Field(e, name))
 			}
 		case p.acceptPunct("["):
 			lo, err := p.plainInt()
@@ -126,7 +135,7 @@ func (p *parser) postfix() (*ast.Node, error) {
 			if err := p.expectPunct("]"); err != nil {
 				return nil, err
 			}
-			e = ast.Slice(e, lo, w)
+			e = at(t, ast.Slice(e, lo, w))
 		default:
 			return e, nil
 		}
@@ -151,7 +160,7 @@ func (p *parser) primary() (*ast.Node, error) {
 		if err != nil {
 			return nil, p.errf(t, "%v", err)
 		}
-		return ast.CB(v), nil
+		return at(t, ast.CB(v)), nil
 
 	case tNumber:
 		return nil, p.errf(t, "bare integer %s: use a sized literal like 8'd%s", t.text, t.text)
@@ -192,7 +201,7 @@ func (p *parser) primary() (*ast.Node, error) {
 			if err := p.expectPunct("}"); err != nil {
 				return nil, err
 			}
-			return ast.SetField(base, field, v), nil
+			return at(t, ast.SetField(base, field, v)), nil
 		}
 
 	case tIdent:
@@ -202,9 +211,13 @@ func (p *parser) primary() (*ast.Node, error) {
 			if err := p.expectPunct("<"); err != nil {
 				return nil, err
 			}
+			wt := p.peek()
 			w, err := p.plainInt()
 			if err != nil {
 				return nil, err
+			}
+			if w < 0 || w > bits.MaxWidth {
+				return nil, p.errf(wt, "extension width %d out of range [0, %d]", w, bits.MaxWidth)
 			}
 			if err := p.expectPunct(">"); err != nil {
 				return nil, err
@@ -220,9 +233,9 @@ func (p *parser) primary() (*ast.Node, error) {
 				return nil, err
 			}
 			if t.text == "sext" {
-				return ast.SignExtend(w, a), nil
+				return at(t, ast.SignExtend(w, a)), nil
 			}
-			return ast.ZeroExtend(w, a), nil
+			return at(t, ast.ZeroExtend(w, a)), nil
 		case "mux":
 			p.next()
 			if err := p.expectPunct("("); err != nil {
@@ -249,20 +262,24 @@ func (p *parser) primary() (*ast.Node, error) {
 			if err := p.expectPunct(")"); err != nil {
 				return nil, err
 			}
-			return ast.If(c, a, b), nil
+			return at(t, ast.If(c, a, b)), nil
 		case "fail":
 			p.next()
 			if p.acceptPunct("<") {
+				wt := p.peek()
 				w, err := p.plainInt()
 				if err != nil {
 					return nil, err
 				}
+				if w < 0 || w > bits.MaxWidth {
+					return nil, p.errf(wt, "fail width %d out of range [0, %d]", w, bits.MaxWidth)
+				}
 				if err := p.expectPunct(">"); err != nil {
 					return nil, err
 				}
-				return ast.FailW(w), nil
+				return at(t, ast.FailW(w)), nil
 			}
-			return ast.Fail(), nil
+			return at(t, ast.Fail()), nil
 		}
 
 		// Enum constant?
@@ -271,11 +288,15 @@ func (p *parser) primary() (*ast.Node, error) {
 			if err := p.expectPunct("::"); err != nil {
 				return nil, err
 			}
+			mt := p.peek()
 			m, err := p.expectIdent()
 			if err != nil {
 				return nil, err
 			}
-			return ast.E(e, m), nil
+			if !e.HasMember(m) {
+				return nil, p.errf(mt, "enum %s has no member %q", e.Name, m)
+			}
+			return at(t, ast.E(e, m)), nil
 		}
 		// Struct literal?
 		if st, ok := p.structs[t.text]; ok && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "{" {
@@ -300,14 +321,18 @@ func (p *parser) primary() (*ast.Node, error) {
 				}
 			}
 			if info, ok := p.defs[t.text]; ok {
-				return p.expandDef(info, args)
+				n, err := p.expandDef(t, info, args)
+				if err != nil {
+					return nil, err
+				}
+				return at(t, n), nil
 			}
-			return ast.ExtCall(t.text, args...), nil
+			return at(t, ast.ExtCall(t.text, args...)), nil
 		}
 		// Variable or register reference (the checker distinguishes:
 		// registers appear only under port operations, which postfix
 		// rewrote already; what remains must be a let-bound variable).
-		return ast.V(t.text), nil
+		return at(t, ast.V(t.text)), nil
 	}
 	return nil, p.errf(t, "expected an expression, got %s", t)
 }
@@ -315,14 +340,15 @@ func (p *parser) primary() (*ast.Node, error) {
 // structLiteral parses Name{f: e, g: e} with fields in declaration order
 // or by name in any order.
 func (p *parser) structLiteral(st *ast.StructType) (*ast.Node, error) {
-	p.next() // name
-	p.next() // {
+	name := p.next() // name
+	p.next()         // {
 	vals := map[string]*ast.Node{}
 	for {
 		p.skipNewlines()
 		if p.acceptPunct("}") {
 			break
 		}
+		ft := p.peek()
 		fname, err := p.expectIdent()
 		if err != nil {
 			return nil, err
@@ -335,7 +361,7 @@ func (p *parser) structLiteral(st *ast.StructType) (*ast.Node, error) {
 			return nil, err
 		}
 		if _, dup := vals[fname]; dup {
-			return nil, fmt.Errorf("duplicate field %q in %s literal", fname, st.Name)
+			return nil, p.errf(ft, "duplicate field %q in %s literal", fname, st.Name)
 		}
 		vals[fname] = v
 		if !p.acceptPunct(",") {
@@ -350,12 +376,12 @@ func (p *parser) structLiteral(st *ast.StructType) (*ast.Node, error) {
 	for i, f := range st.Fields {
 		v, ok := vals[f.Name]
 		if !ok {
-			return nil, fmt.Errorf("struct %s literal missing field %q", st.Name, f.Name)
+			return nil, p.errf(name, "struct %s literal missing field %q", st.Name, f.Name)
 		}
 		ordered[i] = v
 	}
 	if len(vals) != len(st.Fields) {
-		return nil, fmt.Errorf("struct %s literal has extra fields", st.Name)
+		return nil, p.errf(name, "struct %s literal has extra fields", st.Name)
 	}
-	return ast.Pack(st, ordered...), nil
+	return at(name, ast.Pack(st, ordered...)), nil
 }

@@ -1,0 +1,117 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/diag"
+	"cuttlego/internal/interp"
+)
+
+// seedCorpus adds every example design — good and bad — as a fuzz seed.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	for _, pattern := range []string{
+		filepath.Join("..", "..", "examples", "designs", "*.koika"),
+		filepath.Join("..", "..", "examples", "bad", "*.koika"),
+	} {
+		files, err := filepath.Glob(pattern)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+}
+
+// failOnInternal is the no-panic oracle: any error is acceptable on
+// arbitrary input except *diag.Internal, which means a panic crossed a
+// public entry point and was caught only by the last-resort Guard.
+func failOnInternal(t *testing.T, src string, err error) {
+	t.Helper()
+	var internal *diag.Internal
+	if asInternal(err, &internal) {
+		t.Fatalf("panic escaped (op %q): %v\n--- input ---\n%s", internal.Op, err, src)
+	}
+}
+
+// FuzzLexer checks that tokenization terminates on arbitrary bytes and that
+// every token it produces carries a usable source position.
+func FuzzLexer(f *testing.F) {
+	seedCorpus(f)
+	f.Add("8'q\x00'\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		diags := diag.NewList(-1)
+		diags.Source = src
+		toks := lex(src, diags)
+		if len(toks) == 0 || toks[len(toks)-1].kind != tEOF {
+			t.Fatalf("token stream not EOF-terminated (%d tokens)", len(toks))
+		}
+		for _, tok := range toks {
+			if tok.kind != tEOF && !tok.pos().IsValid() {
+				t.Fatalf("token %s has no position", tok)
+			}
+		}
+		// Rendering diagnostics must not panic either (snippet slicing).
+		if diags.HasErrors() {
+			_ = diags.Err().Error()
+		}
+	})
+}
+
+// FuzzParser checks that the full frontend — lexer, parser with recovery,
+// def expansion, and the type checker — never lets a panic escape and
+// always renders its diagnostics cleanly.
+func FuzzParser(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		failOnInternal(t, src, err)
+		if err != nil {
+			_ = err.Error()
+			return
+		}
+		if d == nil {
+			t.Fatal("nil design with nil error")
+		}
+	})
+}
+
+// FuzzElaborate pushes parseable inputs through the backends: circuit
+// compilation (with a small net budget so hostile inputs terminate) and
+// simulator construction, cycling briefly when the design is self-contained.
+func FuzzElaborate(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		d, err := Parse(src)
+		failOnInternal(t, src, err)
+		if err != nil {
+			return
+		}
+		_, cerr := circuit.CompileWithLimit(d, circuit.StyleKoika, 1<<18)
+		failOnInternal(t, src, cerr)
+		ie, err := interp.New(d)
+		failOnInternal(t, src, err)
+		cs, err := cuttlesim.New(d, cuttlesim.Options{})
+		failOnInternal(t, src, err)
+		// Unbound external functions legitimately panic when called, so
+		// only cycle self-contained designs.
+		if err == nil && ie != nil && cs != nil && len(d.ExtFuns) == 0 {
+			for i := 0; i < 4; i++ {
+				ie.Cycle()
+				cs.Cycle()
+			}
+		}
+	})
+}

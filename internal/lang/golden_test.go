@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cuttlego/internal/diag"
+)
+
+var update = flag.Bool("update", false, "rewrite the examples/bad golden .diag files")
+
+// badExamples returns every malformed design under examples/bad.
+func badExamples(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "bad", "*.koika"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no examples/bad corpus found: %v", err)
+	}
+	return files
+}
+
+// TestBadExampleGoldens checks that each malformed example produces exactly
+// the diagnostics recorded in its .diag sibling — rendered with positions,
+// source snippets, and carets. Regenerate with: go test ./internal/lang -update
+func TestBadExampleGoldens(t *testing.T) {
+	for _, f := range badExamples(t) {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, perr := Parse(string(src))
+			if perr == nil {
+				t.Fatal("Parse succeeded; bad examples must fail")
+			}
+			var internal *diag.Internal
+			if ok := asInternal(perr, &internal); ok {
+				t.Fatalf("internal error, not a diagnostic: %v", perr)
+			}
+			l, ok := perr.(*diag.List)
+			if !ok {
+				t.Fatalf("error is %T, want *diag.List", perr)
+			}
+			if !l.HasErrors() {
+				t.Fatal("list has no errors")
+			}
+			for _, d := range l.Diags {
+				if !d.Pos.IsValid() {
+					t.Errorf("diagnostic without a position: %s", d.Msg)
+				}
+			}
+			got := perr.Error() + "\n"
+			golden := strings.TrimSuffix(f, ".koika") + ".diag"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed.\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+func asInternal(err error, target **diag.Internal) bool {
+	for err != nil {
+		if ie, ok := err.(*diag.Internal); ok {
+			*target = ie
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestCorpusMutationsNoPanic drags every good and bad example through a
+// deterministic battery of mutations (truncations, byte smashes, line
+// swaps) and requires the frontend to return — an error is fine, an
+// *diag.Internal (an escaped panic) is not. This is the offline cousin of
+// FuzzParser for runs where the fuzzing engine is unavailable.
+func TestCorpusMutationsNoPanic(t *testing.T) {
+	var corpus []string
+	for _, pattern := range []string{
+		filepath.Join("..", "..", "examples", "designs", "*.koika"),
+		filepath.Join("..", "..", "examples", "bad", "*.koika"),
+	} {
+		files, _ := filepath.Glob(pattern)
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpus = append(corpus, string(src))
+		}
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+	check := func(src string) {
+		t.Helper()
+		_, err := Parse(src)
+		var internal *diag.Internal
+		if asInternal(err, &internal) {
+			t.Fatalf("panic escaped the frontend on mutated input: %v\n--- input ---\n%s", err, src)
+		}
+	}
+	for _, src := range corpus {
+		// Truncations at varying points, including mid-token.
+		for cut := 0; cut < len(src); cut += 7 {
+			check(src[:cut])
+		}
+		// Byte smashes: overwrite one byte with hostile characters.
+		for i := 13; i < len(src); i += 29 {
+			for _, b := range []byte{0, '\'', '{', '}', '(', 0xff, '\n'} {
+				mutated := []byte(src)
+				mutated[i] = b
+				check(string(mutated))
+			}
+		}
+		// Dropping individual lines breaks block structure in ways
+		// truncation does not.
+		lines := strings.Split(src, "\n")
+		for i := range lines {
+			dropped := append(append([]string{}, lines[:i]...), lines[i+1:]...)
+			check(strings.Join(dropped, "\n"))
+		}
+	}
+}

@@ -18,6 +18,8 @@ package lang
 import (
 	"fmt"
 	"strings"
+
+	"cuttlego/internal/diag"
 )
 
 type tokKind int
@@ -38,6 +40,8 @@ type token struct {
 	col  int
 }
 
+func (t token) pos() diag.Pos { return diag.Pos{Line: t.line, Col: t.col} }
+
 func (t token) String() string {
 	switch t.kind {
 	case tEOF:
@@ -56,16 +60,11 @@ var punct = []string{
 	";", ".", "+", "-", "*", "&", "|", "^", "!", "=",
 }
 
-type lexError struct {
-	line, col int
-	msg       string
-}
-
-func (e *lexError) Error() string {
-	return fmt.Sprintf("line %d:%d: %s", e.line, e.col, e.msg)
-}
-
-func lex(src string) ([]token, error) {
+// lex tokenizes src. It never stops at a bad byte: malformed input is
+// reported into diags and skipped, so the parser always receives a full
+// (EOF-terminated) token stream and can diagnose later problems in the same
+// run.
+func lex(src string, diags *diag.List) []token {
 	var toks []token
 	line, col := 1, 1
 	i := 0
@@ -122,13 +121,19 @@ outer:
 						k++
 					}
 					if k == start {
-						return nil, &lexError{line, col, "malformed sized literal"}
+						diags.Errorf(diag.Pos{Line: line, Col: col},
+							"malformed sized literal: expected digits after %q", src[i:k])
+						advance(k - i)
+						continue outer
 					}
 					emit(tSized, src[i:k])
 					advance(k - i)
 					continue outer
 				}
-				return nil, &lexError{line, col, "malformed sized literal"}
+				diags.Errorf(diag.Pos{Line: line, Col: col},
+					"malformed sized literal: expected x, d, or b after the width")
+				advance(j + 1 - i)
+				continue outer
 			}
 			emit(tNumber, src[i:j])
 			advance(j - i)
@@ -140,11 +145,12 @@ outer:
 					continue outer
 				}
 			}
-			return nil, &lexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+			diags.Errorf(diag.Pos{Line: line, Col: col}, "unexpected character %q", c)
+			advance(1)
 		}
 	}
 	emit(tEOF, "")
-	return toks, nil
+	return toks
 }
 
 func isIdentStart(c byte) bool {

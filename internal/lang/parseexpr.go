@@ -1,9 +1,8 @@
 package lang
 
 import (
-	"fmt"
-
 	"cuttlego/internal/ast"
+	"cuttlego/internal/diag"
 )
 
 // ParseExpr parses a single expression in the context of a design's types
@@ -11,24 +10,29 @@ import (
 // rd0()/rd1() syntax). The result is an unchecked AST fragment — callers
 // embed it in a design and Check that (the debugger builds a one-rule probe
 // design around it).
-func ParseExpr(d *ast.Design, src string) (*ast.Node, error) {
-	toks, err := lex(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks, enums: map[string]*ast.EnumType{}, structs: map[string]*ast.StructType{},
+func ParseExpr(d *ast.Design, src string) (_ *ast.Node, err error) {
+	defer diag.Guard("lang: parse expression", &err)
+	diags := diag.NewList(0)
+	diags.Source = src
+	toks := lex(src, diags)
+	p := &parser{toks: toks, diags: diags,
+		enums: map[string]*ast.EnumType{}, structs: map[string]*ast.StructType{},
 		defs: map[string]defInfo{}, expanding: map[string]bool{}}
 	for _, r := range d.Registers {
 		collectTypes(p, r.Type)
 	}
 	p.skipNewlines()
-	e, err := p.expr(0)
-	if err != nil {
-		return nil, err
+	e, perr := p.expr(0)
+	if perr != nil {
+		p.report(perr)
+	} else {
+		p.skipNewlines()
+		if p.peek().kind != tEOF {
+			diags.Errorf(p.peek().pos(), "unexpected %s after expression", p.peek())
+		}
 	}
-	p.skipNewlines()
-	if p.peek().kind != tEOF {
-		return nil, fmt.Errorf("unexpected %s after expression", p.peek())
+	if err := diags.Err(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }

@@ -6,23 +6,42 @@ import (
 
 	"cuttlego/internal/ast"
 	"cuttlego/internal/bits"
+	"cuttlego/internal/diag"
 )
+
+// Options configures the textual frontend.
+type Options struct {
+	// MaxErrors caps the number of diagnostics reported before the parser
+	// gives up on recovery: 0 means diag.DefaultMaxErrors, negative means
+	// unlimited.
+	MaxErrors int
+}
 
 // Parse elaborates source text into a checked design. External functions
 // are left unbound; call Bind before simulating designs that declare any.
-func Parse(src string) (*ast.Design, error) {
-	toks, err := lex(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks, enums: map[string]*ast.EnumType{}, structs: map[string]*ast.StructType{},
+//
+// On malformed input Parse does not stop at the first problem: the parser
+// synchronizes at statement and declaration boundaries and the returned
+// error is a *diag.List carrying every finding, each with a source position
+// and rendered snippet.
+func Parse(src string) (*ast.Design, error) { return ParseOpts(src, Options{}) }
+
+// ParseOpts is Parse with explicit Options.
+func ParseOpts(src string, opts Options) (d *ast.Design, err error) {
+	defer diag.Guard("lang: parse", &err)
+	diags := diag.NewList(opts.MaxErrors)
+	diags.Source = src
+	toks := lex(src, diags)
+	p := &parser{toks: toks, diags: diags,
+		enums: map[string]*ast.EnumType{}, structs: map[string]*ast.StructType{},
 		defs: map[string]defInfo{}, expanding: map[string]bool{}}
-	d, err := p.design()
-	if err != nil {
+	d = p.design()
+	if err := diags.Err(); err != nil {
 		return nil, err
 	}
 	if err := d.Check(); err != nil {
-		return nil, fmt.Errorf("lang: %w", err)
+		diags.AddError(err)
+		return nil, diags
 	}
 	return d, nil
 }
@@ -47,9 +66,17 @@ func Bind(d *ast.Design, name string, fn func([]bits.Bits) bits.Bits) error {
 	return fmt.Errorf("lang: design %s declares no external function %q", d.Name, name)
 }
 
+// maxNesting bounds the recursion depth of the parser (expressions, blocks,
+// def expansions together). Recursive descent over adversarial input would
+// otherwise exhaust the goroutine stack — which Go cannot recover from — so
+// the limit is what keeps the frontend panic-free on pathological nesting.
+const maxNesting = 256
+
 type parser struct {
 	toks      []token
 	pos       int
+	diags     *diag.List
+	depth     int
 	enums     map[string]*ast.EnumType
 	structs   map[string]*ast.StructType
 	defs      map[string]defInfo
@@ -73,7 +100,38 @@ func (p *parser) skipNewlines() {
 }
 
 func (p *parser) errf(t token, format string, args ...any) error {
-	return fmt.Errorf("line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+	return diag.Errorf(t.pos(), format, args...)
+}
+
+// report records err as a diagnostic (errf products keep their position;
+// anything else is attached to the current token).
+func (p *parser) report(err error) {
+	if d, ok := err.(*diag.Diagnostic); ok {
+		p.diags.Add(d)
+		return
+	}
+	p.diags.Errorf(p.peek().pos(), "%v", err)
+}
+
+// enter guards recursion depth; callers must pair a successful enter with
+// leave.
+func (p *parser) enter(t token) error {
+	if p.depth >= maxNesting {
+		return p.errf(t, "nesting deeper than %d levels; simplify the design", maxNesting)
+	}
+	p.depth++
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
+
+// at stamps a node (and its unstamped descendants get theirs from their own
+// construction sites) with a source position.
+func at(t token, n *ast.Node) *ast.Node {
+	if n != nil && !n.Pos.IsValid() {
+		n.Pos = t.pos()
+	}
+	return n
 }
 
 func (p *parser) expectPunct(s string) error {
@@ -108,66 +166,127 @@ func (p *parser) acceptKeyword(s string) bool {
 	return false
 }
 
-// design parses the whole file.
-func (p *parser) design() (*ast.Design, error) {
-	p.skipNewlines()
-	if !p.acceptKeyword("design") {
-		return nil, p.errf(p.peek(), "expected 'design <name>'")
+// topKeywords start a top-level declaration; they are the parser's
+// synchronization anchors after an error.
+var topKeywords = map[string]bool{
+	"design": true, "enum": true, "struct": true, "register": true,
+	"external": true, "rule": true, "def": true, "schedule": true,
+}
+
+// atLineStart reports whether the current token begins a source line.
+func (p *parser) atLineStart() bool {
+	return p.pos == 0 || p.toks[p.pos-1].kind == tNewline
+}
+
+// syncTop skips tokens until the next line-initial top-level keyword (or
+// EOF), the declaration-level recovery point.
+func (p *parser) syncTop() {
+	for {
+		t := p.peek()
+		if t.kind == tEOF {
+			return
+		}
+		if t.kind == tIdent && topKeywords[t.text] && p.atLineStart() {
+			return
+		}
+		p.pos++
 	}
-	name, err := p.expectIdent()
-	if err != nil {
-		return nil, err
+}
+
+// syncStmt skips to the next statement boundary inside a rule or block: past
+// a newline or ';' at brace depth zero, or up to (not past) a closing '}',
+// a stop keyword, or a line-initial top-level keyword.
+func (p *parser) syncStmt(stops []string) {
+	depth := 0
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tEOF:
+			return
+		case t.kind == tPunct && t.text == "{":
+			depth++
+		case t.kind == tPunct && t.text == "}":
+			if depth == 0 {
+				return
+			}
+			depth--
+		case (t.kind == tNewline || t.kind == tPunct && t.text == ";") && depth == 0:
+			p.pos++
+			return
+		case t.kind == tIdent && depth == 0:
+			if topKeywords[t.text] && p.atLineStart() {
+				return
+			}
+			for _, s := range stops {
+				if t.text == s {
+					return
+				}
+			}
+		}
+		p.pos++
+	}
+}
+
+// design parses the whole file, recovering at declaration boundaries so one
+// malformed declaration does not hide problems in the rest of the file.
+func (p *parser) design() *ast.Design {
+	p.skipNewlines()
+	name := "_"
+	if !p.acceptKeyword("design") {
+		p.report(p.errf(p.peek(), "expected 'design <name>'"))
+	} else if n, err := p.expectIdent(); err != nil {
+		p.report(err)
+	} else {
+		name = n
 	}
 	d := ast.NewDesign(name)
 
 	for {
 		p.skipNewlines()
+		if p.diags.Full() {
+			break
+		}
 		t := p.peek()
 		if t.kind == tEOF {
 			break
 		}
+		var err error
 		if t.kind != tIdent {
-			return nil, p.errf(t, "expected a declaration, got %s", t)
+			err = p.errf(t, "expected a declaration, got %s", t)
+		} else {
+			switch t.text {
+			case "enum":
+				err = p.enumDecl()
+			case "struct":
+				err = p.structDecl()
+			case "register":
+				err = p.registerDecl(d)
+			case "external":
+				err = p.externalDecl(d)
+			case "rule":
+				err = p.ruleDecl(d)
+			case "def":
+				err = p.defDecl()
+			case "design":
+				err = p.errf(t, "duplicate 'design' header")
+				p.next()
+			case "schedule":
+				err = p.scheduleDecl(d)
+			default:
+				err = p.errf(t, "unknown declaration %q", t.text)
+			}
 		}
-		switch t.text {
-		case "enum":
-			if err := p.enumDecl(); err != nil {
-				return nil, err
-			}
-		case "struct":
-			if err := p.structDecl(); err != nil {
-				return nil, err
-			}
-		case "register":
-			if err := p.registerDecl(d); err != nil {
-				return nil, err
-			}
-		case "external":
-			if err := p.externalDecl(d); err != nil {
-				return nil, err
-			}
-		case "rule":
-			if err := p.ruleDecl(d); err != nil {
-				return nil, err
-			}
-		case "def":
-			if err := p.defDecl(); err != nil {
-				return nil, err
-			}
-		case "schedule":
-			if err := p.scheduleDecl(d); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, p.errf(t, "unknown declaration %q", t.text)
+		if err != nil {
+			p.report(err)
+			p.syncTop()
 		}
 	}
-	return d, nil
+	return d
 }
 
 // enum Name { A, B, C }   or   enum Name : 4 { ... }
 func (p *parser) enumDecl() error {
-	p.next() // enum
+	kw := p.next() // enum
 	name, err := p.expectIdent()
 	if err != nil {
 		return err
@@ -204,7 +323,13 @@ func (p *parser) enumDecl() error {
 		}
 	}
 	if len(members) == 0 {
-		return fmt.Errorf("enum %s has no members", name)
+		return p.errf(kw, "enum %s has no members", name)
+	}
+	if width < 0 || width > bits.MaxWidth {
+		return p.errf(kw, "enum %s width %d out of range [1, %d]", name, width, bits.MaxWidth)
+	}
+	if width > 0 && len(members) > 1<<uint(min(width, 31)) {
+		return p.errf(kw, "enum %s has %d members, more than fit in %d bits", name, len(members), width)
 	}
 	p.enums[name] = ast.NewEnum(name, width, members...)
 	return nil
@@ -226,6 +351,7 @@ func (p *parser) structDecl() error {
 		if p.acceptPunct("}") {
 			break
 		}
+		ft := p.peek()
 		fname, err := p.expectIdent()
 		if err != nil {
 			return err
@@ -236,6 +362,11 @@ func (p *parser) structDecl() error {
 		ty, err := p.typeRef()
 		if err != nil {
 			return err
+		}
+		for _, f := range fields {
+			if f.Name == fname {
+				return p.errf(ft, "duplicate field %q in struct %s", fname, name)
+			}
 		}
 		fields = append(fields, ast.F(fname, ty))
 		p.skipNewlines()
@@ -261,9 +392,13 @@ func (p *parser) typeRef() (ast.Type, error) {
 		if err := p.expectPunct("<"); err != nil {
 			return nil, err
 		}
+		wt := p.peek()
 		w, err := p.plainInt()
 		if err != nil {
 			return nil, err
+		}
+		if w < 0 || w > bits.MaxWidth {
+			return nil, p.errf(wt, "bit width %d out of range [0, %d]", w, bits.MaxWidth)
 		}
 		if err := p.expectPunct(">"); err != nil {
 			return nil, err
@@ -282,6 +417,7 @@ func (p *parser) typeRef() (ast.Type, error) {
 // register name : type init VALUE
 func (p *parser) registerDecl(d *ast.Design) error {
 	p.next() // register
+	nt := p.peek()
 	name, err := p.expectIdent()
 	if err != nil {
 		return err
@@ -292,6 +428,14 @@ func (p *parser) registerDecl(d *ast.Design) error {
 	ty, err := p.typeRef()
 	if err != nil {
 		return err
+	}
+	if ty.BitWidth() > bits.MaxWidth {
+		return p.errf(nt, "register %q is %d bits wide; registers are limited to %d bits", name, ty.BitWidth(), bits.MaxWidth)
+	}
+	for _, r := range d.Registers {
+		if r.Name == name {
+			return p.errf(nt, "duplicate register %q", name)
+		}
 	}
 	init := bits.Zero(ty.BitWidth())
 	if p.acceptKeyword("init") {
@@ -332,9 +476,13 @@ func (p *parser) constValue(ty ast.Type) (bits.Bits, error) {
 			if err := p.expectPunct("::"); err != nil {
 				return bits.Bits{}, err
 			}
+			mt := p.peek()
 			m, err := p.expectIdent()
 			if err != nil {
 				return bits.Bits{}, err
+			}
+			if !e.HasMember(m) {
+				return bits.Bits{}, p.errf(mt, "enum %s has no member %q", e.Name, m)
 			}
 			return e.Value(m), nil
 		}

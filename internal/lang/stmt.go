@@ -7,7 +7,16 @@ import (
 // block parses statements until '}' or (at rule top level) until one of the
 // stop keywords begins the next declaration. Let-bindings scope over the
 // remainder of their block.
+//
+// A malformed statement does not abort the block: it is reported and the
+// parser synchronizes at the next statement boundary, so one bad statement
+// yields diagnostics for every later problem too. Only the nesting-depth
+// guard propagates as an error.
 func (p *parser) block(stops ...string) (*ast.Node, error) {
+	if err := p.enter(p.peek()); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	var stmts []*ast.Node
 	var lets []letFrame
 	flush := func() *ast.Node {
@@ -22,6 +31,9 @@ func (p *parser) block(stops ...string) (*ast.Node, error) {
 	}
 	for {
 		p.skipNewlines()
+		if p.diags.Full() {
+			return flush(), nil
+		}
 		t := p.peek()
 		if t.kind == tEOF {
 			return flush(), nil
@@ -43,15 +55,17 @@ func (p *parser) block(stops ...string) (*ast.Node, error) {
 		}
 		if p.acceptKeyword("let") {
 			name, err := p.expectIdent()
-			if err != nil {
-				return nil, err
+			if err == nil {
+				err = p.expectPunct(":=")
 			}
-			if err := p.expectPunct(":="); err != nil {
-				return nil, err
+			var init *ast.Node
+			if err == nil {
+				init, err = p.expr(0)
 			}
-			init, err := p.expr(0)
 			if err != nil {
-				return nil, err
+				p.report(err)
+				p.syncStmt(stops)
+				continue
 			}
 			lets = append(lets, letFrame{name: name, init: init, before: stmts})
 			stmts = nil
@@ -59,7 +73,9 @@ func (p *parser) block(stops ...string) (*ast.Node, error) {
 		}
 		st, err := p.stmt(stops)
 		if err != nil {
-			return nil, err
+			p.report(err)
+			p.syncStmt(stops)
+			continue
 		}
 		stmts = append(stmts, st)
 	}
@@ -78,17 +94,17 @@ func (p *parser) stmt(stops []string) (*ast.Node, error) {
 		switch t.text {
 		case "fail":
 			p.next()
-			return ast.Fail(), nil
+			return at(t, ast.Fail()), nil
 		case "pass":
 			p.next()
-			return ast.Skip(), nil
+			return at(t, ast.Skip()), nil
 		case "guard":
 			p.next()
 			cond, err := p.expr(0)
 			if err != nil {
 				return nil, err
 			}
-			return ast.Guard(cond), nil
+			return at(t, ast.Guard(cond)), nil
 		case "if", "when":
 			return p.ifStmt(stops)
 		case "match":
@@ -102,7 +118,7 @@ func (p *parser) stmt(stops []string) (*ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			return ast.Set(t.text, v), nil
+			return at(t, ast.Set(t.text, v)), nil
 		}
 	}
 	// Expression statement (writes, calls, ...).
@@ -110,7 +126,7 @@ func (p *parser) stmt(stops []string) (*ast.Node, error) {
 }
 
 func (p *parser) ifStmt(stops []string) (*ast.Node, error) {
-	p.next() // if / when
+	kw := p.next() // if / when
 	cond, err := p.expr(0)
 	if err != nil {
 		return nil, err
@@ -132,7 +148,7 @@ func (p *parser) ifStmt(stops []string) (*ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			return ast.If(cond, then, els), nil
+			return at(kw, ast.If(cond, then, els)), nil
 		}
 		if err := p.expectPunct("{"); err != nil {
 			return nil, err
@@ -144,9 +160,9 @@ func (p *parser) ifStmt(stops []string) (*ast.Node, error) {
 		if err := p.expectPunct("}"); err != nil {
 			return nil, err
 		}
-		return ast.If(cond, then, els), nil
+		return at(kw, ast.If(cond, then, els)), nil
 	}
-	return ast.If(cond, then), nil
+	return at(kw, ast.If(cond, then)), nil
 }
 
 // skipNewlinesBeforeElse allows "}\nelse {" without consuming newlines when
@@ -161,7 +177,7 @@ func (p *parser) skipNewlinesBeforeElse() {
 
 // match expr { case CONST: block ... default: block }
 func (p *parser) matchStmt(stops []string) (*ast.Node, error) {
-	p.next() // match
+	kw := p.next() // match
 	scrut, err := p.expr(0)
 	if err != nil {
 		return nil, err
@@ -207,5 +223,5 @@ func (p *parser) matchStmt(stops []string) (*ast.Node, error) {
 	if def == nil {
 		def = ast.Skip()
 	}
-	return ast.Switch(scrut, def, cases...), nil
+	return at(kw, ast.Switch(scrut, def, cases...)), nil
 }

@@ -20,6 +20,7 @@ import (
 	"cuttlego/internal/ast"
 	"cuttlego/internal/bits"
 	"cuttlego/internal/circuit"
+	"cuttlego/internal/diag"
 	"cuttlego/internal/sim"
 )
 
@@ -79,7 +80,8 @@ var _ sim.Engine = (*Simulator)(nil)
 var _ sim.Snapshotter = (*Simulator)(nil)
 
 // New builds a simulator for a compiled circuit.
-func New(ckt *circuit.Circuit, opts Options) (*Simulator, error) {
+func New(ckt *circuit.Circuit, opts Options) (_ *Simulator, err error) {
+	defer diag.Guard("rtlsim: build simulator", &err)
 	d := ckt.Design
 	s := &Simulator{
 		ckt:     ckt,

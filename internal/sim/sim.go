@@ -6,8 +6,11 @@
 package sim
 
 import (
+	"context"
+
 	"cuttlego/internal/ast"
 	"cuttlego/internal/bits"
+	"cuttlego/internal/diag"
 )
 
 // Engine is a cycle-accurate simulator of one checked design. Register
@@ -81,6 +84,39 @@ func Run(e Engine, tb Testbench, n uint64) uint64 {
 		}
 	}
 	return i
+}
+
+// ctxCheckInterval is how many cycles RunContext executes between
+// cancellation checks: rare enough that the hot loop stays hot, frequent
+// enough that a runaway simulation stops within microseconds of a timeout.
+const ctxCheckInterval = 1024
+
+// RunContext is Run under a context: the simulation stops early when ctx is
+// cancelled (deadline, timeout, interrupt), returning the cycles executed so
+// far along with ctx.Err(). An engine panic (a toolchain bug, since the
+// design was checked) is converted to an *diag.Internal error rather than
+// crashing the caller.
+func RunContext(ctx context.Context, e Engine, tb Testbench, n uint64) (cycles uint64, err error) {
+	defer diag.Guard("sim: run", &err)
+	if tb == nil {
+		tb = NopBench{}
+	}
+	var i uint64
+	for ; i < n; i++ {
+		if i%ctxCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return i, ctx.Err()
+			default:
+			}
+		}
+		tb.BeforeCycle(e)
+		e.Cycle()
+		if !tb.AfterCycle(e) {
+			return i + 1, nil
+		}
+	}
+	return i, nil
 }
 
 // StateOf captures every register of an engine, in declaration order. Used

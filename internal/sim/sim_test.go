@@ -1,7 +1,10 @@
 package sim_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"cuttlego/internal/ast"
 	"cuttlego/internal/bits"
@@ -68,5 +71,43 @@ func TestNopBench(t *testing.T) {
 	nb.BeforeCycle(e)
 	if !nb.AfterCycle(e) {
 		t.Error("NopBench must never stop the run")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	e := counter(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := sim.RunContext(ctx, e, nil, 1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n >= 1_000_000 {
+		t.Fatalf("ran all %d cycles despite cancellation", n)
+	}
+	if e.CycleCount() != n {
+		t.Errorf("reported %d cycles, engine ran %d", n, e.CycleCount())
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	e := counter(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	n, err := sim.RunContext(ctx, e, nil, 1<<62)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded (after %d cycles)", err, n)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v to notice the deadline", elapsed)
+	}
+}
+
+func TestRunContextCompletes(t *testing.T) {
+	e := counter(t)
+	n, err := sim.RunContext(context.Background(), e, nil, 9)
+	if err != nil || n != 9 {
+		t.Fatalf("RunContext = (%d, %v), want (9, nil)", n, err)
 	}
 }

@@ -23,6 +23,15 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== race: parallel bench runner"
+go test -race -run 'Parallel|Ctx|Fuzz' ./internal/bench ./internal/sim
+
+echo "== fuzz smoke (5s per target)"
+go test ./internal/lang -run='^$' -fuzz='^FuzzLexer$' -fuzztime=5s
+go test ./internal/lang -run='^$' -fuzz='^FuzzParser$' -fuzztime=5s
+go test ./internal/lang -run='^$' -fuzz='^FuzzElaborate$' -fuzztime=5s
+go test ./internal/bench -run='^$' -fuzz='^FuzzLockstep$' -fuzztime=5s
+
 echo "== bench smoke (Fig1, 100x)"
 go test -run='^$' -bench=Fig1 -benchtime=100x .
 
