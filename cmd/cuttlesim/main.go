@@ -36,7 +36,7 @@ func main() {
 	fs := cli.Flags("cuttlesim")
 	var (
 		engine    = fs.String("engine", "cuttlesim", "engine: cuttlesim, interp, rtl, or rtl-opt")
-		level     = fs.Int("level", int(cuttlesim.LStatic), "cuttlesim optimization level 0..6")
+		level     = fs.Int("level", int(cuttlesim.LStatic), "cuttlesim optimization level 0..7")
 		backend   = fs.String("backend", "closure", "cuttlesim backend: closure or bytecode")
 		cycles    = fs.Uint64("cycles", 1000, "cycles to simulate")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")

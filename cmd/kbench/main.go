@@ -6,6 +6,7 @@
 //	kbench [-table1] [-fig1] [-fig2] [-fig3] [-ablation] [-verify] [-all]
 //	       [-cycles N] [-halt-budget N] [-full]
 //	       [-parallel N] [-timeout D] [-fuzz N] [-fuzz-base S] [-json PATH]
+//	       [-designs a,b] [-digest-check] [-cpuprofile PATH] [-memprofile PATH]
 //
 // With no selection flags, -all is assumed. -full uses paper-scale budgets
 // (minutes); the default budgets finish in seconds.
@@ -14,10 +15,17 @@
 // the scheduler fuzzer on an N-worker pool (0 = one per CPU). Results are
 // byte-identical to a sequential run: parallelism changes only wall-clock
 // time, never output. -json PATH additionally writes machine-readable
-// timings (design, engine, ns/cycle, cycles/sec) for the BENCH_*.json
-// performance trajectory. -timeout D bounds the fuzz and JSON stages: a run
-// over budget stops dispatching work, reports what completed (the JSON file
-// stays valid, marked incomplete), and exits 1.
+// timings (design, engine, ns/cycle, cycles/sec, final-state digest) for
+// the BENCH_*.json performance trajectory; -designs restricts it to named
+// catalogue entries and -digest-check makes it fail when two engines
+// disagree on a design's final state (the CI smoke gate). -timeout D bounds
+// the fuzz and JSON stages: a run over budget stops dispatching work,
+// reports what completed (the JSON file stays valid, marked incomplete),
+// and exits 1.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// selected jobs (the heap profile is snapshotted at exit), so the
+// simulator's own hot spots can be inspected with go tool pprof.
 //
 // Exit codes: 0 on success, 1 on input errors, divergences, or timeout,
 // 2 on an internal toolchain error.
@@ -27,6 +35,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"cuttlego/internal/bench"
 	"cuttlego/internal/cli"
@@ -49,10 +60,53 @@ func main() {
 		parallel = fs.Int("parallel", 1, "worker pool size for independent instances (0 = one per CPU)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the fuzz and JSON stages (0 = none)")
 		jsonPath = fs.String("json", "", "also write machine-readable timings to this file")
+		designs  = fs.String("designs", "", "comma-separated catalogue names restricting the -json grid")
+		digest   = fs.Bool("digest-check", false, "fail -json when engines disagree on a design's final state")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected jobs to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile (snapshotted at exit) to this file")
 	)
 	cli.Parse(fs, os.Args[1:])
 	if fs.NArg() != 0 {
 		cli.Usage("usage: kbench [flags]; run kbench -h for the flag list\n")
+	}
+
+	// Profiles must be flushed on every exit path, including cli.Fail's
+	// os.Exit, so failures route through fail() below.
+	stopProfiles := func() {}
+	if *cpuProf != "" || *memProf != "" {
+		var cpuFile *os.File
+		if *cpuProf != "" {
+			f, err := os.Create(*cpuProf)
+			if err != nil {
+				cli.Fail("kbench", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				cli.Fail("kbench", err)
+			}
+			cpuFile = f
+		}
+		stopProfiles = func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if *memProf != "" {
+				f, err := os.Create(*memProf)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "kbench: memprofile: %v\n", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "kbench: memprofile: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+	}
+	fail := func(err error) {
+		stopProfiles()
+		cli.Fail("kbench", err)
 	}
 
 	ctx := context.Background()
@@ -72,6 +126,14 @@ func main() {
 	if *haltB != 0 {
 		opts.HaltBudget = *haltB
 	}
+	if *designs != "" {
+		for _, name := range strings.Split(*designs, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Designs = append(opts.Designs, name)
+			}
+		}
+	}
+	opts.DigestCheck = *digest
 
 	type job struct {
 		sel bool
@@ -102,21 +164,21 @@ func main() {
 	for _, j := range jobs {
 		if !any || j.sel {
 			if err := j.run(); err != nil {
-				cli.Fail("kbench", err)
+				fail(err)
 			}
 			fmt.Println()
 		}
 	}
 	if *fuzzN > 0 {
 		if err := bench.FuzzCtx(ctx, os.Stdout, *fuzzBase, *fuzzN, 64, *parallel); err != nil {
-			cli.Fail("kbench", err)
+			fail(err)
 		}
 		fmt.Println()
 	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			cli.Fail("kbench", err)
+			fail(err)
 		}
 		werr := bench.WriteJSONCtx(ctx, f, opts, *parallel)
 		if cerr := f.Close(); werr == nil {
@@ -124,8 +186,9 @@ func main() {
 		}
 		if werr != nil {
 			// The report file on disk is still valid JSON, marked incomplete.
-			cli.Fail("kbench", fmt.Errorf("%s is partial: %w", *jsonPath, werr))
+			fail(fmt.Errorf("%s is partial: %w", *jsonPath, werr))
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+	stopProfiles()
 }

@@ -142,6 +142,23 @@ type RuleInfo struct {
 	Footprint []int
 	// WriteSet lists registers that may be written.
 	WriteSet []int
+	// ReadSet lists registers whose committed values the rule may observe
+	// on some path (a read at either port), including guard and abort
+	// paths: the registers whose values can influence the rule's control
+	// flow, its log, or its decision to abort.
+	ReadSet []int
+	// HasExtCall reports whether the rule calls an external function on any
+	// path. External functions may be stateful (memories, testbench I/O),
+	// so their calls are observable even when the rule later aborts.
+	HasExtCall bool
+	// Skippable reports whether the rule's outcome, when it aborts at an
+	// explicit fail node, is a pure function of the committed values of its
+	// ReadSet: no external calls anywhere in the body, and no reads of
+	// Goldbergian registers (whose committed value becomes visible at
+	// end-of-cycle rather than commit time). The activity-driven scheduler
+	// may park such a rule after a guard abort and skip re-attempting it
+	// until a ReadSet register is dirtied by a commit.
+	Skippable bool
 }
 
 // RegInfo summarizes one register.
@@ -202,7 +219,11 @@ func Analyze(d *ast.Design) (*Result, error) {
 			if e.AnyWrite() {
 				info.WriteSet = append(info.WriteSet, r)
 			}
+			if e.Rd0.Possible() || e.Rd1.Possible() {
+				info.ReadSet = append(info.ReadSet, r)
+			}
 		}
+		info.HasExtCall = hasExtCall(d.Rules[ri].Body)
 	}
 
 	// Pass 2: accumulate the cycle log across the schedule and decide which
@@ -262,7 +283,38 @@ func Analyze(d *ast.Design) (*Result, error) {
 			res.Regs[op.Reg].Safe = false
 		}
 	}
+
+	// Pass 4: decide skippability, which needs the Goldberg classification.
+	for ri := range res.Rules {
+		info := &res.Rules[ri]
+		info.Skippable = !info.HasExtCall
+		for _, r := range info.ReadSet {
+			if res.Regs[r].Goldberg {
+				info.Skippable = false
+				break
+			}
+		}
+	}
 	return res, nil
+}
+
+// hasExtCall reports whether the subtree contains an external call.
+func hasExtCall(n *ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Kind == ast.KExtCall {
+		return true
+	}
+	if hasExtCall(n.A) || hasExtCall(n.B) || hasExtCall(n.C) {
+		return true
+	}
+	for _, it := range n.Items {
+		if hasExtCall(it) {
+			return true
+		}
+	}
+	return false
 }
 
 // pathState threads control-flow facts through the abstract walk.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
 )
 
 func analyze(t *testing.T, d *ast.Design) *Result {
@@ -318,5 +319,54 @@ func TestUnscheduledRuleDoesNotPollute(t *testing.T) {
 	res := analyze(t, d)
 	if res.Rules[d.RuleIndex("real")].MayFail {
 		t.Error("real cannot fail; ghost is not scheduled")
+	}
+}
+
+func TestReadSetAndSkippable(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("a", ast.Bits(8), 0)
+	d.Reg("b", ast.Bits(8), 0)
+	d.Reg("c", ast.Bits(8), 0)
+	d.ExtFun("probe", []int{8}, ast.Bits(8), func(args []bits.Bits) bits.Bits { return args[0] })
+	d.Rule("pure",
+		ast.Guard(ast.Eq(ast.Rd0("a"), ast.C(8, 0))),
+		ast.Wr0("b", ast.Rd1("b")))
+	d.Rule("external",
+		ast.Wr0("c", ast.ExtCall("probe", ast.Rd0("c"))))
+	res := analyze(t, d)
+
+	pure := res.Rules[0]
+	// ReadSet: a (guard rd0) and b (rd1); not c.
+	if len(pure.ReadSet) != 2 || pure.ReadSet[0] != d.RegIndex("a") || pure.ReadSet[1] != d.RegIndex("b") {
+		t.Errorf("read set = %v", pure.ReadSet)
+	}
+	if pure.HasExtCall || !pure.Skippable {
+		t.Errorf("pure rule: hasExtCall=%v skippable=%v", pure.HasExtCall, pure.Skippable)
+	}
+
+	external := res.Rules[1]
+	if !external.HasExtCall || external.Skippable {
+		t.Errorf("external rule: hasExtCall=%v skippable=%v", external.HasExtCall, external.Skippable)
+	}
+}
+
+func TestGoldbergReaderNotSkippable(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("r", ast.Bits(8), 0)
+	d.Reg("s", ast.Bits(8), 0)
+	d.Rule("maker",
+		ast.Wr0("r", ast.C(8, 1)),
+		ast.Wr1("r", ast.C(8, 2)),
+		ast.Wr0("s", ast.Rd1("r")))
+	d.Rule("watcher",
+		ast.Guard(ast.Eq(ast.Rd0("r"), ast.C(8, 0))))
+	res := analyze(t, d)
+	if !res.Regs[d.RegIndex("r")].Goldberg {
+		t.Fatal("r should be Goldberg")
+	}
+	// Goldberg commits become visible at end of cycle, not at commit time,
+	// so rules reading r cannot be parked on dirty bits.
+	if res.Rules[1].Skippable {
+		t.Error("watcher reads a Goldberg register and must not be skippable")
 	}
 }

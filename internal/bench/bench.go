@@ -115,6 +115,15 @@ func Suite() []Benchmark {
 				return Instance{Design: d, Bench: rvcore.NewBench(cores...)}
 			},
 		},
+		{
+			Name:        "idle",
+			Description: "Idle-heavy producer/consumer chain (slow producer)",
+			Meta:        true,
+			Workload:    "one token per 64 cycles through 48 guarded stages",
+			New: func() Instance {
+				return Instance{Design: IdleBench(48, 6).MustCheck()}
+			},
+		},
 	}
 }
 
@@ -166,6 +175,46 @@ func FFTBench(n int) *ast.Design {
 				ast.Xor(ast.Rd1(fmt.Sprintf("yi_%d", i)), ast.C(32, uint64(i*17+3)))))
 	}
 	d.Rule("drive", items...)
+	return d
+}
+
+// IdleBench builds the activity benchmark: a producer ticks a counter every
+// cycle and releases a token into a chain of guarded consumer stages only
+// once per 2^periodLog2 cycles, so at any moment almost every stage is
+// stalled on its guard. Engines that re-execute every rule every cycle pay
+// for all the stages; the activity scheduler parks them and pays only for
+// the producer, the release guard, and the one or two stages the token is
+// actually traversing. This is the regime the quiescence/skipping machinery
+// targets — hardware spends most of its time waiting.
+func IdleBench(stages, periodLog2 int) *ast.Design {
+	d := ast.NewDesign(fmt.Sprintf("idle%d", stages))
+	d.Reg("tick", ast.Bits(32), 0)
+	for i := 0; i <= stages; i++ {
+		d.Reg(fmt.Sprintf("tok%d", i), ast.Bits(1), 0)
+	}
+	for i := 0; i < stages; i++ {
+		d.Reg(fmt.Sprintf("acc%d", i), ast.Bits(16), 0)
+	}
+	d.Reg("done", ast.Bits(32), 0)
+	// release is scheduled before produce so its rd0 of tick observes the
+	// committed counter instead of conflicting with this cycle's increment.
+	d.Rule("release",
+		ast.Guard(ast.Eq(ast.Slice(ast.Rd0("tick"), 0, periodLog2), ast.C(periodLog2, 0))),
+		ast.Wr0("tok0", ast.C(1, 1)))
+	d.Rule("produce", ast.Wr0("tick", ast.Add(ast.Rd0("tick"), ast.C(32, 1))))
+	for i := 0; i < stages; i++ {
+		tok, next, acc := fmt.Sprintf("tok%d", i), fmt.Sprintf("tok%d", i+1), fmt.Sprintf("acc%d", i)
+		d.Rule(fmt.Sprintf("stage%d", i),
+			ast.Guard(ast.Eq(ast.Rd0(tok), ast.C(1, 1))),
+			ast.Wr0(tok, ast.C(1, 0)),
+			ast.Wr0(next, ast.C(1, 1)),
+			ast.Wr0(acc, ast.Add(ast.Rd0(acc), ast.C(16, 1))))
+	}
+	last := fmt.Sprintf("tok%d", stages)
+	d.Rule("drain",
+		ast.Guard(ast.Eq(ast.Rd0(last), ast.C(1, 1))),
+		ast.Wr0(last, ast.C(1, 0)),
+		ast.Wr0("done", ast.Add(ast.Rd0("done"), ast.C(32, 1))))
 	return d
 }
 
@@ -254,6 +303,9 @@ type Measurement struct {
 	Engine    string
 	Cycles    uint64
 	Elapsed   time.Duration
+	// Digest hashes the engine's final architectural state; engines that ran
+	// the same benchmark over the same window must agree on it.
+	Digest uint64
 }
 
 // CPS returns simulated cycles per wall-clock second.
@@ -280,7 +332,32 @@ func Measure(bm Benchmark, eng Engine, cycles uint64) (Measurement, error) {
 	runCycles(e, tb, warm)
 	start := time.Now()
 	runCycles(e, tb, cycles)
-	return Measurement{Benchmark: bm.Name, Engine: eng.Name, Cycles: cycles, Elapsed: time.Since(start)}, nil
+	elapsed := time.Since(start)
+	return Measurement{Benchmark: bm.Name, Engine: eng.Name, Cycles: cycles,
+		Elapsed: elapsed, Digest: StateDigest(e)}, nil
+}
+
+// StateDigest hashes the engine's full architectural state (FNV-1a over
+// register widths and values), so cross-engine agreement can be asserted
+// from a single number at the end of a run.
+func StateDigest(e sim.Engine) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for _, b := range sim.StateOf(e) {
+		mix(uint64(b.Width))
+		mix(b.Val)
+	}
+	return h
 }
 
 // runCycles drives the engine unconditionally for n cycles (benchmarks

@@ -1,6 +1,14 @@
 package bench
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/sim"
+)
 
 // FuzzLockstep is the native-fuzzing face of the lockstep checker: the
 // fuzzer picks a generator seed and cycle count, and every engine in the
@@ -14,6 +22,64 @@ func FuzzLockstep(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64, cycles uint64) {
 		if err := FuzzOne(seed, cycles%64+1); err != nil {
 			t.Fatalf("engines diverged: %v", err)
+		}
+	})
+}
+
+// FuzzStallLockstep hammers the activity scheduler where it matters: on
+// stall-heavy producer/consumer chains whose rules spend most cycles parked.
+// Fuzzed shape parameters vary the chain length and release period; the
+// activity engines (both backends) must track the reference interpreter
+// cycle-for-cycle.
+func FuzzStallLockstep(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint16(96))
+	f.Add(uint8(1), uint8(1), uint16(33))
+	f.Add(uint8(15), uint8(6), uint16(300))
+	f.Fuzz(func(t *testing.T, stagesRaw, periodRaw uint8, cyclesRaw uint16) {
+		stages := int(stagesRaw)%16 + 1
+		periodLog := int(periodRaw)%6 + 1
+		cycles := uint64(cyclesRaw)%512 + 1
+		build := func() *ast.Design { return IdleBench(stages, periodLog).MustCheck() }
+		ref, err := interp.New(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pair struct {
+			name string
+			eng  sim.Engine
+		}
+		var others []pair
+		for _, cfg := range []cuttlesim.Options{
+			{Level: cuttlesim.LStatic, Backend: cuttlesim.Closure},
+			{Level: cuttlesim.LActivity, Backend: cuttlesim.Closure},
+			{Level: cuttlesim.LActivity, Backend: cuttlesim.Bytecode},
+		} {
+			e, err := cuttlesim.New(build(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			others = append(others, pair{fmt.Sprintf("%v/%v", cfg.Level, cfg.Backend), e})
+		}
+		d := ref.Design()
+		for c := uint64(0); c < cycles; c++ {
+			ref.Cycle()
+			want := sim.StateOf(ref)
+			for _, p := range others {
+				p.eng.Cycle()
+				got := sim.StateOf(p.eng)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("stages=%d period=2^%d cycle %d: %s reg %s = %v, interp has %v",
+							stages, periodLog, c, p.name, d.Registers[i].Name, got[i], want[i])
+					}
+				}
+				for _, r := range d.Rules {
+					if p.eng.RuleFired(r.Name) != ref.RuleFired(r.Name) {
+						t.Fatalf("stages=%d period=2^%d cycle %d: %s rule %s fired=%v, interp disagrees",
+							stages, periodLog, c, p.name, r.Name, p.eng.RuleFired(r.Name))
+					}
+				}
+			}
 		}
 	})
 }

@@ -5,6 +5,7 @@ package bench
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"cuttlego/internal/circuit"
@@ -21,7 +22,10 @@ type JSONResult struct {
 	Cycles       uint64  `json:"cycles"`
 	NsPerCycle   float64 `json:"ns_per_cycle"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
-	Error        string  `json:"error,omitempty"`
+	// StateDigest is the FNV-1a hash of the final architectural state; all
+	// engines on one design row must agree on it.
+	StateDigest string `json:"state_digest,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // JSONReport is the top-level export document.
@@ -36,10 +40,14 @@ type JSONReport struct {
 
 // jsonEngines is the engine set the JSON trajectory tracks: the paper's
 // two headline pipelines plus the strengthened (netopt + fused) baseline
-// and the switch interpreter as the floor.
+// and the switch interpreter as the floor. The activity ablation runs both
+// Cuttlesim backends with and without activity-driven scheduling.
 func jsonEngines() []Engine {
 	return []Engine{
 		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure),
+		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Bytecode),
+		EngCuttlesim(cuttlesim.LActivity, cuttlesim.Closure),
+		EngCuttlesim(cuttlesim.LActivity, cuttlesim.Bytecode),
 		EngRTL(circuit.StyleKoika, rtlsim.Closure),
 		EngRTL(circuit.StyleKoika, rtlsim.Switch),
 		EngRTLOpt(circuit.StyleKoika, rtlsim.Fused, true),
@@ -63,12 +71,16 @@ func WriteJSON(w io.Writer, opts Options, workers int) error {
 // cause) is returned after the report has been encoded, so callers can
 // exit nonzero without losing the partial results.
 func WriteJSONCtx(ctx context.Context, w io.Writer, opts Options, workers int) error {
+	suite, err := opts.selectBenchmarks()
+	if err != nil {
+		return err
+	}
 	type cell struct {
 		bm  Benchmark
 		eng Engine
 	}
 	var cells []cell
-	for _, bm := range Suite() {
+	for _, bm := range suite {
 		for _, eng := range jsonEngines() {
 			cells = append(cells, cell{bm, eng})
 		}
@@ -107,8 +119,12 @@ func WriteJSONCtx(ctx context.Context, w io.Writer, opts Options, workers int) e
 			jr.Cycles = r.m.Cycles
 			jr.NsPerCycle = ns
 			jr.CyclesPerSec = r.m.CPS()
+			jr.StateDigest = fmt.Sprintf("%016x", r.m.Digest)
 		}
 		rep.Results = append(rep.Results, jr)
+	}
+	if opts.DigestCheck && firstErr == nil {
+		firstErr = checkDigests(rep.Results)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -119,4 +135,26 @@ func WriteJSONCtx(ctx context.Context, w io.Writer, opts Options, workers int) e
 		return err
 	}
 	return firstErr
+}
+
+// checkDigests verifies that every engine that completed a design agrees on
+// the final state digest — a lockstep-lite soundness gate cheap enough for
+// CI smoke runs.
+func checkDigests(results []JSONResult) error {
+	first := map[string]JSONResult{}
+	for _, r := range results {
+		if r.Error != "" || r.StateDigest == "" {
+			continue
+		}
+		ref, ok := first[r.Design]
+		if !ok {
+			first[r.Design] = r
+			continue
+		}
+		if r.StateDigest != ref.StateDigest {
+			return fmt.Errorf("bench: digest mismatch on %s: %s has %s, %s has %s",
+				r.Design, ref.Engine, ref.StateDigest, r.Engine, r.StateDigest)
+		}
+	}
+	return nil
 }

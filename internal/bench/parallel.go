@@ -100,6 +100,8 @@ func fuzzEngines() []Engine {
 		EngCuttlesim(cuttlesim.LNaive, cuttlesim.Closure),
 		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure),
 		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Bytecode),
+		EngCuttlesim(cuttlesim.LActivity, cuttlesim.Closure),
+		EngCuttlesim(cuttlesim.LActivity, cuttlesim.Bytecode),
 	}
 	for _, backend := range []rtlsim.Backend{rtlsim.Switch, rtlsim.Closure, rtlsim.Fused} {
 		for _, opt := range []bool{false, true} {

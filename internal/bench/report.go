@@ -18,6 +18,29 @@ type Options struct {
 	Cycles uint64
 	// HaltBudget bounds the Table 1 run-to-completion measurement.
 	HaltBudget uint64
+	// Designs, when non-empty, restricts the JSON export to the named
+	// catalogue entries (Table 1 rows or extras).
+	Designs []string
+	// DigestCheck makes the JSON export fail when two engines that ran the
+	// same design disagree on the final state digest — the CI smoke gate.
+	DigestCheck bool
+}
+
+// selectBenchmarks resolves the Designs filter against the catalogue; an
+// empty filter means the whole Table 1 suite.
+func (o Options) selectBenchmarks() ([]Benchmark, error) {
+	if len(o.Designs) == 0 {
+		return Suite(), nil
+	}
+	var out []Benchmark
+	for _, name := range o.Designs {
+		bm, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown design %q (catalogue: %v)", name, Names())
+		}
+		out = append(out, bm)
+	}
+	return out, nil
 }
 
 // Quick returns small budgets suitable for tests and smoke runs.
@@ -234,6 +257,8 @@ func Conformance(w io.Writer, cycles uint64, workers int) error {
 		EngCuttlesim(cuttlesim.LNaive, cuttlesim.Closure),
 		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure),
 		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Bytecode),
+		EngCuttlesim(cuttlesim.LActivity, cuttlesim.Closure),
+		EngCuttlesim(cuttlesim.LActivity, cuttlesim.Bytecode),
 		EngRTL(circuit.StyleKoika, rtlsim.Closure),
 		EngRTLOpt(circuit.StyleKoika, rtlsim.Fused, true),
 		EngRTL(circuit.StyleBluespec, rtlsim.Closure),

@@ -1,0 +1,241 @@
+package cuttlesim_test
+
+import (
+	"context"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/testkit"
+)
+
+// buildStall is the smallest stalling design: one rule whose guard stays
+// false until the testbench flips "go". At LActivity the rule parks after
+// its first abort and the whole design quiesces.
+func buildStall() *ast.Design {
+	d := ast.NewDesign("stall")
+	d.Reg("go", ast.Bits(1), 0)
+	d.Reg("out", ast.Bits(8), 0)
+	d.Rule("work",
+		ast.Guard(ast.Eq(ast.Rd0("go"), ast.C(1, 1))),
+		ast.Wr0("out", ast.Add(ast.Rd0("out"), ast.C(8, 1))))
+	return d
+}
+
+// buildChain is a two-stage handshake: "arm" waits for go, raises flag and
+// drops go; "consume" waits for flag, drops it and bumps out. Parked rules
+// are woken only by commits to their read sets.
+func buildChain() *ast.Design {
+	d := ast.NewDesign("chain")
+	d.Reg("go", ast.Bits(1), 0)
+	d.Reg("flag", ast.Bits(1), 0)
+	d.Reg("out", ast.Bits(8), 0)
+	d.Rule("arm",
+		ast.Guard(ast.Eq(ast.Rd0("go"), ast.C(1, 1))),
+		ast.Wr0("flag", ast.C(1, 1)),
+		ast.Wr0("go", ast.C(1, 0)))
+	d.Rule("consume",
+		ast.Guard(ast.Eq(ast.Rd0("flag"), ast.C(1, 1))),
+		ast.Wr0("flag", ast.C(1, 0)),
+		ast.Wr0("out", ast.Add(ast.Rd0("out"), ast.C(8, 1))))
+	return d
+}
+
+func TestActivitySkipsStalledRule(t *testing.T) {
+	for _, backend := range []cuttlesim.Backend{cuttlesim.Closure, cuttlesim.Bytecode} {
+		t.Run(backend.String(), func(t *testing.T) {
+			s, err := cuttlesim.New(buildStall().MustCheck(),
+				cuttlesim.Options{Level: cuttlesim.LActivity, Backend: backend, Profile: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Run without a testbench: the first cycle aborts and parks, the
+			// second observes quiescence, the rest fast-forward.
+			if got := sim.Run(s, nil, 2000); got != 2000 {
+				t.Fatalf("ran %d cycles, want 2000", got)
+			}
+			if s.CycleCount() != 2000 {
+				t.Fatalf("cycle count = %d, want 2000", s.CycleCount())
+			}
+			if out := s.Reg("out"); out != bits.New(8, 0) {
+				t.Fatalf("out = %v, want 0 while stalled", out)
+			}
+			st := s.RuleStats()[0]
+			if st.Attempts != 2000 || st.Commits != 0 {
+				t.Errorf("attempts/commits = %d/%d, want 2000/0", st.Attempts, st.Commits)
+			}
+			if st.Skipped != 1999 {
+				t.Errorf("skipped = %d, want 1999 (all but the first abort)", st.Skipped)
+			}
+			// The testbench poking an input wakes the parked rule.
+			s.SetReg("go", bits.New(1, 1))
+			sim.Run(s, nil, 5)
+			if out := s.Reg("out"); out != bits.New(8, 5) {
+				t.Errorf("out = %v after wake, want 5", out)
+			}
+		})
+	}
+}
+
+func TestActivityWakeByCommit(t *testing.T) {
+	ref := cuttlesim.MustNew(buildChain().MustCheck(),
+		cuttlesim.Options{Level: cuttlesim.LStatic, Profile: true})
+	act := cuttlesim.MustNew(buildChain().MustCheck(),
+		cuttlesim.Options{Level: cuttlesim.LActivity, Profile: true})
+	engines := []*cuttlesim.Simulator{ref, act}
+	for cycle := 0; cycle < 60; cycle++ {
+		if cycle%10 == 0 {
+			for _, e := range engines {
+				e.SetReg("go", bits.New(1, 1))
+			}
+		}
+		for _, e := range engines {
+			e.Cycle()
+		}
+		a, b := sim.StateOf(ref), sim.StateOf(act)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cycle %d reg %d: static %v vs activity %v", cycle, i, a[i], b[i])
+			}
+		}
+	}
+	if out := act.Reg("out"); out != bits.New(8, 6) {
+		t.Errorf("out = %v, want 6 (one handshake per poke)", out)
+	}
+	rs, as := ref.RuleStats(), act.RuleStats()
+	var skipped uint64
+	for i := range rs {
+		if rs[i].Attempts != as[i].Attempts || rs[i].Commits != as[i].Commits {
+			t.Errorf("rule %s: static %d/%d vs activity %d/%d attempts/commits",
+				rs[i].Rule, rs[i].Attempts, rs[i].Commits, as[i].Attempts, as[i].Commits)
+		}
+		if rs[i].Skipped != 0 {
+			t.Errorf("rule %s: static level reported %d skips", rs[i].Rule, rs[i].Skipped)
+		}
+		skipped += as[i].Skipped
+	}
+	if skipped == 0 {
+		t.Error("activity level never skipped in a stall-heavy run")
+	}
+}
+
+func TestActivityConflictAbortsDoNotPark(t *testing.T) {
+	// "second" aborts every cycle on a write conflict, not at a fail node;
+	// dirty bits cannot predict conflicts, so it must never be skipped.
+	d := ast.NewDesign("conflict")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("first", ast.Wr0("x", ast.C(8, 1)))
+	d.Rule("second", ast.Wr0("x", ast.C(8, 2)))
+	for _, backend := range []cuttlesim.Backend{cuttlesim.Closure, cuttlesim.Bytecode} {
+		t.Run(backend.String(), func(t *testing.T) {
+			s, err := cuttlesim.New(d.MustCheck(),
+				cuttlesim.Options{Level: cuttlesim.LActivity, Backend: backend, Profile: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.Run(s, nil, 50)
+			st := s.RuleStats()[1]
+			if st.Attempts != 50 || st.Commits != 0 {
+				t.Errorf("attempts/commits = %d/%d, want 50/0", st.Attempts, st.Commits)
+			}
+			if st.Skipped != 0 {
+				t.Errorf("skipped = %d, want 0 for conflict aborts", st.Skipped)
+			}
+		})
+	}
+}
+
+func TestActivityObserversDisableSkipping(t *testing.T) {
+	t.Run("coverage", func(t *testing.T) {
+		d := buildStall().MustCheck()
+		s, err := cuttlesim.New(d, cuttlesim.Options{Level: cuttlesim.LActivity, Coverage: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(s, nil, 20)
+		if got := s.Coverage()[d.Rules[0].Body.ID]; got != 20 {
+			t.Errorf("root coverage = %d, want 20 (no skipping under coverage)", got)
+		}
+	})
+	t.Run("hook", func(t *testing.T) {
+		h := &recordingHook{}
+		s, err := cuttlesim.New(buildStall().MustCheck(),
+			cuttlesim.Options{Level: cuttlesim.LActivity, Hook: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(s, nil, 20)
+		if h.ruleStarts != 20 || h.ruleEnds != 20 {
+			t.Errorf("rule events = %d/%d, want 20/20 (no skipping under a hook)",
+				h.ruleStarts, h.ruleEnds)
+		}
+	})
+}
+
+// Every zoo design must produce the same per-rule attempt and commit counts
+// at LActivity as at LStatic, with skipped aborts reported separately.
+func TestActivityProfileMatchesStatic(t *testing.T) {
+	for _, entry := range testkit.Zoo() {
+		t.Run(entry.Name, func(t *testing.T) {
+			ref := cuttlesim.MustNew(entry.Build().MustCheck(),
+				cuttlesim.Options{Level: cuttlesim.LStatic, Profile: true})
+			act := cuttlesim.MustNew(entry.Build().MustCheck(),
+				cuttlesim.Options{Level: cuttlesim.LActivity, Profile: true})
+			for i := 0; i < 64; i++ {
+				ref.Cycle()
+				act.Cycle()
+			}
+			rs, as := ref.RuleStats(), act.RuleStats()
+			for i := range rs {
+				if rs[i].Attempts != as[i].Attempts || rs[i].Commits != as[i].Commits {
+					t.Errorf("rule %s: static %d/%d vs activity %d/%d attempts/commits",
+						rs[i].Rule, rs[i].Attempts, rs[i].Commits, as[i].Attempts, as[i].Commits)
+				}
+				if as[i].Skipped > as[i].Attempts-as[i].Commits {
+					t.Errorf("rule %s: skipped %d exceeds aborts %d",
+						as[i].Rule, as[i].Skipped, as[i].Attempts-as[i].Commits)
+				}
+			}
+		})
+	}
+}
+
+func TestActivityAdvanceUnderContext(t *testing.T) {
+	// 5000 cycles crosses RunContext's cancellation-check chunking; the
+	// quiescence fast path must still account for every cycle.
+	s := cuttlesim.MustNew(buildStall().MustCheck(),
+		cuttlesim.Options{Level: cuttlesim.LActivity, Profile: true})
+	cycles, err := sim.RunContext(context.Background(), s, nil, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 5000 || s.CycleCount() != 5000 {
+		t.Fatalf("ran %d cycles, engine at %d, want 5000", cycles, s.CycleCount())
+	}
+	if st := s.RuleStats()[0]; st.Attempts != 5000 {
+		t.Errorf("attempts = %d, want 5000", st.Attempts)
+	}
+}
+
+// Simulation must not allocate per cycle at the optimized levels — the
+// paper's performance story depends on the hot loop staying allocation-free.
+func TestCycleDoesNotAllocate(t *testing.T) {
+	for _, level := range []cuttlesim.Level{cuttlesim.LStatic, cuttlesim.LActivity} {
+		for _, backend := range []cuttlesim.Backend{cuttlesim.Closure, cuttlesim.Bytecode} {
+			t.Run(level.String()+"/"+backend.String(), func(t *testing.T) {
+				entry := testkit.Zoo()[6] // guarded pipeline: commits and aborts
+				s, err := cuttlesim.New(entry.Build().MustCheck(),
+					cuttlesim.Options{Level: level, Backend: backend, Profile: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim.Run(s, nil, 10) // warm up
+				if avg := testing.AllocsPerRun(200, s.Cycle); avg != 0 {
+					t.Errorf("%.2f allocations per cycle, want 0", avg)
+				}
+			})
+		}
+	}
+}

@@ -310,6 +310,7 @@ func (m *machine) exec(rc ruleCode) bool {
 			v, ok := m.read0(int(in.a))
 			if !ok {
 				m.failClean = in.b != 0
+				m.failGuard = false
 				return false
 			}
 			st[sp] = v
@@ -318,6 +319,7 @@ func (m *machine) exec(rc ruleCode) bool {
 			v, ok := m.read1(int(in.a))
 			if !ok {
 				m.failClean = in.b != 0
+				m.failGuard = false
 				return false
 			}
 			st[sp] = v
@@ -326,16 +328,19 @@ func (m *machine) exec(rc ruleCode) bool {
 			sp--
 			if !m.write0(int(in.a), st[sp]) {
 				m.failClean = in.b != 0
+				m.failGuard = false
 				return false
 			}
 		case oWr1:
 			sp--
 			if !m.write1(int(in.a), st[sp]) {
 				m.failClean = in.b != 0
+				m.failGuard = false
 				return false
 			}
 		case oFail:
 			m.failClean = in.b != 0
+			m.failGuard = true
 			return false
 		case oNot:
 			st[sp-1] = ^st[sp-1] & in.imm

@@ -209,11 +209,13 @@ func (c *compiler) compileBare(n *ast.Node) valFn {
 			return func(m *machine) (uint64, bool) {
 				hook.OnOp(id, -1, 0, false)
 				m.failClean = clean
+				m.failGuard = true
 				return 0, false
 			}
 		}
 		return func(m *machine) (uint64, bool) {
 			m.failClean = clean
+			m.failGuard = true
 			return 0, false
 		}
 
@@ -358,7 +360,7 @@ func (c *compiler) compileRead(n *ast.Node) valFn {
 	hook := c.opts.Hook
 
 	var fn valFn
-	if c.opts.Level == LStatic && hook == nil && c.s.an.Regs[reg].Safe && !c.s.an.Regs[reg].Goldberg {
+	if c.opts.Level >= LStatic && hook == nil && c.s.an.Regs[reg].Safe && !c.s.an.Regs[reg].Goldberg {
 		// Safe, non-Goldberg register: direct load.
 		if port == ast.P0 {
 			return func(m *machine) (uint64, bool) { return m.dL0[reg], true }
@@ -370,6 +372,7 @@ func (c *compiler) compileRead(n *ast.Node) valFn {
 			v, ok := m.read0(reg)
 			if !ok {
 				m.failClean = clean
+				m.failGuard = false
 			}
 			return v, ok
 		}
@@ -378,6 +381,7 @@ func (c *compiler) compileRead(n *ast.Node) valFn {
 			v, ok := m.read1(reg)
 			if !ok {
 				m.failClean = clean
+				m.failGuard = false
 			}
 			return v, ok
 		}
@@ -403,7 +407,7 @@ func (c *compiler) compileWrite(n *ast.Node) valFn {
 	id := n.ID
 	hook := c.opts.Hook
 
-	if c.opts.Level == LStatic && hook == nil && c.s.an.Regs[reg].Safe && !c.s.an.Regs[reg].Goldberg {
+	if c.opts.Level >= LStatic && hook == nil && c.s.an.Regs[reg].Safe && !c.s.an.Regs[reg].Goldberg {
 		// Safe, non-Goldberg register: direct store into the accumulated
 		// log's data cell; commit/rollback handles the rest.
 		return func(m *machine) (uint64, bool) {
@@ -433,6 +437,7 @@ func (c *compiler) compileWrite(n *ast.Node) valFn {
 			hook.OnOp(id, reg, v, ok)
 			if !ok {
 				m.failClean = clean
+				m.failGuard = false
 				return 0, false
 			}
 			return 0, true
@@ -445,6 +450,7 @@ func (c *compiler) compileWrite(n *ast.Node) valFn {
 		}
 		if !write(m, reg, v) {
 			m.failClean = clean
+			m.failGuard = false
 			return 0, false
 		}
 		return 0, true

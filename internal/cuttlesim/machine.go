@@ -59,11 +59,19 @@ type machine struct {
 	clearWhole  bool // tracked set is dense: memclr beats the index loop
 	commits     []commitPlan
 
+	// LActivity bookkeeping (nil below LActivity or under observers).
+	act *activity
+
 	locals []uint64
 	stack  []uint64 // bytecode operand stack
 	fired  []bool
 
 	failClean bool
+	// failGuard distinguishes the two abort causes: true when the abort
+	// came from an explicit fail node (a pure function of the values read,
+	// so the activity scheduler may park the rule), false when a read-write
+	// check failed (a transient conflict with an earlier rule this cycle).
+	failGuard bool
 	cycle     uint64
 	cov       []uint64
 }
@@ -116,7 +124,7 @@ func newMachine(d *ast.Design, an *analysis.Result, opts Options) *machine {
 		}
 	}
 
-	if m.level == LStatic {
+	if m.level >= LStatic {
 		m.track = make([]bool, n)
 		for r := range an.Regs {
 			if !an.Regs[r].Safe || an.Regs[r].Goldberg {
@@ -130,6 +138,7 @@ func newMachine(d *ast.Design, an *analysis.Result, opts Options) *machine {
 			m.commits[si] = m.planCommit(&an.Rules[ri])
 		}
 	}
+	m.act = newActivity(d, an, opts)
 	return m
 }
 
@@ -542,6 +551,9 @@ func (m *machine) regValue(reg int) uint64 {
 }
 
 func (m *machine) setRegValue(reg int, v uint64) {
+	if m.act != nil {
+		m.act.touch(reg)
+	}
 	if m.level >= LNoBOC && !m.goldberg[reg] {
 		m.dL0[reg] = v
 		m.dA0[reg] = v

@@ -56,16 +56,27 @@ const (
 	// safe registers, commits and rollbacks restricted to rule footprints,
 	// and failure paths that exit without rollback.
 	LStatic
+	// LActivity: activity-driven scheduling on top of LStatic. Per-register
+	// dirty generations are bumped when a commit (or SetReg/Restore)
+	// touches a register; a skippable rule (analysis.RuleInfo.Skippable)
+	// that aborted at an explicit fail node is parked and re-attempted only
+	// once a register in its ReadSet has been dirtied — otherwise the abort
+	// is replayed at zero execution cost. When every scheduled rule is
+	// parked on a clean read set the whole design is quiescent and
+	// Simulator.Advance fast-forwards the remaining cycles in O(1). The
+	// machinery disables itself (falling back to plain LStatic behaviour)
+	// when a debug hook or coverage instrumentation observes rule attempts.
+	LActivity
 )
 
 // Levels lists every optimization level, for ablation sweeps.
 func Levels() []Level {
-	return []Level{LNaive, LSplitSets, LAccumulate, LResetOnFail, LMergeData, LNoBOC, LStatic}
+	return []Level{LNaive, LSplitSets, LAccumulate, LResetOnFail, LMergeData, LNoBOC, LStatic, LActivity}
 }
 
 func (l Level) String() string {
 	names := [...]string{"naive", "split-sets", "accumulate", "reset-on-fail",
-		"merge-data", "no-boc", "static"}
+		"merge-data", "no-boc", "static", "activity"}
 	if l < 0 || int(l) >= len(names) {
 		return fmt.Sprintf("level(%d)", int(l))
 	}

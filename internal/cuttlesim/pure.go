@@ -45,7 +45,7 @@ func (c *compiler) cannotAbort(n *ast.Node) bool {
 // pureEligible gates the fast path: it needs LStatic's facts and is
 // incompatible with per-node instrumentation.
 func (c *compiler) pureEligible() bool {
-	return c.opts.Level == LStatic && !c.opts.Coverage && c.opts.Hook == nil
+	return c.opts.Level >= LStatic && !c.opts.Coverage && c.opts.Hook == nil
 }
 
 // compileU compiles a subtree known to be abort-free.

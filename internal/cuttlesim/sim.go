@@ -126,13 +126,29 @@ func (s *Simulator) SetReg(name string, v bits.Bits) {
 // RuleFired implements sim.Engine.
 func (s *Simulator) RuleFired(rule string) bool { return s.m.fired[s.d.RuleIndex(rule)] }
 
-// Cycle implements sim.Engine.
+// Cycle implements sim.Engine. At LActivity, parked rules (skippable rules
+// whose last abort was at an explicit fail node) are skipped while their
+// read set is clean; see activity.go for the protocol and its soundness
+// argument.
 func (s *Simulator) Cycle() {
 	m := s.m
+	act := m.act
 	hook := s.opts.Hook
 	m.beginCycle()
+	allSkipped := true
 	if s.opts.Backend == Closure {
 		for i, ri := range s.sched {
+			if act != nil && act.parkGen[i] != 0 {
+				if !act.dirtySince(i) {
+					m.fired[ri] = false
+					if s.profile != nil {
+						s.profile[ri].recordSkip()
+					}
+					continue
+				}
+				act.unpark(i)
+			}
+			allSkipped = false
 			m.beginRule()
 			if hook != nil {
 				hook.OnRuleStart(ri)
@@ -141,8 +157,14 @@ func (s *Simulator) Cycle() {
 			_, ok := s.rules[i](m)
 			if ok {
 				m.commitRule(i)
+				if act != nil {
+					act.commit(i)
+				}
 			} else {
 				m.failRule(i)
+				if act != nil && m.failGuard && act.skippable[i] {
+					act.park(i)
+				}
 			}
 			m.fired[ri] = ok
 			if s.profile != nil {
@@ -154,13 +176,30 @@ func (s *Simulator) Cycle() {
 		}
 	} else {
 		for i, ri := range s.sched {
+			if act != nil && act.parkGen[i] != 0 {
+				if !act.dirtySince(i) {
+					m.fired[ri] = false
+					if s.profile != nil {
+						s.profile[ri].recordSkip()
+					}
+					continue
+				}
+				act.unpark(i)
+			}
+			allSkipped = false
 			m.beginRule()
 			m.failClean = false
 			ok := m.exec(s.bytecode[i])
 			if ok {
 				m.commitRule(i)
+				if act != nil {
+					act.commit(i)
+				}
 			} else {
 				m.failRule(i)
+				if act != nil && m.failGuard && act.skippable[i] {
+					act.park(i)
+				}
 			}
 			m.fired[ri] = ok
 			if s.profile != nil {
@@ -170,6 +209,37 @@ func (s *Simulator) Cycle() {
 	}
 	m.endCycle()
 	m.cycle++
+	if act != nil && allSkipped {
+		act.quiesceGen = act.gen
+	}
+}
+
+// Advance implements sim.Advancer: it executes exactly n cycles, using the
+// quiescence fast path when the design can no longer change state. A design
+// is quiescent when every scheduled rule is parked on a clean read set — the
+// just-executed cycle skipped every position and committed nothing — so all
+// remaining cycles are replays of it: cycle accounting and per-rule profile
+// counters advance, registers and fired flags are already exact. Advance is
+// only reachable with no testbench attached, and the fast path only exists
+// at LActivity with no hook or coverage observer (otherwise every cycle runs
+// in full).
+func (s *Simulator) Advance(n uint64) uint64 {
+	act := s.m.act
+	for i := uint64(0); i < n; i++ {
+		if act != nil && act.quiescent(len(s.sched)) {
+			k := n - i
+			s.m.cycle += k
+			if s.profile != nil {
+				for _, ri := range s.sched {
+					s.profile[ri].Attempts += k
+					s.profile[ri].Skipped += k
+				}
+			}
+			break
+		}
+		s.Cycle()
+	}
+	return n
 }
 
 // RuleStat is one rule's profile: how often it was attempted and how often
@@ -179,6 +249,11 @@ type RuleStat struct {
 	Rule     string
 	Attempts uint64
 	Commits  uint64
+	// Skipped counts aborts the activity scheduler predicted without running
+	// the rule (LActivity only). Skipped aborts are included in Attempts, so
+	// Attempts, Commits, and Aborts() are identical across levels; Skipped
+	// reports how many of those aborts cost nothing.
+	Skipped uint64
 }
 
 func (r *RuleStat) record(ok bool) {
@@ -186,6 +261,11 @@ func (r *RuleStat) record(ok bool) {
 	if ok {
 		r.Commits++
 	}
+}
+
+func (r *RuleStat) recordSkip() {
+	r.Attempts++
+	r.Skipped++
 }
 
 // Aborts returns how many attempts failed.

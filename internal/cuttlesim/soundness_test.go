@@ -62,7 +62,7 @@ func TestQuickAnalysisSoundness(t *testing.T) {
 // Property: snapshot/restore is exact on random designs at every level.
 func TestQuickSnapshotRestore(t *testing.T) {
 	f := func(seed int64, levelRaw uint8) bool {
-		level := cuttlesim.Levels()[int(levelRaw)%7]
+		level := cuttlesim.Levels()[int(levelRaw)%len(cuttlesim.Levels())]
 		d := testkit.Random(seed % 50000).MustCheck()
 		s, err := cuttlesim.New(d, cuttlesim.Options{Level: level})
 		if err != nil {

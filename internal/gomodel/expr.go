@@ -47,6 +47,9 @@ func (g *gen) stmt(n *ast.Node) {
 	case ast.KWrite:
 		g.write(n)
 	case ast.KFail:
+		if g.activity {
+			g.line("guardFail = true")
+		}
 		g.line("%s", g.abort(g.an.Ops[n.ID].CleanBefore))
 	case ast.KConst:
 		// unit constant: nothing to do
@@ -187,6 +190,9 @@ func (g *gen) expr(n *ast.Node) string {
 		return "0x0"
 
 	case ast.KFail:
+		if g.activity {
+			g.line("guardFail = true")
+		}
 		g.line("%s", g.abort(g.an.Ops[n.ID].CleanBefore))
 		return "0x0"
 

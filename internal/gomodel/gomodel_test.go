@@ -163,3 +163,40 @@ func TestEmittedSourceShape(t *testing.T) {
 		}
 	}
 }
+
+// A design that goes quiet must produce the same final state even though
+// the generated program stops iterating once every rule is parked.
+func TestGeneratedQuiescentDesign(t *testing.T) {
+	build := func() *ast.Design {
+		d := ast.NewDesign("quiesce")
+		d.Reg("cnt", ast.Bits(8), 0)
+		d.Rule("count",
+			ast.Guard(ast.Ltu(ast.Rd0("cnt"), ast.C(8, 10))),
+			ast.Wr0("cnt", ast.Add(ast.Rd0("cnt"), ast.C(8, 1))))
+		return d
+	}
+	compareToEngine(t, build, 5000)
+}
+
+func TestEmittedActivityShape(t *testing.T) {
+	src, err := gomodel.Emit(stm.Collatz(6).MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parkGen", "guardFail", "lastWrite"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing activity machinery %q", want)
+		}
+	}
+	// A design whose rules cannot abort carries no scheduler at all.
+	d := ast.NewDesign("plain")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("inc", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	src, err = gomodel.Emit(d.MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "parkGen") {
+		t.Error("abort-free design should not carry the activity scheduler")
+	}
+}

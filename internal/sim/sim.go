@@ -48,6 +48,17 @@ type Snapshot struct {
 	Regs  []bits.Bits
 }
 
+// Advancer is implemented by engines that can execute a whole run of cycles
+// more cheaply than calling Cycle in a loop — e.g. an activity-driven engine
+// that fast-forwards once the design is quiescent. Advance(n) must be
+// observably identical to n Cycle calls (register state, fired flags, cycle
+// count, profiles) and must execute exactly n cycles, returning n. Run and
+// RunContext use it only when no testbench is attached, since a testbench
+// must see every cycle boundary.
+type Advancer interface {
+	Advance(n uint64) uint64
+}
+
 // Testbench drives an engine from the outside: it may set input registers
 // before each cycle and observe output registers (applying memory writes,
 // collecting results) after each cycle. Testbenches must be deterministic
@@ -73,6 +84,9 @@ func (NopBench) AfterCycle(Engine) bool { return true }
 // the number of cycles actually executed.
 func Run(e Engine, tb Testbench, n uint64) uint64 {
 	if tb == nil {
+		if a, ok := e.(Advancer); ok {
+			return a.Advance(n)
+		}
 		tb = NopBench{}
 	}
 	var i uint64
@@ -99,6 +113,22 @@ const ctxCheckInterval = 1024
 func RunContext(ctx context.Context, e Engine, tb Testbench, n uint64) (cycles uint64, err error) {
 	defer diag.Guard("sim: run", &err)
 	if tb == nil {
+		if a, ok := e.(Advancer); ok {
+			var i uint64
+			for i < n {
+				select {
+				case <-ctx.Done():
+					return i, ctx.Err()
+				default:
+				}
+				chunk := n - i
+				if chunk > ctxCheckInterval {
+					chunk = ctxCheckInterval
+				}
+				i += a.Advance(chunk)
+			}
+			return i, nil
+		}
 		tb = NopBench{}
 	}
 	var i uint64

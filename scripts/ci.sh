@@ -31,8 +31,15 @@ go test ./internal/lang -run='^$' -fuzz='^FuzzLexer$' -fuzztime=5s
 go test ./internal/lang -run='^$' -fuzz='^FuzzParser$' -fuzztime=5s
 go test ./internal/lang -run='^$' -fuzz='^FuzzElaborate$' -fuzztime=5s
 go test ./internal/bench -run='^$' -fuzz='^FuzzLockstep$' -fuzztime=5s
+go test ./internal/bench -run='^$' -fuzz='^FuzzStallLockstep$' -fuzztime=5s
 
 echo "== bench smoke (Fig1, 100x)"
 go test -run='^$' -bench=Fig1 -benchtime=100x .
+
+echo "== quick-bench smoke (kbench -json, digest gate)"
+# Two designs through the whole engine grid (static and activity levels
+# included); -digest-check fails the run if any two engines disagree on the
+# final register state.
+go run ./cmd/kbench -json "$(mktemp)" -designs collatz,idle -digest-check -cycles 2000 -parallel 0
 
 echo "CI OK"
