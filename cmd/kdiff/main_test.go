@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"cuttlego/internal/difftest"
+)
+
+func TestParseChecks(t *testing.T) {
+	got, err := parseChecks("p_state==1, c0_ops_done>=1,x!=0xff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []difftest.Check{
+		{Reg: "p_state", Op: "==", Val: 1},
+		{Reg: "c0_ops_done", Op: ">=", Val: 1},
+		{Reg: "x", Op: "!=", Val: 0xff},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("check %d: parsed %v, want %v", i, got[i], want[i])
+		}
+	}
+	if checks, err := parseChecks(""); err != nil || checks != nil {
+		t.Errorf("empty list parsed to %v, %v", checks, err)
+	}
+	for _, bad := range []string{"p_state=1", "p_state", "x==notanumber", "x<=3"} {
+		if _, err := parseChecks(bad); err == nil {
+			t.Errorf("%q parsed without error", bad)
+		}
+	}
+}

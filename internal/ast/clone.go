@@ -1,0 +1,51 @@
+package ast
+
+// Clone returns a deep copy of the design in the unchecked state: every
+// node is freshly allocated (Check assigns IDs and widths in place and
+// rejects shared nodes, so a design can only be checked once — cloning is
+// how callers re-check, mutate, or hand the "same" design to several
+// engines). Types and external function implementations are immutable and
+// therefore shared, not copied.
+func (d *Design) Clone() *Design {
+	c := &Design{Name: d.Name}
+	c.Registers = append([]Register(nil), d.Registers...)
+	c.Schedule = append([]string(nil), d.Schedule...)
+	c.ExtFuns = append([]ExtFun(nil), d.ExtFuns...)
+	for i := range c.ExtFuns {
+		c.ExtFuns[i].ArgWidths = append([]int(nil), d.ExtFuns[i].ArgWidths...)
+	}
+	c.Rules = make([]Rule, len(d.Rules))
+	for i, r := range d.Rules {
+		c.Rules[i] = Rule{Name: r.Name, Body: r.Body.Clone()}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the node tree with zeroed IDs and widths,
+// ready to be checked as part of a fresh design. Cloning nil yields nil.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{
+		Kind: n.Kind,
+		Pos:  n.Pos,
+		A:    n.A.Clone(),
+		B:    n.B.Clone(),
+		C:    n.C.Clone(),
+		Name: n.Name,
+		Port: n.Port,
+		Op:   n.Op,
+		Lo:   n.Lo,
+		Wid:  n.Wid,
+		Val:  n.Val,
+		Ty:   n.Ty,
+	}
+	if n.Items != nil {
+		c.Items = make([]*Node, len(n.Items))
+		for i, it := range n.Items {
+			c.Items[i] = it.Clone()
+		}
+	}
+	return c
+}

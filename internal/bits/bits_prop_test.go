@@ -1,0 +1,257 @@
+package bits
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the single-word Bits type against math/big as the
+// reference semantics: every operation, over every width 0..64, with the
+// edge cases the simulators lean on — shift counts exactly at and above
+// the operand width, the degenerate 0-width vector, arithmetic right
+// shifts of negative 64-bit values, and slice updates touching the top
+// bit.
+
+// bigOf lifts a Bits value to an unsigned big.Int.
+func bigOf(b Bits) *big.Int { return new(big.Int).SetUint64(b.Val) }
+
+// bigMask truncates x to w bits in place and returns it.
+func bigMask(x *big.Int, w int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	m.Sub(m, big.NewInt(1))
+	return x.And(x, m)
+}
+
+// bigSigned reads b as a two's-complement signed big.Int.
+func bigSigned(b Bits) *big.Int {
+	x := bigOf(b)
+	if b.Width > 0 && b.Val>>(uint(b.Width)-1)&1 == 1 {
+		x.Sub(x, new(big.Int).Lsh(big.NewInt(1), uint(b.Width)))
+	}
+	return x
+}
+
+// wantBits converts a big.Int (already reduced or not) to the canonical
+// w-bit vector, reducing modulo 2^w and fixing up negative values.
+func wantBits(x *big.Int, w int) Bits {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	x = new(big.Int).Mod(x, m)
+	if x.Sign() < 0 {
+		x.Add(x, m)
+	}
+	return Bits{Width: w, Val: x.Uint64()}
+}
+
+// testWidths covers both boundaries and a spread of interior widths.
+var testWidths = []int{0, 1, 2, 3, 7, 8, 15, 16, 31, 32, 33, 47, 63, 64}
+
+func randBits(r *rand.Rand, w int) Bits {
+	switch r.Intn(4) {
+	case 0:
+		return Zero(w)
+	case 1:
+		return Ones(w)
+	default:
+		return New(w, r.Uint64())
+	}
+}
+
+func TestPropArith(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, w := range testWidths {
+		for i := 0; i < 200; i++ {
+			a, b := randBits(r, w), randBits(r, w)
+			check := func(op string, got Bits, ref *big.Int) {
+				t.Helper()
+				want := wantBits(ref, w)
+				if got != want {
+					t.Fatalf("w=%d %s(%v, %v) = %v, big says %v", w, op, a, b, got, want)
+				}
+			}
+			check("add", a.Add(b), new(big.Int).Add(bigOf(a), bigOf(b)))
+			check("sub", a.Sub(b), new(big.Int).Sub(bigOf(a), bigOf(b)))
+			check("mul", a.Mul(b), new(big.Int).Mul(bigOf(a), bigOf(b)))
+			check("and", a.And(b), new(big.Int).And(bigOf(a), bigOf(b)))
+			check("or", a.Or(b), new(big.Int).Or(bigOf(a), bigOf(b)))
+			check("xor", a.Xor(b), new(big.Int).Xor(bigOf(a), bigOf(b)))
+			check("not", a.Not(), bigMask(new(big.Int).Not(bigOf(a)), w))
+		}
+	}
+}
+
+func TestPropCompare(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, w := range testWidths {
+		for i := 0; i < 200; i++ {
+			a, b := randBits(r, w), randBits(r, w)
+			u := bigOf(a).Cmp(bigOf(b))
+			s := bigSigned(a).Cmp(bigSigned(b))
+			cases := []struct {
+				op   string
+				got  Bits
+				want bool
+			}{
+				{"eq", a.Eq(b), u == 0},
+				{"neq", a.Neq(b), u != 0},
+				{"ltu", a.Ltu(b), u < 0},
+				{"geu", a.Geu(b), u >= 0},
+				{"lts", a.Lts(b), s < 0},
+				{"ges", a.Ges(b), s >= 0},
+			}
+			for _, c := range cases {
+				if c.got != FromBool(c.want) {
+					t.Fatalf("w=%d %s(%v, %v) = %v, big says %v", w, c.op, a, b, c.got, c.want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropShifts hits every shift count from 0 past the operand width,
+// plus huge counts, for all three shift operators. The reference: logical
+// shifts in 2^w arithmetic, arithmetic right shift over the signed value.
+func TestPropShifts(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, w := range testWidths {
+		for i := 0; i < 60; i++ {
+			a := randBits(r, w)
+			counts := []uint64{0, 1, uint64(max(w-1, 0)), uint64(w), uint64(w + 1), 63, 64, 65, 1 << 40}
+			for _, sh := range counts {
+				shv := New(64, sh)
+				gotL := a.Sll(shv)
+				wantL := wantBits(new(big.Int).Lsh(bigOf(a), uint(min(sh, 1<<20))), w)
+				if gotL != wantL {
+					t.Fatalf("w=%d sll(%v, %d) = %v, big says %v", w, a, sh, gotL, wantL)
+				}
+				gotR := a.Srl(shv)
+				wantR := wantBits(new(big.Int).Rsh(bigOf(a), uint(min(sh, 1<<20))), w)
+				if gotR != wantR {
+					t.Fatalf("w=%d srl(%v, %d) = %v, big says %v", w, a, sh, gotR, wantR)
+				}
+				gotA := a.Sra(shv)
+				wantA := wantBits(new(big.Int).Rsh(bigSigned(a), uint(min(sh, 1<<20))), w)
+				if gotA != wantA {
+					t.Fatalf("w=%d sra(%v, %d) = %v, big says %v", w, a, sh, gotA, wantA)
+				}
+			}
+		}
+	}
+}
+
+// TestPropSraNegative64 pins the hardest shift case: arithmetic right
+// shifts of negative full-width values, where the sign fill must reach
+// down from bit 63.
+func TestPropSraNegative64(t *testing.T) {
+	vals := []uint64{1 << 63, ^uint64(0), 0x8000000000000001, 0xdeadbeef00000000 | 1<<63}
+	for _, v := range vals {
+		a := New(64, v)
+		for sh := 0; sh <= 66; sh++ {
+			got := a.Sra(New(64, uint64(sh)))
+			want := wantBits(new(big.Int).Rsh(bigSigned(a), uint(sh)), 64)
+			if got != want {
+				t.Fatalf("sra(%#x, %d) = %v, big says %v", v, sh, got, want)
+			}
+		}
+	}
+}
+
+func TestPropSliceConcatExtend(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, w := range testWidths {
+		for i := 0; i < 100; i++ {
+			a := randBits(r, w)
+			// Every (lo, sw) slice, reference: shift right then mask.
+			lo := r.Intn(w + 1)
+			sw := r.Intn(w - lo + 1)
+			got := a.Slice(lo, sw)
+			want := wantBits(new(big.Int).Rsh(bigOf(a), uint(lo)), sw)
+			if got != want {
+				t.Fatalf("w=%d slice(%v, %d, %d) = %v, big says %v", w, a, lo, sw, got, want)
+			}
+			// Concat with a partner that keeps the result <= 64 bits.
+			bw := r.Intn(MaxWidth - w + 1)
+			b := randBits(r, bw)
+			gotC := a.Concat(b)
+			refC := new(big.Int).Lsh(bigOf(a), uint(bw))
+			refC.Or(refC, bigOf(b))
+			if wantC := wantBits(refC, w+bw); gotC != wantC {
+				t.Fatalf("concat(%v, %v) = %v, big says %v", a, b, gotC, wantC)
+			}
+			// Extensions to every wider width.
+			ew := w + r.Intn(MaxWidth-w+1)
+			if gotZ := a.ZeroExtend(ew); gotZ != wantBits(bigOf(a), ew) {
+				t.Fatalf("zext(%v, %d) = %v", a, ew, gotZ)
+			}
+			if gotS := a.SignExtend(ew); gotS != wantBits(bigSigned(a), ew) {
+				t.Fatalf("sext(%v, %d) = %v, big says %v", a, ew, gotS, wantBits(bigSigned(a), ew))
+			}
+			if gotT := a.Truncate(lo); gotT != wantBits(bigOf(a), lo) {
+				t.Fatalf("truncate(%v, %d) = %v", a, lo, gotT)
+			}
+		}
+	}
+}
+
+// TestPropSetSlice exercises slice update across the full position range,
+// in particular writes whose top bit lands exactly on bit Width-1.
+func TestPropSetSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, w := range testWidths {
+		for i := 0; i < 100; i++ {
+			a := randBits(r, w)
+			lo := r.Intn(w + 1)
+			vw := r.Intn(w - lo + 1)
+			if i%4 == 0 && w > 0 {
+				// Force the update to end at the top bit.
+				vw = 1 + r.Intn(w)
+				lo = w - vw
+			}
+			v := randBits(r, vw)
+			got := a.SetSlice(lo, v)
+			hole := new(big.Int).Lsh(bigMask(big.NewInt(-1), vw), uint(lo))
+			ref := new(big.Int).AndNot(bigOf(a), hole)
+			ref.Or(ref, new(big.Int).Lsh(bigOf(v), uint(lo)))
+			if want := wantBits(ref, w); got != want {
+				t.Fatalf("w=%d setslice(%v, %d, %v) = %v, big says %v", w, a, lo, v, got, want)
+			}
+		}
+	}
+}
+
+// TestPropZeroWidthEverywhere routes the 0-width vector through every
+// operation that accepts it; all of them must return canonical values and
+// none may panic.
+func TestPropZeroWidthEverywhere(t *testing.T) {
+	z := Zero(0)
+	for _, got := range []Bits{
+		z.Add(z), z.Sub(z), z.Mul(z), z.And(z), z.Or(z), z.Xor(z), z.Not(),
+		z.Sll(New(8, 3)), z.Srl(New(8, 3)), z.Sra(New(8, 3)),
+		z.Slice(0, 0), z.Truncate(0), z.SetSlice(0, z), z.Concat(z),
+	} {
+		if got != z {
+			t.Fatalf("0-width op returned %v, want %v", got, z)
+		}
+	}
+	if got := z.Eq(z); got != FromBool(true) {
+		t.Fatalf("0-width eq = %v", got)
+	}
+	if got := z.Ltu(z); got != FromBool(false) {
+		t.Fatalf("0-width ltu = %v", got)
+	}
+	if got := z.Lts(z); got != FromBool(false) {
+		t.Fatalf("0-width lts = %v", got)
+	}
+	if got := z.ZeroExtend(8); got != Zero(8) {
+		t.Fatalf("0-width zext = %v", got)
+	}
+	if got := z.SignExtend(8); got != Zero(8) {
+		t.Fatalf("0-width sext = %v", got)
+	}
+	if got := New(8, 0xa5).Concat(z); got != New(8, 0xa5) {
+		t.Fatalf("concat with unit = %v", got)
+	}
+	if got := New(8, 0xa5).SetSlice(8, z); got != New(8, 0xa5) {
+		t.Fatalf("top set-slice of unit = %v", got)
+	}
+}

@@ -1,0 +1,85 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/cache"
+)
+
+// cacheBuild returns a build function for the MSI system under a config.
+func cacheBuild(cfg cache.Config) func() *ast.Design {
+	return func() *ast.Design {
+		sys := cache.Build(cfg)
+		sys.Design.MustCheck()
+		return sys.Design
+	}
+}
+
+// cacheOracle is the deadlock oracle tuned to Case Study 1: the per-core
+// completed-operation counters are the progress registers, and the stall
+// only counts as the protocol bug when the parent is wedged waiting for
+// downgrade acknowledgements (p_state == ConfirmDowngrades) after at least
+// one operation actually completed.
+func cacheOracle(cycles uint64) Options {
+	return Options{
+		Cycles:      cycles,
+		Progress:    []string{"c0_ops_done", "c1_ops_done"},
+		StallWindow: 200,
+		StallChecks: []Check{
+			{Reg: "p_state", Op: "==", Val: 1}, // pstate::ConfirmDowngrades
+			{Reg: "c0_ops_done", Op: ">=", Val: 1},
+		},
+	}
+}
+
+// TestCacheDefaultLockstepClean pins the healthy half of the Case Study 1
+// regression: with the bug off, every in-process engine tracks the
+// interpreter through the MSI system and the deadlock oracle stays quiet.
+func TestCacheDefaultLockstepClean(t *testing.T) {
+	opts := cacheOracle(600)
+	if testing.Short() {
+		opts.Cycles = 200
+	}
+	opts.Engines = InProcess()
+	opts.Profile = true
+	if fail := Run(cacheBuild(cache.Config{}), opts); fail != nil {
+		t.Fatalf("healthy MSI system failed differential run: %v", fail)
+	}
+}
+
+// TestCacheDroppedAckDetectedAndShrunk is the bug half: kdiff's oracle must
+// catch the injected dropped-acknowledgement deadlock of §4.2, and the
+// shrinker must cut the eleven-rule system down to a handful of rules that
+// still wedge the parent in ConfirmDowngrades.
+func TestCacheDroppedAckDetectedAndShrunk(t *testing.T) {
+	build := cacheBuild(cache.Config{BugDroppedAck: true})
+	opts := cacheOracle(2000)
+	fail := Run(build, opts)
+	if fail == nil {
+		t.Fatal("dropped-ack deadlock not detected")
+	}
+	if fail.Kind != "deadlock" {
+		t.Fatalf("unexpected failure kind: %v", fail)
+	}
+
+	if testing.Short() {
+		return
+	}
+	res := Shrink(build(), opts, fail)
+	if !res.Failure.Matches(fail) {
+		t.Fatalf("shrunk system fails differently: %v", res.Failure)
+	}
+	if len(res.Design.Rules) > 5 {
+		t.Errorf("shrink kept %d rules, want <= 5:\n%s", len(res.Design.Rules), res.Design.Print().Text())
+	}
+	if res.Cycles >= opts.Cycles {
+		t.Errorf("shrink did not cut the cycle window (%d)", res.Cycles)
+	}
+	// The shrunk system must still be writable as a replayable .koika file.
+	text := Repro(res.Design, res.Cycles, res.Failure, 0)
+	if !strings.Contains(text, "failure: deadlock") || strings.Contains(text, "WARNING") {
+		t.Errorf("bad repro for shrunk cache system:\n%s", text)
+	}
+}

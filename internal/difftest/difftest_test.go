@@ -1,0 +1,218 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/lang"
+	"cuttlego/internal/sim"
+)
+
+// checked returns a freshly checked clone of a generated design, failing the
+// test if generation produced something the checker rejects.
+func checked(t *testing.T, d *ast.Design) *ast.Design {
+	t.Helper()
+	c := d.Clone()
+	if err := c.Check(); err != nil {
+		t.Fatalf("generated design does not check: %v\n%s", err, d.Print().Text())
+	}
+	return c
+}
+
+// TestGenerateChecks pins that every generated design type-checks: the
+// generator is useless if its output trips the frontend instead of the
+// engines.
+func TestGenerateChecks(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		checked(t, Generate(seed))
+	}
+}
+
+// TestGenerateRoundTrip pins the repro path: every generated design must
+// print to text that re-parses, and the re-parsed design must behave
+// identically to the original — otherwise shrunk counterexamples written as
+// .koika files would not replay the bug they document.
+func TestGenerateRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		d := Generate(seed)
+		text := checked(t, d).Print().Text()
+		parsed, err := lang.Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: printed design does not re-parse: %v\n%s", seed, err, text)
+		}
+		ref, err := interp.New(checked(t, d))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := interp.New(parsed)
+		if err != nil {
+			t.Fatalf("seed %d: re-parsed design does not simulate: %v", seed, err)
+		}
+		regs := ref.Design().Registers
+		for c := 0; c < 30; c++ {
+			ref.Cycle()
+			got.Cycle()
+			for _, r := range regs {
+				if got.Reg(r.Name) != ref.Reg(r.Name) {
+					t.Fatalf("seed %d cycle %d: re-parsed design diverges on %s (%v vs %v)\n%s",
+						seed, c, r.Name, got.Reg(r.Name), ref.Reg(r.Name), text)
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepSweep is the committed slice of the generative sweep: a fixed
+// seed range through the whole in-process engine matrix with the profile
+// oracle on. The CI smoke stage and the fuzz target extend the same check to
+// wider ranges.
+func TestLockstepSweep(t *testing.T) {
+	cycles := uint64(50)
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		d := Generate(seed)
+		build := func() *ast.Design { return checked(t, d) }
+		if fail := Run(build, Options{Engines: InProcess(), Cycles: cycles, Profile: true}); fail != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, fail, d.Print().Text())
+		}
+	}
+}
+
+// corrupt wraps an engine and misreports one register, standing in for a
+// buggy compilation pipeline so the detector and shrinker can be tested
+// without a real engine bug.
+type corrupt struct {
+	sim.Engine
+	reg   string
+	after uint64
+}
+
+func (c *corrupt) Reg(name string) bits.Bits {
+	v := c.Engine.Reg(name)
+	if name == c.reg && c.CycleCount() >= c.after {
+		v.Val ^= 1
+		v = bits.New(v.Width, v.Val)
+	}
+	return v
+}
+
+// brokenSpec builds the reference interpreter but lies about register "x"
+// from cycle `after` on.
+func brokenSpec(after uint64) Spec {
+	return Spec{
+		Name: "broken",
+		Make: func(d *ast.Design) (sim.Engine, error) {
+			e, err := interp.New(d)
+			if err != nil {
+				return nil, err
+			}
+			return &corrupt{Engine: e, reg: "x", after: after}, nil
+		},
+	}
+}
+
+// brokenDesign is a counter plus deliberately irrelevant baggage (a second
+// counter, an unused register, a dead rule) that a working shrinker must
+// strip away.
+func brokenDesign() *ast.Design {
+	d := ast.NewDesign("broken")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("y", ast.Bits(16), 3)
+	d.Reg("unused", ast.Bits(32), 7)
+	d.Rule("incx", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	d.Rule("incy", ast.Wr0("y", ast.Add(ast.Rd0("y"), ast.C(16, 2))))
+	d.Rule("dead", ast.Skip())
+	return d
+}
+
+// TestDetectAndShrink runs the full tentpole loop on a synthetic bug: Run
+// must report the divergence, Shrink must strip the unrelated rules and
+// registers and cut the cycle window, and Repro must render a file whose
+// header names the failure.
+func TestDetectAndShrink(t *testing.T) {
+	orig := brokenDesign()
+	build := func() *ast.Design {
+		c := orig.Clone()
+		c.MustCheck()
+		return c
+	}
+	opts := Options{Engines: []Spec{brokenSpec(4)}, Cycles: 20}
+	fail := Run(build, opts)
+	if fail == nil {
+		t.Fatal("corrupted engine not detected")
+	}
+	if fail.Kind != "state" || fail.Engine != "broken" || fail.Register != "x" {
+		t.Fatalf("unexpected failure: %v", fail)
+	}
+	// The lie starts once CycleCount reaches 4, i.e. during the cycle Run
+	// reports with 0-based index 3.
+	if fail.Cycle != 3 {
+		t.Fatalf("divergence reported at cycle %d, corruption surfaces at 3", fail.Cycle)
+	}
+
+	res := Shrink(orig, opts, fail)
+	if !res.Failure.Matches(fail) {
+		t.Fatalf("shrunk design fails differently: %v", res.Failure)
+	}
+	// The corruption only needs the x register to exist; everything else is
+	// shrinkable. The lie needs CycleCount to reach 4, so the window cannot
+	// shrink below 4 cycles.
+	if len(res.Design.Rules) != 0 {
+		t.Errorf("shrink kept %d rules, want 0:\n%s", len(res.Design.Rules), res.Design.Print().Text())
+	}
+	if len(res.Design.Registers) != 1 || res.Design.Registers[0].Name != "x" {
+		t.Errorf("shrink kept registers %v, want just x", res.Design.Registers)
+	}
+	if res.Cycles != 4 {
+		t.Errorf("shrink kept %d cycles, want 4", res.Cycles)
+	}
+	if res.Attempts <= 0 {
+		t.Errorf("shrink reported %d attempts", res.Attempts)
+	}
+
+	text := Repro(res.Design, res.Cycles, res.Failure, 0)
+	for _, want := range []string{"kdiff counterexample", "failure: state engine=broken", "replay:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("repro missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "WARNING") {
+		t.Errorf("repro does not round-trip:\n%s", text)
+	}
+}
+
+// TestShrinkSimplifiesBodies pins the body-editing half of the shrinker: a
+// bug hidden behind an elaborate rule body must come back as a lean rule,
+// not just a shorter schedule.
+func TestShrinkSimplifiesBodies(t *testing.T) {
+	d := ast.NewDesign("bodies")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("g", ast.Bits(1), 1)
+	d.Rule("step", ast.Seq(
+		ast.If(ast.Eq(ast.Rd0("g"), ast.C(1, 1)),
+			ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))),
+			ast.Wr0("x", ast.C(8, 0)),
+		),
+		ast.Wr0("g", ast.Rd0("g")),
+	))
+	build := func() *ast.Design {
+		c := d.Clone()
+		c.MustCheck()
+		return c
+	}
+	opts := Options{Engines: []Spec{brokenSpec(1)}, Cycles: 10}
+	fail := Run(build, opts)
+	if fail == nil {
+		t.Fatal("corrupted engine not detected")
+	}
+	res := Shrink(d, opts, fail)
+	if got := res.Design.Print().Text(); strings.Contains(got, "if") || strings.Contains(got, "mux") {
+		t.Errorf("branch survived shrinking:\n%s", got)
+	}
+}

@@ -1,0 +1,167 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/gomodel"
+	"cuttlego/internal/netopt"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+)
+
+// ErrUnsupported marks a design an engine legitimately cannot run (gomodel
+// rejects external functions and Goldberg registers; a missing Go toolchain
+// falls in the same bucket). Run skips the engine instead of failing.
+var ErrUnsupported = errors.New("difftest: design unsupported by engine")
+
+// IsUnsupported reports whether err means "skip this engine for this
+// design".
+func IsUnsupported(err error) bool { return errors.Is(err, ErrUnsupported) }
+
+// Spec is one engine in the differential matrix. In-process engines set
+// Make and are compared cycle-by-cycle; external engines set Final instead
+// and are compared on final register state only.
+type Spec struct {
+	Name  string
+	Make  func(d *ast.Design) (sim.Engine, error)
+	Final func(d *ast.Design, cycles uint64) (map[string]uint64, error)
+}
+
+// CuttlesimSpecs returns every optimization level with the closure backend
+// plus the bytecode backend at the static and activity levels — the same
+// shape the kbench engine grid uses, with profiling on so the profile
+// oracle has data.
+func CuttlesimSpecs() []Spec {
+	var specs []Spec
+	add := func(level cuttlesim.Level, backend cuttlesim.Backend) {
+		opts := cuttlesim.Options{Level: level, Backend: backend, Profile: true}
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("cuttlesim(%v,%v)", level, backend),
+			Make: func(d *ast.Design) (sim.Engine, error) { return cuttlesim.New(d, opts) },
+		})
+	}
+	for _, level := range cuttlesim.Levels() {
+		add(level, cuttlesim.Closure)
+	}
+	add(cuttlesim.LStatic, cuttlesim.Bytecode)
+	add(cuttlesim.LActivity, cuttlesim.Bytecode)
+	return specs
+}
+
+// RTLSpecs returns the circuit-level engines: all three rtlsim backends on
+// both the raw and the netopt-optimized netlist.
+func RTLSpecs() []Spec {
+	var specs []Spec
+	for _, backend := range []rtlsim.Backend{rtlsim.Switch, rtlsim.Closure, rtlsim.Fused} {
+		for _, opt := range []bool{false, true} {
+			backend, opt := backend, opt
+			name := fmt.Sprintf("rtlsim(%v,%v)", circuit.StyleKoika, backend)
+			if opt {
+				name = fmt.Sprintf("rtlsim(%v,%v,opt)", circuit.StyleKoika, backend)
+			}
+			specs = append(specs, Spec{
+				Name: name,
+				Make: func(d *ast.Design) (sim.Engine, error) {
+					ckt, err := circuit.Compile(d, circuit.StyleKoika)
+					if err != nil {
+						return nil, err
+					}
+					if opt {
+						ckt = netopt.MustOptimize(ckt)
+					}
+					return rtlsim.New(ckt, rtlsim.Options{Backend: backend})
+				},
+			})
+		}
+	}
+	return specs
+}
+
+// GomodelSpec returns the compiled-model engine: the design is emitted as a
+// standalone Go program, built and run out of process, and its printed
+// final state compared against the interpreter. Designs gomodel rejects
+// (external functions, Goldberg registers) and hosts without a Go
+// toolchain are skipped via ErrUnsupported.
+func GomodelSpec() Spec {
+	return Spec{Name: "gomodel", Final: runGomodel}
+}
+
+func runGomodel(d *ast.Design, cycles uint64) (map[string]uint64, error) {
+	src, err := gomodel.Emit(d)
+	if err != nil {
+		// Emit's rejections are capability limits, not divergences.
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		return nil, fmt.Errorf("%w: go toolchain not found", ErrUnsupported)
+	}
+	dir, err := os.MkdirTemp("", "kdiff-gomodel-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	file := filepath.Join(dir, "model.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(goTool, "run", file, fmt.Sprintf("-cycles=%d", cycles))
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GO111MODULE=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("generated model failed: %v\n%s", err, out)
+	}
+	vals := make(map[string]uint64)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		name, hex, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("unexpected model output line %q", line)
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(hex, "%x", &v); err != nil {
+			return nil, fmt.Errorf("unexpected model output line %q", line)
+		}
+		vals[name] = v
+	}
+	return vals, nil
+}
+
+// Matrix resolves a comma-separated engine list ("cuttlesim", "rtlsim",
+// "gomodel", or "all") to specs. The reference interpreter is always part
+// of a run and never needs listing.
+func Matrix(names string) ([]Spec, error) {
+	var specs []Spec
+	for _, name := range strings.Split(names, ",") {
+		switch strings.TrimSpace(name) {
+		case "", "interp":
+			// The interpreter is the reference; nothing to add.
+		case "cuttlesim":
+			specs = append(specs, CuttlesimSpecs()...)
+		case "rtlsim":
+			specs = append(specs, RTLSpecs()...)
+		case "gomodel":
+			specs = append(specs, GomodelSpec())
+		case "all":
+			specs = append(specs, CuttlesimSpecs()...)
+			specs = append(specs, RTLSpecs()...)
+			specs = append(specs, GomodelSpec())
+		default:
+			return nil, fmt.Errorf("unknown engine %q (want interp, cuttlesim, rtlsim, gomodel, or all)", name)
+		}
+	}
+	return specs, nil
+}
+
+// InProcess is the default matrix for tests: everything that runs without
+// shelling out to the Go toolchain.
+func InProcess() []Spec {
+	return append(CuttlesimSpecs(), RTLSpecs()...)
+}

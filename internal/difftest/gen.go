@@ -1,0 +1,364 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cuttlego/internal/ast"
+)
+
+// Generate builds a random well-typed design from a seed. Compared to
+// testkit.Random it covers far more of the language: zero-width and
+// 64-bit registers, enum- and struct-typed state, match statements,
+// guards, dynamic shifts, concats and slices, field projection and
+// update, and both read/write ports — while staying inside the subset the
+// pretty-printer round-trips through the textual frontend, so any
+// counterexample can be written to a .koika file and replayed.
+//
+// The returned design is unchecked; callers clone and check it per engine
+// (Check annotates in place and can only run once per design).
+func Generate(seed int64) *ast.Design {
+	r := rand.New(rand.NewSource(seed))
+	// The sign must not leak into the design name: "kdiff-1" is not a legal
+	// identifier for the textual frontend, and repro files must re-parse.
+	name := fmt.Sprintf("kdiff%d", seed)
+	name = strings.ReplaceAll(name, "-", "n")
+	g := &dgen{r: r, d: ast.NewDesign(name)}
+
+	// Named types: an enum about half the time, a struct about a third.
+	if r.Intn(2) == 0 {
+		w := 2 + r.Intn(3) // 2..4 bits
+		max := 1 << uint(w)
+		n := 2 + r.Intn(3)
+		if n > max {
+			n = max
+		}
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("M%d", i)
+		}
+		g.enum = ast.NewEnum("op", w, members...)
+	}
+	if r.Intn(3) == 0 {
+		fields := []ast.StructField{ast.F("tag", ast.Bits(1+r.Intn(4)))}
+		if g.enum != nil && r.Intn(2) == 0 {
+			fields = append(fields, ast.F("kind", g.enum))
+		}
+		fields = append(fields, ast.F("val", ast.Bits(4+r.Intn(13))))
+		g.strct = ast.NewStruct("pkt", fields...)
+	}
+
+	// Registers: a pool of plain bits of mixed widths (including the
+	// degenerate 0-width case and the full 64-bit machine width), plus
+	// enum- and struct-typed state when those types exist.
+	widths := []int{1, 1, 2, 3, 5, 8, 8, 12, 16, 24, 32, 47, 63, 64}
+	nregs := 2 + r.Intn(5)
+	for i := 0; i < nregs; i++ {
+		w := widths[r.Intn(len(widths))]
+		g.addReg(fmt.Sprintf("r%d", i), ast.Bits(w), r.Uint64())
+	}
+	if r.Intn(4) == 0 {
+		g.addReg("z", ast.Bits(0), 0)
+	}
+	if g.enum != nil {
+		g.addReg("e", g.enum, uint64(r.Intn(len(g.enum.Members))))
+	}
+	if g.strct != nil {
+		g.addReg("s", g.strct, r.Uint64())
+	}
+
+	nrules := 1 + r.Intn(5)
+	for i := 0; i < nrules; i++ {
+		g.vars = g.vars[:0]
+		g.d.Rule(fmt.Sprintf("rule%d", i), g.action(3))
+	}
+	return g.d
+}
+
+type dregInfo struct {
+	name string
+	ty   ast.Type
+}
+
+type dvarInfo struct {
+	name string
+	w    int
+	ty   ast.Type // non-nil only for struct-typed bindings
+}
+
+type dgen struct {
+	r     *rand.Rand
+	d     *ast.Design
+	enum  *ast.EnumType
+	strct *ast.StructType
+	regs  []dregInfo
+	vars  []dvarInfo
+	nvar  int
+}
+
+func (g *dgen) addReg(name string, ty ast.Type, init uint64) {
+	g.regs = append(g.regs, dregInfo{name, ty})
+	g.d.Reg(name, ty, init)
+}
+
+func (g *dgen) fresh() string {
+	g.nvar++
+	return fmt.Sprintf("v%d", g.nvar)
+}
+
+// bitsReg picks a register of exactly width w (any type), or "" if none.
+func (g *dgen) regOfWidth(w int) string {
+	for _, off := range g.r.Perm(len(g.regs)) {
+		if g.regs[off].ty.BitWidth() == w {
+			return g.regs[off].name
+		}
+	}
+	return ""
+}
+
+func (g *dgen) anyReg() dregInfo { return g.regs[g.r.Intn(len(g.regs))] }
+
+// read builds a port-0 or port-1 read.
+func (g *dgen) read(name string) *ast.Node {
+	if g.r.Intn(3) == 0 {
+		return ast.Rd1(name)
+	}
+	return ast.Rd0(name)
+}
+
+// leaf produces a depth-0 expression of width w.
+func (g *dgen) leaf(w int) *ast.Node {
+	if g.r.Intn(3) == 0 {
+		for _, off := range g.r.Perm(len(g.vars)) {
+			if g.vars[off].w == w && g.vars[off].ty == nil {
+				return ast.V(g.vars[off].name)
+			}
+		}
+	}
+	if g.r.Intn(3) != 0 {
+		if name := g.regOfWidth(w); name != "" {
+			return g.read(name)
+		}
+	}
+	return ast.C(w, g.r.Uint64())
+}
+
+// expr produces an expression of width w with bounded depth, using the
+// printable subset only (no value-position sequences, lets, writes, or
+// if-without-else).
+func (g *dgen) expr(w, depth int) *ast.Node {
+	if depth <= 0 {
+		return g.leaf(w)
+	}
+	if w == 0 {
+		// Width-0 values still flow through operators; keep a little
+		// structure so engines must handle the degenerate width.
+		switch g.r.Intn(4) {
+		case 0:
+			ops := []func(a, b *ast.Node) *ast.Node{ast.And, ast.Or, ast.Xor, ast.Add}
+			return ops[g.r.Intn(len(ops))](g.expr(0, depth-1), g.expr(0, depth-1))
+		case 1:
+			src := 1 + g.r.Intn(8)
+			return ast.Slice(g.expr(src, depth-1), g.r.Intn(src+1), 0)
+		default:
+			return g.leaf(0)
+		}
+	}
+	switch g.r.Intn(12) {
+	case 0:
+		return g.leaf(w)
+	case 1:
+		ops := []func(a, b *ast.Node) *ast.Node{ast.Add, ast.Sub, ast.Mul, ast.And, ast.Or, ast.Xor}
+		return ops[g.r.Intn(len(ops))](g.expr(w, depth-1), g.expr(w, depth-1))
+	case 2:
+		return ast.Not(g.expr(w, depth-1))
+	case 3:
+		// Comparison (1-bit) widened to w; width-0 operands are legal and
+		// compare equal by definition.
+		iw := []int{0, 1, 4, 8, 64}[g.r.Intn(5)]
+		cmps := []func(a, b *ast.Node) *ast.Node{ast.Eq, ast.Neq, ast.Ltu, ast.Lts, ast.Geu, ast.Ges}
+		c := cmps[g.r.Intn(len(cmps))](g.expr(iw, depth-1), g.expr(iw, depth-1))
+		return ast.ZeroExtend(w, c)
+	case 4:
+		src := w + g.r.Intn(9)
+		if src > 64 {
+			src = 64
+		}
+		lo := g.r.Intn(src - w + 1)
+		return ast.Slice(g.expr(src, depth-1), lo, w)
+	case 5:
+		if w > 1 {
+			narrow := 1 + g.r.Intn(w)
+			if g.r.Intn(2) == 0 {
+				return ast.SignExtend(w, g.expr(narrow, depth-1))
+			}
+			return ast.ZeroExtend(w, g.expr(narrow, depth-1))
+		}
+		return g.leaf(w)
+	case 6:
+		return ast.If(g.expr(1, depth-1), g.expr(w, depth-1), g.expr(w, depth-1))
+	case 7:
+		if w >= 2 {
+			hi := 1 + g.r.Intn(w-1)
+			return ast.Concat(g.expr(hi, depth-1), g.expr(w-hi, depth-1))
+		}
+		return g.leaf(w)
+	case 8:
+		// Dynamic shift: the amount is itself an expression, exercising
+		// shift-count clamping at and above the operand width.
+		shw := []int{3, 4, 7}[g.r.Intn(3)]
+		shifts := []func(a, b *ast.Node) *ast.Node{ast.Sll, ast.Srl, ast.Sra}
+		return shifts[g.r.Intn(3)](g.expr(w, depth-1), g.expr(shw, depth-1))
+	case 9:
+		if g.strct != nil {
+			if f := g.fieldOfWidth(w); f != "" {
+				return ast.Field(g.structExpr(depth-1), f)
+			}
+		}
+		return g.leaf(w)
+	case 10:
+		if g.enum != nil && w == g.enum.W {
+			return ast.E(g.enum, g.enum.Members[g.r.Intn(len(g.enum.Members))])
+		}
+		return g.leaf(w)
+	default:
+		return g.leaf(w)
+	}
+}
+
+func (g *dgen) fieldOfWidth(w int) string {
+	for _, off := range g.r.Perm(len(g.strct.Fields)) {
+		if g.strct.Fields[off].Type.BitWidth() == w {
+			return g.strct.Fields[off].Name
+		}
+	}
+	return ""
+}
+
+// structExpr produces a struct-typed expression (reads, packs, updates,
+// struct-typed variables, and muxes over them).
+func (g *dgen) structExpr(depth int) *ast.Node {
+	if depth > 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			vals := make([]*ast.Node, len(g.strct.Fields))
+			for i, f := range g.strct.Fields {
+				vals[i] = g.expr(f.Type.BitWidth(), depth-1)
+			}
+			return ast.Pack(g.strct, vals...)
+		case 1:
+			f := g.strct.Fields[g.r.Intn(len(g.strct.Fields))]
+			return ast.SetField(g.structExpr(depth-1), f.Name, g.expr(f.Type.BitWidth(), depth-1))
+		case 2:
+			return ast.If(g.expr(1, depth-1), g.structExpr(depth-1), g.structExpr(depth-1))
+		}
+	}
+	if g.r.Intn(3) == 0 {
+		for _, off := range g.r.Perm(len(g.vars)) {
+			if g.vars[off].ty == g.strct {
+				return ast.V(g.vars[off].name)
+			}
+		}
+	}
+	// The struct register "s" is always declared when a struct type exists.
+	return g.read("s")
+}
+
+// action produces a unit-valued statement sequence.
+func (g *dgen) action(depth int) *ast.Node {
+	nstmts := 1 + g.r.Intn(3)
+	items := make([]*ast.Node, 0, nstmts)
+	for i := 0; i < nstmts; i++ {
+		items = append(items, g.stmt(depth))
+	}
+	return ast.Seq(items...)
+}
+
+func (g *dgen) stmt(depth int) *ast.Node {
+	if depth <= 0 {
+		return g.write()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return g.write()
+	case 1:
+		name := g.fresh()
+		if g.strct != nil && g.r.Intn(4) == 0 {
+			g.vars = append(g.vars, dvarInfo{name: name, w: g.strct.BitWidth(), ty: g.strct})
+			body := g.action(depth - 1)
+			g.vars = g.vars[:len(g.vars)-1]
+			return ast.Let(name, g.structExpr(2), body)
+		}
+		w := []int{0, 1, 4, 8, 16, 32, 64}[g.r.Intn(7)]
+		g.vars = append(g.vars, dvarInfo{name: name, w: w})
+		body := g.action(depth - 1)
+		g.vars = g.vars[:len(g.vars)-1]
+		return ast.Let(name, g.expr(w, 2), body)
+	case 2:
+		return ast.When(g.expr(1, 2), g.action(depth-1))
+	case 3:
+		return ast.If(g.expr(1, 2), g.action(depth-1), g.action(depth-1))
+	case 4:
+		// Guards and conditional aborts: the scheduler's rollback path.
+		if g.r.Intn(3) == 0 {
+			return ast.When(g.expr(1, 2), ast.Fail())
+		}
+		return ast.Guard(g.expr(1, 2))
+	case 5:
+		if len(g.vars) > 0 {
+			v := g.vars[g.r.Intn(len(g.vars))]
+			if v.ty == g.strct && g.strct != nil {
+				return ast.Set(v.name, g.structExpr(2))
+			}
+			return ast.Set(v.name, g.expr(v.w, 2))
+		}
+		return g.write()
+	case 6:
+		// A match statement over a small scrutinee with distinct constant
+		// arms. Enum scrutinees use enum arms so the printed form reads
+		// (and reparses) as Enum::Member.
+		if g.enum != nil && g.r.Intn(2) == 0 {
+			scrut := g.expr(g.enum.W, 2)
+			perm := g.r.Perm(len(g.enum.Members))
+			narms := 1 + g.r.Intn(2)
+			var cases []ast.Case
+			for i := 0; i < narms && i < len(perm); i++ {
+				cases = append(cases, ast.Case{
+					Match: ast.E(g.enum, g.enum.Members[perm[i]]),
+					Body:  g.action(depth - 1),
+				})
+			}
+			return ast.Switch(scrut, g.action(depth-1), cases...)
+		}
+		w := 2 + g.r.Intn(3)
+		scrut := g.expr(w, 2)
+		seen := map[uint64]bool{}
+		var cases []ast.Case
+		for i := 0; i < 1+g.r.Intn(2); i++ {
+			v := g.r.Uint64() & (1<<uint(w) - 1)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			cases = append(cases, ast.Case{Match: ast.C(w, v), Body: g.action(depth - 1)})
+		}
+		return ast.Switch(scrut, g.action(depth-1), cases...)
+	default:
+		return g.write()
+	}
+}
+
+func (g *dgen) write() *ast.Node {
+	reg := g.anyReg()
+	var val *ast.Node
+	if reg.ty == g.strct && g.strct != nil {
+		val = g.structExpr(2)
+	} else {
+		val = g.expr(reg.ty.BitWidth(), 2)
+	}
+	if g.r.Intn(4) == 0 {
+		return ast.Wr1(reg.name, val)
+	}
+	return ast.Wr0(reg.name, val)
+}

@@ -1,0 +1,49 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/lang"
+)
+
+// Repro renders a counterexample as a .koika source file: a comment header
+// recording the failure, the seed, and the replay command, followed by the
+// design in surface syntax. The emitted text is verified to re-parse to an
+// equivalent design; if the round-trip fails (itself a printer/parser bug)
+// the header says so rather than silently shipping an unreplayable file.
+func Repro(d *ast.Design, cycles uint64, fail *Failure, seed int64) string {
+	printed := d.Clone()
+	_ = printed.Check() // best-effort: IDs make the listing nicer
+	text := printed.Print().Text()
+
+	var hdr strings.Builder
+	fmt.Fprintf(&hdr, "# kdiff counterexample (seed %d)\n", seed)
+	fmt.Fprintf(&hdr, "# failure: %s\n", fail.Error())
+	fmt.Fprintf(&hdr, "# replay:  kdiff -cycles %d <this file>\n", cycles)
+	if _, err := lang.Parse(text); err != nil {
+		fmt.Fprintf(&hdr, "# WARNING: printed design does not re-parse (printer/parser bug): %v\n",
+			firstLine(err.Error()))
+	}
+	return hdr.String() + text
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// WriteRepro writes the repro file, creating the directory if needed.
+func WriteRepro(path string, d *ast.Design, cycles uint64, fail *Failure, seed int64) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, []byte(Repro(d, cycles, fail, seed)), 0o644)
+}

@@ -1,0 +1,457 @@
+package difftest
+
+import (
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+// Result is a shrunk counterexample: the smallest design (and shortest
+// cycle window) the shrinker found that still reproduces the original
+// failure. Design is unchecked; clone and check it to run it.
+type Result struct {
+	Design   *ast.Design
+	Cycles   uint64
+	Failure  *Failure
+	Attempts int
+}
+
+// DefaultShrinkBudget bounds how many candidate designs one shrink run may
+// evaluate. Each evaluation is a full differential run of the reduced
+// engine set, so the budget is what keeps shrinking interactive.
+const DefaultShrinkBudget = 2000
+
+// Shrink delta-debugs a failing design to a minimal reproducer: it drops
+// rules, removes unreferenced registers, simplifies rule bodies (pruning
+// statements, collapsing branches, zeroing subexpressions), narrows
+// register widths, and shortens the cycle window — keeping each change
+// only if the failure (same kind, same engine) still reproduces.
+//
+// The engine set is reduced to the failing engine before shrinking, so a
+// shrink is much cheaper per candidate than the original sweep.
+func Shrink(d *ast.Design, opts Options, fail *Failure) Result {
+	budget := opts.ShrinkBudget
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	s := &shrinker{opts: opts, orig: fail, cycles: opts.Cycles, budget: budget}
+	// Only the failing engine matters while shrinking; deadlocks are a
+	// property of the reference run alone.
+	var reduced []Spec
+	for _, spec := range opts.Engines {
+		if spec.Name == fail.Engine {
+			reduced = append(reduced, spec)
+		}
+	}
+	s.opts.Engines = reduced
+
+	cur := d.Clone()
+	s.shrinkCycles(cur)
+	for changed := true; changed && s.budget > 0; {
+		changed = s.dropRules(&cur)
+		changed = s.dropRegisters(&cur) || changed
+		changed = s.simplifyBodies(&cur) || changed
+		changed = s.narrowWidths(&cur) || changed
+	}
+	s.shrinkCycles(cur)
+
+	res := Result{Design: cur, Cycles: s.cycles, Attempts: budget - s.budget}
+	res.Failure = s.run(cur)
+	if res.Failure == nil {
+		// Shouldn't happen (every accepted step re-verified), but never
+		// report a repro that doesn't reproduce.
+		res.Failure = fail
+		res.Design = d.Clone()
+		res.Cycles = opts.Cycles
+	}
+	return res
+}
+
+type shrinker struct {
+	opts   Options
+	orig   *Failure
+	cycles uint64
+	budget int
+}
+
+// run executes the reduced matrix on a candidate at the current cycle
+// window.
+func (s *shrinker) run(cand *ast.Design) *Failure {
+	build := func() *ast.Design {
+		c := cand.Clone()
+		if err := c.Check(); err != nil {
+			panic(err)
+		}
+		return c
+	}
+	opts := s.opts
+	opts.Cycles = s.cycles
+	return Run(build, opts)
+}
+
+// interesting reports whether the candidate still exhibits the original
+// failure, spending one unit of budget. Candidates that no longer
+// type-check are never interesting.
+func (s *shrinker) interesting(cand *ast.Design) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	if err := cand.Clone().Check(); err != nil {
+		return false
+	}
+	return s.run(cand).Matches(s.orig)
+}
+
+func (s *shrinker) dropRules(cur **ast.Design) bool {
+	changed := false
+	for i := 0; i < len((*cur).Rules); {
+		cand := withoutRule(*cur, (*cur).Rules[i].Name)
+		if s.interesting(cand) {
+			*cur = cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+func withoutRule(d *ast.Design, name string) *ast.Design {
+	c := d.Clone()
+	rules := c.Rules[:0]
+	for _, r := range c.Rules {
+		if r.Name != name {
+			rules = append(rules, r)
+		}
+	}
+	c.Rules = rules
+	sched := c.Schedule[:0]
+	for _, n := range c.Schedule {
+		if n != name {
+			sched = append(sched, n)
+		}
+	}
+	c.Schedule = sched
+	return c
+}
+
+func (s *shrinker) dropRegisters(cur **ast.Design) bool {
+	keep := map[string]bool{}
+	for _, name := range s.opts.Progress {
+		keep[name] = true
+	}
+	for _, c := range s.opts.StallChecks {
+		keep[c.Reg] = true
+	}
+	if s.orig.Register != "" {
+		keep[s.orig.Register] = true
+	}
+	used := map[string]bool{}
+	for i := range (*cur).Rules {
+		markRegs((*cur).Rules[i].Body, used)
+	}
+	changed := false
+	for _, r := range (*cur).Registers {
+		if used[r.Name] || keep[r.Name] {
+			continue
+		}
+		cand := (*cur).Clone()
+		regs := cand.Registers[:0]
+		for _, cr := range cand.Registers {
+			if cr.Name != r.Name {
+				regs = append(regs, cr)
+			}
+		}
+		cand.Registers = regs
+		if s.interesting(cand) {
+			*cur = cand
+			changed = true
+		}
+	}
+	return changed
+}
+
+func markRegs(n *ast.Node, used map[string]bool) {
+	if n == nil {
+		return
+	}
+	if n.Kind == ast.KRead || n.Kind == ast.KWrite {
+		used[n.Name] = true
+	}
+	markRegs(n.A, used)
+	markRegs(n.B, used)
+	markRegs(n.C, used)
+	for _, it := range n.Items {
+		markRegs(it, used)
+	}
+}
+
+// --- rule-body simplification -------------------------------------------
+
+// Simplification variants. Each names one rewrite of the target node.
+const (
+	vSkip     = iota // unit-valued node → pass
+	vZero            // w-bit node → zero constant
+	vThen            // if → then-branch
+	vElse            // if → else-branch
+	vLetBody         // let → body (checker rejects if the variable is used)
+	vDefault         // match → default arm
+	vDropItem        // seq: drop item #param; match: drop arm #param
+)
+
+type edit struct {
+	target  int // pre-order node index within the rule body
+	variant int
+	param   int
+	w       int
+}
+
+func (s *shrinker) simplifyBodies(cur **ast.Design) bool {
+	changed := false
+	for ri := 0; ri < len((*cur).Rules); ri++ {
+		for s.budget > 0 {
+			twin := (*cur).Clone()
+			if err := twin.Check(); err != nil {
+				break
+			}
+			edits := collectEdits(twin.Rules[ri].Body)
+			applied := false
+			for _, e := range edits {
+				cand := (*cur).Clone()
+				var count int
+				body, ok := applyEdit(cand.Rules[ri].Body, e, &count)
+				if !ok {
+					continue
+				}
+				cand.Rules[ri].Body = body
+				if s.interesting(cand) {
+					*cur = cand
+					applied = true
+					changed = true
+					break
+				}
+			}
+			if !applied {
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// collectEdits walks a checked rule body in canonical pre-order (node, A,
+// B, C, Items) and proposes rewrites for each node.
+func collectEdits(root *ast.Node) []edit {
+	var edits []edit
+	idx := 0
+	var walk func(n *ast.Node)
+	walk = func(n *ast.Node) {
+		if n == nil {
+			return
+		}
+		me := idx
+		idx++
+		if n.W == 0 && n.Kind != ast.KConst {
+			edits = append(edits, edit{target: me, variant: vSkip})
+		}
+		if n.W > 0 && !(n.Kind == ast.KConst && n.Val.IsZero()) {
+			edits = append(edits, edit{target: me, variant: vZero, w: n.W})
+		}
+		switch n.Kind {
+		case ast.KIf:
+			edits = append(edits, edit{target: me, variant: vThen})
+			if n.C != nil {
+				edits = append(edits, edit{target: me, variant: vElse})
+			}
+		case ast.KLet:
+			edits = append(edits, edit{target: me, variant: vLetBody})
+		case ast.KSwitch:
+			edits = append(edits, edit{target: me, variant: vDefault})
+			for j := 0; j+1 < len(n.Items); j += 2 {
+				edits = append(edits, edit{target: me, variant: vDropItem, param: j / 2})
+			}
+		case ast.KSeq:
+			if len(n.Items) > 1 {
+				for j := range n.Items {
+					edits = append(edits, edit{target: me, variant: vDropItem, param: j})
+				}
+			}
+		}
+		walk(n.A)
+		walk(n.B)
+		walk(n.C)
+		for _, it := range n.Items {
+			walk(it)
+		}
+	}
+	walk(root)
+	return edits
+}
+
+// applyEdit rewrites the e.target-th node (same canonical pre-order as
+// collectEdits) of a cloned body, returning the new body and whether the
+// edit applied.
+func applyEdit(n *ast.Node, e edit, count *int) (*ast.Node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	me := *count
+	*count++
+	if me == e.target {
+		switch e.variant {
+		case vSkip:
+			return ast.Skip(), true
+		case vZero:
+			return ast.C(e.w, 0), true
+		case vThen:
+			return n.B, n.Kind == ast.KIf
+		case vElse:
+			return n.C, n.Kind == ast.KIf && n.C != nil
+		case vLetBody:
+			return n.B, n.Kind == ast.KLet
+		case vDefault:
+			return n.C, n.Kind == ast.KSwitch
+		case vDropItem:
+			switch n.Kind {
+			case ast.KSeq:
+				if e.param >= len(n.Items) {
+					return nil, false
+				}
+				items := append([]*ast.Node(nil), n.Items[:e.param]...)
+				items = append(items, n.Items[e.param+1:]...)
+				return ast.Seq(items...), true
+			case ast.KSwitch:
+				j := e.param * 2
+				if j+1 >= len(n.Items) {
+					return nil, false
+				}
+				items := append([]*ast.Node(nil), n.Items[:j]...)
+				items = append(items, n.Items[j+2:]...)
+				n.Items = items
+				return n, true
+			}
+			return nil, false
+		}
+		return nil, false
+	}
+	if r, ok := applyEdit(n.A, e, count); ok {
+		n.A = r
+		return n, true
+	}
+	if r, ok := applyEdit(n.B, e, count); ok {
+		n.B = r
+		return n, true
+	}
+	if r, ok := applyEdit(n.C, e, count); ok {
+		n.C = r
+		return n, true
+	}
+	for i, it := range n.Items {
+		if r, ok := applyEdit(it, e, count); ok {
+			n.Items[i] = r
+			return n, true
+		}
+	}
+	return n, false
+}
+
+// --- width narrowing ----------------------------------------------------
+
+func (s *shrinker) narrowWidths(cur **ast.Design) bool {
+	keep := map[string]bool{}
+	for _, name := range s.opts.Progress {
+		keep[name] = true
+	}
+	for _, c := range s.opts.StallChecks {
+		keep[c.Reg] = true
+	}
+	changed := false
+	for i := 0; i < len((*cur).Registers); i++ {
+		r := (*cur).Registers[i]
+		w := r.Type.BitWidth()
+		if keep[r.Name] || w < 2 || !isPlainBits(r.Type) {
+			continue
+		}
+		for _, nw := range []int{1, w / 2} {
+			if nw >= w || nw < 1 {
+				continue
+			}
+			cand := narrowRegister(*cur, r.Name, w, nw)
+			if s.interesting(cand) {
+				*cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func isPlainBits(t ast.Type) bool {
+	switch t.(type) {
+	case *ast.EnumType, *ast.StructType:
+		return false
+	}
+	return true
+}
+
+// narrowRegister shrinks a register to nw bits, zero-extending every read
+// back to the old width and truncating every written value, so the
+// surrounding expressions keep their types. The semantics change (high
+// bits are lost) — which is fine, shrinking only preserves the failure.
+func narrowRegister(d *ast.Design, reg string, oldW, nw int) *ast.Design {
+	c := d.Clone()
+	for i := range c.Registers {
+		if c.Registers[i].Name == reg {
+			c.Registers[i].Type = ast.Bits(nw)
+			c.Registers[i].Init = bits.New(nw, c.Registers[i].Init.Val)
+		}
+	}
+	for i := range c.Rules {
+		c.Rules[i].Body = repatch(c.Rules[i].Body, reg, oldW, nw)
+	}
+	return c
+}
+
+func repatch(n *ast.Node, reg string, oldW, nw int) *ast.Node {
+	if n == nil {
+		return nil
+	}
+	n.A = repatch(n.A, reg, oldW, nw)
+	n.B = repatch(n.B, reg, oldW, nw)
+	n.C = repatch(n.C, reg, oldW, nw)
+	for i, it := range n.Items {
+		n.Items[i] = repatch(it, reg, oldW, nw)
+	}
+	if n.Kind == ast.KRead && n.Name == reg {
+		return ast.ZeroExtend(oldW, n)
+	}
+	if n.Kind == ast.KWrite && n.Name == reg {
+		n.A = ast.Truncate(nw, n.A)
+	}
+	return n
+}
+
+// --- cycle shrinking ----------------------------------------------------
+
+// shrinkCycles binary-searches the shortest cycle window that still
+// reproduces the failure, assuming monotonicity (a failure within mid cycles
+// also shows within more). The invariant makes the result safe even when the
+// budget runs dry mid-search: hi only ever moves to a window the failure was
+// observed at, starting from the current window, which the preceding
+// accepted steps verified. (Monotonicity violations are caught by Shrink's
+// final re-run.)
+func (s *shrinker) shrinkCycles(cand *ast.Design) {
+	lo, hi := uint64(1), s.cycles
+	for lo < hi && s.budget > 0 {
+		mid := lo + (hi-lo)/2
+		s.cycles = mid
+		s.budget--
+		if s.run(cand).Matches(s.orig) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s.cycles = hi
+}

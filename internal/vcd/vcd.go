@@ -15,20 +15,33 @@ import (
 
 // Writer dumps an engine's registers each cycle.
 type Writer struct {
-	w     io.Writer
-	e     sim.Engine
-	ids   []string
-	last  []bits.Bits
-	begun bool
-	err   error
+	w      io.Writer
+	e      sim.Engine
+	ids    []string
+	widths []int // declared register widths (may exceed the 64-bit value path)
+	last   []bits.Bits
+	begun  bool
+	err    error
+	// pending holds a "#cycle" timestamp that has not been written yet:
+	// VCD timestamps carry no information unless a value change follows,
+	// so quiet cycles emit nothing and dumps of mostly-idle designs stay
+	// proportional to the activity, not the cycle count.
+	pending string
 }
 
 // New prepares a VCD writer over the engine's registers.
 func New(w io.Writer, e sim.Engine) *Writer {
 	d := e.Design()
-	vw := &Writer{w: w, e: e, ids: make([]string, len(d.Registers)), last: make([]bits.Bits, len(d.Registers))}
+	vw := &Writer{
+		w:      w,
+		e:      e,
+		ids:    make([]string, len(d.Registers)),
+		widths: make([]int, len(d.Registers)),
+		last:   make([]bits.Bits, len(d.Registers)),
+	}
 	for i := range d.Registers {
 		vw.ids[i] = shortID(i)
+		vw.widths[i] = d.Registers[i].Type.BitWidth()
 	}
 	return vw
 }
@@ -53,12 +66,17 @@ func (vw *Writer) printf(format string, args ...any) {
 	}
 }
 
-// header emits the declaration section.
+// header emits the declaration section. Zero-width registers carry no
+// information and "$var wire 0" is not legal VCD, so they are omitted from
+// the dump entirely.
 func (vw *Writer) header() {
 	d := vw.e.Design()
 	vw.printf("$timescale 1ns $end\n$scope module %s $end\n", sanitize(d.Name))
 	for i, r := range d.Registers {
-		vw.printf("$var wire %d %s %s $end\n", r.Type.BitWidth(), vw.ids[i], sanitize(r.Name))
+		if vw.widths[i] == 0 {
+			continue
+		}
+		vw.printf("$var wire %d %s %s $end\n", vw.widths[i], vw.ids[i], sanitize(r.Name))
 	}
 	vw.printf("$upscope $end\n$enddefinitions $end\n")
 }
@@ -73,7 +91,9 @@ func sanitize(s string) string {
 }
 
 // Sample records the current register values at the engine's cycle,
-// emitting only changes (and everything on the first call).
+// emitting only changes (and everything on the first call). Timestamps are
+// buffered: a "#cycle" line reaches the output only when at least one
+// value change follows it.
 func (vw *Writer) Sample() error {
 	d := vw.e.Design()
 	if !vw.begun {
@@ -83,28 +103,46 @@ func (vw *Writer) Sample() error {
 		for i, r := range d.Registers {
 			v := vw.e.Reg(r.Name)
 			vw.last[i] = v
+			if vw.widths[i] == 0 {
+				continue
+			}
 			vw.emit(i, v)
 		}
 		vw.printf("$end\n")
 		return vw.err
 	}
-	vw.printf("#%d\n", vw.e.CycleCount())
+	vw.pending = fmt.Sprintf("#%d\n", vw.e.CycleCount())
 	for i, r := range d.Registers {
 		v := vw.e.Reg(r.Name)
 		if v != vw.last[i] {
 			vw.last[i] = v
+			if vw.widths[i] == 0 {
+				continue
+			}
+			vw.flushTimestamp()
 			vw.emit(i, v)
 		}
 	}
 	return vw.err
 }
 
+func (vw *Writer) flushTimestamp() {
+	if vw.pending != "" {
+		vw.printf("%s", vw.pending)
+		vw.pending = ""
+	}
+}
+
+// emit writes one value change. The binary form is padded to the declared
+// register width: values are carried in a single machine word, so a
+// register declared wider than 64 bits (from a frontend that allows it)
+// would otherwise dump fewer digits than its declaration promises.
 func (vw *Writer) emit(i int, v bits.Bits) {
-	if v.Width == 1 {
+	if vw.widths[i] == 1 {
 		vw.printf("%d%s\n", v.Val, vw.ids[i])
 		return
 	}
-	vw.printf("b%b %s\n", v.Val, vw.ids[i])
+	vw.printf("b%0*b %s\n", vw.widths[i], v.Val, vw.ids[i])
 }
 
 // Trace runs the engine under the testbench for n cycles, sampling after

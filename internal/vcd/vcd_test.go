@@ -38,11 +38,16 @@ func TestOnlyChangesDumped(t *testing.T) {
 	if _, err := vcd.Trace(&sb, s, nil, 6); err != nil {
 		t.Fatal(err)
 	}
-	// After convergence nothing changes, so later timestamps carry no
-	// value lines.
+	// After convergence nothing changes; quiet cycles must emit nothing —
+	// not even their "#cycle" timestamp lines.
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
 	last := lines[len(lines)-1]
-	if !strings.HasPrefix(last, "#") {
-		t.Errorf("expected trailing quiet timestamps, got %q", last)
+	if strings.HasPrefix(last, "#") {
+		t.Errorf("quiet cycles still emit bare timestamps, got trailing %q", last)
+	}
+	for i, ln := range lines[:len(lines)-1] {
+		if strings.HasPrefix(ln, "#") && strings.HasPrefix(lines[i+1], "#") {
+			t.Errorf("timestamp %q not followed by a value change", ln)
+		}
 	}
 }

@@ -32,6 +32,21 @@ go test ./internal/lang -run='^$' -fuzz='^FuzzParser$' -fuzztime=5s
 go test ./internal/lang -run='^$' -fuzz='^FuzzElaborate$' -fuzztime=5s
 go test ./internal/bench -run='^$' -fuzz='^FuzzLockstep$' -fuzztime=5s
 go test ./internal/bench -run='^$' -fuzz='^FuzzStallLockstep$' -fuzztime=5s
+go test ./internal/difftest -run='^$' -fuzz='^FuzzDifftest$' -fuzztime=5s
+
+echo "== kdiff generative sweep (fixed seeds, all engines, shrink on failure)"
+# Every engine in the matrix must track the reference interpreter in
+# lockstep over 200 generated designs; any divergence is shrunk and written
+# to the temp dir for the log.
+go run ./cmd/kdiff -seed 1 -count 200 -cycles 200 -engines all -o "$(mktemp -d)"
+
+echo "== kdiff regression gate (examples/regress + Case Study 1 deadlock)"
+# The committed corpus is covered by TestRegressCorpus in go test; here CI
+# additionally asserts the injected msi-buggy dropped-ack deadlock stays
+# detectable through the CLI's stall oracle.
+go run ./cmd/kdiff -cycles 2000 -engines interp \
+    -progress c0_ops_done,c1_ops_done -stall 200 -check 'p_state==1,c0_ops_done>=1' \
+    -expect-bug -o "$(mktemp -d)" msi-buggy
 
 echo "== bench smoke (Fig1, 100x)"
 go test -run='^$' -bench=Fig1 -benchtime=100x .
