@@ -7,6 +7,7 @@
 //	       [-cycles N] [-halt-budget N] [-full]
 //	       [-parallel N] [-timeout D] [-fuzz N] [-fuzz-base S] [-json PATH]
 //	       [-designs a,b] [-digest-check] [-cpuprofile PATH] [-memprofile PATH]
+//	       [-serve-url URL] [-serve-batch N]
 //
 // With no selection flags, -all is assumed. -full uses paper-scale budgets
 // (minutes); the default budgets finish in seconds.
@@ -22,6 +23,12 @@
 // the fuzz and JSON stages: a run over budget stops dispatching work,
 // reports what completed (the JSON file stays valid, marked incomplete),
 // and exits 1.
+//
+// -serve-url URL benchmarks a running ksimd daemon instead of the local
+// jobs: each self-driving catalogue design (or the -designs subset) runs
+// once in-process and once as a remote session stepped in -serve-batch
+// cycle chunks, reporting the RPC-path overhead; -json writes the
+// comparison and -digest-check fails on any local/remote state divergence.
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles covering the
 // selected jobs (the heap profile is snapshotted at exit), so the
@@ -62,6 +69,8 @@ func main() {
 		jsonPath = fs.String("json", "", "also write machine-readable timings to this file")
 		designs  = fs.String("designs", "", "comma-separated catalogue names restricting the -json grid")
 		digest   = fs.Bool("digest-check", false, "fail -json when engines disagree on a design's final state")
+		serveURL = fs.String("serve-url", "", "benchmark a running ksimd daemon at this URL against the in-process baseline")
+		serveB   = fs.Uint64("serve-batch", 10_000, "cycles per step RPC in -serve-url mode")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected jobs to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile (snapshotted at exit) to this file")
 	)
@@ -153,8 +162,16 @@ func main() {
 		}},
 		{*verify, func() error { return bench.Conformance(os.Stdout, 1000, *parallel) }},
 	}
-	// -fuzz and -json are explicit-only jobs: they never run under the
-	// implicit -all, so the default invocation's output is unchanged.
+	// -fuzz, -json, and -serve-url are explicit-only jobs: they never run
+	// under the implicit -all, so the default invocation's output is
+	// unchanged.
+	if *serveURL != "" {
+		if err := runServe(ctx, os.Stdout, *serveURL, opts, *serveB, *jsonPath, *digest); err != nil {
+			fail(err)
+		}
+		stopProfiles()
+		return
+	}
 	any := *fuzzN > 0 || *jsonPath != ""
 	for _, j := range jobs {
 		if j.sel {

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/server"
+	"cuttlego/internal/sim"
+)
+
+// serveRow is one design's in-process vs RPC-path comparison in the
+// machine-readable export: the remote row's throughput includes every HTTP
+// round trip, so Overhead is the cost of the service boundary itself.
+type serveRow struct {
+	Design       string  `json:"design"`
+	Engine       string  `json:"engine"`
+	Cycles       uint64  `json:"cycles"`
+	NsPerCycle   float64 `json:"ns_per_cycle"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	StateDigest  string  `json:"state_digest,omitempty"`
+	// RPCs is the number of step requests issued (remote rows only).
+	RPCs int `json:"rpcs,omitempty"`
+	// Overhead is remote ns/cycle divided by in-process ns/cycle (remote
+	// rows only).
+	Overhead float64 `json:"overhead,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+type serveReport struct {
+	Schema     string     `json:"schema"`
+	URL        string     `json:"url"`
+	Window     uint64     `json:"window_cycles"`
+	Batch      uint64     `json:"batch_cycles"`
+	Incomplete bool       `json:"incomplete,omitempty"`
+	Results    []serveRow `json:"results"`
+}
+
+// serveDefaults is the self-driving subset of the catalogue: designs whose
+// remote runs are exactly reproducible in-process, so the digests must
+// agree and the timing difference is pure RPC overhead.
+var serveDefaults = []string{"collatz", "fir", "fft", "idle"}
+
+// runServe benchmarks a running ksimd daemon against the in-process
+// baseline: for each design, one local run and one remote session stepped
+// in -serve-batch chunks, digests compared, RPC overhead reported.
+func runServe(ctx context.Context, out io.Writer, url string, opts bench.Options, batch uint64, jsonPath string, digestCheck bool) error {
+	c := kclient.New(url)
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("no ksimd at %s: %w", url, err)
+	}
+	designs := opts.Designs
+	if len(designs) == 0 {
+		designs = serveDefaults
+	}
+	if batch == 0 {
+		batch = 10_000
+	}
+	rep := serveReport{Schema: "cuttlego-bench-serve/v1", URL: url, Window: opts.Cycles, Batch: batch}
+	var firstErr error
+	fail := func(err error) {
+		rep.Incomplete = true
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	fmt.Fprintf(out, "ksimd RPC-path overhead (%s, window %d cycles, batch %d)\n", url, opts.Cycles, batch)
+	fmt.Fprintf(out, "%-10s %14s %14s %8s %9s\n", "design", "local cyc/s", "remote cyc/s", "rpcs", "overhead")
+	for _, name := range designs {
+		local, remote, err := serveMeasure(ctx, c, name, opts.Cycles, batch)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+			rep.Results = append(rep.Results, serveRow{Design: name, Engine: "remote", Error: err.Error()})
+			fmt.Fprintf(out, "%-10s %14s\n", name, "FAILED: "+err.Error())
+			continue
+		}
+		if local.NsPerCycle > 0 {
+			remote.Overhead = remote.NsPerCycle / local.NsPerCycle
+		}
+		if digestCheck && local.StateDigest != remote.StateDigest {
+			fail(fmt.Errorf("%s: remote digest %s != in-process %s", name, remote.StateDigest, local.StateDigest))
+		}
+		rep.Results = append(rep.Results, local, remote)
+		fmt.Fprintf(out, "%-10s %14.0f %14.0f %8d %8.2fx\n",
+			name, local.CyclesPerSec, remote.CyclesPerSec, remote.RPCs, remote.Overhead)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(rep)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return firstErr
+}
+
+func serveMeasure(ctx context.Context, c *kclient.Client, name string, cycles, batch uint64) (local, remote serveRow, err error) {
+	bm, ok := bench.Lookup(name)
+	if !ok {
+		return local, remote, fmt.Errorf("unknown catalogue design %q", name)
+	}
+
+	// In-process baseline on the daemon's default engine.
+	inst := bm.New()
+	eng, err := cuttlesim.New(inst.Design, cuttlesim.Options{
+		Level: cuttlesim.LStatic, Backend: cuttlesim.Closure, Profile: true,
+	})
+	if err != nil {
+		return local, remote, err
+	}
+	start := time.Now()
+	if ran := sim.Run(eng, inst.Bench, cycles); ran != cycles {
+		return local, remote, fmt.Errorf("in-process run stopped at %d of %d cycles", ran, cycles)
+	}
+	elapsed := time.Since(start)
+	local = serveRow{
+		Design: name, Engine: "in-process", Cycles: cycles,
+		NsPerCycle:   float64(elapsed.Nanoseconds()) / float64(cycles),
+		CyclesPerSec: float64(cycles) / elapsed.Seconds(),
+		StateDigest:  fmt.Sprintf("%016x", sim.StateDigest(eng)),
+	}
+
+	// The same workload through the daemon, batched over the wire.
+	info, err := c.Create(ctx, server.CreateRequest{Catalog: name})
+	if err != nil {
+		return local, remote, err
+	}
+	defer func() { _ = c.Delete(context.WithoutCancel(ctx), info.ID) }()
+	rpcs := 0
+	start = time.Now()
+	for done := uint64(0); done < cycles; {
+		chunk := batch
+		if cycles-done < chunk {
+			chunk = cycles - done
+		}
+		resp, err := c.Step(ctx, info.ID, chunk)
+		if err != nil {
+			return local, remote, err
+		}
+		rpcs++
+		if resp.Ran == 0 {
+			return local, remote, fmt.Errorf("remote step made no progress at cycle %d (%s)", done, resp.Stopped)
+		}
+		done += resp.Ran
+	}
+	elapsed = time.Since(start)
+	final, err := c.Info(ctx, info.ID)
+	if err != nil {
+		return local, remote, err
+	}
+	remote = serveRow{
+		Design: name, Engine: "remote(" + final.Engine + ")", Cycles: cycles,
+		NsPerCycle:   float64(elapsed.Nanoseconds()) / float64(cycles),
+		CyclesPerSec: float64(cycles) / elapsed.Seconds(),
+		StateDigest:  final.Digest,
+		RPCs:         rpcs,
+	}
+	return local, remote, nil
+}

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	kdbg <design>
+//	kdbg -connect URL (<design> | -session ID)
+//
+// With -connect, kdbg becomes a remote client of a running ksimd daemon:
+// the same prompt, but every command is an RPC against a hosted session
+// (created from a catalogue name or a .koika file, or attached with
+// -session). Remote sessions add checkpoint/restore/fork commands on top
+// of the usual stepping, conditional breakpoints, and reverse execution.
 //
 // Commands:
 //
@@ -38,7 +45,16 @@ import (
 func main() {
 	fs := cli.Flags("kdbg")
 	maxErrors := fs.Int("maxerrors", 0, "cap on reported frontend errors (0 = default, -1 = unlimited)")
+	connect := fs.String("connect", "", "drive a remote ksimd daemon at this URL instead of simulating in-process")
+	session := fs.String("session", "", "with -connect: attach to an existing session id")
 	cli.Parse(fs, os.Args[1:])
+	if *connect != "" {
+		if fs.NArg() > 1 || (fs.NArg() == 1) == (*session != "") {
+			cli.Usage("usage: kdbg -connect URL (<design> | -session ID)\n")
+		}
+		remoteMain(*connect, *session, fs.Arg(0))
+		return
+	}
 	if fs.NArg() != 1 {
 		cli.Usage("usage: kdbg [-maxerrors N] <design>\ncatalogued designs: %v\n", bench.Names())
 	}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/cli"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/server"
+)
+
+// remoteMain is kdbg's -connect mode: the same prompt, but every command is
+// an RPC against a running ksimd daemon. The design argument is optional —
+// with one, a new session is created (catalogue name or .koika file); with
+// -session, the REPL attaches to a session already hosted by the daemon.
+func remoteMain(url, sessionID, design string) {
+	c := kclient.New(url)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		cli.Fail("kdbg", fmt.Errorf("no ksimd at %s: %w", url, err))
+	}
+	var info server.SessionInfo
+	var err error
+	switch {
+	case sessionID != "":
+		info, err = c.Info(ctx, sessionID)
+	case design != "":
+		req := server.CreateRequest{}
+		if _, ok := bench.Lookup(design); ok {
+			req.Catalog = design
+		} else {
+			src, rerr := os.ReadFile(design)
+			if rerr != nil {
+				cli.Fail("kdbg", fmt.Errorf("%q is neither a catalogue design %v nor a readable file: %w",
+					design, bench.Names(), rerr))
+			}
+			req.Source = string(src)
+		}
+		info, err = c.Create(ctx, req)
+	default:
+		cli.Usage("usage: kdbg -connect URL (<design> | -session ID)\n")
+	}
+	if err != nil {
+		cli.Fail("kdbg", err)
+	}
+	fmt.Printf("kdbg: connected to %s, session %s: %s on %s (%d registers, %d rules). Type 'help'.\n",
+		url, info.ID, info.Design, info.Engine, info.Registers, info.Rules)
+	remoteRepl(ctx, c, info.ID)
+}
+
+func remoteRepl(ctx context.Context, c *kclient.Client, id string) {
+	sc := bufio.NewScanner(os.Stdin)
+	cycle := uint64(0)
+	if info, err := c.Info(ctx, id); err == nil {
+		cycle = info.Cycle
+	}
+	var lastFired map[string]bool
+	for {
+		fmt.Printf("(kdbg %s@%d) ", id, cycle)
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		arg := func(i int, def string) string {
+			if len(fields) > i {
+				return fields[i]
+			}
+			return def
+		}
+		num := func(i int, def uint64) uint64 {
+			if len(fields) > i {
+				if n, err := strconv.ParseUint(fields[i], 10, 64); err == nil {
+					return n
+				}
+			}
+			return def
+		}
+		err := func() error {
+			switch fields[0] {
+			case "quit", "q", "exit":
+				return errQuit
+			case "help", "h":
+				fmt.Println("remote commands: step when clear print set rules profile checkpoint restore reverse fork sessions quit")
+				fmt.Println("  when <expr>      break when the expression holds, e.g.: when done.rd0() == 1'd1")
+				fmt.Println("  set REG HEX      poke a register")
+				fmt.Println("  restore CKPT     rewind to a checkpoint id from 'checkpoint'")
+			case "step", "s", "continue", "c":
+				n := num(1, 1)
+				if fields[0] == "continue" || fields[0] == "c" {
+					n = num(1, 100_000)
+				}
+				resp, err := c.Step(ctx, id, n)
+				if err != nil {
+					return err
+				}
+				cycle = resp.Cycle
+				lastFired = resp.Fired
+				if resp.Stopped != "" {
+					fmt.Printf("stopped after %d cycles: %s\n", resp.Ran, resp.Stopped)
+				} else {
+					fmt.Printf("ran %d cycles\n", resp.Ran)
+				}
+			case "when":
+				return c.Break(ctx, id, server.BreakRequest{Cond: strings.Join(fields[1:], " ")})
+			case "clear":
+				return c.Break(ctx, id, server.BreakRequest{Clear: true})
+			case "print", "p":
+				req := server.RegsRequest{All: true}
+				if r := arg(1, ""); r != "" {
+					req = server.RegsRequest{Get: []string{r}}
+				}
+				resp, err := c.Regs(ctx, id, req)
+				if err != nil {
+					return err
+				}
+				names := make([]string, 0, len(resp.Values))
+				for name := range resp.Values {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					v := resp.Values[name]
+					fmt.Printf("  %-16s = 0x%s (%d bits)\n", name, v.Hex, v.Width)
+				}
+			case "set":
+				name, hex := arg(1, ""), arg(2, "")
+				if name == "" || hex == "" {
+					return fmt.Errorf("set REG HEXVALUE")
+				}
+				cur, err := c.Regs(ctx, id, server.RegsRequest{Get: []string{name}})
+				if err != nil {
+					return err
+				}
+				_, err = c.Regs(ctx, id, server.RegsRequest{Set: map[string]server.RegValue{
+					name: {Width: cur.Values[name].Width, Hex: hex},
+				}})
+				return err
+			case "rules":
+				if lastFired == nil {
+					fmt.Println("no cycle executed yet (step first)")
+					break
+				}
+				names := make([]string, 0, len(lastFired))
+				for name := range lastFired {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					mark := " "
+					if lastFired[name] {
+						mark = "*"
+					}
+					fmt.Printf("  %s %s\n", mark, name)
+				}
+			case "profile":
+				resp, err := c.Profile(ctx, id)
+				if err != nil {
+					return err
+				}
+				for _, r := range resp.Rules {
+					fmt.Printf("  %-20s attempts=%-10d commits=%-10d skipped=%d\n",
+						r.Rule, r.Attempts, r.Commits, r.Skipped)
+				}
+			case "checkpoint":
+				resp, err := c.Checkpoint(ctx, id)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("checkpoint %s at cycle %d (digest %s)\n", resp.Checkpoint, resp.Cycle, resp.Digest)
+			case "restore":
+				info, err := c.Restore(ctx, id, arg(1, ""))
+				if err != nil {
+					return err
+				}
+				cycle = info.Cycle
+				fmt.Printf("now at cycle %d\n", cycle)
+			case "reverse", "r":
+				info, err := c.Reverse(ctx, id, num(1, 1))
+				if err != nil {
+					return err
+				}
+				cycle = info.Cycle
+				fmt.Printf("now at cycle %d\n", cycle)
+			case "fork":
+				info, err := c.Fork(ctx, id)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("forked into session %s at cycle %d\n", info.ID, info.Cycle)
+			case "sessions":
+				infos, err := c.List(ctx)
+				if err != nil {
+					return err
+				}
+				for _, s := range infos {
+					fmt.Printf("  %-8s %-12s %-24s cycle=%d\n", s.ID, s.Design, s.Engine, s.Cycle)
+				}
+			default:
+				return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+			}
+			return nil
+		}()
+		if err == errQuit {
+			return
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command ksimd is the simulation-as-a-service daemon: it hosts concurrent
+// simulation sessions behind a JSON HTTP API, with durable snapshots,
+// transparent eviction/resurrection, remote debugging (kdbg -connect), and
+// streamed VCD/NDJSON traces.
+//
+// Usage:
+//
+//	ksimd [-addr HOST:PORT] [-store DIR] [-max-sessions N] [-max-body BYTES]
+//	      [-step-timeout D] [-max-step N] [-workers N] [-addr-file PATH]
+//
+// The daemon prints its listening address on stdout once bound (an -addr of
+// ":0" picks an ephemeral port; -addr-file additionally writes the address
+// to a file for scripted startup). SIGINT/SIGTERM trigger a graceful
+// shutdown: in-flight requests drain and, when -store is set, every durable
+// session is checkpointed so a restarted daemon can resume it.
+//
+// Exit codes: 0 on clean shutdown, 1 on input errors (bad flags, unusable
+// address or store), 2 on an internal toolchain error.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cuttlego/internal/cli"
+	"cuttlego/internal/server"
+)
+
+func main() {
+	fs := cli.Flags("ksimd")
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9090", "listen address (use :0 for an ephemeral port)")
+		store    = fs.String("store", "", "durable snapshot directory (empty = no durability)")
+		maxSess  = fs.Int("max-sessions", 64, "live session bound; excess evicts LRU durable sessions")
+		maxBody  = fs.Int64("max-body", 1<<20, "request body limit in bytes")
+		stepTO   = fs.Duration("step-timeout", 30*time.Second, "simulation budget per step/trace request")
+		maxStep  = fs.Uint64("max-step", 100_000_000, "cycle cap per step request")
+		workers  = fs.Int("workers", 0, "concurrent simulation requests (0 = 2 per CPU)")
+		addrFile = fs.String("addr-file", "", "also write the bound address to this file")
+	)
+	cli.Parse(fs, os.Args[1:])
+	if fs.NArg() != 0 {
+		cli.Usage("usage: ksimd [flags]; run ksimd -h for the flag list\n")
+	}
+
+	srv, err := server.New(server.Config{
+		StoreDir:      *store,
+		MaxSessions:   *maxSess,
+		MaxBody:       *maxBody,
+		StepTimeout:   *stepTO,
+		MaxStepCycles: *maxStep,
+		Workers:       *workers,
+	})
+	if err != nil {
+		cli.Fail("ksimd", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fail("ksimd", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			cli.Fail("ksimd", err)
+		}
+	}
+	fmt.Printf("ksimd listening on %s (%s)\n", bound, srv.Describe())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("ksimd: %s, shutting down\n", sig)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cli.Fail("ksimd", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ksimd: shutdown: %v\n", err)
+	}
+	// Checkpoint every durable session so a restart resumes where we left off.
+	if err := srv.Close(); err != nil {
+		cli.Fail("ksimd", err)
+	}
+}

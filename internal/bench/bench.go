@@ -339,26 +339,10 @@ func Measure(bm Benchmark, eng Engine, cycles uint64) (Measurement, error) {
 
 // StateDigest hashes the engine's full architectural state (FNV-1a over
 // register widths and values), so cross-engine agreement can be asserted
-// from a single number at the end of a run.
-func StateDigest(e sim.Engine) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
-	for _, b := range sim.StateOf(e) {
-		mix(uint64(b.Width))
-		mix(b.Val)
-	}
-	return h
-}
+// from a single number at the end of a run. It is sim.StateDigest, kept
+// here for the existing call sites; the simulation daemon uses the sim
+// package's copy so snapshot digests and engine digests agree.
+func StateDigest(e sim.Engine) uint64 { return sim.StateDigest(e) }
 
 // runCycles drives the engine unconditionally for n cycles (benchmarks
 // never stop on testbench completion — a halted core keeps spinning).

@@ -192,6 +192,41 @@ func (v Wide) Slice(lo, w int) Wide {
 	return out
 }
 
+// AppendLE appends the vector's payload to dst as ceil(width/8)
+// little-endian bytes (the snapshot wire encoding) and returns the extended
+// slice. A zero-width vector appends nothing.
+func (v Wide) AppendLE(dst []byte) []byte {
+	nbytes := (v.width + 7) / 8
+	for i := 0; i < nbytes; i++ {
+		dst = append(dst, byte(v.limbs[i/8]>>uint(8*(i%8))))
+	}
+	return dst
+}
+
+// WideFromLE decodes a w-bit vector from ceil(w/8) little-endian payload
+// bytes. It rejects payloads of the wrong length and payloads with padding
+// bits set above the declared width, so every byte string decodes to at
+// most one canonical value (corrupt snapshots fail loudly instead of
+// silently re-canonicalizing).
+func WideFromLE(w int, p []byte) (Wide, error) {
+	if w < 0 {
+		return Wide{}, fmt.Errorf("bits: negative width %d", w)
+	}
+	if want := (w + 7) / 8; len(p) != want {
+		return Wide{}, fmt.Errorf("bits: width %d wants %d payload bytes, got %d", w, want, len(p))
+	}
+	v := Wide{width: w, limbs: make([]uint64, wideLimbs(w))}
+	for i, b := range p {
+		v.limbs[i/8] |= uint64(b) << uint(8*(i%8))
+	}
+	if rem := w % 8; rem != 0 && len(p) > 0 {
+		if p[len(p)-1]>>uint(rem) != 0 {
+			return Wide{}, fmt.Errorf("bits: payload has bits set above declared width %d", w)
+		}
+	}
+	return v, nil
+}
+
 // String renders the vector as <width>'x<hex>.
 func (v Wide) String() string {
 	var sb strings.Builder

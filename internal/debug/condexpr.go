@@ -20,7 +20,7 @@ import (
 // state into the probe and runs it for one cycle — slow enough only to
 // matter while debugging, which is exactly when it runs.
 func (d *Debugger) BreakWhenSource(src string) error {
-	probe, err := compileProbe(d.d, src)
+	probe, err := CompileCondition(d.d, src)
 	if err != nil {
 		return err
 	}
@@ -28,8 +28,12 @@ func (d *Debugger) BreakWhenSource(src string) error {
 	return nil
 }
 
-// compileProbe turns a textual predicate into a reusable evaluator.
-func compileProbe(design *ast.Design, src string) (func(sim.Engine) bool, error) {
+// CompileCondition turns a textual predicate over a design's registers into
+// a reusable evaluator that works against any sim.Engine for that design —
+// not just the debugger's hooked simulator. The simulation daemon uses it
+// to attach conditional breakpoints to remote sessions regardless of which
+// engine the session selected.
+func CompileCondition(design *ast.Design, src string) (func(sim.Engine) bool, error) {
 	expr, err := lang.ParseExpr(design, src)
 	if err != nil {
 		return nil, err

@@ -140,6 +140,17 @@ func (d *Debugger) deliver(ev Event) {
 	}
 }
 
+// SetSnapshotInterval changes how often the debugger checkpoints for
+// reverse execution (default 64 cycles). Smaller intervals make ReverseStep
+// cheaper at the cost of memory; tests use it to exercise rewinds that
+// cross checkpoint boundaries.
+func (d *Debugger) SetSnapshotInterval(n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	d.snapEvery = n
+}
+
 // Design returns the debugged design.
 func (d *Debugger) Design() *ast.Design { return d.d }
 

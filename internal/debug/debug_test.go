@@ -121,6 +121,58 @@ func TestReverseStep(t *testing.T) {
 	}
 }
 
+// TestReverseStepAcrossCheckpointBoundary rewinds by amounts that cross one
+// and several snapshot boundaries, and rewinds twice in a row to exactly a
+// boundary cycle. Regression test for the daemon's remote reverse path: a
+// rewind that lands on (or just before) a checkpoint must restore that
+// checkpoint, not replay from an earlier one with stale breakpoint state.
+func TestReverseStepAcrossCheckpointBoundary(t *testing.T) {
+	d := collatzDebugger(t)
+	d.SetSnapshotInterval(8) // checkpoints at cycles 8, 16, 24, ...
+	ref := collatzDebugger(t)
+	run := func(dbg *debug.Debugger, n int) {
+		for i := 0; i < n; i++ {
+			dbg.Step()
+		}
+	}
+	run(d, 30)
+	for _, rewind := range []uint64{1, 7, 8, 9, 20} {
+		for d.CycleCount() < 30 { // return to cycle 30 between rewinds
+			d.Step()
+		}
+		target := d.CycleCount() - rewind
+		if err := d.ReverseStep(rewind); err != nil {
+			t.Fatalf("rewind %d: %v", rewind, err)
+		}
+		if d.CycleCount() != target {
+			t.Fatalf("rewind %d landed at %d, want %d", rewind, d.CycleCount(), target)
+		}
+		// Replay a fresh debugger to the same cycle and compare state.
+		fresh := collatzDebugger(t)
+		run(fresh, int(target))
+		if got, want := sim.StateDigest(d.Engine()), sim.StateDigest(fresh.Engine()); got != want {
+			t.Fatalf("rewind %d: digest %#x != fresh run %#x", rewind, got, want)
+		}
+	}
+	// After all the rewinds, stepping forward must still track a straight
+	// run — the snapshot ring must not have been corrupted.
+	for d.CycleCount() < 40 {
+		d.Step()
+	}
+	run(ref, 40)
+	if sim.StateDigest(d.Engine()) != sim.StateDigest(ref.Engine()) {
+		t.Fatal("post-rewind forward execution diverged from a straight run")
+	}
+	// Breakpoints must survive a boundary-crossing rewind and still fire.
+	d.BreakOnRule("divide")
+	if err := d.ReverseStep(17); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Continue(100) {
+		t.Fatal("breakpoint lost after boundary-crossing rewind")
+	}
+}
+
 func TestReverseStepErrors(t *testing.T) {
 	d := collatzDebugger(t)
 	d.Step()

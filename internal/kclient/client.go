@@ -1,0 +1,236 @@
+// Package kclient is the thin HTTP client for a running ksimd daemon. It
+// speaks the JSON wire vocabulary of internal/server and nothing else, so
+// tools (kdbg -connect, kbench -serve-url) can drive remote sessions
+// without linking any simulation engine.
+package kclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cuttlego/internal/server"
+)
+
+// Client talks to one ksimd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a daemon at base (e.g. "http://127.0.0.1:9090").
+// A missing scheme defaults to http.
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ksimd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// do runs one JSON round trip. A nil in sends no body; a nil out discards
+// the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er server.ErrorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return &APIError{Status: resp.StatusCode, Message: er.Error}
+	}
+	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the daemon counters.
+func (c *Client) Metrics(ctx context.Context) (server.Metrics, error) {
+	var m server.Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Create opens a new session.
+func (c *Client) Create(ctx context.Context, req server.CreateRequest) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
+	return info, err
+}
+
+// List enumerates live sessions.
+func (c *Client) List(ctx context.Context) ([]server.SessionInfo, error) {
+	var resp server.ListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &resp)
+	return resp.Sessions, err
+}
+
+// Info describes one session.
+func (c *Client) Info(ctx context.Context, id string) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Delete retires a session, removing any durable state.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Step advances a session by up to cycles cycles.
+func (c *Client) Step(ctx context.Context, id string, cycles uint64) (server.StepResponse, error) {
+	var resp server.StepResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/step",
+		server.StepRequest{Cycles: cycles}, &resp)
+	return resp, err
+}
+
+// Regs runs a batched register poke/peek.
+func (c *Client) Regs(ctx context.Context, id string, req server.RegsRequest) (server.RegsResponse, error) {
+	var resp server.RegsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/regs", req, &resp)
+	return resp, err
+}
+
+// Profile fetches per-rule counters.
+func (c *Client) Profile(ctx context.Context, id string) (server.ProfileResponse, error) {
+	var resp server.ProfileResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/profile", nil, &resp)
+	return resp, err
+}
+
+// Break installs a conditional breakpoint, or clears them all.
+func (c *Client) Break(ctx context.Context, id string, req server.BreakRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/break", req, nil)
+}
+
+// Checkpoint persists the session's current state.
+func (c *Client) Checkpoint(ctx context.Context, id string) (server.CheckpointResponse, error) {
+	var resp server.CheckpointResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/checkpoint", nil, &resp)
+	return resp, err
+}
+
+// Restore rewinds a live session to one of its checkpoints.
+func (c *Client) Restore(ctx context.Context, id, checkpoint string) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/restore",
+		server.RestoreRequest{Checkpoint: checkpoint}, &info)
+	return info, err
+}
+
+// Resurrect recreates a stored session after a daemon restart ("" picks
+// the latest checkpoint).
+func (c *Client) Resurrect(ctx context.Context, session, checkpoint string) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/resurrect",
+		server.ResurrectRequest{Session: session, Checkpoint: checkpoint}, &info)
+	return info, err
+}
+
+// Fork clones a session's current state into a new session.
+func (c *Client) Fork(ctx context.Context, id string) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/fork", nil, &info)
+	return info, err
+}
+
+// Reverse steps a session backwards.
+func (c *Client) Reverse(ctx context.Context, id string, cycles uint64) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/reverse",
+		server.ReverseRequest{Cycles: cycles}, &info)
+	return info, err
+}
+
+// Trace opens the streamed trace of the next cycles cycles; format is
+// "events" (NDJSON) or "vcd". The caller owns the returned body.
+func (c *Client) Trace(ctx context.Context, id string, cycles uint64, format string) (io.ReadCloser, error) {
+	u := c.base + "/v1/sessions/" + url.PathEscape(id) + "/trace?cycles=" +
+		strconv.FormatUint(cycles, 10) + "&format=" + url.QueryEscape(format)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// TraceEvents runs an NDJSON trace to completion, invoking fn per event.
+func (c *Client) TraceEvents(ctx context.Context, id string, cycles uint64, fn func(server.TraceEvent) error) error {
+	body, err := c.Trace(ctx, id, cycles, "events")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev server.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("trace stream: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/netopt"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+)
+
+// EngineConfig is the persisted engine selection of a session: strings, so
+// it survives JSON meta files unchanged and re-resolves after a restart.
+type EngineConfig struct {
+	Engine   string `json:"engine"`
+	Level    string `json:"level,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Optimize bool   `json:"optimize,omitempty"`
+}
+
+func (c EngineConfig) String() string {
+	switch c.Engine {
+	case "interp":
+		return "interp"
+	case "rtlsim":
+		if c.Optimize {
+			return fmt.Sprintf("rtlsim(%s,opt)", c.Backend)
+		}
+		return fmt.Sprintf("rtlsim(%s)", c.Backend)
+	default:
+		return fmt.Sprintf("cuttlesim(%s,%s)", c.Level, c.Backend)
+	}
+}
+
+// normalize fills defaults and rejects unknown names, so every stored
+// config is replayable.
+func (c EngineConfig) normalize() (EngineConfig, error) {
+	switch c.Engine {
+	case "", "cuttlesim":
+		c.Engine = "cuttlesim"
+		if c.Level == "" {
+			c.Level = cuttlesim.LStatic.String()
+		}
+		if _, err := cuttlesimLevel(c.Level); err != nil {
+			return c, err
+		}
+		switch c.Backend {
+		case "":
+			c.Backend = "closure"
+		case "closure", "bytecode":
+		default:
+			return c, fmt.Errorf("unknown cuttlesim backend %q (want closure or bytecode)", c.Backend)
+		}
+	case "interp":
+		if c.Level != "" || c.Backend != "" {
+			return c, fmt.Errorf("interp has no levels or backends")
+		}
+	case "rtlsim":
+		if c.Level != "" {
+			return c, fmt.Errorf("rtlsim has no optimization levels")
+		}
+		switch c.Backend {
+		case "":
+			c.Backend = "fused"
+		case "switch", "closure", "fused":
+		default:
+			return c, fmt.Errorf("unknown rtlsim backend %q (want switch, closure, or fused)", c.Backend)
+		}
+	default:
+		return c, fmt.Errorf("unknown engine %q (want cuttlesim, interp, or rtlsim)", c.Engine)
+	}
+	return c, nil
+}
+
+func cuttlesimLevel(name string) (cuttlesim.Level, error) {
+	for _, l := range cuttlesim.Levels() {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown cuttlesim level %q", name)
+}
+
+// build instantiates the configured engine over a fresh design instance.
+// Cuttlesim engines are always built with profiling on: the daemon's
+// rule-profile endpoint is part of the remote debugging surface and the
+// counters cost almost nothing.
+func (c EngineConfig) build(inst bench.Instance) (sim.Engine, error) {
+	switch c.Engine {
+	case "interp":
+		return interp.New(inst.Design)
+	case "rtlsim":
+		ckt, err := circuit.Compile(inst.Design, circuit.StyleKoika)
+		if err != nil {
+			return nil, err
+		}
+		if c.Optimize {
+			ckt = netopt.MustOptimize(ckt)
+		}
+		var backend rtlsim.Backend
+		switch c.Backend {
+		case "switch":
+			backend = rtlsim.Switch
+		case "closure":
+			backend = rtlsim.Closure
+		default:
+			backend = rtlsim.Fused
+		}
+		return rtlsim.New(ckt, rtlsim.Options{Backend: backend})
+	default:
+		level, err := cuttlesimLevel(c.Level)
+		if err != nil {
+			return nil, err
+		}
+		backend := cuttlesim.Closure
+		if c.Backend == "bytecode" {
+			backend = cuttlesim.Bytecode
+		}
+		return cuttlesim.New(inst.Design, cuttlesim.Options{Level: level, Backend: backend, Profile: true})
+	}
+}

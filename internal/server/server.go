@@ -1,0 +1,861 @@
+// Package server implements ksimd, the simulation-as-a-service daemon: it
+// hosts many concurrent simulation sessions behind a JSON HTTP API, each
+// session wrapping one engine from the cuttlesim/rtlsim/interp matrix over
+// a design posted as .koika source or picked from the kbench catalogue.
+// Sessions are driven by batched step RPCs with register peek/poke, rule
+// profiles, conditional breakpoints, reverse execution, and streamed
+// VCD/NDJSON traces; self-driving sessions can be checkpointed to a durable
+// store, evicted under session-table pressure, restored after a daemon
+// restart, and forked for what-if exploration.
+//
+// Built only on the standard library (net/http, encoding/json): the thesis
+// of the paper is that compiled hardware models are ordinary software, and
+// ordinary software gets deployed as services.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/diag"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/vcd"
+)
+
+// Config sizes the daemon's limits. The zero value is usable: every field
+// has a default.
+type Config struct {
+	// StoreDir is the durable snapshot directory; "" disables durability
+	// (checkpoints then live only in session memory).
+	StoreDir string
+	// MaxSessions bounds the live session table (default 64). Creating a
+	// session past the bound evicts the least-recently-used durable
+	// session to the store, or fails with 429 when nothing is evictable.
+	MaxSessions int
+	// MaxBody bounds request bodies in bytes (default 1 MiB); oversized
+	// requests get 413.
+	MaxBody int64
+	// StepTimeout bounds the simulation time of one step/trace/reverse
+	// request (default 30s). An expired budget is reported as a partial
+	// result, not an error.
+	StepTimeout time.Duration
+	// MaxStepCycles caps the cycles one step request may ask for
+	// (default 100M).
+	MaxStepCycles uint64
+	// Workers bounds concurrently executing simulation requests (default
+	// 2*NumCPU); excess requests queue (visible as queue_depth).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.StepTimeout <= 0 {
+		c.StepTimeout = 30 * time.Second
+	}
+	if c.MaxStepCycles == 0 {
+		c.MaxStepCycles = 100_000_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	return c
+}
+
+// Server is the daemon state: the live session table, the durable store,
+// the worker pool, and counters.
+type Server struct {
+	cfg   Config
+	store *Store // nil when running without durability
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+
+	sem        chan struct{} // worker pool slots
+	queueDepth atomic.Int64
+
+	started     time.Time
+	totalCycles atomic.Uint64
+	checkpoints atomic.Uint64
+	restores    atomic.Uint64
+	evictions   atomic.Uint64
+	rate        rateWindow
+}
+
+// New builds a daemon. A non-empty cfg.StoreDir is created if needed.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*session),
+		sem:      make(chan struct{}, cfg.Workers),
+		started:  time.Now(),
+	}
+	if cfg.StoreDir != "" {
+		st, err := OpenStore(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close gracefully retires the daemon: every durable session is
+// checkpointed to the store (when one is configured) so a restarted daemon
+// can resurrect it, then the session table is dropped.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	live := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+	var firstErr error
+	for _, sess := range live {
+		if s.store == nil || !sess.durable() {
+			continue
+		}
+		if _, err := s.checkpoint(sess); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint %s: %w", sess.id, err)
+		}
+	}
+	return firstErr
+}
+
+// checkpoint captures a session and, when a store is configured, persists
+// meta + snapshot. It returns the checkpoint description.
+func (s *Server) checkpoint(sess *session) (CheckpointResponse, error) {
+	snap, err := sess.snapshot()
+	if err != nil {
+		return CheckpointResponse{}, err
+	}
+	ckpt := "c" + strconv.FormatUint(snap.Cycle, 10)
+	resp := CheckpointResponse{
+		Checkpoint: ckpt,
+		Cycle:      snap.Cycle,
+		Digest:     fmt.Sprintf("%016x", snap.Digest()),
+	}
+	if s.store == nil {
+		return resp, nil
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return CheckpointResponse{}, err
+	}
+	if err := s.store.SaveMeta(SessionMeta{
+		ID: sess.id, Source: sess.src, Catalog: sess.catalog, Config: sess.cfg, Created: time.Now(),
+	}); err != nil {
+		return CheckpointResponse{}, err
+	}
+	if err := s.store.SaveSnapshot(sess.id, ckpt, data); err != nil {
+		return CheckpointResponse{}, err
+	}
+	s.checkpoints.Add(1)
+	return resp, nil
+}
+
+// --- session table ----------------------------------------------------------
+
+var errTableFull = errors.New("session table full and nothing evictable")
+
+// admit inserts a new session, evicting if the table is at its bound.
+// Callers must not hold mu.
+func (s *Server) admit(sess *session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		victim := s.lruDurableLocked()
+		if victim == nil || s.store == nil {
+			return errTableFull
+		}
+		delete(s.sessions, victim.id)
+		s.mu.Unlock()
+		_, err := s.checkpoint(victim)
+		s.mu.Lock()
+		if err != nil {
+			return fmt.Errorf("evicting %s: %w", victim.id, err)
+		}
+		s.evictions.Add(1)
+	}
+	sess.lastUsed = time.Now()
+	s.sessions[sess.id] = sess
+	return nil
+}
+
+// lruDurableLocked picks the least-recently-used evictable session.
+func (s *Server) lruDurableLocked() *session {
+	var victim *session
+	for _, sess := range s.sessions {
+		if !sess.durable() {
+			continue
+		}
+		if victim == nil || sess.lastUsed.Before(victim.lastUsed) {
+			victim = sess
+		}
+	}
+	return victim
+}
+
+// lookup finds a live session and bumps its LRU stamp. A session that is
+// not live but has durable state is resurrected transparently — that is
+// what eviction promises the client.
+func (s *Server) lookup(id string) (*session, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		sess.lastUsed = time.Now()
+	}
+	s.mu.Unlock()
+	if ok {
+		return sess, nil
+	}
+	if s.store == nil {
+		return nil, errUnknownSession(id)
+	}
+	sess, err := s.resurrect(id, "")
+	if err != nil {
+		return nil, errUnknownSession(id)
+	}
+	return sess, nil
+}
+
+type unknownSession string
+
+func errUnknownSession(id string) error { return unknownSession(id) }
+func (u unknownSession) Error() string  { return fmt.Sprintf("unknown session %q", string(u)) }
+
+// resurrect rebuilds a stored session at one of its checkpoints (latest if
+// ckpt is ""). The live session keeps its stored id.
+func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
+	defer diag.Guard("server: resurrect", &err)
+	if s.store == nil {
+		return nil, fmt.Errorf("daemon runs without a store; nothing to restore from")
+	}
+	meta, err := s.store.LoadMeta(id)
+	if err != nil {
+		return nil, fmt.Errorf("session %q has no durable state", id)
+	}
+	if ckpt == "" {
+		cks, err := s.store.Checkpoints(id)
+		if err != nil || len(cks) == 0 {
+			return nil, fmt.Errorf("session %q has no checkpoints", id)
+		}
+		ckpt = cks[len(cks)-1]
+	}
+	data, err := s.store.LoadSnapshot(id, ckpt)
+	if err != nil {
+		return nil, fmt.Errorf("session %q has no checkpoint %q", id, ckpt)
+	}
+	var snap sim.Snapshot
+	if err := snap.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("checkpoint %s/%s corrupt: %w", id, ckpt, err)
+	}
+	sess, err := newSession(meta.ID, CreateRequest{
+		Source: meta.Source, Catalog: meta.Catalog,
+		Engine: meta.Config.Engine, Level: meta.Config.Level,
+		Backend: meta.Config.Backend, Optimize: meta.Config.Optimize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding session %q: %w", id, err)
+	}
+	if err := sess.restoreSnapshot(snap); err != nil {
+		return nil, fmt.Errorf("restoring session %q: %w", id, err)
+	}
+	sess.restored = true
+	// Another request may have resurrected the same id concurrently; the
+	// first one in wins.
+	s.mu.Lock()
+	if cur, ok := s.sessions[id]; ok {
+		s.mu.Unlock()
+		return cur, nil
+	}
+	s.mu.Unlock()
+	if err := s.admit(sess); err != nil {
+		return nil, err
+	}
+	s.restores.Add(1)
+	return sess, nil
+}
+
+// --- worker pool ------------------------------------------------------------
+
+// acquire takes a pool slot, queueing when the pool is saturated.
+func (s *Server) acquire(ctx context.Context) error {
+	s.queueDepth.Add(1)
+	defer s.queueDepth.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// --- cycle accounting -------------------------------------------------------
+
+// rateWindow tracks recent cycle throughput in one-second buckets, so
+// /metrics can report cycles/sec over the last few seconds rather than a
+// lifetime average.
+type rateWindow struct {
+	mu      sync.Mutex
+	seconds [16]int64 // unix second each bucket belongs to
+	cycles  [16]uint64
+}
+
+func (r *rateWindow) add(now time.Time, n uint64) {
+	sec := now.Unix()
+	i := int(sec % int64(len(r.seconds)))
+	r.mu.Lock()
+	if r.seconds[i] != sec {
+		r.seconds[i], r.cycles[i] = sec, 0
+	}
+	r.cycles[i] += n
+	r.mu.Unlock()
+}
+
+// perSec averages over the window's last 10 complete seconds.
+func (r *rateWindow) perSec(now time.Time) float64 {
+	sec := now.Unix()
+	var sum uint64
+	r.mu.Lock()
+	for i := range r.seconds {
+		if age := sec - r.seconds[i]; age >= 1 && age <= 10 {
+			sum += r.cycles[i]
+		}
+	}
+	r.mu.Unlock()
+	return float64(sum) / 10
+}
+
+func (s *Server) addCycles(n uint64) {
+	s.totalCycles.Add(n)
+	s.rate.add(time.Now(), n)
+}
+
+// --- HTTP plumbing ----------------------------------------------------------
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("POST /v1/resurrect", s.handleResurrect)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/regs", s.handleRegs)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/break", s.handleBreak)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/restore", s.handleRestore)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/fork", s.handleFork)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/reverse", s.handleReverse)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
+}
+
+// decode reads a bounded JSON request body. Exceeding the body budget is
+// 413; everything else wrong with the body is 400.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return httpError{http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBody)}
+		}
+		return httpError{http.StatusBadRequest, fmt.Errorf("request body: %w", err)}
+	}
+	return nil
+}
+
+// httpError pins a specific status to an error.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e httpError) Error() string { return e.err.Error() }
+func (e httpError) Unwrap() error { return e.err }
+
+// writeError maps an error to the API's status contract: explicit statuses
+// pass through; unknown sessions are 404; non-durable operations are 409;
+// toolchain bugs (diag.Internal) are 500; everything else the client can
+// fix is 400.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var he httpError
+	var unknown unknownSession
+	var internal *diag.Internal
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.As(err, &unknown):
+		status = http.StatusNotFound
+	case errors.Is(err, errNotDurable):
+		status = http.StatusConflict
+	case errors.Is(err, errTableFull):
+		status = http.StatusTooManyRequests
+	case errors.As(err, &internal):
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nsess := len(s.sessions)
+	s.mu.Unlock()
+	now := time.Now()
+	writeJSON(w, http.StatusOK, Metrics{
+		Sessions:     nsess,
+		TotalCycles:  s.totalCycles.Load(),
+		CyclesPerSec: s.rate.perSec(now),
+		QueueDepth:   int(s.queueDepth.Load()),
+		Checkpoints:  s.checkpoints.Load(),
+		Restores:     s.restores.Load(),
+		Evictions:    s.evictions.Load(),
+		UptimeSec:    now.Sub(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.FormatUint(s.nextID, 10)
+	s.mu.Unlock()
+	sess, err := newSession(id, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.admit(sess); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	live := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	resp := ListResponse{Sessions: make([]SessionInfo, 0, len(live))}
+	for _, sess := range live {
+		resp.Sessions = append(resp.Sessions, sess.info())
+	}
+	sortSessions(resp.Sessions)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func sortSessions(infos []SessionInfo) {
+	for i := 1; i < len(infos); i++ { // insertion sort: tiny n, no extra imports
+		for j := i; j > 0 && infos[j-1].ID > infos[j].ID; j-- {
+			infos[j-1], infos[j] = infos[j], infos[j-1]
+		}
+	}
+}
+
+func (s *Server) handleResurrect(w http.ResponseWriter, r *http.Request) {
+	var req ResurrectRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	_, live := s.sessions[req.Session]
+	s.mu.Unlock()
+	if live {
+		writeError(w, httpError{http.StatusConflict,
+			fmt.Errorf("session %q is already live; use its restore endpoint to rewind it", req.Session)})
+		return
+	}
+	sess, err := s.resurrect(req.Session, req.Checkpoint)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		stored := false
+		if s.store != nil && validID(id) {
+			_, err := s.store.LoadMeta(id)
+			stored = err == nil
+		}
+		if !stored {
+			writeError(w, errUnknownSession(id))
+			return
+		}
+	}
+	if s.store != nil && validID(id) {
+		_ = s.store.Remove(id)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req StepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Cycles == 0 || req.Cycles > s.cfg.MaxStepCycles {
+		writeError(w, fmt.Errorf("cycles must be in [1, %d], got %d", s.cfg.MaxStepCycles, req.Cycles))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, httpError{http.StatusServiceUnavailable, fmt.Errorf("queue wait: %w", err)})
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StepTimeout)
+	defer cancel()
+	ran, stopped, err := sess.step(ctx, req.Cycles)
+	s.addCycles(ran)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sess.mu.Lock()
+	resp := StepResponse{Ran: ran, Cycle: sess.eng.CycleCount(), Stopped: stopped, Fired: sess.fired()}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRegs(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req RegsRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := sess.regs(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := sess.profile()
+	if err != nil {
+		writeError(w, httpError{http.StatusConflict, err})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBreak(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req BreakRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := sess.setBreak(req); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.checkpoint(sess)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req RestoreRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Checkpoint == "" {
+		writeError(w, fmt.Errorf("checkpoint id required"))
+		return
+	}
+	snap, err := s.loadCheckpoint(sess, req.Checkpoint)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := sess.restoreSnapshot(snap); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+// loadCheckpoint finds a checkpoint in the durable store, falling back to
+// the session's in-memory snapshot ring ("c<cycle>" ids).
+func (s *Server) loadCheckpoint(sess *session, ckpt string) (sim.Snapshot, error) {
+	if s.store != nil {
+		if data, err := s.store.LoadSnapshot(sess.id, ckpt); err == nil {
+			var snap sim.Snapshot
+			if err := snap.UnmarshalBinary(data); err != nil {
+				return sim.Snapshot{}, fmt.Errorf("checkpoint %s corrupt: %w", ckpt, err)
+			}
+			return snap, nil
+		}
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for _, snap := range sess.snaps {
+		if "c"+strconv.FormatUint(snap.Cycle, 10) == ckpt {
+			return snap, nil
+		}
+	}
+	return sim.Snapshot{}, fmt.Errorf("session %q has no checkpoint %q", sess.id, ckpt)
+}
+
+func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	snap, err := sess.snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.FormatUint(s.nextID, 10)
+	s.mu.Unlock()
+	fork, err := newSession(id, CreateRequest{
+		Source: sess.src, Catalog: sess.catalog,
+		Engine: sess.cfg.Engine, Level: sess.cfg.Level,
+		Backend: sess.cfg.Backend, Optimize: sess.cfg.Optimize,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := fork.restoreSnapshot(snap); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.admit(fork); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, fork.info())
+}
+
+func (s *Server) handleReverse(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req ReverseRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, httpError{http.StatusServiceUnavailable, fmt.Errorf("queue wait: %w", err)})
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StepTimeout)
+	defer cancel()
+	if err := sess.reverse(ctx, req.Cycles); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+// handleTrace streams a trace of the next N cycles: format=vcd streams a
+// Value Change Dump, format=events (default) streams NDJSON TraceEvent
+// lines. The response is chunked; the session advances as the trace runs.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	cycles, err := strconv.ParseUint(q.Get("cycles"), 10, 64)
+	if err != nil || cycles == 0 || cycles > s.cfg.MaxStepCycles {
+		writeError(w, fmt.Errorf("trace wants cycles in [1, %d], got %q", s.cfg.MaxStepCycles, q.Get("cycles")))
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "events"
+	}
+	if format != "events" && format != "vcd" {
+		writeError(w, fmt.Errorf("unknown trace format %q (want events or vcd)", format))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, httpError{http.StatusServiceUnavailable, fmt.Errorf("queue wait: %w", err)})
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StepTimeout)
+	defer cancel()
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	var ran uint64
+	defer func() { s.addCycles(ran) }()
+	switch format {
+	case "vcd":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		vw := vcd.New(w, sess.eng)
+		if err := vw.Sample(); err != nil {
+			return
+		}
+		n, _, err := sess.stepLocked(ctx, cycles, func() error { return vw.Sample() })
+		ran = n
+		_ = err // the status line is out; the stream just ends
+		flush()
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		d := sess.design()
+		last := sess.valuesLocked()
+		n, _, _ := sess.stepLocked(ctx, cycles, func() error {
+			ev := TraceEvent{Cycle: sess.eng.CycleCount()}
+			for _, name := range d.Schedule {
+				if sess.eng.RuleFired(name) {
+					ev.Fired = append(ev.Fired, name)
+				}
+			}
+			now := sess.valuesLocked()
+			for i, v := range now {
+				if v != last[i] {
+					if ev.Changed == nil {
+						ev.Changed = make(map[string]RegValue)
+					}
+					ev.Changed[d.Registers[i].Name] = FromBits(v)
+				}
+			}
+			last = now
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		})
+		ran = n
+	}
+}
+
+// Describe returns a one-line description of the daemon's limits, for the
+// ksimd startup banner.
+func (s *Server) Describe() string {
+	return fmt.Sprintf("max-sessions=%d workers=%d max-body=%dB step-timeout=%s store=%q",
+		s.cfg.MaxSessions, s.cfg.Workers, s.cfg.MaxBody, s.cfg.StepTimeout, s.cfg.StoreDir)
+}
+
+// catalogNames is re-exported for the CLI usage string.
+func catalogNames() []string { return bench.Names() }

@@ -1,0 +1,378 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bench"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/debug"
+	"cuttlego/internal/diag"
+	"cuttlego/internal/lang"
+	"cuttlego/internal/sim"
+)
+
+// errNotDurable marks operations (checkpoint, fork, reverse) that need the
+// whole machine state to live inside the architectural snapshot. Sessions
+// whose designs carry a testbench keep state outside the registers (memory
+// images, workload cursors), so a snapshot alone cannot reproduce them.
+var errNotDurable = errors.New("session is not self-driving; snapshot operations are unavailable")
+
+// session is one hosted simulation. All simulation access goes through mu:
+// the HTTP layer may serve many requests for the same session concurrently,
+// but the engine is strictly single-threaded.
+type session struct {
+	id  string
+	cfg EngineConfig
+	// exactly one of src/catalog is non-empty; it is what meta.json stores
+	// and what resurrection replays.
+	src     string
+	catalog string
+
+	mu       sync.Mutex
+	eng      sim.Engine
+	tb       sim.Testbench
+	conds    []sessionCond
+	snaps    []sim.Snapshot // in-memory ring for reverse execution
+	restored bool
+
+	// lastUsed orders LRU eviction; guarded by the server's mutex, not the
+	// session's, so the server can scan it without stalling on a long step.
+	lastUsed time.Time
+}
+
+type sessionCond struct {
+	src  string
+	eval func(sim.Engine) bool
+}
+
+// snapInterval is how often stepping records an in-memory snapshot for
+// reverse execution (durable sessions only).
+const snapInterval = 64
+
+// maxMemSnaps bounds the in-memory snapshot ring. The cycle-0 snapshot is
+// always kept so any cycle stays reachable (at replay cost).
+const maxMemSnaps = 256
+
+// buildInstance replays the session's design source: parse the posted
+// .koika text, or rebuild the catalogue entry with its workload.
+func buildInstance(src, catalog string) (bench.Instance, error) {
+	if catalog != "" {
+		bm, ok := bench.Lookup(catalog)
+		if !ok {
+			return bench.Instance{}, fmt.Errorf("unknown catalogue design %q (have %v)", catalog, bench.Names())
+		}
+		return bm.New(), nil
+	}
+	d, err := lang.Parse(src)
+	if err != nil {
+		return bench.Instance{}, err
+	}
+	return bench.Instance{Design: d}, nil
+}
+
+// newSession elaborates a design and builds its engine.
+func newSession(id string, req CreateRequest) (_ *session, err error) {
+	defer diag.Guard("server: create session", &err)
+	if (req.Source == "") == (req.Catalog == "") {
+		return nil, fmt.Errorf("exactly one of source and catalog must be set")
+	}
+	cfg, err := EngineConfig{
+		Engine: req.Engine, Level: req.Level, Backend: req.Backend, Optimize: req.Optimize,
+	}.normalize()
+	if err != nil {
+		return nil, err
+	}
+	inst, err := buildInstance(req.Source, req.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cfg.build(inst)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{id: id, cfg: cfg, src: req.Source, catalog: req.Catalog, eng: eng, tb: inst.Bench}
+	s.recordSnapshot()
+	return s, nil
+}
+
+// durable reports whether snapshots fully determine the session.
+func (s *session) durable() bool { return s.tb == nil }
+
+// design returns the design under simulation (immutable once built).
+func (s *session) design() *ast.Design { return s.eng.Design() }
+
+// info snapshots the session's public description. Callers must not hold mu.
+func (s *session) info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.design()
+	return SessionInfo{
+		ID:        s.id,
+		Design:    d.Name,
+		Engine:    s.cfg.String(),
+		Cycle:     s.eng.CycleCount(),
+		Registers: len(d.Registers),
+		Rules:     len(d.Rules),
+		Digest:    fmt.Sprintf("%016x", sim.StateDigest(s.eng)),
+		Durable:   s.durable(),
+		Restored:  s.restored,
+	}
+}
+
+func (s *session) recordSnapshot() {
+	if !s.durable() {
+		return
+	}
+	snapper, ok := s.eng.(sim.Snapshotter)
+	if !ok {
+		return
+	}
+	snap := snapper.Snapshot()
+	if n := len(s.snaps); n > 0 && s.snaps[n-1].Cycle == snap.Cycle {
+		return
+	}
+	s.snaps = append(s.snaps, snap)
+	if len(s.snaps) > maxMemSnaps {
+		// Keep cycle 0, drop the oldest of the rest.
+		copy(s.snaps[1:], s.snaps[2:])
+		s.snaps = s.snaps[:len(s.snaps)-1]
+	}
+}
+
+// step advances the session up to n cycles under ctx, stopping early on a
+// conditional breakpoint. It returns cycles run and the breakpoint
+// description ("" if none fired). Reported errors are toolchain bugs, not
+// input problems: ctx expiry is a "timeout" stop, not an error.
+func (s *session) step(ctx context.Context, n uint64) (ran uint64, stopped string, err error) {
+	defer diag.Guard("server: step", &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stepLocked(ctx, n, nil)
+}
+
+// stepLocked is step's body; observe, when non-nil, runs after every cycle
+// (the trace stream). Callers hold mu.
+func (s *session) stepLocked(ctx context.Context, n uint64, observe func() error) (uint64, string, error) {
+	var i uint64
+	for i < n {
+		// Batch cycles between bookkeeping points: the next snapshot
+		// boundary, but at most 1024 cycles between ctx checks, and single
+		// cycles when a breakpoint or observer watches every cycle.
+		chunk := n - i
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		if len(s.conds) > 0 || observe != nil {
+			chunk = 1
+		} else if s.durable() {
+			cyc := s.eng.CycleCount()
+			if to := snapInterval - cyc%snapInterval; to < chunk {
+				chunk = to
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return i, "timeout", nil
+		default:
+		}
+		ran, err := sim.RunContext(ctx, s.eng, s.tb, chunk)
+		i += ran
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return i, "timeout", nil
+			}
+			return i, "", err
+		}
+		if s.eng.CycleCount()%snapInterval == 0 {
+			s.recordSnapshot()
+		}
+		if observe != nil {
+			if err := observe(); err != nil {
+				return i, "", err
+			}
+		}
+		for _, c := range s.conds {
+			if c.eval(s.eng) {
+				return i, fmt.Sprintf("condition %q at cycle %d", c.src, s.eng.CycleCount()), nil
+			}
+		}
+	}
+	return i, "", nil
+}
+
+// fired reports the last cycle's rule commits.
+func (s *session) fired() map[string]bool {
+	out := make(map[string]bool, len(s.design().Schedule))
+	for _, name := range s.design().Schedule {
+		out[name] = s.eng.RuleFired(name)
+	}
+	return out
+}
+
+// regs applies a batched poke/peek request.
+func (s *session) regs(req RegsRequest) (_ RegsResponse, err error) {
+	defer diag.Guard("server: regs", &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.design()
+	for name, rv := range req.Set {
+		if !d.HasReg(name) {
+			return RegsResponse{}, fmt.Errorf("design %q has no register %q", d.Name, name)
+		}
+		v, err := rv.Bits()
+		if err != nil {
+			return RegsResponse{}, fmt.Errorf("register %q: %w", name, err)
+		}
+		if want := d.Registers[d.RegIndex(name)].Type.BitWidth(); v.Width != want {
+			return RegsResponse{}, fmt.Errorf("register %q is %d bits wide, got %d", name, want, v.Width)
+		}
+		s.eng.SetReg(name, v)
+	}
+	get := req.Get
+	if req.All {
+		get = get[:0]
+		for _, r := range d.Registers {
+			get = append(get, r.Name)
+		}
+	}
+	resp := RegsResponse{Cycle: s.eng.CycleCount(), Values: make(map[string]RegValue, len(get))}
+	for _, name := range get {
+		if !d.HasReg(name) {
+			return RegsResponse{}, fmt.Errorf("design %q has no register %q", d.Name, name)
+		}
+		resp.Values[name] = FromBits(s.eng.Reg(name))
+	}
+	return resp, nil
+}
+
+// setBreak installs or clears conditional breakpoints.
+func (s *session) setBreak(req BreakRequest) (err error) {
+	defer diag.Guard("server: break", &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Clear {
+		s.conds = nil
+	}
+	if req.Cond == "" {
+		return nil
+	}
+	eval, err := debug.CompileCondition(s.design(), req.Cond)
+	if err != nil {
+		return err
+	}
+	s.conds = append(s.conds, sessionCond{src: req.Cond, eval: eval})
+	return nil
+}
+
+// profile returns per-rule counters for engines that keep them (cuttlesim
+// sessions; the daemon builds those with profiling on).
+func (s *session) profile() (ProfileResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.eng.(*cuttlesim.Simulator)
+	if !ok || cs.RuleStats() == nil {
+		return ProfileResponse{}, fmt.Errorf("engine %s does not keep rule profiles (use a cuttlesim session)", s.cfg)
+	}
+	resp := ProfileResponse{Cycle: s.eng.CycleCount()}
+	for _, st := range cs.RuleStats() {
+		resp.Rules = append(resp.Rules, RuleProfile{
+			Rule: st.Rule, Attempts: st.Attempts, Commits: st.Commits, Skipped: st.Skipped,
+		})
+	}
+	return resp, nil
+}
+
+// snapshot captures the current state (durable sessions only).
+func (s *session) snapshot() (sim.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *session) snapshotLocked() (sim.Snapshot, error) {
+	if !s.durable() {
+		return sim.Snapshot{}, errNotDurable
+	}
+	snapper, ok := s.eng.(sim.Snapshotter)
+	if !ok {
+		return sim.Snapshot{}, fmt.Errorf("engine %s cannot snapshot", s.cfg)
+	}
+	return snapper.Snapshot(), nil
+}
+
+// restoreSnapshot rewinds (or fast-forwards) the live engine to snap.
+func (s *session) restoreSnapshot(snap sim.Snapshot) (err error) {
+	defer diag.Guard("server: restore", &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.durable() {
+		return errNotDurable
+	}
+	snapper, ok := s.eng.(sim.Snapshotter)
+	if !ok {
+		return fmt.Errorf("engine %s cannot restore", s.cfg)
+	}
+	if len(snap.Regs) != len(s.design().Registers) {
+		return fmt.Errorf("snapshot has %d registers, design %q has %d",
+			len(snap.Regs), s.design().Name, len(s.design().Registers))
+	}
+	for i, r := range s.design().Registers {
+		if snap.RegWidth(i) != r.Type.BitWidth() {
+			return fmt.Errorf("snapshot register %d is %d bits, design register %q is %d",
+				i, snap.RegWidth(i), r.Name, r.Type.BitWidth())
+		}
+	}
+	snapper.Restore(snap)
+	// Drop now-future in-memory snapshots and remember this one.
+	i := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Cycle > snap.Cycle })
+	s.snaps = s.snaps[:i]
+	s.recordSnapshot()
+	return nil
+}
+
+// reverse steps the session n cycles backwards: restore the nearest
+// earlier in-memory snapshot, then deterministically re-execute forward
+// (breakpoints suppressed during replay).
+func (s *session) reverse(ctx context.Context, n uint64) (err error) {
+	defer diag.Guard("server: reverse", &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.durable() {
+		return errNotDurable
+	}
+	cur := s.eng.CycleCount()
+	if n > cur {
+		return fmt.Errorf("cannot rewind %d cycles from cycle %d", n, cur)
+	}
+	target := cur - n
+	i := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Cycle > target }) - 1
+	if i < 0 {
+		return fmt.Errorf("no snapshot at or before cycle %d", target)
+	}
+	snapper := s.eng.(sim.Snapshotter)
+	snapper.Restore(s.snaps[i])
+	s.snaps = s.snaps[:i+1]
+	conds := s.conds
+	s.conds = nil
+	_, _, err = s.stepLocked(ctx, target-s.eng.CycleCount(), nil)
+	s.conds = conds
+	if err != nil {
+		return err
+	}
+	if got := s.eng.CycleCount(); got != target {
+		return fmt.Errorf("rewind replay stopped at cycle %d, want %d", got, target)
+	}
+	return nil
+}
+
+// values returns a copy of every register value (for trace diffing).
+func (s *session) valuesLocked() []bits.Bits {
+	return sim.StateOf(s.eng)
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Store is the daemon's durable side: one directory per session holding a
+// meta.json (how to rebuild the design and engine) and one .ksnp file per
+// checkpoint (the sim.Snapshot wire format). Files are written via a
+// temp-file rename so a crash mid-write never leaves a torn checkpoint.
+type Store struct {
+	dir string
+}
+
+// SessionMeta is everything needed to resurrect a session: the design (as
+// posted source or a catalogue name) and the engine configuration.
+type SessionMeta struct {
+	ID      string       `json:"id"`
+	Source  string       `json:"source,omitempty"`
+	Catalog string       `json:"catalog,omitempty"`
+	Config  EngineConfig `json:"config"`
+	Created time.Time    `json:"created"`
+}
+
+// OpenStore opens (creating if needed) a snapshot store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "sessions"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (st *Store) sessionDir(id string) string {
+	return filepath.Join(st.dir, "sessions", id)
+}
+
+// validID keeps session and checkpoint ids path-safe: the ids are
+// client-supplied on the resurrect path, so they must never traverse out of
+// the store.
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// SaveMeta persists a session's rebuild recipe.
+func (st *Store) SaveMeta(meta SessionMeta) error {
+	if !validID(meta.ID) {
+		return fmt.Errorf("server: invalid session id %q", meta.ID)
+	}
+	if err := os.MkdirAll(st.sessionDir(meta.ID), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(st.sessionDir(meta.ID), "meta.json"), data)
+}
+
+// LoadMeta reads a session's rebuild recipe.
+func (st *Store) LoadMeta(id string) (SessionMeta, error) {
+	var meta SessionMeta
+	if !validID(id) {
+		return meta, fmt.Errorf("server: invalid session id %q", id)
+	}
+	data, err := os.ReadFile(filepath.Join(st.sessionDir(id), "meta.json"))
+	if err != nil {
+		return meta, err
+	}
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return meta, fmt.Errorf("server: session %s meta corrupt: %w", id, err)
+	}
+	return meta, nil
+}
+
+// SaveSnapshot persists one checkpoint's encoded snapshot bytes.
+func (st *Store) SaveSnapshot(id, ckpt string, data []byte) error {
+	if !validID(id) || !validID(ckpt) {
+		return fmt.Errorf("server: invalid checkpoint %s/%s", id, ckpt)
+	}
+	return atomicWrite(filepath.Join(st.sessionDir(id), ckpt+".ksnp"), data)
+}
+
+// LoadSnapshot reads one checkpoint's encoded snapshot bytes.
+func (st *Store) LoadSnapshot(id, ckpt string) ([]byte, error) {
+	if !validID(id) || !validID(ckpt) {
+		return nil, fmt.Errorf("server: invalid checkpoint %s/%s", id, ckpt)
+	}
+	return os.ReadFile(filepath.Join(st.sessionDir(id), ckpt+".ksnp"))
+}
+
+// Checkpoints lists a session's stored checkpoints, oldest cycle first.
+func (st *Store) Checkpoints(id string) ([]string, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("server: invalid session id %q", id)
+	}
+	entries, err := os.ReadDir(st.sessionDir(id))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".ksnp"); ok {
+			out = append(out, name)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return ckptCycle(out[i]) < ckptCycle(out[j]) })
+	return out, nil
+}
+
+// ckptCycle extracts the cycle number from a "c<cycle>" checkpoint id (the
+// ids the daemon itself mints); foreign names sort first.
+func ckptCycle(ckpt string) uint64 {
+	n, err := strconv.ParseUint(strings.TrimPrefix(ckpt, "c"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Sessions lists every stored session id.
+func (st *Store) Sessions() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "sessions"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes a stored session and all its checkpoints.
+func (st *Store) Remove(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("server: invalid session id %q", id)
+	}
+	return os.RemoveAll(st.sessionDir(id))
+}

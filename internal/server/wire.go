@@ -1,0 +1,195 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+
+	"cuttlego/internal/bits"
+)
+
+// This file is the JSON wire vocabulary of the ksimd HTTP API, shared with
+// the thin client (internal/kclient). Register payloads travel as hex
+// strings rather than JSON numbers: a 64-bit value does not survive the
+// float64 round trip JSON numbers take.
+
+// RegValue is one register value on the wire.
+type RegValue struct {
+	Width int    `json:"width"`
+	Hex   string `json:"hex"`
+}
+
+// FromBits converts an engine value to its wire form.
+func FromBits(b bits.Bits) RegValue {
+	return RegValue{Width: b.Width, Hex: strconv.FormatUint(b.Val, 16)}
+}
+
+// Bits converts a wire value back to an engine value, validating width and
+// payload range.
+func (v RegValue) Bits() (bits.Bits, error) {
+	if v.Width < 0 || v.Width > bits.MaxWidth {
+		return bits.Bits{}, fmt.Errorf("register width %d out of range [0, %d]", v.Width, bits.MaxWidth)
+	}
+	if v.Hex == "" {
+		return bits.Bits{Width: v.Width}, nil
+	}
+	val, err := strconv.ParseUint(v.Hex, 16, 64)
+	if err != nil {
+		return bits.Bits{}, fmt.Errorf("register payload %q is not a hex value", v.Hex)
+	}
+	if val&^bits.Mask(v.Width) != 0 {
+		return bits.Bits{}, fmt.Errorf("payload %q exceeds %d bits", v.Hex, v.Width)
+	}
+	return bits.Bits{Width: v.Width, Val: val}, nil
+}
+
+// CreateRequest creates a session. Exactly one of Source (.koika text,
+// elaborated by the textual frontend) or Catalog (a design name from the
+// kbench catalogue, built server-side with its deterministic workload) must
+// be set.
+type CreateRequest struct {
+	Source  string `json:"source,omitempty"`
+	Catalog string `json:"catalog,omitempty"`
+	// Engine selects the simulation pipeline: "cuttlesim" (default),
+	// "interp", or "rtlsim".
+	Engine string `json:"engine,omitempty"`
+	// Level is the cuttlesim optimization level by name ("static",
+	// "activity", ...; default "static").
+	Level string `json:"level,omitempty"`
+	// Backend is "closure"/"bytecode" for cuttlesim, or
+	// "switch"/"closure"/"fused" for rtlsim.
+	Backend string `json:"backend,omitempty"`
+	// Optimize runs the netlist optimizer before building rtlsim engines.
+	Optimize bool `json:"optimize,omitempty"`
+}
+
+// SessionInfo describes one live session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Design    string `json:"design"`
+	Engine    string `json:"engine"`
+	Cycle     uint64 `json:"cycle"`
+	Registers int    `json:"registers"`
+	Rules     int    `json:"rules"`
+	// Digest is the FNV-1a state digest (sim.StateDigest) as hex.
+	Digest string `json:"digest"`
+	// Durable reports whether the session can be checkpointed, forked, and
+	// reverse-stepped (self-driving designs only: testbench state lives
+	// outside the architectural snapshot).
+	Durable bool `json:"durable"`
+	// Restored is set when the session was rebuilt from a stored
+	// checkpoint (after a daemon restart or an eviction).
+	Restored bool `json:"restored,omitempty"`
+}
+
+// ListResponse enumerates live sessions.
+type ListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// StepRequest advances a session. Cycles must be positive; the server caps
+// it at its -max-step limit.
+type StepRequest struct {
+	Cycles uint64 `json:"cycles"`
+}
+
+// StepResponse reports how far a step actually got.
+type StepResponse struct {
+	// Ran is the number of cycles executed by this request.
+	Ran uint64 `json:"ran"`
+	// Cycle is the session's cycle count afterwards.
+	Cycle uint64 `json:"cycle"`
+	// Stopped is non-empty when the run ended early: a conditional
+	// breakpoint description, or "timeout" when the per-request simulation
+	// budget expired before Cycles cycles ran.
+	Stopped string `json:"stopped,omitempty"`
+	// Fired maps rule names to whether they committed in the last executed
+	// cycle.
+	Fired map[string]bool `json:"fired,omitempty"`
+}
+
+// RegsRequest batches register pokes (Set) and peeks (Get, or All for every
+// register). Sets apply before gets, and both happen between cycles —
+// exactly the testbench contract.
+type RegsRequest struct {
+	Get []string            `json:"get,omitempty"`
+	All bool                `json:"all,omitempty"`
+	Set map[string]RegValue `json:"set,omitempty"`
+}
+
+// RegsResponse returns the requested register values.
+type RegsResponse struct {
+	Cycle  uint64              `json:"cycle"`
+	Values map[string]RegValue `json:"values"`
+}
+
+// RuleProfile is one rule's attempt/commit/skip counters.
+type RuleProfile struct {
+	Rule     string `json:"rule"`
+	Attempts uint64 `json:"attempts"`
+	Commits  uint64 `json:"commits"`
+	Skipped  uint64 `json:"skipped,omitempty"`
+}
+
+// ProfileResponse returns per-rule profiles (cuttlesim sessions only).
+type ProfileResponse struct {
+	Cycle uint64        `json:"cycle"`
+	Rules []RuleProfile `json:"rules"`
+}
+
+// BreakRequest installs a conditional breakpoint (Cond, textual-dialect
+// expression over the design's registers) or clears all of them (Clear).
+type BreakRequest struct {
+	Cond  string `json:"cond,omitempty"`
+	Clear bool   `json:"clear,omitempty"`
+}
+
+// CheckpointResponse describes a durable checkpoint.
+type CheckpointResponse struct {
+	// Checkpoint is the checkpoint id ("c<cycle>").
+	Checkpoint string `json:"checkpoint"`
+	Cycle      uint64 `json:"cycle"`
+	Digest     string `json:"digest"`
+}
+
+// RestoreRequest rewinds a live session to one of its checkpoints
+// (in-memory or durable).
+type RestoreRequest struct {
+	Checkpoint string `json:"checkpoint"`
+}
+
+// ResurrectRequest recreates a session from the durable store after a
+// daemon restart or an eviction. Checkpoint defaults to the latest one.
+type ResurrectRequest struct {
+	Session    string `json:"session"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// ReverseRequest steps a session backwards.
+type ReverseRequest struct {
+	Cycles uint64 `json:"cycles"`
+}
+
+// TraceEvent is one line of the NDJSON trace stream: the cycle just
+// executed, the rules that fired, and the registers that changed.
+type TraceEvent struct {
+	Cycle   uint64              `json:"cycle"`
+	Fired   []string            `json:"fired,omitempty"`
+	Changed map[string]RegValue `json:"changed,omitempty"`
+}
+
+// Metrics is the /metrics document.
+type Metrics struct {
+	Sessions     int     `json:"sessions"`
+	TotalCycles  uint64  `json:"total_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	QueueDepth   int     `json:"queue_depth"`
+	Checkpoints  uint64  `json:"checkpoints"`
+	Restores     uint64  `json:"restores"`
+	Evictions    uint64  `json:"evictions"`
+	UptimeSec    float64 `json:"uptime_sec"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -42,10 +42,19 @@ type Snapshotter interface {
 	Restore(Snapshot)
 }
 
-// Snapshot is an opaque captured engine state.
+// Snapshot is a captured engine state: the cycle count plus every register
+// in declaration order. It is wire-serializable (MarshalBinary /
+// UnmarshalBinary in snapshot.go) so engine state can be checkpointed to
+// disk, shipped over RPC, and restored into a fresh engine.
 type Snapshot struct {
 	Cycle uint64
 	Regs  []bits.Bits
+	// Wide is an optional parallel store for registers wider than 64 bits:
+	// when non-nil, a nonzero-width Wide[i] overrides Regs[i]. Today's
+	// engines cap registers at 64 bits and never populate it, but the
+	// snapshot format carries wide registers so a frontend lifting that cap
+	// does not need a format revision.
+	Wide []bits.Wide
 }
 
 // Advancer is implemented by engines that can execute a whole run of cycles

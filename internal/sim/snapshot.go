@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cuttlego/internal/bits"
+)
+
+// The snapshot wire format (version 1) makes captured engine state durable
+// and transportable: the simulation daemon checkpoints sessions to disk
+// with it, restores them after a restart, and forks them for what-if
+// exploration. Layout, all integers little-endian:
+//
+//	offset  size  field
+//	0       4     magic "KSNP"
+//	4       2     version (currently 1)
+//	6       2     reserved (must be zero)
+//	8       8     cycle count
+//	16      var   register count (uvarint)
+//	...           per register: width (uvarint), then ceil(width/8)
+//	              payload bytes, little-endian
+//
+// Registers appear in declaration order — the same order Snapshot.Regs and
+// Engine.Design().Registers use — so a decoded snapshot can be handed
+// straight to Snapshotter.Restore. Payload bytes above the declared width
+// must be zero; decoding rejects non-canonical payloads rather than
+// re-masking them, so corruption is detected instead of absorbed. Widths
+// above 64 decode into the Wide side store, keeping the format ready for
+// frontends that allow wide registers even though today's engines cap
+// state elements at 64 bits.
+const (
+	snapMagic   = "KSNP"
+	snapVersion = 1
+
+	// maxSnapshotRegs and maxSnapshotWidth bound decoding so a corrupt or
+	// adversarial snapshot cannot demand unbounded allocations. Both are
+	// far above anything the toolchain produces.
+	maxSnapshotRegs  = 1 << 20
+	maxSnapshotWidth = 1 << 20
+)
+
+// WideReg returns register i's value as a Wide regardless of which side
+// store holds it, for width-agnostic consumers (digests, encoders).
+func (s Snapshot) WideReg(i int) bits.Wide {
+	if i < len(s.Wide) && s.Wide[i].Width() > 0 {
+		return s.Wide[i]
+	}
+	return bits.WideFromBits(s.Regs[i])
+}
+
+// RegWidth returns register i's declared width.
+func (s Snapshot) RegWidth(i int) int {
+	if i < len(s.Wide) && s.Wide[i].Width() > 0 {
+		return s.Wide[i].Width()
+	}
+	return s.Regs[i].Width
+}
+
+// Equal reports whether two snapshots carry the same cycle and identical
+// register state (width and payload, across both side stores).
+func (s Snapshot) Equal(o Snapshot) bool {
+	if s.Cycle != o.Cycle || len(s.Regs) != len(o.Regs) {
+		return false
+	}
+	for i := range s.Regs {
+		if !s.WideReg(i).Equal(o.WideReg(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalBinary encodes the snapshot in the versioned wire format.
+func (s Snapshot) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+8*len(s.Regs))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Cycle)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Regs)))
+	for i := range s.Regs {
+		v := s.WideReg(i)
+		buf = binary.AppendUvarint(buf, uint64(v.Width()))
+		buf = v.AppendLE(buf)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a snapshot previously encoded by MarshalBinary,
+// replacing s. It fails on bad magic, unknown versions, truncated input,
+// trailing garbage, out-of-range counts, and non-canonical payloads.
+func (s *Snapshot) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("sim: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != snapMagic {
+		return fmt.Errorf("sim: bad snapshot magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != snapVersion {
+		return fmt.Errorf("sim: unsupported snapshot version %d (want %d)", v, snapVersion)
+	}
+	if r := binary.LittleEndian.Uint16(data[6:8]); r != 0 {
+		return fmt.Errorf("sim: nonzero reserved field %#x", r)
+	}
+	cycle := binary.LittleEndian.Uint64(data[8:16])
+	rest := data[16:]
+	nregs, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("sim: snapshot register count malformed")
+	}
+	if nregs > maxSnapshotRegs {
+		return fmt.Errorf("sim: snapshot declares %d registers (limit %d)", nregs, maxSnapshotRegs)
+	}
+	rest = rest[n:]
+	out := Snapshot{Cycle: cycle, Regs: make([]bits.Bits, nregs)}
+	for i := uint64(0); i < nregs; i++ {
+		w, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("sim: register %d width malformed", i)
+		}
+		if w > maxSnapshotWidth {
+			return fmt.Errorf("sim: register %d is %d bits wide (limit %d)", i, w, maxSnapshotWidth)
+		}
+		rest = rest[n:]
+		nbytes := (int(w) + 7) / 8
+		if len(rest) < nbytes {
+			return fmt.Errorf("sim: register %d payload truncated", i)
+		}
+		v, err := bits.WideFromLE(int(w), rest[:nbytes])
+		if err != nil {
+			return fmt.Errorf("sim: register %d: %w", i, err)
+		}
+		rest = rest[nbytes:]
+		if w <= bits.MaxWidth {
+			out.Regs[i] = v.Bits()
+		} else {
+			if out.Wide == nil {
+				out.Wide = make([]bits.Wide, nregs)
+			}
+			out.Wide[i] = v
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("sim: %d trailing bytes after snapshot", len(rest))
+	}
+	*s = out
+	return nil
+}
+
+// Digest hashes the snapshot's register state — FNV-1a over widths and
+// payload bytes, 64 bits per mixing step. For snapshots of today's engines
+// (every register at most 64 bits wide) it equals the engine-side
+// StateDigest of the same state, so a daemon-side checkpoint digest can be
+// compared directly against an in-process run.
+func (s Snapshot) Digest() uint64 {
+	h := uint64(fnvOffset)
+	for i := range s.Regs {
+		v := s.WideReg(i)
+		h = fnvMix(h, uint64(v.Width()))
+		limbs := (v.Width() + 63) / 64
+		if limbs == 0 {
+			limbs = 1 // a zero-width register still mixes one zero word
+		}
+		p := v.AppendLE(make([]byte, 0, limbs*8))
+		for len(p) < limbs*8 {
+			p = append(p, 0)
+		}
+		for l := 0; l < limbs; l++ {
+			h = fnvMix(h, leUint64(p[l*8:]))
+		}
+	}
+	return h
+}
+
+func leUint64(p []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[i]) << uint(8*i)
+	}
+	return v
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// StateDigest hashes an engine's full architectural state (FNV-1a over
+// register widths and values) so cross-engine and remote-vs-local agreement
+// can be asserted from a single number.
+func StateDigest(e Engine) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range StateOf(e) {
+		h = fnvMix(h, uint64(b.Width))
+		h = fnvMix(h, b.Val)
+	}
+	return h
+}

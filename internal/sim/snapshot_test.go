@@ -1,0 +1,196 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/sim"
+)
+
+// randomSnapshot builds a snapshot with arbitrary register widths,
+// including zero-width and wide (>64-bit) entries.
+func randomSnapshot(rng *rand.Rand) sim.Snapshot {
+	n := rng.Intn(12)
+	s := sim.Snapshot{Cycle: rng.Uint64(), Regs: make([]bits.Bits, n)}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // zero-width
+			s.Regs[i] = bits.Bits{}
+		case 1, 2: // narrow
+			w := 1 + rng.Intn(64)
+			s.Regs[i] = bits.New(w, rng.Uint64())
+		default: // wide
+			w := 65 + rng.Intn(200)
+			if s.Wide == nil {
+				s.Wide = make([]bits.Wide, n)
+			}
+			s.Wide[i] = bits.NewWide(w, rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64())
+		}
+	}
+	return s
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := randomSnapshot(rng)
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back sim.Snapshot
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v (snapshot %+v)", err, s)
+		}
+		if !s.Equal(back) {
+			t.Fatalf("round trip changed snapshot:\n  in:  %+v\n  out: %+v", s, back)
+		}
+		if s.Digest() != back.Digest() {
+			t.Fatalf("round trip changed digest: %#x vs %#x", s.Digest(), back.Digest())
+		}
+	}
+}
+
+func TestSnapshotWideAndZeroWidth(t *testing.T) {
+	s := sim.Snapshot{
+		Cycle: 42,
+		Regs:  []bits.Bits{bits.New(8, 0xab), {}, {}},
+		Wide:  []bits.Wide{{}, {}, bits.NewWide(100, ^uint64(0), 0xfff)},
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back sim.Snapshot
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(back) {
+		t.Fatalf("wide/zero-width round trip mismatch: %+v vs %+v", s, back)
+	}
+	if back.RegWidth(1) != 0 || back.RegWidth(2) != 100 {
+		t.Fatalf("widths lost: %d %d", back.RegWidth(1), back.RegWidth(2))
+	}
+}
+
+func TestSnapshotUnmarshalRejects(t *testing.T) {
+	good, err := sim.Snapshot{Regs: []bits.Bits{bits.New(8, 1)}}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:10],
+		"bad magic":   append([]byte("NOPE"), good[4:]...),
+		"bad version": append(append([]byte{}, good[:4]...), append([]byte{0xff, 0xff}, good[6:]...)...),
+		"reserved":    append(append([]byte{}, good[:6]...), append([]byte{1, 0}, good[8:]...)...),
+		"trailing":    append(append([]byte{}, good...), 0),
+		"truncated":   good[:len(good)-1],
+	}
+	for name, data := range cases {
+		var s sim.Snapshot
+		if err := s.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: unmarshal accepted corrupt input", name)
+		}
+	}
+	// Non-canonical payload: 4-bit register with a padding bit set.
+	var s sim.Snapshot
+	four, _ := sim.Snapshot{Regs: []bits.Bits{bits.New(4, 0xf)}}.MarshalBinary()
+	four[len(four)-1] |= 0x80
+	if err := s.UnmarshalBinary(four); err == nil {
+		t.Error("unmarshal accepted payload bits above the declared width")
+	}
+}
+
+// TestSnapshotEngineDigest checks the durability contract end to end in
+// miniature: snapshot a live engine, serialize, restore the bytes into a
+// fresh engine, and require digest equality with the original run.
+func TestSnapshotEngineDigest(t *testing.T) {
+	build := func() *ast.Design {
+		d := ast.NewDesign("snap")
+		d.Reg("x", ast.Bits(32), 1)
+		d.Reg("z", ast.Bits(0), 0)
+		d.Reg("y", ast.Bits(64), 3)
+		d.Rule("mix",
+			ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(32, 0x9e3779b9))),
+			ast.Wr0("y", ast.Xor(ast.Rd0("y"), ast.Concat(ast.Rd0("x"), ast.Rd0("x")))),
+		)
+		return d.MustCheck()
+	}
+	a, err := interp.New(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(a, nil, 257)
+	snap := a.Snapshot()
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back sim.Snapshot
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.New(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Restore(back)
+	if got, want := sim.StateDigest(b), sim.StateDigest(a); got != want {
+		t.Fatalf("restored digest %#x != live digest %#x", got, want)
+	}
+	if back.Digest() != sim.StateDigest(a) {
+		t.Fatalf("snapshot digest %#x != engine digest %#x", back.Digest(), sim.StateDigest(a))
+	}
+	// Both engines must agree for the rest of the run, too.
+	sim.Run(a, nil, 100)
+	sim.Run(b, nil, 100)
+	if sim.StateDigest(a) != sim.StateDigest(b) {
+		t.Fatal("engines diverged after restore from serialized snapshot")
+	}
+}
+
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(1))
+	f.Add(uint64(99), int64(42))
+	f.Fuzz(func(t *testing.T, cycle uint64, seed int64) {
+		s := randomSnapshot(rand.New(rand.NewSource(seed)))
+		s.Cycle = cycle
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back sim.Snapshot
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal of own output: %v", err)
+		}
+		if !s.Equal(back) || s.Digest() != back.Digest() {
+			t.Fatal("round trip not identity")
+		}
+	})
+}
+
+// FuzzSnapshotUnmarshal feeds arbitrary bytes to the decoder: it must
+// reject or accept without panicking, and anything it accepts must
+// re-encode to the same bytes (the format is canonical).
+func FuzzSnapshotUnmarshal(f *testing.F) {
+	seed, _ := sim.Snapshot{Cycle: 5, Regs: []bits.Bits{bits.New(12, 0x123), {}}}.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte("KSNP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s sim.Snapshot
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted snapshot: %v", err)
+		}
+		if string(out) != string(data) {
+			t.Fatalf("format not canonical:\n in:  %x\n out: %x", data, out)
+		}
+	})
+}

@@ -26,6 +26,9 @@ go test ./...
 echo "== race: parallel bench runner"
 go test -race -run 'Parallel|Ctx|Fuzz' ./internal/bench ./internal/sim
 
+echo "== race: ksimd concurrent sessions"
+go test -race -run 'TestConcurrentSessions|TestSessionDurability|TestEviction' ./internal/server
+
 echo "== fuzz smoke (5s per target)"
 go test ./internal/lang -run='^$' -fuzz='^FuzzLexer$' -fuzztime=5s
 go test ./internal/lang -run='^$' -fuzz='^FuzzParser$' -fuzztime=5s
@@ -33,6 +36,8 @@ go test ./internal/lang -run='^$' -fuzz='^FuzzElaborate$' -fuzztime=5s
 go test ./internal/bench -run='^$' -fuzz='^FuzzLockstep$' -fuzztime=5s
 go test ./internal/bench -run='^$' -fuzz='^FuzzStallLockstep$' -fuzztime=5s
 go test ./internal/difftest -run='^$' -fuzz='^FuzzDifftest$' -fuzztime=5s
+go test ./internal/sim -run='^$' -fuzz='^FuzzSnapshotUnmarshal$' -fuzztime=5s
+go test ./internal/server -run='^$' -fuzz='^FuzzServerRequest$' -fuzztime=5s
 
 echo "== kdiff generative sweep (fixed seeds, all engines, shrink on failure)"
 # Every engine in the matrix must track the reference interpreter in
@@ -56,5 +61,11 @@ echo "== quick-bench smoke (kbench -json, digest gate)"
 # included); -digest-check fails the run if any two engines disagree on the
 # final register state.
 go run ./cmd/kbench -json "$(mktemp)" -designs collatz,idle -digest-check -cycles 2000 -parallel 0
+
+echo "== ksimd durability smoke (create, step, checkpoint, restart, restore)"
+# Builds the daemon, drives it over HTTP on an ephemeral port, kills it
+# mid-session, restarts it over the same store, and asserts the resumed
+# run's digest matches an uninterrupted in-process one.
+go run ./scripts/ksimd-smoke
 
 echo "CI OK"

@@ -1,0 +1,214 @@
+// Command ksimd-smoke is the CI gate for the simulation daemon: it builds
+// ksimd, starts it on an ephemeral port, creates a session from an
+// examples/ design, steps it, checkpoints, kills the daemon, restarts it
+// over the same store, resurrects the session, steps it further, and
+// asserts the final digest matches an uninterrupted in-process run of the
+// same design. A failure anywhere exits 1.
+//
+// Usage (from the repo root):
+//
+//	go run ./scripts/ksimd-smoke
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/lang"
+	"cuttlego/internal/server"
+	"cuttlego/internal/sim"
+)
+
+// The blinker never quiesces, so the post-restart digest depends on every
+// cycle before and after the checkpoint — a restore bug cannot hide behind
+// a converged fixpoint.
+const designPath = "examples/designs/blinker.koika"
+
+const (
+	stepA = 40 // cycles before the restart
+	stepB = 60 // cycles after the restart
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ksimd-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ksimd-smoke OK")
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	tmp, err := os.MkdirTemp("", "ksimd-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "ksimd")
+	store := filepath.Join(tmp, "store")
+
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/ksimd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building ksimd: %w", err)
+	}
+
+	src, err := os.ReadFile(designPath)
+	if err != nil {
+		return fmt.Errorf("reading %s (run from the repo root): %w", designPath, err)
+	}
+
+	// First daemon: create, step, checkpoint.
+	d1, c, err := startDaemon(ctx, bin, store, filepath.Join(tmp, "addr1"))
+	if err != nil {
+		return err
+	}
+	defer d1.kill()
+	info, err := c.Create(ctx, server.CreateRequest{Source: string(src)})
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	fmt.Printf("created session %s: %s on %s\n", info.ID, info.Design, info.Engine)
+	step, err := c.Step(ctx, info.ID, stepA)
+	if err != nil {
+		return fmt.Errorf("step: %w", err)
+	}
+	if step.Ran != stepA {
+		return fmt.Errorf("stepped %d cycles, want %d", step.Ran, stepA)
+	}
+	ckpt, err := c.Checkpoint(ctx, info.ID)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	fmt.Printf("checkpointed %s at cycle %d (digest %s)\n", ckpt.Checkpoint, ckpt.Cycle, ckpt.Digest)
+	if err := d1.stop(); err != nil {
+		return fmt.Errorf("stopping first daemon: %w", err)
+	}
+
+	// Second daemon over the same store: resurrect and continue.
+	d2, c, err := startDaemon(ctx, bin, store, filepath.Join(tmp, "addr2"))
+	if err != nil {
+		return err
+	}
+	defer d2.kill()
+	restored, err := c.Resurrect(ctx, info.ID, ckpt.Checkpoint)
+	if err != nil {
+		return fmt.Errorf("resurrect after restart: %w", err)
+	}
+	if restored.Cycle != stepA || !restored.Restored || restored.Digest != ckpt.Digest {
+		return fmt.Errorf("resurrected session = %+v, want cycle %d with digest %s", restored, stepA, ckpt.Digest)
+	}
+	fmt.Printf("resurrected %s at cycle %d after daemon restart\n", restored.ID, restored.Cycle)
+	if _, err := c.Step(ctx, info.ID, stepB); err != nil {
+		return fmt.Errorf("step after restore: %w", err)
+	}
+	final, err := c.Info(ctx, info.ID)
+	if err != nil {
+		return fmt.Errorf("final info: %w", err)
+	}
+	if err := d2.stop(); err != nil {
+		return fmt.Errorf("stopping second daemon: %w", err)
+	}
+
+	// The interrupted remote run must match an uninterrupted local one.
+	want, err := inProcessDigest(string(src), stepA+stepB)
+	if err != nil {
+		return err
+	}
+	if final.Digest != want {
+		return fmt.Errorf("digest after restart+restore = %s, uninterrupted in-process run = %s", final.Digest, want)
+	}
+	fmt.Printf("digest %s matches uninterrupted in-process run over %d cycles\n", want, stepA+stepB)
+	return nil
+}
+
+// daemon is one running ksimd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+func startDaemon(ctx context.Context, bin, store, addrFile string) (*daemon, *kclient.Client, error) {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store", store, "-addr-file", addrFile)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("starting ksimd: %w", err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+	go func() { d.done <- cmd.Wait() }()
+
+	// The daemon writes its bound address once listening.
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		select {
+		case err := <-d.done:
+			return nil, nil, fmt.Errorf("ksimd exited during startup: %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		d.kill()
+		return nil, nil, fmt.Errorf("ksimd never wrote %s", addrFile)
+	}
+	c := kclient.New(addr)
+	if err := c.Health(ctx); err != nil {
+		d.kill()
+		return nil, nil, fmt.Errorf("health check: %w", err)
+	}
+	return d, c, nil
+}
+
+// stop sends SIGTERM (the graceful path: the daemon checkpoints durable
+// sessions on the way down) and waits for a clean exit.
+func (d *daemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-d.done:
+		return err
+	case <-time.After(30 * time.Second):
+		d.kill()
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+}
+
+func (d *daemon) kill() {
+	if d.cmd.ProcessState == nil {
+		_ = d.cmd.Process.Kill()
+	}
+}
+
+// inProcessDigest runs the design locally for n cycles on the daemon's
+// default engine and returns the hex state digest.
+func inProcessDigest(src string, n uint64) (string, error) {
+	design, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	eng, err := cuttlesim.New(design, cuttlesim.Options{
+		Level: cuttlesim.LStatic, Backend: cuttlesim.Closure, Profile: true,
+	})
+	if err != nil {
+		return "", err
+	}
+	if ran := sim.Run(eng, nil, n); ran != n {
+		return "", fmt.Errorf("in-process run stopped at %d of %d cycles", ran, n)
+	}
+	return fmt.Sprintf("%016x", sim.StateDigest(eng)), nil
+}
