@@ -74,7 +74,15 @@ func main() {
 	}
 	fmt.Printf("ksimd listening on %s (%s)\n", bound, srv.Describe())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// WriteTimeout bounds how long a stalled client can hold a session
+		// lock and a worker slot; it must outlast one request's simulation
+		// budget. Streaming handlers extend their deadline per flush via
+		// http.ResponseController while they are making progress.
+		WriteTimeout: *stepTO + 30*time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +112,19 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
+		// Seed the id counter past every stored session: a restarted daemon
+		// must never mint an id that collides with durable state, or a new
+		// session's checkpoints would overwrite (and DELETE would destroy)
+		// an old session's.
+		ids, err := st.Sessions()
+		if err != nil {
+			return nil, fmt.Errorf("server: scan store: %w", err)
+		}
+		for _, id := range ids {
+			if n, ok := sessionSeq(id); ok && n > s.nextID {
+				s.nextID = n
+			}
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -146,7 +160,15 @@ func (s *Server) Close() error {
 // checkpoint captures a session and, when a store is configured, persists
 // meta + snapshot. It returns the checkpoint description.
 func (s *Server) checkpoint(sess *session) (CheckpointResponse, error) {
-	snap, err := sess.snapshot()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return s.checkpointLocked(sess)
+}
+
+// checkpointLocked is checkpoint's body; callers hold sess.mu, so the
+// persisted state cannot advance between the capture and the store write.
+func (s *Server) checkpointLocked(sess *session) (CheckpointResponse, error) {
+	snap, err := sess.snapshotLocked()
 	if err != nil {
 		return CheckpointResponse{}, err
 	}
@@ -175,39 +197,83 @@ func (s *Server) checkpoint(sess *session) (CheckpointResponse, error) {
 	return resp, nil
 }
 
+// sessionSeq parses a daemon-minted "s<N>" session id; foreign ids report
+// false.
+func sessionSeq(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
 // --- session table ----------------------------------------------------------
 
 var errTableFull = errors.New("session table full and nothing evictable")
 
-// admit inserts a new session, evicting if the table is at its bound.
-// Callers must not hold mu.
-func (s *Server) admit(sess *session) error {
+// admit inserts a new session, evicting if the table is at its bound. If a
+// session with the same id is already live — a lost resurrection race — the
+// existing session wins and is returned untouched; the check and the insert
+// happen under one hold of mu, so two racing resurrections can never both
+// land. Callers must not hold mu or sess.mu.
+func (s *Server) admit(sess *session) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.sessions) >= s.cfg.MaxSessions {
+	for {
+		if cur, ok := s.sessions[sess.id]; ok {
+			return cur, nil
+		}
+		if len(s.sessions) < s.cfg.MaxSessions {
+			break
+		}
 		victim := s.lruDurableLocked()
 		if victim == nil || s.store == nil {
-			return errTableFull
+			return nil, errTableFull
+		}
+		// The victim stays in the table — visible to lookups, exclusively
+		// claimed via the evicting flag — until its checkpoint is durably
+		// written. Removing it first would let a concurrent lookup in the
+		// checkpoint window resurrect a stale checkpoint, silently rolling
+		// the session back; and a failed checkpoint would drop live state.
+		// Its own mu is held across the write so the persisted snapshot is
+		// the state clients last observed.
+		victim.evicting = true
+		s.mu.Unlock()
+		victim.mu.Lock()
+		s.mu.Lock()
+		if _, still := s.sessions[victim.id]; !still {
+			// Deleted while we waited for its lock; the slot is already free.
+			victim.evicting = false
+			victim.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		_, err := s.checkpointLocked(victim)
+		s.mu.Lock()
+		victim.evicting = false
+		if err != nil {
+			victim.mu.Unlock()
+			return nil, fmt.Errorf("evicting %s: %w", victim.id, err)
 		}
 		delete(s.sessions, victim.id)
-		s.mu.Unlock()
-		_, err := s.checkpoint(victim)
-		s.mu.Lock()
-		if err != nil {
-			return fmt.Errorf("evicting %s: %w", victim.id, err)
-		}
+		victim.mu.Unlock()
 		s.evictions.Add(1)
 	}
 	sess.lastUsed = time.Now()
 	s.sessions[sess.id] = sess
-	return nil
+	return sess, nil
 }
 
-// lruDurableLocked picks the least-recently-used evictable session.
+// lruDurableLocked picks the least-recently-used evictable session,
+// skipping sessions another admit is already evicting.
 func (s *Server) lruDurableLocked() *session {
 	var victim *session
 	for _, sess := range s.sessions {
-		if !sess.durable() {
+		if !sess.durable() || sess.evicting {
 			continue
 		}
 		if victim == nil || sess.lastUsed.Before(victim.lastUsed) {
@@ -233,11 +299,10 @@ func (s *Server) lookup(id string) (*session, error) {
 	if s.store == nil {
 		return nil, errUnknownSession(id)
 	}
-	sess, err := s.resurrect(id, "")
-	if err != nil {
-		return nil, errUnknownSession(id)
-	}
-	return sess, nil
+	// Resurrect errors carry their own status: missing durable state is 404,
+	// a full table is 429, a corrupt checkpoint is 500. Collapsing them all
+	// to 404 would make corruption indistinguishable from a missing session.
+	return s.resurrect(id, "")
 }
 
 type unknownSession string
@@ -254,22 +319,24 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 	}
 	meta, err := s.store.LoadMeta(id)
 	if err != nil {
-		return nil, fmt.Errorf("session %q has no durable state", id)
+		return nil, fmt.Errorf("%w: no durable state", errUnknownSession(id))
 	}
 	if ckpt == "" {
 		cks, err := s.store.Checkpoints(id)
 		if err != nil || len(cks) == 0 {
-			return nil, fmt.Errorf("session %q has no checkpoints", id)
+			return nil, fmt.Errorf("%w: stored session has no checkpoints", errUnknownSession(id))
 		}
 		ckpt = cks[len(cks)-1]
 	}
 	data, err := s.store.LoadSnapshot(id, ckpt)
 	if err != nil {
-		return nil, fmt.Errorf("session %q has no checkpoint %q", id, ckpt)
+		return nil, httpError{http.StatusNotFound,
+			fmt.Errorf("session %q has no checkpoint %q", id, ckpt)}
 	}
 	var snap sim.Snapshot
 	if err := snap.UnmarshalBinary(data); err != nil {
-		return nil, fmt.Errorf("checkpoint %s/%s corrupt: %w", id, ckpt, err)
+		return nil, httpError{http.StatusInternalServerError,
+			fmt.Errorf("checkpoint %s/%s corrupt: %w", id, ckpt, err)}
 	}
 	sess, err := newSession(meta.ID, CreateRequest{
 		Source: meta.Source, Catalog: meta.Catalog,
@@ -283,16 +350,15 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 		return nil, fmt.Errorf("restoring session %q: %w", id, err)
 	}
 	sess.restored = true
-	// Another request may have resurrected the same id concurrently; the
-	// first one in wins.
-	s.mu.Lock()
-	if cur, ok := s.sessions[id]; ok {
-		s.mu.Unlock()
-		return cur, nil
-	}
-	s.mu.Unlock()
-	if err := s.admit(sess); err != nil {
+	// Another request may have resurrected the same id concurrently; admit
+	// atomically yields to an already-live session, so the first one in
+	// wins and the loser's rebuild is discarded.
+	admitted, err := s.admit(sess)
+	if err != nil {
 		return nil, err
+	}
+	if admitted != sess {
+		return admitted, nil
 	}
 	s.restores.Add(1)
 	return sess, nil
@@ -472,7 +538,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.admit(sess); err != nil {
+	if _, err := s.admit(sess); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -732,7 +798,7 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.admit(fork); err != nil {
+	if _, err := s.admit(fork); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -797,12 +863,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	flusher, _ := w.(http.Flusher)
+	// The stream holds sess.mu and a worker-pool slot, and the step-timeout
+	// ctx only bounds simulation — not writes to a stalled client. A rolling
+	// write deadline, extended on every flush while the stream progresses,
+	// fails blocked writes instead, so a dead client cannot pin the session
+	// and a slot forever. (SetWriteDeadline errors are ignored: recorders
+	// and exotic transports without deadlines just keep the old behavior.)
+	rc := http.NewResponseController(w)
 	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
+		_ = rc.Flush()
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StepTimeout))
 	}
+	_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StepTimeout))
 	var ran uint64
 	defer func() { s.addCycles(ran) }()
 	switch format {
@@ -813,7 +885,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		if err := vw.Sample(); err != nil {
 			return
 		}
-		n, _, err := sess.stepLocked(ctx, cycles, func() error { return vw.Sample() })
+		var sinceFlush int
+		n, _, err := sess.stepLocked(ctx, cycles, func() error {
+			if err := vw.Sample(); err != nil {
+				return err
+			}
+			if sinceFlush++; sinceFlush >= 1024 {
+				sinceFlush = 0
+				flush()
+			}
+			return nil
+		})
 		ran = n
 		_ = err // the status line is out; the stream just ends
 		flush()

@@ -199,6 +199,98 @@ func TestLazyResurrect(t *testing.T) {
 	}
 }
 
+// TestRestartDoesNotReuseStoredIDs: a daemon restarted over an existing
+// store must seed its id counter past every stored session — otherwise the
+// first session it creates reuses a stored id, its checkpoints clobber the
+// old session's durable state, and DELETE destroys the wrong session.
+func TestRestartDoesNotReuseStoredIDs(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	srvA, cA := newTestDaemon(t, server.Config{StoreDir: dir})
+	old, err := cA.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cA.Step(ctx, old.ID, 100); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if _, err := cA.Checkpoint(ctx, old.ID); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := srvA.Close(); err != nil {
+		t.Fatalf("close daemon A: %v", err)
+	}
+
+	_, cB := newTestDaemon(t, server.Config{StoreDir: dir})
+	fresh, err := cB.Create(ctx, server.CreateRequest{Catalog: "fir"})
+	if err != nil {
+		t.Fatalf("create after restart: %v", err)
+	}
+	if fresh.ID == old.ID {
+		t.Fatalf("restarted daemon minted id %s colliding with stored session", fresh.ID)
+	}
+	// Checkpointing the new session must not disturb the old one's store.
+	if _, err := cB.Checkpoint(ctx, fresh.ID); err != nil {
+		t.Fatalf("checkpoint new session: %v", err)
+	}
+	restored, err := cB.Resurrect(ctx, old.ID, "")
+	if err != nil {
+		t.Fatalf("resurrect stored session: %v", err)
+	}
+	if restored.Cycle != 100 || restored.Design != old.Design {
+		t.Fatalf("resurrected = %+v, want design %s at cycle 100", restored, old.Design)
+	}
+}
+
+// TestConcurrentLazyResurrect hammers one stored id from many goroutines at
+// once: the resurrection race must admit exactly one rebuilt session, so
+// every step lands on that winner and none of its progress is discarded by
+// a losing duplicate overwriting the table entry.
+func TestConcurrentLazyResurrect(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	srvA, cA := newTestDaemon(t, server.Config{StoreDir: dir})
+	info, err := cA.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cA.Step(ctx, info.ID, 100); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if _, err := cA.Checkpoint(ctx, info.ID); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := srvA.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, cB := newTestDaemon(t, server.Config{StoreDir: dir})
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cB.Step(ctx, info.ID, 10); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent step: %v", err)
+	}
+	got, err := cB.Info(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if want := uint64(100 + workers*10); got.Cycle != want {
+		t.Fatalf("cycle = %d, want %d (steps landed on a discarded duplicate session)", got.Cycle, want)
+	}
+}
+
 // TestConcurrentSessions is the acceptance concurrency run: at least 8
 // parallel sessions spanning the engine matrix, each stepped in chunks and
 // compared against its in-process reference (run under -race in CI).

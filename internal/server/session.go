@@ -45,6 +45,10 @@ type session struct {
 	// lastUsed orders LRU eviction; guarded by the server's mutex, not the
 	// session's, so the server can scan it without stalling on a long step.
 	lastUsed time.Time
+	// evicting marks a session one admit has claimed as its eviction victim,
+	// so concurrent admits pick a different one. Guarded by the server's
+	// mutex; the session stays in the table until its checkpoint is written.
+	evicting bool
 }
 
 type sessionCond struct {
