@@ -7,6 +7,7 @@
 //	       [-cycles N] [-halt-budget N] [-full]
 //	       [-parallel N] [-timeout D] [-fuzz N] [-fuzz-base S] [-json PATH]
 //	       [-designs a,b] [-digest-check] [-cpuprofile PATH] [-memprofile PATH]
+//	       [-workers N] [-scaling]
 //	       [-serve-url URL] [-serve-batch N]
 //
 // With no selection flags, -all is assumed. -full uses paper-scale budgets
@@ -23,6 +24,17 @@
 // the fuzz and JSON stages: a run over budget stops dispatching work,
 // reports what completed (the JSON file stays valid, marked incomplete),
 // and exits 1.
+//
+// -workers N adds the two parallel engines — conflict-free Cuttlesim rule
+// groups and BSP-sharded rtlsim levels — at that pool width to the -json
+// grid, with the same ns/cycle and digest columns as the sequential
+// engines. -scaling instead runs the full intra-design scaling sweep
+// (both parallel engines at widths 1/2/4/8 against the sequential
+// baselines, per design): a text table to stdout, and with -json the
+// cuttlego-scaling/v1 document (the BENCH_3.json generator). Scaling
+// cells are always measured one at a time so pooled engines never contend
+// with each other; -cpuprofile covers the worker pools either way, since
+// profiling starts before any engine is built.
 //
 // -serve-url URL benchmarks a running ksimd daemon instead of the local
 // jobs: each self-driving catalogue design (or the -designs subset) runs
@@ -71,6 +83,8 @@ func main() {
 		digest   = fs.Bool("digest-check", false, "fail -json when engines disagree on a design's final state")
 		serveURL = fs.String("serve-url", "", "benchmark a running ksimd daemon at this URL against the in-process baseline")
 		serveB   = fs.Uint64("serve-batch", 10_000, "cycles per step RPC in -serve-url mode")
+		workers  = fs.Int("workers", 0, "add the parallel engines at this pool width to the -json grid")
+		scaling  = fs.Bool("scaling", false, "run the intra-design scaling sweep (text to stdout; -json writes the scaling document)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected jobs to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile (snapshotted at exit) to this file")
 	)
@@ -143,6 +157,7 @@ func main() {
 		}
 	}
 	opts.DigestCheck = *digest
+	opts.Workers = *workers
 
 	type job struct {
 		sel bool
@@ -168,6 +183,31 @@ func main() {
 	if *serveURL != "" {
 		if err := runServe(ctx, os.Stdout, *serveURL, opts, *serveB, *jsonPath, *digest); err != nil {
 			fail(err)
+		}
+		stopProfiles()
+		return
+	}
+	if *scaling {
+		// Measure once, render twice: the sweep can take minutes at -full
+		// budgets.
+		rep, merr := bench.MeasureScaling(ctx, opts)
+		bench.RenderScaling(os.Stdout, rep)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fail(err)
+			}
+			werr := bench.EncodeScaling(f, rep)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fail(fmt.Errorf("%s: %w", *jsonPath, werr))
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if merr != nil {
+			fail(merr)
 		}
 		stopProfiles()
 		return

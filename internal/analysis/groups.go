@@ -1,0 +1,111 @@
+// Conflict-free rule grouping: the static side of the parallel Cuttlesim
+// tier. Two scheduled rules commute — executing them in either order, or
+// concurrently against the same pre-state, produces identical logs, commit
+// decisions, and committed values — when no register one of them may touch
+// is written by the other, and neither calls an external function. The
+// grouping below partitions the schedule into an ordered sequence of waves
+// of pairwise-commuting rules; executing the waves in order, with the rules
+// inside a wave run in any order (or in parallel) and their disjoint
+// footprints merged at the wave boundary, is observably identical to the
+// one-rule-at-a-time schedule. Package cuttlesim consumes this for its
+// conflict-group engine, and its lockstep tests treat the equivalence as a
+// proof obligation checked against the sequential engines.
+package analysis
+
+import "cuttlego/internal/ast"
+
+// ConflictGroups partitions the design's schedule into waves of pairwise
+// non-conflicting rules. The result is a list of waves in execution order;
+// each wave lists schedule positions in ascending order. The partition is
+// the levelization of the conflict graph: position j lands one wave after
+// the deepest earlier position it conflicts with, so for every conflicting
+// pair the earlier schedule position is in an earlier wave and ORAAT order
+// is preserved. Rules with no conflicts before them share wave 0.
+func ConflictGroups(res *Result) [][]int {
+	d := res.Design
+	sched := d.ScheduledRules()
+	n := len(sched)
+	if n == 0 {
+		return nil
+	}
+	words := (len(d.Registers) + 63) / 64
+	reads := make([][]uint64, n)
+	writes := make([][]uint64, n)
+	ext := make([]bool, n)
+	for si, ri := range sched {
+		info := &res.Rules[ri]
+		reads[si] = regSet(words, info.ReadSet)
+		writes[si] = regSet(words, info.WriteSet)
+		ext[si] = info.HasExtCall
+	}
+	level := make([]int, n)
+	maxLevel := 0
+	for j := 0; j < n; j++ {
+		lv := 0
+		for i := 0; i < j; i++ {
+			if level[i] >= lv && conflictSets(reads[i], writes[i], ext[i], reads[j], writes[j], ext[j]) {
+				lv = level[i] + 1
+			}
+		}
+		level[j] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	waves := make([][]int, maxLevel+1)
+	for j := 0; j < n; j++ {
+		waves[level[j]] = append(waves[level[j]], j)
+	}
+	return waves
+}
+
+// Conflict reports whether the rules at schedule positions i and j may not
+// commute: some register one of them may write is read or written by the
+// other, or both rules call external functions (whose side effects are
+// ordered by the schedule, not by register state). The relation is
+// symmetric and conservative: it is computed from the may-read/may-write
+// approximations, so a reported conflict can be a false positive but a
+// reported non-conflict is sound.
+func Conflict(res *Result, i, j int) bool {
+	d := res.Design
+	sched := d.ScheduledRules()
+	words := (len(d.Registers) + 63) / 64
+	a, b := &res.Rules[sched[i]], &res.Rules[sched[j]]
+	return conflictSets(
+		regSet(words, a.ReadSet), regSet(words, a.WriteSet), a.HasExtCall,
+		regSet(words, b.ReadSet), regSet(words, b.WriteSet), b.HasExtCall)
+}
+
+func conflictSets(ra, wa []uint64, xa bool, rb, wb []uint64, xb bool) bool {
+	if xa && xb {
+		return true
+	}
+	for k := range wa {
+		if wa[k]&(wb[k]|rb[k]) != 0 || ra[k]&wb[k] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func regSet(words int, regs []int) []uint64 {
+	set := make([]uint64, words)
+	for _, r := range regs {
+		set[r/64] |= 1 << (r % 64)
+	}
+	return set
+}
+
+// NodeCount returns the number of AST nodes in a subtree — the static cost
+// model the parallel engines use to decide whether a rule (or a group of
+// rules) carries enough work to be worth dispatching to another worker.
+func NodeCount(n *ast.Node) int {
+	if n == nil {
+		return 0
+	}
+	c := 1 + NodeCount(n.A) + NodeCount(n.B) + NodeCount(n.C)
+	for _, it := range n.Items {
+		c += NodeCount(it)
+	}
+	return c
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/bits"
+)
+
+func flatten(waves [][]int) []int {
+	var out []int
+	for _, w := range waves {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// Independent rules (disjoint read and write sets, no ext calls) must share
+// the first wave.
+func TestGroupsIndependentRulesShareWave(t *testing.T) {
+	d := ast.NewDesign("d")
+	for _, n := range []string{"a", "b", "c"} {
+		d.Reg(n, ast.Bits(8), 0)
+	}
+	d.Rule("ra", ast.Wr0("a", ast.Add(ast.Rd0("a"), ast.C(8, 1))))
+	d.Rule("rb", ast.Wr0("b", ast.Add(ast.Rd0("b"), ast.C(8, 1))))
+	d.Rule("rc", ast.Wr0("c", ast.Add(ast.Rd0("c"), ast.C(8, 1))))
+	waves := ConflictGroups(analyze(t, d))
+	if len(waves) != 1 || len(waves[0]) != 3 {
+		t.Fatalf("independent rules should form one wave of 3, got %v", waves)
+	}
+}
+
+// A chain of rules all touching the same register must stay fully
+// sequential, one wave per rule, in schedule order.
+func TestGroupsConflictChainStaysOrdered(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Rule("r0", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	d.Rule("r1", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 2))))
+	d.Rule("r2", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 3))))
+	waves := ConflictGroups(analyze(t, d))
+	if len(waves) != 3 {
+		t.Fatalf("conflicting chain should form 3 waves, got %v", waves)
+	}
+	for i, w := range waves {
+		if len(w) != 1 || w[0] != i {
+			t.Fatalf("wave %d = %v, want [%d]", i, w, i)
+		}
+	}
+}
+
+// A read/write conflict in either direction forces an ordering even with
+// disjoint write sets; the earlier schedule position must land in the
+// earlier wave.
+func TestGroupsReadWriteConflictPreservesScheduleOrder(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("src", ast.Bits(8), 0)
+	d.Reg("dst", ast.Bits(8), 0)
+	// reader reads src, writer writes src: conflict, reader first.
+	d.Rule("reader", ast.Wr0("dst", ast.Rd0("src")))
+	d.Rule("writer", ast.Wr0("src", ast.C(8, 7)))
+	res := analyze(t, d)
+	if !Conflict(res, 0, 1) || !Conflict(res, 1, 0) {
+		t.Fatal("read/write overlap must conflict, symmetrically")
+	}
+	waves := ConflictGroups(res)
+	if len(waves) != 2 || waves[0][0] != 0 || waves[1][0] != 1 {
+		t.Fatalf("waves = %v, want [[0] [1]]", waves)
+	}
+}
+
+// Two rules calling external functions serialize even when their register
+// footprints are disjoint; a pure rule between them still shares a wave.
+func TestGroupsExtCallsSerialize(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("a", ast.Bits(8), 0)
+	d.Reg("b", ast.Bits(8), 0)
+	d.Reg("c", ast.Bits(8), 0)
+	d.ExtFun("io", []int{8}, ast.Bits(8), func(args []bits.Bits) bits.Bits { return args[0] })
+	d.Rule("e0", ast.Wr0("a", ast.ExtCall("io", ast.Rd0("a"))))
+	d.Rule("pure", ast.Wr0("c", ast.Add(ast.Rd0("c"), ast.C(8, 1))))
+	d.Rule("e1", ast.Wr0("b", ast.ExtCall("io", ast.Rd0("b"))))
+	res := analyze(t, d)
+	if !Conflict(res, 0, 2) {
+		t.Fatal("two ext-calling rules must conflict")
+	}
+	if Conflict(res, 0, 1) || Conflict(res, 1, 2) {
+		t.Fatal("pure rule with disjoint registers must not conflict")
+	}
+	waves := ConflictGroups(res)
+	if len(waves) != 2 {
+		t.Fatalf("want 2 waves (e0+pure, e1), got %v", waves)
+	}
+	if len(waves[0]) != 2 || waves[0][0] != 0 || waves[0][1] != 1 {
+		t.Fatalf("wave 0 = %v, want [0 1]", waves[0])
+	}
+	if len(waves[1]) != 1 || waves[1][0] != 2 {
+		t.Fatalf("wave 1 = %v, want [2]", waves[1])
+	}
+}
+
+// Every schedule position appears exactly once across the waves, in
+// ascending order within each wave, and every conflicting pair is split
+// across waves with the earlier position in the earlier wave.
+func TestGroupsInvariants(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("y", ast.Bits(8), 0)
+	d.Reg("z", ast.Bits(8), 0)
+	d.Rule("r0", ast.Wr0("x", ast.Add(ast.Rd0("x"), ast.C(8, 1))))
+	d.Rule("r1", ast.Wr0("y", ast.Rd0("x")))
+	d.Rule("r2", ast.Wr0("z", ast.Add(ast.Rd0("z"), ast.C(8, 1))))
+	d.Rule("r3", ast.Wr0("y", ast.Rd0("z")))
+	res := analyze(t, d)
+	waves := ConflictGroups(res)
+	wave := make(map[int]int)
+	seen := make(map[int]bool)
+	for wi, w := range waves {
+		for i := 1; i < len(w); i++ {
+			if w[i-1] >= w[i] {
+				t.Fatalf("wave %d not ascending: %v", wi, w)
+			}
+		}
+		for _, si := range w {
+			if seen[si] {
+				t.Fatalf("position %d appears twice", si)
+			}
+			seen[si] = true
+			wave[si] = wi
+		}
+	}
+	n := len(res.Design.ScheduledRules())
+	if len(seen) != n {
+		t.Fatalf("waves cover %d of %d positions", len(seen), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Conflict(res, i, j) && wave[i] >= wave[j] {
+				t.Errorf("conflicting pair (%d,%d) not ordered: waves %d,%d", i, j, wave[i], wave[j])
+			}
+			if wi, wj := wave[i], wave[j]; wi == wj {
+				if Conflict(res, i, j) {
+					t.Errorf("wave %d contains conflicting pair (%d,%d)", wi, i, j)
+				}
+			}
+		}
+	}
+	if got := len(flatten(waves)); got != n {
+		t.Fatalf("flattened waves length %d != %d", got, n)
+	}
+}
+
+func TestGroupsEmptySchedule(t *testing.T) {
+	d := ast.NewDesign("d")
+	d.Reg("x", ast.Bits(8), 0)
+	if waves := ConflictGroups(analyze(t, d)); len(waves) != 0 {
+		t.Fatalf("empty schedule should yield no waves, got %v", waves)
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	if NodeCount(nil) != 0 {
+		t.Fatal("nil should count 0")
+	}
+	n := ast.Add(ast.C(8, 1), ast.C(8, 2))
+	if got := NodeCount(n); got != 3 {
+		t.Fatalf("add of two consts counts %d, want 3", got)
+	}
+}

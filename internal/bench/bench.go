@@ -244,6 +244,41 @@ func StateStress(nregs, nrules int) *ast.Design {
 	return d
 }
 
+// ParallelStress builds the intra-design parallelism stress benchmark:
+// nrules completely independent heavy rules, each folding a long dependent
+// operation chain (depth let-bound steps of multiply/xor/add) over its own
+// private pair of registers. The conflict graph is edgeless, so the
+// parallel Cuttlesim engine runs all rules in one wave, and the per-rule
+// work is deep enough that striping the wave across cores dominates the
+// barrier — the regime the conflict-group machinery targets, complementing
+// the wide-level regime fft64 provides for the BSP rtlsim backend.
+func ParallelStress(nrules, depth int) *ast.Design {
+	d := ast.NewDesign(fmt.Sprintf("pstress%d", nrules))
+	for r := 0; r < nrules; r++ {
+		d.Reg(fmt.Sprintf("a%d", r), ast.Bits(32), uint64(r*2+1))
+		d.Reg(fmt.Sprintf("s%d", r), ast.Bits(32), 0)
+	}
+	for r := 0; r < nrules; r++ {
+		a, s := fmt.Sprintf("a%d", r), fmt.Sprintf("s%d", r)
+		body := func(k int) *ast.Node { return ast.V(fmt.Sprintf("v%d", k)) }
+		// vK+1 = (vK * 2654435761) xor (vK + r'); deep sequential chain, no
+		// common subexpressions for netopt to collapse.
+		inner := []*ast.Node{
+			ast.Wr0(a, body(depth)),
+			ast.Wr0(s, ast.Add(ast.Rd0(s), ast.Xor(body(depth), body(0)))),
+		}
+		for k := depth; k >= 1; k-- {
+			step := ast.Xor(
+				ast.Mul(body(k-1), ast.C(32, 2654435761)),
+				ast.Add(body(k-1), ast.C(32, uint64(r*31+k))))
+			inner = []*ast.Node{ast.Let(fmt.Sprintf("v%d", k), step, inner...)}
+		}
+		d.Rule(fmt.Sprintf("mix%d", r),
+			ast.Let("v0", ast.Rd0(a), inner...))
+	}
+	return d
+}
+
 // Engine identifies one simulation pipeline configuration.
 type Engine struct {
 	Name string
@@ -289,6 +324,45 @@ func EngRTLOpt(style circuit.Style, backend rtlsim.Backend, optimize bool) Engin
 	}
 }
 
+// EngCuttlesimPar builds a parallel Cuttlesim engine spec: conflict-free
+// rule groups at LStatic executed on a pool of the given width. workers of
+// 1 is the plain sequential static engine — the natural w=1 point of a
+// scaling curve.
+func EngCuttlesimPar(backend cuttlesim.Backend, workers int) Engine {
+	return Engine{
+		Name: fmt.Sprintf("cuttlesim-par(%v,w%d)", backend, workers),
+		Make: func(inst Instance) (sim.Engine, error) {
+			return cuttlesim.New(inst.Design, cuttlesim.Options{
+				Level: cuttlesim.LStatic, Backend: backend, Workers: workers,
+			})
+		},
+	}
+}
+
+// EngRTLPar builds a parallel rtlsim engine spec: BSP-sharded levelized
+// evaluation of the Kôika-style netlist (netopt-optimized when optimize is
+// set) on a pool of the given width. workers of 1 is the sequential fused
+// backend.
+func EngRTLPar(optimize bool, workers int) Engine {
+	name := fmt.Sprintf("rtlsim-par(koika,w%d)", workers)
+	if optimize {
+		name = fmt.Sprintf("rtlsim-par(koika,opt,w%d)", workers)
+	}
+	return Engine{
+		Name: name,
+		Make: func(inst Instance) (sim.Engine, error) {
+			ckt, err := circuit.Compile(inst.Design, circuit.StyleKoika)
+			if err != nil {
+				return nil, err
+			}
+			if optimize {
+				ckt = netopt.MustOptimize(ckt)
+			}
+			return rtlsim.New(ckt, rtlsim.Options{Backend: rtlsim.Fused, Workers: workers})
+		},
+	}
+}
+
 // EngInterp is the reference interpreter spec.
 func EngInterp() Engine {
 	return Engine{
@@ -324,6 +398,7 @@ func Measure(bm Benchmark, eng Engine, cycles uint64) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, fmt.Errorf("bench %s / %s: %w", bm.Name, eng.Name, err)
 	}
+	defer closeEngine(e)
 	tb := inst.Bench
 	if tb == nil {
 		tb = sim.NopBench{}
@@ -335,6 +410,15 @@ func Measure(bm Benchmark, eng Engine, cycles uint64) (Measurement, error) {
 	elapsed := time.Since(start)
 	return Measurement{Benchmark: bm.Name, Engine: eng.Name, Cycles: cycles,
 		Elapsed: elapsed, Digest: StateDigest(e)}, nil
+}
+
+// closeEngine releases engines that own resources (the parallel backends'
+// worker pools); harness code builds engines in bulk, so relying on
+// finalizers alone would accumulate idle goroutines.
+func closeEngine(e sim.Engine) {
+	if c, ok := e.(interface{ Close() error }); ok {
+		c.Close()
+	}
 }
 
 // StateDigest hashes the engine's full architectural state (FNV-1a over
@@ -378,10 +462,12 @@ func Verify(bm Benchmark, a, b Engine, cycles uint64) error {
 	if err != nil {
 		return err
 	}
+	defer closeEngine(ea)
 	eb, err := b.Make(ib)
 	if err != nil {
 		return err
 	}
+	defer closeEngine(eb)
 	tba, tbb := ia.Bench, ib.Bench
 	if tba == nil {
 		tba = sim.NopBench{}

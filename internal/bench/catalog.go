@@ -33,6 +33,22 @@ func Extras() []Benchmark {
 				return Instance{Design: sys.Design}
 			},
 		},
+		{
+			Name:        "fft64",
+			Description: "64-point FFT butterfly network (wide levels for the BSP rtlsim backend)",
+			Workload:    "input feedback rule perturbing the butterfly inputs",
+			New: func() Instance {
+				return Instance{Design: FFTBench(64).MustCheck()}
+			},
+		},
+		{
+			Name:        "pstress",
+			Description: "8 independent heavy rules (deep mix chains; edgeless conflict graph)",
+			Workload:    "self-contained per-rule mixing, no testbench",
+			New: func() Instance {
+				return Instance{Design: ParallelStress(8, 96).MustCheck()}
+			},
+		},
 	}
 }
 

@@ -41,9 +41,12 @@ type JSONReport struct {
 // jsonEngines is the engine set the JSON trajectory tracks: the paper's
 // two headline pipelines plus the strengthened (netopt + fused) baseline
 // and the switch interpreter as the floor. The activity ablation runs both
-// Cuttlesim backends with and without activity-driven scheduling.
-func jsonEngines() []Engine {
-	return []Engine{
+// Cuttlesim backends with and without activity-driven scheduling. With
+// opts.Workers > 1 the grid gains both parallel engines at that pool
+// width, so their ns/cycle rides the same trajectory (and the digest gate)
+// as the sequential engines.
+func jsonEngines(opts Options) []Engine {
+	engines := []Engine{
 		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Closure),
 		EngCuttlesim(cuttlesim.LStatic, cuttlesim.Bytecode),
 		EngCuttlesim(cuttlesim.LActivity, cuttlesim.Closure),
@@ -52,6 +55,12 @@ func jsonEngines() []Engine {
 		EngRTL(circuit.StyleKoika, rtlsim.Switch),
 		EngRTLOpt(circuit.StyleKoika, rtlsim.Fused, true),
 	}
+	if opts.Workers > 1 {
+		engines = append(engines,
+			EngCuttlesimPar(cuttlesim.Closure, opts.Workers),
+			EngRTLPar(true, opts.Workers))
+	}
+	return engines
 }
 
 // WriteJSON measures every Table 1 benchmark against the tracked engine
@@ -81,7 +90,7 @@ func WriteJSONCtx(ctx context.Context, w io.Writer, opts Options, workers int) e
 	}
 	var cells []cell
 	for _, bm := range suite {
-		for _, eng := range jsonEngines() {
+		for _, eng := range jsonEngines(opts) {
 			cells = append(cells, cell{bm, eng})
 		}
 	}

@@ -31,7 +31,11 @@ func Workers(n int) int {
 }
 
 // RunParallel executes jobs 0..n-1 on a pool of the given size and returns
-// the results in index order. Determinism contract: the result slice
+// the results in index order.
+//
+// Contract: workers < 1 defaults to one worker per available CPU
+// (runtime.GOMAXPROCS); workers > n is clamped to n, so an
+// over-provisioned pool never spawns idle goroutines. The result slice
 // depends only on the jobs, never on scheduling; with workers == 1 the
 // jobs run sequentially in order on the calling goroutine.
 func RunParallel[T any](n, workers int, job func(i int) T) []T {
@@ -43,7 +47,9 @@ func RunParallel[T any](n, workers int, job func(i int) T) []T {
 // further jobs are dispatched (in-flight jobs finish; jobs wanting earlier
 // cancellation must watch ctx themselves). It returns the results gathered
 // so far — slots of undispatched jobs hold T's zero value — plus the set of
-// job indices that actually ran, in ascending order.
+// job indices that actually ran, in ascending order. The worker-count
+// normalization is RunParallel's: < 1 becomes GOMAXPROCS, > n is clamped
+// to n.
 func RunParallelCtx[T any](ctx context.Context, n, workers int, job func(i int) T) (out []T, ran []int) {
 	out = make([]T, n)
 	done := make([]bool, n)
@@ -108,6 +114,29 @@ func fuzzEngines() []Engine {
 			engines = append(engines, EngRTLOpt(circuit.StyleKoika, backend, opt))
 		}
 	}
+	// The parallel engines, with MinGrain 1 so even the tiny random designs
+	// fan out onto their pools rather than degenerating to the sequential
+	// path.
+	engines = append(engines,
+		Engine{
+			Name: "cuttlesim-par(closure,w4,grain1)",
+			Make: func(inst Instance) (sim.Engine, error) {
+				return cuttlesim.New(inst.Design, cuttlesim.Options{
+					Level: cuttlesim.LStatic, Workers: 4, MinGrain: 1,
+				})
+			},
+		},
+		Engine{
+			Name: "rtlsim-par(koika,w4,grain1)",
+			Make: func(inst Instance) (sim.Engine, error) {
+				ckt, err := circuit.Compile(inst.Design, circuit.StyleKoika)
+				if err != nil {
+					return nil, err
+				}
+				return rtlsim.New(ckt, rtlsim.Options{Backend: rtlsim.Fused, Workers: 4, MinGrain: 1})
+			},
+		},
+	)
 	return engines
 }
 
@@ -125,6 +154,11 @@ func FuzzOne(seed int64, cycles uint64) error {
 		eng  sim.Engine
 	}
 	var others []pair
+	defer func() {
+		for _, p := range others {
+			closeEngine(p.eng)
+		}
+	}()
 	for _, spec := range fuzzEngines() {
 		e, err := spec.Make(Instance{Design: build()})
 		if err != nil {

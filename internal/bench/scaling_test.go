@@ -1,0 +1,82 @@
+package bench_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cuttlego/internal/bench"
+)
+
+// The scaling export must be a complete, digest-consistent grid: every
+// engine at every pool width lands on the same final state, and the
+// speedup column is anchored to the best sequential row.
+func TestWriteScalingJSON(t *testing.T) {
+	var buf bytes.Buffer
+	opts := bench.Options{Cycles: 300, Designs: []string{"collatz", "pstress"}}
+	if err := bench.WriteScalingJSON(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.ScalingReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "cuttlego-scaling/v1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if rep.Incomplete {
+		t.Fatal("report marked incomplete with no error returned")
+	}
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 {
+		t.Fatalf("host fields not recorded: %+v", rep)
+	}
+	perDesign := map[string]int{}
+	digests := map[string]string{}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("%s/%s: %s", r.Design, r.Engine, r.Error)
+		}
+		if r.Workers < 1 {
+			t.Fatalf("%s/%s: workers %d", r.Design, r.Engine, r.Workers)
+		}
+		if r.StateDigest == "" || r.NsPerCycle <= 0 || r.SpeedupVsBestSeq <= 0 {
+			t.Fatalf("%s/%s: incomplete row %+v", r.Design, r.Engine, r)
+		}
+		if ref, ok := digests[r.Design]; ok && ref != r.StateDigest {
+			t.Fatalf("%s: digest %s vs %s", r.Design, r.StateDigest, ref)
+		}
+		digests[r.Design] = r.StateDigest
+		perDesign[r.Design]++
+	}
+	// 3 sequential baselines + 2 engines x 4 widths per design.
+	for d, n := range perDesign {
+		if n != 11 {
+			t.Fatalf("%s: %d rows, want 11", d, n)
+		}
+	}
+	if len(perDesign) != 2 {
+		t.Fatalf("designs covered: %v", perDesign)
+	}
+}
+
+func TestScalingTextReport(t *testing.T) {
+	var buf strings.Builder
+	if err := bench.Scaling(&buf, bench.Options{Cycles: 200, Designs: []string{"pstress"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Intra-design scaling", "pstress", "cuttlesim-par(closure,w4)", "rtlsim-par(koika,opt,w8)", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingUnknownDesign(t *testing.T) {
+	var buf bytes.Buffer
+	err := bench.WriteScalingJSON(&buf, bench.Options{Cycles: 10, Designs: []string{"no-such"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown design") {
+		t.Fatalf("err = %v", err)
+	}
+}

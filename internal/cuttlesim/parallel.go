@@ -1,0 +1,256 @@
+// The parallel engine: conflict-free rule groups executed concurrently on
+// a persistent worker pool, with a deterministic merge preserving ORAAT
+// semantics.
+//
+// analysis.ConflictGroups levelizes the schedule's static conflict graph
+// into waves: within a wave no rule may write a register another wave
+// member may touch, and at most one wave member calls external functions.
+// The engine executes waves in order. A wave worth parallelizing (at
+// least two rules above the cost threshold) is striped across machine
+// clones — the caller's goroutine drives stripe 0, pool workers the rest,
+// one WaitGroup barrier per wave. Clones share the committed cycle log
+// (flagsL, dL0/dL1, boc) and keep private accumulated logs; syncRule
+// refreshes a rule's footprint from the shared log before the rule runs,
+// so each rule observes exactly the state a sequential execution would
+// show it (wave-mates cannot touch its footprint, by construction).
+// Commits write disjoint shared slots — each rule's write set is its own.
+// The one effect wave-mates may share, fRd1 marks on commonly-read
+// tracked registers, is accumulated machine-privately and folded into the
+// shared log by the coordinator after the barrier, in schedule order, as
+// are the fired flags and profile counters. The result is bit-identical,
+// cycle for cycle, to the sequential engine — an obligation the lockstep
+// tests and kdiff enforce rather than assume.
+package cuttlesim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cuttlego/internal/analysis"
+)
+
+// DefaultRuleGrain is the minimum per-rule AST node count for a rule to
+// count as heavy; a wave fans out only when it carries at least two heavy
+// rules, so designs with tiny rules never pay the barrier.
+const DefaultRuleGrain = 64
+
+// parEngine is the parallel execution plan plus the worker pool. Workers
+// capture the engine, not the Simulator, so an abandoned Simulator stays
+// collectible and its finalizer can stop the pool.
+type parEngine struct {
+	groups [][]int // waves of schedule positions, execution order
+	fan    []bool  // per wave: dispatch to the pool
+	nsh    []int   // per wave: number of participating machines
+
+	machines []*machine // [0] is the Simulator's primary machine
+	outcomes []bool     // per schedule position, valid after the barrier
+
+	// Execution state shared with the Simulator's compiled form; copied
+	// here so worker goroutines never reference the Simulator itself.
+	closure  bool
+	rules    []valFn
+	bytecode []ruleCode
+
+	chans []chan int // one per pool worker; carries wave indices
+	wg    sync.WaitGroup
+	stop  sync.Once
+}
+
+// newParEngine plans the waves and spins up the pool. Called at the end of
+// New, after the backend compile has sized locals and stack.
+func newParEngine(s *Simulator, workers, minGrain int) *parEngine {
+	if minGrain <= 0 {
+		minGrain = DefaultRuleGrain
+	}
+	if max := runtime.GOMAXPROCS(0) * 8; workers > max && workers > 8 {
+		workers = max
+	}
+	p := &parEngine{
+		groups:   analysis.ConflictGroups(s.an),
+		outcomes: make([]bool, len(s.sched)),
+		closure:  s.opts.Backend == Closure,
+		rules:    s.rules,
+		bytecode: s.bytecode,
+	}
+	cost := make([]int, len(s.sched))
+	for i, ri := range s.sched {
+		cost[i] = analysis.NodeCount(s.d.Rules[ri].Body)
+	}
+	p.fan = make([]bool, len(p.groups))
+	p.nsh = make([]int, len(p.groups))
+	maxSh := 1
+	for gi, g := range p.groups {
+		nsh := len(g)
+		if nsh > workers {
+			nsh = workers
+		}
+		heavy := 0
+		for _, si := range g {
+			if cost[si] >= minGrain {
+				heavy++
+			}
+		}
+		if nsh >= 2 && heavy >= 2 {
+			p.fan[gi], p.nsh[gi] = true, nsh
+			if nsh > maxSh {
+				maxSh = nsh
+			}
+		} else {
+			p.nsh[gi] = 1
+		}
+	}
+	p.machines = make([]*machine, maxSh)
+	p.machines[0] = s.m
+	for k := 1; k < maxSh; k++ {
+		p.machines[k] = s.m.workerClone()
+	}
+	if maxSh > 1 {
+		p.chans = make([]chan int, maxSh-1)
+		for w := range p.chans {
+			ch := make(chan int, 1)
+			p.chans[w] = ch
+			go p.worker(w+1, ch)
+		}
+	}
+	return p
+}
+
+// worker runs stripe k of every wave index received until its channel
+// closes. The channel receive and the WaitGroup are the barrier's
+// happens-before edges: prior waves' commits are visible on receive, this
+// stripe's commits are visible to the coordinator after wg.Wait.
+func (p *parEngine) worker(k int, ch <-chan int) {
+	m := p.machines[k]
+	for gi := range ch {
+		if g := p.groups[gi]; k < p.nsh[gi] {
+			p.runStripe(m, g, k, p.nsh[gi])
+		}
+		p.wg.Done()
+	}
+}
+
+// runStripe executes schedule positions g[k], g[k+n], ... on machine m.
+func (p *parEngine) runStripe(m *machine, g []int, k, n int) {
+	for idx := k; idx < len(g); idx += n {
+		si := g[idx]
+		p.outcomes[si] = p.runRule(m, si)
+	}
+}
+
+// runRule executes one scheduled rule on the given machine under the
+// parallel protocol: sync the footprint from the shared cycle log, run,
+// commit the (wave-disjoint) write set on success and bank the read-only
+// flag effects for the coordinator's merge. No rollback is needed on
+// abort — the next sync re-establishes the rule-entry invariant.
+func (p *parEngine) runRule(m *machine, si int) bool {
+	m.syncRule(si)
+	m.failClean = false
+	var ok bool
+	if p.closure {
+		_, ok = p.rules[si](m)
+	} else {
+		ok = m.exec(p.bytecode[si])
+	}
+	if ok {
+		m.commitRule(si)
+		m.accumulateReadFlags(si)
+	}
+	return ok
+}
+
+// shutdown stops the pool. Idempotent.
+func (p *parEngine) shutdown() {
+	p.stop.Do(func() {
+		for _, ch := range p.chans {
+			close(ch)
+		}
+	})
+}
+
+// cycleParallel is Cycle for the parallel engine: waves in order, one
+// barrier per fanned-out wave, then a deterministic schedule-order merge
+// of outcomes, read-only flag effects, fired flags, and profile counters.
+func (s *Simulator) cycleParallel() {
+	m := s.m
+	p := s.par
+	m.beginCycle()
+	for gi, g := range p.groups {
+		n := p.nsh[gi]
+		if !p.fan[gi] {
+			p.runStripe(m, g, 0, 1)
+		} else {
+			p.wg.Add(n - 1)
+			for w := 0; w < n-1; w++ {
+				p.chans[w] <- gi
+			}
+			p.runStripe(m, g, 0, n)
+			p.wg.Wait()
+		}
+		for idx, si := range g {
+			ok := p.outcomes[si]
+			if ok {
+				m.mergeReadFlags(si, p.machines[idx%n])
+			}
+			ri := s.sched[si]
+			m.fired[ri] = ok
+			if s.profile != nil {
+				s.profile[ri].record(ok)
+			}
+		}
+	}
+	m.endCycle()
+	m.cycle++
+}
+
+// Close stops the simulator's worker pool, if any. Safe on any simulator
+// (parallel or not) and more than once; an unclosed parallel simulator is
+// reclaimed by a finalizer, but tests and benchmarks that build engines in
+// bulk should close them promptly.
+func (s *Simulator) Close() error {
+	if s.par != nil {
+		s.par.shutdown()
+	}
+	return nil
+}
+
+// Workers reports the configured pool width (1 means sequential).
+func (s *Simulator) Workers() int {
+	if s.par == nil {
+		return 1
+	}
+	return s.opts.Workers
+}
+
+// ParallelWaves reports the number of conflict-free waves in the plan and
+// how many of them fan out to the pool — observability for tests and
+// kbench. Zero waves means the sequential engine.
+func (s *Simulator) ParallelWaves() (waves, fanned int) {
+	if s.par == nil {
+		return 0, 0
+	}
+	for gi := range s.par.groups {
+		if s.par.fan[gi] {
+			fanned++
+		}
+	}
+	return len(s.par.groups), fanned
+}
+
+// validateParallel rejects option combinations the parallel engine cannot
+// honor. Called from New before the machine is built.
+func validateParallel(opts Options) error {
+	if opts.Workers <= 1 {
+		return nil
+	}
+	if opts.Level < LStatic {
+		return fmt.Errorf("cuttlesim: Workers > 1 requires Level >= static (got %v): lower levels commit and roll back whole logs, which cannot be shared between machines", opts.Level)
+	}
+	if opts.Hook != nil {
+		return fmt.Errorf("cuttlesim: Workers > 1 is incompatible with a debug hook (rule events would interleave nondeterministically)")
+	}
+	if opts.Coverage {
+		return fmt.Errorf("cuttlesim: Workers > 1 is incompatible with coverage instrumentation")
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package cuttlesim_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/interp"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/testkit"
+)
+
+// parallelEngines pairs the reference interpreter and the sequential
+// static-level engines with the parallel engine at every pool width and
+// both backends, MinGrain 1 so even tiny designs fan out.
+func parallelEngines(t testing.TB, build func() *ast.Design) map[string]sim.Engine {
+	t.Helper()
+	out := make(map[string]sim.Engine)
+	ref, err := interp.New(build().MustCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["interp"] = ref
+	mk := func(o cuttlesim.Options) *cuttlesim.Simulator {
+		s, err := cuttlesim.New(build().MustCheck(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	for _, backend := range []cuttlesim.Backend{cuttlesim.Closure, cuttlesim.Bytecode} {
+		out[fmt.Sprintf("seq/%v", backend)] = mk(cuttlesim.Options{Level: cuttlesim.LStatic, Backend: backend})
+		for _, w := range []int{1, 2, 4, 8} {
+			out[fmt.Sprintf("par/%v/w%d", backend, w)] = mk(cuttlesim.Options{
+				Level: cuttlesim.LStatic, Backend: backend, Workers: w, MinGrain: 1,
+			})
+		}
+	}
+	return out
+}
+
+// The parallel engine must be cycle-for-cycle identical to the sequential
+// engine and the reference interpreter on every zoo design, at every pool
+// width and backend. Under -race this also proves the wave execution is
+// data-race free.
+func TestParallelZooLockstep(t *testing.T) {
+	for _, entry := range testkit.Zoo() {
+		t.Run(entry.Name, func(t *testing.T) {
+			testkit.Compare(t, parallelEngines(t, entry.Build), 64, nil)
+		})
+	}
+}
+
+func TestParallelRandomLockstep(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			build := func() *ast.Design { return testkit.Random(seed) }
+			testkit.Compare(t, parallelEngines(t, build), 32, nil)
+		})
+	}
+}
+
+// The LActivity level composes with Workers > 1 by dropping back to plain
+// static scheduling; state must stay identical.
+func TestParallelActivityLevelLockstep(t *testing.T) {
+	entry := testkit.Zoo()[0]
+	engines := map[string]sim.Engine{}
+	for _, w := range []int{1, 4} {
+		s, err := cuttlesim.New(entry.Build().MustCheck(),
+			cuttlesim.Options{Level: cuttlesim.LActivity, Workers: w, MinGrain: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		engines[fmt.Sprintf("activity/w%d", w)] = s
+	}
+	testkit.Compare(t, engines, 64, nil)
+}
+
+// Option combinations the parallel engine cannot honor must be rejected at
+// build time, not silently mis-executed.
+func TestParallelOptionValidation(t *testing.T) {
+	d := testkit.Zoo()[0].Build().MustCheck()
+	cases := []struct {
+		name string
+		opts cuttlesim.Options
+	}{
+		{"below-static", cuttlesim.Options{Level: cuttlesim.LNoBOC, Workers: 2}},
+		{"naive", cuttlesim.Options{Level: cuttlesim.LNaive, Workers: 4}},
+		{"coverage", cuttlesim.Options{Level: cuttlesim.LStatic, Workers: 2, Coverage: true}},
+	}
+	for _, tc := range cases {
+		if _, err := cuttlesim.New(d, tc.opts); err == nil {
+			t.Errorf("%s: New accepted %+v", tc.name, tc.opts)
+		}
+	}
+	// A hook implies the closure backend and is rejected with workers.
+	if _, err := cuttlesim.New(d, cuttlesim.Options{
+		Level: cuttlesim.LStatic, Workers: 2, Hook: nopHook{},
+	}); err == nil {
+		t.Error("New accepted Workers > 1 with a debug hook")
+	}
+}
+
+type nopHook struct{}
+
+func (nopHook) OnRuleStart(int)             {}
+func (nopHook) OnRuleEnd(int, bool)         {}
+func (nopHook) OnOp(int, int, uint64, bool) {}
+
+// zooByName finds a zoo entry whose parallel plan is known to fan out.
+func zooByName(t *testing.T, name string) testkit.ZooEntry {
+	t.Helper()
+	for _, e := range testkit.Zoo() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no zoo entry %q", name)
+	return testkit.ZooEntry{}
+}
+
+// Profiles must be identical between sequential and parallel runs: the
+// coordinator records attempts and commits in schedule order.
+func TestParallelProfileMatchesSequential(t *testing.T) {
+	entry := zooByName(t, "wire-forwarding")
+	seq, err := cuttlesim.New(entry.Build().MustCheck(),
+		cuttlesim.Options{Level: cuttlesim.LStatic, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := cuttlesim.New(entry.Build().MustCheck(),
+		cuttlesim.Options{Level: cuttlesim.LStatic, Profile: true, Workers: 4, MinGrain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	for i := 0; i < 50; i++ {
+		seq.Cycle()
+		par.Cycle()
+	}
+	ss, ps := seq.RuleStats(), par.RuleStats()
+	if len(ss) != len(ps) {
+		t.Fatalf("profile lengths differ: %d vs %d", len(ss), len(ps))
+	}
+	for i := range ss {
+		if ss[i] != ps[i] {
+			t.Errorf("rule %s: sequential %+v, parallel %+v", ss[i].Rule, ss[i], ps[i])
+		}
+	}
+}
+
+// Snapshot/Restore must round-trip through the parallel engine: worker
+// clones see restored state via the per-rule sync.
+func TestParallelSnapshotRestore(t *testing.T) {
+	entry := zooByName(t, "write-conflict")
+	s, err := cuttlesim.New(entry.Build().MustCheck(),
+		cuttlesim.Options{Level: cuttlesim.LStatic, Workers: 4, MinGrain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Cycle()
+	}
+	snap := s.Snapshot()
+	for i := 0; i < 7; i++ {
+		s.Cycle()
+	}
+	after := sim.StateOf(s)
+	s.Restore(snap)
+	if got := s.CycleCount(); got != snap.Cycle {
+		t.Fatalf("restored cycle %d, want %d", got, snap.Cycle)
+	}
+	for i := 0; i < 7; i++ {
+		s.Cycle()
+	}
+	for i, v := range sim.StateOf(s) {
+		if v != after[i] {
+			t.Fatalf("replay diverged at register %d: %v vs %v", i, v, after[i])
+		}
+	}
+}
+
+// ParallelWaves must report a non-trivial plan when fan-out is forced, and
+// Workers must echo the configuration.
+func TestParallelWavesObservability(t *testing.T) {
+	d := testkit.Zoo()[0].Build().MustCheck()
+	seq := cuttlesim.MustNew(d, cuttlesim.Options{Level: cuttlesim.LStatic})
+	if w, f := seq.ParallelWaves(); w != 0 || f != 0 {
+		t.Fatalf("sequential engine reports waves (%d,%d)", w, f)
+	}
+	if seq.Workers() != 1 {
+		t.Fatal("sequential engine must report 1 worker")
+	}
+	par := cuttlesim.MustNew(d, cuttlesim.Options{Level: cuttlesim.LStatic, Workers: 4, MinGrain: 1})
+	defer par.Close()
+	if waves, _ := par.ParallelWaves(); waves == 0 {
+		t.Fatal("parallel engine reports no waves")
+	}
+	if par.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", par.Workers())
+	}
+}
+
+// Closing parallel simulators must release their worker goroutines.
+func TestParallelCloseReleasesGoroutines(t *testing.T) {
+	entry := testkit.Zoo()[1]
+	before := runtime.NumGoroutine()
+	sims := make([]*cuttlesim.Simulator, 16)
+	for i := range sims {
+		s, err := cuttlesim.New(entry.Build().MustCheck(),
+			cuttlesim.Options{Level: cuttlesim.LStatic, Workers: 8, MinGrain: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Cycle()
+		sims[i] = s
+	}
+	for _, s := range sims {
+		s.Close()
+		s.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked: %d before, %d after Close", before, got)
+	}
+}

@@ -2,6 +2,7 @@ package cuttlesim
 
 import (
 	"fmt"
+	"runtime"
 
 	"cuttlego/internal/analysis"
 	"cuttlego/internal/ast"
@@ -22,6 +23,7 @@ type Simulator struct {
 	bytecode []ruleCode
 	warnings []string
 	profile  []RuleStat
+	par      *parEngine // parallel engine: wave plan + worker pool
 }
 
 var _ sim.Engine = (*Simulator)(nil)
@@ -44,6 +46,9 @@ func New(d *ast.Design, opts Options) (_ *Simulator, err error) {
 	}
 	if opts.Hook != nil && opts.Backend != Closure {
 		return nil, fmt.Errorf("cuttlesim: debug hooks require the closure backend")
+	}
+	if err := validateParallel(opts); err != nil {
+		return nil, err
 	}
 	s := &Simulator{d: d, an: an, opts: opts, sched: d.ScheduledRules()}
 	s.m = newMachine(d, an, opts)
@@ -80,6 +85,13 @@ func New(d *ast.Design, opts Options) (_ *Simulator, err error) {
 		s.m.stack = make([]uint64, asm.maxStack+1)
 	default:
 		return nil, fmt.Errorf("cuttlesim: unknown backend %v", opts.Backend)
+	}
+	if opts.Workers > 1 {
+		s.par = newParEngine(s, opts.Workers, opts.MinGrain)
+		if s.par.chans != nil {
+			par := s.par
+			runtime.SetFinalizer(s, func(*Simulator) { par.shutdown() })
+		}
 	}
 	return s, nil
 }
@@ -131,6 +143,10 @@ func (s *Simulator) RuleFired(rule string) bool { return s.m.fired[s.d.RuleIndex
 // read set is clean; see activity.go for the protocol and its soundness
 // argument.
 func (s *Simulator) Cycle() {
+	if s.par != nil {
+		s.cycleParallel()
+		return
+	}
 	m := s.m
 	act := m.act
 	hook := s.opts.Hook

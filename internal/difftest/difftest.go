@@ -133,6 +133,15 @@ func Run(build func() *ast.Design, opts Options) *Failure {
 		eng  sim.Engine
 	}
 	var engines []runner
+	// Pooled engines (Workers > 1) hold worker goroutines; release them on
+	// every exit path so fuzzing and shrinking don't accumulate pools.
+	defer func() {
+		for _, p := range engines {
+			if c, ok := p.eng.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+	}()
 	var finals []Spec
 	for _, spec := range opts.Engines {
 		if spec.Make == nil {

@@ -85,6 +85,43 @@ func RTLSpecs() []Spec {
 	return specs
 }
 
+// ParallelSpecs returns the pooled engines: conflict-free Cuttlesim rule
+// groups (both backends) and BSP-sharded rtlsim, at widths 2 and 4 with
+// MinGrain 1 so even the small differential designs fan out onto their
+// pools instead of degenerating to the sequential path.
+func ParallelSpecs() []Spec {
+	var specs []Spec
+	for _, cfg := range []struct {
+		backend cuttlesim.Backend
+		workers int
+	}{{cuttlesim.Closure, 2}, {cuttlesim.Closure, 4}, {cuttlesim.Bytecode, 2}} {
+		cfg := cfg
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("cuttlesim-par(%v,w%d)", cfg.backend, cfg.workers),
+			Make: func(d *ast.Design) (sim.Engine, error) {
+				return cuttlesim.New(d, cuttlesim.Options{
+					Level: cuttlesim.LStatic, Backend: cfg.backend, Profile: true,
+					Workers: cfg.workers, MinGrain: 1,
+				})
+			},
+		})
+	}
+	for _, w := range []int{2, 4} {
+		w := w
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("rtlsim-par(%v,w%d)", circuit.StyleKoika, w),
+			Make: func(d *ast.Design) (sim.Engine, error) {
+				ckt, err := circuit.Compile(d, circuit.StyleKoika)
+				if err != nil {
+					return nil, err
+				}
+				return rtlsim.New(ckt, rtlsim.Options{Backend: rtlsim.Fused, Workers: w, MinGrain: 1})
+			},
+		})
+	}
+	return specs
+}
+
 // GomodelSpec returns the compiled-model engine: the design is emitted as a
 // standalone Go program, built and run out of process, and its printed
 // final state compared against the interpreter. Designs gomodel rejects
@@ -135,8 +172,8 @@ func runGomodel(d *ast.Design, cycles uint64) (map[string]uint64, error) {
 }
 
 // Matrix resolves a comma-separated engine list ("cuttlesim", "rtlsim",
-// "gomodel", or "all") to specs. The reference interpreter is always part
-// of a run and never needs listing.
+// "parallel", "gomodel", or "all") to specs. The reference interpreter is
+// always part of a run and never needs listing.
 func Matrix(names string) ([]Spec, error) {
 	var specs []Spec
 	for _, name := range strings.Split(names, ",") {
@@ -147,14 +184,17 @@ func Matrix(names string) ([]Spec, error) {
 			specs = append(specs, CuttlesimSpecs()...)
 		case "rtlsim":
 			specs = append(specs, RTLSpecs()...)
+		case "parallel":
+			specs = append(specs, ParallelSpecs()...)
 		case "gomodel":
 			specs = append(specs, GomodelSpec())
 		case "all":
 			specs = append(specs, CuttlesimSpecs()...)
 			specs = append(specs, RTLSpecs()...)
+			specs = append(specs, ParallelSpecs()...)
 			specs = append(specs, GomodelSpec())
 		default:
-			return nil, fmt.Errorf("unknown engine %q (want interp, cuttlesim, rtlsim, gomodel, or all)", name)
+			return nil, fmt.Errorf("unknown engine %q (want interp, cuttlesim, rtlsim, parallel, gomodel, or all)", name)
 		}
 	}
 	return specs, nil
@@ -163,5 +203,6 @@ func Matrix(names string) ([]Spec, error) {
 // InProcess is the default matrix for tests: everything that runs without
 // shelling out to the Go toolchain.
 func InProcess() []Spec {
-	return append(CuttlesimSpecs(), RTLSpecs()...)
+	specs := append(CuttlesimSpecs(), RTLSpecs()...)
+	return append(specs, ParallelSpecs()...)
 }

@@ -80,6 +80,35 @@ const maxBlock = 4096
 
 // compileFused decodes the plan and partitions it into block closures.
 func (s *Simulator) compileFused() []func() {
+	ops, exts := s.decodePlan()
+
+	// Partition into superop blocks: external calls end a block, and
+	// blocks never exceed maxBlock ops.
+	var blocks []func()
+	vals := s.vals
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			blk := ops[start:end:end]
+			extv := exts
+			blocks = append(blocks, func() { runFused(vals, blk, extv) })
+			start = end
+		}
+	}
+	for k := range ops {
+		if ops[k].code == fExt || k-start >= maxBlock {
+			flush(k + 1)
+		}
+	}
+	flush(len(ops))
+	return blocks
+}
+
+// decodePlan pre-decodes the whole levelized plan into the flat fused-op
+// stream plus the external-call side table. It is shared by the fused
+// backend (which slices the stream into superop blocks) and the parallel
+// backend (which re-buckets the same ops into per-level shards).
+func (s *Simulator) decodePlan() ([]fusedOp, []fusedExt) {
 	nets := s.ckt.Nets
 
 	// Use counts decide which producer nets can be fused away: a net
@@ -145,27 +174,7 @@ func (s *Simulator) compileFused() []func() {
 			ops = append(ops, s.decodeNet(ni, consumed))
 		}
 	}
-
-	// Partition into superop blocks: external calls end a block, and
-	// blocks never exceed maxBlock ops.
-	var blocks []func()
-	vals := s.vals
-	start := 0
-	flush := func(end int) {
-		if end > start {
-			blk := ops[start:end:end]
-			extv := exts
-			blocks = append(blocks, func() { runFused(vals, blk, extv) })
-			start = end
-		}
-	}
-	for k := range ops {
-		if ops[k].code == fExt || k-start >= maxBlock {
-			flush(k + 1)
-		}
-	}
-	flush(len(ops))
-	return blocks
+	return ops, exts
 }
 
 // decodeNet translates one non-ext planned net to a fused op.

@@ -1,0 +1,248 @@
+// The parallel backend: bulk-synchronous evaluation of the levelized plan
+// on a persistent worker pool. The netlist is levelized once (level of a
+// net = 1 + max level of its arguments; registers and constants sit at
+// level 0), every net of a level is independent of every other net of the
+// same level, so a level can be evaluated in any order — or concurrently.
+// Levels wide enough to amortize the barrier are split into balanced
+// shards of pre-decoded fused ops (the same superop stream as the fused
+// backend, re-bucketed by level) and dispatched to the pool with one
+// barrier per parallel step; narrow levels are batched into sequential
+// segments run by the coordinating goroutine so tiny levels never pay for
+// synchronization.
+//
+// External calls may be stateful (memories, testbench I/O), so their
+// schedule-order is part of the observable behavior: every ext net is
+// forced onto its own strictly increasing level, keeping the plan-order
+// sequence of calls, and ext ops are only ever placed in sequential
+// segments executed by the coordinator.
+package rtlsim
+
+import (
+	"runtime"
+	"sync"
+
+	"cuttlego/internal/circuit"
+)
+
+// DefaultMinGrain is the minimum number of fused ops a shard must carry
+// before a level is considered worth parallelizing: a level is sharded only
+// when it holds at least 2*MinGrain ops (two full shards), and never into
+// shards smaller than MinGrain. The default is tuned so that the per-level
+// channel send + WaitGroup barrier (~1-2µs round trip) is small against the
+// shard's work.
+const DefaultMinGrain = 64
+
+// parStep is one bulk-synchronous step of the parallel plan: a sequential
+// prefix run by the coordinator (narrow levels, external calls), then an
+// optional sharded level run across the pool with a barrier at the end.
+type parStep struct {
+	seq    []fusedOp
+	shards [][]fusedOp // nil: sequential-only step
+}
+
+// parRunner holds the parallel plan and the worker pool. Workers capture
+// the runner, not the Simulator, so an abandoned Simulator stays
+// collectible and its finalizer can stop the pool.
+type parRunner struct {
+	steps []parStep
+	exts  []fusedExt
+	vals  []uint64
+	chans []chan int // one per worker; carries step indices
+	wg    sync.WaitGroup
+	stop  sync.Once
+}
+
+// compileParallel levelizes the decoded plan and builds the step sequence.
+func (s *Simulator) compileParallel(workers, minGrain int) *parRunner {
+	if minGrain <= 0 {
+		minGrain = DefaultMinGrain
+	}
+	if max := runtime.GOMAXPROCS(0) * 8; workers > max && workers > 8 {
+		// A pool vastly larger than the machine only adds barrier traffic;
+		// keep enough slack to measure oversubscription, not thrash.
+		workers = max
+	}
+	ops, exts := s.decodePlan()
+
+	// Levelize the original net graph. Fused consumers (MUXEQ, ANDNOT)
+	// keep the level computed from their pre-fusion arguments, which is
+	// deeper than or equal to the fused form's true depth — sound, at
+	// worst one extra level. External calls are forced onto strictly
+	// increasing levels so plan order of stateful calls is preserved.
+	nets := s.ckt.Nets
+	netLevel := make([]int, len(nets))
+	lastExt := 0
+	for i := range nets {
+		n := &nets[i]
+		switch n.Kind {
+		case circuit.NConst, circuit.NRegOut:
+			netLevel[i] = 0
+		default:
+			lv := 0
+			for _, a := range n.Args {
+				if netLevel[a] >= lv {
+					lv = netLevel[a] + 1
+				}
+			}
+			if lv == 0 {
+				lv = 1
+			}
+			if n.Kind == circuit.NExt {
+				if lv <= lastExt {
+					lv = lastExt + 1
+				}
+				lastExt = lv
+			}
+			netLevel[i] = lv
+		}
+	}
+
+	opNet := func(op *fusedOp) int {
+		if op.code == fExt {
+			return int(exts[op.a].dst)
+		}
+		return int(op.dst)
+	}
+	maxLevel := 0
+	for k := range ops {
+		if lv := netLevel[opNet(&ops[k])]; lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	byLevel := make([][]fusedOp, maxLevel+1)
+	for k := range ops {
+		lv := netLevel[opNet(&ops[k])]
+		byLevel[lv] = append(byLevel[lv], ops[k])
+	}
+
+	p := &parRunner{exts: exts, vals: s.vals}
+	var seq []fusedOp
+	for lv := 1; lv <= maxLevel; lv++ {
+		var pure []fusedOp
+		for _, op := range byLevel[lv] {
+			if op.code == fExt {
+				seq = append(seq, op) // coordinator-only; order preserved
+			} else {
+				pure = append(pure, op)
+			}
+		}
+		nsh := len(pure) / minGrain
+		if nsh > workers {
+			nsh = workers
+		}
+		if nsh < 2 {
+			seq = append(seq, pure...)
+			continue
+		}
+		shards := make([][]fusedOp, nsh)
+		per, rem := len(pure)/nsh, len(pure)%nsh
+		start := 0
+		for i := 0; i < nsh; i++ {
+			end := start + per
+			if i < rem {
+				end++
+			}
+			shards[i] = pure[start:end:end]
+			start = end
+		}
+		p.steps = append(p.steps, parStep{seq: seq, shards: shards})
+		seq = nil
+	}
+	if len(seq) > 0 {
+		p.steps = append(p.steps, parStep{seq: seq})
+	}
+
+	// Spin up the pool only if some step actually fans out; the pool size
+	// is the widest step minus the coordinator's own shard.
+	maxShards := 0
+	for i := range p.steps {
+		if n := len(p.steps[i].shards); n > maxShards {
+			maxShards = n
+		}
+	}
+	if maxShards > 1 {
+		p.chans = make([]chan int, maxShards-1)
+		for w := range p.chans {
+			ch := make(chan int, 1)
+			p.chans[w] = ch
+			go p.worker(w+1, ch)
+		}
+	}
+	return p
+}
+
+// worker evaluates shard k of every step index received until its channel
+// closes. The channel receive and the WaitGroup form the happens-before
+// edges of the barrier: all lower-level writes are visible on receive, and
+// this shard's writes are visible to the coordinator after wg.Wait.
+func (p *parRunner) worker(k int, ch <-chan int) {
+	for si := range ch {
+		st := &p.steps[si]
+		if k < len(st.shards) {
+			runFused(p.vals, st.shards[k], p.exts)
+		}
+		p.wg.Done()
+	}
+}
+
+// run evaluates one full cycle of the plan.
+func (p *parRunner) run() {
+	for si := range p.steps {
+		st := &p.steps[si]
+		if len(st.seq) > 0 {
+			runFused(p.vals, st.seq, p.exts)
+		}
+		n := len(st.shards)
+		if n == 0 {
+			continue
+		}
+		p.wg.Add(n - 1)
+		for w := 0; w < n-1; w++ {
+			p.chans[w] <- si
+		}
+		runFused(p.vals, st.shards[0], p.exts)
+		p.wg.Wait()
+	}
+}
+
+// shutdown stops the pool. Idempotent.
+func (p *parRunner) shutdown() {
+	p.stop.Do(func() {
+		for _, ch := range p.chans {
+			close(ch)
+		}
+	})
+}
+
+// Close stops the simulator's worker pool, if any. It is safe to call on
+// any simulator (parallel or not) and more than once; a parallel simulator
+// that is never closed is reclaimed by a finalizer, but tests and
+// benchmarks that build engines in bulk should close them promptly.
+func (s *Simulator) Close() error {
+	if s.par != nil {
+		s.par.shutdown()
+	}
+	return nil
+}
+
+// Workers reports the configured pool width (0 or 1 means sequential).
+func (s *Simulator) Workers() int {
+	if s.par == nil {
+		return 1
+	}
+	return s.opts.Workers
+}
+
+// ParallelSteps reports the number of bulk-synchronous steps and how many
+// of them fan out to the pool — observability for tests and kbench.
+func (s *Simulator) ParallelSteps() (steps, sharded int) {
+	if s.par == nil {
+		return 0, 0
+	}
+	for i := range s.par.steps {
+		if len(s.par.steps[i].shards) > 0 {
+			sharded++
+		}
+	}
+	return len(s.par.steps), sharded
+}

@@ -1,0 +1,151 @@
+package rtlsim_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/circuit"
+	"cuttlego/internal/netopt"
+	"cuttlego/internal/rtlsim"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/testkit"
+)
+
+// parallelEngines pairs the sequential fused backend with the parallel
+// backend at every pool width, MinGrain 1 so even tiny designs fan out.
+func parallelEngines(t testing.TB, build func() *ast.Design, opt bool) map[string]sim.Engine {
+	t.Helper()
+	out := make(map[string]sim.Engine)
+	mk := func(o rtlsim.Options) *rtlsim.Simulator {
+		ckt, err := circuit.Compile(build().MustCheck(), circuit.StyleKoika)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt {
+			ckt = netopt.MustOptimize(ckt)
+		}
+		s, err := rtlsim.New(ckt, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	out["seq"] = mk(rtlsim.Options{Backend: rtlsim.Fused})
+	for _, w := range []int{1, 2, 4, 8} {
+		out[fmt.Sprintf("par/w%d", w)] = mk(rtlsim.Options{Workers: w, MinGrain: 1})
+	}
+	return out
+}
+
+// The parallel backend must be cycle-for-cycle identical to the sequential
+// backends on every zoo design, at every pool width. Run with -race this
+// also proves the sharding is data-race free.
+func TestParallelZooLockstep(t *testing.T) {
+	for _, entry := range testkit.Zoo() {
+		for _, opt := range []bool{false, true} {
+			tag := "raw"
+			if opt {
+				tag = "opt"
+			}
+			t.Run(entry.Name+"/"+tag, func(t *testing.T) {
+				testkit.Compare(t, parallelEngines(t, entry.Build, opt), 64, nil)
+			})
+		}
+	}
+}
+
+func TestParallelRandomLockstep(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			build := func() *ast.Design { return testkit.Random(seed) }
+			testkit.Compare(t, parallelEngines(t, build, true), 32, nil)
+		})
+	}
+}
+
+// A parallel simulator over a design wide enough to shard must actually
+// fan out, and a design must produce the same state whether the pool is
+// narrow or wide.
+func TestParallelStepsFanOut(t *testing.T) {
+	entry := testkit.Zoo()[1]
+	ckt, err := circuit.Compile(entry.Build().MustCheck(), circuit.StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rtlsim.New(ckt, rtlsim.Options{Workers: 4, MinGrain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	steps, sharded := s.ParallelSteps()
+	if steps == 0 {
+		t.Fatal("parallel plan has no steps")
+	}
+	if sharded == 0 {
+		t.Fatalf("MinGrain 1 with 4 workers should shard some level (steps=%d)", steps)
+	}
+	if got := s.Workers(); got != 4 {
+		t.Fatalf("Workers() = %d, want 4", got)
+	}
+}
+
+// Workers <= 1 must stay purely sequential: no pool, Close is a no-op.
+func TestParallelDegenerateWidths(t *testing.T) {
+	entry := testkit.Zoo()[0]
+	ckt, err := circuit.Compile(entry.Build().MustCheck(), circuit.StyleKoika)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rtlsim.New(ckt, rtlsim.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps, _ := s.ParallelSteps(); steps != 0 {
+		t.Fatalf("Workers=1 built a parallel plan (%d steps)", steps)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}
+
+// Closing a parallel simulator must release its worker goroutines; double
+// Close must be safe; Cycle before Close must still work after another
+// engine was closed (pools are independent).
+func TestParallelCloseReleasesGoroutines(t *testing.T) {
+	entry := testkit.Zoo()[1]
+	build := func() *rtlsim.Simulator {
+		ckt, err := circuit.Compile(entry.Build().MustCheck(), circuit.StyleKoika)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := rtlsim.New(ckt, rtlsim.Options{Workers: 8, MinGrain: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	before := runtime.NumGoroutine()
+	sims := make([]*rtlsim.Simulator, 16)
+	for i := range sims {
+		sims[i] = build()
+		sims[i].Cycle()
+	}
+	for _, s := range sims {
+		s.Close()
+		s.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked: %d before, %d after Close", before, got)
+	}
+}

@@ -19,33 +19,48 @@ type EngineConfig struct {
 	Level    string `json:"level,omitempty"`
 	Backend  string `json:"backend,omitempty"`
 	Optimize bool   `json:"optimize,omitempty"`
+	// Workers > 1 selects the parallel engine at that pool width: conflict-
+	// free rule groups for cuttlesim, BSP-sharded levels for rtlsim.
+	Workers int `json:"workers,omitempty"`
 }
 
 func (c EngineConfig) String() string {
+	w := ""
+	if c.Workers > 1 {
+		w = fmt.Sprintf(",w%d", c.Workers)
+	}
 	switch c.Engine {
 	case "interp":
 		return "interp"
 	case "rtlsim":
 		if c.Optimize {
-			return fmt.Sprintf("rtlsim(%s,opt)", c.Backend)
+			return fmt.Sprintf("rtlsim(%s,opt%s)", c.Backend, w)
 		}
-		return fmt.Sprintf("rtlsim(%s)", c.Backend)
+		return fmt.Sprintf("rtlsim(%s%s)", c.Backend, w)
 	default:
-		return fmt.Sprintf("cuttlesim(%s,%s)", c.Level, c.Backend)
+		return fmt.Sprintf("cuttlesim(%s,%s%s)", c.Level, c.Backend, w)
 	}
 }
 
 // normalize fills defaults and rejects unknown names, so every stored
 // config is replayable.
 func (c EngineConfig) normalize() (EngineConfig, error) {
+	if c.Workers < 0 {
+		return c, fmt.Errorf("workers must be >= 0, got %d", c.Workers)
+	}
 	switch c.Engine {
 	case "", "cuttlesim":
 		c.Engine = "cuttlesim"
 		if c.Level == "" {
 			c.Level = cuttlesim.LStatic.String()
 		}
-		if _, err := cuttlesimLevel(c.Level); err != nil {
+		level, err := cuttlesimLevel(c.Level)
+		if err != nil {
 			return c, err
+		}
+		if c.Workers > 1 && level < cuttlesim.LStatic {
+			return c, fmt.Errorf("cuttlesim workers > 1 requires level %q or above, got %q",
+				cuttlesim.LStatic, c.Level)
 		}
 		switch c.Backend {
 		case "":
@@ -58,6 +73,9 @@ func (c EngineConfig) normalize() (EngineConfig, error) {
 		if c.Level != "" || c.Backend != "" {
 			return c, fmt.Errorf("interp has no levels or backends")
 		}
+		if c.Workers > 1 {
+			return c, fmt.Errorf("interp has no parallel engine")
+		}
 	case "rtlsim":
 		if c.Level != "" {
 			return c, fmt.Errorf("rtlsim has no optimization levels")
@@ -68,6 +86,9 @@ func (c EngineConfig) normalize() (EngineConfig, error) {
 		case "switch", "closure", "fused":
 		default:
 			return c, fmt.Errorf("unknown rtlsim backend %q (want switch, closure, or fused)", c.Backend)
+		}
+		if c.Workers > 1 && c.Backend != "fused" {
+			return c, fmt.Errorf("rtlsim workers > 1 requires the fused backend (BSP shards reuse its decoded form), got %q", c.Backend)
 		}
 	default:
 		return c, fmt.Errorf("unknown engine %q (want cuttlesim, interp, or rtlsim)", c.Engine)
@@ -109,7 +130,7 @@ func (c EngineConfig) build(inst bench.Instance) (sim.Engine, error) {
 		default:
 			backend = rtlsim.Fused
 		}
-		return rtlsim.New(ckt, rtlsim.Options{Backend: backend})
+		return rtlsim.New(ckt, rtlsim.Options{Backend: backend, Workers: c.Workers})
 	default:
 		level, err := cuttlesimLevel(c.Level)
 		if err != nil {
@@ -119,6 +140,6 @@ func (c EngineConfig) build(inst bench.Instance) (sim.Engine, error) {
 		if c.Backend == "bytecode" {
 			backend = cuttlesim.Bytecode
 		}
-		return cuttlesim.New(inst.Design, cuttlesim.Options{Level: level, Backend: backend, Profile: true})
+		return cuttlesim.New(inst.Design, cuttlesim.Options{Level: level, Backend: backend, Profile: true, Workers: c.Workers})
 	}
 }

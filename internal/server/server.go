@@ -147,12 +147,14 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	var firstErr error
 	for _, sess := range live {
-		if s.store == nil || !sess.durable() {
-			continue
+		if s.store != nil && sess.durable() {
+			if _, err := s.checkpoint(sess); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("checkpoint %s: %w", sess.id, err)
+			}
 		}
-		if _, err := s.checkpoint(sess); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("checkpoint %s: %w", sess.id, err)
-		}
+		sess.mu.Lock()
+		sess.closeEngine()
+		sess.mu.Unlock()
 	}
 	return firstErr
 }
@@ -260,6 +262,7 @@ func (s *Server) admit(sess *session) (*session, error) {
 			return nil, fmt.Errorf("evicting %s: %w", victim.id, err)
 		}
 		delete(s.sessions, victim.id)
+		victim.closeEngine()
 		victim.mu.Unlock()
 		s.evictions.Add(1)
 	}
@@ -602,9 +605,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
+	if ok {
+		sess.mu.Lock()
+		sess.closeEngine()
+		sess.mu.Unlock()
+	}
 	if !ok {
 		stored := false
 		if s.store != nil && validID(id) {

@@ -308,6 +308,8 @@ func TestConcurrentSessions(t *testing.T) {
 		{Catalog: "fft"},
 		{Catalog: "fft", Engine: "interp"},
 		{Catalog: "idle"},
+		{Catalog: "fft", Workers: 4},
+		{Catalog: "fft", Engine: "rtlsim", Optimize: true, Workers: 4},
 	}
 	const total = 240
 	want := map[string]string{}
@@ -361,6 +363,52 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 	if len(sessions) != len(configs) {
 		t.Fatalf("listed %d sessions, want %d", len(sessions), len(configs))
+	}
+}
+
+// TestParallelEngineConfig drives the workers knob over the wire: valid
+// widths build pooled engines whose digests match the sequential
+// reference, and option combinations the parallel engines cannot honor
+// are rejected at create time.
+func TestParallelEngineConfig(t *testing.T) {
+	_, c := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+	want := referenceDigest(t, "fft", 100)
+	for _, req := range []server.CreateRequest{
+		{Catalog: "fft", Workers: 2},
+		{Catalog: "fft", Backend: "bytecode", Workers: 4},
+		{Catalog: "fft", Engine: "rtlsim", Workers: 4},
+	} {
+		info, err := c.Create(ctx, req)
+		if err != nil {
+			t.Fatalf("create %+v: %v", req, err)
+		}
+		if !strings.Contains(info.Engine, fmt.Sprintf("w%d", req.Workers)) {
+			t.Errorf("engine string %q does not record the pool width", info.Engine)
+		}
+		if _, err := c.Step(ctx, info.ID, 100); err != nil {
+			t.Fatalf("step %+v: %v", req, err)
+		}
+		got, err := c.Info(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest != want {
+			t.Errorf("%+v: digest %s, want %s", req, got.Digest, want)
+		}
+		if err := c.Delete(ctx, info.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, req := range []server.CreateRequest{
+		{Catalog: "fft", Engine: "interp", Workers: 2},
+		{Catalog: "fft", Level: "naive", Workers: 2},
+		{Catalog: "fft", Engine: "rtlsim", Backend: "switch", Workers: 2},
+		{Catalog: "fft", Workers: -1},
+	} {
+		if _, err := c.Create(ctx, req); err == nil {
+			t.Errorf("create accepted %+v", req)
+		}
 	}
 }
 

@@ -89,6 +89,7 @@ func newSession(id string, req CreateRequest) (_ *session, err error) {
 	}
 	cfg, err := EngineConfig{
 		Engine: req.Engine, Level: req.Level, Backend: req.Backend, Optimize: req.Optimize,
+		Workers: req.Workers,
 	}.normalize()
 	if err != nil {
 		return nil, err
@@ -104,6 +105,15 @@ func newSession(id string, req CreateRequest) (_ *session, err error) {
 	s := &session{id: id, cfg: cfg, src: req.Source, catalog: req.Catalog, eng: eng, tb: inst.Bench}
 	s.recordSnapshot()
 	return s, nil
+}
+
+// closeEngine releases the engine's worker pool, if it has one (parallel
+// engines hold goroutines). Callers must hold the session mutex so a pool
+// is never torn down under an in-flight step; the call is idempotent.
+func (s *session) closeEngine() {
+	if c, ok := s.eng.(interface{ Close() error }); ok {
+		_ = c.Close()
+	}
 }
 
 // durable reports whether snapshots fully determine the session.

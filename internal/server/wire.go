@@ -60,6 +60,9 @@ type CreateRequest struct {
 	Backend string `json:"backend,omitempty"`
 	// Optimize runs the netlist optimizer before building rtlsim engines.
 	Optimize bool `json:"optimize,omitempty"`
+	// Workers > 1 selects the parallel engine at that pool width
+	// (cuttlesim at level static or above, or rtlsim's fused backend).
+	Workers int `json:"workers,omitempty"`
 }
 
 // SessionInfo describes one live session.

@@ -26,8 +26,14 @@ go test ./...
 echo "== race: parallel bench runner"
 go test -race -run 'Parallel|Ctx|Fuzz' ./internal/bench ./internal/sim
 
+echo "== race: parallel lockstep (intra-design engines, workers 1/2/4/8)"
+# Both parallel tiers — BSP-sharded rtlsim levels and conflict-free
+# Cuttlesim rule groups — sweep every zoo design at every pool width under
+# the race detector; digests must match the sequential engines exactly.
+go test -race -run 'Parallel' ./internal/rtlsim ./internal/cuttlesim
+
 echo "== race: ksimd concurrent sessions"
-go test -race -run 'TestConcurrentSessions|TestSessionDurability|TestEviction' ./internal/server
+go test -race -run 'TestConcurrentSessions|TestSessionDurability|TestEviction|TestParallelEngineConfig' ./internal/server
 
 echo "== fuzz smoke (5s per target)"
 go test ./internal/lang -run='^$' -fuzz='^FuzzLexer$' -fuzztime=5s
@@ -36,6 +42,7 @@ go test ./internal/lang -run='^$' -fuzz='^FuzzElaborate$' -fuzztime=5s
 go test ./internal/bench -run='^$' -fuzz='^FuzzLockstep$' -fuzztime=5s
 go test ./internal/bench -run='^$' -fuzz='^FuzzStallLockstep$' -fuzztime=5s
 go test ./internal/difftest -run='^$' -fuzz='^FuzzDifftest$' -fuzztime=5s
+go test -race ./internal/difftest -run='^$' -fuzz='^FuzzParallelLockstep$' -fuzztime=5s
 go test ./internal/sim -run='^$' -fuzz='^FuzzSnapshotUnmarshal$' -fuzztime=5s
 go test ./internal/server -run='^$' -fuzz='^FuzzServerRequest$' -fuzztime=5s
 
@@ -60,7 +67,12 @@ echo "== quick-bench smoke (kbench -json, digest gate)"
 # Two designs through the whole engine grid (static and activity levels
 # included); -digest-check fails the run if any two engines disagree on the
 # final register state.
-go run ./cmd/kbench -json "$(mktemp)" -designs collatz,idle -digest-check -cycles 2000 -parallel 0
+go run ./cmd/kbench -json "$(mktemp)" -designs collatz,idle -digest-check -cycles 2000 -parallel 0 -workers 4
+
+echo "== scaling smoke (kbench -scaling, digest parity across pool widths)"
+# The scaling sweep enforces digest parity unconditionally: every engine at
+# every width must land on the same final state per design.
+go run ./cmd/kbench -scaling -json "$(mktemp)" -designs collatz,pstress -cycles 2000
 
 echo "== ksimd durability smoke (create, step, checkpoint, restart, restore)"
 # Builds the daemon, drives it over HTTP on an ephemeral port, kills it
