@@ -1,0 +1,264 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/server"
+	"cuttlego/internal/sim"
+)
+
+// Chaos mode drives a ksimd daemon the way a crash test drives a car: a
+// seeded workload steps several durable sessions in random batches and
+// checkpoints them frequently, journaling every acknowledged checkpoint to
+// a local ledger (written atomically, so the ledger itself survives the
+// load process being killed). The daemon is expected to die mid-run —
+// scripts/ksimd-crash.sh SIGKILLs it — so losing the connection is a clean
+// exit, not a failure. After the daemon restarts, -chaos-verify replays the
+// ledger: every acknowledged checkpoint must be restorable with exactly the
+// digest the daemon acknowledged, that digest must match an in-process
+// replay of the same design to the same cycle, and the resurrected session
+// must keep simulating in lockstep with the in-process reference. An
+// acknowledged-then-lost checkpoint is the bug this exists to catch.
+
+const chaosLedgerSchema = "cuttlego-chaos-ledger/v1"
+
+// chaosEntry is one session's last acknowledged durable checkpoint.
+type chaosEntry struct {
+	Design     string `json:"design"`
+	Checkpoint string `json:"checkpoint"`
+	Cycle      uint64 `json:"cycle"`
+	Digest     string `json:"digest"`
+}
+
+type chaosLedger struct {
+	Schema   string                `json:"schema"`
+	Sessions map[string]chaosEntry `json:"sessions"`
+}
+
+// chaosDesigns is the self-driving rotation; every entry must be durable so
+// checkpoints fully capture it.
+var chaosDesigns = []string{"collatz", "fir", "idle"}
+
+// daemonDied reports whether err means the daemon is gone (transport-level
+// failure) rather than answering with an API error.
+func daemonDied(err error) bool {
+	var apiErr *kclient.APIError
+	return err != nil && !errors.As(err, &apiErr)
+}
+
+func writeLedger(path string, led chaosLedger) error {
+	data, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readLedger(path string) (chaosLedger, error) {
+	var led chaosLedger
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return led, err
+	}
+	if err := json.Unmarshal(data, &led); err != nil {
+		return led, fmt.Errorf("%s: %w", path, err)
+	}
+	if led.Schema != chaosLedgerSchema {
+		return led, fmt.Errorf("%s: schema %q, want %q", path, led.Schema, chaosLedgerSchema)
+	}
+	return led, nil
+}
+
+func chaosClient(url string, seed int64) *kclient.Client {
+	return kclient.NewWithOptions(url, kclient.Options{
+		Retry: kclient.RetryPolicy{
+			MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second, Seed: seed,
+		},
+		RequestTimeout: 15 * time.Second,
+	})
+}
+
+// runChaos is the load half: step/checkpoint random sessions until the
+// duration budget expires or the daemon dies. Both are success — the ledger
+// on disk is the output.
+func runChaos(out io.Writer, url string, sessions int, seed int64, dur time.Duration, ledgerPath string) error {
+	rng := mrand.New(mrand.NewSource(seed))
+	c := chaosClient(url, seed)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("no ksimd at %s: %w", url, err)
+	}
+	led := chaosLedger{Schema: chaosLedgerSchema, Sessions: map[string]chaosEntry{}}
+	flush := func() error { return writeLedger(ledgerPath, led) }
+	gone := func(what string, err error) error {
+		// The daemon died under us — the expected crash. Flush and succeed.
+		_ = flush()
+		fmt.Fprintf(out, "kbench -chaos: daemon gone during %s (%v); ledger %s holds %d sessions\n",
+			what, err, ledgerPath, len(led.Sessions))
+		return nil
+	}
+	if sessions < 1 {
+		sessions = 1
+	}
+	type live struct{ id, design string }
+	var pool []live
+	for i := 0; i < sessions; i++ {
+		design := chaosDesigns[i%len(chaosDesigns)]
+		info, err := c.Create(ctx, server.CreateRequest{Catalog: design})
+		if err != nil {
+			if daemonDied(err) {
+				return gone("create", err)
+			}
+			return fmt.Errorf("create %s: %w", design, err)
+		}
+		pool = append(pool, live{info.ID, design})
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	steps, checkpoints := 0, 0
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		sess := pool[rng.Intn(len(pool))]
+		batch := uint64(1 + rng.Intn(500))
+		if _, err := c.Step(ctx, sess.id, batch); err != nil {
+			if daemonDied(err) {
+				return gone("step", err)
+			}
+			continue // overload or a damaged session: the load goes on
+		}
+		steps++
+		if steps%3 != 0 {
+			continue
+		}
+		ck, err := c.Checkpoint(ctx, sess.id)
+		if err != nil {
+			if daemonDied(err) {
+				return gone("checkpoint", err)
+			}
+			continue
+		}
+		// The daemon acknowledged the checkpoint, so it is fsynced durable:
+		// from here on a crash must never lose it.
+		led.Sessions[sess.id] = chaosEntry{
+			Design: sess.design, Checkpoint: ck.Checkpoint, Cycle: ck.Cycle, Digest: ck.Digest,
+		}
+		checkpoints++
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "kbench -chaos: budget spent with the daemon still alive; %d steps, %d checkpoints, ledger %s holds %d sessions\n",
+		steps, checkpoints, ledgerPath, len(led.Sessions))
+	return nil
+}
+
+// replayDigest runs a catalogue design in-process to cycle n and returns
+// the state digest — the ground truth a resurrected session must match.
+func replayDigest(name string, n uint64) (string, error) {
+	bm, ok := bench.Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("unknown catalogue design %q", name)
+	}
+	inst := bm.New()
+	eng, err := cuttlesim.New(inst.Design, cuttlesim.Options{Level: cuttlesim.LStatic, Backend: cuttlesim.Closure})
+	if err != nil {
+		return "", err
+	}
+	if ran := sim.Run(eng, inst.Bench, n); ran != n {
+		return "", fmt.Errorf("in-process replay stopped at %d of %d cycles", ran, n)
+	}
+	return fmt.Sprintf("%016x", sim.StateDigest(eng)), nil
+}
+
+// runChaosVerify is the judgement half, run against the restarted daemon:
+// every ledgered checkpoint must resurrect with its acknowledged digest and
+// keep simulating deterministically.
+func runChaosVerify(out io.Writer, url string, ledgerPath string) error {
+	led, err := readLedger(ledgerPath)
+	if err != nil {
+		return err
+	}
+	if len(led.Sessions) == 0 {
+		fmt.Fprintf(out, "kbench -chaos-verify: ledger %s is empty (the daemon died before any checkpoint); nothing to verify\n", ledgerPath)
+		return nil
+	}
+	c := chaosClient(url, 1)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("no ksimd at %s: %w", url, err)
+	}
+	ids := make([]string, 0, len(led.Sessions))
+	for id := range led.Sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	const extra = 63 // detoured forward run: the resumed state must also evolve correctly
+	for _, id := range ids {
+		e := led.Sessions[id]
+		info, err := c.Resurrect(ctx, id, "")
+		if err != nil {
+			return fmt.Errorf("session %s: acknowledged checkpoint %s lost across the crash: %w", id, e.Checkpoint, err)
+		}
+		if info.Cycle < e.Cycle {
+			return fmt.Errorf("session %s resumed at cycle %d, behind acknowledged checkpoint %s (cycle %d)",
+				id, info.Cycle, e.Checkpoint, e.Cycle)
+		}
+		// Rewind to the exact acknowledged checkpoint: its digest must be
+		// byte-for-byte what the daemon promised before the kill.
+		rinfo, err := c.Restore(ctx, id, e.Checkpoint)
+		if err != nil {
+			return fmt.Errorf("session %s: restore to acknowledged %s: %w", id, e.Checkpoint, err)
+		}
+		if rinfo.Digest != e.Digest {
+			return fmt.Errorf("session %s at %s: digest %s, acknowledged %s", id, e.Checkpoint, rinfo.Digest, e.Digest)
+		}
+		want, err := replayDigest(e.Design, e.Cycle)
+		if err != nil {
+			return fmt.Errorf("session %s: %w", id, err)
+		}
+		if rinfo.Digest != want {
+			return fmt.Errorf("session %s at %s: digest %s diverges from in-process replay %s", id, e.Checkpoint, rinfo.Digest, want)
+		}
+		// The restored state must keep evolving in lockstep with the
+		// reference, not just look right at rest.
+		step, err := c.Step(ctx, id, extra)
+		if err != nil {
+			return fmt.Errorf("session %s: step after restore: %w", id, err)
+		}
+		wantAhead, err := replayDigest(e.Design, e.Cycle+extra)
+		if err != nil {
+			return fmt.Errorf("session %s: %w", id, err)
+		}
+		after, err := c.Info(ctx, id)
+		if err != nil {
+			return fmt.Errorf("session %s: info: %w", id, err)
+		}
+		if step.Cycle != e.Cycle+extra || after.Digest != wantAhead {
+			return fmt.Errorf("session %s diverged after resume: cycle %d digest %s, want cycle %d digest %s",
+				id, step.Cycle, after.Digest, e.Cycle+extra, wantAhead)
+		}
+		fmt.Fprintf(out, "kbench -chaos-verify: %s (%s) resumed at %s, digest match, +%d cycles in lockstep\n",
+			id, e.Design, e.Checkpoint, extra)
+	}
+	fmt.Fprintf(out, "kbench -chaos-verify: %d sessions survived the crash with no acknowledged state lost\n", len(ids))
+	return nil
+}

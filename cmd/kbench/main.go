@@ -9,6 +9,8 @@
 //	       [-designs a,b] [-digest-check] [-cpuprofile PATH] [-memprofile PATH]
 //	       [-workers N] [-scaling]
 //	       [-serve-url URL] [-serve-batch N]
+//	       [-chaos URL | -chaos-verify URL] [-chaos-ledger PATH]
+//	       [-chaos-for D] [-chaos-sessions N] [-chaos-seed N]
 //
 // With no selection flags, -all is assumed. -full uses paper-scale budgets
 // (minutes); the default budgets finish in seconds.
@@ -42,6 +44,17 @@
 // cycle chunks, reporting the RPC-path overhead; -json writes the
 // comparison and -digest-check fails on any local/remote state divergence.
 //
+// -chaos URL drives a ksimd daemon with a seeded crash-test workload —
+// random step batches over several durable sessions, frequent checkpoints —
+// and journals every acknowledged checkpoint to -chaos-ledger. The daemon
+// dying mid-run is the expected outcome (scripts/ksimd-crash.sh SIGKILLs
+// it) and exits 0 with the ledger flushed; -chaos-for bounds the run when
+// nobody kills the daemon. After a restart, -chaos-verify URL replays the
+// ledger against the revived daemon: every acknowledged checkpoint must
+// resurrect with exactly the digest the daemon promised, match an
+// in-process replay of the same design to the same cycle, and keep
+// simulating in lockstep. Any acknowledged-then-lost state fails the run.
+//
 // -cpuprofile and -memprofile write runtime/pprof profiles covering the
 // selected jobs (the heap profile is snapshotted at exit), so the
 // simulator's own hot spots can be inspected with go tool pprof.
@@ -57,6 +70,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"cuttlego/internal/bench"
 	"cuttlego/internal/cli"
@@ -83,6 +97,12 @@ func main() {
 		digest   = fs.Bool("digest-check", false, "fail -json when engines disagree on a design's final state")
 		serveURL = fs.String("serve-url", "", "benchmark a running ksimd daemon at this URL against the in-process baseline")
 		serveB   = fs.Uint64("serve-batch", 10_000, "cycles per step RPC in -serve-url mode")
+		chaosURL = fs.String("chaos", "", "run the crash-test workload against the ksimd daemon at this URL")
+		chaosVfy = fs.String("chaos-verify", "", "verify a restarted ksimd daemon at this URL against the chaos ledger")
+		chaosLed = fs.String("chaos-ledger", "chaos-ledger.json", "checkpoint ledger path for -chaos / -chaos-verify")
+		chaosFor = fs.Duration("chaos-for", 20*time.Second, "bound the -chaos run when the daemon survives")
+		chaosN   = fs.Int("chaos-sessions", 4, "concurrent sessions driven by -chaos")
+		chaosSd  = fs.Int64("chaos-seed", 1, "seed for the -chaos workload schedule")
 		workers  = fs.Int("workers", 0, "add the parallel engines at this pool width to the -json grid")
 		scaling  = fs.Bool("scaling", false, "run the intra-design scaling sweep (text to stdout; -json writes the scaling document)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected jobs to this file")
@@ -177,9 +197,23 @@ func main() {
 		}},
 		{*verify, func() error { return bench.Conformance(os.Stdout, 1000, *parallel) }},
 	}
-	// -fuzz, -json, and -serve-url are explicit-only jobs: they never run
-	// under the implicit -all, so the default invocation's output is
-	// unchanged.
+	// -fuzz, -json, -serve-url, and the chaos modes are explicit-only jobs:
+	// they never run under the implicit -all, so the default invocation's
+	// output is unchanged.
+	if *chaosURL != "" {
+		if err := runChaos(os.Stdout, *chaosURL, *chaosN, *chaosSd, *chaosFor, *chaosLed); err != nil {
+			fail(err)
+		}
+		stopProfiles()
+		return
+	}
+	if *chaosVfy != "" {
+		if err := runChaosVerify(os.Stdout, *chaosVfy, *chaosLed); err != nil {
+			fail(err)
+		}
+		stopProfiles()
+		return
+	}
 	if *serveURL != "" {
 		if err := runServe(ctx, os.Stdout, *serveURL, opts, *serveB, *jsonPath, *digest); err != nil {
 			fail(err)

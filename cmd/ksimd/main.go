@@ -7,12 +7,24 @@
 //
 //	ksimd [-addr HOST:PORT] [-store DIR] [-max-sessions N] [-max-body BYTES]
 //	      [-step-timeout D] [-max-step N] [-workers N] [-addr-file PATH]
+//	      [-max-queue N] [-watchdog D] [-faults SPEC] [-fault-seed N]
 //
 // The daemon prints its listening address on stdout once bound (an -addr of
 // ":0" picks an ephemeral port; -addr-file additionally writes the address
 // to a file for scripted startup). SIGINT/SIGTERM trigger a graceful
 // shutdown: in-flight requests drain and, when -store is set, every durable
-// session is checkpointed so a restarted daemon can resume it.
+// session is checkpointed so a restarted daemon can resume it. At startup a
+// -store directory is scanned for crash damage — orphaned temp files are
+// removed and torn or corrupt checkpoints are quarantined — and the report
+// is printed when anything was found.
+//
+// -max-queue and -watchdog tune the overload and runaway-step defenses
+// (see server.Config). -faults arms deterministic fault injection for chaos
+// testing: a comma-separated list of op:trigger:kind[:delay] rules, e.g.
+// "fs.write:3:fail" (fail the third store write), "fs.rename:p0.05:tear"
+// (tear 5% of renames), "engine.cycle:1000+500:panic" (panic every 500
+// cycles from the 1000th). -fault-seed makes the probabilistic rules
+// reproducible.
 //
 // Exit codes: 0 on clean shutdown, 1 on input errors (bad flags, unusable
 // address or store), 2 on an internal toolchain error.
@@ -30,6 +42,7 @@ import (
 	"time"
 
 	"cuttlego/internal/cli"
+	"cuttlego/internal/faultinj"
 	"cuttlego/internal/server"
 )
 
@@ -44,10 +57,23 @@ func main() {
 		maxStep  = fs.Uint64("max-step", 100_000_000, "cycle cap per step request")
 		workers  = fs.Int("workers", 0, "concurrent simulation requests (0 = 2 per CPU)")
 		addrFile = fs.String("addr-file", "", "also write the bound address to this file")
+		maxQueue = fs.Int("max-queue", 0, "queued-request bound before shedding with 503 (0 = 4x workers)")
+		watchdog = fs.Duration("watchdog", 0, "wall-clock bound per step request (0 = step-timeout + 30s)")
+		faults   = fs.String("faults", "", "fault-injection rules op:trigger:kind[:delay], comma-separated (chaos testing)")
+		faultSd  = fs.Int64("fault-seed", 1, "seed for probabilistic -faults rules")
 	)
 	cli.Parse(fs, os.Args[1:])
 	if fs.NArg() != 0 {
 		cli.Usage("usage: ksimd [flags]; run ksimd -h for the flag list\n")
+	}
+
+	var inj *faultinj.Injector
+	if *faults != "" {
+		rules, err := faultinj.ParseRules(*faults)
+		if err != nil {
+			cli.Fail("ksimd", fmt.Errorf("-faults: %w", err))
+		}
+		inj = faultinj.New(*faultSd, rules...)
 	}
 
 	srv, err := server.New(server.Config{
@@ -57,9 +83,23 @@ func main() {
 		StepTimeout:   *stepTO,
 		MaxStepCycles: *maxStep,
 		Workers:       *workers,
+		MaxQueue:      *maxQueue,
+		Watchdog:      *watchdog,
+		Faults:        inj,
 	})
 	if err != nil {
 		cli.Fail("ksimd", err)
+	}
+	// A kill -9 can leave temp files and torn checkpoints behind; sweep them
+	// before serving so resurrection never trips over crash debris.
+	if *store != "" {
+		rep, err := srv.RecoverStore()
+		if err != nil {
+			cli.Fail("ksimd", fmt.Errorf("store recovery: %w", err))
+		}
+		if !rep.Clean() {
+			fmt.Printf("ksimd: store recovery: %s\n", rep)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

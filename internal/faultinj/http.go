@@ -1,0 +1,93 @@
+package faultinj
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport is an http.RoundTripper that consults the injector before (and
+// for some kinds, after) delegating to the underlying transport. Op: "http".
+//
+// The fault model is chosen to exercise client retry logic honestly:
+//
+//   - Timeout and Fail abort before the request reaches the server — a
+//     retry is always safe.
+//   - Reset executes the round trip, then discards the response and reports
+//     a connection reset: the server DID the work but the client cannot
+//     know. Blind retries double-execute; only idempotency keys make this
+//     safe. This is the case chaos testing most needs to cover.
+//   - Truncate delivers half the response body, then EOF mid-JSON.
+//   - Latency sleeps, then proceeds.
+type Transport struct {
+	Inner http.RoundTripper
+	Inj   *Injector
+}
+
+func (t *Transport) inner() http.RoundTripper {
+	if t.Inner != nil {
+		return t.Inner
+	}
+	return http.DefaultTransport
+}
+
+// timeoutError implements net.Error so callers' Timeout() checks see a real
+// deadline failure.
+type timeoutError struct{ op string }
+
+func (e *timeoutError) Error() string   { return fmt.Sprintf("faultinj: injected timeout: %s", e.op) }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+func (e *timeoutError) Unwrap() error   { return ErrInjected }
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r, ok := t.Inj.Hit("http")
+	if !ok {
+		return t.inner().RoundTrip(req)
+	}
+	switch r.Kind {
+	case Latency, Stall:
+		sleep(r)
+		return t.inner().RoundTrip(req)
+	case Timeout:
+		sleep(r)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &timeoutError{op: req.Method + " " + req.URL.Path}
+	case Reset:
+		resp, err := t.inner().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: connection reset after %s %s", ErrInjected, req.Method, req.URL.Path)
+	case Truncate:
+		resp, err := t.inner().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(strings.NewReader(string(body[:len(body)/2])))
+		resp.ContentLength = int64(len(body) / 2)
+		return resp, nil
+	default: // Fail and anything unhandled: refuse before sending
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: http %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+}
+
+func sleep(r Rule) {
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+}

@@ -9,58 +9,134 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"cuttlego/internal/server"
 )
 
 // Client talks to one ksimd daemon.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	retry      RetryPolicy
+	reqTimeout time.Duration
+	streamIdle time.Duration
+	jitter     jitterSource
 }
 
 // New builds a client for a daemon at base (e.g. "http://127.0.0.1:9090").
-// A missing scheme defaults to http.
+// A missing scheme defaults to http. The default client never retries; use
+// NewWithOptions for a retry policy and fault-injection hooks.
 func New(base string) *Client {
+	return NewWithOptions(base, Options{})
+}
+
+// NewWithOptions builds a client with an explicit transport, retry policy,
+// and timeouts.
+func NewWithOptions(base string, opts Options) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{Transport: opts.Transport},
+		retry:      opts.Retry.withDefaults(),
+		reqTimeout: opts.RequestTimeout,
+		streamIdle: opts.StreamIdleTimeout,
+	}
+	if opts.Retry.Seed != 0 {
+		c.jitter.rng = mrand.New(mrand.NewSource(opts.Retry.Seed))
+	}
+	return c
 }
 
 // APIError is a non-2xx daemon response.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint, when it sent one.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("ksimd: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// do runs one JSON round trip. A nil in sends no body; a nil out discards
-// the response body.
+// do runs one JSON round trip with retries per the client's policy. A nil
+// in sends no body; a nil out discards the response body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doReq(ctx, method, path, in, out, "")
+}
+
+// doKeyed is do with a fresh idempotency key: the daemon executes the
+// request at most once no matter how many retries reach it, so mutating
+// requests (create, step) survive lost responses without double-executing.
+func (c *Client) doKeyed(ctx context.Context, method, path string, in, out any) error {
+	return c.doReq(ctx, method, path, in, out, newIdemKey())
+}
+
+func (c *Client) doReq(ctx context.Context, method, path string, in, out any, idemKey string) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := c.attempt(ctx, method, path, data, in != nil, out, idemKey)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= c.retry.MaxAttempts || !retryable(err, method, idemKey != "") {
+			return lastErr
+		}
+		var hint time.Duration
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			hint = apiErr.RetryAfter
+		}
+		select {
+		case <-time.After(c.backoff(attempt, hint)):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+// attempt is one HTTP round trip. The body reader is rebuilt per attempt —
+// a half-consumed reader from a torn previous try must not leak into the
+// next one.
+func (c *Client) attempt(ctx context.Context, method, path string, data []byte, hasBody bool, out any, idemKey string) error {
+	if c.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -78,12 +154,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 func decodeError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var er server.ErrorResponse
 	if json.Unmarshal(data, &er) == nil && er.Error != "" {
-		return &APIError{Status: resp.StatusCode, Message: er.Error}
+		apiErr.Message = er.Error
+	} else {
+		apiErr.Message = strings.TrimSpace(string(data))
 	}
-	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	return apiErr
 }
 
 // Health checks /healthz.
@@ -98,10 +180,11 @@ func (c *Client) Metrics(ctx context.Context) (server.Metrics, error) {
 	return m, err
 }
 
-// Create opens a new session.
+// Create opens a new session. The request carries an idempotency key, so a
+// retried create never leaks a second session.
 func (c *Client) Create(ctx context.Context, req server.CreateRequest) (server.SessionInfo, error) {
 	var info server.SessionInfo
-	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
+	err := c.doKeyed(ctx, http.MethodPost, "/v1/sessions", req, &info)
 	return info, err
 }
 
@@ -124,10 +207,11 @@ func (c *Client) Delete(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
 }
 
-// Step advances a session by up to cycles cycles.
+// Step advances a session by up to cycles cycles. The request carries an
+// idempotency key, so a retry after a lost response never steps twice.
 func (c *Client) Step(ctx context.Context, id string, cycles uint64) (server.StepResponse, error) {
 	var resp server.StepResponse
-	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/step",
+	err := c.doKeyed(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/step",
 		server.StepRequest{Cycles: cycles}, &resp)
 	return resp, err
 }
@@ -210,27 +294,68 @@ func (c *Client) Trace(ctx context.Context, id string, cycles uint64, format str
 	return resp.Body, nil
 }
 
+// ErrStreamCanceled reports a trace stream torn down because the caller's
+// context ended mid-stream.
+var ErrStreamCanceled = errors.New("kclient: trace stream canceled")
+
+// ErrStreamStalled reports a trace stream torn down by the idle watchdog:
+// no event arrived within Options.StreamIdleTimeout.
+var ErrStreamStalled = errors.New("kclient: trace stream stalled")
+
 // TraceEvents runs an NDJSON trace to completion, invoking fn per event.
+// The stream honors ctx — cancellation aborts a blocked read and reports
+// ErrStreamCanceled — and, when the client has a StreamIdleTimeout, a
+// stream that stops producing events is torn down with ErrStreamStalled
+// instead of blocking forever on a wedged daemon.
 func (c *Client) TraceEvents(ctx context.Context, id string, cycles uint64, fn func(server.TraceEvent) error) error {
 	body, err := c.Trace(ctx, id, cycles, "events")
 	if err != nil {
 		return err
 	}
 	defer body.Close()
+	// Closing the body is what unblocks a reader stuck in Scan: the request
+	// context aborts transport reads too, but an explicit AfterFunc also
+	// covers recorded/hijacked bodies that ignore the request context.
+	stop := context.AfterFunc(ctx, func() { body.Close() })
+	defer stop()
+	var stalled atomic.Bool
+	var idle *time.Timer
+	if c.streamIdle > 0 {
+		idle = time.AfterFunc(c.streamIdle, func() {
+			stalled.Store(true)
+			body.Close()
+		})
+		defer idle.Stop()
+	}
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
+		if idle != nil {
+			idle.Reset(c.streamIdle)
+		}
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
 		var ev server.TraceEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("trace stream: %w", err)
+			return c.streamErr(ctx, &stalled, fmt.Errorf("trace stream: %w", err))
 		}
 		if err := fn(ev); err != nil {
 			return err
 		}
 	}
-	return sc.Err()
+	return c.streamErr(ctx, &stalled, sc.Err())
+}
+
+// streamErr maps a stream teardown to its typed cause: the raw read error
+// after an injected close is an unhelpful "read on closed body".
+func (c *Client) streamErr(ctx context.Context, stalled *atomic.Bool, err error) error {
+	switch {
+	case stalled.Load():
+		return fmt.Errorf("%w: no event within %s", ErrStreamStalled, c.streamIdle)
+	case ctx.Err() != nil:
+		return fmt.Errorf("%w: %v", ErrStreamCanceled, ctx.Err())
+	}
+	return err
 }

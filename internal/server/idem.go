@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// Idempotency-Key replay. A client that loses a response to a step or
+// create cannot tell whether the request executed; blindly retrying a step
+// would advance the simulation twice. Requests carrying an Idempotency-Key
+// header execute at most once per (method, path, key): the first request
+// runs and its response is cached, concurrent duplicates wait for it, and
+// later duplicates replay the cached response verbatim with an
+// Idempotency-Replayed header. Responses with 5xx status are not cached —
+// the execution failed, and the retry should genuinely re-execute.
+
+// idemCap bounds the replay cache; the oldest entries fall out FIFO. At
+// typical chaos-test rates this is hours of history — a retry arriving
+// after its entry was evicted simply re-executes.
+const idemCap = 4096
+
+// idemEntry is one cached response. status/body/contentType are written
+// before done is closed and read only after it, so the channel close is the
+// publication barrier.
+type idemEntry struct {
+	done        chan struct{}
+	status      int
+	body        []byte
+	contentType string
+}
+
+// maxIdemKey keeps hostile headers from growing the cache key unboundedly.
+const maxIdemKey = 128
+
+// withIdem wraps a mutating handler with Idempotency-Key replay. Requests
+// without the header pass straight through.
+func (s *Server) withIdem(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" || len(key) > maxIdemKey {
+			h(w, r)
+			return
+		}
+		full := r.Method + " " + r.URL.Path + " " + key
+		s.idemMu.Lock()
+		if e, ok := s.idem[full]; ok {
+			s.idemMu.Unlock()
+			<-e.done
+			if e.contentType != "" {
+				w.Header().Set("Content-Type", e.contentType)
+			}
+			w.Header().Set("Idempotency-Replayed", "true")
+			w.WriteHeader(e.status)
+			_, _ = w.Write(e.body)
+			return
+		}
+		e := &idemEntry{done: make(chan struct{})}
+		s.idem[full] = e
+		s.idemOrder = append(s.idemOrder, full)
+		for len(s.idemOrder) > idemCap {
+			delete(s.idem, s.idemOrder[0])
+			s.idemOrder = s.idemOrder[1:]
+		}
+		s.idemMu.Unlock()
+
+		rec := &idemRecorder{ResponseWriter: w}
+		h(rec, r)
+
+		e.status = rec.status()
+		e.body = rec.buf.Bytes()
+		e.contentType = rec.Header().Get("Content-Type")
+		if e.status >= 500 {
+			s.idemMu.Lock()
+			delete(s.idem, full)
+			s.idemMu.Unlock()
+		}
+		close(e.done)
+	}
+}
+
+// idemRecorder tees the response to the client and into the replay cache.
+type idemRecorder struct {
+	http.ResponseWriter
+	code int
+	buf  bytes.Buffer
+}
+
+func (r *idemRecorder) WriteHeader(status int) {
+	if r.code == 0 {
+		r.code = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *idemRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	r.buf.Write(p)
+	return r.ResponseWriter.Write(p)
+}
+
+func (r *idemRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}

@@ -27,6 +27,7 @@ import (
 
 	"cuttlego/internal/bench"
 	"cuttlego/internal/diag"
+	"cuttlego/internal/faultinj"
 	"cuttlego/internal/sim"
 	"cuttlego/internal/vcd"
 )
@@ -54,6 +55,23 @@ type Config struct {
 	// Workers bounds concurrently executing simulation requests (default
 	// 2*NumCPU); excess requests queue (visible as queue_depth).
 	Workers int
+	// MaxQueue bounds requests waiting for a worker slot (default
+	// 4*Workers). Requests beyond it are shed immediately with 503 and a
+	// Retry-After header rather than queued without bound: a saturated
+	// daemon that answers "come back later" fast beats one that strings
+	// every client along until their deadlines expire.
+	MaxQueue int
+	// Watchdog bounds the wall-clock time of one step request (default
+	// StepTimeout + 30s). A healthy engine honors the step context, so only
+	// an engine stuck inside a single cycle can outlive StepTimeout by
+	// much; when the watchdog fires, the session is marked wedged (sticky;
+	// info/list still answer, everything else is 409) and the daemon moves
+	// on instead of letting the runaway step pin its handler forever.
+	Watchdog time.Duration
+	// Faults, when non-nil, threads deterministic fault injection through
+	// the store's filesystem calls and every session engine. Chaos testing
+	// only; nil in production.
+	Faults *faultinj.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +90,12 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 16
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.Workers
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = c.StepTimeout + 30*time.Second
+	}
 	return c
 }
 
@@ -89,11 +113,21 @@ type Server struct {
 	sem        chan struct{} // worker pool slots
 	queueDepth atomic.Int64
 
+	// idem replays responses for requests carrying an Idempotency-Key, so a
+	// client retry after a lost response never re-executes a step or create.
+	idemMu    sync.Mutex
+	idem      map[string]*idemEntry
+	idemOrder []string
+
 	started     time.Time
 	totalCycles atomic.Uint64
 	checkpoints atomic.Uint64
 	restores    atomic.Uint64
 	evictions   atomic.Uint64
+	wedged      atomic.Uint64
+	quarantines atomic.Uint64
+	shed        atomic.Uint64
+	corrupt     atomic.Uint64
 	rate        rateWindow
 }
 
@@ -104,10 +138,15 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		sessions: make(map[string]*session),
 		sem:      make(chan struct{}, cfg.Workers),
+		idem:     make(map[string]*idemEntry),
 		started:  time.Now(),
 	}
 	if cfg.StoreDir != "" {
-		st, err := OpenStore(cfg.StoreDir)
+		fsys := faultinj.OS()
+		if cfg.Faults != nil {
+			fsys = faultinj.NewFS(fsys, cfg.Faults)
+		}
+		st, err := OpenStoreFS(cfg.StoreDir, fsys)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +175,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close gracefully retires the daemon: every durable session is
 // checkpointed to the store (when one is configured) so a restarted daemon
-// can resurrect it, then the session table is dropped.
+// can resurrect it, then the session table is dropped. Failed sessions are
+// skipped — a quarantined engine is already closed, and a wedged session's
+// mutex may be held forever by its runaway step, so waiting on it would
+// turn shutdown into a hang.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	live := make([]*session, 0, len(s.sessions))
@@ -147,6 +189,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	var firstErr error
 	for _, sess := range live {
+		if sess.failed.Load() != nil {
+			continue
+		}
 		if s.store != nil && sess.durable() {
 			if _, err := s.checkpoint(sess); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("checkpoint %s: %w", sess.id, err)
@@ -157,6 +202,17 @@ func (s *Server) Close() error {
 		sess.mu.Unlock()
 	}
 	return firstErr
+}
+
+// RecoverStore runs the store's startup recovery scan (see Store.Recover);
+// a storeless daemon reports a clean scan.
+func (s *Server) RecoverStore() (RecoverReport, error) {
+	if s.store == nil {
+		return RecoverReport{}, nil
+	}
+	rep, err := s.store.Recover()
+	s.corrupt.Add(uint64(len(rep.CorruptSnapshots) + len(rep.CorruptMetas)))
+	return rep, err
 }
 
 // checkpoint captures a session and, when a store is configured, persists
@@ -183,17 +239,20 @@ func (s *Server) checkpointLocked(sess *session) (CheckpointResponse, error) {
 	if s.store == nil {
 		return resp, nil
 	}
+	// Store failures below are the daemon's fault (a full or lying disk),
+	// never the client's: report 500 so retry policies treat them as what
+	// they are instead of the default 400.
 	data, err := snap.MarshalBinary()
 	if err != nil {
-		return CheckpointResponse{}, err
+		return CheckpointResponse{}, httpError{http.StatusInternalServerError, err}
 	}
 	if err := s.store.SaveMeta(SessionMeta{
 		ID: sess.id, Source: sess.src, Catalog: sess.catalog, Config: sess.cfg, Created: time.Now(),
 	}); err != nil {
-		return CheckpointResponse{}, err
+		return CheckpointResponse{}, httpError{http.StatusInternalServerError, fmt.Errorf("checkpoint: %w", err)}
 	}
 	if err := s.store.SaveSnapshot(sess.id, ckpt, data); err != nil {
-		return CheckpointResponse{}, err
+		return CheckpointResponse{}, httpError{http.StatusInternalServerError, fmt.Errorf("checkpoint: %w", err)}
 	}
 	s.checkpoints.Add(1)
 	return resp, nil
@@ -272,11 +331,13 @@ func (s *Server) admit(sess *session) (*session, error) {
 }
 
 // lruDurableLocked picks the least-recently-used evictable session,
-// skipping sessions another admit is already evicting.
+// skipping sessions another admit is already evicting and failed sessions
+// (their engines cannot be checkpointed, and a wedged session's mu may
+// never come free).
 func (s *Server) lruDurableLocked() *session {
 	var victim *session
 	for _, sess := range s.sessions {
-		if !sess.durable() || sess.evicting {
+		if !sess.durable() || sess.evicting || sess.failed.Load() != nil {
 			continue
 		}
 		if victim == nil || sess.lastUsed.Before(victim.lastUsed) {
@@ -314,7 +375,11 @@ func errUnknownSession(id string) error { return unknownSession(id) }
 func (u unknownSession) Error() string  { return fmt.Sprintf("unknown session %q", string(u)) }
 
 // resurrect rebuilds a stored session at one of its checkpoints (latest if
-// ckpt is ""). The live session keeps its stored id.
+// ckpt is ""). The live session keeps its stored id. Damaged durable state
+// is quarantined as it is discovered and reported honestly: a corrupt
+// checkpoint is 500 on first contact (retrying falls back to an older one),
+// a session whose recipe or last checkpoint is gone for good is 410, and
+// only a session the store has never heard of is 404.
 func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 	defer diag.Guard("server: resurrect", &err)
 	if s.store == nil {
@@ -322,12 +387,24 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 	}
 	meta, err := s.store.LoadMeta(id)
 	if err != nil {
+		if errors.Is(err, errMetaCorrupt) {
+			if s.store.QuarantineMeta(id) == nil {
+				s.corrupt.Add(1)
+			}
+			return nil, httpError{http.StatusGone,
+				fmt.Errorf("session %q: stored meta.json corrupt (quarantined); the rebuild recipe is lost", id)}
+		}
+		if s.store.HasSession(id) {
+			return nil, httpError{http.StatusGone,
+				fmt.Errorf("session %q: durable files exist but its meta.json is gone; unrecoverable", id)}
+		}
 		return nil, fmt.Errorf("%w: no durable state", errUnknownSession(id))
 	}
 	if ckpt == "" {
 		cks, err := s.store.Checkpoints(id)
 		if err != nil || len(cks) == 0 {
-			return nil, fmt.Errorf("%w: stored session has no checkpoints", errUnknownSession(id))
+			return nil, httpError{http.StatusGone,
+				fmt.Errorf("session %q has no restorable checkpoints (quarantined or never written)", id)}
 		}
 		ckpt = cks[len(cks)-1]
 	}
@@ -338,18 +415,23 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 	}
 	var snap sim.Snapshot
 	if err := snap.UnmarshalBinary(data); err != nil {
+		if s.store.QuarantineSnapshot(id, ckpt) == nil {
+			s.corrupt.Add(1)
+		}
 		return nil, httpError{http.StatusInternalServerError,
-			fmt.Errorf("checkpoint %s/%s corrupt: %w", id, ckpt, err)}
+			fmt.Errorf("checkpoint %s/%s corrupt (quarantined): %v", id, ckpt, err)}
 	}
 	sess, err := newSession(meta.ID, CreateRequest{
 		Source: meta.Source, Catalog: meta.Catalog,
 		Engine: meta.Config.Engine, Level: meta.Config.Level,
 		Backend: meta.Config.Backend, Optimize: meta.Config.Optimize,
-	})
+		Workers: meta.Config.Workers,
+	}, s.cfg.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("rebuilding session %q: %w", id, err)
 	}
 	if err := sess.restoreSnapshot(snap); err != nil {
+		sess.discard()
 		return nil, fmt.Errorf("restoring session %q: %w", id, err)
 	}
 	sess.restored = true
@@ -358,9 +440,11 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 	// wins and the loser's rebuild is discarded.
 	admitted, err := s.admit(sess)
 	if err != nil {
+		sess.discard()
 		return nil, err
 	}
 	if admitted != sess {
+		sess.discard()
 		return admitted, nil
 	}
 	s.restores.Add(1)
@@ -369,8 +453,17 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 
 // --- worker pool ------------------------------------------------------------
 
-// acquire takes a pool slot, queueing when the pool is saturated.
+var errOverloaded = errors.New("worker pool saturated")
+
+// acquire takes a pool slot, queueing when the pool is saturated and
+// shedding when the queue itself is full: a bounded queue converts overload
+// into an immediate 503 with Retry-After instead of unbounded latency that
+// strings every client along until its deadline expires.
 func (s *Server) acquire(ctx context.Context) error {
+	if int(s.queueDepth.Load()) >= s.cfg.MaxQueue {
+		s.shed.Add(1)
+		return errOverloaded
+	}
 	s.queueDepth.Add(1)
 	defer s.queueDepth.Add(-1)
 	select {
@@ -382,6 +475,119 @@ func (s *Server) acquire(ctx context.Context) error {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// --- failure isolation ------------------------------------------------------
+
+// wedge marks a session wedged (sticky). Called when its step outlived the
+// watchdog: the runaway goroutine may hold sess.mu forever, so nothing here
+// touches the session beyond its atomics.
+func (s *Server) wedge(sess *session, reason string) {
+	if sess.failed.CompareAndSwap(nil, &sessionFailure{state: stateWedged, reason: reason}) {
+		s.wedged.Add(1)
+	}
+}
+
+// noteFailure inspects an error from a session operation: an engine panic
+// (diag.Internal, recovered at the handler's Guard boundary) poisons the
+// session, so it is quarantined instead of served again.
+func (s *Server) noteFailure(sess *session, err error) {
+	var internal *diag.Internal
+	if errors.As(err, &internal) {
+		s.quarantine(sess, internal)
+	}
+}
+
+// quarantine takes a panicked session out of service: the failure becomes
+// sticky (info/list answer from cached state, everything else is 409), a
+// panic report and a diagnostic snapshot are persisted for forensics, and
+// the engine is closed. Forensics are best-effort and individually
+// recover-guarded — the engine just panicked, so anything it touches may
+// panic again, and the store may be failing too.
+func (s *Server) quarantine(sess *session, internal *diag.Internal) {
+	reason := "engine panic: " + internal.Error()
+	if !sess.failed.CompareAndSwap(nil, &sessionFailure{state: stateQuarantined, reason: reason}) {
+		return
+	}
+	s.quarantines.Add(1)
+	if s.store != nil && validID(sess.id) {
+		func() {
+			defer func() { _ = recover() }()
+			_ = s.store.SaveDiagnostic(sess.id, "panic.txt", []byte(reason+"\n\n"+internal.Stack))
+		}()
+	}
+	// The panicking operation's Guard already returned, so sess.mu is free;
+	// no new operation can be in flight past the failed gate.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if s.store != nil && validID(sess.id) && sess.durable() {
+		func() {
+			defer func() { _ = recover() }()
+			snapper, ok := sess.eng.(sim.Snapshotter)
+			if !ok {
+				return
+			}
+			snap := snapper.Snapshot()
+			if data, err := snap.MarshalBinary(); err == nil {
+				// .diag, not .ksnp: a post-panic snapshot must never be
+				// mistaken for a restorable checkpoint.
+				_ = s.store.SaveDiagnostic(sess.id, fmt.Sprintf("c%d.diag", snap.Cycle), data)
+			}
+		}()
+	}
+	func() {
+		defer func() { _ = recover() }()
+		sess.closeEngine()
+	}()
+}
+
+// stepResult carries a step's outcome across the watchdog boundary.
+type stepResult struct {
+	ran     uint64
+	stopped string
+	err     error
+}
+
+// runStep executes one step request under the watchdog. The work runs in a
+// goroutine that owns the pool slot, the step context, and the cycle
+// accounting, so when the watchdog fires the handler abandons the step
+// without leaking the slot if the runaway ever finishes; if it never does,
+// the slot is lost with the session — which is why the session is marked
+// wedged and the bounded queue caps how much a few lost slots can back up.
+func (s *Server) runStep(r *http.Request, sess *session, cycles uint64) (StepResponse, error) {
+	if err := sess.gate(); err != nil {
+		return StepResponse{}, err
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		return StepResponse{}, fmt.Errorf("queue wait: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StepTimeout)
+	done := make(chan stepResult, 1) // buffered: a post-watchdog result must not leak the goroutine
+	go func() {
+		defer s.release()
+		defer cancel()
+		ran, stopped, err := sess.step(ctx, cycles)
+		s.addCycles(ran)
+		done <- stepResult{ran, stopped, err}
+	}()
+	watchdog := time.NewTimer(s.cfg.Watchdog)
+	defer watchdog.Stop()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			s.noteFailure(sess, res.err)
+			return StepResponse{}, res.err
+		}
+		sess.mu.Lock()
+		resp := StepResponse{Ran: res.ran, Cycle: sess.eng.CycleCount(), Stopped: res.stopped, Fired: sess.fired()}
+		sess.mu.Unlock()
+		return resp, nil
+	case <-watchdog.C:
+		reason := fmt.Sprintf("a step of %d cycles outlived the %s watchdog", cycles, s.cfg.Watchdog)
+		s.wedge(sess, reason)
+		return StepResponse{}, httpError{http.StatusInternalServerError,
+			fmt.Errorf("session %s wedged: %s", sess.id, reason)}
+	}
+}
 
 // --- cycle accounting -------------------------------------------------------
 
@@ -429,12 +635,12 @@ func (s *Server) addCycles(n uint64) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/sessions", s.withIdem(s.handleCreate))
 	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
 	s.mux.HandleFunc("POST /v1/resurrect", s.handleResurrect)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.withIdem(s.handleStep))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/regs", s.handleRegs)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/break", s.handleBreak)
@@ -471,26 +677,41 @@ type httpError struct {
 func (e httpError) Error() string { return e.err.Error() }
 func (e httpError) Unwrap() error { return e.err }
 
-// writeError maps an error to the API's status contract: explicit statuses
-// pass through; unknown sessions are 404; non-durable operations are 409;
-// toolchain bugs (diag.Internal) are 500; everything else the client can
-// fix is 400.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+// errorStatus maps an error to the API's status contract: explicit statuses
+// pass through; unknown sessions are 404; non-durable operations and failed
+// (wedged/quarantined) sessions are 409; overload is 429/503 with a
+// Retry-After hint; toolchain bugs (diag.Internal) are 500; everything else
+// the client can fix is 400.
+func errorStatus(err error) (status, retryAfter int) {
 	var he httpError
 	var unknown unknownSession
+	var failed *sessionFailedError
 	var internal *diag.Internal
 	switch {
 	case errors.As(err, &he):
-		status = he.status
+		return he.status, 0
 	case errors.As(err, &unknown):
-		status = http.StatusNotFound
+		return http.StatusNotFound, 0
+	case errors.As(err, &failed):
+		return http.StatusConflict, 0
 	case errors.Is(err, errNotDurable):
-		status = http.StatusConflict
+		return http.StatusConflict, 0
 	case errors.Is(err, errTableFull):
-		status = http.StatusTooManyRequests
+		return http.StatusTooManyRequests, 2
+	case errors.Is(err, errOverloaded):
+		return http.StatusServiceUnavailable, 1
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, 1
 	case errors.As(err, &internal):
-		status = http.StatusInternalServerError
+		return http.StatusInternalServerError, 0
+	}
+	return http.StatusBadRequest, 0
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, retryAfter := errorStatus(err)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
@@ -522,7 +743,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Checkpoints:  s.checkpoints.Load(),
 		Restores:     s.restores.Load(),
 		Evictions:    s.evictions.Load(),
-		UptimeSec:    now.Sub(s.started).Seconds(),
+
+		Wedged:             s.wedged.Load(),
+		Quarantined:        s.quarantines.Load(),
+		Shed:               s.shed.Load(),
+		CorruptCheckpoints: s.corrupt.Load(),
+
+		UptimeSec: now.Sub(s.started).Seconds(),
 	})
 }
 
@@ -536,12 +763,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := "s" + strconv.FormatUint(s.nextID, 10)
 	s.mu.Unlock()
-	sess, err := newSession(id, req)
+	sess, err := newSession(id, req, s.cfg.Faults)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	if _, err := s.admit(sess); err != nil {
+		sess.discard()
 		writeError(w, err)
 		return
 	}
@@ -578,7 +806,16 @@ func (s *Server) handleResurrect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	_, live := s.sessions[req.Session]
+	cur, live := s.sessions[req.Session]
+	if live && cur.failed.Load() != nil {
+		// A failed tombstone yields to resurrection: the client is asking for
+		// the rebuild-from-last-durable-checkpoint the 409 message promised.
+		// A quarantined engine is already closed, and a wedged one cannot be
+		// touched (its mu may be held forever), so dropping the table entry
+		// is all the cleanup there is.
+		delete(s.sessions, req.Session)
+		live = false
+	}
 	s.mu.Unlock()
 	if live {
 		writeError(w, httpError{http.StatusConflict,
@@ -608,17 +845,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
-	if ok {
+	if ok && sess.failed.Load() == nil {
+		// Failed sessions are skipped: a quarantined engine is already
+		// closed, and a wedged session's mu may be held forever by its
+		// runaway step — blocking DELETE on it would wedge the caller too.
 		sess.mu.Lock()
 		sess.closeEngine()
 		sess.mu.Unlock()
 	}
 	if !ok {
-		stored := false
-		if s.store != nil && validID(id) {
-			_, err := s.store.LoadMeta(id)
-			stored = err == nil
-		}
+		// HasSession, not LoadMeta: a session whose meta.json is corrupt or
+		// quarantined must still be deletable, or damaged state could never
+		// be cleared.
+		stored := s.store != nil && validID(id) && s.store.HasSession(id)
 		if !stored {
 			writeError(w, errUnknownSession(id))
 			return
@@ -645,22 +884,11 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("cycles must be in [1, %d], got %d", s.cfg.MaxStepCycles, req.Cycles))
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, httpError{http.StatusServiceUnavailable, fmt.Errorf("queue wait: %w", err)})
-		return
-	}
-	defer s.release()
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StepTimeout)
-	defer cancel()
-	ran, stopped, err := sess.step(ctx, req.Cycles)
-	s.addCycles(ran)
+	resp, err := s.runStep(r, sess, req.Cycles)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	sess.mu.Lock()
-	resp := StepResponse{Ran: ran, Cycle: sess.eng.CycleCount(), Stopped: stopped, Fired: sess.fired()}
-	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -677,6 +905,7 @@ func (s *Server) handleRegs(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sess.regs(req)
 	if err != nil {
+		s.noteFailure(sess, err)
 		writeError(w, err)
 		return
 	}
@@ -750,6 +979,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sess.restoreSnapshot(snap); err != nil {
+		s.noteFailure(sess, err)
 		writeError(w, err)
 		return
 	}
@@ -797,16 +1027,19 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 		Source: sess.src, Catalog: sess.catalog,
 		Engine: sess.cfg.Engine, Level: sess.cfg.Level,
 		Backend: sess.cfg.Backend, Optimize: sess.cfg.Optimize,
-	})
+		Workers: sess.cfg.Workers,
+	}, s.cfg.Faults)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	if err := fork.restoreSnapshot(snap); err != nil {
+		fork.discard()
 		writeError(w, err)
 		return
 	}
 	if _, err := s.admit(fork); err != nil {
+		fork.discard()
 		writeError(w, err)
 		return
 	}
@@ -825,13 +1058,14 @@ func (s *Server) handleReverse(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, httpError{http.StatusServiceUnavailable, fmt.Errorf("queue wait: %w", err)})
+		writeError(w, fmt.Errorf("queue wait: %w", err))
 		return
 	}
 	defer s.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StepTimeout)
 	defer cancel()
 	if err := sess.reverse(ctx, req.Cycles); err != nil {
+		s.noteFailure(sess, err)
 		writeError(w, err)
 		return
 	}
@@ -861,8 +1095,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("unknown trace format %q (want events or vcd)", format))
 		return
 	}
+	// Gate before taking sess.mu: a wedged session's mu may be held forever.
+	if err := sess.gate(); err != nil {
+		writeError(w, err)
+		return
+	}
 	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, httpError{http.StatusServiceUnavailable, fmt.Errorf("queue wait: %w", err)})
+		writeError(w, fmt.Errorf("queue wait: %w", err))
 		return
 	}
 	defer s.release()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cuttlego/internal/ast"
@@ -14,6 +15,7 @@ import (
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/debug"
 	"cuttlego/internal/diag"
+	"cuttlego/internal/faultinj"
 	"cuttlego/internal/lang"
 	"cuttlego/internal/sim"
 )
@@ -23,6 +25,34 @@ import (
 // whose designs carry a testbench keep state outside the registers (memory
 // images, workload cursors), so a snapshot alone cannot reproduce them.
 var errNotDurable = errors.New("session is not self-driving; snapshot operations are unavailable")
+
+// Session failure states. A failed session stays in the table as a
+// tombstone — visible to info/list with its state, 409 for everything else
+// — until the client deletes it or resurrects it from a durable
+// checkpoint. The state is sticky: an engine that panicked or blew its
+// watchdog cannot be trusted again.
+const (
+	stateWedged      = "wedged"      // a step outlived the watchdog; the engine may be stuck inside one cycle
+	stateQuarantined = "quarantined" // the engine panicked; diagnostics were captured and the engine closed
+)
+
+// sessionFailure is the sticky reason a session was taken out of service.
+type sessionFailure struct {
+	state  string
+	reason string
+}
+
+// sessionFailedError reports an operation against a failed session; it
+// maps to 409 so clients distinguish "this session is damaged" from "this
+// session does not exist".
+type sessionFailedError struct {
+	id, state, reason string
+}
+
+func (e *sessionFailedError) Error() string {
+	return fmt.Sprintf("session %s is %s (%s); delete it, or resurrect it from its last durable checkpoint",
+		e.id, e.state, e.reason)
+}
 
 // session is one hosted simulation. All simulation access goes through mu:
 // the HTTP layer may serve many requests for the same session concurrently,
@@ -34,6 +64,11 @@ type session struct {
 	// and what resurrection replays.
 	src     string
 	catalog string
+	// Immutable design facts cached at build time, so a wedged session —
+	// whose mu may be held forever by a runaway step — can still be
+	// described without touching the engine.
+	designName    string
+	nRegs, nRules int
 
 	mu       sync.Mutex
 	eng      sim.Engine
@@ -41,6 +76,15 @@ type session struct {
 	conds    []sessionCond
 	snaps    []sim.Snapshot // in-memory ring for reverse execution
 	restored bool
+	closed   bool // engine released; guarded by mu
+
+	// failed, once set, fails every simulation operation with 409. It is
+	// read without mu (a wedged session's mu may never be released), so it
+	// lives in an atomic.
+	failed atomic.Pointer[sessionFailure]
+	// lastInfo caches the most recent successfully computed SessionInfo so
+	// info() on a failed session can answer without the engine.
+	lastInfo atomic.Pointer[SessionInfo]
 
 	// lastUsed orders LRU eviction; guarded by the server's mutex, not the
 	// session's, so the server can scan it without stalling on a long step.
@@ -49,6 +93,17 @@ type session struct {
 	// so concurrent admits pick a different one. Guarded by the server's
 	// mutex; the session stays in the table until its checkpoint is written.
 	evicting bool
+}
+
+// gate fails fast when the session has been wedged or quarantined. Every
+// simulation entry point calls it before taking mu: a wedged session's mu
+// may be held forever by the runaway step, and blocking new requests
+// behind it would wedge the callers too.
+func (s *session) gate() error {
+	if f := s.failed.Load(); f != nil {
+		return &sessionFailedError{id: s.id, state: f.state, reason: f.reason}
+	}
+	return nil
 }
 
 type sessionCond struct {
@@ -81,8 +136,9 @@ func buildInstance(src, catalog string) (bench.Instance, error) {
 	return bench.Instance{Design: d}, nil
 }
 
-// newSession elaborates a design and builds its engine.
-func newSession(id string, req CreateRequest) (_ *session, err error) {
+// newSession elaborates a design and builds its engine; inj, when non-nil,
+// threads fault injection through every engine cycle.
+func newSession(id string, req CreateRequest, inj *faultinj.Injector) (_ *session, err error) {
 	defer diag.Guard("server: create session", &err)
 	if (req.Source == "") == (req.Catalog == "") {
 		return nil, fmt.Errorf("exactly one of source and catalog must be set")
@@ -102,7 +158,12 @@ func newSession(id string, req CreateRequest) (_ *session, err error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &session{id: id, cfg: cfg, src: req.Source, catalog: req.Catalog, eng: eng, tb: inst.Bench}
+	eng = wrapEngine(eng, inj)
+	d := eng.Design()
+	s := &session{
+		id: id, cfg: cfg, src: req.Source, catalog: req.Catalog, eng: eng, tb: inst.Bench,
+		designName: d.Name, nRegs: len(d.Registers), nRules: len(d.Rules),
+	}
 	s.recordSnapshot()
 	return s, nil
 }
@@ -111,9 +172,22 @@ func newSession(id string, req CreateRequest) (_ *session, err error) {
 // engines hold goroutines). Callers must hold the session mutex so a pool
 // is never torn down under an in-flight step; the call is idempotent.
 func (s *session) closeEngine() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if c, ok := s.eng.(interface{ Close() error }); ok {
 		_ = c.Close()
 	}
+}
+
+// discard releases a session that was built but never admitted to the
+// table (a failed restore, a lost admit race, a full table): without this,
+// parallel engines leak their worker pools.
+func (s *session) discard() {
+	s.mu.Lock()
+	s.closeEngine()
+	s.mu.Unlock()
 }
 
 // durable reports whether snapshots fully determine the session.
@@ -122,22 +196,38 @@ func (s *session) durable() bool { return s.tb == nil }
 // design returns the design under simulation (immutable once built).
 func (s *session) design() *ast.Design { return s.eng.Design() }
 
-// info snapshots the session's public description. Callers must not hold mu.
+// info snapshots the session's public description. Callers must not hold
+// mu. A failed session answers from cached facts — a wedged session's mu
+// may never come free, and a quarantined session's engine is closed — with
+// State set and the cycle/digest as of the last healthy observation.
 func (s *session) info() SessionInfo {
+	if f := s.failed.Load(); f != nil {
+		inf := SessionInfo{
+			ID: s.id, Design: s.designName, Engine: s.cfg.String(),
+			Registers: s.nRegs, Rules: s.nRules,
+			Durable: s.durable(), Restored: s.restored,
+		}
+		if last := s.lastInfo.Load(); last != nil {
+			inf.Cycle, inf.Digest = last.Cycle, last.Digest
+		}
+		inf.State = f.state
+		return inf
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	d := s.design()
-	return SessionInfo{
+	inf := SessionInfo{
 		ID:        s.id,
-		Design:    d.Name,
+		Design:    s.designName,
 		Engine:    s.cfg.String(),
 		Cycle:     s.eng.CycleCount(),
-		Registers: len(d.Registers),
-		Rules:     len(d.Rules),
+		Registers: s.nRegs,
+		Rules:     s.nRules,
 		Digest:    fmt.Sprintf("%016x", sim.StateDigest(s.eng)),
 		Durable:   s.durable(),
 		Restored:  s.restored,
 	}
+	s.lastInfo.Store(&inf)
+	return inf
 }
 
 func (s *session) recordSnapshot() {
@@ -166,6 +256,9 @@ func (s *session) recordSnapshot() {
 // input problems: ctx expiry is a "timeout" stop, not an error.
 func (s *session) step(ctx context.Context, n uint64) (ran uint64, stopped string, err error) {
 	defer diag.Guard("server: step", &err)
+	if err := s.gate(); err != nil {
+		return 0, "", err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stepLocked(ctx, n, nil)
@@ -233,6 +326,9 @@ func (s *session) fired() map[string]bool {
 // regs applies a batched poke/peek request.
 func (s *session) regs(req RegsRequest) (_ RegsResponse, err error) {
 	defer diag.Guard("server: regs", &err)
+	if err := s.gate(); err != nil {
+		return RegsResponse{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d := s.design()
@@ -269,6 +365,9 @@ func (s *session) regs(req RegsRequest) (_ RegsResponse, err error) {
 // setBreak installs or clears conditional breakpoints.
 func (s *session) setBreak(req BreakRequest) (err error) {
 	defer diag.Guard("server: break", &err)
+	if err := s.gate(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Clear {
@@ -288,9 +387,12 @@ func (s *session) setBreak(req BreakRequest) (err error) {
 // profile returns per-rule counters for engines that keep them (cuttlesim
 // sessions; the daemon builds those with profiling on).
 func (s *session) profile() (ProfileResponse, error) {
+	if err := s.gate(); err != nil {
+		return ProfileResponse{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cs, ok := s.eng.(*cuttlesim.Simulator)
+	cs, ok := underlying(s.eng).(*cuttlesim.Simulator)
 	if !ok || cs.RuleStats() == nil {
 		return ProfileResponse{}, fmt.Errorf("engine %s does not keep rule profiles (use a cuttlesim session)", s.cfg)
 	}
@@ -305,6 +407,9 @@ func (s *session) profile() (ProfileResponse, error) {
 
 // snapshot captures the current state (durable sessions only).
 func (s *session) snapshot() (sim.Snapshot, error) {
+	if err := s.gate(); err != nil {
+		return sim.Snapshot{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.snapshotLocked()
@@ -324,6 +429,9 @@ func (s *session) snapshotLocked() (sim.Snapshot, error) {
 // restoreSnapshot rewinds (or fast-forwards) the live engine to snap.
 func (s *session) restoreSnapshot(snap sim.Snapshot) (err error) {
 	defer diag.Guard("server: restore", &err)
+	if err := s.gate(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.durable() {
@@ -356,6 +464,9 @@ func (s *session) restoreSnapshot(snap sim.Snapshot) (err error) {
 // (breakpoints suppressed during replay).
 func (s *session) reverse(ctx context.Context, n uint64) (err error) {
 	defer diag.Guard("server: reverse", &err)
+	if err := s.gate(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.durable() {

@@ -82,6 +82,11 @@ type SessionInfo struct {
 	// Restored is set when the session was rebuilt from a stored
 	// checkpoint (after a daemon restart or an eviction).
 	Restored bool `json:"restored,omitempty"`
+	// State is empty for a healthy session, "wedged" when a step outlived
+	// the server's watchdog, or "quarantined" when the engine panicked.
+	// Failed sessions answer info/list from their last healthy observation
+	// (Cycle and Digest may be stale) and 409 everything else.
+	State string `json:"state,omitempty"`
 }
 
 // ListResponse enumerates live sessions.
@@ -189,7 +194,15 @@ type Metrics struct {
 	Checkpoints  uint64  `json:"checkpoints"`
 	Restores     uint64  `json:"restores"`
 	Evictions    uint64  `json:"evictions"`
-	UptimeSec    float64 `json:"uptime_sec"`
+	// Wedged counts sessions whose step outlived the watchdog; Quarantined
+	// counts engine panics isolated to their session; Shed counts requests
+	// refused with 503 because the worker queue was full;
+	// CorruptCheckpoints counts .ksnp/meta files quarantined on load.
+	Wedged             uint64  `json:"wedged,omitempty"`
+	Quarantined        uint64  `json:"quarantined,omitempty"`
+	Shed               uint64  `json:"shed,omitempty"`
+	CorruptCheckpoints uint64  `json:"corrupt_checkpoints,omitempty"`
+	UptimeSec          float64 `json:"uptime_sec"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -2,24 +2,27 @@ package sim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"cuttlego/internal/bits"
 )
 
-// The snapshot wire format (version 1) makes captured engine state durable
+// The snapshot wire format (version 2) makes captured engine state durable
 // and transportable: the simulation daemon checkpoints sessions to disk
 // with it, restores them after a restart, and forks them for what-if
 // exploration. Layout, all integers little-endian:
 //
 //	offset  size  field
 //	0       4     magic "KSNP"
-//	4       2     version (currently 1)
+//	4       2     version (currently 2)
 //	6       2     reserved (must be zero)
 //	8       8     cycle count
 //	16      var   register count (uvarint)
 //	...           per register: width (uvarint), then ceil(width/8)
 //	              payload bytes, little-endian
+//	end-4   4     CRC-32C (Castagnoli) of every preceding byte
 //
 // Registers appear in declaration order — the same order Snapshot.Regs and
 // Engine.Design().Registers use — so a decoded snapshot can be handed
@@ -29,9 +32,15 @@ import (
 // above 64 decode into the Wide side store, keeping the format ready for
 // frontends that allow wide registers even though today's engines cap
 // state elements at 64 bits.
+//
+// Version 2 (over v1) appends the CRC-32C trailer so a torn or bit-flipped
+// checkpoint is detected before any of its contents are trusted; the format
+// stays canonical (exactly one encoding per state), so v1 bytes are not
+// accepted. Decode failures wrap ErrSnapshotCorrupt.
 const (
 	snapMagic   = "KSNP"
-	snapVersion = 1
+	snapVersion = 2
+	snapCRCLen  = 4
 
 	// maxSnapshotRegs and maxSnapshotWidth bound decoding so a corrupt or
 	// adversarial snapshot cannot demand unbounded allocations. Both are
@@ -39,6 +48,18 @@ const (
 	maxSnapshotRegs  = 1 << 20
 	maxSnapshotWidth = 1 << 20
 )
+
+// ErrSnapshotCorrupt marks every snapshot decode failure — truncation, bad
+// magic or version, checksum mismatch, non-canonical payloads — so callers
+// can distinguish "the bytes are bad" from I/O errors with errors.Is and
+// quarantine the file rather than retrying forever.
+var ErrSnapshotCorrupt = errors.New("sim: snapshot corrupt")
+
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+}
 
 // WideReg returns register i's value as a Wide regardless of which side
 // store holds it, for width-agnostic consumers (digests, encoders).
@@ -84,52 +105,58 @@ func (s Snapshot) MarshalBinary() ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(v.Width()))
 		buf = v.AppendLE(buf)
 	}
-	return buf, nil
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, snapCRCTable)), nil
 }
 
 // UnmarshalBinary decodes a snapshot previously encoded by MarshalBinary,
 // replacing s. It fails on bad magic, unknown versions, truncated input,
-// trailing garbage, out-of-range counts, and non-canonical payloads.
+// trailing garbage, checksum mismatches, out-of-range counts, and
+// non-canonical payloads; every failure wraps ErrSnapshotCorrupt.
 func (s *Snapshot) UnmarshalBinary(data []byte) error {
-	if len(data) < 16 {
-		return fmt.Errorf("sim: snapshot truncated (%d bytes)", len(data))
+	if len(data) < 16+snapCRCLen {
+		return corruptf("truncated (%d bytes)", len(data))
 	}
 	if string(data[:4]) != snapMagic {
-		return fmt.Errorf("sim: bad snapshot magic %q", data[:4])
+		return corruptf("bad magic %q", data[:4])
 	}
 	if v := binary.LittleEndian.Uint16(data[4:6]); v != snapVersion {
-		return fmt.Errorf("sim: unsupported snapshot version %d (want %d)", v, snapVersion)
+		return corruptf("unsupported version %d (want %d)", v, snapVersion)
 	}
 	if r := binary.LittleEndian.Uint16(data[6:8]); r != 0 {
-		return fmt.Errorf("sim: nonzero reserved field %#x", r)
+		return corruptf("nonzero reserved field %#x", r)
 	}
-	cycle := binary.LittleEndian.Uint64(data[8:16])
-	rest := data[16:]
+	body := data[:len(data)-snapCRCLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-snapCRCLen:])
+	if got := crc32.Checksum(body, snapCRCTable); got != want {
+		return corruptf("checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	cycle := binary.LittleEndian.Uint64(body[8:16])
+	rest := body[16:]
 	nregs, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return fmt.Errorf("sim: snapshot register count malformed")
+		return corruptf("register count malformed")
 	}
 	if nregs > maxSnapshotRegs {
-		return fmt.Errorf("sim: snapshot declares %d registers (limit %d)", nregs, maxSnapshotRegs)
+		return corruptf("declares %d registers (limit %d)", nregs, maxSnapshotRegs)
 	}
 	rest = rest[n:]
 	out := Snapshot{Cycle: cycle, Regs: make([]bits.Bits, nregs)}
 	for i := uint64(0); i < nregs; i++ {
 		w, n := binary.Uvarint(rest)
 		if n <= 0 {
-			return fmt.Errorf("sim: register %d width malformed", i)
+			return corruptf("register %d width malformed", i)
 		}
 		if w > maxSnapshotWidth {
-			return fmt.Errorf("sim: register %d is %d bits wide (limit %d)", i, w, maxSnapshotWidth)
+			return corruptf("register %d is %d bits wide (limit %d)", i, w, maxSnapshotWidth)
 		}
 		rest = rest[n:]
 		nbytes := (int(w) + 7) / 8
 		if len(rest) < nbytes {
-			return fmt.Errorf("sim: register %d payload truncated", i)
+			return corruptf("register %d payload truncated", i)
 		}
 		v, err := bits.WideFromLE(int(w), rest[:nbytes])
 		if err != nil {
-			return fmt.Errorf("sim: register %d: %w", i, err)
+			return corruptf("register %d: %v", i, err)
 		}
 		rest = rest[nbytes:]
 		if w <= bits.MaxWidth {
@@ -142,7 +169,7 @@ func (s *Snapshot) UnmarshalBinary(data []byte) error {
 		}
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("sim: %d trailing bytes after snapshot", len(rest))
+		return corruptf("%d trailing bytes", len(rest))
 	}
 	*s = out
 	return nil

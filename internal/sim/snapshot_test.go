@@ -1,6 +1,10 @@
 package sim_test
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 
@@ -92,16 +96,74 @@ func TestSnapshotUnmarshalRejects(t *testing.T) {
 	}
 	for name, data := range cases {
 		var s sim.Snapshot
-		if err := s.UnmarshalBinary(data); err == nil {
+		err := s.UnmarshalBinary(data)
+		if err == nil {
 			t.Errorf("%s: unmarshal accepted corrupt input", name)
+		} else if !errors.Is(err, sim.ErrSnapshotCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrSnapshotCorrupt", name, err)
 		}
 	}
-	// Non-canonical payload: 4-bit register with a padding bit set.
+	// Non-canonical payload: 4-bit register with a padding bit set. The
+	// checksum is recomputed so the canonicality check itself is what fires.
 	var s sim.Snapshot
 	four, _ := sim.Snapshot{Regs: []bits.Bits{bits.New(4, 0xf)}}.MarshalBinary()
-	four[len(four)-1] |= 0x80
-	if err := s.UnmarshalBinary(four); err == nil {
+	four[len(four)-5] |= 0x80
+	if err := s.UnmarshalBinary(restampCRC(four)); err == nil {
 		t.Error("unmarshal accepted payload bits above the declared width")
+	}
+	// Trailing garbage with a valid checksum over the whole buffer.
+	padded := append(append([]byte{}, good[:len(good)-4]...), 0)
+	if err := s.UnmarshalBinary(restampCRC(append(padded, 0, 0, 0, 0))); err == nil {
+		t.Error("unmarshal accepted trailing bytes under a recomputed checksum")
+	}
+}
+
+// restampCRC recomputes the v2 CRC-32C trailer over data's body so tests
+// can corrupt the body while keeping the checksum valid.
+func restampCRC(data []byte) []byte {
+	body := data[:len(data)-4]
+	return binary.LittleEndian.AppendUint32(append([]byte{}, body...),
+		crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
+}
+
+// snapshotCorruptionCorpus is the KSNP robustness corpus: every mutation a
+// crashed or failing disk plausibly produces. Each entry must yield a clean
+// typed error — never a panic, never silent acceptance.
+func snapshotCorruptionCorpus(t testing.TB) map[string][]byte {
+	good, err := sim.Snapshot{Cycle: 1234, Regs: []bits.Bits{
+		bits.New(8, 0xab), {}, bits.New(64, ^uint64(0)), bits.New(12, 0x5a5),
+	}}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := map[string][]byte{
+		"zero-length": {},
+		"one byte":    good[:1],
+		"half magic":  good[:2],
+		"all zeros":   make([]byte, len(good)),
+	}
+	for cut := 4; cut < len(good); cut += 5 {
+		corpus[fmt.Sprintf("truncated at %d", cut)] = good[:cut]
+	}
+	for pos := 0; pos < len(good); pos++ {
+		flipped := append([]byte{}, good...)
+		flipped[pos] ^= 1 << (pos % 8)
+		corpus[fmt.Sprintf("bit flip at %d", pos)] = flipped
+	}
+	return corpus
+}
+
+func TestSnapshotCorruptionCorpus(t *testing.T) {
+	for name, data := range snapshotCorruptionCorpus(t) {
+		var s sim.Snapshot
+		err := s.UnmarshalBinary(data)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, sim.ErrSnapshotCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrSnapshotCorrupt", name, err)
+		}
 	}
 }
 
@@ -180,6 +242,9 @@ func FuzzSnapshotUnmarshal(f *testing.F) {
 	seed, _ := sim.Snapshot{Cycle: 5, Regs: []bits.Bits{bits.New(12, 0x123), {}}}.MarshalBinary()
 	f.Add(seed)
 	f.Add([]byte("KSNP"))
+	for _, data := range snapshotCorruptionCorpus(f) {
+		f.Add(data)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var s sim.Snapshot
 		if err := s.UnmarshalBinary(data); err != nil {

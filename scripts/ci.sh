@@ -35,6 +35,14 @@ go test -race -run 'Parallel' ./internal/rtlsim ./internal/cuttlesim
 echo "== race: ksimd concurrent sessions"
 go test -race -run 'TestConcurrentSessions|TestSessionDurability|TestEviction|TestParallelEngineConfig' ./internal/server
 
+echo "== race: fault injection, robustness, client retries"
+# The whole fault-injection harness and the retrying client run under the
+# race detector, plus the server's failure-path tests: torn writes,
+# corrupt-checkpoint fallback, engine-panic quarantine, the step watchdog,
+# load shedding, and idempotent replay.
+go test -race ./internal/faultinj ./internal/kclient
+go test -race -run 'Fault|Torn|Corrupt|Quarantine|Wedge|Shedding|Idempotent|RecoverStore' ./internal/server
+
 echo "== fuzz smoke (5s per target)"
 go test ./internal/lang -run='^$' -fuzz='^FuzzLexer$' -fuzztime=5s
 go test ./internal/lang -run='^$' -fuzz='^FuzzParser$' -fuzztime=5s
@@ -79,5 +87,12 @@ echo "== ksimd durability smoke (create, step, checkpoint, restart, restore)"
 # mid-session, restarts it over the same store, and asserts the resumed
 # run's digest matches an uninterrupted in-process one.
 go run ./scripts/ksimd-smoke
+
+echo "== ksimd crash gate (3x SIGKILL under chaos load, race build)"
+# Race-built daemon, killed -9 under kbench -chaos load three times; after
+# each restart every acknowledged checkpoint must resurrect with its
+# promised digest and keep simulating in lockstep with an in-process
+# replay. See scripts/ksimd-crash.sh.
+RACE=1 bash scripts/ksimd-crash.sh
 
 echo "CI OK"

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Crash-safety gate for ksimd: repeatedly SIGKILL the daemon under chaos
+# load and prove no acknowledged state is ever lost.
+#
+# Each round: start ksimd over a persistent store, launch `kbench -chaos`
+# (random step batches over several durable sessions, frequent checkpoints,
+# every acknowledged checkpoint journaled to a ledger), kill -9 the daemon
+# mid-load, assert the load exits 0 (daemon death is the expected outcome),
+# restart the daemon over the same store — its startup recovery scan sweeps
+# crash debris — and run `kbench -chaos-verify`: every ledgered checkpoint
+# must resurrect with exactly the digest the daemon acknowledged, match an
+# in-process replay to the same cycle, and keep simulating in lockstep.
+#
+# Environment:
+#   ROUNDS  kill/restart rounds (default 3)
+#   RACE=1  build both binaries with the race detector
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${ROUNDS:-3}"
+RACE="${RACE:-0}"
+
+workdir=$(mktemp -d)
+daemon_pid=""
+load_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    [ -n "$load_pid" ] && kill -9 "$load_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+build_flags=()
+if [ "$RACE" = "1" ]; then
+    build_flags+=(-race)
+fi
+go build "${build_flags[@]}" -o "$workdir/ksimd" ./cmd/ksimd
+go build "${build_flags[@]}" -o "$workdir/kbench" ./cmd/kbench
+
+store="$workdir/store"
+ledger="$workdir/ledger.json"
+
+start_daemon() { # $1: log file
+    rm -f "$workdir/addr"
+    "$workdir/ksimd" -addr 127.0.0.1:0 -store "$store" -addr-file "$workdir/addr" \
+        >"$1" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 150); do
+        [ -s "$workdir/addr" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$workdir/addr" ]; then
+        echo "ksimd-crash: daemon never bound; log follows" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    addr="http://$(cat "$workdir/addr")"
+}
+
+for round in $(seq "$ROUNDS"); do
+    echo "== ksimd-crash round $round/$ROUNDS"
+    start_daemon "$workdir/daemon-$round.log"
+
+    "$workdir/kbench" -chaos "$addr" -chaos-ledger "$ledger" \
+        -chaos-for 30s -chaos-seed "$round" >"$workdir/load-$round.log" 2>&1 &
+    load_pid=$!
+
+    # Let checkpoints accumulate, then pull the plug with no warning.
+    sleep 3
+    kill -9 "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+
+    # The load must take the kill in stride: flush its ledger and exit 0.
+    if ! wait "$load_pid"; then
+        echo "ksimd-crash: chaos load failed; log follows" >&2
+        cat "$workdir/load-$round.log" >&2
+        exit 1
+    fi
+    load_pid=""
+    cat "$workdir/load-$round.log"
+
+    # Restart over the same store and hold the daemon to its promises.
+    start_daemon "$workdir/daemon-$round-restart.log"
+    "$workdir/kbench" -chaos-verify "$addr" -chaos-ledger "$ledger"
+
+    kill -TERM "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+done
+
+echo "ksimd-crash: $ROUNDS kill/restart rounds, no acknowledged state lost"
