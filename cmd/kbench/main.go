@@ -8,6 +8,7 @@
 //	       [-parallel N] [-timeout D] [-fuzz N] [-fuzz-base S] [-json PATH]
 //	       [-designs a,b] [-digest-check] [-cpuprofile PATH] [-memprofile PATH]
 //	       [-workers N] [-scaling]
+//	       [-engines native] [-compile-cache DIR]
 //	       [-serve-url URL] [-serve-batch N]
 //	       [-chaos URL | -chaos-verify URL] [-chaos-ledger PATH]
 //	       [-chaos-for D] [-chaos-sessions N] [-chaos-seed N]
@@ -37,6 +38,18 @@
 // cells are always measured one at a time so pooled engines never contend
 // with each other; -cpuprofile covers the worker pools either way, since
 // profiling starts before any engine is built.
+//
+// -engines native runs the AOT native-tier grid instead: each acceptance
+// design (rv32i and fft by default; -designs overrides) is compiled to a
+// standalone binary through the digest-keyed compile cache and timed as a
+// supervised subprocess against the two fastest in-process Cuttlesim
+// engines, with a compile-cache column recording the cold go-build and warm
+// cache-hit latency per design. Digest parity between the native binary and
+// the in-process engines is enforced unconditionally. The text table goes
+// to stdout; -json writes the cuttlego-native/v1 document (the BENCH_4.json
+// generator). -compile-cache DIR persists the cache between runs (cold
+// compile reads 0 on a pre-warmed cache); empty uses a throwaway directory,
+// giving honest cold numbers.
 //
 // -serve-url URL benchmarks a running ksimd daemon instead of the local
 // jobs: each self-driving catalogue design (or the -designs subset) runs
@@ -105,6 +118,8 @@ func main() {
 		chaosSd  = fs.Int64("chaos-seed", 1, "seed for the -chaos workload schedule")
 		workers  = fs.Int("workers", 0, "add the parallel engines at this pool width to the -json grid")
 		scaling  = fs.Bool("scaling", false, "run the intra-design scaling sweep (text to stdout; -json writes the scaling document)")
+		engines  = fs.String("engines", "", `extra execution tiers: "native" runs the AOT native-tier grid (text to stdout; -json writes the native document)`)
+		ccache   = fs.String("compile-cache", "", "AOT compile-cache directory for -engines native (empty = throwaway dir, honest cold-compile numbers)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected jobs to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile (snapshotted at exit) to this file")
 	)
@@ -217,6 +232,45 @@ func main() {
 	if *serveURL != "" {
 		if err := runServe(ctx, os.Stdout, *serveURL, opts, *serveB, *jsonPath, *digest); err != nil {
 			fail(err)
+		}
+		stopProfiles()
+		return
+	}
+	if *engines != "" {
+		if *engines != "native" {
+			fail(fmt.Errorf(`-engines: unknown tier %q (supported: "native")`, *engines))
+		}
+		dir := *ccache
+		cleanup := func() {}
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "kbench-native-")
+			if err != nil {
+				fail(err)
+			}
+			dir = tmp
+			cleanup = func() { os.RemoveAll(tmp) }
+		}
+		// Measure once, render twice: each design pays a full go build on a
+		// cold cache before any timing starts.
+		rep, merr := bench.MeasureNative(ctx, opts, dir)
+		cleanup()
+		bench.RenderNative(os.Stdout, rep)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fail(err)
+			}
+			werr := bench.EncodeNative(f, rep)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fail(fmt.Errorf("%s: %w", *jsonPath, werr))
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if merr != nil {
+			fail(merr)
 		}
 		stopProfiles()
 		return

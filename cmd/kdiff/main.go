@@ -43,7 +43,7 @@ func main() {
 	seed := fs.Int64("seed", 1, "first generator seed")
 	count := fs.Int("count", 100, "number of consecutive seeds to sweep")
 	cycles := fs.Uint64("cycles", 200, "lockstep window in cycles")
-	engines := fs.String("engines", "cuttlesim,rtlsim,parallel", "engine matrix: comma list of cuttlesim, rtlsim, parallel (pooled engines at widths 2 and 4), gomodel, or all")
+	engines := fs.String("engines", "cuttlesim,rtlsim,parallel", "engine matrix: comma list of cuttlesim, rtlsim, parallel (pooled engines at widths 2 and 4), gomodel, native, or all")
 	shrink := fs.Bool("shrink", true, "shrink failures to a minimal reproducer")
 	outDir := fs.String("o", ".", "directory for reproducer .koika files")
 	progress := fs.String("progress", "", "comma list of progress registers for the deadlock oracle")

@@ -1,13 +1,15 @@
 // Command koikac is the compiler front door: it loads a design (a
 // catalogued name or a .koika source file) and emits one of the toolchain's
-// artifacts — pretty-printed source, the readable C++ simulation model,
+// artifacts — pretty-printed source, the readable C++ simulation model, the
+// standalone Go model ("go", printing final state) or its servo variant
+// ("go-servo", the wire-protocol subprocess the AOT native tier builds),
 // Verilog in either scheduling style, static-analysis facts, or netlist
 // statistics.
 //
 // Usage:
 //
-//	koikac -emit listing|model|verilog|analysis|stats [-style koika|bluespec]
-//	       [-maxerrors N] [-maxnets N] <design>
+//	koikac -emit listing|model|go|go-servo|verilog|analysis|stats
+//	       [-style koika|bluespec] [-maxerrors N] [-maxnets N] <design>
 //
 // Exit codes: 0 on success, 1 when the input is at fault (parse or type
 // errors, unknown designs, resource limits, bad flags), 2 when the
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	fs := cli.Flags("koikac")
-	emit := fs.String("emit", "listing", "artifact: listing, model, gomodel, verilog, analysis, stats")
+	emit := fs.String("emit", "listing", "artifact: listing, model, go, go-servo, verilog, analysis, stats")
 	styleName := fs.String("style", "koika", "verilog scheduling style: koika or bluespec")
 	maxErrors := fs.Int("maxerrors", 0, "cap on reported frontend errors (0 = default, -1 = unlimited)")
 	maxNets := fs.Int("maxnets", circuit.DefaultMaxNets, "netlist budget for circuit compilation (0 = unlimited)")
@@ -65,8 +67,16 @@ func run(ref, emit, styleName string, maxErrors, maxNets int) error {
 			return err
 		}
 		fmt.Print(text)
-	case "gomodel":
+	case "go", "gomodel": // "gomodel" kept as a compatible alias
 		text, err := gomodel.Emit(d)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	case "go-servo":
+		// The exact program the native tier compiles and supervises: a
+		// design with extfun bindings gets them from its catalogue entry.
+		text, err := gomodel.EmitServo(d, inst.Native)
 		if err != nil {
 			return err
 		}

@@ -1,21 +1,62 @@
 package main
 
 import (
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"cuttlego/internal/bench"
 	"cuttlego/internal/diag"
+	"cuttlego/internal/gomodel"
 )
 
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
 func TestRunArtifacts(t *testing.T) {
-	for _, emit := range []string{"listing", "model", "gomodel", "verilog", "analysis", "stats"} {
+	for _, emit := range []string{"listing", "model", "go", "gomodel", "go-servo", "verilog", "analysis", "stats"} {
 		if err := run("collatz", emit, "koika", 0, 0); err != nil {
 			t.Errorf("emit %s: %v", emit, err)
 		}
 	}
 	if err := run("rv32i", "verilog", "bluespec", 0, 0); err != nil {
 		t.Errorf("bluespec style: %v", err)
+	}
+	// rv32i's external functions sink the standalone Go model, but the servo
+	// variant embeds the catalogue bindings and compiles fine.
+	if err := run("rv32i", "go-servo", "koika", 0, 0); err != nil {
+		t.Errorf("rv32i go-servo: %v", err)
+	}
+}
+
+// TestGoServoGolden pins the emitted servo program for collatz to a golden
+// file: the emitted source feeds the native tier's digest-keyed compile
+// cache, so an unintended emitter change shows up here before it shows up
+// as a fleet-wide cache flush. Regenerate with:
+//
+//	go test ./cmd/koikac -update
+func TestGoServoGolden(t *testing.T) {
+	inst, err := bench.Load("collatz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := gomodel.EmitServo(inst.Design, inst.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "collatz.go-servo.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("emitted servo program drifted from %s (run with -update if intended).\nThis invalidates every cached native binary: bump gomodel.EmitterVersion alongside real emitter changes.", golden)
 	}
 }
 

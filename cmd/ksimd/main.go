@@ -8,6 +8,7 @@
 //	ksimd [-addr HOST:PORT] [-store DIR] [-max-sessions N] [-max-body BYTES]
 //	      [-step-timeout D] [-max-step N] [-workers N] [-addr-file PATH]
 //	      [-max-queue N] [-watchdog D] [-faults SPEC] [-fault-seed N]
+//	      [-native-cache DIR] [-promote-after N]
 //
 // The daemon prints its listening address on stdout once bound (an -addr of
 // ":0" picks an ephemeral port; -addr-file additionally writes the address
@@ -17,6 +18,15 @@
 // -store directory is scanned for crash damage — orphaned temp files are
 // removed and torn or corrupt checkpoints are quarantined — and the report
 // is printed when anything was found.
+//
+// -native-cache enables the AOT execution tier: it roots the digest-keyed
+// compile cache, allows sessions with engine "native", and — with
+// -promote-after N — transparently promotes hot self-driving cuttlesim
+// sessions onto compiled binaries once they pass N cycles (the compile runs
+// off the stepping path; state transfers via snapshot behind a
+// digest-equality gate, and a crashed binary demotes back in-process). On
+// shutdown every simulator subprocess is reaped, so a retired daemon never
+// leaves orphans.
 //
 // -max-queue and -watchdog tune the overload and runaway-step defenses
 // (see server.Config). -faults arms deterministic fault injection for chaos
@@ -61,6 +71,8 @@ func main() {
 		watchdog = fs.Duration("watchdog", 0, "wall-clock bound per step request (0 = step-timeout + 30s)")
 		faults   = fs.String("faults", "", "fault-injection rules op:trigger:kind[:delay], comma-separated (chaos testing)")
 		faultSd  = fs.Int64("fault-seed", 1, "seed for probabilistic -faults rules")
+		ncache   = fs.String("native-cache", "", "AOT compile-cache directory; enables the native execution tier (empty = disabled)")
+		promote  = fs.Uint64("promote-after", 0, "promote hot cuttlesim sessions to the native tier past this cycle count (0 = never; needs -native-cache)")
 	)
 	cli.Parse(fs, os.Args[1:])
 	if fs.NArg() != 0 {
@@ -77,15 +89,17 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		StoreDir:      *store,
-		MaxSessions:   *maxSess,
-		MaxBody:       *maxBody,
-		StepTimeout:   *stepTO,
-		MaxStepCycles: *maxStep,
-		Workers:       *workers,
-		MaxQueue:      *maxQueue,
-		Watchdog:      *watchdog,
-		Faults:        inj,
+		StoreDir:       *store,
+		MaxSessions:    *maxSess,
+		MaxBody:        *maxBody,
+		StepTimeout:    *stepTO,
+		MaxStepCycles:  *maxStep,
+		Workers:        *workers,
+		MaxQueue:       *maxQueue,
+		Watchdog:       *watchdog,
+		Faults:         inj,
+		NativeCacheDir: *ncache,
+		PromoteAfter:   *promote,
 	})
 	if err != nil {
 		cli.Fail("ksimd", err)

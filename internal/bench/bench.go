@@ -18,7 +18,9 @@ import (
 	"cuttlego/internal/circuit"
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/dsp"
+	"cuttlego/internal/gomodel"
 	"cuttlego/internal/interp"
+	"cuttlego/internal/native"
 	"cuttlego/internal/netopt"
 	"cuttlego/internal/riscv"
 	"cuttlego/internal/rtlsim"
@@ -31,9 +33,16 @@ import (
 // Instance is one freshly built benchmark design plus its testbench (nil
 // when the design is self-driving). Engines must not share instances: the
 // testbench and external functions carry per-instance state.
+//
+// Native, when non-nil, carries the gomodel servo bindings that serialize
+// this instance's external world (memory images, testbench drain) into a
+// generated program, so the native execution tier can embed the whole
+// harness in a compiled binary. Designs without external functions or
+// testbenches need no bindings.
 type Instance struct {
 	Design *ast.Design
 	Bench  sim.Testbench
+	Native *gomodel.Bindings
 }
 
 // Benchmark describes one Table 1 row.
@@ -112,7 +121,7 @@ func Suite() []Benchmark {
 				mem.LoadWords(0, workload.Primes(500))
 				d, cores := rvcore.BuildMC("rv32i-mc", mem)
 				d.MustCheck()
-				return Instance{Design: d, Bench: rvcore.NewBench(cores...)}
+				return Instance{Design: d, Bench: rvcore.NewBench(cores...), Native: rvcore.NativeBindings(cores...)}
 			},
 		},
 		{
@@ -132,7 +141,7 @@ func coreInstance(cfg rvcore.Config) Instance {
 	mem.LoadWords(0, workload.Primes(500))
 	d, core := rvcore.Build(cfg, mem)
 	d.MustCheck()
-	return Instance{Design: d, Bench: rvcore.NewBench(core)}
+	return Instance{Design: d, Bench: rvcore.NewBench(core), Native: rvcore.NativeBindings(core)}
 }
 
 // CollatzBench wraps the collatz design with a restart rule so timing runs
@@ -283,6 +292,25 @@ func ParallelStress(nrules, depth int) *ast.Design {
 type Engine struct {
 	Name string
 	Make func(Instance) (sim.Engine, error)
+	// SelfDriving marks engines that embed the instance's testbench (the
+	// native tier compiles it into the binary): the harness must not apply
+	// inst.Bench on top, and may advance the engine in batches.
+	SelfDriving bool
+}
+
+// EngNative builds the AOT native-tier engine spec: the design (plus its
+// serialized testbench and memory images) is compiled to a standalone
+// binary through the given cache and supervised as a subprocess. Compile
+// time is paid inside Make, outside the timed window — warm runs reuse the
+// cached binary.
+func EngNative(c *native.Cache) Engine {
+	return Engine{
+		Name:        "native",
+		SelfDriving: true,
+		Make: func(inst Instance) (sim.Engine, error) {
+			return c.Engine(inst.Design, inst.Native)
+		},
+	}
 }
 
 // EngCuttlesim builds a Cuttlesim engine spec.
@@ -400,13 +428,21 @@ func Measure(bm Benchmark, eng Engine, cycles uint64) (Measurement, error) {
 	}
 	defer closeEngine(e)
 	tb := inst.Bench
-	if tb == nil {
+	if tb == nil || eng.SelfDriving {
 		tb = sim.NopBench{}
 	}
 	warm := cycles / 10
-	runCycles(e, tb, warm)
+	if eng.SelfDriving {
+		advanceCycles(e, warm)
+	} else {
+		runCycles(e, tb, warm)
+	}
 	start := time.Now()
-	runCycles(e, tb, cycles)
+	if eng.SelfDriving {
+		advanceCycles(e, cycles)
+	} else {
+		runCycles(e, tb, cycles)
+	}
 	elapsed := time.Since(start)
 	return Measurement{Benchmark: bm.Name, Engine: eng.Name, Cycles: cycles,
 		Elapsed: elapsed, Digest: StateDigest(e)}, nil
@@ -436,6 +472,17 @@ func runCycles(e sim.Engine, tb sim.Testbench, n uint64) {
 		e.Cycle()
 		tb.AfterCycle(e)
 	}
+}
+
+// advanceCycles drives a self-driving engine: one batched Advance when the
+// engine supports it (the native tier turns the whole window into a single
+// subprocess round trip), a plain cycle loop otherwise.
+func advanceCycles(e sim.Engine, n uint64) {
+	if a, ok := e.(sim.Advancer); ok {
+		a.Advance(n)
+		return
+	}
+	runCycles(e, sim.NopBench{}, n)
 }
 
 // HaltCycles runs a fresh instance under Cuttlesim until its bench halts
@@ -469,10 +516,10 @@ func Verify(bm Benchmark, a, b Engine, cycles uint64) error {
 	}
 	defer closeEngine(eb)
 	tba, tbb := ia.Bench, ib.Bench
-	if tba == nil {
+	if tba == nil || a.SelfDriving {
 		tba = sim.NopBench{}
 	}
-	if tbb == nil {
+	if tbb == nil || b.SelfDriving {
 		tbb = sim.NopBench{}
 	}
 	for i := uint64(0); i < cycles; i++ {

@@ -7,11 +7,13 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"cuttlego/internal/ast"
 	"cuttlego/internal/circuit"
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/gomodel"
+	"cuttlego/internal/native"
 	"cuttlego/internal/netopt"
 	"cuttlego/internal/rtlsim"
 	"cuttlego/internal/sim"
@@ -171,9 +173,55 @@ func runGomodel(d *ast.Design, cycles uint64) (map[string]uint64, error) {
 	return vals, nil
 }
 
+// nativeCache lazily opens one compile cache per process for the native
+// difftest spec. The cache lives under the OS temp directory at a fixed
+// path, so repeated runs (and fuzz iterations) reuse binaries instead of
+// recompiling; digest keys make cross-version collisions impossible.
+var (
+	nativeCacheOnce sync.Once
+	nativeCacheVal  *native.Cache
+	nativeCacheErr  error
+)
+
+func nativeCache() (*native.Cache, error) {
+	nativeCacheOnce.Do(func() {
+		dir := filepath.Join(os.TempDir(), "cuttlego-native-cache")
+		nativeCacheVal, nativeCacheErr = native.OpenCache(dir, native.CacheOptions{})
+	})
+	return nativeCacheVal, nativeCacheErr
+}
+
+// NativeSpec returns the AOT native-tier engine: the design is compiled to
+// a standalone servo binary through the shared compile cache and driven
+// cycle-by-cycle over the supervisor protocol, so the whole pipeline —
+// emission, digest-keyed caching, the handshake gate, and the wire protocol
+// — sits inside the differential net. Designs the servo emitter rejects
+// (Goldberg registers, external functions without bindings) and hosts
+// without a Go toolchain are skipped via ErrUnsupported.
+func NativeSpec() Spec {
+	return Spec{
+		Name: "native",
+		Make: func(d *ast.Design) (sim.Engine, error) {
+			if _, err := exec.LookPath("go"); err != nil {
+				return nil, fmt.Errorf("%w: go toolchain not found", ErrUnsupported)
+			}
+			// Emission failures are capability limits, not divergences;
+			// classify them before paying for cache and compile machinery.
+			if _, err := gomodel.EmitServo(d, nil); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+			}
+			c, err := nativeCache()
+			if err != nil {
+				return nil, err
+			}
+			return c.Engine(d, nil)
+		},
+	}
+}
+
 // Matrix resolves a comma-separated engine list ("cuttlesim", "rtlsim",
-// "parallel", "gomodel", or "all") to specs. The reference interpreter is
-// always part of a run and never needs listing.
+// "parallel", "gomodel", "native", or "all") to specs. The reference
+// interpreter is always part of a run and never needs listing.
 func Matrix(names string) ([]Spec, error) {
 	var specs []Spec
 	for _, name := range strings.Split(names, ",") {
@@ -188,13 +236,16 @@ func Matrix(names string) ([]Spec, error) {
 			specs = append(specs, ParallelSpecs()...)
 		case "gomodel":
 			specs = append(specs, GomodelSpec())
+		case "native":
+			specs = append(specs, NativeSpec())
 		case "all":
 			specs = append(specs, CuttlesimSpecs()...)
 			specs = append(specs, RTLSpecs()...)
 			specs = append(specs, ParallelSpecs()...)
 			specs = append(specs, GomodelSpec())
+			specs = append(specs, NativeSpec())
 		default:
-			return nil, fmt.Errorf("unknown engine %q (want interp, cuttlesim, rtlsim, parallel, gomodel, or all)", name)
+			return nil, fmt.Errorf("unknown engine %q (want interp, cuttlesim, rtlsim, parallel, gomodel, native, or all)", name)
 		}
 	}
 	return specs, nil

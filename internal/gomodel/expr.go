@@ -2,6 +2,7 @@ package gomodel
 
 import (
 	"fmt"
+	"strings"
 
 	"cuttlego/internal/ast"
 	"cuttlego/internal/bits"
@@ -251,6 +252,18 @@ func (g *gen) expr(n *ast.Node) string {
 		case ast.OpConcat:
 			g.line("var %s uint64 = %s<<%d | %s", t, a, n.B.W, b)
 		}
+		return t
+
+	case ast.KExtCall:
+		// External calls only appear in servo emission (Emit rejects them);
+		// the bindings supply an ext_<name> implementation, masked
+		// defensively to the declared return width.
+		args := make([]string, len(n.Items))
+		for i, it := range n.Items {
+			args[i] = g.expr(it)
+		}
+		t := g.fresh("t")
+		g.line("var %s uint64 = ext_%s(%s) & %#x", t, goIdent(n.Name), strings.Join(args, ", "), bits.Mask(n.W))
 		return t
 
 	case ast.KField:

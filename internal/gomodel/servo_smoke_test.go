@@ -1,0 +1,31 @@
+package gomodel
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"cuttlego/internal/stm"
+)
+
+func TestServoSmokeCompiles(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	d := stm.Collatz(27).MustCheck()
+	src, err := EmitServo(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "model.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "build", "-o", filepath.Join(dir, "model"), filepath.Join(dir, "model.go"))
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GO111MODULE=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s\n--- source ---\n%s", err, out, src)
+	}
+}

@@ -30,6 +30,17 @@ func (m *Memory) ReadWord(addr uint32) uint32 { return m.words[addr/4] }
 // WriteWord stores a word at the byte address addr.
 func (m *Memory) WriteWord(addr, v uint32) { m.words[addr/4] = v }
 
+// Words returns a copy of the image keyed by word index (byte address / 4),
+// for serializing the memory into generated code. The copy keeps callers
+// from aliasing the live image.
+func (m *Memory) Words() map[uint32]uint32 {
+	out := make(map[uint32]uint32, len(m.words))
+	for k, v := range m.words {
+		out[k] = v
+	}
+	return out
+}
+
 // Clone returns a deep copy (for running several engines on one image).
 func (m *Memory) Clone() *Memory {
 	out := NewMemory()

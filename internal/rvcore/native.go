@@ -1,0 +1,59 @@
+package rvcore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cuttlego/internal/gomodel"
+	"cuttlego/internal/riscv"
+)
+
+// NativeBindings serializes the cores' external world — the memory images
+// behind imem/dmem_read and the between-cycles write-port drain — into
+// gomodel servo bindings, so a processor design can be compiled into a
+// standalone native simulator. The emitted testbench mirrors Bench.AfterCycle
+// exactly: drain the data-memory write port into the core's private image,
+// clear the write enable, and latch the tohost store that halts the core.
+// A halted core keeps cycling (as under the in-process bench harness), only
+// its drain stops, so native state evolution matches the in-process engines
+// cycle for cycle.
+func NativeBindings(cores ...*Core) *gomodel.Bindings {
+	b := &gomodel.Bindings{ExtFuns: make(map[string]string)}
+	var prelude, after strings.Builder
+	for i, c := range cores {
+		memVar := fmt.Sprintf("mem%d", i)
+		fmt.Fprintf(&prelude, "// core %d: private memory image, bench latches\n", i)
+		fmt.Fprintf(&prelude, "var %s = map[uint32]uint32{\n", memVar)
+		words := c.Mem.Words()
+		idx := make([]uint32, 0, len(words))
+		for k := range words {
+			idx = append(idx, k)
+		}
+		sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+		for _, k := range idx {
+			fmt.Fprintf(&prelude, "\t%#x: %#x,\n", k, words[k])
+		}
+		fmt.Fprintf(&prelude, "}\n")
+		fmt.Fprintf(&prelude, "var halted%d bool\n", i)
+		fmt.Fprintf(&prelude, "var tohost%d uint32\n\n", i)
+
+		body := fmt.Sprintf("return uint64(%s[uint32(a0)>>2])", memVar)
+		b.ExtFuns[c.Cfg.Prefix+"imem"] = body
+		b.ExtFuns[c.Cfg.Prefix+"dmem_read"] = body
+
+		fmt.Fprintf(&after, "if !halted%d && state[%s] != 0 {\n", i, gomodel.RegIdent(c.DmWen))
+		fmt.Fprintf(&after, "\taddr := uint32(state[%s])\n", gomodel.RegIdent(c.DmAddr))
+		fmt.Fprintf(&after, "\tdata := uint32(state[%s])\n", gomodel.RegIdent(c.DmData))
+		fmt.Fprintf(&after, "\t%s[addr>>2] = data\n", memVar)
+		fmt.Fprintf(&after, "\tbset(%s, 0)\n", gomodel.RegIdent(c.DmWen))
+		fmt.Fprintf(&after, "\tif addr == %#x {\n", riscv.TohostAddr)
+		fmt.Fprintf(&after, "\t\ttohost%d = data\n", i)
+		fmt.Fprintf(&after, "\t\thalted%d = true\n", i)
+		fmt.Fprintf(&after, "\t}\n")
+		fmt.Fprintf(&after, "}\n")
+	}
+	b.Prelude = prelude.String()
+	b.AfterCycle = after.String()
+	return b
+}

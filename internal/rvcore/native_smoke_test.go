@@ -1,0 +1,58 @@
+package rvcore
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cuttlego/internal/gomodel"
+	"cuttlego/internal/riscv"
+	"cuttlego/internal/workload"
+)
+
+// TestNativeBindingsCompile emits the rv32i servo program and checks it
+// compiles; deeper lockstep coverage lives in internal/native.
+func TestNativeBindingsCompile(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	mem := riscv.NewMemory()
+	mem.LoadWords(0, workload.Primes(50))
+	d, core := Build(RV32I(), mem)
+	d.MustCheck()
+	src, err := gomodel.EmitServo(d, NativeBindings(core))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "model.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "build", "-o", filepath.Join(dir, "model"), filepath.Join(dir, "model.go"))
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GO111MODULE=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		i := strings.Index(string(out), "model.go:")
+		line := ""
+		if i >= 0 {
+			rest := string(out)[i+9:]
+			if j := strings.IndexByte(rest, ':'); j > 0 {
+				if n, e := strconv.Atoi(rest[:j]); e == nil {
+					lines := strings.Split(src, "\n")
+					lo, hi := n-5, n+5
+					if lo < 0 {
+						lo = 0
+					}
+					if hi > len(lines) {
+						hi = len(lines)
+					}
+					line = strings.Join(lines[lo:hi], "\n")
+				}
+			}
+		}
+		t.Fatalf("go build: %v\n%s\ncontext:\n%s", err, out, line)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"cuttlego/internal/circuit"
 	"cuttlego/internal/cuttlesim"
 	"cuttlego/internal/interp"
+	"cuttlego/internal/native"
 	"cuttlego/internal/netopt"
 	"cuttlego/internal/rtlsim"
 	"cuttlego/internal/sim"
@@ -32,6 +33,8 @@ func (c EngineConfig) String() string {
 	switch c.Engine {
 	case "interp":
 		return "interp"
+	case "native":
+		return "native"
 	case "rtlsim":
 		if c.Optimize {
 			return fmt.Sprintf("rtlsim(%s,opt%s)", c.Backend, w)
@@ -76,6 +79,13 @@ func (c EngineConfig) normalize() (EngineConfig, error) {
 		if c.Workers > 1 {
 			return c, fmt.Errorf("interp has no parallel engine")
 		}
+	case "native":
+		if c.Level != "" || c.Backend != "" {
+			return c, fmt.Errorf("the native tier has no levels or backends (the go compiler decides)")
+		}
+		if c.Workers > 1 {
+			return c, fmt.Errorf("the native tier has no worker pools (one subprocess per session)")
+		}
 	case "rtlsim":
 		if c.Level != "" {
 			return c, fmt.Errorf("rtlsim has no optimization levels")
@@ -91,7 +101,7 @@ func (c EngineConfig) normalize() (EngineConfig, error) {
 			return c, fmt.Errorf("rtlsim workers > 1 requires the fused backend (BSP shards reuse its decoded form), got %q", c.Backend)
 		}
 	default:
-		return c, fmt.Errorf("unknown engine %q (want cuttlesim, interp, or rtlsim)", c.Engine)
+		return c, fmt.Errorf("unknown engine %q (want cuttlesim, interp, rtlsim, or native)", c.Engine)
 	}
 	return c, nil
 }
@@ -108,11 +118,17 @@ func cuttlesimLevel(name string) (cuttlesim.Level, error) {
 // build instantiates the configured engine over a fresh design instance.
 // Cuttlesim engines are always built with profiling on: the daemon's
 // rule-profile endpoint is part of the remote debugging surface and the
-// counters cost almost nothing.
-func (c EngineConfig) build(inst bench.Instance) (sim.Engine, error) {
+// counters cost almost nothing. ncache is the daemon's AOT compile cache;
+// only the "native" engine needs it.
+func (c EngineConfig) build(inst bench.Instance, ncache *native.Cache) (sim.Engine, error) {
 	switch c.Engine {
 	case "interp":
 		return interp.New(inst.Design)
+	case "native":
+		if ncache == nil {
+			return nil, fmt.Errorf("the native tier is disabled on this daemon (start it with -native-cache)")
+		}
+		return ncache.Engine(inst.Design, inst.Native)
 	case "rtlsim":
 		ckt, err := circuit.Compile(inst.Design, circuit.StyleKoika)
 		if err != nil {

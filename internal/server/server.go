@@ -28,6 +28,7 @@ import (
 	"cuttlego/internal/bench"
 	"cuttlego/internal/diag"
 	"cuttlego/internal/faultinj"
+	"cuttlego/internal/native"
 	"cuttlego/internal/sim"
 	"cuttlego/internal/vcd"
 )
@@ -72,6 +73,18 @@ type Config struct {
 	// the store's filesystem calls and every session engine. Chaos testing
 	// only; nil in production.
 	Faults *faultinj.Injector
+	// NativeCacheDir roots the AOT compile cache and enables the native
+	// execution tier: sessions may be created with engine "native", and hot
+	// cuttlesim sessions are transparently promoted (see PromoteAfter).
+	// "" disables the tier.
+	NativeCacheDir string
+	// PromoteAfter is the cycle count past which a durable cuttlesim
+	// session is transparently promoted to the native tier: the compile
+	// runs off the stepping path, state transfers via snapshot with a
+	// digest-equality gate, and a crashed subprocess demotes back to the
+	// in-process engine. 0 disables promotion (explicit native sessions
+	// still work). Requires NativeCacheDir.
+	PromoteAfter uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +132,9 @@ type Server struct {
 	idem      map[string]*idemEntry
 	idemOrder []string
 
+	ncache *native.Cache // nil when the native tier is disabled
+	tier   tierStats
+
 	started     time.Time
 	totalCycles atomic.Uint64
 	checkpoints atomic.Uint64
@@ -165,9 +181,28 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	if cfg.PromoteAfter > 0 && cfg.NativeCacheDir == "" {
+		return nil, fmt.Errorf("server: PromoteAfter needs NativeCacheDir (nowhere to compile to)")
+	}
+	if cfg.NativeCacheDir != "" {
+		var fsys faultinj.FS
+		if cfg.Faults != nil {
+			fsys = faultinj.NewFS(faultinj.OS(), cfg.Faults)
+		}
+		ncache, err := native.OpenCache(cfg.NativeCacheDir, native.CacheOptions{FS: fsys})
+		if err != nil {
+			return nil, fmt.Errorf("server: open native cache: %w", err)
+		}
+		s.ncache = ncache
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
+}
+
+// env bundles the server-owned machinery newSession needs.
+func (s *Server) env() sessionEnv {
+	return sessionEnv{inj: s.cfg.Faults, ncache: s.ncache, promoteAfter: s.cfg.PromoteAfter, stats: &s.tier}
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -201,6 +236,13 @@ func (s *Server) Close() error {
 		sess.closeEngine()
 		sess.mu.Unlock()
 	}
+	if s.ncache != nil {
+		// Backstop against orphaned simulator subprocesses: closeEngine
+		// already reaped each session's child, but a child whose session
+		// was quarantined mid-crash (or leaked by a bug) must not outlive
+		// the daemon.
+		native.KillAll(5 * time.Second)
+	}
 	return firstErr
 }
 
@@ -225,7 +267,11 @@ func (s *Server) checkpoint(sess *session) (CheckpointResponse, error) {
 
 // checkpointLocked is checkpoint's body; callers hold sess.mu, so the
 // persisted state cannot advance between the capture and the store write.
-func (s *Server) checkpointLocked(sess *session) (CheckpointResponse, error) {
+// The Guard matters on the native tier: a snapshot RPC against a crashed
+// subprocess panics, and eviction/shutdown must degrade to an error, not
+// take the daemon down.
+func (s *Server) checkpointLocked(sess *session) (_ CheckpointResponse, err error) {
+	defer diag.Guard("server: checkpoint", &err)
 	snap, err := sess.snapshotLocked()
 	if err != nil {
 		return CheckpointResponse{}, err
@@ -426,7 +472,7 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 		Engine: meta.Config.Engine, Level: meta.Config.Level,
 		Backend: meta.Config.Backend, Optimize: meta.Config.Optimize,
 		Workers: meta.Config.Workers,
-	}, s.cfg.Faults)
+	}, s.env())
 	if err != nil {
 		return nil, fmt.Errorf("rebuilding session %q: %w", id, err)
 	}
@@ -749,6 +795,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Shed:               s.shed.Load(),
 		CorruptCheckpoints: s.corrupt.Load(),
 
+		Promotions: s.tier.promotions.Load(),
+		Demotions:  s.tier.demotions.Load(),
+
 		UptimeSec: now.Sub(s.started).Seconds(),
 	})
 }
@@ -763,7 +812,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := "s" + strconv.FormatUint(s.nextID, 10)
 	s.mu.Unlock()
-	sess, err := newSession(id, req, s.cfg.Faults)
+	sess, err := newSession(id, req, s.env())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -1028,7 +1077,7 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 		Engine: sess.cfg.Engine, Level: sess.cfg.Level,
 		Backend: sess.cfg.Backend, Optimize: sess.cfg.Optimize,
 		Workers: sess.cfg.Workers,
-	}, s.cfg.Faults)
+	}, s.env())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -1182,8 +1231,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // Describe returns a one-line description of the daemon's limits, for the
 // ksimd startup banner.
 func (s *Server) Describe() string {
-	return fmt.Sprintf("max-sessions=%d workers=%d max-body=%dB step-timeout=%s store=%q",
+	desc := fmt.Sprintf("max-sessions=%d workers=%d max-body=%dB step-timeout=%s store=%q",
 		s.cfg.MaxSessions, s.cfg.Workers, s.cfg.MaxBody, s.cfg.StepTimeout, s.cfg.StoreDir)
+	if s.ncache != nil {
+		desc += fmt.Sprintf(" native-cache=%q promote-after=%d", s.cfg.NativeCacheDir, s.cfg.PromoteAfter)
+	}
+	return desc
 }
 
 // catalogNames is re-exported for the CLI usage string.

@@ -17,6 +17,7 @@ import (
 	"cuttlego/internal/diag"
 	"cuttlego/internal/faultinj"
 	"cuttlego/internal/lang"
+	"cuttlego/internal/native"
 	"cuttlego/internal/sim"
 )
 
@@ -54,16 +55,46 @@ func (e *sessionFailedError) Error() string {
 		e.id, e.state, e.reason)
 }
 
+// sessionEnv is the server-owned machinery a session needs beyond its own
+// request: fault injection, the AOT compile cache (nil when the native tier
+// is disabled), the promotion threshold, and the shared tier counters.
+type sessionEnv struct {
+	inj          *faultinj.Injector
+	ncache       *native.Cache
+	promoteAfter uint64
+	stats        *tierStats
+}
+
+// tierStats counts tier transitions across all of a server's sessions.
+type tierStats struct {
+	promotions atomic.Uint64
+	demotions  atomic.Uint64
+}
+
+// nativeBuild is the result of a session's asynchronous promotion compile,
+// published through session.compiled. The design is the fresh instance the
+// binary was emitted from; Launch needs it to verify the handshake digest.
+type nativeBuild struct {
+	design *ast.Design
+	res    native.BuildResult
+	err    error
+}
+
 // session is one hosted simulation. All simulation access goes through mu:
 // the HTTP layer may serve many requests for the same session concurrently,
 // but the engine is strictly single-threaded.
 type session struct {
 	id  string
 	cfg EngineConfig
+	env sessionEnv
 	// exactly one of src/catalog is non-empty; it is what meta.json stores
 	// and what resurrection replays.
 	src     string
 	catalog string
+	// external marks designs whose machine state extends beyond the
+	// architectural registers (an embedded testbench's memory images and
+	// workload cursors); such sessions cannot be checkpointed or promoted.
+	external bool
 	// Immutable design facts cached at build time, so a wedged session —
 	// whose mu may be held forever by a runaway step — can still be
 	// described without touching the engine.
@@ -77,6 +108,16 @@ type session struct {
 	snaps    []sim.Snapshot // in-memory ring for reverse execution
 	restored bool
 	closed   bool // engine released; guarded by mu
+
+	// Execution-tier state (guarded by mu). tier is "" while the session
+	// runs in-process and "native" on the AOT subprocess tier; promoted
+	// distinguishes a transparently promoted session (demotable on crash)
+	// from one whose client asked for the native engine outright.
+	tier           string
+	promoted       bool
+	noPromote      bool // sticky: promotion failed or was rolled back
+	compileStarted bool
+	compiled       atomic.Pointer[nativeBuild]
 
 	// failed, once set, fails every simulation operation with 409. It is
 	// read without mu (a wedged session's mu may never be released), so it
@@ -136,9 +177,9 @@ func buildInstance(src, catalog string) (bench.Instance, error) {
 	return bench.Instance{Design: d}, nil
 }
 
-// newSession elaborates a design and builds its engine; inj, when non-nil,
-// threads fault injection through every engine cycle.
-func newSession(id string, req CreateRequest, inj *faultinj.Injector) (_ *session, err error) {
+// newSession elaborates a design and builds its engine; env.inj, when
+// non-nil, threads fault injection through every engine cycle.
+func newSession(id string, req CreateRequest, env sessionEnv) (_ *session, err error) {
 	defer diag.Guard("server: create session", &err)
 	if (req.Source == "") == (req.Catalog == "") {
 		return nil, fmt.Errorf("exactly one of source and catalog must be set")
@@ -154,15 +195,26 @@ func newSession(id string, req CreateRequest, inj *faultinj.Injector) (_ *sessio
 	if err != nil {
 		return nil, err
 	}
-	eng, err := cfg.build(inst)
+	eng, err := cfg.build(inst, env.ncache)
 	if err != nil {
 		return nil, err
 	}
-	eng = wrapEngine(eng, inj)
+	eng = wrapEngine(eng, env.inj)
 	d := eng.Design()
 	s := &session{
-		id: id, cfg: cfg, src: req.Source, catalog: req.Catalog, eng: eng, tb: inst.Bench,
+		id: id, cfg: cfg, env: env, src: req.Source, catalog: req.Catalog, eng: eng,
+		external:   inst.Bench != nil,
 		designName: d.Name, nRegs: len(d.Registers), nRules: len(d.Rules),
+	}
+	if cfg.Engine == "native" {
+		// The native binary self-drives: whatever workload the catalogue
+		// entry carries is compiled in as extfun bindings, so the host-side
+		// testbench must not run on top of it. The session starts (and
+		// stays) on the native tier; there is nothing to promote.
+		s.tier = "native"
+		s.noPromote = true
+	} else {
+		s.tb = inst.Bench
 	}
 	s.recordSnapshot()
 	return s, nil
@@ -190,8 +242,11 @@ func (s *session) discard() {
 	s.mu.Unlock()
 }
 
-// durable reports whether snapshots fully determine the session.
-func (s *session) durable() bool { return s.tb == nil }
+// durable reports whether snapshots fully determine the session. The test
+// is the design, not the current engine: a native session over a design
+// with an embedded testbench keeps memory images in subprocess globals that
+// the architectural snapshot cannot capture.
+func (s *session) durable() bool { return !s.external }
 
 // design returns the design under simulation (immutable once built).
 func (s *session) design() *ast.Design { return s.eng.Design() }
@@ -208,7 +263,7 @@ func (s *session) info() SessionInfo {
 			Durable: s.durable(), Restored: s.restored,
 		}
 		if last := s.lastInfo.Load(); last != nil {
-			inf.Cycle, inf.Digest = last.Cycle, last.Digest
+			inf.Cycle, inf.Digest, inf.Tier = last.Cycle, last.Digest, last.Tier
 		}
 		inf.State = f.state
 		return inf
@@ -225,6 +280,7 @@ func (s *session) info() SessionInfo {
 		Digest:    fmt.Sprintf("%016x", sim.StateDigest(s.eng)),
 		Durable:   s.durable(),
 		Restored:  s.restored,
+		Tier:      s.tier,
 	}
 	s.lastInfo.Store(&inf)
 	return inf
@@ -267,6 +323,8 @@ func (s *session) step(ctx context.Context, n uint64) (ran uint64, stopped strin
 // stepLocked is step's body; observe, when non-nil, runs after every cycle
 // (the trace stream). Callers hold mu.
 func (s *session) stepLocked(ctx context.Context, n uint64, observe func() error) (uint64, string, error) {
+	s.maybePromoteLocked()
+	start := s.eng.CycleCount()
 	var i uint64
 	for i < n {
 		// Batch cycles between bookkeeping points: the next snapshot
@@ -295,6 +353,17 @@ func (s *session) stepLocked(ctx context.Context, n uint64, observe func() error
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				return i, "timeout", nil
 			}
+			if s.nativeDownLocked() {
+				// The promoted subprocess died. The session's truth is the
+				// snapshot ring: fall back to the in-process engine, replay
+				// to the cycle the client was already credited with, and
+				// keep stepping as if nothing happened. When demotion
+				// itself fails, the original crash error propagates and the
+				// session is quarantined — honest and sticky.
+				if s.demoteLocked(ctx, start+i) {
+					continue
+				}
+			}
 			return i, "", err
 		}
 		if s.eng.CycleCount()%snapInterval == 0 {
@@ -312,6 +381,143 @@ func (s *session) stepLocked(ctx context.Context, n uint64, observe func() error
 		}
 	}
 	return i, "", nil
+}
+
+// nativeDownLocked reports whether the transparently promoted subprocess
+// has died — the one engine failure a session recovers from by demoting.
+// Crashes of sessions that explicitly asked for the native engine are not
+// covered: the client chose that engine, so its death is a quarantine like
+// any other engine failure.
+func (s *session) nativeDownLocked() bool {
+	if !s.promoted {
+		return false
+	}
+	ne, ok := underlying(s.eng).(*native.Engine)
+	return ok && ne.Dead() != nil
+}
+
+// maybePromoteLocked is the hot-session promotion state machine, run at the
+// top of every step. A durable cuttlesim session past the promotion
+// threshold first kicks off an asynchronous compile (off the stepping hot
+// path; the digest-keyed cache dedups identical designs), then — once the
+// binary is ready — transfers its state to the subprocess via snapshot and
+// swaps engines. The transfer is gated on digest equality: a native engine
+// that does not resume at the exact architectural state the in-process
+// engine left off is discarded and the session stays put (sticky, so a
+// lying binary is not retried every step).
+func (s *session) maybePromoteLocked() {
+	if s.promoted || s.noPromote || s.tier != "" || s.external ||
+		s.env.ncache == nil || s.env.promoteAfter == 0 || s.cfg.Engine != "cuttlesim" {
+		return
+	}
+	if s.eng.CycleCount() < s.env.promoteAfter {
+		return
+	}
+	if !s.compileStarted {
+		s.compileStarted = true
+		ncache, src, catalog := s.env.ncache, s.src, s.catalog
+		go func() {
+			// A fresh instance, not the live design: the emitter must not
+			// race the stepping engine, and bindings stay nil so designs
+			// with external functions fail the compile (and never promote)
+			// instead of silently losing their binding state.
+			b := &nativeBuild{}
+			inst, err := buildInstance(src, catalog)
+			if err == nil {
+				b.design = inst.Design
+				b.res, b.err = ncache.Build(inst.Design, nil)
+			} else {
+				b.err = err
+			}
+			s.compiled.Store(b)
+		}()
+		return
+	}
+	b := s.compiled.Load()
+	if b == nil {
+		return // compile still running; keep interpreting
+	}
+	if b.err != nil {
+		s.noPromote = true
+		return
+	}
+	snapper, ok := s.eng.(sim.Snapshotter)
+	if !ok {
+		s.noPromote = true
+		return
+	}
+	pre := sim.StateDigest(s.eng)
+	snap := snapper.Snapshot()
+	ne, err := native.Launch(b.design, b.res)
+	if err != nil {
+		s.env.ncache.Quarantine(b.res.Key, err)
+		s.noPromote = true
+		return
+	}
+	if err := ne.RestoreSnapshot(snap); err != nil {
+		_ = ne.Close()
+		s.noPromote = true
+		return
+	}
+	if sim.StateDigest(ne) != pre || ne.CycleCount() != snap.Cycle {
+		_ = ne.Close()
+		s.noPromote = true
+		return
+	}
+	old := s.eng
+	s.eng = wrapEngine(ne, s.env.inj)
+	s.tier, s.promoted = "native", true
+	if c, ok := old.(interface{ Close() error }); ok {
+		_ = c.Close()
+	}
+	if s.env.stats != nil {
+		s.env.stats.promotions.Add(1)
+	}
+}
+
+// demoteLocked rolls a promoted session back onto its in-process engine
+// after the subprocess died: rebuild the configured engine, restore the
+// nearest in-memory snapshot at or below target, and deterministically
+// replay the gap so the client-visible cycle count never moves backwards.
+// Demotion is sticky — the binary just crashed, so the session does not
+// try the native tier again.
+func (s *session) demoteLocked(ctx context.Context, target uint64) bool {
+	if !s.promoted {
+		return false
+	}
+	inst, err := buildInstance(s.src, s.catalog)
+	if err != nil {
+		return false
+	}
+	eng, err := s.cfg.build(inst, nil)
+	if err != nil {
+		return false
+	}
+	i := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Cycle > target }) - 1
+	if i < 0 {
+		if c, ok := eng.(interface{ Close() error }); ok {
+			_ = c.Close()
+		}
+		return false
+	}
+	eng = wrapEngine(eng, s.env.inj)
+	eng.(sim.Snapshotter).Restore(s.snaps[i])
+	s.snaps = s.snaps[:i+1]
+	old := s.eng
+	s.eng = eng
+	s.tier, s.promoted, s.noPromote = "", false, true
+	if c, ok := old.(interface{ Close() error }); ok {
+		_ = c.Close() // reaps the dead subprocess
+	}
+	if target > s.eng.CycleCount() {
+		if _, err := sim.RunContext(ctx, s.eng, nil, target-s.eng.CycleCount()); err != nil {
+			return false
+		}
+	}
+	if s.env.stats != nil {
+		s.env.stats.demotions.Add(1)
+	}
+	return true
 }
 
 // fired reports the last cycle's rule commits.
@@ -385,16 +591,31 @@ func (s *session) setBreak(req BreakRequest) (err error) {
 }
 
 // profile returns per-rule counters for engines that keep them (cuttlesim
-// sessions; the daemon builds those with profiling on).
+// sessions — the daemon builds those with profiling on — and the native
+// tier, whose binaries count attempts/commits/skips in the subprocess).
+// A promoted session's counters restart at the promotion point.
 func (s *session) profile() (ProfileResponse, error) {
 	if err := s.gate(); err != nil {
 		return ProfileResponse{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ne, ok := underlying(s.eng).(*native.Engine); ok {
+		prof, err := ne.Profile()
+		if err != nil {
+			return ProfileResponse{}, err
+		}
+		resp := ProfileResponse{Cycle: s.eng.CycleCount()}
+		for _, st := range prof {
+			resp.Rules = append(resp.Rules, RuleProfile{
+				Rule: st.Rule, Attempts: st.Attempts, Commits: st.Commits, Skipped: st.Skips,
+			})
+		}
+		return resp, nil
+	}
 	cs, ok := underlying(s.eng).(*cuttlesim.Simulator)
 	if !ok || cs.RuleStats() == nil {
-		return ProfileResponse{}, fmt.Errorf("engine %s does not keep rule profiles (use a cuttlesim session)", s.cfg)
+		return ProfileResponse{}, fmt.Errorf("engine %s does not keep rule profiles (use a cuttlesim or native session)", s.cfg)
 	}
 	resp := ProfileResponse{Cycle: s.eng.CycleCount()}
 	for _, st := range cs.RuleStats() {

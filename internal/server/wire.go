@@ -50,7 +50,9 @@ type CreateRequest struct {
 	Source  string `json:"source,omitempty"`
 	Catalog string `json:"catalog,omitempty"`
 	// Engine selects the simulation pipeline: "cuttlesim" (default),
-	// "interp", or "rtlsim".
+	// "interp", "rtlsim", or "native" (the AOT tier — the design is
+	// compiled to a standalone binary through the daemon's compile cache
+	// and driven as a subprocess; needs -native-cache).
 	Engine string `json:"engine,omitempty"`
 	// Level is the cuttlesim optimization level by name ("static",
 	// "activity", ...; default "static").
@@ -87,6 +89,11 @@ type SessionInfo struct {
 	// Failed sessions answer info/list from their last healthy observation
 	// (Cycle and Digest may be stale) and 409 everything else.
 	State string `json:"state,omitempty"`
+	// Tier is "native" while the session executes on the AOT subprocess
+	// tier (created with engine "native", or transparently promoted past
+	// the daemon's -promote-after threshold), empty while it runs
+	// in-process.
+	Tier string `json:"tier,omitempty"`
 }
 
 // ListResponse enumerates live sessions.
@@ -198,11 +205,16 @@ type Metrics struct {
 	// counts engine panics isolated to their session; Shed counts requests
 	// refused with 503 because the worker queue was full;
 	// CorruptCheckpoints counts .ksnp/meta files quarantined on load.
-	Wedged             uint64  `json:"wedged,omitempty"`
-	Quarantined        uint64  `json:"quarantined,omitempty"`
-	Shed               uint64  `json:"shed,omitempty"`
-	CorruptCheckpoints uint64  `json:"corrupt_checkpoints,omitempty"`
-	UptimeSec          float64 `json:"uptime_sec"`
+	Wedged             uint64 `json:"wedged,omitempty"`
+	Quarantined        uint64 `json:"quarantined,omitempty"`
+	Shed               uint64 `json:"shed,omitempty"`
+	CorruptCheckpoints uint64 `json:"corrupt_checkpoints,omitempty"`
+	// Promotions counts sessions transparently moved onto the native tier;
+	// Demotions counts promoted sessions rolled back after their
+	// subprocess died.
+	Promotions uint64  `json:"promotions,omitempty"`
+	Demotions  uint64  `json:"demotions,omitempty"`
+	UptimeSec  float64 `json:"uptime_sec"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

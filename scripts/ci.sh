@@ -82,6 +82,26 @@ echo "== scaling smoke (kbench -scaling, digest parity across pool widths)"
 # every width must land on the same final state per design.
 go run ./cmd/kbench -scaling -json "$(mktemp)" -designs collatz,pstress -cycles 2000
 
+echo "== native tier: build-cache smoke + digest gate (kbench -engines native)"
+# collatz through the AOT grid on a throwaway compile cache: one cold go
+# build, one warm cache hit, and unconditional digest parity between the
+# compiled subprocess and the in-process engines.
+go run ./cmd/kbench -engines native -designs collatz -cycles 2000 -json "$(mktemp)"
+
+echo "== native tier: lockstep gate over the zoo (subprocess vs interp)"
+# Every standalone zoo design runs compiled under the supervisor in
+# cycle-by-cycle lockstep with the reference interpreter; the differential
+# net repeats the gate over generated designs (most of which exercise the
+# unsupported-design skip path).
+go test -run 'TestLockstep' ./internal/native
+go test -run 'TestNativeSpec' ./internal/difftest
+
+echo "== native tier: ksimd promotion smoke (tier flip, digest parity, reap)"
+# A hot cuttlesim session must promote onto a compiled binary with no
+# observable state change, demote back in-process when the binary is
+# SIGKILLed mid-step, and a closing daemon must leave no orphan subprocess.
+go test -run 'TestPromotionDigestParity|TestPromotedSessionDemotesOnCrash|TestCloseReapsSubprocesses' ./internal/server
+
 echo "== ksimd durability smoke (create, step, checkpoint, restart, restore)"
 # Builds the daemon, drives it over HTTP on an ephemeral port, kills it
 # mid-session, restarts it over the same store, and asserts the resumed
