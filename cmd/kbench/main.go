@@ -12,6 +12,8 @@
 //	       [-serve-url URL] [-serve-batch N]
 //	       [-chaos URL | -chaos-verify URL] [-chaos-ledger PATH]
 //	       [-chaos-for D] [-chaos-sessions N] [-chaos-seed N]
+//	       [-swarm URL] [-swarm-sessions N] [-swarm-rate R] [-swarm-steps N]
+//	       [-swarm-cycles N] [-swarm-forks N] [-swarm-design NAME]
 //
 // With no selection flags, -all is assumed. -full uses paper-scale budgets
 // (minutes); the default budgets finish in seconds.
@@ -68,6 +70,16 @@
 // in-process replay of the same design to the same cycle, and keep
 // simulating in lockstep. Any acknowledged-then-lost state fails the run.
 //
+// -swarm URL runs the fleet-scale load generator against a ksimd daemon or
+// a ksimd -router fleet: an open-loop arrival process creates
+// -swarm-sessions concurrent sessions at -swarm-rate arrivals/sec, steps
+// each -swarm-steps times in -swarm-cycles chunks, storms the fleet with
+// -swarm-forks copy-on-write forks per session, and (against a router)
+// forces one live migration. It reports p50/p99 step latency, eviction
+// churn, and fork memory amplification; -json writes the cuttlego-swarm/v1
+// document (the BENCH_5.json generator). Any StateDigest parity violation
+// across forks or migrations fails the run.
+//
 // -cpuprofile and -memprofile write runtime/pprof profiles covering the
 // selected jobs (the heap profile is snapshotted at exit), so the
 // simulator's own hot spots can be inspected with go tool pprof.
@@ -110,6 +122,14 @@ func main() {
 		digest   = fs.Bool("digest-check", false, "fail -json when engines disagree on a design's final state")
 		serveURL = fs.String("serve-url", "", "benchmark a running ksimd daemon at this URL against the in-process baseline")
 		serveB   = fs.Uint64("serve-batch", 10_000, "cycles per step RPC in -serve-url mode")
+		swarmURL = fs.String("swarm", "", "open-loop fleet load test against the ksimd daemon or router at this URL")
+		swarmN   = fs.Int("swarm-sessions", 48, "concurrent sessions created by -swarm")
+		swarmR   = fs.Float64("swarm-rate", 50, "session arrivals per second in -swarm mode")
+		swarmS   = fs.Int("swarm-steps", 10, "step RPCs per -swarm session")
+		swarmC   = fs.Uint64("swarm-cycles", 256, "cycles per -swarm step RPC")
+		swarmF   = fs.Int("swarm-forks", 8, "copy-on-write forks per session in the -swarm fork storm")
+		swarmMig = fs.Bool("swarm-migrate", true, "force one live migration during -swarm (routers only)")
+		swarmDes = fs.String("swarm-design", "collatz", "self-driving catalogue design driven by -swarm")
 		chaosURL = fs.String("chaos", "", "run the crash-test workload against the ksimd daemon at this URL")
 		chaosVfy = fs.String("chaos-verify", "", "verify a restarted ksimd daemon at this URL against the chaos ledger")
 		chaosLed = fs.String("chaos-ledger", "chaos-ledger.json", "checkpoint ledger path for -chaos / -chaos-verify")
@@ -231,6 +251,17 @@ func main() {
 	}
 	if *serveURL != "" {
 		if err := runServe(ctx, os.Stdout, *serveURL, opts, *serveB, *jsonPath, *digest); err != nil {
+			fail(err)
+		}
+		stopProfiles()
+		return
+	}
+	if *swarmURL != "" {
+		cfg := swarmConfig{
+			sessions: *swarmN, rate: *swarmR, steps: *swarmS, cycles: *swarmC,
+			forks: *swarmF, migrate: *swarmMig, design: *swarmDes,
+		}
+		if err := runSwarm(ctx, os.Stdout, *swarmURL, cfg, *jsonPath); err != nil {
 			fail(err)
 		}
 		stopProfiles()

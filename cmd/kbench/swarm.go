@@ -1,0 +1,257 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/server"
+)
+
+// Swarm mode is the fleet-scale load generator: an open-loop arrival
+// process creates many concurrent sessions against a ksimd daemon or a
+// ksimd -router fleet, steps each one repeatedly, then storms the fleet
+// with copy-on-write forks and (against a router) one forced live
+// migration. It reports p50/p99 step latency, eviction churn, and fork
+// memory amplification — the "millions of users" axis of the paper's
+// debugging-as-a-service story — and fails on any StateDigest parity
+// violation across forks or migrations.
+
+type swarmConfig struct {
+	sessions int
+	rate     float64 // session arrivals per second
+	steps    int     // step RPCs per session
+	cycles   uint64  // cycles per step RPC
+	forks    int     // forks per session in the storm
+	migrate  bool    // attempt one live migration (routers only)
+	design   string  // self-driving catalogue design
+}
+
+// shedStatus reports whether err is the fleet refusing load (429/503) —
+// expected under an open loop — rather than a real failure.
+func shedStatus(err error) bool {
+	var apiErr *kclient.APIError
+	return errors.As(err, &apiErr) &&
+		(apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable)
+}
+
+func runSwarm(ctx context.Context, out io.Writer, url string, cfg swarmConfig, jsonPath string) error {
+	c := kclient.NewWithOptions(url, kclient.Options{
+		Retry:          kclient.RetryPolicy{MaxAttempts: 5, BaseDelay: 20 * time.Millisecond, MaxDelay: 2 * time.Second},
+		RequestTimeout: 60 * time.Second,
+	})
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("swarm: fleet at %s not healthy: %w", url, err)
+	}
+	m0, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("swarm: baseline metrics: %w", err)
+	}
+
+	rep := bench.SwarmReport{
+		URL: url, Design: cfg.design,
+		Sessions: cfg.sessions, ForksPerSession: cfg.forks,
+		ArrivalPerSec: cfg.rate, StepCycles: cfg.cycles,
+	}
+	start := time.Now()
+
+	// Phase 1: open-loop session arrivals. A ticker fires at the arrival
+	// rate and each arrival runs independently — slow sessions do not slow
+	// the arrival process, which is what makes the loop "open" and the
+	// latency numbers honest under overload.
+	var (
+		mu       sync.Mutex
+		stepLat  []time.Duration
+		forkLat  []time.Duration
+		ids      []string
+		baseline []server.SessionInfo // parent info captured right before its forks
+		steps    atomic.Uint64
+		errsN    atomic.Uint64
+		shedN    atomic.Uint64
+	)
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	var wg sync.WaitGroup
+	tick := time.NewTicker(interval)
+	for i := 0; i < cfg.sessions; i++ {
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			rep.Incomplete = true
+		}
+		if rep.Incomplete {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			info, err := c.Create(ctx, server.CreateRequest{Catalog: cfg.design})
+			if err != nil {
+				if shedStatus(err) {
+					shedN.Add(1)
+				} else {
+					errsN.Add(1)
+				}
+				return
+			}
+			for k := 0; k < cfg.steps; k++ {
+				t0 := time.Now()
+				_, err := c.Step(ctx, info.ID, cfg.cycles)
+				d := time.Since(t0)
+				if err != nil {
+					if shedStatus(err) {
+						shedN.Add(1)
+					} else {
+						errsN.Add(1)
+					}
+					continue
+				}
+				steps.Add(1)
+				mu.Lock()
+				stepLat = append(stepLat, d)
+				mu.Unlock()
+			}
+			mu.Lock()
+			ids = append(ids, info.ID)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	tick.Stop()
+	mSessions, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("swarm: post-session metrics: %w", err)
+	}
+
+	// Phase 2: fork storm. Capture each parent's digest first, then fork it
+	// cfg.forks times; every fork must report the parent's exact digest and
+	// cycle (the CoW overlay is supposed to be a perfect view of the base).
+	// Forks are left unstepped so they stay lazy — that is the memory shape
+	// under test — except one per parent, stepped once to prove
+	// materialization diverges cleanly.
+	var forked atomic.Uint64
+	for _, id := range ids {
+		parent, err := c.Info(ctx, id)
+		if err != nil {
+			errsN.Add(1)
+			continue
+		}
+		baseline = append(baseline, parent)
+		wg.Add(1)
+		go func(parent server.SessionInfo) {
+			defer wg.Done()
+			for k := 0; k < cfg.forks; k++ {
+				t0 := time.Now()
+				fk, err := c.Fork(ctx, parent.ID)
+				d := time.Since(t0)
+				if err != nil {
+					if shedStatus(err) {
+						shedN.Add(1)
+					} else {
+						errsN.Add(1)
+					}
+					continue
+				}
+				forked.Add(1)
+				mu.Lock()
+				forkLat = append(forkLat, d)
+				rep.DigestChecks++
+				if fk.Digest != parent.Digest || fk.Cycle != parent.Cycle {
+					rep.DigestMismatches++
+					fmt.Fprintf(out, "swarm: DIGEST MISMATCH fork %s: %s@%d vs parent %s %s@%d\n",
+						fk.ID, fk.Digest, fk.Cycle, parent.ID, parent.Digest, parent.Cycle)
+				}
+				mu.Unlock()
+				if k == 0 {
+					// Prove divergence: materialize exactly one fork per
+					// parent and confirm it advances independently.
+					if st, err := c.Step(ctx, fk.ID, 1); err == nil && st.Cycle != parent.Cycle+1 {
+						mu.Lock()
+						rep.DigestMismatches++
+						mu.Unlock()
+						fmt.Fprintf(out, "swarm: fork %s stepped to cycle %d, want %d\n", fk.ID, st.Cycle, parent.Cycle+1)
+					}
+				}
+			}
+		}(parent)
+	}
+	wg.Wait()
+	mForks, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("swarm: post-fork metrics: %w", err)
+	}
+
+	// Phase 3: one forced live migration, when the target is a router.
+	if cfg.migrate && len(ids) > 0 {
+		pre, err := c.Info(ctx, ids[0])
+		if err == nil {
+			mig, err := c.Migrate(ctx, ids[0], "")
+			var apiErr *kclient.APIError
+			switch {
+			case err == nil:
+				rep.Migrations++
+				rep.DigestChecks++
+				if mig.Digest != pre.Digest || mig.Cycle != pre.Cycle {
+					rep.DigestMismatches++
+					fmt.Fprintf(out, "swarm: DIGEST MISMATCH migration %s: %s@%d on %s vs %s@%d on %s\n",
+						mig.ID, mig.Digest, mig.Cycle, mig.To, pre.Digest, pre.Cycle, mig.From)
+				}
+			case errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound:
+				// A plain daemon has no migrate endpoint; not an error.
+				fmt.Fprintf(out, "swarm: no migrate endpoint at %s (plain daemon?); skipping migration\n", url)
+			default:
+				errsN.Add(1)
+				fmt.Fprintf(out, "swarm: migration failed: %v\n", err)
+			}
+		}
+	}
+
+	rep.Steps = steps.Load()
+	rep.Errors = errsN.Load()
+	rep.Shed = shedN.Load()
+	rep.Forks = forked.Load()
+	rep.Evictions = mForks.Evictions - m0.Evictions
+	rep.StepLatency = bench.Latency(stepLat)
+	rep.ForkLatency = bench.Latency(forkLat)
+	rep.Memory = bench.SwarmMemory{
+		BaselineHeapBytes: m0.HeapBytes,
+		SessionsHeapBytes: mSessions.HeapBytes,
+		ForksHeapBytes:    mForks.HeapBytes,
+		LazyForks:         mForks.LazyForks,
+	}
+	rep.Memory.Amplify(len(ids), int(rep.Forks))
+	rep.WallSec = time.Since(start).Seconds()
+
+	bench.RenderSwarm(out, rep)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		werr := bench.EncodeSwarm(f, rep)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("%s: %w", jsonPath, werr)
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	if rep.DigestMismatches > 0 {
+		return fmt.Errorf("swarm: %d digest parity violations", rep.DigestMismatches)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("swarm: %d requests failed (beyond %d shed)", rep.Errors, rep.Shed)
+	}
+	return nil
+}

@@ -9,6 +9,16 @@
 //	      [-step-timeout D] [-max-step N] [-workers N] [-addr-file PATH]
 //	      [-max-queue N] [-watchdog D] [-faults SPEC] [-fault-seed N]
 //	      [-native-cache DIR] [-promote-after N]
+//	ksimd -router BACKENDS [-addr HOST:PORT] [-addr-file PATH]
+//	      [-health-interval D]
+//
+// With -router, ksimd runs as a fleet gateway instead of a daemon: BACKENDS
+// is a comma-separated list of backend base URLs (optionally "name=url"),
+// and the gateway consistent-hash-routes session ids across them, forwards
+// the JSON API transparently, health-checks every -health-interval, and
+// re-homes sessions whose backend died (give the backends a shared -store
+// so the survivor can resurrect them). POST /v1/sessions/{id}/migrate moves
+// a session between backends live.
 //
 // The daemon prints its listening address on stdout once bound (an -addr of
 // ":0" picks an ephemeral port; -addr-file additionally writes the address
@@ -73,10 +83,16 @@ func main() {
 		faultSd  = fs.Int64("fault-seed", 1, "seed for probabilistic -faults rules")
 		ncache   = fs.String("native-cache", "", "AOT compile-cache directory; enables the native execution tier (empty = disabled)")
 		promote  = fs.Uint64("promote-after", 0, "promote hot cuttlesim sessions to the native tier past this cycle count (0 = never; needs -native-cache)")
+		routerBk = fs.String("router", "", "run as a fleet gateway over these comma-separated backend URLs (optionally name=url)")
+		healthIv = fs.Duration("health-interval", time.Second, "router backend health-probe interval")
 	)
 	cli.Parse(fs, os.Args[1:])
 	if fs.NArg() != 0 {
 		cli.Usage("usage: ksimd [flags]; run ksimd -h for the flag list\n")
+	}
+	if *routerBk != "" {
+		runRouter(*routerBk, *addr, *addrFile, *healthIv)
+		return
 	}
 
 	var inj *faultinj.Injector

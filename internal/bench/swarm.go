@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Swarm report types: the machine-readable output of kbench -swarm, the
+// fleet-scale load generator (BENCH_5.json). The driving loop lives in
+// cmd/kbench (it needs the HTTP client); this file is the pure data side —
+// latency percentiles, memory-amplification arithmetic, and the JSON/text
+// renderers — so it can be unit-tested without a fleet.
+
+// SwarmSchema identifies the swarm report document.
+const SwarmSchema = "cuttlego-swarm/v1"
+
+// LatencyStats summarizes one operation's latency distribution.
+type LatencyStats struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Latency computes percentile stats over samples (nearest-rank on the
+// sorted sample set; an empty set reports zeros).
+func Latency(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return LatencyStats{
+		Count:  len(sorted),
+		MeanMs: ms(sum / time.Duration(len(sorted))),
+		P50Ms:  ms(rank(0.50)),
+		P90Ms:  ms(rank(0.90)),
+		P99Ms:  ms(rank(0.99)),
+		MaxMs:  ms(sorted[len(sorted)-1]),
+	}
+}
+
+// SwarmMemory is the fleet's heap story across the run's three plateaus:
+// idle, after the full sessions exist, and after the fork storm. The
+// amplification ratio is the punchline — copy-on-write forks should cost a
+// small fraction of a full session.
+type SwarmMemory struct {
+	BaselineHeapBytes uint64  `json:"baseline_heap_bytes"`
+	SessionsHeapBytes uint64  `json:"sessions_heap_bytes"`
+	ForksHeapBytes    uint64  `json:"forks_heap_bytes"`
+	BytesPerSession   float64 `json:"bytes_per_session"`
+	BytesPerFork      float64 `json:"bytes_per_fork"`
+	// ForkAmplification is BytesPerFork / BytesPerSession: 1.0 would mean a
+	// fork costs as much as a full session (the pre-CoW behavior), and
+	// sublinear fork memory growth shows up as a ratio well under 1.
+	ForkAmplification float64 `json:"fork_amplification"`
+	// LazyForks is how many forks were still unmaterialized (engineless) at
+	// the end of the storm.
+	LazyForks int `json:"lazy_forks"`
+}
+
+// Amplify fills the derived fields from the raw plateaus.
+func (m *SwarmMemory) Amplify(sessions, forks int) {
+	if sessions > 0 && m.SessionsHeapBytes > m.BaselineHeapBytes {
+		m.BytesPerSession = float64(m.SessionsHeapBytes-m.BaselineHeapBytes) / float64(sessions)
+	}
+	if forks > 0 && m.ForksHeapBytes > m.SessionsHeapBytes {
+		m.BytesPerFork = float64(m.ForksHeapBytes-m.SessionsHeapBytes) / float64(forks)
+	}
+	if m.BytesPerSession > 0 {
+		m.ForkAmplification = m.BytesPerFork / m.BytesPerSession
+	}
+}
+
+// SwarmReport is the cuttlego-swarm/v1 document.
+type SwarmReport struct {
+	Schema          string  `json:"schema"`
+	URL             string  `json:"url"`
+	Design          string  `json:"design"`
+	Sessions        int     `json:"sessions"`
+	ForksPerSession int     `json:"forks_per_session"`
+	ArrivalPerSec   float64 `json:"arrival_per_sec"`
+	StepCycles      uint64  `json:"step_cycles"`
+
+	Steps  uint64 `json:"steps"`
+	Errors uint64 `json:"errors"`
+	// Shed counts 429/503 answers — the fleet refusing load is expected
+	// behavior under an open loop, tracked separately from real errors.
+	Shed      uint64 `json:"shed"`
+	Evictions uint64 `json:"evictions"` // fleet eviction churn during the run
+	Forks     uint64 `json:"forks"`
+	// Migrations is how many live migrations completed; DigestChecks /
+	// DigestMismatches is the StateDigest parity gate across forks and
+	// migrations (any mismatch fails the run).
+	Migrations       int `json:"migrations"`
+	DigestChecks     int `json:"digest_checks"`
+	DigestMismatches int `json:"digest_mismatches"`
+
+	StepLatency LatencyStats `json:"step_latency"`
+	ForkLatency LatencyStats `json:"fork_latency"`
+	Memory      SwarmMemory  `json:"memory"`
+	WallSec     float64      `json:"wall_sec"`
+	Incomplete  bool         `json:"incomplete,omitempty"`
+}
+
+// EncodeSwarm writes the JSON document.
+func EncodeSwarm(w io.Writer, rep SwarmReport) error {
+	rep.Schema = SwarmSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// RenderSwarm writes the human-readable summary.
+func RenderSwarm(w io.Writer, rep SwarmReport) {
+	fmt.Fprintf(w, "swarm: %d sessions of %s @ %.1f/s against %s\n",
+		rep.Sessions, rep.Design, rep.ArrivalPerSec, rep.URL)
+	fmt.Fprintf(w, "  steps      %d x %d cycles (%d errors, %d shed, %d evictions)\n",
+		rep.Steps, rep.StepCycles, rep.Errors, rep.Shed, rep.Evictions)
+	fmt.Fprintf(w, "  step p50/p90/p99  %.2f / %.2f / %.2f ms (max %.2f)\n",
+		rep.StepLatency.P50Ms, rep.StepLatency.P90Ms, rep.StepLatency.P99Ms, rep.StepLatency.MaxMs)
+	if rep.Forks > 0 {
+		fmt.Fprintf(w, "  forks      %d (%d still lazy); fork p50/p99  %.2f / %.2f ms\n",
+			rep.Forks, rep.Memory.LazyForks, rep.ForkLatency.P50Ms, rep.ForkLatency.P99Ms)
+		fmt.Fprintf(w, "  memory     %.0f B/session, %.0f B/fork (amplification %.3f)\n",
+			rep.Memory.BytesPerSession, rep.Memory.BytesPerFork, rep.Memory.ForkAmplification)
+	}
+	fmt.Fprintf(w, "  migrations %d; digest parity %d/%d ok; wall %.1fs\n",
+		rep.Migrations, rep.DigestChecks-rep.DigestMismatches, rep.DigestChecks, rep.WallSec)
+}

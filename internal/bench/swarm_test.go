@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestLatencyPercentiles(t *testing.T) {
+	// 1..100ms, shuffled order must not matter (Latency sorts a copy).
+	var samples []time.Duration
+	for i := 100; i >= 1; i-- {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	got := Latency(samples)
+	if got.Count != 100 {
+		t.Fatalf("Count = %d, want 100", got.Count)
+	}
+	if got.P50Ms != 50 || got.P90Ms != 90 || got.P99Ms != 99 || got.MaxMs != 100 {
+		t.Fatalf("p50/p90/p99/max = %v/%v/%v/%v, want 50/90/99/100", got.P50Ms, got.P90Ms, got.P99Ms, got.MaxMs)
+	}
+	if got.MeanMs < 50.4 || got.MeanMs > 50.6 {
+		t.Fatalf("MeanMs = %v, want ~50.5", got.MeanMs)
+	}
+	// The input must be left untouched.
+	if samples[0] != 100*time.Millisecond {
+		t.Fatalf("Latency mutated its input")
+	}
+	if z := Latency(nil); z != (LatencyStats{}) {
+		t.Fatalf("Latency(nil) = %+v, want zeros", z)
+	}
+	one := Latency([]time.Duration{3 * time.Millisecond})
+	if one.P50Ms != 3 || one.P99Ms != 3 || one.MaxMs != 3 {
+		t.Fatalf("single-sample stats = %+v, want all 3ms", one)
+	}
+}
+
+func TestSwarmMemoryAmplify(t *testing.T) {
+	m := SwarmMemory{
+		BaselineHeapBytes: 1 << 20,
+		SessionsHeapBytes: 1<<20 + 100*1000, // 100 sessions at ~1000 B
+		ForksHeapBytes:    1<<20 + 100*1000 + 400*50,
+	}
+	m.Amplify(100, 400)
+	if m.BytesPerSession != 1000 {
+		t.Fatalf("BytesPerSession = %v, want 1000", m.BytesPerSession)
+	}
+	if m.BytesPerFork != 50 {
+		t.Fatalf("BytesPerFork = %v, want 50", m.BytesPerFork)
+	}
+	if m.ForkAmplification != 0.05 {
+		t.Fatalf("ForkAmplification = %v, want 0.05", m.ForkAmplification)
+	}
+
+	// Heap that did not grow (GC reclaimed more than the forks cost) must
+	// not produce negative or NaN derived values.
+	shrunk := SwarmMemory{BaselineHeapBytes: 2 << 20, SessionsHeapBytes: 1 << 20, ForksHeapBytes: 1 << 20}
+	shrunk.Amplify(10, 10)
+	if shrunk.BytesPerSession != 0 || shrunk.BytesPerFork != 0 || shrunk.ForkAmplification != 0 {
+		t.Fatalf("shrinking heap produced %+v, want zeros", shrunk)
+	}
+	var zero SwarmMemory
+	zero.Amplify(0, 0)
+	if zero.ForkAmplification != 0 {
+		t.Fatalf("zero-division guard failed: %+v", zero)
+	}
+}
+
+func TestEncodeSwarmSetsSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSwarm(&buf, SwarmReport{Design: "collatz", Sessions: 3}); err != nil {
+		t.Fatalf("EncodeSwarm: %v", err)
+	}
+	var got SwarmReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Schema != SwarmSchema {
+		t.Fatalf("Schema = %q, want %q", got.Schema, SwarmSchema)
+	}
+	if got.Design != "collatz" || got.Sessions != 3 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+}

@@ -64,7 +64,11 @@ type APIError struct {
 	Status  int
 	Message string
 	// RetryAfter is the server's Retry-After hint, when it sent one.
-	RetryAfter time.Duration
+	// HasRetryAfter distinguishes an explicit "Retry-After: 0" — retry
+	// immediately — from no hint at all (where RetryAfter is also zero but
+	// the client falls back to its own backoff schedule).
+	RetryAfter    time.Duration
+	HasRetryAfter bool
 }
 
 func (e *APIError) Error() string {
@@ -103,14 +107,18 @@ func (c *Client) doReq(ctx context.Context, method, path string, in, out any, id
 			return lastErr
 		}
 		var hint time.Duration
+		var hasHint bool
 		var apiErr *APIError
 		if errors.As(err, &apiErr) {
-			hint = apiErr.RetryAfter
+			hint, hasHint = apiErr.RetryAfter, apiErr.HasRetryAfter
 		}
-		select {
-		case <-time.After(c.backoff(attempt, hint)):
-		case <-ctx.Done():
-			return lastErr
+		delay := c.backoff(attempt, hint, hasHint)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return lastErr
+			}
 		}
 	}
 }
@@ -155,8 +163,19 @@ func (c *Client) attempt(ctx context.Context, method, path string, data []byte, 
 
 func decodeError(resp *http.Response) error {
 	apiErr := &APIError{Status: resp.StatusCode}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	// Retry-After is either delta-seconds or an HTTP-date (RFC 9110 §10.2.3).
+	// "0" is a real hint — retry immediately — not an absent header, and a
+	// date already in the past means the same thing.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+			apiErr.HasRetryAfter = true
+		} else if at, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(at); d > 0 {
+				apiErr.RetryAfter = d
+			}
+			apiErr.HasRetryAfter = true
+		}
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var er server.ErrorResponse
@@ -264,6 +283,32 @@ func (c *Client) Fork(ctx context.Context, id string) (server.SessionInfo, error
 	var info server.SessionInfo
 	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/fork", nil, &info)
 	return info, err
+}
+
+// Export captures a session's complete portable state; release additionally
+// retires the live session (the migration handoff).
+func (c *Client) Export(ctx context.Context, id string, release bool) (server.ExportResponse, error) {
+	var resp server.ExportResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/export",
+		server.ExportRequest{Release: release}, &resp)
+	return resp, err
+}
+
+// Import resurrects an exported session on this daemon, behind its
+// digest+cycle parity gate.
+func (c *Client) Import(ctx context.Context, req server.ImportRequest) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/import", req, &info)
+	return info, err
+}
+
+// Migrate asks a routing gateway to move a session to another backend
+// (target may be empty: the router picks the next healthy one).
+func (c *Client) Migrate(ctx context.Context, id, target string) (server.MigrateResponse, error) {
+	var resp server.MigrateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/migrate",
+		server.MigrateRequest{Target: target}, &resp)
+	return resp, err
 }
 
 // Reverse steps a session backwards.

@@ -76,8 +76,13 @@ func (j *jitterSource) float64() float64 {
 // backoff computes the delay before retry number retryN (1-based):
 // exponential doubling from BaseDelay, capped at MaxDelay, with ±50%
 // jitter so a fleet of retrying clients does not stampede in lockstep. A
-// server Retry-After hint wins when longer.
-func (c *Client) backoff(retryN int, hint time.Duration) time.Duration {
+// server Retry-After hint wins when longer; an explicit hint of zero
+// ("Retry-After: 0", or an HTTP-date already in the past) means retry
+// immediately, not "fall back to the backoff schedule".
+func (c *Client) backoff(retryN int, hint time.Duration, hasHint bool) time.Duration {
+	if hasHint && hint == 0 {
+		return 0
+	}
 	d := float64(c.retry.BaseDelay) * math.Pow(2, float64(retryN-1))
 	if max := float64(c.retry.MaxDelay); d > max {
 		d = max

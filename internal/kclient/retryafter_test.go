@@ -1,0 +1,129 @@
+package kclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/server"
+)
+
+// retryAfterHandler answers 503 with the given Retry-After header value
+// until fail attempts have been burned, then succeeds.
+func retryAfterHandler(fail int, retryAfter string, hits *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= int64(fail) {
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(server.ErrorResponse{Error: "overloaded"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}
+}
+
+// TestRetryAfterZeroMeansImmediate: "Retry-After: 0" is a valid RFC 9110
+// delta-seconds value meaning retry now. The old parser dropped it (and
+// every non-integer form), silently falling back to exponential backoff;
+// with a large BaseDelay that turned an explicit "now" into a long sleep.
+func TestRetryAfterZeroMeansImmediate(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(retryAfterHandler(1, "0", &hits))
+	defer ts.Close()
+	c := kclient.NewWithOptions(ts.URL, kclient.Options{
+		Retry: kclient.RetryPolicy{MaxAttempts: 2, BaseDelay: 30 * time.Second, MaxDelay: time.Minute},
+	})
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry after 'Retry-After: 0' took %s; want immediate, not backoff", elapsed)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server hit %d times, want 2", got)
+	}
+}
+
+// TestRetryAfterHTTPDate: the header's HTTP-date form must be honored, not
+// ignored. A date already in the past means retry immediately.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	past := time.Now().Add(-10 * time.Second).UTC().Format(http.TimeFormat)
+	var hits atomic.Int64
+	ts := httptest.NewServer(retryAfterHandler(1, past, &hits))
+	defer ts.Close()
+	c := kclient.NewWithOptions(ts.URL, kclient.Options{
+		Retry: kclient.RetryPolicy{MaxAttempts: 2, BaseDelay: 30 * time.Second, MaxDelay: time.Minute},
+	})
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry after past HTTP-date took %s; want immediate", elapsed)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server hit %d times, want 2", got)
+	}
+}
+
+// TestRetryAfterHTTPDateParsed: a future HTTP-date surfaces as a concrete
+// RetryAfter duration on the APIError, with HasRetryAfter set.
+func TestRetryAfterHTTPDateParsed(t *testing.T) {
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	var hits atomic.Int64
+	ts := httptest.NewServer(retryAfterHandler(1, future, &hits))
+	defer ts.Close()
+	err := kclient.New(ts.URL).Health(context.Background()) // no retries
+	var apiErr *kclient.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if !apiErr.HasRetryAfter {
+		t.Fatalf("HasRetryAfter unset for HTTP-date header")
+	}
+	// http.TimeFormat has second granularity; allow generous slack.
+	if apiErr.RetryAfter <= 25*time.Second || apiErr.RetryAfter > 31*time.Second {
+		t.Fatalf("RetryAfter = %s, want ~30s", apiErr.RetryAfter)
+	}
+}
+
+// TestRetryAfterAbsentStillBacksOff: without the header, nothing regresses
+// — HasRetryAfter stays false and the policy's own backoff applies.
+func TestRetryAfterAbsentStillBacksOff(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(server.ErrorResponse{Error: "overloaded"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}))
+	defer ts.Close()
+	err := kclient.New(ts.URL).Health(context.Background())
+	var apiErr *kclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if apiErr.HasRetryAfter || apiErr.RetryAfter != 0 {
+		t.Fatalf("absent header parsed as HasRetryAfter=%v RetryAfter=%s", apiErr.HasRetryAfter, apiErr.RetryAfter)
+	}
+	c := kclient.NewWithOptions(ts.URL, kclient.Options{
+		Retry: kclient.RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Seed: 3},
+	})
+	hits.Store(0)
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health with backoff: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("retry without header took %s; want at least ~BaseDelay of backoff", elapsed)
+	}
+}

@@ -1,0 +1,251 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cuttlego/internal/server"
+)
+
+// This file is the fleet-wide half of the gateway: aggregate /metrics and
+// /v1/sessions across backends, the router's own /healthz, and the live
+// migration orchestrator.
+
+// FleetMetrics is the router's /metrics document: the backends' counters
+// summed, plus the router's own fleet counters. PerBackend keeps the
+// unsummed documents for debugging a lopsided fleet.
+type FleetMetrics struct {
+	server.Metrics
+	Backends   int                       `json:"backends"`
+	BackendsUp int                       `json:"backends_up"`
+	Rehomes    uint64                    `json:"rehomes,omitempty"`
+	Migrations uint64                    `json:"migrations,omitempty"`
+	PerBackend map[string]server.Metrics `json:"per_backend,omitempty"`
+}
+
+// HealthResponse is the router's /healthz document.
+type HealthResponse struct {
+	Status   string          `json:"status"` // "ok" while at least one backend is up
+	Backends map[string]bool `json:"backends"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "degraded", Backends: make(map[string]bool, len(rt.backends))}
+	for _, b := range rt.backends {
+		up := b.up.Load()
+		resp.Backends[b.Name] = up
+		if up {
+			resp.Status = "ok"
+		}
+	}
+	status := http.StatusOK
+	if resp.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := FleetMetrics{
+		Backends:   len(rt.backends),
+		Rehomes:    rt.rehomes.Load(),
+		Migrations: rt.migrations.Load(),
+		PerBackend: make(map[string]server.Metrics),
+	}
+	for _, b := range rt.backends {
+		if !b.up.Load() {
+			continue
+		}
+		var m server.Metrics
+		if err := rt.getJSON(b, "/metrics", &m); err != nil {
+			continue
+		}
+		out.BackendsUp++
+		out.PerBackend[b.Name] = m
+		out.Sessions += m.Sessions
+		out.TotalCycles += m.TotalCycles
+		out.CyclesPerSec += m.CyclesPerSec
+		out.QueueDepth += m.QueueDepth
+		out.Checkpoints += m.Checkpoints
+		out.Restores += m.Restores
+		out.Evictions += m.Evictions
+		out.Wedged += m.Wedged
+		out.Quarantined += m.Quarantined
+		out.Shed += m.Shed
+		out.CorruptCheckpoints += m.CorruptCheckpoints
+		out.Promotions += m.Promotions
+		out.Demotions += m.Demotions
+		out.Forks += m.Forks
+		out.LazyForks += m.LazyForks
+		out.Exports += m.Exports
+		out.Imports += m.Imports
+		out.HeapBytes += m.HeapBytes
+	}
+	out.UptimeSec = time.Since(rt.started).Seconds()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	var merged server.ListResponse
+	for _, b := range rt.backends {
+		if !b.up.Load() {
+			continue
+		}
+		var lr server.ListResponse
+		if err := rt.getJSON(b, "/v1/sessions", &lr); err != nil {
+			continue
+		}
+		merged.Sessions = append(merged.Sessions, lr.Sessions...)
+	}
+	// Insertion sort by id, matching the backends' own list order.
+	for i := 1; i < len(merged.Sessions); i++ {
+		for j := i; j > 0 && merged.Sessions[j-1].ID > merged.Sessions[j].ID; j-- {
+			merged.Sessions[j-1], merged.Sessions[j] = merged.Sessions[j], merged.Sessions[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleMigrate moves a session between backends: export-with-release on
+// the source (which durably checkpoints, closes, and drops the live
+// session — after this there is no live owner anywhere), import behind the
+// StateDigest+cycle gate on the target, then a routing pin so the session's
+// new home overrides its hash placement. A failure after the release
+// leaves only durable state: the pin is dropped and the next request
+// re-homes the session from its last checkpoint via the ring — degraded to
+// a restart-recovery, never a duplicate.
+func (rt *Router) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req server.MigrateRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.maxBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("request body: %v", err))
+			return
+		}
+	}
+	src, _ := rt.owner(id)
+	if src == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no backend is up")
+		return
+	}
+	var dst *Backend
+	if req.Target != "" {
+		if dst = rt.byName(req.Target); dst == nil {
+			writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown backend %q", req.Target))
+			return
+		}
+		if !dst.up.Load() {
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("backend %s is down", dst.Name))
+			return
+		}
+	} else {
+		// Next up backend after the source, in fleet order.
+		srcIdx := 0
+		for i, b := range rt.backends {
+			if b == src {
+				srcIdx = i
+				break
+			}
+		}
+		for k := 1; k < len(rt.backends); k++ {
+			if b := rt.backends[(srcIdx+k)%len(rt.backends)]; b.up.Load() {
+				dst = b
+				break
+			}
+		}
+		if dst == nil {
+			writeErr(w, http.StatusConflict, "no other backend is up to migrate to")
+			return
+		}
+	}
+	if dst == src {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("session %q already lives on %s", id, src.Name))
+		return
+	}
+
+	var exp server.ExportResponse
+	if status, err := rt.postJSON(src, "/v1/sessions/"+id+"/export", server.ExportRequest{Release: true}, &exp); err != nil {
+		// Nothing was released; the session is untouched on the source.
+		writeErr(w, status, fmt.Sprintf("export from %s: %v", src.Name, err))
+		return
+	}
+	imp := server.ImportRequest{
+		ID: exp.ID, Source: exp.Source, Catalog: exp.Catalog, Config: exp.Config,
+		Cycle: exp.Cycle, Digest: exp.Digest, Snapshot: exp.Snapshot,
+	}
+	var info server.SessionInfo
+	if status, err := rt.postJSON(dst, "/v1/import", imp, &info); err != nil {
+		// The source already released: the session now exists only in the
+		// durable store. Drop any pin and let the next request resurrect it
+		// wherever the ring points — exactly the crash-recovery path.
+		rt.pins.Delete(id)
+		writeErr(w, status, fmt.Sprintf("import to %s failed (session re-homes from its last checkpoint): %v", dst.Name, err))
+		return
+	}
+	rt.pins.Store(id, dst)
+	rt.migrations.Add(1)
+	writeJSON(w, http.StatusOK, server.MigrateResponse{
+		ID: id, From: src.Name, To: dst.Name, Cycle: info.Cycle, Digest: info.Digest,
+	})
+}
+
+// getJSON fetches path from b and decodes the response.
+func (rt *Router) getJSON(b *Backend, path string, into any) error {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(b.URL.JoinPath(path).String())
+	if err != nil {
+		b.up.Store(false)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// postJSON posts payload to b at path. Non-2xx responses decode the
+// backend's error body and report its status so the caller can relay it.
+func (rt *Router) postJSON(b *Backend, path string, payload, into any) (status int, err error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return http.StatusInternalServerError, err
+	}
+	resp, err := rt.client.Post(b.URL.JoinPath(path).String(), "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.up.Store(false)
+		return http.StatusBadGateway, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s", apiErr.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			return http.StatusBadGateway, fmt.Errorf("%s: decoding response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,532 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cuttlego/internal/faultinj"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/native"
+	"cuttlego/internal/server"
+)
+
+// TestForkIsCopyOnWrite: a fork must be born lazy (cow), answer info with
+// its parent's exact digest and cycle, and materialize into an independent
+// engine on first step — without disturbing the parent.
+func TestForkIsCopyOnWrite(t *testing.T) {
+	ctx := context.Background()
+	srv, c := newTestDaemon(t, server.Config{})
+	_ = srv
+	parent, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 40); err != nil {
+		t.Fatalf("step parent: %v", err)
+	}
+	parent, err = c.Info(ctx, parent.ID)
+	if err != nil {
+		t.Fatalf("info parent: %v", err)
+	}
+
+	fk, err := c.Fork(ctx, parent.ID)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	if !fk.Cow {
+		t.Fatalf("fork not reported as cow: %+v", fk)
+	}
+	if fk.Digest != parent.Digest || fk.Cycle != parent.Cycle {
+		t.Fatalf("fork digest/cycle = %s@%d, want parent's %s@%d", fk.Digest, fk.Cycle, parent.Digest, parent.Cycle)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.Forks != 1 || m.LazyForks != 1 {
+		t.Fatalf("metrics forks/lazy = %d/%d, want 1/1", m.Forks, m.LazyForks)
+	}
+
+	// Stepping the parent must not move the (lazy) fork: the fork owns an
+	// immutable base snapshot, not a reference into the parent's engine.
+	if _, err := c.Step(ctx, parent.ID, 10); err != nil {
+		t.Fatalf("step parent past fork: %v", err)
+	}
+	fkAgain, err := c.Info(ctx, fk.ID)
+	if err != nil {
+		t.Fatalf("info fork: %v", err)
+	}
+	if fkAgain.Digest != parent.Digest || fkAgain.Cycle != parent.Cycle {
+		t.Fatalf("lazy fork drifted with parent: %s@%d, want %s@%d",
+			fkAgain.Digest, fkAgain.Cycle, parent.Digest, parent.Cycle)
+	}
+
+	// First step materializes the fork and the combined trajectory must be
+	// cycle-exact: fork at 40, stepped 60 more, equals a straight 100-cycle
+	// run of the same design.
+	st, err := c.Step(ctx, fk.ID, 60)
+	if err != nil {
+		t.Fatalf("step fork: %v", err)
+	}
+	if st.Cycle != 100 {
+		t.Fatalf("fork cycle after step = %d, want 100", st.Cycle)
+	}
+	fkDone, err := c.Info(ctx, fk.ID)
+	if err != nil {
+		t.Fatalf("info fork: %v", err)
+	}
+	if fkDone.Cow {
+		t.Fatalf("fork still cow after materializing step")
+	}
+	if want := referenceDigest(t, "collatz", 100); fkDone.Digest != want {
+		t.Fatalf("materialized fork digest = %s, want reference %s", fkDone.Digest, want)
+	}
+	m, _ = c.Metrics(ctx)
+	if m.LazyForks != 0 {
+		t.Fatalf("lazy forks after materialization = %d, want 0", m.LazyForks)
+	}
+}
+
+// TestForkPokeAndForkOfFork: register pokes land in the fork's overlay
+// without touching the parent, and a fork of a poked fork sees the poke.
+func TestForkPokeAndForkOfFork(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, server.Config{})
+	parent, err := c.Create(ctx, server.CreateRequest{Source: gcdSrc})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 2); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	before, err := c.Regs(ctx, parent.ID, server.RegsRequest{Get: []string{"a"}})
+	if err != nil {
+		t.Fatalf("regs parent: %v", err)
+	}
+
+	f1, err := c.Fork(ctx, parent.ID)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	poke := server.RegValue{Width: 16, Hex: "2a"}
+	got, err := c.Regs(ctx, f1.ID, server.RegsRequest{Set: map[string]server.RegValue{"a": poke}, Get: []string{"a"}})
+	if err != nil {
+		t.Fatalf("poke fork: %v", err)
+	}
+	if got.Values["a"].Hex != "2a" {
+		t.Fatalf(`fork a = %q, want "2a"`, got.Values["a"].Hex)
+	}
+	// The poke must be invisible to the parent.
+	after, err := c.Regs(ctx, parent.ID, server.RegsRequest{Get: []string{"a"}})
+	if err != nil {
+		t.Fatalf("regs parent: %v", err)
+	}
+	if after.Values["a"] != before.Values["a"] {
+		t.Fatalf("parent register changed by fork poke: %v -> %v", before.Values["a"], after.Values["a"])
+	}
+
+	// Fork-of-fork inherits the overlay (including the poke), and the two
+	// lazy forks agree on their digest.
+	f2, err := c.Fork(ctx, f1.ID)
+	if err != nil {
+		t.Fatalf("fork of fork: %v", err)
+	}
+	f1Info, err := c.Info(ctx, f1.ID)
+	if err != nil {
+		t.Fatalf("info f1: %v", err)
+	}
+	if !f2.Cow || f2.Digest != f1Info.Digest || f2.Cycle != f1Info.Cycle {
+		t.Fatalf("fork-of-fork = cow=%v %s@%d, want cow=true %s@%d",
+			f2.Cow, f2.Digest, f2.Cycle, f1Info.Digest, f1Info.Cycle)
+	}
+	g2, err := c.Regs(ctx, f2.ID, server.RegsRequest{Get: []string{"a"}})
+	if err != nil {
+		t.Fatalf("regs f2: %v", err)
+	}
+	if g2.Values["a"].Hex != "2a" {
+		t.Fatalf(`fork-of-fork a = %q, want inherited "2a"`, g2.Values["a"].Hex)
+	}
+
+	// Materializing the poked fork must carry the override into the engine.
+	if _, err := c.Step(ctx, f1.ID, 1); err != nil {
+		t.Fatalf("step poked fork: %v", err)
+	}
+}
+
+// TestForkDigestParityConcurrent storms one parent with concurrent forks;
+// every fork must observe the parent's exact digest and cycle. Run under
+// -race this doubles as the CoW locking check.
+func TestForkDigestParityConcurrent(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, server.Config{MaxSessions: 128})
+	parent, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 64); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	parent, err = c.Info(ctx, parent.ID)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+
+	const workers, perWorker = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				fk, err := c.Fork(ctx, parent.ID)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if fk.Digest != parent.Digest || fk.Cycle != parent.Cycle || !fk.Cow {
+					errs <- &kclient.APIError{Status: 0, Message: "fork parity violation: " + fk.Digest}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent fork: %v", err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.Forks != workers*perWorker || m.LazyForks != workers*perWorker {
+		t.Fatalf("metrics forks/lazy = %d/%d, want %d/%d", m.Forks, m.LazyForks, workers*perWorker, workers*perWorker)
+	}
+}
+
+// TestExportImportRoundTrip moves a session between two daemons:
+// export-with-release atomically captures state and retires the source
+// copy, import admits it only through the digest+cycle equality gate, and
+// the migrated session keeps simulating cycle-exactly.
+func TestExportImportRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	_, cA := newTestDaemon(t, server.Config{})
+	_, cB := newTestDaemon(t, server.Config{})
+
+	info, err := cA.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cA.Step(ctx, info.ID, 70); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	exp, err := cA.Export(ctx, info.ID, true)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !exp.Released || exp.Cycle != 70 {
+		t.Fatalf("export = released=%v cycle=%d, want released=true cycle=70", exp.Released, exp.Cycle)
+	}
+	// The source copy is gone: exactly zero owners until the import admits.
+	if _, err := cA.Info(ctx, info.ID); apiStatus(t, err) != http.StatusNotFound {
+		t.Fatalf("source session still answers after release: %v", err)
+	}
+
+	imp, err := cB.Import(ctx, server.ImportRequest{
+		ID: exp.ID, Source: exp.Source, Catalog: exp.Catalog, Config: exp.Config,
+		Cycle: exp.Cycle, Digest: exp.Digest, Snapshot: exp.Snapshot,
+	})
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if imp.Digest != exp.Digest || imp.Cycle != exp.Cycle {
+		t.Fatalf("import = %s@%d, want exported %s@%d", imp.Digest, imp.Cycle, exp.Digest, exp.Cycle)
+	}
+	// Re-importing the same payload must refuse: the session is live here.
+	if _, err := cB.Import(ctx, server.ImportRequest{
+		ID: exp.ID, Source: exp.Source, Catalog: exp.Catalog, Config: exp.Config,
+		Cycle: exp.Cycle, Digest: exp.Digest, Snapshot: exp.Snapshot,
+	}); apiStatus(t, err) != http.StatusConflict {
+		t.Fatalf("duplicate import: %v, want 409", err)
+	}
+	// The migrated session continues cycle-exactly.
+	if _, err := cB.Step(ctx, exp.ID, 30); err != nil {
+		t.Fatalf("step after import: %v", err)
+	}
+	got, err := cB.Info(ctx, exp.ID)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if want := referenceDigest(t, "collatz", 100); got.Digest != want {
+		t.Fatalf("post-migration digest = %s, want reference %s", got.Digest, want)
+	}
+}
+
+// TestImportRejectsDigestMismatch: a transfer promising a digest the
+// restored engine does not reproduce must be refused with 422 and leave no
+// session behind.
+func TestImportRejectsDigestMismatch(t *testing.T) {
+	ctx := context.Background()
+	_, cA := newTestDaemon(t, server.Config{})
+	_, cB := newTestDaemon(t, server.Config{})
+
+	info, err := cA.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cA.Step(ctx, info.ID, 25); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	exp, err := cA.Export(ctx, info.ID, false)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	req := server.ImportRequest{
+		ID: exp.ID, Source: exp.Source, Catalog: exp.Catalog, Config: exp.Config,
+		Cycle: exp.Cycle, Digest: "deadbeefdeadbeef", Snapshot: exp.Snapshot,
+	}
+	if _, err := cB.Import(ctx, req); apiStatus(t, err) != http.StatusUnprocessableEntity {
+		t.Fatalf("lying import: %v, want 422", err)
+	}
+	// A lying cycle count must equally fail the gate.
+	req.Digest = exp.Digest
+	req.Cycle = exp.Cycle + 1
+	if _, err := cB.Import(ctx, req); apiStatus(t, err) != http.StatusUnprocessableEntity {
+		t.Fatalf("lying cycle import: %v, want 422", err)
+	}
+	list, err := cB.List(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("rejected imports left %d sessions live", len(list))
+	}
+	// The non-released source is untouched throughout.
+	if _, err := cA.Step(ctx, info.ID, 1); err != nil {
+		t.Fatalf("source session damaged by export: %v", err)
+	}
+}
+
+// TestExportReleaseCheckpointFault: when the release-side durable
+// checkpoint write fails, the export must fail closed — 500, nothing
+// released, the session still live and steppable on the source.
+func TestExportReleaseCheckpointFault(t *testing.T) {
+	ctx := context.Background()
+	inj := faultinj.New(7, faultinj.Rule{Op: "fs.write", Nth: 1, Kind: faultinj.Fail})
+	_, c := newTestDaemon(t, server.Config{StoreDir: t.TempDir(), Faults: inj})
+
+	info, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.Step(ctx, info.ID, 12); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if _, err := c.Export(ctx, info.ID, true); apiStatus(t, err) != http.StatusInternalServerError {
+		t.Fatalf("export over failing store: %v, want 500", err)
+	}
+	// Fault fired exactly once; the session survived and the retry works.
+	if _, err := c.Step(ctx, info.ID, 1); err != nil {
+		t.Fatalf("session lost after failed release: %v", err)
+	}
+	exp, err := c.Export(ctx, info.ID, true)
+	if err != nil {
+		t.Fatalf("export retry: %v", err)
+	}
+	if !exp.Released || exp.Cycle != 13 {
+		t.Fatalf("export retry = released=%v cycle=%d, want released=true cycle=13", exp.Released, exp.Cycle)
+	}
+}
+
+// TestMigrationSourceDeathRehomesOnce models the node-killed-mid-transfer
+// story: the source released (durable state in the shared store), the
+// import never landed, and the id must come back exactly once — via
+// transparent resurrection on the surviving node — at the released digest.
+func TestMigrationSourceDeathRehomesOnce(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	_, cA := newTestDaemon(t, server.Config{StoreDir: dir})
+	_, cB := newTestDaemon(t, server.Config{StoreDir: dir})
+
+	info, err := cA.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cA.Step(ctx, info.ID, 33); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	exp, err := cA.Export(ctx, info.ID, true)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	// The "transfer" dies here: the exported payload is never imported and
+	// the source node is treated as lost. The shared store now holds the
+	// only copy.
+	listA, err := cA.List(ctx)
+	if err != nil {
+		t.Fatalf("list A: %v", err)
+	}
+	if len(listA) != 0 {
+		t.Fatalf("source still owns %d sessions after release", len(listA))
+	}
+
+	// Survivor B resurrects transparently on first lookup, at the exact
+	// digest and cycle the source released.
+	got, err := cB.Info(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("info on survivor: %v", err)
+	}
+	if !got.Restored || got.Digest != exp.Digest || got.Cycle != exp.Cycle {
+		t.Fatalf("rehomed = restored=%v %s@%d, want restored=true %s@%d",
+			got.Restored, got.Digest, got.Cycle, exp.Digest, exp.Cycle)
+	}
+	// Exactly one live owner: a late import of the in-flight payload must
+	// be refused, not create a second copy.
+	if _, err := cB.Import(ctx, server.ImportRequest{
+		ID: exp.ID, Source: exp.Source, Catalog: exp.Catalog, Config: exp.Config,
+		Cycle: exp.Cycle, Digest: exp.Digest, Snapshot: exp.Snapshot,
+	}); apiStatus(t, err) != http.StatusConflict {
+		t.Fatalf("late import after rehome: %v, want 409", err)
+	}
+}
+
+// TestFleetLeakFree forks, fails exports, and rejects imports under fault
+// injection, then checks nothing leaked: no live native subprocesses and
+// the goroutine count settles back to its pre-daemon baseline.
+func TestFleetLeakFree(t *testing.T) {
+	ctx := context.Background()
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	inj := faultinj.New(11, faultinj.Rule{Op: "fs.write", Nth: 1, Kind: faultinj.Fail})
+	srv, err := server.New(server.Config{StoreDir: t.TempDir(), Faults: inj, MaxSessions: 32})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	c := kclient.New(ts.URL)
+
+	parent, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 20); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	ids := []string{parent.ID}
+	for i := 0; i < 4; i++ {
+		fk, err := c.Fork(ctx, parent.ID)
+		if err != nil {
+			t.Fatalf("fork %d: %v", i, err)
+		}
+		ids = append(ids, fk.ID)
+	}
+	// Materialize one fork, leave the rest lazy so teardown covers both.
+	if _, err := c.Step(ctx, ids[1], 5); err != nil {
+		t.Fatalf("materialize fork: %v", err)
+	}
+	// Exercise the admit-failure paths: an export whose release checkpoint
+	// hits the injected write fault, and an import refused by the gate.
+	exp, err := c.Export(ctx, ids[1], false)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if _, err := c.Import(ctx, server.ImportRequest{
+		ID: "imposter", Source: exp.Source, Catalog: exp.Catalog, Config: exp.Config,
+		Cycle: exp.Cycle, Digest: "0000000000000000", Snapshot: exp.Snapshot,
+	}); apiStatus(t, err) != http.StatusUnprocessableEntity {
+		t.Fatalf("gated import: %v, want 422", err)
+	}
+	if _, err := c.Export(ctx, parent.ID, true); apiStatus(t, err) != http.StatusInternalServerError {
+		t.Fatalf("faulted release: %v, want 500", err)
+	}
+	for _, id := range ids {
+		if err := c.Delete(ctx, id); err != nil {
+			t.Fatalf("delete %s: %v", id, err)
+		}
+	}
+
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := native.Live(); n != 0 {
+		t.Fatalf("%d native subprocesses still live after teardown", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestIdemKeyReuseDifferentBody: reusing an Idempotency-Key with a changed
+// payload must be refused with 422, never answered with the cached
+// response; the honest retry replays without re-executing.
+func TestIdemKeyReuseDifferentBody(t *testing.T) {
+	ctx := context.Background()
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := kclient.New(ts.URL)
+
+	info, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	stepURL := ts.URL + "/v1/sessions/" + info.ID + "/step"
+	post := func(body string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, stepURL, bytes.NewBufferString(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "fleet-test-key")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST step: %v", err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post(`{"cycles":5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first step = %d, want 200", resp.StatusCode)
+	}
+	// Honest retry: same key, same body — replayed, not re-executed.
+	resp := post(`{"cycles":5}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatalf("retry = %d replayed=%q, want 200 replayed=true",
+			resp.StatusCode, resp.Header.Get("Idempotency-Replayed"))
+	}
+	got, err := c.Info(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if got.Cycle != 5 {
+		t.Fatalf("cycle after replayed retry = %d, want 5 (step must not re-execute)", got.Cycle)
+	}
+	// Key reuse with a different payload is a client bug: refuse, don't
+	// replay a response computed for other inputs.
+	if resp := post(`{"cycles":7}`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("key reuse with different body = %d, want 422", resp.StatusCode)
+	}
+	if got, _ = c.Info(ctx, info.ID); got.Cycle != 5 {
+		t.Fatalf("cycle after refused reuse = %d, want 5", got.Cycle)
+	}
+}

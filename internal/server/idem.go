@@ -2,6 +2,9 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
 	"net/http"
 )
 
@@ -13,6 +16,11 @@ import (
 // later duplicates replay the cached response verbatim with an
 // Idempotency-Replayed header. Responses with 5xx status are not cached —
 // the execution failed, and the retry should genuinely re-execute.
+//
+// Each entry records a hash of the request body it executed with: a key
+// reused with a different payload is a client bug (the "retry" would be
+// answered with a response computed for different inputs), and is refused
+// with 422 instead of silently replaying the wrong response.
 
 // idemCap bounds the replay cache; the oldest entries fall out FIFO. At
 // typical chaos-test rates this is hours of history — a retry arriving
@@ -27,6 +35,10 @@ type idemEntry struct {
 	status      int
 	body        []byte
 	contentType string
+	// bodyHash fingerprints the request body the entry executed with; it is
+	// written at insertion (before the handler runs) so even a duplicate
+	// racing the original can detect a payload mismatch immediately.
+	bodyHash [sha256.Size]byte
 }
 
 // maxIdemKey keeps hostile headers from growing the cache key unboundedly.
@@ -41,10 +53,25 @@ func (s *Server) withIdem(h http.HandlerFunc) http.HandlerFunc {
 			h(w, r)
 			return
 		}
+		// Buffer the body up front: the replay decision needs its hash, and
+		// the handler needs to read it afterwards.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+		if err != nil {
+			writeError(w, httpError{http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBody)})
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		bodyHash := sha256.Sum256(body)
 		full := r.Method + " " + r.URL.Path + " " + key
 		s.idemMu.Lock()
 		if e, ok := s.idem[full]; ok {
 			s.idemMu.Unlock()
+			if e.bodyHash != bodyHash {
+				writeError(w, httpError{http.StatusUnprocessableEntity,
+					fmt.Errorf("idempotency key reused with a different request body")})
+				return
+			}
 			<-e.done
 			if e.contentType != "" {
 				w.Header().Set("Content-Type", e.contentType)
@@ -54,7 +81,7 @@ func (s *Server) withIdem(h http.HandlerFunc) http.HandlerFunc {
 			_, _ = w.Write(e.body)
 			return
 		}
-		e := &idemEntry{done: make(chan struct{})}
+		e := &idemEntry{done: make(chan struct{}), bodyHash: bodyHash}
 		s.idem[full] = e
 		s.idemOrder = append(s.idemOrder, full)
 		for len(s.idemOrder) > idemCap {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -144,6 +145,9 @@ type Server struct {
 	quarantines atomic.Uint64
 	shed        atomic.Uint64
 	corrupt     atomic.Uint64
+	forks       atomic.Uint64
+	exports     atomic.Uint64
+	imports     atomic.Uint64
 	rate        rateWindow
 }
 
@@ -695,6 +699,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/fork", s.handleFork)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/reverse", s.handleReverse)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/export", s.handleExport)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/import", s.handleImport)
 }
 
 // decode reads a bounded JSON request body. Exceeding the body budget is
@@ -779,7 +786,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	nsess := len(s.sessions)
+	lazy := 0
+	for _, sess := range s.sessions {
+		if sess.cow.Load() {
+			lazy++
+		}
+	}
 	s.mu.Unlock()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	now := time.Now()
 	writeJSON(w, http.StatusOK, Metrics{
 		Sessions:     nsess,
@@ -798,6 +813,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Promotions: s.tier.promotions.Load(),
 		Demotions:  s.tier.demotions.Load(),
 
+		Forks:     s.forks.Load(),
+		LazyForks: lazy,
+		Exports:   s.exports.Load(),
+		Imports:   s.imports.Load(),
+		HeapBytes: mem.HeapAlloc,
+
 		UptimeSec: now.Sub(s.started).Seconds(),
 	})
 }
@@ -808,18 +829,49 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := "s" + strconv.FormatUint(s.nextID, 10)
-	s.mu.Unlock()
+	id := req.ID
+	if id == "" {
+		s.mu.Lock()
+		s.nextID++
+		id = "s" + strconv.FormatUint(s.nextID, 10)
+		s.mu.Unlock()
+	} else {
+		// A client-claimed id (routing gateways mint fleet-unique ids so the
+		// id hashes to a backend before the create lands). It must not
+		// shadow durable state — resurrecting the old session would replay
+		// the new one's recipe — and must keep the daemon's own id minting
+		// clear of it.
+		if !validID(id) {
+			writeError(w, fmt.Errorf("session id %q is not path-safe ([a-zA-Z0-9_-], max 64)", id))
+			return
+		}
+		if s.store != nil && s.store.HasSession(id) {
+			writeError(w, httpError{http.StatusConflict,
+				fmt.Errorf("session id %q already has durable state; delete it first", id)})
+			return
+		}
+		s.mu.Lock()
+		if n, ok := sessionSeq(id); ok && n > s.nextID {
+			s.nextID = n
+		}
+		s.mu.Unlock()
+	}
 	sess, err := newSession(id, req, s.env())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	if _, err := s.admit(sess); err != nil {
+	admitted, err := s.admit(sess)
+	if err != nil {
 		sess.discard()
 		writeError(w, err)
+		return
+	}
+	if admitted != sess {
+		// Only reachable for claimed ids: daemon-minted ids are unique.
+		sess.discard()
+		writeError(w, httpError{http.StatusConflict,
+			fmt.Errorf("session %q is already live", id)})
 		return
 	}
 	writeJSON(w, http.StatusCreated, sess.info())
@@ -1057,13 +1109,26 @@ func (s *Server) loadCheckpoint(sess *session, ckpt string) (sim.Snapshot, error
 	return sim.Snapshot{}, fmt.Errorf("session %q has no checkpoint %q", sess.id, ckpt)
 }
 
+// handleFork creates a copy-on-write fork: the new session shares the
+// parent's state as an immutable base snapshot plus its own dirty-register
+// overlay, and builds no engine until its first mutation-heavy operation
+// (step, trace, reverse, profile). A fork storm of N what-if sessions over
+// one base therefore costs one retained register file plus N overlays, not
+// N engines and N register files.
 func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.lookup(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	snap, err := sess.snapshot()
+	// Gate before taking sess.mu: a wedged session's mu may be held forever.
+	if err := sess.gate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	sess.mu.Lock()
+	ov, err := sess.forkOverlayLocked()
+	sess.mu.Unlock()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -1072,26 +1137,13 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := "s" + strconv.FormatUint(s.nextID, 10)
 	s.mu.Unlock()
-	fork, err := newSession(id, CreateRequest{
-		Source: sess.src, Catalog: sess.catalog,
-		Engine: sess.cfg.Engine, Level: sess.cfg.Level,
-		Backend: sess.cfg.Backend, Optimize: sess.cfg.Optimize,
-		Workers: sess.cfg.Workers,
-	}, s.env())
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	if err := fork.restoreSnapshot(snap); err != nil {
-		fork.discard()
-		writeError(w, err)
-		return
-	}
+	fork := newLazyFork(id, sess, ov)
 	if _, err := s.admit(fork); err != nil {
 		fork.discard()
 		writeError(w, err)
 		return
 	}
+	s.forks.Add(1)
 	writeJSON(w, http.StatusCreated, fork.info())
 }
 
@@ -1159,6 +1211,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	// Tracing executes cycles, so a lazy fork diverges here.
+	if err := sess.materializeLocked(); err != nil {
+		writeError(w, err)
+		return
+	}
 	// The stream holds sess.mu and a worker-pool slot, and the step-timeout
 	// ctx only bounds simulation — not writes to a stalled client. A rolling
 	// write deadline, extended on every flush while the stream progresses,

@@ -100,14 +100,35 @@ type session struct {
 	// described without touching the engine.
 	designName    string
 	nRegs, nRules int
+	// d is the checked design, cached so lazy forks (which have no engine
+	// yet) can answer register and breakpoint lookups. Designs are
+	// immutable once built and structurally identical across rebuilds of
+	// the same source, so sharing the parent's pointer is safe.
+	d *ast.Design
 
 	mu       sync.Mutex
-	eng      sim.Engine
+	eng      sim.Engine // nil while lazy is non-nil (an unmaterialized fork)
 	tb       sim.Testbench
 	conds    []sessionCond
 	snaps    []sim.Snapshot // in-memory ring for reverse execution
 	restored bool
 	closed   bool // engine released; guarded by mu
+
+	// lazy, while non-nil, is the copy-on-write state of a fork that has
+	// not diverged into its own engine: a shared immutable base snapshot
+	// plus this fork's dirty registers. Reads (info, regs, checkpoint,
+	// export, fork-of-fork) are answered from the overlay; the first
+	// mutation-heavy operation (step, trace, reverse, profile) pays the
+	// one-time materialization: build the engine, restore the flattened
+	// overlay, clear lazy. Guarded by mu; cow mirrors it for lock-free
+	// metrics.
+	lazy *sim.Overlay
+	cow  atomic.Bool
+	// forkBase caches the last snapshot published as a fork base, keyed by
+	// (cycle, digest): ten thousand forks taken at the same parent state
+	// share one retained register file instead of ten thousand copies.
+	forkBase       *sim.Snapshot
+	forkBaseDigest uint64
 
 	// Execution-tier state (guarded by mu). tier is "" while the session
 	// runs in-process and "native" on the AOT subprocess tier; promoted
@@ -204,7 +225,7 @@ func newSession(id string, req CreateRequest, env sessionEnv) (_ *session, err e
 	s := &session{
 		id: id, cfg: cfg, env: env, src: req.Source, catalog: req.Catalog, eng: eng,
 		external:   inst.Bench != nil,
-		designName: d.Name, nRegs: len(d.Registers), nRules: len(d.Rules),
+		designName: d.Name, nRegs: len(d.Registers), nRules: len(d.Rules), d: d,
 	}
 	if cfg.Engine == "native" {
 		// The native binary self-drives: whatever workload the catalogue
@@ -222,12 +243,16 @@ func newSession(id string, req CreateRequest, env sessionEnv) (_ *session, err e
 
 // closeEngine releases the engine's worker pool, if it has one (parallel
 // engines hold goroutines). Callers must hold the session mutex so a pool
-// is never torn down under an in-flight step; the call is idempotent.
+// is never torn down under an in-flight step; the call is idempotent. A
+// lazy fork has no engine yet, so there is nothing to release.
 func (s *session) closeEngine() {
 	if s.closed {
 		return
 	}
 	s.closed = true
+	if s.eng == nil {
+		return
+	}
 	if c, ok := s.eng.(interface{ Close() error }); ok {
 		_ = c.Close()
 	}
@@ -248,8 +273,102 @@ func (s *session) discard() {
 // the architectural snapshot cannot capture.
 func (s *session) durable() bool { return !s.external }
 
-// design returns the design under simulation (immutable once built).
-func (s *session) design() *ast.Design { return s.eng.Design() }
+// design returns the design under simulation (immutable once built). It is
+// cached at build time so a lazy fork can answer design questions before it
+// has an engine.
+func (s *session) design() *ast.Design { return s.d }
+
+// --- copy-on-write forks ----------------------------------------------------
+
+// forkOverlayLocked publishes the session's current state as a shared fork
+// base and returns a fresh CoW overlay over it. Forking a lazy fork clones
+// its overlay (O(dirty)) over the same base; forking a live session
+// snapshots it, but consecutive forks at an unchanged state (cycle and
+// digest both equal) reuse one retained base snapshot, so a 10k-fork storm
+// of one state keeps one register file, not 10k. Callers hold mu.
+func (s *session) forkOverlayLocked() (_ *sim.Overlay, err error) {
+	defer diag.Guard("server: fork", &err)
+	if s.lazy != nil {
+		return s.lazy.Fork(), nil
+	}
+	if !s.durable() {
+		return nil, errNotDurable
+	}
+	snapper, ok := s.eng.(sim.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("engine %s cannot snapshot", s.cfg)
+	}
+	snap := snapper.Snapshot()
+	digest := snap.Digest()
+	if s.forkBase == nil || s.forkBase.Cycle != snap.Cycle || s.forkBaseDigest != digest {
+		s.forkBase, s.forkBaseDigest = &snap, digest
+	}
+	return sim.NewOverlay(*s.forkBase), nil
+}
+
+// newLazyFork builds a copy-on-write fork session: no engine, just the
+// overlay. The parent's design facts are shared (immutable), and the
+// rebuild recipe is copied so materialization, checkpointing, and
+// resurrection all work exactly as for a full session.
+func newLazyFork(id string, parent *session, ov *sim.Overlay) *session {
+	s := &session{
+		id: id, cfg: parent.cfg, env: parent.env, src: parent.src, catalog: parent.catalog,
+		designName: parent.designName, nRegs: parent.nRegs, nRules: parent.nRules, d: parent.d,
+		lazy: ov,
+	}
+	s.cow.Store(true)
+	if parent.cfg.Engine == "native" {
+		s.noPromote = true
+	}
+	return s
+}
+
+// materializeLocked turns a lazy fork into a full session: build the
+// configured engine, flatten the overlay into an independent snapshot, and
+// restore it. This is the one-time divergence cost a fork pays on its first
+// mutation-heavy operation; until then it costs only its dirty map. Callers
+// hold mu. On failure the session stays lazy (and healthy), so a transient
+// build failure is retryable; any engine built along the way is closed.
+func (s *session) materializeLocked() (err error) {
+	if s.lazy == nil {
+		return nil
+	}
+	defer diag.Guard("server: materialize fork", &err)
+	inst, err := buildInstance(s.src, s.catalog)
+	if err != nil {
+		return fmt.Errorf("materializing fork %s: %w", s.id, err)
+	}
+	eng, err := s.cfg.build(inst, s.env.ncache)
+	if err != nil {
+		return fmt.Errorf("materializing fork %s: %w", s.id, err)
+	}
+	closeEng := func() {
+		if c, ok := eng.(interface{ Close() error }); ok {
+			_ = c.Close()
+		}
+	}
+	snapper, ok := eng.(sim.Snapshotter)
+	if !ok {
+		closeEng()
+		return fmt.Errorf("materializing fork %s: engine %s cannot restore", s.id, s.cfg)
+	}
+	defer func() {
+		if err != nil {
+			closeEng() // a panic inside Restore must not leak the engine
+		}
+	}()
+	c0 := snapper.Snapshot() // fresh engine at cycle 0, for reverse execution
+	snapper.Restore(s.lazy.Flatten())
+	s.eng = wrapEngine(eng, s.env.inj)
+	if s.cfg.Engine == "native" {
+		s.tier = "native"
+	}
+	s.lazy = nil
+	s.cow.Store(false)
+	s.snaps = append(s.snaps[:0], c0)
+	s.recordSnapshot()
+	return nil
+}
 
 // info snapshots the session's public description. Callers must not hold
 // mu. A failed session answers from cached facts — a wedged session's mu
@@ -270,6 +389,19 @@ func (s *session) info() SessionInfo {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.lazy != nil {
+		// An unmaterialized fork describes itself from its overlay; the
+		// digest matches what a materialized engine would report, so parity
+		// gates hold across the lazy/live boundary.
+		inf := SessionInfo{
+			ID: s.id, Design: s.designName, Engine: s.cfg.String(),
+			Cycle: s.lazy.Cycle(), Registers: s.nRegs, Rules: s.nRules,
+			Digest:  fmt.Sprintf("%016x", s.lazy.Digest()),
+			Durable: true, Restored: s.restored, Cow: true,
+		}
+		s.lastInfo.Store(&inf)
+		return inf
+	}
 	inf := SessionInfo{
 		ID:        s.id,
 		Design:    s.designName,
@@ -317,6 +449,9 @@ func (s *session) step(ctx context.Context, n uint64) (ran uint64, stopped strin
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.materializeLocked(); err != nil {
+		return 0, "", err
+	}
 	return s.stepLocked(ctx, n, nil)
 }
 
@@ -538,6 +673,21 @@ func (s *session) regs(req RegsRequest) (_ RegsResponse, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d := s.design()
+	// Pokes and peeks work directly on a lazy fork's overlay: a poke dirties
+	// exactly one register (this is the cheap "set up a what-if" path fork
+	// storms rely on), and peeks read through to the shared base.
+	var (
+		setReg func(string, bits.Bits)
+		getReg func(string) bits.Bits
+		cycle  func() uint64
+	)
+	if ov := s.lazy; ov != nil {
+		setReg = func(name string, v bits.Bits) { ov.Set(d.RegIndex(name), v) }
+		getReg = func(name string) bits.Bits { return ov.Reg(d.RegIndex(name)) }
+		cycle = ov.Cycle
+	} else {
+		setReg, getReg, cycle = s.eng.SetReg, s.eng.Reg, s.eng.CycleCount
+	}
 	for name, rv := range req.Set {
 		if !d.HasReg(name) {
 			return RegsResponse{}, fmt.Errorf("design %q has no register %q", d.Name, name)
@@ -549,7 +699,7 @@ func (s *session) regs(req RegsRequest) (_ RegsResponse, err error) {
 		if want := d.Registers[d.RegIndex(name)].Type.BitWidth(); v.Width != want {
 			return RegsResponse{}, fmt.Errorf("register %q is %d bits wide, got %d", name, want, v.Width)
 		}
-		s.eng.SetReg(name, v)
+		setReg(name, v)
 	}
 	get := req.Get
 	if req.All {
@@ -558,12 +708,12 @@ func (s *session) regs(req RegsRequest) (_ RegsResponse, err error) {
 			get = append(get, r.Name)
 		}
 	}
-	resp := RegsResponse{Cycle: s.eng.CycleCount(), Values: make(map[string]RegValue, len(get))}
+	resp := RegsResponse{Cycle: cycle(), Values: make(map[string]RegValue, len(get))}
 	for _, name := range get {
 		if !d.HasReg(name) {
 			return RegsResponse{}, fmt.Errorf("design %q has no register %q", d.Name, name)
 		}
-		resp.Values[name] = FromBits(s.eng.Reg(name))
+		resp.Values[name] = FromBits(getReg(name))
 	}
 	return resp, nil
 }
@@ -600,6 +750,9 @@ func (s *session) profile() (ProfileResponse, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.materializeLocked(); err != nil {
+		return ProfileResponse{}, err
+	}
 	if ne, ok := underlying(s.eng).(*native.Engine); ok {
 		prof, err := ne.Profile()
 		if err != nil {
@@ -637,6 +790,11 @@ func (s *session) snapshot() (sim.Snapshot, error) {
 }
 
 func (s *session) snapshotLocked() (sim.Snapshot, error) {
+	if s.lazy != nil {
+		// Checkpoint/export of an unmaterialized fork: flatten the overlay
+		// into an independent snapshot without ever building an engine.
+		return s.lazy.Flatten(), nil
+	}
 	if !s.durable() {
 		return sim.Snapshot{}, errNotDurable
 	}
@@ -658,10 +816,6 @@ func (s *session) restoreSnapshot(snap sim.Snapshot) (err error) {
 	if !s.durable() {
 		return errNotDurable
 	}
-	snapper, ok := s.eng.(sim.Snapshotter)
-	if !ok {
-		return fmt.Errorf("engine %s cannot restore", s.cfg)
-	}
 	if len(snap.Regs) != len(s.design().Registers) {
 		return fmt.Errorf("snapshot has %d registers, design %q has %d",
 			len(snap.Regs), s.design().Name, len(s.design().Registers))
@@ -671,6 +825,16 @@ func (s *session) restoreSnapshot(snap sim.Snapshot) (err error) {
 			return fmt.Errorf("snapshot register %d is %d bits, design register %q is %d",
 				i, snap.RegWidth(i), r.Name, r.Type.BitWidth())
 		}
+	}
+	if s.lazy != nil {
+		// Restoring a lazy fork just swaps its overlay for one rooted at the
+		// restored state: still no engine, still near-zero memory.
+		s.lazy = sim.NewOverlay(snap)
+		return nil
+	}
+	snapper, ok := s.eng.(sim.Snapshotter)
+	if !ok {
+		return fmt.Errorf("engine %s cannot restore", s.cfg)
 	}
 	snapper.Restore(snap)
 	// Drop now-future in-memory snapshots and remember this one.
@@ -692,6 +856,9 @@ func (s *session) reverse(ctx context.Context, n uint64) (err error) {
 	defer s.mu.Unlock()
 	if !s.durable() {
 		return errNotDurable
+	}
+	if err := s.materializeLocked(); err != nil {
+		return err
 	}
 	cur := s.eng.CycleCount()
 	if n > cur {

@@ -49,6 +49,12 @@ func (v RegValue) Bits() (bits.Bits, error) {
 type CreateRequest struct {
 	Source  string `json:"source,omitempty"`
 	Catalog string `json:"catalog,omitempty"`
+	// ID, when set, names the new session instead of letting the daemon
+	// mint one. Routing gateways use it so a session's id determines its
+	// backend placement (consistent hashing needs the id before the create
+	// lands). Claimed ids must be path-safe and not collide with a live or
+	// stored session (409).
+	ID string `json:"id,omitempty"`
 	// Engine selects the simulation pipeline: "cuttlesim" (default),
 	// "interp", "rtlsim", or "native" (the AOT tier — the design is
 	// compiled to a standalone binary through the daemon's compile cache
@@ -94,6 +100,11 @@ type SessionInfo struct {
 	// the daemon's -promote-after threshold), empty while it runs
 	// in-process.
 	Tier string `json:"tier,omitempty"`
+	// Cow is set while the session is a copy-on-write fork that has not
+	// diverged into its own engine yet: it shares its base session's
+	// snapshot and keeps only register-granular overrides, so it costs
+	// near-zero memory until first stepped.
+	Cow bool `json:"cow,omitempty"`
 }
 
 // ListResponse enumerates live sessions.
@@ -184,6 +195,64 @@ type ReverseRequest struct {
 	Cycles uint64 `json:"cycles"`
 }
 
+// ExportRequest tunes a session export. Release additionally retires the
+// live session after its state is captured (checkpointing it durably first
+// when a store is configured): this is the migration handoff — between the
+// release and the import on the target node the session has no live owner
+// anywhere, only durable state, so a crash mid-transfer can at worst
+// re-home it from its last checkpoint, never duplicate it.
+type ExportRequest struct {
+	Release bool `json:"release,omitempty"`
+}
+
+// ExportResponse is a session's complete portable state: the rebuild recipe
+// (source/catalog + engine config, exactly what meta.json stores) and a
+// KSNP v2 snapshot, plus the digest and cycle the importer must gate on.
+// Snapshot travels base64-encoded inside the JSON envelope.
+type ExportResponse struct {
+	ID       string       `json:"id"`
+	Source   string       `json:"source,omitempty"`
+	Catalog  string       `json:"catalog,omitempty"`
+	Config   EngineConfig `json:"config"`
+	Cycle    uint64       `json:"cycle"`
+	Digest   string       `json:"digest"`
+	Snapshot []byte       `json:"snapshot"`
+	Released bool         `json:"released,omitempty"`
+}
+
+// ImportRequest resurrects an exported session on this daemon. The importer
+// rebuilds the engine from the recipe, restores the snapshot, and admits
+// the session only when the restored engine's StateDigest and cycle count
+// equal the Digest/Cycle the exporter promised — a lying transfer is
+// discarded, never served.
+type ImportRequest struct {
+	ID       string       `json:"id"`
+	Source   string       `json:"source,omitempty"`
+	Catalog  string       `json:"catalog,omitempty"`
+	Config   EngineConfig `json:"config"`
+	Cycle    uint64       `json:"cycle"`
+	Digest   string       `json:"digest"`
+	Snapshot []byte       `json:"snapshot"`
+}
+
+// MigrateRequest asks the routing gateway to move a session to another
+// backend (checkpoint → transfer → resurrect). Target names a backend by
+// its router name ("b1") or base URL; empty picks the next healthy backend
+// after the current owner.
+type MigrateRequest struct {
+	Target string `json:"target,omitempty"`
+}
+
+// MigrateResponse reports a completed migration: the session's new home and
+// the digest/cycle the import gate verified there.
+type MigrateResponse struct {
+	ID     string `json:"id"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Cycle  uint64 `json:"cycle"`
+	Digest string `json:"digest"`
+}
+
 // TraceEvent is one line of the NDJSON trace stream: the cycle just
 // executed, the rules that fired, and the registers that changed.
 type TraceEvent struct {
@@ -212,9 +281,21 @@ type Metrics struct {
 	// Promotions counts sessions transparently moved onto the native tier;
 	// Demotions counts promoted sessions rolled back after their
 	// subprocess died.
-	Promotions uint64  `json:"promotions,omitempty"`
-	Demotions  uint64  `json:"demotions,omitempty"`
-	UptimeSec  float64 `json:"uptime_sec"`
+	Promotions uint64 `json:"promotions,omitempty"`
+	Demotions  uint64 `json:"demotions,omitempty"`
+	// Forks counts sessions created by /fork; LazyForks is the current
+	// number of copy-on-write forks that have not materialized their own
+	// engine yet (each costs only its dirty-register overlay).
+	Forks     uint64 `json:"forks,omitempty"`
+	LazyForks int    `json:"lazy_forks,omitempty"`
+	// Exports/Imports count completed session handoffs (live migration).
+	Exports uint64 `json:"exports,omitempty"`
+	Imports uint64 `json:"imports,omitempty"`
+	// HeapBytes is the daemon's live heap (runtime.MemStats.HeapAlloc), so
+	// a fleet load generator can measure per-session and per-fork memory
+	// amplification remotely.
+	HeapBytes uint64  `json:"heap_bytes,omitempty"`
+	UptimeSec float64 `json:"uptime_sec"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -200,6 +200,109 @@ func (s Snapshot) Digest() uint64 {
 	return h
 }
 
+// Overlay is a register-granular copy-on-write view over an immutable base
+// snapshot. Forks of one base share its register arrays and keep only their
+// own divergent values in the sparse Dirty map, so ten thousand what-if
+// forks of one state cost ten thousand small maps instead of ten thousand
+// full register files. The base must never be mutated once shared: Set
+// writes go to Dirty, and Flatten produces an independent Snapshot when a
+// fork finally diverges into its own engine.
+type Overlay struct {
+	// Base is the shared immutable snapshot (slices aliased, not copied).
+	Base Snapshot
+	// Dirty maps register index to the fork's own value, overriding Base.
+	// nil means no divergence yet; it is allocated on first Set.
+	Dirty map[int]bits.Bits
+}
+
+// NewOverlay builds a CoW view over base. The caller promises not to mutate
+// base afterwards.
+func NewOverlay(base Snapshot) *Overlay { return &Overlay{Base: base} }
+
+// Cycle returns the overlay's cycle count. Poking registers does not
+// advance time, so it is always the base's.
+func (o *Overlay) Cycle() uint64 { return o.Base.Cycle }
+
+// Reg returns register i's value, preferring the fork's own write.
+func (o *Overlay) Reg(i int) bits.Bits {
+	if v, ok := o.Dirty[i]; ok {
+		return v
+	}
+	return o.Base.Regs[i]
+}
+
+// WideReg is Reg for width-agnostic consumers (digests, encoders).
+func (o *Overlay) WideReg(i int) bits.Wide {
+	if v, ok := o.Dirty[i]; ok {
+		return bits.WideFromBits(v)
+	}
+	return o.Base.WideReg(i)
+}
+
+// Set records a fork-local register write without touching the shared base.
+func (o *Overlay) Set(i int, v bits.Bits) {
+	if o.Dirty == nil {
+		o.Dirty = make(map[int]bits.Bits)
+	}
+	o.Dirty[i] = v
+}
+
+// Fork clones the overlay's private state over the same shared base, so
+// forking a fork stays O(dirty), never O(registers).
+func (o *Overlay) Fork() *Overlay {
+	n := &Overlay{Base: o.Base}
+	if len(o.Dirty) > 0 {
+		n.Dirty = make(map[int]bits.Bits, len(o.Dirty))
+		for i, v := range o.Dirty {
+			n.Dirty[i] = v
+		}
+	}
+	return n
+}
+
+// Flatten materializes the overlay into an independent Snapshot: a full
+// register-file copy with the dirty values applied. This is the lazy
+// flattening step a fork pays once, when it first diverges into its own
+// engine — not at fork time.
+func (o *Overlay) Flatten() Snapshot {
+	out := Snapshot{Cycle: o.Base.Cycle, Regs: make([]bits.Bits, len(o.Base.Regs))}
+	copy(out.Regs, o.Base.Regs)
+	if o.Base.Wide != nil {
+		out.Wide = make([]bits.Wide, len(o.Base.Wide))
+		copy(out.Wide, o.Base.Wide)
+	}
+	for i, v := range o.Dirty {
+		out.Regs[i] = v
+		if i < len(out.Wide) {
+			out.Wide[i] = bits.Wide{}
+		}
+	}
+	return out
+}
+
+// Digest hashes the overlay's effective state. It equals Flatten().Digest()
+// — and therefore StateDigest of an engine restored from the flattened
+// snapshot — without paying the full copy.
+func (o *Overlay) Digest() uint64 {
+	h := uint64(fnvOffset)
+	for i := range o.Base.Regs {
+		v := o.WideReg(i)
+		h = fnvMix(h, uint64(v.Width()))
+		limbs := (v.Width() + 63) / 64
+		if limbs == 0 {
+			limbs = 1
+		}
+		p := v.AppendLE(make([]byte, 0, limbs*8))
+		for len(p) < limbs*8 {
+			p = append(p, 0)
+		}
+		for l := 0; l < limbs; l++ {
+			h = fnvMix(h, leUint64(p[l*8:]))
+		}
+	}
+	return h
+}
+
 func leUint64(p []byte) uint64 {
 	var v uint64
 	for i := 0; i < 8; i++ {

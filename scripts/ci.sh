@@ -40,8 +40,14 @@ echo "== race: fault injection, robustness, client retries"
 # race detector, plus the server's failure-path tests: torn writes,
 # corrupt-checkpoint fallback, engine-panic quarantine, the step watchdog,
 # load shedding, and idempotent replay.
-go test -race ./internal/faultinj ./internal/kclient
+go test -race ./internal/faultinj ./internal/kclient ./internal/router
 go test -race -run 'Fault|Torn|Corrupt|Quarantine|Wedge|Shedding|Idempotent|RecoverStore' ./internal/server
+
+echo "== race: fleet — CoW forks, export/import parity gates, migration faults"
+# The copy-on-write fork paths, the export→import digest+cycle equality
+# gate, source-death re-homing, and the leak audit all run under the race
+# detector; fork parity is checked from 8 concurrent clients.
+go test -race -run 'TestFork|TestExport|TestImport|TestMigrationSource|TestFleetLeak|TestIdemKey' ./internal/server
 
 echo "== fuzz smoke (5s per target)"
 go test ./internal/lang -run='^$' -fuzz='^FuzzLexer$' -fuzztime=5s
@@ -114,5 +120,13 @@ echo "== ksimd crash gate (3x SIGKILL under chaos load, race build)"
 # promised digest and keep simulating in lockstep with an in-process
 # replay. See scripts/ksimd-crash.sh.
 RACE=1 bash scripts/ksimd-crash.sh
+
+echo "== ksimd fleet smoke (3 backends + router, swarm load, 1 migration)"
+# A 3-backend fleet behind ksimd -router under kbench -swarm: routed
+# creates, copy-on-write fork storm, one forced live migration. Gated on
+# StateDigest parity across every fork and the migration, zero failed
+# requests, and clean shutdown of all four processes. See
+# scripts/ksimd-swarm.sh.
+bash scripts/ksimd-swarm.sh
 
 echo "CI OK"
