@@ -7,12 +7,20 @@
 //
 //	kdbg <design>
 //	kdbg -connect URL (<design> | -session ID)
+//	kdbg -revcd TRACEDIR [-from N] [-to N]
 //
 // With -connect, kdbg becomes a remote client of a running ksimd daemon:
 // the same prompt, but every command is an RPC against a hosted session
 // (created from a catalogue name or a .koika file, or attached with
 // -session). Remote sessions add checkpoint/restore/fork commands on top
-// of the usual stepping, conditional breakpoints, and reverse execution.
+// of the usual stepping, conditional breakpoints, and reverse execution,
+// plus trace recording and time-travel queries (record/query/diff) against
+// the session's on-disk trace store.
+//
+// With -revcd, kdbg re-emits a VCD document on stdout from a trace-store
+// directory (a ksimd session's <store>/sessions/<id>/trace), offline and
+// without a daemon; -from/-to clamp the cycle window (-to 0 means the end
+// of the recording).
 //
 // Commands:
 //
@@ -40,6 +48,8 @@ import (
 	"cuttlego/internal/bench"
 	"cuttlego/internal/cli"
 	"cuttlego/internal/debug"
+	"cuttlego/internal/faultinj"
+	"cuttlego/internal/tracedb"
 )
 
 func main() {
@@ -47,7 +57,27 @@ func main() {
 	maxErrors := fs.Int("maxerrors", 0, "cap on reported frontend errors (0 = default, -1 = unlimited)")
 	connect := fs.String("connect", "", "drive a remote ksimd daemon at this URL instead of simulating in-process")
 	session := fs.String("session", "", "with -connect: attach to an existing session id")
+	revcd := fs.String("revcd", "", "re-emit a VCD on stdout from this trace-store directory and exit")
+	from := fs.Uint64("from", 0, "with -revcd: first cycle of the window")
+	to := fs.Uint64("to", 0, "with -revcd: last cycle of the window, inclusive (0 = end of recording)")
 	cli.Parse(fs, os.Args[1:])
+	if *revcd != "" {
+		if fs.NArg() != 0 || *connect != "" {
+			cli.Usage("usage: kdbg -revcd TRACEDIR [-from N] [-to N]\n")
+		}
+		r, err := tracedb.Open(*revcd, faultinj.OS())
+		if err != nil {
+			cli.Fail("kdbg", err)
+		}
+		end := *to
+		if end == 0 {
+			end = ^uint64(0)
+		}
+		if err := r.WriteVCD(os.Stdout, *from, end); err != nil {
+			cli.Fail("kdbg", err)
+		}
+		return
+	}
 	if *connect != "" {
 		if fs.NArg() > 1 || (fs.NArg() == 1) == (*session != "") {
 			cli.Usage("usage: kdbg -connect URL (<design> | -session ID)\n")

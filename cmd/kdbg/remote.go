@@ -54,6 +54,20 @@ func remoteMain(url, sessionID, design string) {
 	remoteRepl(ctx, c, info.ID)
 }
 
+// printTraceStatus renders a TraceStatus as one prompt-friendly line.
+func printTraceStatus(st server.TraceStatus) {
+	if !st.Present {
+		fmt.Println("no recording (try 'record on')")
+		return
+	}
+	state := "idle recording"
+	if st.Recording {
+		state = "recording"
+	}
+	fmt.Printf("%s: cycles %d..%d (%d rows, %d chunks of %d cycles)\n",
+		state, st.First, st.Last, st.Rows, st.Chunks, st.ChunkCycles)
+}
+
 func remoteRepl(ctx context.Context, c *kclient.Client, id string) {
 	sc := bufio.NewScanner(os.Stdin)
 	cycle := uint64(0)
@@ -89,10 +103,13 @@ func remoteRepl(ctx context.Context, c *kclient.Client, id string) {
 			case "quit", "q", "exit":
 				return errQuit
 			case "help", "h":
-				fmt.Println("remote commands: step when clear print set rules profile checkpoint restore reverse fork sessions quit")
+				fmt.Println("remote commands: step when clear print set rules profile checkpoint restore reverse fork sessions record query diff quit")
 				fmt.Println("  when <expr>      break when the expression holds, e.g.: when done.rd0() == 1'd1")
 				fmt.Println("  set REG HEX      poke a register")
 				fmt.Println("  restore CKPT     rewind to a checkpoint id from 'checkpoint'")
+				fmt.Println("  record [on|off]  control trace recording (bare 'record' shows status)")
+				fmt.Println("  query <q>        search the recording, e.g.: query first x.rd0() == 32'd1")
+				fmt.Println("  diff ID [CYCLE]  compare recordings against session ID (at one cycle, or find the divergence)")
 			case "step", "s", "continue", "c":
 				n := num(1, 1)
 				if fields[0] == "continue" || fields[0] == "c" {
@@ -196,6 +213,64 @@ func remoteRepl(ctx context.Context, c *kclient.Client, id string) {
 					return err
 				}
 				fmt.Printf("forked into session %s at cycle %d\n", info.ID, info.Cycle)
+			case "record":
+				var st server.TraceStatus
+				var err error
+				switch arg(1, "") {
+				case "on", "off":
+					st, err = c.TraceRecord(ctx, id, arg(1, "") == "on")
+				case "":
+					st, err = c.TraceStatus(ctx, id)
+				default:
+					return fmt.Errorf("record [on|off]")
+				}
+				if err != nil {
+					return err
+				}
+				printTraceStatus(st)
+			case "query":
+				q := strings.Join(fields[1:], " ")
+				if q == "" {
+					return fmt.Errorf("query (first|last|count|scan) EXPR [in FROM..TO]")
+				}
+				res, err := c.TraceQuery(ctx, id, server.TraceQueryRequest{Query: q})
+				if err != nil {
+					return err
+				}
+				switch {
+				case len(res.Matches) > 0:
+					fmt.Printf("%d matching cycles: %v\n", len(res.Matches), res.Matches)
+				case res.Matched:
+					fmt.Printf("match at cycle %d\n", res.Cycle)
+				case strings.HasPrefix(res.Query, "count"):
+					fmt.Printf("%d matching cycles\n", res.Count)
+				default:
+					fmt.Println("no match")
+				}
+				fmt.Printf("  (%d rows evaluated, %d chunks scanned, %d skipped via summaries)\n",
+					res.RowsEvaluated, res.ChunksScanned, res.ChunksSkipped)
+			case "diff":
+				other := arg(1, "")
+				if other == "" {
+					return fmt.Errorf("diff SESSION [CYCLE]")
+				}
+				req := server.TraceDiffRequest{Other: other}
+				if arg(2, "") != "" {
+					at := num(2, 0)
+					req.Cycle = &at
+				}
+				resp, err := c.TraceDiff(ctx, id, req)
+				if err != nil {
+					return err
+				}
+				if !resp.Diverged {
+					fmt.Println("recordings agree")
+					break
+				}
+				fmt.Printf("diverged at cycle %d:\n", resp.Cycle)
+				for _, e := range resp.Entries {
+					fmt.Printf("  %-16s %s: 0x%s  %s: 0x%s\n", e.Signal, resp.A, e.A.Hex, resp.B, e.B.Hex)
+				}
 			case "sessions":
 				infos, err := c.List(ctx)
 				if err != nil {

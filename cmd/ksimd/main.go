@@ -10,7 +10,7 @@
 //	      [-max-queue N] [-watchdog D] [-faults SPEC] [-fault-seed N]
 //	      [-native-cache DIR] [-promote-after N]
 //	ksimd -router BACKENDS [-addr HOST:PORT] [-addr-file PATH]
-//	      [-health-interval D]
+//	      [-health-interval D] [-store DIR]
 //
 // With -router, ksimd runs as a fleet gateway instead of a daemon: BACKENDS
 // is a comma-separated list of backend base URLs (optionally "name=url"),
@@ -18,7 +18,10 @@
 // the JSON API transparently, health-checks every -health-interval, and
 // re-homes sessions whose backend died (give the backends a shared -store
 // so the survivor can resurrect them). POST /v1/sessions/{id}/migrate moves
-// a session between backends live.
+// a session between backends live. Point the router's own -store at the
+// fleet's shared store and it persists routing pins (fork children,
+// migrated sessions) there, so a restarted router keeps routing them to
+// their actual home instead of their hash position.
 //
 // The daemon prints its listening address on stdout once bound (an -addr of
 // ":0" picks an ephemeral port; -addr-file additionally writes the address
@@ -91,7 +94,7 @@ func main() {
 		cli.Usage("usage: ksimd [flags]; run ksimd -h for the flag list\n")
 	}
 	if *routerBk != "" {
-		runRouter(*routerBk, *addr, *addrFile, *healthIv)
+		runRouter(*routerBk, *addr, *addrFile, *store, *healthIv)
 		return
 	}
 

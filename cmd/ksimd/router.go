@@ -20,10 +20,11 @@ import (
 // daemons. It shares the daemon's address/bind conventions (stdout banner,
 // -addr-file, SIGINT/SIGTERM graceful shutdown) so scripts drive both the
 // same way.
-func runRouter(backends, addr, addrFile string, healthIv time.Duration) {
+func runRouter(backends, addr, addrFile, store string, healthIv time.Duration) {
 	rt, err := router.New(router.Config{
 		Backends:       strings.Split(backends, ","),
 		HealthInterval: healthIv,
+		StoreDir:       store,
 	})
 	if err != nil {
 		cli.Fail("ksimd", err)

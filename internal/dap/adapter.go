@@ -1,0 +1,432 @@
+package dap
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/server"
+)
+
+// continueBudget is how many cycles one "continue" runs before reporting
+// back; the IDE's thread stays responsive and a runaway design cannot hang
+// the debug session (the daemon's own step cap still applies underneath).
+const continueBudget = 100_000
+
+// Adapter drives one ksimd session on behalf of one DAP client. It is
+// single-threaded by construction: DAP requests arrive in order and each
+// is answered before the next is read.
+type Adapter struct {
+	client *kclient.Client
+	in     *bufio.Reader
+	out    io.Writer
+	wmu    sync.Mutex
+	seq    int
+
+	id     string   // the debugged session
+	design string   // its design name, for stack frames
+	owns   bool     // launch created it, so disconnect deletes it
+	conds  []string // breakpoint conditions, as last set by setBreakpoints
+	cycle  uint64
+}
+
+// Serve runs a DAP session over rw (stdio, a TCP connection, a pipe in
+// tests) against the ksimd daemon behind client. It returns when the
+// client disconnects or the transport fails.
+func Serve(rw io.ReadWriter, client *kclient.Client) error {
+	a := &Adapter{client: client, in: bufio.NewReader(rw), out: rw}
+	return a.run()
+}
+
+var errDisconnect = errors.New("dap: client disconnected")
+
+func (a *Adapter) run() error {
+	for {
+		payload, err := readMessage(a.in)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		var req request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return fmt.Errorf("dap: malformed request: %w", err)
+		}
+		if err := a.dispatch(req); err != nil {
+			if errors.Is(err, errDisconnect) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func (a *Adapter) send(v any) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return writeMessage(a.out, v)
+}
+
+func (a *Adapter) respond(req request, body any) error {
+	a.seq++
+	return a.send(response{Seq: a.seq, Type: "response", RequestSeq: req.Seq,
+		Success: true, Command: req.Command, Body: body})
+}
+
+func (a *Adapter) fail(req request, err error) error {
+	a.seq++
+	return a.send(response{Seq: a.seq, Type: "response", RequestSeq: req.Seq,
+		Success: false, Command: req.Command, Message: err.Error()})
+}
+
+func (a *Adapter) emit(name string, body any) error {
+	a.seq++
+	return a.send(event{Seq: a.seq, Type: "event", Event: name, Body: body})
+}
+
+// stopped tells the IDE execution halted; every stop names thread 1, the
+// simulation's only thread.
+func (a *Adapter) stopped(reason, description string) error {
+	return a.emit("stopped", map[string]any{
+		"reason": reason, "description": description, "threadId": 1, "allThreadsStopped": true,
+	})
+}
+
+func (a *Adapter) dispatch(req request) error {
+	ctx := context.Background()
+	switch req.Command {
+	case "initialize":
+		if err := a.respond(req, map[string]any{
+			"supportsConfigurationDoneRequest": true,
+			"supportsConditionalBreakpoints":   true,
+			"supportsStepBack":                 true, // stepBack + reverseContinue
+			"supportsEvaluateForHovers":        true,
+		}); err != nil {
+			return err
+		}
+		return a.emit("initialized", nil)
+
+	case "launch":
+		var args struct {
+			Design string `json:"design"`
+		}
+		_ = json.Unmarshal(req.Arguments, &args)
+		if args.Design == "" {
+			return a.fail(req, fmt.Errorf(`launch needs {"design": <catalogue name or .koika path>}`))
+		}
+		create := server.CreateRequest{}
+		if _, ok := bench.Lookup(args.Design); ok {
+			create.Catalog = args.Design
+		} else {
+			src, err := os.ReadFile(args.Design)
+			if err != nil {
+				return a.fail(req, fmt.Errorf("%q is neither a catalogue design %v nor a readable file: %w",
+					args.Design, bench.Names(), err))
+			}
+			create.Source = string(src)
+		}
+		info, err := a.client.Create(ctx, create)
+		if err != nil {
+			return a.fail(req, err)
+		}
+		a.id, a.design, a.owns, a.cycle = info.ID, info.Design, true, info.Cycle
+		a.startRecording(ctx)
+		return a.respond(req, nil)
+
+	case "attach":
+		var args struct {
+			Session string `json:"session"`
+		}
+		_ = json.Unmarshal(req.Arguments, &args)
+		if args.Session == "" {
+			return a.fail(req, fmt.Errorf(`attach needs {"session": <ksimd session id>}`))
+		}
+		info, err := a.client.Info(ctx, args.Session)
+		if err != nil {
+			return a.fail(req, err)
+		}
+		a.id, a.design, a.owns, a.cycle = info.ID, info.Design, false, info.Cycle
+		a.startRecording(ctx)
+		return a.respond(req, nil)
+
+	case "setBreakpoints":
+		var args struct {
+			Breakpoints []struct {
+				Condition string `json:"condition"`
+				Line      int    `json:"line"`
+			} `json:"breakpoints"`
+		}
+		_ = json.Unmarshal(req.Arguments, &args)
+		if err := a.client.Break(ctx, a.id, server.BreakRequest{Clear: true}); err != nil {
+			return a.fail(req, err)
+		}
+		a.conds = a.conds[:0]
+		type bp struct {
+			Verified bool   `json:"verified"`
+			Message  string `json:"message,omitempty"`
+			Line     int    `json:"line,omitempty"`
+		}
+		out := make([]bp, 0, len(args.Breakpoints))
+		for _, b := range args.Breakpoints {
+			if b.Condition == "" {
+				// Simulations have no source lines to break on; only
+				// conditional breakpoints can be honored.
+				out = append(out, bp{Verified: false, Line: b.Line,
+					Message: "line breakpoints are not supported; add a condition (e.g. done.rd0() == 1'd1)"})
+				continue
+			}
+			if err := a.client.Break(ctx, a.id, server.BreakRequest{Cond: b.Condition}); err != nil {
+				out = append(out, bp{Verified: false, Line: b.Line, Message: err.Error()})
+				continue
+			}
+			a.conds = append(a.conds, b.Condition)
+			out = append(out, bp{Verified: true, Line: b.Line})
+		}
+		return a.respond(req, map[string]any{"breakpoints": out})
+
+	case "configurationDone":
+		if err := a.respond(req, nil); err != nil {
+			return err
+		}
+		// The session is born paused; show the IDE its entry state.
+		return a.stopped("entry", fmt.Sprintf("session %s at cycle %d", a.id, a.cycle))
+
+	case "threads":
+		return a.respond(req, map[string]any{
+			"threads": []map[string]any{{"id": 1, "name": "simulation"}},
+		})
+
+	case "stackTrace":
+		info, err := a.client.Info(ctx, a.id)
+		if err != nil {
+			return a.fail(req, err)
+		}
+		a.cycle = info.Cycle
+		return a.respond(req, map[string]any{
+			"stackFrames": []map[string]any{{
+				"id":     1,
+				"name":   fmt.Sprintf("%s @ cycle %d", a.design, a.cycle),
+				"line":   0,
+				"column": 0,
+			}},
+			"totalFrames": 1,
+		})
+
+	case "scopes":
+		return a.respond(req, map[string]any{
+			"scopes": []map[string]any{{
+				"name": "Registers", "variablesReference": 1, "expensive": false,
+			}},
+		})
+
+	case "variables":
+		regs, err := a.client.Regs(ctx, a.id, server.RegsRequest{All: true})
+		if err != nil {
+			return a.fail(req, err)
+		}
+		names := make([]string, 0, len(regs.Values))
+		for name := range regs.Values {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		type variable struct {
+			Name               string `json:"name"`
+			Value              string `json:"value"`
+			VariablesReference int    `json:"variablesReference"`
+		}
+		vars := make([]variable, 0, len(names))
+		for _, name := range names {
+			v := regs.Values[name]
+			vars = append(vars, variable{Name: name, Value: fmt.Sprintf("0x%s (%d bits)", v.Hex, v.Width)})
+		}
+		return a.respond(req, map[string]any{"variables": vars})
+
+	case "continue":
+		resp, err := a.client.Step(ctx, a.id, continueBudget)
+		if err != nil {
+			return a.fail(req, err)
+		}
+		a.cycle = resp.Cycle
+		if err := a.respond(req, map[string]any{"allThreadsContinued": true}); err != nil {
+			return err
+		}
+		if resp.Stopped != "" {
+			return a.stopped("breakpoint", resp.Stopped)
+		}
+		return a.stopped("pause", fmt.Sprintf("ran %d cycles without hitting a breakpoint", resp.Ran))
+
+	case "next", "stepIn", "stepOut":
+		resp, err := a.client.Step(ctx, a.id, 1)
+		if err != nil {
+			return a.fail(req, err)
+		}
+		a.cycle = resp.Cycle
+		if err := a.respond(req, nil); err != nil {
+			return err
+		}
+		return a.stopped("step", fmt.Sprintf("cycle %d", a.cycle))
+
+	case "stepBack":
+		info, err := a.client.Reverse(ctx, a.id, 1)
+		if err != nil {
+			return a.fail(req, err)
+		}
+		a.cycle = info.Cycle
+		if err := a.respond(req, nil); err != nil {
+			return err
+		}
+		return a.stopped("step", fmt.Sprintf("cycle %d", a.cycle))
+
+	case "reverseContinue":
+		reason, desc, err := a.reverseContinue(ctx)
+		if err != nil {
+			return a.fail(req, err)
+		}
+		if err := a.respond(req, nil); err != nil {
+			return err
+		}
+		return a.stopped(reason, desc)
+
+	case "evaluate":
+		var args struct {
+			Expression string `json:"expression"`
+		}
+		_ = json.Unmarshal(req.Arguments, &args)
+		result, err := a.evaluate(ctx, strings.TrimSpace(args.Expression))
+		if err != nil {
+			return a.fail(req, err)
+		}
+		return a.respond(req, map[string]any{"result": result, "variablesReference": 0})
+
+	case "pause":
+		// Steps are synchronous server-side; there is nothing in flight to
+		// interrupt. Acknowledge and report the current position.
+		if err := a.respond(req, nil); err != nil {
+			return err
+		}
+		return a.stopped("pause", fmt.Sprintf("cycle %d", a.cycle))
+
+	case "disconnect", "terminate":
+		if a.owns && a.id != "" {
+			_ = a.client.Delete(ctx, a.id)
+		}
+		if err := a.respond(req, nil); err != nil {
+			return err
+		}
+		_ = a.emit("terminated", nil)
+		return errDisconnect
+
+	default:
+		return a.fail(req, fmt.Errorf("unsupported request %q", req.Command))
+	}
+}
+
+// startRecording best-effort enables trace recording so evaluate can run
+// time-travel queries. A daemon without a store answers 409; the debug
+// session still works, only queries are unavailable.
+func (a *Adapter) startRecording(ctx context.Context) {
+	_, _ = a.client.TraceRecord(ctx, a.id, true)
+}
+
+// reverseContinue runs backwards to the most recent earlier cycle where
+// any breakpoint condition held, found with a "last" trace query over the
+// recording; without conditions or a recording it rewinds to cycle 0.
+func (a *Adapter) reverseContinue(ctx context.Context) (reason, desc string, err error) {
+	if a.cycle == 0 {
+		return "entry", "already at cycle 0", nil
+	}
+	if len(a.conds) > 0 {
+		expr := a.conds[0]
+		if len(a.conds) > 1 {
+			parts := make([]string, len(a.conds))
+			for i, c := range a.conds {
+				parts[i] = "(" + c + ")"
+			}
+			expr = strings.Join(parts, " | ")
+		}
+		res, qerr := a.client.TraceQuery(ctx, a.id, server.TraceQueryRequest{
+			Mode: "last", Expr: expr, From: 0, To: a.cycle - 1,
+		})
+		var apiErr *kclient.APIError
+		switch {
+		case qerr == nil && res.Matched:
+			info, err := a.client.Reverse(ctx, a.id, a.cycle-res.Cycle)
+			if err != nil {
+				return "", "", err
+			}
+			a.cycle = info.Cycle
+			return "breakpoint", fmt.Sprintf("breakpoint held at cycle %d", a.cycle), nil
+		case qerr != nil && !(errors.As(qerr, &apiErr) && apiErr.Status == http.StatusConflict):
+			// 409 means no recording — fall through to a plain rewind; any
+			// other failure is real.
+			return "", "", qerr
+		}
+	}
+	info, err := a.client.Reverse(ctx, a.id, a.cycle)
+	if err != nil {
+		return "", "", err
+	}
+	a.cycle = info.Cycle
+	return "entry", fmt.Sprintf("rewound to cycle %d", a.cycle), nil
+}
+
+// evaluate answers an IDE expression: a bare register name reads the live
+// value, anything else runs as a trace query ("first <expr>" unless the
+// expression already names a mode).
+func (a *Adapter) evaluate(ctx context.Context, expr string) (string, error) {
+	if expr == "" {
+		return "", fmt.Errorf("empty expression")
+	}
+	if isIdent(expr) {
+		regs, err := a.client.Regs(ctx, a.id, server.RegsRequest{Get: []string{expr}})
+		if err == nil {
+			if v, ok := regs.Values[expr]; ok {
+				return fmt.Sprintf("0x%s (%d bits)", v.Hex, v.Width), nil
+			}
+		}
+		return "", fmt.Errorf("no register %q", expr)
+	}
+	q := expr
+	switch strings.Fields(expr)[0] {
+	case "first", "last", "count", "scan":
+	default:
+		q = "first " + expr
+	}
+	res, err := a.client.TraceQuery(ctx, a.id, server.TraceQueryRequest{Query: q})
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case len(res.Matches) > 0:
+		return fmt.Sprintf("%d matching cycles: %v", len(res.Matches), res.Matches), nil
+	case res.Matched:
+		return fmt.Sprintf("cycle %d", res.Cycle), nil
+	case strings.HasPrefix(res.Query, "count"):
+		return fmt.Sprintf("%d matching cycles", res.Count), nil
+	default:
+		return "no match", nil
+	}
+}
+
+// isIdent reports whether s looks like a plain register name.
+func isIdent(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' {
+			continue
+		}
+		return false
+	}
+	return len(s) > 0
+}

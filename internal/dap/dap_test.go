@@ -1,0 +1,348 @@
+package dap
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/router"
+	"cuttlego/internal/server"
+)
+
+// testClient is a scripted DAP client over one end of a net.Pipe, with the
+// adapter serving the other end.
+type testClient struct {
+	t      *testing.T
+	conn   net.Conn
+	r      *bufio.Reader
+	seq    int
+	events []map[string]any // events received while waiting for a response
+}
+
+func newTestClient(t *testing.T, backendURL string) *testClient {
+	t.Helper()
+	serverSide, clientSide := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- Serve(serverSide, kclient.New(backendURL)) }()
+	t.Cleanup(func() {
+		clientSide.Close()
+		serverSide.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("adapter exited with: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Errorf("adapter did not exit")
+		}
+	})
+	_ = clientSide.SetDeadline(time.Now().Add(60 * time.Second))
+	return &testClient{t: t, conn: clientSide, r: bufio.NewReader(clientSide)}
+}
+
+func (c *testClient) send(cmd string, args any) {
+	c.t.Helper()
+	c.seq++
+	raw, err := json.Marshal(args)
+	if err != nil {
+		c.t.Fatalf("marshal %s args: %v", cmd, err)
+	}
+	if err := writeMessage(c.conn, request{Seq: c.seq, Type: "request", Command: cmd, Arguments: raw}); err != nil {
+		c.t.Fatalf("send %s: %v", cmd, err)
+	}
+}
+
+func (c *testClient) recv() map[string]any {
+	c.t.Helper()
+	payload, err := readMessage(c.r)
+	if err != nil {
+		c.t.Fatalf("read message: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(payload, &m); err != nil {
+		c.t.Fatalf("decode message: %v", err)
+	}
+	return m
+}
+
+// roundTrip sends cmd and returns its successful response, queuing any
+// events that arrive first.
+func (c *testClient) roundTrip(cmd string, args any) map[string]any {
+	c.t.Helper()
+	c.send(cmd, args)
+	for {
+		m := c.recv()
+		if m["type"] != "response" {
+			c.events = append(c.events, m)
+			continue
+		}
+		if m["command"] != cmd {
+			c.t.Fatalf("response to %v while waiting for %s", m["command"], cmd)
+		}
+		if m["success"] != true {
+			c.t.Fatalf("%s failed: %v", cmd, m["message"])
+		}
+		return m
+	}
+}
+
+// expectFail sends cmd and asserts the adapter rejects it.
+func (c *testClient) expectFail(cmd string, args any) string {
+	c.t.Helper()
+	c.send(cmd, args)
+	for {
+		m := c.recv()
+		if m["type"] != "response" {
+			c.events = append(c.events, m)
+			continue
+		}
+		if m["success"] == true {
+			c.t.Fatalf("%s unexpectedly succeeded", cmd)
+		}
+		msg, _ := m["message"].(string)
+		return msg
+	}
+}
+
+// waitEvent returns the next event with the given name, consuming the
+// queue first.
+func (c *testClient) waitEvent(name string) map[string]any {
+	c.t.Helper()
+	for i, e := range c.events {
+		if e["event"] == name {
+			c.events = append(c.events[:i], c.events[i+1:]...)
+			return e
+		}
+	}
+	for {
+		m := c.recv()
+		if m["type"] != "event" {
+			c.t.Fatalf("got %v response while waiting for event %s", m["command"], name)
+		}
+		if m["event"] == name {
+			return m
+		}
+		c.events = append(c.events, m)
+	}
+}
+
+func body(m map[string]any) map[string]any {
+	b, _ := m["body"].(map[string]any)
+	return b
+}
+
+// frameCycle extracts the cycle from the single stack frame's name
+// ("<design> @ cycle N").
+func (c *testClient) frameCycle() uint64 {
+	c.t.Helper()
+	resp := c.roundTrip("stackTrace", map[string]any{"threadId": 1})
+	frames, _ := body(resp)["stackFrames"].([]any)
+	if len(frames) != 1 {
+		c.t.Fatalf("stackTrace returned %d frames, want 1", len(frames))
+	}
+	name, _ := frames[0].(map[string]any)["name"].(string)
+	var design string
+	var cycle uint64
+	if _, err := fmt.Sscanf(name, "%s @ cycle %d", &design, &cycle); err != nil {
+		c.t.Fatalf("frame name %q is not \"<design> @ cycle N\": %v", name, err)
+	}
+	return cycle
+}
+
+// evaluate runs an expression in the debug console and returns the result.
+func (c *testClient) evaluate(expr string) string {
+	c.t.Helper()
+	resp := c.roundTrip("evaluate", map[string]any{"expression": expr, "context": "repl"})
+	res, _ := body(resp)["result"].(string)
+	return res
+}
+
+// driveAcceptanceScript is the ISSUE's scripted session — attach →
+// conditional breakpoint → continue → evaluate (trace query) → stepBack →
+// reverseContinue — against whatever URL is in front of the session
+// (daemon or fleet router).
+func driveAcceptanceScript(t *testing.T, url, sessionID string) {
+	c := newTestClient(t, url)
+
+	resp := c.roundTrip("initialize", map[string]any{"adapterID": "kdap"})
+	if body(resp)["supportsStepBack"] != true {
+		t.Fatalf("initialize capabilities missing stepBack: %v", body(resp))
+	}
+	c.waitEvent("initialized")
+
+	c.roundTrip("attach", map[string]any{"session": sessionID})
+
+	const cond = "x.rd0() == 32'd1"
+	resp = c.roundTrip("setBreakpoints", map[string]any{
+		"breakpoints": []map[string]any{{"condition": cond}},
+	})
+	bps, _ := body(resp)["breakpoints"].([]any)
+	if len(bps) != 1 || bps[0].(map[string]any)["verified"] != true {
+		t.Fatalf("conditional breakpoint not verified: %v", bps)
+	}
+
+	c.roundTrip("configurationDone", nil)
+	c.waitEvent("stopped")
+
+	// Continue → the breakpoint fires somewhere past cycle 0.
+	c.roundTrip("continue", map[string]any{"threadId": 1})
+	ev := c.waitEvent("stopped")
+	if body(ev)["reason"] != "breakpoint" {
+		t.Fatalf("continue stopped with reason %v, want breakpoint", body(ev)["reason"])
+	}
+	hit := c.frameCycle()
+	if hit == 0 {
+		t.Fatalf("breakpoint hit at cycle 0")
+	}
+
+	// Variables pane: registers are visible.
+	c.roundTrip("threads", nil)
+	c.roundTrip("scopes", map[string]any{"frameId": 1})
+	resp = c.roundTrip("variables", map[string]any{"variablesReference": 1})
+	vars, _ := body(resp)["variables"].([]any)
+	seen := map[string]bool{}
+	for _, v := range vars {
+		seen[v.(map[string]any)["name"].(string)] = true
+	}
+	if !seen["x"] || !seen["done"] {
+		t.Fatalf("variables %v missing x/done", seen)
+	}
+
+	// Evaluate: register peek, then a trace query that must agree with
+	// where the breakpoint actually stopped.
+	if got := c.evaluate("x"); !strings.HasPrefix(got, "0x1 ") {
+		t.Fatalf("evaluate x = %q at the x==1 breakpoint", got)
+	}
+	if got := c.evaluate("first " + cond); got != fmt.Sprintf("cycle %d", hit) {
+		t.Fatalf("trace query %q = %q, breakpoint hit cycle %d", cond, got, hit)
+	}
+
+	// stepBack: one cycle of reverse execution.
+	c.roundTrip("stepBack", map[string]any{"threadId": 1})
+	c.waitEvent("stopped")
+	if got := c.frameCycle(); got != hit-1 {
+		t.Fatalf("stepBack landed on cycle %d, want %d", got, hit-1)
+	}
+
+	// reverseContinue: x==1 never held before the hit, so the adapter's
+	// "last" query finds nothing and the session rewinds to entry.
+	c.roundTrip("reverseContinue", map[string]any{"threadId": 1})
+	ev = c.waitEvent("stopped")
+	if body(ev)["reason"] != "entry" {
+		t.Fatalf("reverseContinue stopped with reason %v, want entry", body(ev)["reason"])
+	}
+	if got := c.frameCycle(); got != 0 {
+		t.Fatalf("reverseContinue landed on cycle %d, want 0", got)
+	}
+
+	// Forward again, then reverseContinue onto a condition that held one
+	// cycle earlier — the trace query must place the stop, not a rewind.
+	c.roundTrip("continue", map[string]any{"threadId": 1})
+	c.waitEvent("stopped")
+	c.roundTrip("setBreakpoints", map[string]any{
+		"breakpoints": []map[string]any{{"condition": "x.rd0() >=u 32'd0"}}, // holds everywhere
+	})
+	c.roundTrip("reverseContinue", map[string]any{"threadId": 1})
+	ev = c.waitEvent("stopped")
+	if body(ev)["reason"] != "breakpoint" {
+		t.Fatalf("reverseContinue with a holding condition stopped with %v, want breakpoint", body(ev)["reason"])
+	}
+	if got := c.frameCycle(); got != hit-1 {
+		t.Fatalf("reverseContinue stopped at cycle %d, want %d", got, hit-1)
+	}
+
+	c.roundTrip("disconnect", nil)
+	c.waitEvent("terminated")
+}
+
+func TestDAPAgainstLocalDaemon(t *testing.T) {
+	srv, err := server.New(server.Config{StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = srv.Close() })
+	info, err := kclient.New(ts.URL).Create(context.Background(), server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	driveAcceptanceScript(t, ts.URL, info.ID)
+}
+
+func TestDAPAgainstRoutedFleet(t *testing.T) {
+	dir := t.TempDir()
+	var specs []string
+	for i := 0; i < 2; i++ {
+		srv, err := server.New(server.Config{StoreDir: dir})
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { _ = srv.Close() })
+		specs = append(specs, ts.URL)
+	}
+	rt, err := router.New(router.Config{Backends: specs, StoreDir: dir})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	rt.Probe()
+	t.Cleanup(rt.Close)
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	info, err := kclient.New(rts.URL).Create(context.Background(), server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create via router: %v", err)
+	}
+	driveAcceptanceScript(t, rts.URL, info.ID)
+}
+
+// TestDAPLaunchOwnsSession: launch creates the session and disconnect
+// deletes it; attach must leave sessions alone.
+func TestDAPLaunchOwnsSession(t *testing.T) {
+	srv, err := server.New(server.Config{StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = srv.Close() })
+	kc := kclient.New(ts.URL)
+
+	c := newTestClient(t, ts.URL)
+	c.roundTrip("initialize", nil)
+	c.waitEvent("initialized")
+	c.expectFail("launch", map[string]any{}) // no design named
+	c.roundTrip("launch", map[string]any{"design": "collatz"})
+	c.roundTrip("configurationDone", nil)
+	c.waitEvent("stopped")
+	list, err := kc.List(context.Background())
+	if err != nil || len(list) != 1 {
+		t.Fatalf("after launch: sessions %v (err %v), want exactly one", list, err)
+	}
+	c.roundTrip("next", map[string]any{"threadId": 1})
+	c.waitEvent("stopped")
+	c.roundTrip("disconnect", nil)
+	c.waitEvent("terminated")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		list, err = kc.List(context.Background())
+		if err == nil && len(list) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("launched session was not deleted on disconnect: %v", list)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -339,6 +339,56 @@ func (c *Client) Trace(ctx context.Context, id string, cycles uint64, format str
 	return resp.Body, nil
 }
 
+// TraceRecord switches a session's trace recording on or off and returns
+// the recording's status.
+func (c *Client) TraceRecord(ctx context.Context, id string, enable bool) (server.TraceStatus, error) {
+	var st server.TraceStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/trace/record",
+		server.TraceRecordRequest{Enable: enable}, &st)
+	return st, err
+}
+
+// TraceStatus describes a session's trace recording.
+func (c *Client) TraceStatus(ctx context.Context, id string) (server.TraceStatus, error) {
+	var st server.TraceStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/trace/status", nil, &st)
+	return st, err
+}
+
+// TraceQuery runs one indexed query over a session's recording.
+func (c *Client) TraceQuery(ctx context.Context, id string, req server.TraceQueryRequest) (server.TraceQueryResponse, error) {
+	var resp server.TraceQueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/trace/query", req, &resp)
+	return resp, err
+}
+
+// TraceDiff compares a session's recording against another session's.
+func (c *Client) TraceDiff(ctx context.Context, id string, req server.TraceDiffRequest) (server.TraceDiffResponse, error) {
+	var resp server.TraceDiffResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/trace/diff", req, &resp)
+	return resp, err
+}
+
+// TraceVCD opens the VCD re-emitted from a session's recording for the
+// cycle window [from, to]. The caller owns the returned body.
+func (c *Client) TraceVCD(ctx context.Context, id string, from, to uint64) (io.ReadCloser, error) {
+	u := c.base + "/v1/sessions/" + url.PathEscape(id) + "/trace/vcd?from=" +
+		strconv.FormatUint(from, 10) + "&to=" + strconv.FormatUint(to, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
 // ErrStreamCanceled reports a trace stream torn down because the caller's
 // context ended mid-stream.
 var ErrStreamCanceled = errors.New("kclient: trace stream canceled")

@@ -187,11 +187,11 @@ func (rt *Router) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		// The source already released: the session now exists only in the
 		// durable store. Drop any pin and let the next request resurrect it
 		// wherever the ring points — exactly the crash-recovery path.
-		rt.pins.Delete(id)
+		rt.unpin(id)
 		writeErr(w, status, fmt.Sprintf("import to %s failed (session re-homes from its last checkpoint): %v", dst.Name, err))
 		return
 	}
-	rt.pins.Store(id, dst)
+	rt.pin(id, dst)
 	rt.migrations.Add(1)
 	writeJSON(w, http.StatusOK, server.MigrateResponse{
 		ID: id, From: src.Name, To: dst.Name, Cycle: info.Cycle, Digest: info.Digest,

@@ -1,0 +1,100 @@
+package router
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// Routing pins override hash placement for sessions that cannot live at
+// their ring position: fork children (their copy-on-write snapshot lives on
+// the parent's backend) and migrated sessions. In memory they are rt.pins;
+// when the fleet has a shared durable store the router also persists each
+// pin as <store>/sessions/<id>/pin.json, so a restarted router re-learns
+// them instead of mis-routing pinned sessions back to the ring — which
+// would resurrect a second copy from the shared store while the original
+// still runs. The file sits inside the session's own store directory on
+// purpose: deleting the session (the backend removes the whole directory)
+// deletes its pin with it.
+
+type pinFile struct {
+	Backend string `json:"backend"`
+}
+
+// pin records id → b, durably when a store is configured. Persistence is
+// best-effort: an unwritable store degrades to in-memory pinning, exactly
+// the pre-store behaviour.
+func (rt *Router) pin(id string, b *Backend) {
+	rt.pins.Store(id, b)
+	if rt.storeDir == "" || !validPinID(id) {
+		return
+	}
+	dir := filepath.Join(rt.storeDir, "sessions", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, _ := json.Marshal(pinFile{Backend: b.Name})
+	tmp := filepath.Join(dir, "pin.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(dir, "pin.json"))
+}
+
+// unpin forgets a pin in memory and on disk.
+func (rt *Router) unpin(id string) {
+	rt.pins.Delete(id)
+	if rt.storeDir == "" || !validPinID(id) {
+		return
+	}
+	_ = os.Remove(filepath.Join(rt.storeDir, "sessions", id, "pin.json"))
+}
+
+// loadPins scans the shared store for persisted pins at startup. A pin
+// naming a backend that is no longer in the fleet is stale — it is removed
+// and the ring (plus the shared store's resurrection) takes over.
+func (rt *Router) loadPins() {
+	if rt.storeDir == "" {
+		return
+	}
+	entries, err := os.ReadDir(filepath.Join(rt.storeDir, "sessions"))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !validPinID(e.Name()) {
+			continue
+		}
+		path := filepath.Join(rt.storeDir, "sessions", e.Name(), "pin.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var pf pinFile
+		if json.Unmarshal(data, &pf) != nil || pf.Backend == "" {
+			continue
+		}
+		b := rt.byName(pf.Backend)
+		if b == nil {
+			_ = os.Remove(path)
+			continue
+		}
+		rt.pins.Store(e.Name(), b)
+	}
+}
+
+// validPinID mirrors the backends' session-id charset, keeping pin paths
+// from ever escaping the sessions directory.
+func validPinID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -71,6 +71,11 @@ type Config struct {
 	// resurrect, import, migrate). Default 64MB: import bodies carry whole
 	// snapshots. Pass-through requests are never buffered.
 	MaxBody int64
+	// StoreDir is the fleet's shared durable store. When set, routing pins
+	// (fork children, migrated sessions) persist to
+	// <dir>/sessions/<id>/pin.json and a restarted router re-learns them at
+	// startup; empty keeps pins in-memory only.
+	StoreDir string
 }
 
 // Router is the gateway state.
@@ -83,7 +88,9 @@ type Router struct {
 	interval time.Duration
 
 	// pins overrides hash placement for migrated sessions: id → *Backend.
-	pins sync.Map
+	// Mutate through pin/unpin so the on-disk copy stays in step.
+	pins     sync.Map
+	storeDir string
 
 	started    time.Time
 	stop       chan struct{}
@@ -109,6 +116,7 @@ func New(cfg Config) (*Router, error) {
 		client:   &http.Client{Timeout: 5 * time.Minute},
 		maxBody:  cfg.MaxBody,
 		interval: cfg.HealthInterval,
+		storeDir: cfg.StoreDir,
 		started:  time.Now(),
 		stop:     make(chan struct{}),
 	}
@@ -156,6 +164,7 @@ func New(cfg Config) (*Router, error) {
 	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].hash < rt.ring[j].hash })
 	rt.mux = http.NewServeMux()
 	rt.routes()
+	rt.loadPins()
 	return rt, nil
 }
 
@@ -228,7 +237,7 @@ func (rt *Router) owner(id string) (b *Backend, rehomed bool) {
 		}
 		// The pinned home died; fall back to the ring (and forget the pin —
 		// the durable store is the session's home of record now).
-		rt.pins.Delete(id)
+		rt.unpin(id)
 	}
 	h := fnv64(id)
 	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
@@ -265,6 +274,8 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("POST /v1/sessions/{id}/fork", rt.handleFork)
 	rt.mux.HandleFunc("/v1/sessions/{id}", rt.handleSession)
 	rt.mux.HandleFunc("/v1/sessions/{id}/{op}", rt.handleSession)
+	// Trace-store endpoints are one path segment deeper; same forwarding.
+	rt.mux.HandleFunc("/v1/sessions/{id}/trace/{op}", rt.handleSession)
 }
 
 func writeErr(w http.ResponseWriter, status int, msg string) {
@@ -287,7 +298,7 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 		rt.rehomes.Add(1)
 	}
 	if r.Method == http.MethodDelete {
-		rt.pins.Delete(id)
+		rt.unpin(id)
 	}
 	b.proxy.ServeHTTP(w, r)
 }
@@ -330,7 +341,7 @@ func (rt *Router) handleFork(w http.ResponseWriter, r *http.Request) {
 	if resp.StatusCode == http.StatusCreated {
 		var info server.SessionInfo
 		if err := json.Unmarshal(body, &info); err == nil && info.ID != "" {
-			rt.pins.Store(info.ID, b)
+			rt.pin(info.ID, b)
 		}
 	}
 	for k, vs := range resp.Header {

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -23,14 +26,15 @@ import (
 type fleet struct {
 	rt       *router.Router
 	url      string
+	dir      string            // the shared durable store
+	specs    []string          // backend specs, for building replacement routers
 	backends []*kclient.Client // direct per-backend clients, bypassing the router
 	servers  []*httptest.Server
 }
 
 func newFleet(t *testing.T, n int, dir string) *fleet {
 	t.Helper()
-	f := &fleet{}
-	var specs []string
+	f := &fleet{dir: dir}
 	for i := 0; i < n; i++ {
 		srv, err := server.New(server.Config{StoreDir: dir})
 		if err != nil {
@@ -41,9 +45,9 @@ func newFleet(t *testing.T, n int, dir string) *fleet {
 		t.Cleanup(func() { _ = srv.Close() })
 		f.servers = append(f.servers, ts)
 		f.backends = append(f.backends, kclient.New(ts.URL))
-		specs = append(specs, ts.URL)
+		f.specs = append(f.specs, ts.URL)
 	}
-	rt, err := router.New(router.Config{Backends: specs})
+	rt, err := router.New(router.Config{Backends: f.specs, StoreDir: dir})
 	if err != nil {
 		t.Fatalf("router.New: %v", err)
 	}
@@ -348,5 +352,147 @@ func TestRouterPlacementIsDeterministic(t *testing.T) {
 		if got.ID != info.ID {
 			t.Fatalf("twin router found %q, want %q", got.ID, info.ID)
 		}
+	}
+}
+
+// restartRouter builds a fresh router over the same fleet and shared store,
+// simulating a router process restart: in-memory state is gone, persisted
+// pins must be re-learned.
+func (f *fleet) restartRouter(t *testing.T) *kclient.Client {
+	t.Helper()
+	rt, err := router.New(router.Config{Backends: f.specs, StoreDir: f.dir})
+	if err != nil {
+		t.Fatalf("restarted router.New: %v", err)
+	}
+	rt.Probe()
+	t.Cleanup(rt.Close)
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	return kclient.New(rts.URL)
+}
+
+// TestRouterTraceEndpoints: the trace-store API (record/status/query/diff/
+// vcd) must work through the gateway exactly as against a daemon — the
+// routes are one segment deeper than the generic {op} forward.
+func TestRouterTraceEndpoints(t *testing.T) {
+	ctx := context.Background()
+	f := newFleet(t, 2, t.TempDir())
+	c := kclient.New(f.url)
+
+	info, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.TraceRecord(ctx, info.ID, true); err != nil {
+		t.Fatalf("record via router: %v", err)
+	}
+	if _, err := c.Step(ctx, info.ID, 120); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	st, err := c.TraceStatus(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("status via router: %v", err)
+	}
+	if !st.Recording || st.Last != 120 {
+		t.Fatalf("routed status = %+v, want live recording to cycle 120", st)
+	}
+	res, err := c.TraceQuery(ctx, info.ID, server.TraceQueryRequest{Query: "count x.rd0() == 32'd1"})
+	if err != nil {
+		t.Fatalf("query via router: %v", err)
+	}
+	if res.RowsEvaluated == 0 {
+		t.Fatalf("routed query evaluated nothing: %+v", res)
+	}
+	body, err := c.TraceVCD(ctx, info.ID, 0, 50)
+	if err != nil {
+		t.Fatalf("vcd via router: %v", err)
+	}
+	vcdBytes, err := io.ReadAll(body)
+	body.Close()
+	if err != nil || !strings.Contains(string(vcdBytes), "$enddefinitions") {
+		t.Fatalf("routed VCD (%d bytes, err %v) is not a VCD document", len(vcdBytes), err)
+	}
+
+	// Diff against a fork: the fork is pinned to the parent's backend, and
+	// both recordings live in the shared store.
+	fk, err := c.Fork(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	if _, err := c.TraceRecord(ctx, fk.ID, true); err != nil {
+		t.Fatalf("record fork via router: %v", err)
+	}
+	if _, err := c.Step(ctx, fk.ID, 40); err != nil {
+		t.Fatalf("step fork: %v", err)
+	}
+	diff, err := c.TraceDiff(ctx, info.ID, server.TraceDiffRequest{Other: fk.ID})
+	if err != nil {
+		t.Fatalf("diff via router: %v", err)
+	}
+	if diff.Diverged {
+		t.Fatalf("untouched fork diverged from parent: %+v", diff)
+	}
+}
+
+// TestRouterPinsSurviveRestart: fork and migration pins persist in the
+// shared store, so a restarted router keeps routing those sessions to
+// their real home. A mis-route would resurrect a second copy from the
+// shared store — ownerOf's exactly-one-live-owner check catches that.
+func TestRouterPinsSurviveRestart(t *testing.T) {
+	ctx := context.Background()
+	f := newFleet(t, 3, t.TempDir())
+	c := kclient.New(f.url)
+
+	parent, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 30); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	fk, err := c.Fork(ctx, parent.ID)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	forkOwner := f.ownerOf(t, fk.ID)
+	if _, err := os.Stat(filepath.Join(f.dir, "sessions", fk.ID, "pin.json")); err != nil {
+		t.Fatalf("fork pin was not persisted: %v", err)
+	}
+
+	// Migrate the parent away from its hash position, pinning it too.
+	parentOwner := f.ownerOf(t, parent.ID)
+	target := (parentOwner + 1) % len(f.backends)
+	mig, err := c.Migrate(ctx, parent.ID, fmt.Sprintf("b%d", target+1))
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if mig.To != fmt.Sprintf("b%d", target+1) {
+		t.Fatalf("migrated to %s, want b%d", mig.To, target+1)
+	}
+	if _, err := os.Stat(filepath.Join(f.dir, "sessions", parent.ID, "pin.json")); err != nil {
+		t.Fatalf("migration pin was not persisted: %v", err)
+	}
+
+	// A fresh router must route both sessions to their pinned homes.
+	c2 := f.restartRouter(t)
+	if _, err := c2.Step(ctx, fk.ID, 10); err != nil {
+		t.Fatalf("step fork via restarted router: %v", err)
+	}
+	if got := f.ownerOf(t, fk.ID); got != forkOwner {
+		t.Fatalf("restarted router moved fork %s to backend %d, pinned home is %d", fk.ID, got, forkOwner)
+	}
+	if _, err := c2.Step(ctx, parent.ID, 10); err != nil {
+		t.Fatalf("step migrated session via restarted router: %v", err)
+	}
+	if got := f.ownerOf(t, parent.ID); got != target {
+		t.Fatalf("restarted router moved %s to backend %d, pinned home is %d", parent.ID, got, target)
+	}
+
+	// Deleting through the restarted router drops the durable pin too.
+	if err := c2.Delete(ctx, fk.ID); err != nil {
+		t.Fatalf("delete fork: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(f.dir, "sessions", fk.ID, "pin.json")); !os.IsNotExist(err) {
+		t.Fatalf("deleted fork still has a pin file (err %v)", err)
 	}
 }

@@ -404,7 +404,10 @@ func TestFleetLeakFree(t *testing.T) {
 	runtime.GC()
 	baseline := runtime.NumGoroutine()
 
-	inj := faultinj.New(11, faultinj.Rule{Op: "fs.write", Nth: 1, Kind: faultinj.Fail})
+	// The 9th write is the release checkpoint's meta.json: each of the four
+	// forks below durably checkpoints at creation (meta + snapshot = writes
+	// 1..8), and the faulted write must land on the export-release path.
+	inj := faultinj.New(11, faultinj.Rule{Op: "fs.write", Nth: 9, Kind: faultinj.Fail})
 	srv, err := server.New(server.Config{StoreDir: t.TempDir(), Faults: inj, MaxSessions: 32})
 	if err != nil {
 		t.Fatalf("server.New: %v", err)

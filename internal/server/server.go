@@ -296,8 +296,16 @@ func (s *Server) checkpointLocked(sess *session) (_ CheckpointResponse, err erro
 	if err != nil {
 		return CheckpointResponse{}, httpError{http.StatusInternalServerError, err}
 	}
+	if sess.rec != nil {
+		// The trace must be durable with the checkpoint: a resurrection that
+		// resumes recording continues from what the flush landed.
+		if err := sess.rec.Flush(); err != nil {
+			return CheckpointResponse{}, httpError{http.StatusInternalServerError, fmt.Errorf("checkpoint: flush trace: %w", err)}
+		}
+	}
 	if err := s.store.SaveMeta(SessionMeta{
 		ID: sess.id, Source: sess.src, Catalog: sess.catalog, Config: sess.cfg, Created: time.Now(),
+		Trace: sess.rec != nil,
 	}); err != nil {
 		return CheckpointResponse{}, httpError{http.StatusInternalServerError, fmt.Errorf("checkpoint: %w", err)}
 	}
@@ -485,6 +493,15 @@ func (s *Server) resurrect(id, ckpt string) (_ *session, err error) {
 		return nil, fmt.Errorf("restoring session %q: %w", id, err)
 	}
 	sess.restored = true
+	if meta.Trace {
+		// The session was recording when its meta was written: resume the
+		// recording at the restored cycle. Best-effort — a damaged recording
+		// restarts fresh inside record, and a failing disk must not block the
+		// resurrection itself.
+		if dir, fsys, err := s.traceHome(meta.ID); err == nil {
+			_ = sess.record(true, dir, fsys)
+		}
+	}
 	// Another request may have resurrected the same id concurrently; admit
 	// atomically yields to an already-live session, so the first one in
 	// wins and the loser's rebuild is discarded.
@@ -699,6 +716,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/fork", s.handleFork)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/reverse", s.handleReverse)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/trace/record", s.handleTraceRecord)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace/status", s.handleTraceStatus)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/trace/query", s.handleTraceQuery)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/trace/diff", s.handleTraceDiff)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace/vcd", s.handleTraceVCD)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/export", s.handleExport)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/release", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/import", s.handleImport)
@@ -1142,6 +1164,22 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 		fork.discard()
 		writeError(w, err)
 		return
+	}
+	if s.store != nil && fork.durable() {
+		// The fork is durable from birth: flatten the overlay into a stored
+		// checkpoint before answering, so a backend that dies before the
+		// fork's first step can still resurrect it. A fork the daemon cannot
+		// persist is not admitted at all — half-durable sessions would break
+		// the resurrection promise.
+		if _, err := s.checkpoint(fork); err != nil {
+			s.mu.Lock()
+			delete(s.sessions, fork.id)
+			s.mu.Unlock()
+			fork.discard()
+			_ = s.store.Remove(fork.id)
+			writeError(w, fmt.Errorf("persisting fork %s: %w", fork.id, err))
+			return
+		}
 	}
 	s.forks.Add(1)
 	writeJSON(w, http.StatusCreated, fork.info())

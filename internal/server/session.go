@@ -19,6 +19,7 @@ import (
 	"cuttlego/internal/lang"
 	"cuttlego/internal/native"
 	"cuttlego/internal/sim"
+	"cuttlego/internal/tracedb"
 )
 
 // errNotDurable marks operations (checkpoint, fork, reverse) that need the
@@ -113,6 +114,15 @@ type session struct {
 	snaps    []sim.Snapshot // in-memory ring for reverse execution
 	restored bool
 	closed   bool // engine released; guarded by mu
+
+	// rec, while non-nil, records every executed cycle into the session's
+	// on-disk trace store (row c = register values at cycle c). Guarded by
+	// mu; stepping drops to single-cycle chunks while recording, exactly as
+	// it does for breakpoints.
+	rec      *tracedb.Recorder
+	traceDir string
+	traceFS  faultinj.FS
+	traceRow []uint64 // scratch row, reused every cycle
 
 	// lazy, while non-nil, is the copy-on-write state of a fork that has
 	// not diverged into its own engine: a shared immutable base snapshot
@@ -250,6 +260,10 @@ func (s *session) closeEngine() {
 		return
 	}
 	s.closed = true
+	if s.rec != nil {
+		_ = s.rec.Close() // flush the buffered trace tail; the files outlive the session object
+		s.rec = nil
+	}
 	if s.eng == nil {
 		return
 	}
@@ -469,7 +483,7 @@ func (s *session) stepLocked(ctx context.Context, n uint64, observe func() error
 		if chunk > 1024 {
 			chunk = 1024
 		}
-		if len(s.conds) > 0 || observe != nil {
+		if len(s.conds) > 0 || observe != nil || s.rec != nil {
 			chunk = 1
 		} else if s.durable() {
 			cyc := s.eng.CycleCount()
@@ -503,6 +517,12 @@ func (s *session) stepLocked(ctx context.Context, n uint64, observe func() error
 		}
 		if s.eng.CycleCount()%snapInterval == 0 {
 			s.recordSnapshot()
+		}
+		if s.rec != nil {
+			s.traceRow = s.rowLocked(s.traceRow)
+			if err := s.rec.Append(s.eng.CycleCount(), s.traceRow); err != nil {
+				return i, "", fmt.Errorf("trace recording: %w", err)
+			}
 		}
 		if observe != nil {
 			if err := observe(); err != nil {
@@ -740,6 +760,137 @@ func (s *session) setBreak(req BreakRequest) (err error) {
 	return nil
 }
 
+// --- trace recording --------------------------------------------------------
+
+// rowLocked samples every register into row (allocated when nil), in
+// declaration order — the tracedb schema order. Callers hold mu.
+func (s *session) rowLocked(row []uint64) []uint64 {
+	d := s.design()
+	if row == nil {
+		row = make([]uint64, len(d.Registers))
+	}
+	for i, r := range d.Registers {
+		row[i] = s.eng.Reg(r.Name).Val
+	}
+	return row
+}
+
+// record switches trace recording on or off. Disabling flushes and detaches
+// the recorder but leaves the recording on disk, still queryable; enabling
+// resumes an existing recording when it can continue contiguously from the
+// session's current cycle (truncating a rewound suffix), and starts fresh
+// otherwise. Recording works for any session — durable or not — but needs
+// an on-disk home, so the server only offers it with a store.
+func (s *session) record(on bool, dir string, fsys faultinj.FS) (err error) {
+	defer diag.Guard("server: trace record", &err)
+	if err := s.gate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !on {
+		if s.rec == nil {
+			return nil
+		}
+		err := s.rec.Flush()
+		s.rec = nil
+		return err
+	}
+	return s.startTraceLocked(dir, fsys)
+}
+
+// startTraceLocked begins (or resumes) recording into dir, positioning the
+// recorder so the next executed cycle appends contiguously. Callers hold mu.
+func (s *session) startTraceLocked(dir string, fsys faultinj.FS) error {
+	if s.rec != nil {
+		return nil
+	}
+	// Recording samples the live engine every cycle, so a lazy fork diverges
+	// here.
+	if err := s.materializeLocked(); err != nil {
+		return err
+	}
+	cur := s.eng.CycleCount()
+	rec, err := tracedb.Resume(dir, fsys)
+	switch {
+	case err != nil, rec != nil && rec.Meta().CheckDesign(s.design()) != nil:
+		rec = nil // no recording, a damaged one, or another design's
+	default:
+		if last, ok := rec.LastCycle(); ok && cur > last+1 {
+			// The session moved past the recorded suffix while recording was
+			// off. Chunks must stay contiguous, so the gap cannot be
+			// represented: restart at the current cycle.
+			rec = nil
+		} else if ok && cur <= last {
+			if rec.Truncate(cur) != nil {
+				rec = nil
+			}
+		}
+	}
+	if rec == nil {
+		var err error
+		rec, err = tracedb.Create(dir, fsys, tracedb.MetaFor(s.design(), tracedb.DefaultChunkCycles))
+		if err != nil {
+			return fmt.Errorf("trace recording: %w", err)
+		}
+	}
+	if last, ok := rec.LastCycle(); !ok || last < cur {
+		if err := rec.Append(cur, s.rowLocked(nil)); err != nil {
+			return fmt.Errorf("trace recording: %w", err)
+		}
+	}
+	s.rec, s.traceDir, s.traceFS = rec, dir, fsys
+	return nil
+}
+
+// rewindTraceLocked repositions the recorder after the engine jumped to an
+// arbitrary cycle (restore): rows past the new cycle are dropped so the
+// replayed timeline re-records over a consistent prefix, and a jump past
+// the recorded suffix restarts the recording (the gap cannot be
+// represented). Callers hold mu.
+func (s *session) rewindTraceLocked() error {
+	if s.rec == nil {
+		return nil
+	}
+	cur := s.eng.CycleCount()
+	if last, ok := s.rec.LastCycle(); ok && cur > last+1 {
+		rec, err := tracedb.Create(s.traceDir, s.traceFS, tracedb.MetaFor(s.design(), tracedb.DefaultChunkCycles))
+		if err != nil {
+			return fmt.Errorf("trace recording: %w", err)
+		}
+		s.rec = rec
+	} else if err := s.rec.Truncate(cur); err != nil {
+		return fmt.Errorf("trace recording: %w", err)
+	}
+	if last, ok := s.rec.LastCycle(); !ok || last < cur {
+		if err := s.rec.Append(cur, s.rowLocked(nil)); err != nil {
+			return fmt.Errorf("trace recording: %w", err)
+		}
+	}
+	return nil
+}
+
+// traceFlush lands the recorder's buffered tail so a fresh Reader sees
+// every recorded row. A session that is not recording has nothing to flush.
+func (s *session) traceFlush() error {
+	if err := s.gate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Flush()
+}
+
+// recording reports whether the session is currently appending to a trace.
+func (s *session) recording() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec != nil
+}
+
 // profile returns per-rule counters for engines that keep them (cuttlesim
 // sessions — the daemon builds those with profiling on — and the native
 // tier, whose binaries count attempts/commits/skips in the subprocess).
@@ -841,7 +992,7 @@ func (s *session) restoreSnapshot(snap sim.Snapshot) (err error) {
 	i := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Cycle > snap.Cycle })
 	s.snaps = s.snaps[:i]
 	s.recordSnapshot()
-	return nil
+	return s.rewindTraceLocked()
 }
 
 // reverse steps the session n cycles backwards: restore the nearest
@@ -872,6 +1023,9 @@ func (s *session) reverse(ctx context.Context, n uint64) (err error) {
 	snapper := s.eng.(sim.Snapshotter)
 	snapper.Restore(s.snaps[i])
 	s.snaps = s.snaps[:i+1]
+	if err := s.rewindTraceLocked(); err != nil {
+		return err
+	}
 	conds := s.conds
 	s.conds = nil
 	_, _, err = s.stepLocked(ctx, target-s.eng.CycleCount(), nil)

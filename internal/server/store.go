@@ -45,6 +45,9 @@ type SessionMeta struct {
 	Catalog string       `json:"catalog,omitempty"`
 	Config  EngineConfig `json:"config"`
 	Created time.Time    `json:"created"`
+	// Trace marks a session that was recording its trace when the meta was
+	// written, so resurrection resumes the recording where it left off.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // OpenStore opens (creating if needed) a snapshot store rooted at dir on
@@ -64,6 +67,21 @@ func OpenStoreFS(dir string, fsys faultinj.FS) (*Store, error) {
 
 func (st *Store) sessionDir(id string) string {
 	return filepath.Join(st.dir, "sessions", id)
+}
+
+// FS exposes the store's filesystem so subsystems that persist alongside
+// checkpoints (the trace store) share its fault-injection wiring.
+func (st *Store) FS() faultinj.FS { return st.fs }
+
+// TraceDir is where a session's trace recording lives: a subdirectory of
+// the session's own directory, so Remove retires the trace with the
+// checkpoints and the recovery scan's name-based dispatch never mistakes
+// trace chunks for snapshots.
+func (st *Store) TraceDir(id string) (string, error) {
+	if !validID(id) {
+		return "", fmt.Errorf("server: invalid session id %q", id)
+	}
+	return filepath.Join(st.sessionDir(id), "trace"), nil
 }
 
 // validID keeps session and checkpoint ids path-safe: the ids are

@@ -1,0 +1,379 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cuttlego/internal/bench"
+	"cuttlego/internal/cuttlesim"
+	"cuttlego/internal/debug"
+	"cuttlego/internal/kclient"
+	"cuttlego/internal/server"
+	"cuttlego/internal/sim"
+	"cuttlego/internal/vcd"
+)
+
+// matchingCycles runs a catalogue design in-process and returns every cycle
+// in [0, n] whose beginning-of-cycle state satisfies cond — the oracle the
+// indexed trace queries must agree with.
+func matchingCycles(t *testing.T, catalog, cond string, n uint64) []uint64 {
+	t.Helper()
+	bm, ok := bench.Lookup(catalog)
+	if !ok {
+		t.Fatalf("no catalogue design %q", catalog)
+	}
+	inst := bm.New()
+	eng, err := cuttlesim.New(inst.Design, cuttlesim.Options{
+		Level: cuttlesim.LStatic, Backend: cuttlesim.Closure, Profile: true,
+	})
+	if err != nil {
+		t.Fatalf("cuttlesim.New: %v", err)
+	}
+	eval, err := debug.CompileCondition(inst.Design, cond)
+	if err != nil {
+		t.Fatalf("CompileCondition(%q): %v", cond, err)
+	}
+	var tb sim.Testbench = sim.NopBench{}
+	if inst.Bench != nil {
+		tb = inst.Bench
+	}
+	var out []uint64
+	for cyc := uint64(0); ; cyc++ {
+		if eval(eng) {
+			out = append(out, cyc)
+		}
+		if cyc == n {
+			return out
+		}
+		tb.BeforeCycle(eng)
+		eng.Cycle()
+		tb.AfterCycle(eng)
+	}
+}
+
+// TestTraceRecordAndQuery drives the whole recording lifecycle over the
+// HTTP API: record, step, query (both request forms), reverse (the
+// recording rewinds with the session), re-step, disable, query again.
+func TestTraceRecordAndQuery(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, server.Config{StoreDir: t.TempDir()})
+	info, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	st, err := c.TraceRecord(ctx, info.ID, true)
+	if err != nil {
+		t.Fatalf("record on: %v", err)
+	}
+	if !st.Recording || !st.Present || st.Rows != 1 {
+		t.Fatalf("status after enable = %+v, want recording, 1 row", st)
+	}
+	if _, err := c.Step(ctx, info.ID, 600); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	st, err = c.TraceStatus(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.First != 0 || st.Last != 600 || st.Rows != 601 {
+		t.Fatalf("status after 600 cycles = %+v, want rows 0..600", st)
+	}
+
+	const cond = "x.rd0() == 32'd1"
+	want := matchingCycles(t, "collatz", cond, 600)
+	if len(want) == 0 {
+		t.Fatalf("oracle found no matching cycles; pick a different condition")
+	}
+	// One-line query form.
+	res, err := c.TraceQuery(ctx, info.ID, server.TraceQueryRequest{Query: "first " + cond})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !res.Matched || res.Cycle != want[0] {
+		t.Fatalf("first %q = %+v, oracle says cycle %d", cond, res, want[0])
+	}
+	// Structured form, count mode.
+	res, err = c.TraceQuery(ctx, info.ID, server.TraceQueryRequest{Mode: "count", Expr: cond})
+	if err != nil {
+		t.Fatalf("count query: %v", err)
+	}
+	if res.Count != uint64(len(want)) {
+		t.Fatalf("count = %d, oracle says %d", res.Count, len(want))
+	}
+
+	// Reverse rewinds the recording with the session...
+	if _, err := c.Reverse(ctx, info.ID, 100); err != nil {
+		t.Fatalf("reverse: %v", err)
+	}
+	st, err = c.TraceStatus(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("status after reverse: %v", err)
+	}
+	if st.Last != 500 {
+		t.Fatalf("recording ends at %d after reverse to 500", st.Last)
+	}
+	// ...and re-stepping re-records the replayed suffix identically.
+	if _, err := c.Step(ctx, info.ID, 100); err != nil {
+		t.Fatalf("re-step: %v", err)
+	}
+	res, err = c.TraceQuery(ctx, info.ID, server.TraceQueryRequest{Mode: "count", Expr: cond})
+	if err != nil {
+		t.Fatalf("count after rewind: %v", err)
+	}
+	if res.Count != uint64(len(want)) {
+		t.Fatalf("count after rewind = %d, oracle says %d", res.Count, len(want))
+	}
+	// Recording must not perturb execution: digest parity with a clean run.
+	got, err := c.Info(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if want := referenceDigest(t, "collatz", 600); got.Digest != want {
+		t.Fatalf("recorded session digest %s, clean run %s", got.Digest, want)
+	}
+
+	// Disabling keeps the recording queryable.
+	st, err = c.TraceRecord(ctx, info.ID, false)
+	if err != nil {
+		t.Fatalf("record off: %v", err)
+	}
+	if st.Recording || !st.Present {
+		t.Fatalf("status after disable = %+v, want present but not recording", st)
+	}
+	if _, err := c.TraceQuery(ctx, info.ID, server.TraceQueryRequest{Query: "last " + cond}); err != nil {
+		t.Fatalf("query after disable: %v", err)
+	}
+}
+
+// TestTraceRequiresStore: a storeless daemon has nowhere to record, and
+// says so with 409 instead of pretending.
+func TestTraceRequiresStore(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, server.Config{})
+	info, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.TraceRecord(ctx, info.ID, true); apiStatus(t, err) != http.StatusConflict {
+		t.Fatalf("record without store: %v, want 409", err)
+	}
+}
+
+// TestTraceVCDWindow: the VCD re-emitted from the index for a window must
+// be byte-identical to live-streaming the same window from an engine.
+func TestTraceVCDWindow(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, server.Config{StoreDir: t.TempDir()})
+	info, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.TraceRecord(ctx, info.ID, true); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if _, err := c.Step(ctx, info.ID, 300); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	body, err := c.TraceVCD(ctx, info.ID, 50, 200)
+	if err != nil {
+		t.Fatalf("trace vcd: %v", err)
+	}
+	got, err := io.ReadAll(body)
+	body.Close()
+	if err != nil {
+		t.Fatalf("read vcd: %v", err)
+	}
+
+	// Reference: drive a fresh engine to cycle 50 and live-stream to 200.
+	bm, _ := bench.Lookup("collatz")
+	inst := bm.New()
+	eng, err := cuttlesim.New(inst.Design, cuttlesim.Options{
+		Level: cuttlesim.LStatic, Backend: cuttlesim.Closure, Profile: true,
+	})
+	if err != nil {
+		t.Fatalf("cuttlesim.New: %v", err)
+	}
+	if ran := sim.Run(eng, inst.Bench, 50); ran != 50 {
+		t.Fatalf("reference run stopped at %d of 50 cycles", ran)
+	}
+	var ref bytes.Buffer
+	vw := vcd.New(&ref, eng)
+	if err := vw.Sample(); err != nil {
+		t.Fatalf("sample: %v", err)
+	}
+	for eng.CycleCount() < 200 {
+		if ran := sim.Run(eng, inst.Bench, 1); ran != 1 {
+			t.Fatalf("reference run stalled at cycle %d", eng.CycleCount())
+		}
+		if err := vw.Sample(); err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+	}
+	if string(got) != ref.String() {
+		t.Fatalf("re-emitted VCD differs from live stream (%d vs %d bytes)", len(got), ref.Len())
+	}
+}
+
+// TestTraceDiffForkWhatIf is the paper's what-if loop over the wire: fork a
+// recorded session, poke a register in the fork, record both onward, and
+// ask the store where the runs diverge.
+func TestTraceDiffForkWhatIf(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, server.Config{StoreDir: t.TempDir()})
+	parent, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.TraceRecord(ctx, parent.ID, true); err != nil {
+		t.Fatalf("record parent: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 50); err != nil {
+		t.Fatalf("step parent: %v", err)
+	}
+	fork, err := c.Fork(ctx, parent.ID)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	// The what-if: a different x from cycle 50 on.
+	if _, err := c.Regs(ctx, fork.ID, server.RegsRequest{
+		Set: map[string]server.RegValue{"x": {Width: 32, Hex: "f4240"}}, // 1_000_000
+	}); err != nil {
+		t.Fatalf("poke fork: %v", err)
+	}
+	if _, err := c.TraceRecord(ctx, fork.ID, true); err != nil {
+		t.Fatalf("record fork: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 150); err != nil {
+		t.Fatalf("step parent: %v", err)
+	}
+	if _, err := c.Step(ctx, fork.ID, 150); err != nil {
+		t.Fatalf("step fork: %v", err)
+	}
+	diff, err := c.TraceDiff(ctx, parent.ID, server.TraceDiffRequest{Other: fork.ID})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !diff.Diverged || diff.Cycle != 50 {
+		t.Fatalf("diff = %+v, want divergence at the poked fork point (cycle 50)", diff)
+	}
+	found := false
+	for _, e := range diff.Entries {
+		if e.Signal == "x" && e.B.Hex == "f4240" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diff entries %+v do not show the poked x", diff.Entries)
+	}
+	// Exact-cycle diff of identical recordings reports no divergence.
+	cyc := uint64(25)
+	diff, err = c.TraceDiff(ctx, parent.ID, server.TraceDiffRequest{Other: parent.ID, Cycle: &cyc})
+	if err != nil {
+		t.Fatalf("self-diff at 25: %v", err)
+	}
+	if diff.Diverged {
+		t.Fatalf("self-diff at cycle 25 = %+v, want identical", diff)
+	}
+	// An exact-cycle diff outside the overlap is a client error, not a crash.
+	cyc = 25
+	if _, err := c.TraceDiff(ctx, parent.ID, server.TraceDiffRequest{Other: fork.ID, Cycle: &cyc}); apiStatus(t, err) != http.StatusBadRequest {
+		t.Fatalf("diff outside fork recording: %v, want 400", err)
+	}
+}
+
+// TestTraceSurvivesRestart: a checkpointed session that was recording
+// resumes its recording on resurrection, and the trace stays contiguous
+// across the daemon restart.
+func TestTraceSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	srvA, cA := newTestDaemon(t, server.Config{StoreDir: dir})
+	info, err := cA.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cA.TraceRecord(ctx, info.ID, true); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if _, err := cA.Step(ctx, info.ID, 100); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if err := srvA.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, cB := newTestDaemon(t, server.Config{StoreDir: dir})
+	if _, err := cB.Step(ctx, info.ID, 50); err != nil {
+		t.Fatalf("step after restart: %v", err)
+	}
+	st, err := cB.TraceStatus(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if !st.Recording || st.First != 0 || st.Last != 150 {
+		t.Fatalf("status after restart = %+v, want a live contiguous recording 0..150", st)
+	}
+	res, err := cB.TraceQuery(ctx, info.ID, server.TraceQueryRequest{Mode: "count", Expr: "x.rd0() == 32'd1"})
+	if err != nil {
+		t.Fatalf("query after restart: %v", err)
+	}
+	if want := matchingCycles(t, "collatz", "x.rd0() == 32'd1", 150); res.Count != uint64(len(want)) {
+		t.Fatalf("count after restart = %d, oracle says %d", res.Count, len(want))
+	}
+}
+
+// TestForkDurableAtCreation (regression): a copy-on-write fork must be
+// resurrectable even when its backend dies before the fork's first step —
+// the creation path itself flattens the overlay into a stored checkpoint.
+func TestForkDurableAtCreation(t *testing.T) {
+	ctx := context.Background()
+	store := t.TempDir()
+	srv, err := server.New(server.Config{StoreDir: store})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	c := kclient.New(ts.URL)
+	parent, err := c.Create(ctx, server.CreateRequest{Catalog: "collatz"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.Step(ctx, parent.ID, 50); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	fork, err := c.Fork(ctx, parent.ID)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	// The checkpoint must already be on disk, before any step of the fork.
+	if _, err := os.Stat(filepath.Join(store, "sessions", fork.ID, "c50.ksnp")); err != nil {
+		t.Fatalf("fork has no durable checkpoint at creation: %v", err)
+	}
+
+	// Kill the backend without the graceful checkpoint-everything shutdown.
+	ts.Close()
+
+	srv2, err := server.New(server.Config{StoreDir: store})
+	if err != nil {
+		t.Fatalf("restarted server.New: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { ts2.Close(); _ = srv2.Close(); _ = srv.Close() }()
+	c2 := kclient.New(ts2.URL)
+	got, err := c2.Info(ctx, fork.ID)
+	if err != nil {
+		t.Fatalf("fork did not survive backend death before first step: %v", err)
+	}
+	if got.Cycle != 50 || got.Digest != fork.Digest {
+		t.Fatalf("resurrected fork = %s@%d, want %s@%d", got.Digest, got.Cycle, fork.Digest, fork.Cycle)
+	}
+	if _, err := c2.Step(ctx, fork.ID, 25); err != nil {
+		t.Fatalf("stepping resurrected fork: %v", err)
+	}
+}

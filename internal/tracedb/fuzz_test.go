@@ -1,0 +1,55 @@
+package tracedb
+
+import (
+	"testing"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/debug"
+)
+
+// FuzzParseQuery throws arbitrary bytes at the query-string parser and, for
+// anything it accepts, at the expression compiler against a small fixed
+// design. Neither layer may panic; the compiler may only error.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"first x.rd0() == 8'd3",
+		"last done.rd0() == 1'd1 in 10..500",
+		"count x.rd0() == 8'd1 & done.rd0() == 1'd0",
+		"scan x.rd0() <u 8'd4 in 0..99",
+		"first x.rd0() >=u 8'd200 in 18446744073709551615..18446744073709551615",
+		"first in in in 1..2",
+		"first x.rd0() in 0..0",
+		"count mux(done.rd0() == 1'd1, x.rd0(), 8'd0) == 8'd7",
+		"scan ((((x.rd0()))))",
+		"first \x00\xff",
+		"last  in ..",
+		"first x.rd0() == 8'd1 in 99999999999999999999..0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	d := ast.NewDesign("fuzz")
+	d.Reg("x", ast.Bits(8), 0)
+	d.Reg("done", ast.Bits(1), 0)
+	if err := d.Check(); err != nil {
+		f.Fatalf("fuzz design: %v", err)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 4096 {
+			return
+		}
+		q, err := ParseQuery(s)
+		if err != nil {
+			return
+		}
+		if q.To < q.From {
+			t.Fatalf("ParseQuery(%q) accepted an empty window %d..%d", s, q.From, q.To)
+		}
+		if q.Expr == "" {
+			t.Fatalf("ParseQuery(%q) accepted an empty expression", s)
+		}
+		// The compiler must reject or accept without panicking; the parse
+		// budget guards in lang already bound recursion.
+		_, _ = debug.CompileCondition(d, q.Expr)
+	})
+}

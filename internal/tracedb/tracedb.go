@@ -1,0 +1,498 @@
+// Package tracedb is the indexed on-disk trace store behind the daemon's
+// time-travel queries: sessions record every register's value each cycle
+// into per-signal column chunks, and queries ("first cycle where
+// cache.state == M and ack == 0", watch scans, run-vs-run diffs) answer
+// from the chunk index instead of re-simulating.
+//
+// A recording is one directory:
+//
+//	meta.json     the schema: design name, signal names/widths (declaration
+//	              order), chunk size — JSON, because humans read it
+//	c<N>.ktrc     one chunk of consecutive cycles starting at cycle N,
+//	              columnar per signal, CRC-32C trailed
+//	index.ktix    the cycle index: every chunk's extent plus per-signal
+//	              min/max/changed summaries, CRC-32C trailed
+//
+// The write discipline is the snapshot store's: temp file + fsync + rename
+// + directory sync through a faultinj.FS, so a crash leaves either the old
+// bytes or the new bytes, and anything that slips through (torn writes, bit
+// rot) is caught by the checksum on load and quarantined (.corrupt rename)
+// instead of ever being served as a wrong answer. The index is rewritten
+// after its chunks land, so the index always describes rows that are
+// durably on disk — a chunk file holding more rows than the index credits
+// is a crash between the two writes, and the extra rows are simply not
+// visible until the recorder re-lands them.
+package tracedb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cuttlego/internal/ast"
+	"cuttlego/internal/faultinj"
+)
+
+const (
+	chunkMagic = "KTRC"
+	indexMagic = "KTIX"
+	formatVer  = 1
+	crcLen     = 4
+
+	// DefaultChunkCycles is the default chunk extent. 1024 keeps chunk
+	// files small enough to decode in microseconds while making the index
+	// three orders of magnitude smaller than the data.
+	DefaultChunkCycles = 1024
+
+	// maxSignals and maxChunkRows bound decoding so corrupt or adversarial
+	// files cannot demand unbounded allocations.
+	maxSignals   = 1 << 20
+	maxChunkRows = 1 << 22
+)
+
+// ErrCorrupt marks every trace decode failure — truncation, bad magic,
+// checksum mismatch, impossible counts — so callers can distinguish "the
+// bytes are bad" (quarantine, never trust) from I/O errors.
+var ErrCorrupt = errors.New("tracedb: corrupt")
+
+// ErrGap reports an Append whose cycle is not contiguous with the
+// recording (a restore jumped past the recorded end); the recording can no
+// longer represent a gap-free cycle axis and must stop or truncate.
+var ErrGap = errors.New("tracedb: append is not contiguous with the recording")
+
+// ErrNoTrace reports a directory that holds no recording.
+var ErrNoTrace = errors.New("tracedb: no recording")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Signal is one recorded wire: a register of the design, in declaration
+// order.
+type Signal struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// Meta is a recording's schema, persisted as meta.json.
+type Meta struct {
+	Version     int      `json:"version"`
+	Design      string   `json:"design"`
+	ChunkCycles uint64   `json:"chunk_cycles"`
+	Signals     []Signal `json:"signals"`
+}
+
+// MetaFor builds the recording schema of a design: every register, in
+// declaration order, so recorded rows restore straight into engines and
+// snapshots without reordering.
+func MetaFor(d *ast.Design, chunkCycles uint64) Meta {
+	if chunkCycles == 0 {
+		chunkCycles = DefaultChunkCycles
+	}
+	m := Meta{Version: formatVer, Design: d.Name, ChunkCycles: chunkCycles}
+	for _, r := range d.Registers {
+		m.Signals = append(m.Signals, Signal{Name: r.Name, Width: r.Type.BitWidth()})
+	}
+	return m
+}
+
+// CheckDesign verifies that a design matches the recording's schema, so a
+// query compiled against the wrong design can never read misaligned
+// columns.
+func (m Meta) CheckDesign(d *ast.Design) error {
+	if len(d.Registers) != len(m.Signals) {
+		return fmt.Errorf("tracedb: design %q has %d registers, recording has %d signals",
+			d.Name, len(d.Registers), len(m.Signals))
+	}
+	for i, r := range d.Registers {
+		if s := m.Signals[i]; s.Name != r.Name || s.Width != r.Type.BitWidth() {
+			return fmt.Errorf("tracedb: signal %d is %s[%d] in the recording but %s[%d] in design %q",
+				i, s.Name, s.Width, r.Name, r.Type.BitWidth(), d.Name)
+		}
+	}
+	return nil
+}
+
+// equal reports schema equality (diffs require it).
+func (m Meta) equalSignals(o Meta) bool {
+	if len(m.Signals) != len(o.Signals) {
+		return false
+	}
+	for i, s := range m.Signals {
+		if o.Signals[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// SigSum is one signal's per-chunk summary: the value range and whether the
+// value varies inside the chunk. For an unchanged signal Min == Max is the
+// value itself, so a query whose read set is unchanged across a chunk is
+// answered from the index without touching the chunk file.
+type SigSum struct {
+	Min, Max uint64
+	Changed  bool
+}
+
+// ChunkInfo is one chunk's index entry.
+type ChunkInfo struct {
+	Start uint64 // first cycle in the chunk
+	Count uint64 // consecutive cycles recorded
+	Sums  []SigSum
+}
+
+func chunkFile(start uint64) string { return "c" + strconv.FormatUint(start, 10) + ".ktrc" }
+
+// --- chunk encoding ---------------------------------------------------------
+
+// Per-signal column encodings inside a chunk.
+const (
+	encConst = 0 // one value for every row
+	encDense = 1 // one uvarint per row
+)
+
+// encodeChunk serializes count rows of columnar values starting at cycle
+// start, returning the bytes and the per-signal summaries. Layout, little-
+// endian:
+//
+//	0      4    magic "KTRC"
+//	4      2    version
+//	6      2    reserved (zero)
+//	8      8    start cycle
+//	16     4    row count
+//	20     var  per signal: encoding byte, then 1 (const) or count (dense)
+//	            uvarint values
+//	end-4  4    CRC-32C of every preceding byte
+func encodeChunk(start uint64, count int, cols [][]uint64) ([]byte, []SigSum) {
+	buf := make([]byte, 0, 20+8*len(cols))
+	buf = append(buf, chunkMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, formatVer)
+	buf = binary.LittleEndian.AppendUint16(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, start)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(count))
+	sums := make([]SigSum, len(cols))
+	for s, col := range cols {
+		col = col[:count]
+		sum := SigSum{Min: col[0], Max: col[0]}
+		for _, v := range col[1:] {
+			if v < sum.Min {
+				sum.Min = v
+			}
+			if v > sum.Max {
+				sum.Max = v
+			}
+		}
+		sum.Changed = sum.Min != sum.Max
+		sums[s] = sum
+		if !sum.Changed {
+			buf = append(buf, encConst)
+			buf = binary.AppendUvarint(buf, col[0])
+			continue
+		}
+		buf = append(buf, encDense)
+		for _, v := range col {
+			buf = binary.AppendUvarint(buf, v)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable)), sums
+}
+
+// decodeChunk parses a chunk file. Every failure wraps ErrCorrupt.
+func decodeChunk(data []byte, nsig int) (start uint64, cols [][]uint64, err error) {
+	if len(data) < 20+crcLen {
+		return 0, nil, corruptf("chunk truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != chunkMagic {
+		return 0, nil, corruptf("bad chunk magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != formatVer {
+		return 0, nil, corruptf("unsupported chunk version %d", v)
+	}
+	body := data[:len(data)-crcLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-crcLen:])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return 0, nil, corruptf("chunk checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	start = binary.LittleEndian.Uint64(body[8:16])
+	count := binary.LittleEndian.Uint32(body[16:20])
+	if count == 0 || count > maxChunkRows {
+		return 0, nil, corruptf("chunk row count %d out of range", count)
+	}
+	rest := body[20:]
+	cols = make([][]uint64, nsig)
+	for s := 0; s < nsig; s++ {
+		if len(rest) == 0 {
+			return 0, nil, corruptf("chunk signal %d missing", s)
+		}
+		enc := rest[0]
+		rest = rest[1:]
+		col := make([]uint64, count)
+		switch enc {
+		case encConst:
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return 0, nil, corruptf("chunk signal %d const malformed", s)
+			}
+			rest = rest[n:]
+			for i := range col {
+				col[i] = v
+			}
+		case encDense:
+			for i := range col {
+				v, n := binary.Uvarint(rest)
+				if n <= 0 {
+					return 0, nil, corruptf("chunk signal %d row %d malformed", s, i)
+				}
+				rest = rest[n:]
+				col[i] = v
+			}
+		default:
+			return 0, nil, corruptf("chunk signal %d has unknown encoding %d", s, enc)
+		}
+		cols[s] = col
+	}
+	if len(rest) != 0 {
+		return 0, nil, corruptf("chunk has %d trailing bytes", len(rest))
+	}
+	return start, cols, nil
+}
+
+// --- index encoding ---------------------------------------------------------
+
+// encodeIndex serializes the cycle index. Layout, little-endian: magic
+// "KTIX", version, reserved, signal count (uvarint, must match meta), chunk
+// count (uvarint), then per chunk: start, count, and per signal a flags
+// byte (bit 0 = changed) plus min and max uvarints; CRC-32C trailer.
+// Binary, not JSON: min/max are full 64-bit payloads and JSON numbers lose
+// bits past 2^53.
+func encodeIndex(nsig int, chunks []ChunkInfo) []byte {
+	buf := make([]byte, 0, 16+len(chunks)*(4+nsig*4))
+	buf = append(buf, indexMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, formatVer)
+	buf = binary.LittleEndian.AppendUint16(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(nsig))
+	buf = binary.AppendUvarint(buf, uint64(len(chunks)))
+	for _, c := range chunks {
+		buf = binary.AppendUvarint(buf, c.Start)
+		buf = binary.AppendUvarint(buf, c.Count)
+		for _, s := range c.Sums {
+			var flags byte
+			if s.Changed {
+				flags = 1
+			}
+			buf = append(buf, flags)
+			buf = binary.AppendUvarint(buf, s.Min)
+			buf = binary.AppendUvarint(buf, s.Max)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func decodeIndex(data []byte, nsig int) ([]ChunkInfo, error) {
+	if len(data) < 8+crcLen {
+		return nil, corruptf("index truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != indexMagic {
+		return nil, corruptf("bad index magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != formatVer {
+		return nil, corruptf("unsupported index version %d", v)
+	}
+	body := data[:len(data)-crcLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-crcLen:])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, corruptf("index checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	rest := body[8:]
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, corruptf("index %s malformed", what)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	gotSig, err := uv("signal count")
+	if err != nil {
+		return nil, err
+	}
+	if int(gotSig) != nsig {
+		return nil, corruptf("index describes %d signals, meta has %d", gotSig, nsig)
+	}
+	nchunks, err := uv("chunk count")
+	if err != nil {
+		return nil, err
+	}
+	if nchunks > maxChunkRows {
+		return nil, corruptf("index chunk count %d out of range", nchunks)
+	}
+	chunks := make([]ChunkInfo, 0, nchunks)
+	for i := uint64(0); i < nchunks; i++ {
+		var c ChunkInfo
+		if c.Start, err = uv("chunk start"); err != nil {
+			return nil, err
+		}
+		if c.Count, err = uv("chunk rows"); err != nil {
+			return nil, err
+		}
+		if c.Count == 0 || c.Count > maxChunkRows {
+			return nil, corruptf("index chunk %d row count %d out of range", i, c.Count)
+		}
+		c.Sums = make([]SigSum, nsig)
+		for s := 0; s < nsig; s++ {
+			if len(rest) == 0 {
+				return nil, corruptf("index chunk %d summary truncated", i)
+			}
+			flags := rest[0]
+			rest = rest[1:]
+			c.Sums[s].Changed = flags&1 != 0
+			if c.Sums[s].Min, err = uv("summary min"); err != nil {
+				return nil, err
+			}
+			if c.Sums[s].Max, err = uv("summary max"); err != nil {
+				return nil, err
+			}
+		}
+		chunks = append(chunks, c)
+	}
+	if len(rest) != 0 {
+		return nil, corruptf("index has %d trailing bytes", len(rest))
+	}
+	return chunks, nil
+}
+
+// --- shared store plumbing --------------------------------------------------
+
+// atomicWrite lands data crash-safely: temp + fsync + rename + dir sync,
+// the same discipline the snapshot store uses (and the same faultinj hooks,
+// so the durability tests tear these writes too).
+func atomicWrite(fsys faultinj.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := fsys.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// quarantine renames a damaged file aside so it is never decoded again but
+// stays on disk for forensics.
+func quarantine(fsys faultinj.FS, path string) error {
+	return fsys.Rename(path, path+".corrupt")
+}
+
+// loadState opens a recording directory: meta, then the index (rebuilt by
+// scanning chunk files when missing or corrupt), then a contiguity check
+// that drops anything unreachable. It never decodes chunk payloads unless
+// the index is being rebuilt.
+func loadState(dir string, fsys faultinj.FS) (Meta, []ChunkInfo, error) {
+	var meta Meta
+	metaBytes, err := fsys.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return meta, nil, fmt.Errorf("%w in %s", ErrNoTrace, dir)
+	}
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return meta, nil, corruptf("meta.json: %v", err)
+	}
+	if meta.Version != formatVer {
+		return meta, nil, corruptf("unsupported recording version %d", meta.Version)
+	}
+	if len(meta.Signals) == 0 || len(meta.Signals) > maxSignals {
+		return meta, nil, corruptf("meta declares %d signals", len(meta.Signals))
+	}
+	if meta.ChunkCycles == 0 || meta.ChunkCycles > maxChunkRows {
+		return meta, nil, corruptf("meta chunk size %d out of range", meta.ChunkCycles)
+	}
+	// Leftover temp files are a crash mid-write; the rename never happened,
+	// so they are garbage.
+	if entries, err := fsys.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				_ = fsys.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	var chunks []ChunkInfo
+	idxBytes, err := fsys.ReadFile(filepath.Join(dir, "index.ktix"))
+	if err == nil {
+		chunks, err = decodeIndex(idxBytes, len(meta.Signals))
+		if err != nil {
+			_ = quarantine(fsys, filepath.Join(dir, "index.ktix"))
+			chunks = nil
+		}
+	}
+	if chunks == nil {
+		// No (usable) index: rebuild it by decoding every chunk file. Corrupt
+		// chunks are quarantined here rather than discovered one query at a
+		// time.
+		chunks, err = rebuildIndex(dir, fsys, len(meta.Signals))
+		if err != nil {
+			return meta, nil, err
+		}
+	}
+	chunks = contiguousPrefix(chunks)
+	return meta, chunks, nil
+}
+
+// rebuildIndex scans the directory for chunk files and recomputes every
+// summary, quarantining undecodable chunks.
+func rebuildIndex(dir string, fsys faultinj.FS, nsig int) ([]ChunkInfo, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var starts []uint64
+	for _, e := range entries {
+		name := e.Name()
+		rest, ok := strings.CutSuffix(name, ".ktrc")
+		if !ok || !strings.HasPrefix(rest, "c") {
+			continue
+		}
+		n, err := strconv.ParseUint(rest[1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		starts = append(starts, n)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	var chunks []ChunkInfo
+	for _, start := range starts {
+		path := filepath.Join(dir, chunkFile(start))
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		gotStart, cols, err := decodeChunk(data, nsig)
+		if err != nil || gotStart != start {
+			_ = quarantine(fsys, path)
+			continue
+		}
+		count := len(cols[0])
+		_, sums := encodeChunk(start, count, cols)
+		chunks = append(chunks, ChunkInfo{Start: start, Count: uint64(count), Sums: sums})
+	}
+	return chunks, nil
+}
+
+// contiguousPrefix keeps the longest gap-free prefix of chunks: a recording
+// is a single unbroken cycle axis, so anything after a hole (a quarantined
+// middle chunk) is unreachable and will be re-recorded.
+func contiguousPrefix(chunks []ChunkInfo) []ChunkInfo {
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i].Start != chunks[i-1].Start+chunks[i-1].Count {
+			return chunks[:i]
+		}
+	}
+	return chunks
+}

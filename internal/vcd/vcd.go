@@ -2,6 +2,12 @@
 // the artifact traditional RTL debugging flows inspect with GTKWave. It
 // exists both for completeness of the toolchain and as the baseline the
 // paper's interactive debugging experience (package debug) improves on.
+//
+// Two front doors share one emitter: Writer samples a live sim.Engine each
+// cycle, and StreamWriter accepts (cycle, values) rows from any source —
+// the trace store re-emits recorded windows through it and the output is
+// byte-identical to what the live path would have produced for the same
+// cycles.
 package vcd
 
 import (
@@ -13,10 +19,19 @@ import (
 	"cuttlego/internal/sim"
 )
 
-// Writer dumps an engine's registers each cycle.
-type Writer struct {
+// Signal declares one dumped wire.
+type Signal struct {
+	Name  string
+	Width int
+}
+
+// StreamWriter emits VCD from externally supplied rows: one Sample per
+// cycle, values pulled through a per-signal getter. Rows need not be
+// consecutive cycles — quiet cycles simply never reach the output.
+type StreamWriter struct {
 	w      io.Writer
-	e      sim.Engine
+	scope  string
+	names  []string
 	ids    []string
 	widths []int // declared register widths (may exceed the 64-bit value path)
 	last   []bits.Bits
@@ -29,21 +44,23 @@ type Writer struct {
 	pending string
 }
 
-// New prepares a VCD writer over the engine's registers.
-func New(w io.Writer, e sim.Engine) *Writer {
-	d := e.Design()
-	vw := &Writer{
+// NewStream prepares a VCD emitter over an explicit signal list. The
+// header is written lazily at the first Sample.
+func NewStream(w io.Writer, scope string, sigs []Signal) *StreamWriter {
+	sw := &StreamWriter{
 		w:      w,
-		e:      e,
-		ids:    make([]string, len(d.Registers)),
-		widths: make([]int, len(d.Registers)),
-		last:   make([]bits.Bits, len(d.Registers)),
+		scope:  scope,
+		names:  make([]string, len(sigs)),
+		ids:    make([]string, len(sigs)),
+		widths: make([]int, len(sigs)),
+		last:   make([]bits.Bits, len(sigs)),
 	}
-	for i := range d.Registers {
-		vw.ids[i] = shortID(i)
-		vw.widths[i] = d.Registers[i].Type.BitWidth()
+	for i, s := range sigs {
+		sw.names[i] = s.Name
+		sw.ids[i] = shortID(i)
+		sw.widths[i] = s.Width
 	}
-	return vw
+	return sw
 }
 
 // shortID produces the compact identifier codes VCD uses.
@@ -60,25 +77,24 @@ func shortID(i int) string {
 	return sb.String()
 }
 
-func (vw *Writer) printf(format string, args ...any) {
-	if vw.err == nil {
-		_, vw.err = fmt.Fprintf(vw.w, format, args...)
+func (sw *StreamWriter) printf(format string, args ...any) {
+	if sw.err == nil {
+		_, sw.err = fmt.Fprintf(sw.w, format, args...)
 	}
 }
 
 // header emits the declaration section. Zero-width registers carry no
 // information and "$var wire 0" is not legal VCD, so they are omitted from
 // the dump entirely.
-func (vw *Writer) header() {
-	d := vw.e.Design()
-	vw.printf("$timescale 1ns $end\n$scope module %s $end\n", sanitize(d.Name))
-	for i, r := range d.Registers {
-		if vw.widths[i] == 0 {
+func (sw *StreamWriter) header() {
+	sw.printf("$timescale 1ns $end\n$scope module %s $end\n", sanitize(sw.scope))
+	for i, name := range sw.names {
+		if sw.widths[i] == 0 {
 			continue
 		}
-		vw.printf("$var wire %d %s %s $end\n", vw.widths[i], vw.ids[i], sanitize(r.Name))
+		sw.printf("$var wire %d %s %s $end\n", sw.widths[i], sw.ids[i], sanitize(name))
 	}
-	vw.printf("$upscope $end\n$enddefinitions $end\n")
+	sw.printf("$upscope $end\n$enddefinitions $end\n")
 }
 
 func sanitize(s string) string {
@@ -90,46 +106,44 @@ func sanitize(s string) string {
 	}, s)
 }
 
-// Sample records the current register values at the engine's cycle,
-// emitting only changes (and everything on the first call). Timestamps are
-// buffered: a "#cycle" line reaches the output only when at least one
-// value change follows it.
-func (vw *Writer) Sample() error {
-	d := vw.e.Design()
-	if !vw.begun {
-		vw.header()
-		vw.begun = true
-		vw.printf("#%d\n$dumpvars\n", vw.e.CycleCount())
-		for i, r := range d.Registers {
-			v := vw.e.Reg(r.Name)
-			vw.last[i] = v
-			if vw.widths[i] == 0 {
+// Sample records the signal values at one cycle, emitting only changes
+// (and everything on the first call). Timestamps are buffered: a "#cycle"
+// line reaches the output only when at least one value change follows it.
+func (sw *StreamWriter) Sample(cycle uint64, get func(i int) bits.Bits) error {
+	if !sw.begun {
+		sw.header()
+		sw.begun = true
+		sw.printf("#%d\n$dumpvars\n", cycle)
+		for i := range sw.names {
+			v := get(i)
+			sw.last[i] = v
+			if sw.widths[i] == 0 {
 				continue
 			}
-			vw.emit(i, v)
+			sw.emit(i, v)
 		}
-		vw.printf("$end\n")
-		return vw.err
+		sw.printf("$end\n")
+		return sw.err
 	}
-	vw.pending = fmt.Sprintf("#%d\n", vw.e.CycleCount())
-	for i, r := range d.Registers {
-		v := vw.e.Reg(r.Name)
-		if v != vw.last[i] {
-			vw.last[i] = v
-			if vw.widths[i] == 0 {
+	sw.pending = fmt.Sprintf("#%d\n", cycle)
+	for i := range sw.names {
+		v := get(i)
+		if v != sw.last[i] {
+			sw.last[i] = v
+			if sw.widths[i] == 0 {
 				continue
 			}
-			vw.flushTimestamp()
-			vw.emit(i, v)
+			sw.flushTimestamp()
+			sw.emit(i, v)
 		}
 	}
-	return vw.err
+	return sw.err
 }
 
-func (vw *Writer) flushTimestamp() {
-	if vw.pending != "" {
-		vw.printf("%s", vw.pending)
-		vw.pending = ""
+func (sw *StreamWriter) flushTimestamp() {
+	if sw.pending != "" {
+		sw.printf("%s", sw.pending)
+		sw.pending = ""
 	}
 }
 
@@ -137,12 +151,36 @@ func (vw *Writer) flushTimestamp() {
 // register width: values are carried in a single machine word, so a
 // register declared wider than 64 bits (from a frontend that allows it)
 // would otherwise dump fewer digits than its declaration promises.
-func (vw *Writer) emit(i int, v bits.Bits) {
-	if vw.widths[i] == 1 {
-		vw.printf("%d%s\n", v.Val, vw.ids[i])
+func (sw *StreamWriter) emit(i int, v bits.Bits) {
+	if sw.widths[i] == 1 {
+		sw.printf("%d%s\n", v.Val, sw.ids[i])
 		return
 	}
-	vw.printf("b%0*b %s\n", vw.widths[i], v.Val, vw.ids[i])
+	sw.printf("b%0*b %s\n", sw.widths[i], v.Val, sw.ids[i])
+}
+
+// Writer dumps an engine's registers each cycle.
+type Writer struct {
+	sw *StreamWriter
+	e  sim.Engine
+}
+
+// New prepares a VCD writer over the engine's registers.
+func New(w io.Writer, e sim.Engine) *Writer {
+	d := e.Design()
+	sigs := make([]Signal, len(d.Registers))
+	for i, r := range d.Registers {
+		sigs[i] = Signal{Name: r.Name, Width: r.Type.BitWidth()}
+	}
+	return &Writer{sw: NewStream(w, d.Name, sigs), e: e}
+}
+
+// Sample records the current register values at the engine's cycle.
+func (vw *Writer) Sample() error {
+	d := vw.e.Design()
+	return vw.sw.Sample(vw.e.CycleCount(), func(i int) bits.Bits {
+		return vw.e.Reg(d.Registers[i].Name)
+	})
 }
 
 // Trace runs the engine under the testbench for n cycles, sampling after

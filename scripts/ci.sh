@@ -49,6 +49,15 @@ echo "== race: fleet — CoW forks, export/import parity gates, migration faults
 # detector; fork parity is checked from 8 concurrent clients.
 go test -race -run 'TestFork|TestExport|TestImport|TestMigrationSource|TestFleetLeak|TestIdemKey' ./internal/server
 
+echo "== race: trace store + DAP — chunked recording, queries, time travel"
+# The full tracedb suite (append/resume/truncate, index skipping, VCD
+# re-emit, torn-write recovery) and the DAP adapter's scripted sessions
+# against a local daemon and a routed fleet run under the race detector,
+# plus the server's recording lifecycle: record across restart, fork
+# diffing, and durable fork checkpoints.
+go test -race ./internal/tracedb ./internal/dap
+go test -race -run 'TestTrace|TestForkDurable' ./internal/server
+
 echo "== fuzz smoke (5s per target)"
 go test ./internal/lang -run='^$' -fuzz='^FuzzLexer$' -fuzztime=5s
 go test ./internal/lang -run='^$' -fuzz='^FuzzParser$' -fuzztime=5s
@@ -59,6 +68,7 @@ go test ./internal/difftest -run='^$' -fuzz='^FuzzDifftest$' -fuzztime=5s
 go test -race ./internal/difftest -run='^$' -fuzz='^FuzzParallelLockstep$' -fuzztime=5s
 go test ./internal/sim -run='^$' -fuzz='^FuzzSnapshotUnmarshal$' -fuzztime=5s
 go test ./internal/server -run='^$' -fuzz='^FuzzServerRequest$' -fuzztime=5s
+go test ./internal/tracedb -run='^$' -fuzz='^FuzzParseQuery$' -fuzztime=5s
 
 echo "== kdiff generative sweep (fixed seeds, all engines, shrink on failure)"
 # Every engine in the matrix must track the reference interpreter in
@@ -128,5 +138,12 @@ echo "== ksimd fleet smoke (3 backends + router, swarm load, 1 migration)"
 # requests, and clean shutdown of all four processes. See
 # scripts/ksimd-swarm.sh.
 bash scripts/ksimd-swarm.sh
+
+echo "== kdap smoke (DAP session vs local backend and routed fleet)"
+# Real processes end to end: two ksimd backends plus a router over a shared
+# store, a kdap bridge in TCP mode, and a scripted DAP client — attach,
+# conditional breakpoint, continue, trace-query evaluate, stepBack,
+# reverseContinue — run against a backend directly and through the router.
+bash scripts/kdap-smoke.sh
 
 echo "CI OK"

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# DAP smoke gate: attach, conditional breakpoint, stepBack, reverseContinue,
+# and trace-query evaluate against a real ksimd backend and a routed fleet.
+# The heavy lifting lives in the Go driver; this wrapper exists so the gate
+# has a stable, documented entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./scripts/kdap-smoke "$@"
